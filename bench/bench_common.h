@@ -1,0 +1,26 @@
+#ifndef SVQA_BENCH_BENCH_COMMON_H_
+#define SVQA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace svqa::bench {
+
+/// Prints a section banner for an experiment table/figure.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a horizontal rule.
+inline void Rule() {
+  std::printf(
+      "------------------------------------------------------------------"
+      "----\n");
+}
+
+/// Percentage formatting.
+inline double Pct(double fraction) { return fraction * 100.0; }
+
+}  // namespace svqa::bench
+
+#endif  // SVQA_BENCH_BENCH_COMMON_H_

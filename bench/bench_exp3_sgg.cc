@@ -1,0 +1,79 @@
+// Exp-3 (Table V): impact of the scene-graph-generation model and TDE
+// debiasing on relation quality (mR@20/50/100) and end-to-end SVQA
+// accuracy.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "core/evaluation.h"
+#include "data/mvqa_generator.h"
+#include "vision/sgg_metrics.h"
+
+int main() {
+  using namespace svqa;
+  using bench::Banner;
+  using bench::Pct;
+  using bench::Rule;
+
+  std::printf("Generating MVQA...\n");
+  data::MvqaOptions opts;
+  opts.world.num_scenes = 2000;  // full SGG sweep x6 configs
+  const data::MvqaDataset dataset = data::MvqaGenerator(opts).Generate();
+
+  Banner("Table V: relation prediction of the SGG");
+  std::printf("%-14s %-9s %22s %14s\n", "Model", "Method",
+              "SGG mR@20/50/100 (%)", "SVQA Acc. (%)");
+  Rule();
+
+  const vision::RelationModel::Kind kinds[] = {
+      vision::RelationModel::Kind::kVTransE,
+      vision::RelationModel::Kind::kVCTree,
+      vision::RelationModel::Kind::kNeuralMotifs};
+  const vision::InferenceMode modes[] = {vision::InferenceMode::kOriginal,
+                                         vision::InferenceMode::kTde};
+
+  for (const auto kind : kinds) {
+    for (const auto mode : modes) {
+      core::SvqaOptions options;
+      options.sgg_model = kind;
+      options.sgg_mode = mode;
+      core::SvqaEngine engine(options);
+      Status s =
+          engine.Ingest(dataset.knowledge_graph, dataset.world.scenes);
+      if (!s.ok()) {
+        std::printf("ingest failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+
+      // mR@K over the generated scene graphs.
+      vision::SggEvaluator evaluator(
+          data::Vocabulary::Default().scene_predicates);
+      for (std::size_t i = 0; i < dataset.world.scenes.size(); ++i) {
+        evaluator.AddScene(dataset.world.scenes[i],
+                           engine.scene_graphs()[i]);
+      }
+      const auto mr = evaluator.Evaluate();
+
+      const auto summary = core::EvaluateMvqa(&engine, dataset);
+      std::printf("%-14s %-9s %6.1f /%6.1f /%6.1f %13.1f\n",
+                  vision::RelationModel::KindName(kind),
+                  vision::InferenceModeName(mode), Pct(mr.mr_at_20),
+                  Pct(mr.mr_at_50), Pct(mr.mr_at_100),
+                  Pct(summary.overall_accuracy));
+    }
+  }
+  Rule();
+  std::printf(
+      "(paper, mR@20/50/100 | acc: VTransE 3.7/5.1/6.1|72.2, TDE "
+      "5.8/8.1/9.9|84.1;\n VCTree 4.2/5.8/6.9|74.1, TDE "
+      "6.3/8.6/10.5|86.3; Motifs 4.2/5.3/6.9|75.4, TDE "
+      "6.9/9.5/11.3|87.2)\n");
+  std::printf(
+      "shape checks: TDE > Original for every model on both metrics; "
+      "Motifs >= VCTree > VTransE;\nhigher mR@K correlates with higher "
+      "end-to-end accuracy.\n(absolute mR values differ from the paper: "
+      "Visual Genome has ~50 predicate classes with\nextreme skew; our "
+      "synthetic world has 13, so recall is numerically higher.)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Exp-4 (Figure 9): query-graph generation efficiency.
+//
+// Fig. 9(a): latency of parsing N questions — our rule-based method
+// (zero load cost, higher per-question cost) vs the simulated neural
+// splitters (large one-time load, cheap inference).
+// Fig. 9(b): query-graph generation latency by question complexity
+// (average, 1-clause, 2-clause, 3-clause).
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/parse_baselines.h"
+#include "bench_common.h"
+#include "data/mvqa_generator.h"
+#include "query/query_graph_builder.h"
+#include "text/lexicon.h"
+
+int main() {
+  using namespace svqa;
+  using bench::Banner;
+  using bench::Rule;
+
+  std::printf("Generating MVQA questions...\n");
+  data::MvqaOptions opts;
+  opts.world.num_scenes = 1200;  // questions only; smaller world suffices
+  const data::MvqaDataset dataset = data::MvqaGenerator(opts).Generate();
+
+  const text::SynonymLexicon lexicon = text::SynonymLexicon::Default();
+  query::QueryGraphBuilder builder(&lexicon);
+  {
+    std::vector<std::string> labels;
+    for (graph::VertexId v = 0; v < dataset.knowledge_graph.num_vertices();
+         ++v) {
+      labels.push_back(dataset.knowledge_graph.vertex(v).label);
+    }
+    builder.RegisterEntityNames(labels);
+  }
+
+  Banner("Figure 9(a): latency vs number of questions (seconds)");
+  std::printf("%4s %10s %12s %12s %15s %10s\n", "N", "Ours", "Ours(8w)",
+              "ABCD-MLP", "ABCD-bilinear", "DisSim");
+  Rule();
+  for (int n : {1, 5, 10, 15, 20, 25, 30}) {
+    // Ours: stateless rule parsing (serial, then 8-way parallel — the
+    // paper's "high parallelization" observation).
+    SimClock ours;
+    std::vector<std::string> batch;
+    for (int i = 0; i < n; ++i) {
+      batch.push_back(dataset.questions[static_cast<std::size_t>(i) %
+                                        dataset.questions.size()]
+                          .text);
+      builder.Build(batch.back(), &ours).ok();
+    }
+    const double ours_parallel =
+        builder.BuildAll(batch, 8).makespan_micros / 1e6;
+    // Baselines: fresh process (model load) + per-question inference.
+    auto run_baseline = [&](baseline::NeuralSplitBaseline model) {
+      model.ResetLoadState();
+      SimClock clock;
+      for (int i = 0; i < n; ++i) {
+        model
+            .Split(dataset.questions[static_cast<std::size_t>(i) %
+                                     dataset.questions.size()]
+                       .text,
+                   &clock)
+            .ok();
+      }
+      return clock.ElapsedSeconds();
+    };
+    std::printf("%4d %10.2f %12.2f %12.2f %15.2f %10.2f\n", n,
+                ours.ElapsedSeconds(), ours_parallel,
+                run_baseline(baseline::NeuralSplitBaseline::AbcdMlp()),
+                run_baseline(baseline::NeuralSplitBaseline::AbcdBilinear()),
+                run_baseline(baseline::NeuralSplitBaseline::DisSim()));
+  }
+  std::printf(
+      "shape checks: ours wins at small N (no model load); the advantage "
+      "shrinks as N grows\n(per-question rule parsing costs more than "
+      "per-question neural inference).\n");
+
+  Banner("Figure 9(b): query-graph generation latency by question type");
+  double sums[4] = {};
+  int counts[4] = {};
+  for (const auto& q : dataset.questions) {
+    SimClock clock;
+    if (!builder.Build(q.text, &clock).ok()) continue;
+    const int clauses = std::min(q.num_clauses, 3);
+    sums[0] += clock.ElapsedSeconds();
+    ++counts[0];
+    sums[clauses] += clock.ElapsedSeconds();
+    ++counts[clauses];
+  }
+  std::printf("%-22s %10s %6s\n", "Group", "Avg (s)", "N");
+  Rule();
+  const char* names[4] = {"A: all questions", "B: 1 clause",
+                          "C: 2 clauses", "D: 3 clauses"};
+  for (int g = 0; g < 4; ++g) {
+    std::printf("%-22s %10.2f %6d\n", names[g],
+                counts[g] == 0 ? 0.0 : sums[g] / counts[g], counts[g]);
+  }
+  std::printf(
+      "(paper: average latency 0.63 s; latency grows with clause "
+      "count)\n");
+  return 0;
+}

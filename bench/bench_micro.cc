@@ -1,0 +1,189 @@
+// Microbenchmarks (wall-clock, google-benchmark): the primitive
+// operations underlying the experiments — text similarity, graph
+// construction and traversal, cache operations, the NL pipeline, and
+// vertex matching. These measure the real host cost, complementing the
+// virtual-clock experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "data/kg_builder.h"
+#include "data/mvqa_generator.h"
+#include "data/world.h"
+#include "exec/vertex_matcher.h"
+#include "graph/subgraph.h"
+#include "nlp/dependency_parser.h"
+#include "nlp/pos_tagger.h"
+#include "query/query_graph_builder.h"
+#include "text/embedding.h"
+#include "text/levenshtein.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace svqa;
+
+void BM_LevenshteinShortWords(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::LevenshteinDistance("girlfriend", "boyfriend"));
+  }
+}
+BENCHMARK(BM_LevenshteinShortWords);
+
+void BM_EmbeddingSimilarity(benchmark::State& state) {
+  text::EmbeddingModel model(text::SynonymLexicon::Default());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Similarity("girlfriend", "girlfriend-of"));
+  }
+}
+BENCHMARK(BM_EmbeddingSimilarity);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string q =
+      "What kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(q));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PosTag(benchmark::State& state) {
+  const auto tagger = nlp::PosTagger::Default();
+  const auto tokens = text::Tokenize(
+      "What kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend?");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tagger.Tag(tokens));
+  }
+}
+BENCHMARK(BM_PosTag);
+
+void BM_DependencyParse(benchmark::State& state) {
+  const auto tagger = nlp::PosTagger::Default();
+  const nlp::DependencyParser parser;
+  const auto tagged = tagger.Tag(text::Tokenize(
+      "What kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend?"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(tagged));
+  }
+}
+BENCHMARK(BM_DependencyParse);
+
+void BM_QueryGraphBuild(benchmark::State& state) {
+  static const auto* lexicon =
+      new text::SynonymLexicon(text::SynonymLexicon::Default());
+  query::QueryGraphBuilder builder(lexicon);
+  const std::string q =
+      "What kind of animals is carried by the dogs that are sitting on "
+      "the grass?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(q));
+  }
+}
+BENCHMARK(BM_QueryGraphBuild);
+
+void BM_GraphAddEdge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::Graph g;
+    for (int i = 0; i < 1000; ++i) {
+      g.AddVertex("v" + std::to_string(i), "t");
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 999; ++i) {
+      benchmark::DoNotOptimize(
+          g.AddEdge(static_cast<graph::VertexId>(i),
+                    static_cast<graph::VertexId>(i + 1), "e"));
+    }
+  }
+}
+BENCHMARK(BM_GraphAddEdge);
+
+void BM_KHopNeighborhood(benchmark::State& state) {
+  data::WorldOptions opts;
+  opts.num_scenes = 50;
+  const auto world = data::WorldGenerator(opts).Generate();
+  const auto kg =
+      data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::KHopNeighborhood(kg, 0, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KHopNeighborhood)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LfuCacheGetPut(benchmark::State& state) {
+  cache::LfuCache<int, int> cache(static_cast<std::size_t>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    cache.Put(i % 500, i);
+    benchmark::DoNotOptimize(cache.Get((i * 7) % 500));
+    ++i;
+  }
+}
+BENCHMARK(BM_LfuCacheGetPut)->Arg(64)->Arg(256);
+
+void BM_LruCacheGetPut(benchmark::State& state) {
+  cache::LruCache<int, int> cache(static_cast<std::size_t>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    cache.Put(i % 500, i);
+    benchmark::DoNotOptimize(cache.Get((i * 7) % 500));
+    ++i;
+  }
+}
+BENCHMARK(BM_LruCacheGetPut)->Arg(64)->Arg(256);
+
+void BM_VertexMatch(benchmark::State& state) {
+  static const auto* fixture = [] {
+    struct Fixture {
+      data::World world;
+      aggregator::MergedGraph merged;
+      text::EmbeddingModel embeddings;
+    };
+    data::WorldOptions opts;
+    opts.num_scenes = 500;
+    auto world = data::WorldGenerator(opts).Generate();
+    auto kg =
+        data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+    auto merged = data::BuildPerfectMergedGraph(world, kg);
+    return new Fixture{std::move(world), std::move(merged),
+                       text::EmbeddingModel(text::SynonymLexicon::Default())};
+  }();
+  exec::VertexMatcher matcher(&fixture->merged, &fixture->embeddings);
+  nlp::SpocElement el;
+  el.head = "animal";
+  el.text = "animal";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(el));
+  }
+}
+BENCHMARK(BM_VertexMatch);
+
+void BM_SceneGraphGeneration(benchmark::State& state) {
+  data::WorldOptions opts;
+  opts.num_scenes = 20;
+  const auto world = data::WorldGenerator(opts).Generate();
+  auto model = std::make_shared<vision::RelationModel>(
+      vision::RelationModel::Kind::kNeuralMotifs,
+      data::Vocabulary::Default().scene_predicates,
+      vision::RelationModel::DefaultOptionsFor(
+          vision::RelationModel::Kind::kNeuralMotifs));
+  model->FitBias(world.scenes);
+  vision::SceneGraphGenerator gen(vision::SimulatedDetector(), model,
+                                  vision::InferenceMode::kTde);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen.Generate(world.scenes[i++ % world.scenes.size()]));
+  }
+}
+BENCHMARK(BM_SceneGraphGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// batch_analytics: the multi-query serving scenario of §V-B — a batch of
+// analytics questions over one corpus, with the frequency-ratio
+// scheduler and the key-centric cache, comparing cache policies and
+// worker counts.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/mvqa_generator.h"
+#include "exec/batch_executor.h"
+
+int main() {
+  using namespace svqa;
+
+  std::printf("Building the MVQA corpus and merged graph...\n");
+  data::MvqaOptions options;
+  options.world.num_scenes = 1500;
+  const data::MvqaDataset dataset =
+      data::MvqaGenerator(options).Generate();
+
+  core::SvqaEngine engine;
+  Status s = engine.Ingest(dataset.knowledge_graph, dataset.world.scenes);
+  if (!s.ok()) {
+    std::printf("ingest failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Parse the whole batch up front.
+  std::vector<query::QueryGraph> graphs;
+  for (const auto& q : dataset.questions) {
+    auto parsed = engine.Parse(q.text);
+    if (parsed.ok()) graphs.push_back(std::move(*parsed));
+  }
+  std::printf("parsed %zu/%zu questions\n", graphs.size(),
+              dataset.questions.size());
+
+  // Configurations to compare.
+  struct Config {
+    const char* name;
+    bool cache;
+    exec::CachePolicy policy;
+    bool scheduler;
+    std::size_t workers;
+  };
+  const Config configs[] = {
+      {"no cache, unscheduled", false, exec::CachePolicy::kLfu, false, 1},
+      {"LFU cache, unscheduled", true, exec::CachePolicy::kLfu, false, 1},
+      {"LFU cache + scheduler", true, exec::CachePolicy::kLfu, true, 1},
+      {"LRU cache + scheduler", true, exec::CachePolicy::kLru, true, 1},
+      {"LFU + scheduler, 4 workers", true, exec::CachePolicy::kLfu, true,
+       4},
+  };
+
+  std::printf("\n%-28s %14s %12s\n", "Configuration", "Latency (s)",
+              "Answered");
+  std::printf(
+      "--------------------------------------------------------------\n");
+  for (const Config& c : configs) {
+    exec::KeyCentricCacheOptions copts;
+    copts.capacity = 100;
+    copts.policy = c.policy;
+    exec::KeyCentricCache cache(copts);
+    exec::QueryGraphExecutor executor(&engine.merged(),
+                                      &engine.embeddings(),
+                                      c.cache ? &cache : nullptr);
+    exec::BatchOptions bopts;
+    bopts.use_scheduler = c.scheduler;
+    bopts.num_workers = c.workers;
+    exec::BatchExecutor batch(&executor, bopts);
+    const exec::BatchResult result = batch.ExecuteAll(graphs);
+    std::size_t answered = 0;
+    for (const auto& o : result.outcomes) {
+      if (o.status.ok()) ++answered;
+    }
+    std::printf("%-28s %14.1f %9zu/%zu\n", c.name,
+                result.total_micros / 1e6, answered, graphs.size());
+  }
+  std::printf(
+      "\nTakeaways: the shared cache removes repeated matchVertex scans "
+      "and relation\nsearches; the scheduler front-loads high-reuse query "
+      "graphs so later ones hit a\nwarm cache; extra workers divide the "
+      "remaining work.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// movie_qa: walks through the paper's flagship example (Figures 4 & 5)
+// step by step — tokenization, POS tagging, the dependency tree, clause
+// splitting, SPOC extraction, the query graph, and its execution over
+// the merged graph — for the question:
+//
+//   "What kind of clothes are worn by the wizard who is most frequently
+//    hanging out with harry potter's girlfriend?"
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "data/kg_builder.h"
+#include "data/world.h"
+#include "nlp/clause_splitter.h"
+#include "nlp/dependency_parser.h"
+#include "nlp/pos_tagger.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace svqa;
+
+  const std::string question =
+      "What kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend?";
+  std::printf("Q: %s\n", question.c_str());
+
+  // --- Figure 4(a): POS tags and the dependency tree -----------------------
+  nlp::PosTagger tagger = nlp::PosTagger::Default();
+  const auto tokens = text::Tokenize(question);
+  const auto tagged = tagger.Tag(tokens);
+  std::printf("\nPOS: ");
+  for (const auto& t : tagged) {
+    std::printf("%s/%s ", t.word.c_str(), t.tag.c_str());
+  }
+  std::printf("\n");
+
+  nlp::DependencyParser parser;
+  auto parse = parser.Parse(tagged);
+  if (!parse.ok()) {
+    std::printf("parse failed: %s\n", parse.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nDependency tree:\n%s", parse->tree.ToString().c_str());
+
+  // --- Figure 4(b): clause splitting with pronoun resolution ---------------
+  std::printf("\nClauses (relative pronoun resolved):\n");
+  for (const auto& clause : nlp::SplitClauses(*parse)) {
+    std::printf("  - %s\n", clause.c_str());
+  }
+
+  // --- Figure 4(c)/(d): SPOCs and the query graph --------------------------
+  const text::SynonymLexicon lexicon = text::SynonymLexicon::Default();
+  core::SvqaEngine engine;
+  auto graph = engine.Parse(question);
+  if (!graph.ok()) {
+    std::printf("query graph failed: %s\n",
+                graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s", graph->ToString().c_str());
+
+  // --- Figure 5: execution over the merged graph ---------------------------
+  data::WorldOptions world_options;
+  world_options.num_scenes = 800;
+  const data::World world = data::WorldGenerator(world_options).Generate();
+  const graph::Graph kg = data::BuildKnowledgeGraph(world, lexicon);
+  Status s = engine.Ingest(kg, world.scenes);
+  if (!s.ok()) {
+    std::printf("ingest failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Re-parse after ingest: the engine's gazetteer now knows the cast.
+  auto graph2 = engine.Parse(question);
+  SimClock clock;
+  auto answer = engine.Execute(*graph2, &clock);
+  if (!answer.ok()) {
+    std::printf("execution failed: %s\n",
+                answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nA: %s   (virtual latency %.2f s)\n", answer->text.c_str(),
+              clock.ElapsedSeconds());
+  std::printf(
+      "\nHow it resolved: harry potter's girlfriends come from the "
+      "knowledge graph\n(girlfriend-of edges), their appearances from "
+      "same-as links into the scene graphs,\nhang-out edges select the "
+      "most frequent wizard companion, and that wizard's\nwear edges "
+      "name the clothing kind.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// scene_graph_demo: the paper's Figure 3 — biased vs TDE-debiased scene
+// graph generation on one scene, plus the merged-graph linking step.
+
+#include <cstdio>
+#include <memory>
+
+#include "aggregator/merger.h"
+#include "data/kg_builder.h"
+#include "data/vocabulary.h"
+#include "data/world.h"
+#include "text/lexicon.h"
+#include "vision/scene_graph_generator.h"
+
+namespace {
+
+void PrintGraph(const char* title, const svqa::graph::Graph& g) {
+  std::printf("%s\n", title);
+  for (const auto& e : g.AllEdges()) {
+    std::printf("  {%s, %s, %s}\n", g.vertex(e.src).label.c_str(),
+                std::string(e.label).c_str(), g.vertex(e.dst).label.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace svqa;
+
+  // A small world gives the relation model a biased training corpus
+  // (head predicates dominate label pairs).
+  data::WorldOptions options;
+  options.num_scenes = 600;
+  const data::World world = data::WorldGenerator(options).Generate();
+
+  // A scene with a tail predicate to recover: dog carrying a bird.
+  const vision::Scene* target = nullptr;
+  for (const auto& scene : world.scenes) {
+    for (const auto& rel : scene.relations) {
+      if (rel.predicate == "carry") {
+        target = &scene;
+        break;
+      }
+    }
+    if (target != nullptr) break;
+  }
+  if (target == nullptr) {
+    std::printf("no carry scene sampled; try another seed\n");
+    return 1;
+  }
+
+  std::printf("Ground truth of scene %d:\n", target->id);
+  for (const auto& rel : target->relations) {
+    std::printf("  {%s, %s, %s}\n",
+                target->objects[rel.subject].category.c_str(),
+                rel.predicate.c_str(),
+                target->objects[rel.object].category.c_str());
+  }
+
+  auto model = std::make_shared<vision::RelationModel>(
+      vision::RelationModel::Kind::kNeuralMotifs,
+      data::Vocabulary::Default().scene_predicates,
+      vision::RelationModel::DefaultOptionsFor(
+          vision::RelationModel::Kind::kNeuralMotifs));
+  model->FitBias(world.scenes);
+
+  vision::DetectorOptions quiet;  // isolate the relation model's bias
+  quiet.miss_rate = 0;
+  quiet.misclassify_rate = 0;
+  quiet.identity_loss_rate = 0;
+
+  vision::SceneGraphGenerator original(vision::SimulatedDetector(quiet),
+                                       model,
+                                       vision::InferenceMode::kOriginal);
+  vision::SceneGraphGenerator tde(vision::SimulatedDetector(quiet), model,
+                                  vision::InferenceMode::kTde);
+
+  std::printf("\n");
+  PrintGraph("Figure 3(a) analogue - Original (biased) inference:",
+             original.Generate(*target).graph);
+  std::printf("\n");
+  PrintGraph("Figure 3(c) analogue - TDE (debiased) inference:",
+             tde.Generate(*target).graph);
+  std::printf(
+      "\nThe biased model tends to collapse tail predicates (carry, "
+      "chase, ride) onto\nhead ones (near, on); TDE subtracts the "
+      "label-prior effect and recovers them.\n");
+
+  // --- Merging into G_mg ----------------------------------------------------
+  const graph::Graph kg =
+      data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+  std::vector<vision::SceneGraphResult> results;
+  results.push_back(tde.Generate(*target));
+  aggregator::GraphMerger merger;
+  auto merged = merger.Merge(kg, results);
+  if (!merged.ok()) {
+    std::printf("merge failed: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nMerged with the knowledge graph: %zu vertices, %zu edges "
+      "(%zu entity links, %zu concept links)\n",
+      merged->graph.num_vertices(), merged->graph.num_edges(),
+      merged->entity_links, merged->concept_links);
+  return 0;
+}

@@ -1,0 +1,165 @@
+// svqa_cli: a command-line front end for the engine.
+//
+//   svqa_cli [--scenes N] [--seed S] [--save-merged PATH]
+//            [--load-merged PATH] [--export-questions PATH] [--explain]
+//            [question ...]
+//
+// Without --load-merged, a synthetic world of N scenes is generated and
+// ingested. Questions given as arguments are answered; with none, a
+// small demo set runs. --save-merged / --load-merged skip the offline
+// phase on subsequent runs; --export-questions writes the MVQA QA pairs
+// of the generated world to a TSV file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset_io.h"
+#include "data/kg_builder.h"
+#include "data/mvqa_generator.h"
+#include "text/lexicon.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--scenes N] [--seed S] [--save-merged PATH]\n"
+      "          [--load-merged PATH] [--export-questions PATH]\n"
+      "          [--explain] [question ...]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace svqa;
+
+  int scenes = 800;
+  uint64_t seed = 2024;
+  bool explain = false;
+  std::string save_merged, load_merged, export_questions;
+  std::vector<std::string> questions;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenes") {
+      scenes = std::atoi(next("--scenes"));
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--save-merged") {
+      save_merged = next("--save-merged");
+    } else if (arg == "--load-merged") {
+      load_merged = next("--load-merged");
+    } else if (arg == "--export-questions") {
+      export_questions = next("--export-questions");
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      questions.push_back(arg);
+    }
+  }
+
+  core::SvqaEngine engine;
+
+  if (!load_merged.empty()) {
+    auto merged = core::SvqaEngine::LoadMergedGraph(load_merged);
+    if (!merged.ok()) {
+      std::printf("load failed: %s\n",
+                  merged.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = engine.IngestMerged(std::move(*merged)); !s.ok()) {
+      std::printf("ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded merged graph: %zu vertices / %zu edges\n",
+                engine.merged().graph.num_vertices(),
+                engine.merged().graph.num_edges());
+  } else {
+    std::printf("generating world (%d scenes, seed %llu)...\n", scenes,
+                static_cast<unsigned long long>(seed));
+    data::WorldOptions wopts;
+    wopts.num_scenes = scenes;
+    wopts.seed = seed;
+    const data::World world = data::WorldGenerator(wopts).Generate();
+    const graph::Graph kg =
+        data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+    SimClock clock;
+    if (Status s = engine.Ingest(kg, world.scenes, &clock); !s.ok()) {
+      std::printf("ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "merged graph: %zu vertices / %zu edges (offline %.1f s "
+        "virtual)\n",
+        engine.merged().graph.num_vertices(),
+        engine.merged().graph.num_edges(), clock.ElapsedSeconds());
+
+    if (!export_questions.empty()) {
+      data::MvqaOptions mopts;
+      mopts.world = wopts;
+      const data::MvqaDataset ds = data::MvqaGenerator(mopts).Generate();
+      if (Status s = data::SaveQuestions(ds.questions, export_questions);
+          !s.ok()) {
+        std::printf("export failed: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("exported %zu questions to %s\n", ds.questions.size(),
+                    export_questions.c_str());
+      }
+    }
+  }
+
+  if (!save_merged.empty()) {
+    if (Status s = engine.SaveMergedGraph(save_merged); !s.ok()) {
+      std::printf("save failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("saved merged graph to %s\n", save_merged.c_str());
+    }
+  }
+
+  if (questions.empty()) {
+    questions = {
+        "What kind of clothes are worn by the wizard who is most "
+        "frequently hanging out with harry potter's girlfriend?",
+        "How many wizards are hanging out with dean thomas?",
+        "Does a dog appear on the grass?",
+        "What is the color of the clothes that are worn by harry potter?",
+    };
+  }
+
+  for (const std::string& q : questions) {
+    if (explain) {
+      auto trace = engine.Explain(q);
+      if (trace.ok()) {
+        std::printf("%s\n", trace->c_str());
+      } else {
+        std::printf("Q: %s\nA: <error: %s>\n", q.c_str(),
+                    trace.status().ToString().c_str());
+      }
+      continue;
+    }
+    SimClock clock;
+    auto answer = engine.Ask(q, &clock);
+    if (answer.ok()) {
+      std::printf("Q: %s\nA: %s   (%.2f s virtual)\n", q.c_str(),
+                  answer->text.c_str(), clock.ElapsedSeconds());
+    } else {
+      std::printf("Q: %s\nA: <error: %s>\n", q.c_str(),
+                  answer.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

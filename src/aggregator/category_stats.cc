@@ -1,0 +1,48 @@
+#include "aggregator/category_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace svqa::aggregator {
+
+std::vector<graph::CategoryCount> CountCategories(
+    const std::vector<const graph::Graph*>& scene_graphs) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const graph::Graph* g : scene_graphs) {
+    for (graph::VertexId v = 0; v < g->num_vertices(); ++v) {
+      ++counts[g->vertex(v).category];
+    }
+  }
+  std::vector<graph::CategoryCount> out;
+  out.reserve(counts.size());
+  for (auto& [cat, count] : counts) out.push_back({cat, count});
+  std::sort(out.begin(), out.end(),
+            [](const graph::CategoryCount& a, const graph::CategoryCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.category < b.category;
+            });
+  return out;
+}
+
+CoverageStats ComputeCoverage(const std::vector<graph::CategoryCount>& counts,
+                              std::size_t threshold) {
+  CoverageStats stats;
+  if (counts.empty()) return stats;
+  std::size_t covered_types = 0, covered_vertices = 0, total_vertices = 0;
+  for (const auto& cc : counts) {
+    total_vertices += cc.count;
+    if (cc.count > threshold) {
+      ++covered_types;
+      covered_vertices += cc.count;
+    }
+  }
+  stats.type_fraction =
+      static_cast<double>(covered_types) / static_cast<double>(counts.size());
+  stats.vertex_fraction = total_vertices == 0
+                              ? 0.0
+                              : static_cast<double>(covered_vertices) /
+                                    static_cast<double>(total_vertices);
+  return stats;
+}
+
+}  // namespace svqa::aggregator

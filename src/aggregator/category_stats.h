@@ -1,0 +1,33 @@
+#ifndef SVQA_AGGREGATOR_CATEGORY_STATS_H_
+#define SVQA_AGGREGATOR_CATEGORY_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/statistics.h"
+
+namespace svqa::aggregator {
+
+/// \brief Aggregated occurrence counts of vertex categories across a set
+/// of scene graphs, sorted descending (Algorithm 1 line 2,
+/// `T <- statistics({G_sg(I)})`).
+std::vector<graph::CategoryCount> CountCategories(
+    const std::vector<const graph::Graph*>& scene_graphs);
+
+/// \brief Fraction of scene-graph vertices whose category appears at
+/// least `threshold` times in `counts` (the paper's §III-B coverage
+/// observation: ~58% of vertex types occur > 5 times covering ~82% of
+/// vertices).
+struct CoverageStats {
+  double type_fraction = 0;    ///< categories above threshold / categories
+  double vertex_fraction = 0;  ///< vertices covered / vertices
+};
+
+CoverageStats ComputeCoverage(const std::vector<graph::CategoryCount>& counts,
+                              std::size_t threshold);
+
+}  // namespace svqa::aggregator
+
+#endif  // SVQA_AGGREGATOR_CATEGORY_STATS_H_

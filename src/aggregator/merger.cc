@@ -1,0 +1,135 @@
+#include "aggregator/merger.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "aggregator/category_stats.h"
+#include "graph/serialization.h"
+
+namespace svqa::aggregator {
+
+GraphMerger::GraphMerger(MergerOptions options)
+    : options_(std::move(options)) {}
+
+Result<MergedGraph> GraphMerger::Merge(
+    const graph::Graph& knowledge_graph,
+    const std::vector<vision::SceneGraphResult>& scene_graphs,
+    SimClock* clock) const {
+  SimClock local(clock != nullptr ? clock->model() : CostModel{});
+
+  MergedGraph merged;
+  merged.graph = knowledge_graph;  // KG ids stay valid in G_mg
+  merged.kg_vertex_count = knowledge_graph.num_vertices();
+
+  // --- Initial Stage: category statistics + subgraph cache. ---------------
+  std::vector<const graph::Graph*> sgs;
+  sgs.reserve(scene_graphs.size());
+  for (const auto& r : scene_graphs) sgs.push_back(&r.graph);
+  const auto stats = CountCategories(sgs);
+
+  SubgraphCache cache =
+      options_.use_cache
+          ? SubgraphCache::Build(knowledge_graph, stats, options_.cache,
+                                 &local)
+          : SubgraphCache::Build(knowledge_graph, {}, options_.cache,
+                                 &local);
+
+  // Memoize link lookups per distinct label within the run; the cache /
+  // fallback cost is charged on first sight of each label.
+  std::unordered_map<std::string, std::optional<graph::VertexId>> resolved;
+  auto resolve = [&](const std::string& label)
+      -> std::optional<graph::VertexId> {
+    auto it = resolved.find(label);
+    if (it != resolved.end()) return it->second;
+    auto hit = cache.FindVertex(knowledge_graph, label, &local);
+    resolved.emplace(label, hit);
+    return hit;
+  };
+
+  // --- Attach Stage: copy scene graphs and link their vertices. -----------
+  for (const auto& sg : scene_graphs) {
+    const graph::Graph& g = sg.graph;
+    std::vector<graph::VertexId> remap(g.num_vertices());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      const graph::Vertex& vx = g.vertex(v);
+      remap[v] =
+          merged.graph.AddVertex(vx.label, vx.category, vx.source_image);
+    }
+    for (const auto& e : g.AllEdges()) {
+      SVQA_RETURN_NOT_OK(
+          merged.graph.AddEdge(remap[e.src], remap[e.dst], e.label));
+    }
+    // Linking: named entities by label; anonymous objects by category.
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      const graph::Vertex& vx = g.vertex(v);
+      const bool anonymous = vx.label.find('#') != std::string::npos;
+      if (!anonymous) {
+        if (auto kg_v = resolve(vx.label)) {
+          Status s = merged.graph.AddEdge(remap[v], *kg_v, kSameAsEdge);
+          if (s.ok()) ++merged.entity_links;
+        }
+      }
+      if (auto concept_v = resolve(vx.category)) {
+        Status s = merged.graph.AddEdge(remap[v], *concept_v, kInstanceOfEdge);
+        if (s.ok()) ++merged.concept_links;
+      }
+    }
+  }
+
+  merged.link_cache_stats = cache.stats();
+  merged.merge_micros = local.ElapsedMicros();
+  if (clock != nullptr) clock->MergeSerial(local);
+  return merged;
+}
+
+Status SaveMergedGraph(const MergedGraph& merged, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "# svqa-merged-graph kg_vertex_count=" << merged.kg_vertex_count
+      << " entity_links=" << merged.entity_links
+      << " concept_links=" << merged.concept_links << '\n';
+  out << graph::ToText(merged.graph);
+  out.close();
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<MergedGraph> LoadMergedGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("# svqa-merged-graph", 0) != 0) {
+    return Status::ParseError("missing merged-graph header in " + path);
+  }
+  MergedGraph merged;
+  {
+    std::istringstream hs(header.substr(header.find("kg_vertex_count=")));
+    std::string field;
+    while (hs >> field) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      const std::size_t value = std::stoull(field.substr(eq + 1));
+      if (key == "kg_vertex_count") merged.kg_vertex_count = value;
+      if (key == "entity_links") merged.entity_links = value;
+      if (key == "concept_links") merged.concept_links = value;
+    }
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SVQA_ASSIGN_OR_RETURN(merged.graph, graph::FromText(buffer.str()));
+  if (merged.kg_vertex_count > merged.graph.num_vertices()) {
+    return Status::ParseError("kg_vertex_count exceeds vertex count");
+  }
+  return merged;
+}
+
+}  // namespace svqa::aggregator

@@ -1,0 +1,77 @@
+#ifndef SVQA_AGGREGATOR_MERGER_H_
+#define SVQA_AGGREGATOR_MERGER_H_
+
+#include <string>
+#include <vector>
+
+#include "aggregator/subgraph_cache.h"
+#include "graph/graph.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+#include "vision/scene_graph_generator.h"
+
+namespace svqa::aggregator {
+
+/// Edge label linking a recognized named entity in a scene graph to its
+/// knowledge-graph vertex.
+inline constexpr const char* kSameAsEdge = "same-as";
+/// Edge label linking an anonymous scene-graph object to its category
+/// concept vertex in the knowledge graph.
+inline constexpr const char* kInstanceOfEdge = "instance-of";
+
+/// \brief Result of graph merging: the merged graph G_mg plus bookkeeping.
+struct MergedGraph {
+  graph::Graph graph;
+  /// Number of KG vertices (scene-graph vertices start at this offset).
+  std::size_t kg_vertex_count = 0;
+  /// same-as links created (named entities resolved).
+  std::size_t entity_links = 0;
+  /// instance-of links created.
+  std::size_t concept_links = 0;
+  /// Cache performance during the attach stage.
+  cache::CacheStats link_cache_stats;
+  /// Virtual time spent merging.
+  double merge_micros = 0;
+};
+
+/// \brief Options for Algorithm 1.
+struct MergerOptions {
+  SubgraphCacheOptions cache;
+  /// Disables the subgraph cache entirely (every link goes through the
+  /// storage fallback) — the ablation configuration.
+  bool use_cache = true;
+};
+
+/// \brief Algorithm 1: aligns scene graphs with the knowledge graph into
+/// the merged graph G_mg.
+///
+/// The merged graph contains (1) a copy of the KG, (2) every scene-graph
+/// vertex and edge, (3) `same-as` links from recognized named entities to
+/// their KG vertices, and (4) `instance-of` links from anonymous objects
+/// to their category concept vertices.
+class GraphMerger {
+ public:
+  explicit GraphMerger(MergerOptions options = {});
+
+  /// Merges. `clock` accumulates the attach-stage virtual cost.
+  Result<MergedGraph> Merge(
+      const graph::Graph& knowledge_graph,
+      const std::vector<vision::SceneGraphResult>& scene_graphs,
+      SimClock* clock = nullptr) const;
+
+  const MergerOptions& options() const { return options_; }
+
+ private:
+  MergerOptions options_;
+};
+
+/// \brief Persists a merged graph (graph text format plus a metadata
+/// header) so the expensive offline phase can be done once.
+Status SaveMergedGraph(const MergedGraph& merged, const std::string& path);
+
+/// \brief Loads a merged graph written by SaveMergedGraph.
+Result<MergedGraph> LoadMergedGraph(const std::string& path);
+
+}  // namespace svqa::aggregator
+
+#endif  // SVQA_AGGREGATOR_MERGER_H_

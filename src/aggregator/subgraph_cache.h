@@ -1,0 +1,70 @@
+#ifndef SVQA_AGGREGATOR_SUBGRAPH_CACHE_H_
+#define SVQA_AGGREGATOR_SUBGRAPH_CACHE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "graph/graph.h"
+#include "graph/statistics.h"
+#include "graph/subgraph.h"
+#include "util/sim_clock.h"
+
+namespace svqa::aggregator {
+
+/// \brief Options for the frequent-category subgraph cache (§III-B).
+struct SubgraphCacheOptions {
+  /// Frequency threshold c': categories occurring more often get a cached
+  /// subgraph (paper uses 5).
+  std::size_t frequency_threshold = 5;
+  /// Hop radius k of G[S(t, k)] (paper uses 2).
+  int hop_radius = 2;
+};
+
+/// \brief The cache list G_N of Algorithm 1: one induced-subgraph index
+/// G[S(t, k)] per frequent scene-graph category, ordered by descending
+/// category frequency.
+///
+/// Lookups scan the cached subgraphs in order and fall back to a full
+/// scan of G on miss, charging CostKind::kVertexCompare per comparison —
+/// the cost asymmetry the cache exists to exploit.
+class SubgraphCache {
+ public:
+  /// Builds the cache from category statistics over the scene graphs
+  /// (Algorithm 1, Initial Stage, lines 1-7): for each category t_sg with
+  /// count > c', finds a vertex t in `kg` with that category and indexes
+  /// G[S(t, k)].
+  static SubgraphCache Build(const graph::Graph& kg,
+                             const std::vector<graph::CategoryCount>& stats,
+                             const SubgraphCacheOptions& options,
+                             SimClock* clock = nullptr);
+
+  /// Finds the KG vertex whose label equals `label`, first through the
+  /// cached subgraphs, then by scanning `kg` (Algorithm 1 lines 9-14).
+  /// Returns nullopt when the label is absent from the KG entirely.
+  std::optional<graph::VertexId> FindVertex(const graph::Graph& kg,
+                                            std::string_view label,
+                                            SimClock* clock = nullptr);
+
+  std::size_t num_cached_subgraphs() const { return entries_.size(); }
+  const cache::CacheStats& stats() const { return stats_; }
+  const SubgraphCacheOptions& options() const { return options_; }
+
+  /// The cached subgraph for a category, if present (tests/inspection).
+  const graph::SubgraphRef* SubgraphFor(std::string_view category) const;
+
+ private:
+  struct Entry {
+    std::string category;
+    graph::SubgraphRef subgraph;
+  };
+
+  SubgraphCacheOptions options_;
+  std::vector<Entry> entries_;  // descending frequency order
+  cache::CacheStats stats_;
+};
+
+}  // namespace svqa::aggregator
+
+#endif  // SVQA_AGGREGATOR_SUBGRAPH_CACHE_H_

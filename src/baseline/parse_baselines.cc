@@ -1,0 +1,43 @@
+#include "baseline/parse_baselines.h"
+
+#include "text/tokenizer.h"
+
+namespace svqa::baseline {
+
+NeuralSplitBaseline::NeuralSplitBaseline(std::string name, double load_factor,
+                                         double per_question_factor)
+    : name_(std::move(name)),
+      load_factor_(load_factor),
+      per_question_factor_(per_question_factor),
+      tagger_(nlp::PosTagger::Default()) {}
+
+NeuralSplitBaseline NeuralSplitBaseline::AbcdMlp() {
+  return NeuralSplitBaseline("ABCD-MLP", /*load=*/0.75, /*per_q=*/1.0);
+}
+
+NeuralSplitBaseline NeuralSplitBaseline::AbcdBilinear() {
+  return NeuralSplitBaseline("ABCD-bilinear", /*load=*/0.92, /*per_q=*/1.3);
+}
+
+NeuralSplitBaseline NeuralSplitBaseline::DisSim() {
+  return NeuralSplitBaseline("DisSim", /*load=*/0.58, /*per_q=*/1.6);
+}
+
+Result<std::vector<std::string>> NeuralSplitBaseline::Split(
+    const std::string& question, SimClock* clock) const {
+  if (clock != nullptr) {
+    if (!loaded_) {
+      clock->Charge(CostKind::kModelLoad, load_factor_);
+      loaded_ = true;
+    }
+    clock->Charge(CostKind::kNeuralParseInference, per_question_factor_);
+  }
+  // Functional output through the shared pipeline (no clock: the neural
+  // inference charge above covers the work).
+  const auto tokens = text::Tokenize(question);
+  const auto tagged = tagger_.Tag(tokens);
+  SVQA_ASSIGN_OR_RETURN(nlp::ParseOutput parse, parser_.Parse(tagged));
+  return nlp::SplitClauses(parse);
+}
+
+}  // namespace svqa::baseline

@@ -1,0 +1,25 @@
+#ifndef SVQA_CACHE_CACHE_STATS_H_
+#define SVQA_CACHE_CACHE_STATS_H_
+
+#include <cstdint>
+
+namespace svqa::cache {
+
+/// \brief Hit/miss/eviction counters shared by all cache policies.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t inserts = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double HitRate() const {
+    const uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  void Reset() { *this = CacheStats{}; }
+};
+
+}  // namespace svqa::cache
+
+#endif  // SVQA_CACHE_CACHE_STATS_H_

@@ -1,0 +1,110 @@
+#ifndef SVQA_CACHE_LFU_CACHE_H_
+#define SVQA_CACHE_LFU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/cache_stats.h"
+
+namespace svqa::cache {
+
+/// \brief Least-Frequently-Used cache (paper ref [39]) with O(log F)
+/// operations via a frequency-bucket map; ties within a frequency evict
+/// the least-recently-used entry, the standard LFU-with-LRU-tiebreak.
+///
+/// Capacity 0 disables caching (every Get misses, Put is a no-op), which
+/// is how the "No cache" configurations of Exp-5 are expressed.
+template <typename K, typename V>
+class LfuCache {
+ public:
+  explicit LfuCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up `key`; on hit bumps its frequency and returns a pointer
+  /// valid until the next mutation. nullptr on miss.
+  const V* Get(const K& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    Promote(it->second);
+    return &it->second.node->value;
+  }
+
+  /// Inserts or overwrites `key`. Evicts the least-frequently-used entry
+  /// when at capacity.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.node->value = std::move(value);
+      Promote(it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) Evict();
+    auto& bucket = buckets_[1];
+    bucket.push_front(Node{key, std::move(value)});
+    entries_.emplace(key, Handle{1, bucket.begin()});
+    ++stats_.inserts;
+  }
+
+  bool Contains(const K& key) const { return entries_.count(key) > 0; }
+
+  /// Current frequency counter of a resident key (0 when absent).
+  std::size_t FrequencyOf(const K& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second.freq;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  void Clear() {
+    entries_.clear();
+    buckets_.clear();
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+  };
+  using Bucket = std::list<Node>;
+
+  struct Handle {
+    std::size_t freq;
+    typename Bucket::iterator node;
+  };
+
+  void Promote(Handle& h) {
+    Bucket& from = buckets_[h.freq];
+    Bucket& to = buckets_[h.freq + 1];
+    to.splice(to.begin(), from, h.node);
+    if (from.empty()) buckets_.erase(h.freq);
+    ++h.freq;
+  }
+
+  void Evict() {
+    auto bucket_it = buckets_.begin();  // lowest frequency
+    Bucket& bucket = bucket_it->second;
+    // Back of the list is least-recently used within the frequency.
+    entries_.erase(bucket.back().key);
+    bucket.pop_back();
+    if (bucket.empty()) buckets_.erase(bucket_it);
+    ++stats_.evictions;
+  }
+
+  std::size_t capacity_;
+  std::unordered_map<K, Handle> entries_;
+  std::map<std::size_t, Bucket> buckets_;  // freq -> MRU-ordered nodes
+  CacheStats stats_;
+};
+
+}  // namespace svqa::cache
+
+#endif  // SVQA_CACHE_LFU_CACHE_H_

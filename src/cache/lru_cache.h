@@ -1,0 +1,77 @@
+#ifndef SVQA_CACHE_LRU_CACHE_H_
+#define SVQA_CACHE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache_stats.h"
+
+namespace svqa::cache {
+
+/// \brief Least-Recently-Used cache (paper ref [47]); the comparison
+/// policy for Figure 11. Capacity 0 disables caching.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Looks up `key`; on hit moves it to the front and returns a pointer
+  /// valid until the next mutation. nullptr on miss.
+  const V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->value;
+  }
+
+  /// Inserts or overwrites `key`; evicts the LRU entry at capacity.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+    order_.push_front(Node{key, std::move(value)});
+    index_.emplace(key, order_.begin());
+    ++stats_.inserts;
+  }
+
+  bool Contains(const K& key) const { return index_.count(key) > 0; }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  void Clear() {
+    index_.clear();
+    order_.clear();
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+  };
+
+  std::size_t capacity_;
+  std::list<Node> order_;  // front = most recently used
+  std::unordered_map<K, typename std::list<Node>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace svqa::cache
+
+#endif  // SVQA_CACHE_LRU_CACHE_H_

@@ -1,0 +1,148 @@
+#include "core/engine.h"
+
+#include "data/vocabulary.h"
+#include "vision/scene_graph_generator.h"
+
+namespace svqa::core {
+
+SvqaEngine::SvqaEngine(SvqaOptions options)
+    : options_(std::move(options)),
+      lexicon_(text::SynonymLexicon::Default()) {
+  embeddings_ =
+      std::make_unique<text::EmbeddingModel>(lexicon_, options_.seed);
+  builder_ = std::make_unique<query::QueryGraphBuilder>(&lexicon_);
+}
+
+SvqaEngine::~SvqaEngine() = default;
+
+Status SvqaEngine::Ingest(const graph::Graph& knowledge_graph,
+                          const std::vector<vision::Scene>& images,
+                          SimClock* clock) {
+  SVQA_RETURN_NOT_OK(options_.Validate());
+  if (merged_ != nullptr) {
+    return Status::InvalidArgument("Ingest may only be called once");
+  }
+
+  // Scene graph generation (§III-A).
+  vision::DetectorOptions det = options_.detector;
+  det.seed = options_.seed;
+  auto model = std::make_shared<vision::RelationModel>(
+      options_.sgg_model, data::Vocabulary::Default().scene_predicates,
+      vision::RelationModel::DefaultOptionsFor(options_.sgg_model));
+  model->FitBias(images);
+  vision::SceneGraphGenerator generator(vision::SimulatedDetector(det),
+                                        model, options_.sgg_mode);
+  scene_graphs_ = generator.GenerateAll(images, clock);
+
+  // Entity gazetteer: KG vertex labels become proper nouns for the
+  // question tagger.
+  {
+    std::vector<std::string> labels;
+    labels.reserve(knowledge_graph.num_vertices());
+    for (graph::VertexId v = 0; v < knowledge_graph.num_vertices(); ++v) {
+      labels.push_back(knowledge_graph.vertex(v).label);
+    }
+    builder_->RegisterEntityNames(labels);
+  }
+
+  // Graph merging (Algorithm 1).
+  aggregator::GraphMerger merger(options_.merger);
+  SVQA_ASSIGN_OR_RETURN(auto merged,
+                        merger.Merge(knowledge_graph, scene_graphs_, clock));
+  merged_ = std::make_unique<aggregator::MergedGraph>(std::move(merged));
+
+  // Online machinery.
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<exec::KeyCentricCache>(options_.cache);
+  }
+  executor_ = std::make_unique<exec::QueryGraphExecutor>(
+      merged_.get(), embeddings_.get(), cache_.get(), options_.executor);
+  return Status::OK();
+}
+
+Status SvqaEngine::IngestMerged(aggregator::MergedGraph merged) {
+  SVQA_RETURN_NOT_OK(options_.Validate());
+  if (merged_ != nullptr) {
+    return Status::InvalidArgument("Ingest may only be called once");
+  }
+  SVQA_RETURN_NOT_OK(merged.graph.CheckConsistency());
+
+  // Gazetteer from the KG prefix of the merged graph.
+  std::vector<std::string> labels;
+  labels.reserve(merged.kg_vertex_count);
+  for (graph::VertexId v = 0; v < merged.kg_vertex_count; ++v) {
+    labels.push_back(merged.graph.vertex(v).label);
+  }
+  builder_->RegisterEntityNames(labels);
+
+  merged_ = std::make_unique<aggregator::MergedGraph>(std::move(merged));
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<exec::KeyCentricCache>(options_.cache);
+  }
+  executor_ = std::make_unique<exec::QueryGraphExecutor>(
+      merged_.get(), embeddings_.get(), cache_.get(), options_.executor);
+  return Status::OK();
+}
+
+Status SvqaEngine::SaveMergedGraph(const std::string& path) const {
+  if (merged_ == nullptr) {
+    return Status::InvalidArgument("nothing ingested yet");
+  }
+  return aggregator::SaveMergedGraph(*merged_, path);
+}
+
+Result<query::QueryGraph> SvqaEngine::Parse(const std::string& question,
+                                            SimClock* clock) const {
+  return builder_->Build(question, clock);
+}
+
+Result<exec::Answer> SvqaEngine::Execute(const query::QueryGraph& graph,
+                                         SimClock* clock) {
+  if (executor_ == nullptr) {
+    return Status::InvalidArgument("Ingest must be called before Execute");
+  }
+  return executor_->Execute(graph, clock);
+}
+
+Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
+                                     SimClock* clock) {
+  if (executor_ == nullptr) {
+    return Status::InvalidArgument("Ingest must be called before Ask");
+  }
+  SVQA_ASSIGN_OR_RETURN(query::QueryGraph graph,
+                        builder_->Build(question, clock));
+  return executor_->Execute(graph, clock);
+}
+
+Result<std::string> SvqaEngine::Explain(const std::string& question) {
+  if (executor_ == nullptr) {
+    return Status::InvalidArgument("Ingest must be called before Explain");
+  }
+  SimClock clock;
+  SVQA_ASSIGN_OR_RETURN(query::QueryGraph graph,
+                        builder_->Build(question, &clock));
+  SVQA_ASSIGN_OR_RETURN(exec::Answer answer,
+                        executor_->Execute(graph, &clock));
+
+  std::string out;
+  out += "Q: " + question + "\n\n";
+  out += graph.ToString();
+  out += "\nA: " + answer.text + "   (" +
+         std::to_string(clock.ElapsedSeconds()) + " s virtual)\n";
+  if (!answer.provenance.empty()) {
+    out += "\nSupporting facts:\n";
+    for (const auto& fact : answer.provenance) {
+      out += "  " + fact.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+exec::BatchResult SvqaEngine::ExecuteBatch(
+    const std::vector<query::QueryGraph>& graphs,
+    exec::BatchOptions batch_options) {
+  exec::BatchExecutor batch(executor_.get(), batch_options);
+  return batch.ExecuteAll(graphs);
+}
+
+}  // namespace svqa::core

@@ -1,0 +1,118 @@
+#ifndef SVQA_CORE_ENGINE_H_
+#define SVQA_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "exec/batch_executor.h"
+#include "exec/executor.h"
+#include "query/query_graph_builder.h"
+#include "text/embedding.h"
+#include "text/lexicon.h"
+#include "util/result.h"
+#include "vision/scene.h"
+#include "vision/sgg_metrics.h"
+
+namespace svqa::core {
+
+/// \brief The SVQA engine: the paper's full framework behind one facade.
+///
+/// Usage:
+///
+///     core::SvqaEngine engine(options);
+///     SVQA_RETURN_NOT_OK(engine.Ingest(knowledge_graph, images));
+///     SVQA_ASSIGN_OR_RETURN(auto answer, engine.Ask(
+///         "What kind of clothes are worn by the wizard who is most "
+///         "frequently hanging out with harry potter's girlfriend?"));
+///
+/// Ingest runs the offline phase (scene graph generation + Algorithm 1
+/// merging); Ask runs the online phase (Algorithm 2 parsing + Algorithm 3
+/// execution with key-centric caching).
+class SvqaEngine {
+ public:
+  explicit SvqaEngine(SvqaOptions options = {});
+  ~SvqaEngine();
+
+  SvqaEngine(const SvqaEngine&) = delete;
+  SvqaEngine& operator=(const SvqaEngine&) = delete;
+
+  /// Offline phase: converts every image to a scene graph and merges
+  /// everything with the knowledge graph. Must be called exactly once
+  /// before Ask.
+  Status Ingest(const graph::Graph& knowledge_graph,
+                const std::vector<vision::Scene>& images,
+                SimClock* clock = nullptr);
+
+  /// Video ingestion (§II: video data is a collection of images): the
+  /// frames of every video are ingested as the image corpus.
+  Status IngestVideos(const graph::Graph& knowledge_graph,
+                      const std::vector<vision::Video>& videos,
+                      SimClock* clock = nullptr) {
+    return Ingest(knowledge_graph, vision::FlattenVideos(videos), clock);
+  }
+
+  /// Adopts an already-built merged graph (e.g. from LoadMergedGraph),
+  /// skipping the expensive scene-graph/merge phase. The KG prefix of
+  /// the merged graph feeds the entity gazetteer. Alternative to Ingest;
+  /// may also only be called once.
+  Status IngestMerged(aggregator::MergedGraph merged);
+
+  /// Persists the merged graph so a later process can IngestMerged it.
+  Status SaveMergedGraph(const std::string& path) const;
+
+  /// Loads a merged graph saved by SaveMergedGraph.
+  static Result<aggregator::MergedGraph> LoadMergedGraph(
+      const std::string& path) {
+    return aggregator::LoadMergedGraph(path);
+  }
+
+  /// Parses and executes one natural-language question.
+  Result<exec::Answer> Ask(const std::string& question,
+                           SimClock* clock = nullptr);
+
+  /// Executes an already-built query graph (bypasses the NL pipeline —
+  /// used for gold logical forms and modified-VQAv2 runs).
+  Result<exec::Answer> Execute(const query::QueryGraph& graph,
+                               SimClock* clock = nullptr);
+
+  /// Parses a question into a query graph without executing it.
+  Result<query::QueryGraph> Parse(const std::string& question,
+                                  SimClock* clock = nullptr) const;
+
+  /// Answers a question and renders a human-readable trace: the query
+  /// graph, the answer, and the supporting merged-graph facts.
+  Result<std::string> Explain(const std::string& question);
+
+  /// Batch execution of parsed graphs with scheduling (§V-B).
+  exec::BatchResult ExecuteBatch(
+      const std::vector<query::QueryGraph>& graphs,
+      exec::BatchOptions batch_options = {});
+
+  // --- accessors -----------------------------------------------------------
+  bool ingested() const { return merged_ != nullptr; }
+  const aggregator::MergedGraph& merged() const { return *merged_; }
+  const text::EmbeddingModel& embeddings() const { return *embeddings_; }
+  const text::SynonymLexicon& lexicon() const { return lexicon_; }
+  exec::KeyCentricCache* cache() { return cache_.get(); }
+  const SvqaOptions& options() const { return options_; }
+  /// Scene-graph results kept from Ingest (for SGG metrics).
+  const std::vector<vision::SceneGraphResult>& scene_graphs() const {
+    return scene_graphs_;
+  }
+
+ private:
+  SvqaOptions options_;
+  text::SynonymLexicon lexicon_;
+  std::unique_ptr<text::EmbeddingModel> embeddings_;
+  std::unique_ptr<query::QueryGraphBuilder> builder_;
+  std::vector<vision::SceneGraphResult> scene_graphs_;
+  std::unique_ptr<aggregator::MergedGraph> merged_;
+  std::unique_ptr<exec::KeyCentricCache> cache_;
+  std::unique_ptr<exec::QueryGraphExecutor> executor_;
+};
+
+}  // namespace svqa::core
+
+#endif  // SVQA_CORE_ENGINE_H_

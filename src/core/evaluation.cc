@@ -1,0 +1,87 @@
+#include "core/evaluation.h"
+
+namespace svqa::core {
+
+bool AnswersMatch(const std::string& expected, const std::string& actual,
+                  nlp::QuestionType type,
+                  const text::EmbeddingModel& embeddings,
+                  double similarity_threshold) {
+  switch (type) {
+    case nlp::QuestionType::kJudgment:
+    case nlp::QuestionType::kCounting:
+      return expected == actual;
+    case nlp::QuestionType::kReasoning:
+      if (expected == actual) return true;
+      return embeddings.Similarity(expected, actual) >=
+             similarity_threshold;
+  }
+  return false;
+}
+
+EvalSummary EvaluateMvqa(SvqaEngine* engine,
+                         const data::MvqaDataset& dataset) {
+  EvalSummary summary;
+  int correct_by_type[3] = {};
+  int total_by_type[3] = {};
+  double latency_total = 0;
+
+  for (const data::MvqaQuestion& q : dataset.questions) {
+    QuestionEval eval;
+    eval.type = q.type;
+    eval.expected = q.gold_answer;
+
+    SimClock clock;
+    auto result = engine->Ask(q.text, &clock);
+    eval.latency_micros = clock.ElapsedMicros();
+    latency_total += eval.latency_micros;
+
+    if (result.ok()) {
+      eval.actual = result->text;
+      eval.correct = AnswersMatch(q.gold_answer, result->text, q.type,
+                                  engine->embeddings());
+    } else {
+      eval.actual = result.status().ToString();
+      eval.correct = false;
+    }
+
+    if (!eval.correct) {
+      // Attribution: the gold logical form on the same noisy merged graph
+      // isolates the parsing stage.
+      auto gold = engine->Execute(q.gold_graph);
+      const bool gold_correct =
+          gold.ok() && AnswersMatch(q.gold_answer, gold->text, q.type,
+                                    engine->embeddings());
+      eval.cause = gold_correct ? ErrorCause::kStatementParsing
+                                : ErrorCause::kSceneGraph;
+      if (eval.cause == ErrorCause::kStatementParsing) {
+        ++summary.parse_errors;
+      } else {
+        ++summary.scene_graph_errors;
+      }
+    }
+
+    const int ti = q.type == nlp::QuestionType::kJudgment   ? 0
+                   : q.type == nlp::QuestionType::kCounting ? 1
+                                                            : 2;
+    ++total_by_type[ti];
+    if (eval.correct) ++correct_by_type[ti];
+    summary.details.push_back(std::move(eval));
+  }
+
+  auto ratio = [](int num, int den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / den;
+  };
+  summary.judgment_accuracy = ratio(correct_by_type[0], total_by_type[0]);
+  summary.counting_accuracy = ratio(correct_by_type[1], total_by_type[1]);
+  summary.reasoning_accuracy = ratio(correct_by_type[2], total_by_type[2]);
+  summary.overall_accuracy =
+      ratio(correct_by_type[0] + correct_by_type[1] + correct_by_type[2],
+            total_by_type[0] + total_by_type[1] + total_by_type[2]);
+  if (!dataset.questions.empty()) {
+    summary.mean_latency_seconds =
+        latency_total / 1e6 / static_cast<double>(dataset.questions.size());
+  }
+  return summary;
+}
+
+}  // namespace svqa::core

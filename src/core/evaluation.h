@@ -1,0 +1,66 @@
+#ifndef SVQA_CORE_EVALUATION_H_
+#define SVQA_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/mvqa_generator.h"
+#include "exec/executor.h"
+#include "text/embedding.h"
+
+namespace svqa::core {
+
+/// \brief Answer-correctness judge (§VII "Experimental Setting"):
+/// judgment answers need the exact yes/no, counting the exact number, and
+/// reasoning answers are compared by embedding cosine similarity so that
+/// synonyms ("dog" vs "puppy") count as consistent.
+bool AnswersMatch(const std::string& expected, const std::string& actual,
+                  nlp::QuestionType type,
+                  const text::EmbeddingModel& embeddings,
+                  double similarity_threshold = 0.6);
+
+/// \brief Why an answer went wrong (the Figure 8 error taxonomy).
+enum class ErrorCause {
+  kNone,
+  /// The NL pipeline produced a query graph that diverges from the gold
+  /// logical form (Fig. 8a, statement parsing).
+  kStatementParsing,
+  /// Execution produced a wrong answer over the noisy merged graph
+  /// (Fig. 8b/8c: object detection / relationship generation).
+  kSceneGraph,
+};
+
+/// \brief Per-question evaluation record.
+struct QuestionEval {
+  bool correct = false;
+  ErrorCause cause = ErrorCause::kNone;
+  std::string expected;
+  std::string actual;
+  double latency_micros = 0;
+  nlp::QuestionType type = nlp::QuestionType::kReasoning;
+};
+
+/// \brief Aggregated Exp-1 style results.
+struct EvalSummary {
+  double judgment_accuracy = 0;
+  double counting_accuracy = 0;
+  double reasoning_accuracy = 0;
+  double overall_accuracy = 0;
+  double mean_latency_seconds = 0;
+  int parse_errors = 0;
+  int scene_graph_errors = 0;
+  std::vector<QuestionEval> details;
+};
+
+/// \brief Runs the full MVQA evaluation: every question goes through the
+/// engine's NL pipeline (Ask) over its noisy merged graph; correctness is
+/// judged against the dataset's gold answers. Errors are attributed by
+/// re-running the gold logical form: if the gold graph answers correctly
+/// on the same (noisy) merged graph, the failure was statement parsing;
+/// otherwise it is a scene-graph (detection / relation) failure.
+EvalSummary EvaluateMvqa(SvqaEngine* engine, const data::MvqaDataset& dataset);
+
+}  // namespace svqa::core
+
+#endif  // SVQA_CORE_EVALUATION_H_

@@ -1,0 +1,21 @@
+#include "core/options.h"
+
+namespace svqa::core {
+
+Status SvqaOptions::Validate() const {
+  if (detector.miss_rate < 0 || detector.miss_rate > 1 ||
+      detector.misclassify_rate < 0 || detector.misclassify_rate > 1) {
+    return Status::InvalidArgument("detector rates must be in [0, 1]");
+  }
+  if (merger.cache.hop_radius < 0) {
+    return Status::InvalidArgument("hop radius must be non-negative");
+  }
+  if (executor.predicate_similarity_threshold < -1 ||
+      executor.predicate_similarity_threshold > 1) {
+    return Status::InvalidArgument(
+        "predicate similarity threshold must be a cosine in [-1, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace svqa::core

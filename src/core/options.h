@@ -1,0 +1,44 @@
+#ifndef SVQA_CORE_OPTIONS_H_
+#define SVQA_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "aggregator/merger.h"
+#include "exec/executor.h"
+#include "exec/key_centric_cache.h"
+#include "vision/detector.h"
+#include "vision/relation_model.h"
+#include "vision/tde.h"
+
+namespace svqa::core {
+
+/// \brief End-to-end configuration of an SvqaEngine.
+struct SvqaOptions {
+  /// Scene graph generation.
+  vision::DetectorOptions detector;
+  vision::RelationModel::Kind sgg_model =
+      vision::RelationModel::Kind::kNeuralMotifs;
+  vision::InferenceMode sgg_mode = vision::InferenceMode::kTde;
+
+  /// Data aggregation (Algorithm 1).
+  aggregator::MergerOptions merger;
+
+  /// Key-centric caching (§V-B); set enable_cache=false for the
+  /// no-cache ablation.
+  bool enable_cache = true;
+  exec::KeyCentricCacheOptions cache;
+
+  /// Executor tuning.
+  exec::ExecutorOptions executor;
+
+  /// Embedding / noise seed.
+  uint64_t seed = 42;
+
+  /// Validates internal consistency.
+  Status Validate() const;
+};
+
+}  // namespace svqa::core
+
+#endif  // SVQA_CORE_OPTIONS_H_

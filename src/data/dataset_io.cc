@@ -1,0 +1,224 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace svqa::data {
+namespace {
+
+constexpr char kFieldSep = '\t';
+constexpr char kElementSep = '|';
+
+std::string EncodeElement(const nlp::SpocElement& el) {
+  std::string flags;
+  if (el.is_variable) flags += 'v';
+  if (el.want_kind) flags += 'k';
+  std::string out;
+  out += el.text;
+  out += kElementSep;
+  out += el.head;
+  out += kElementSep;
+  out += el.owner;
+  out += kElementSep;
+  out += el.of_head;
+  out += kElementSep;
+  out += el.attribute;
+  out += kElementSep;
+  out += flags;
+  return out;
+}
+
+Result<nlp::SpocElement> DecodeElement(const std::string& encoded) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : encoded) {
+    if (c == kElementSep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  if (parts.size() != 6) {
+    return Status::ParseError("element needs 6 fields: " + encoded);
+  }
+  nlp::SpocElement el;
+  el.text = parts[0];
+  el.head = parts[1];
+  el.owner = parts[2];
+  el.of_head = parts[3];
+  el.attribute = parts[4];
+  el.is_variable = parts[5].find('v') != std::string::npos;
+  el.want_kind = parts[5].find('k') != std::string::npos;
+  return el;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == kFieldSep) {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+const char* TypeName(nlp::QuestionType type) {
+  switch (type) {
+    case nlp::QuestionType::kJudgment:
+      return "judgment";
+    case nlp::QuestionType::kCounting:
+      return "counting";
+    case nlp::QuestionType::kReasoning:
+      return "reasoning";
+  }
+  return "?";
+}
+
+Result<nlp::QuestionType> ParseType(const std::string& name) {
+  if (name == "judgment") return nlp::QuestionType::kJudgment;
+  if (name == "counting") return nlp::QuestionType::kCounting;
+  if (name == "reasoning") return nlp::QuestionType::kReasoning;
+  return Status::ParseError("unknown question type: " + name);
+}
+
+const char* KindName(query::DependencyKind kind) {
+  switch (kind) {
+    case query::DependencyKind::kS2S:
+      return "S2S";
+    case query::DependencyKind::kS2O:
+      return "S2O";
+    case query::DependencyKind::kO2S:
+      return "O2S";
+    case query::DependencyKind::kO2O:
+      return "O2O";
+  }
+  return "?";
+}
+
+Result<query::DependencyKind> ParseKind(const std::string& name) {
+  if (name == "S2S") return query::DependencyKind::kS2S;
+  if (name == "S2O") return query::DependencyKind::kS2O;
+  if (name == "O2S") return query::DependencyKind::kO2S;
+  if (name == "O2O") return query::DependencyKind::kO2O;
+  return Status::ParseError("unknown dependency kind: " + name);
+}
+
+}  // namespace
+
+std::string QuestionsToText(const std::vector<MvqaQuestion>& questions) {
+  std::ostringstream os;
+  os << "# svqa-mvqa-questions v1\n";
+  for (const MvqaQuestion& q : questions) {
+    os << 'Q' << kFieldSep << TypeName(q.type) << kFieldSep
+       << (q.adversarial ? 1 : 0) << kFieldSep << q.num_clauses
+       << kFieldSep << q.relevant_images << kFieldSep << q.gold_answer
+       << kFieldSep << q.text << '\n';
+    for (const nlp::Spoc& spoc : q.gold_graph.vertices()) {
+      os << 'V' << kFieldSep << EncodeElement(spoc.subject) << kFieldSep
+         << spoc.predicate << kFieldSep << EncodeElement(spoc.object)
+         << kFieldSep << spoc.constraint << '\n';
+    }
+    for (const query::QueryEdge& e : q.gold_graph.edges()) {
+      os << 'E' << kFieldSep << e.producer << kFieldSep << e.consumer
+         << kFieldSep << KindName(e.kind) << '\n';
+    }
+  }
+  return os.str();
+}
+
+Result<std::vector<MvqaQuestion>> QuestionsFromText(
+    const std::string& text) {
+  std::vector<MvqaQuestion> questions;
+  // Accumulated state for the question being parsed.
+  bool open = false;
+  MvqaQuestion pending;
+  std::vector<nlp::Spoc> vertices;
+  std::vector<query::QueryEdge> edges;
+
+  auto flush = [&]() {
+    if (!open) return;
+    pending.gold_graph =
+        query::QueryGraph(pending.text, pending.type, std::move(vertices),
+                          std::move(edges));
+    vertices.clear();
+    edges.clear();
+    questions.push_back(std::move(pending));
+    pending = MvqaQuestion{};
+    open = false;
+  };
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const std::string& why) {
+      return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                                why);
+    };
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "Q") {
+      flush();
+      if (fields.size() != 7) return fail("Q line needs 7 fields");
+      SVQA_ASSIGN_OR_RETURN(pending.type, ParseType(fields[1]));
+      pending.adversarial = fields[2] == "1";
+      pending.num_clauses = std::stoi(fields[3]);
+      pending.relevant_images = std::stoull(fields[4]);
+      pending.gold_answer = fields[5];
+      pending.text = fields[6];
+      open = true;
+    } else if (fields[0] == "V") {
+      if (!open) return fail("V line outside a question");
+      if (fields.size() != 5) return fail("V line needs 5 fields");
+      nlp::Spoc spoc;
+      SVQA_ASSIGN_OR_RETURN(spoc.subject, DecodeElement(fields[1]));
+      spoc.predicate = fields[2];
+      SVQA_ASSIGN_OR_RETURN(spoc.object, DecodeElement(fields[3]));
+      spoc.constraint = fields[4];
+      spoc.clause_index = static_cast<int>(vertices.size());
+      vertices.push_back(std::move(spoc));
+    } else if (fields[0] == "E") {
+      if (!open) return fail("E line outside a question");
+      if (fields.size() != 4) return fail("E line needs 4 fields");
+      query::QueryEdge e;
+      e.producer = std::stoi(fields[1]);
+      e.consumer = std::stoi(fields[2]);
+      SVQA_ASSIGN_OR_RETURN(e.kind, ParseKind(fields[3]));
+      edges.push_back(e);
+    } else {
+      return fail("unknown record type '" + fields[0] + "'");
+    }
+  }
+  flush();
+  return questions;
+}
+
+Status SaveQuestions(const std::vector<MvqaQuestion>& questions,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << QuestionsToText(questions);
+  out.close();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<MvqaQuestion>> LoadQuestions(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return QuestionsFromText(buffer.str());
+}
+
+}  // namespace svqa::data

@@ -1,0 +1,34 @@
+#ifndef SVQA_DATA_DATASET_IO_H_
+#define SVQA_DATA_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/mvqa_generator.h"
+#include "util/result.h"
+
+namespace svqa::data {
+
+/// \brief Serializes MVQA question-answer pairs (with their gold logical
+/// forms) to a line-oriented TSV format:
+///
+///     Q <type> <adversarial> <clauses> <relevant_images> <answer> <text>
+///     V <s-fields...> <predicate> <o-fields...> <constraint>
+///     E <producer> <consumer> <kind>
+///
+/// where each SPOC element is `text|head|owner|of_head|attribute|flags`.
+/// Scenes and graphs are not included (regenerate them from the world
+/// seed, or ship the merged graph via SaveMergedGraph).
+std::string QuestionsToText(const std::vector<MvqaQuestion>& questions);
+
+/// \brief Parses QuestionsToText output.
+Result<std::vector<MvqaQuestion>> QuestionsFromText(const std::string& text);
+
+/// \brief File wrappers.
+Status SaveQuestions(const std::vector<MvqaQuestion>& questions,
+                     const std::string& path);
+Result<std::vector<MvqaQuestion>> LoadQuestions(const std::string& path);
+
+}  // namespace svqa::data
+
+#endif  // SVQA_DATA_DATASET_IO_H_

@@ -1,0 +1,92 @@
+#include "data/dataset_stats.h"
+
+#include <set>
+#include <sstream>
+
+#include "text/tokenizer.h"
+
+namespace svqa::data {
+
+MvqaStats ComputeMvqaStats(const MvqaDataset& dataset) {
+  MvqaStats stats;
+  stats.num_images = dataset.world.scenes.size();
+
+  std::set<std::string> all_spos;
+  std::set<std::string> spos_by_type[3];
+  double image_sums[3] = {};
+  std::size_t token_total = 0;
+
+  for (const MvqaQuestion& q : dataset.questions) {
+    MvqaTypeStats* t = nullptr;
+    int ti = 0;
+    switch (q.type) {
+      case nlp::QuestionType::kJudgment:
+        t = &stats.judgment;
+        ti = 0;
+        break;
+      case nlp::QuestionType::kCounting:
+        t = &stats.counting;
+        ti = 1;
+        break;
+      case nlp::QuestionType::kReasoning:
+        t = &stats.reasoning;
+        ti = 2;
+        break;
+    }
+    ++t->questions;
+    t->clauses += q.gold_graph.size();
+    stats.total_clauses += q.gold_graph.size();
+    image_sums[ti] += static_cast<double>(q.relevant_images);
+    token_total += text::Tokenize(q.text).size();
+    for (const nlp::Spoc& spoc : q.gold_graph.vertices()) {
+      const std::string key =
+          spoc.subject.head + "|" + spoc.predicate + "|" + spoc.object.head;
+      spos_by_type[ti].insert(key);
+      all_spos.insert(key);
+    }
+  }
+  stats.judgment.unique_spos = spos_by_type[0].size();
+  stats.counting.unique_spos = spos_by_type[1].size();
+  stats.reasoning.unique_spos = spos_by_type[2].size();
+  if (stats.judgment.questions > 0) {
+    stats.judgment.avg_images =
+        image_sums[0] / static_cast<double>(stats.judgment.questions);
+  }
+  if (stats.counting.questions > 0) {
+    stats.counting.avg_images =
+        image_sums[1] / static_cast<double>(stats.counting.questions);
+  }
+  if (stats.reasoning.questions > 0) {
+    stats.reasoning.avg_images =
+        image_sums[2] / static_cast<double>(stats.reasoning.questions);
+  }
+  stats.total_questions = dataset.questions.size();
+  stats.total_unique_spos = all_spos.size();
+  if (!dataset.questions.empty()) {
+    stats.avg_query_length = static_cast<double>(token_total) /
+                             static_cast<double>(dataset.questions.size());
+    stats.avg_clauses = static_cast<double>(stats.total_clauses) /
+                        static_cast<double>(dataset.questions.size());
+  }
+  return stats;
+}
+
+std::string FormatMvqaStats(const MvqaStats& stats) {
+  std::ostringstream os;
+  os << "MVQA: " << stats.num_images << " images, "
+     << stats.total_questions << " questions, " << stats.total_clauses
+     << " clauses, " << stats.total_unique_spos << " unique SPOs, avg "
+     << stats.avg_query_length << " tokens/question, avg "
+     << stats.avg_clauses << " clauses/question\n";
+  auto row = [&os](const char* name, const MvqaTypeStats& t) {
+    os << "  " << name << ": questions=" << t.questions
+       << " clauses=" << t.clauses << " SPOs=" << t.unique_spos
+       << " avg-images=" << t.avg_images << '\n';
+  };
+  row("Judgement", stats.judgment);
+  row("Counting ", stats.counting);
+  row("Reasoning", stats.reasoning);
+  return os.str();
+}
+
+}  // namespace svqa::data

@@ -1,0 +1,43 @@
+#ifndef SVQA_DATA_DATASET_STATS_H_
+#define SVQA_DATA_DATASET_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "data/mvqa_generator.h"
+
+namespace svqa::data {
+
+/// \brief Per-question-type statistics (one Table II row).
+struct MvqaTypeStats {
+  std::size_t questions = 0;
+  std::size_t clauses = 0;
+  std::size_t unique_spos = 0;
+  double avg_images = 0;
+};
+
+/// \brief Dataset statistics reproducing Tables I and II.
+struct MvqaStats {
+  std::size_t num_images = 0;
+  MvqaTypeStats judgment;
+  MvqaTypeStats counting;
+  MvqaTypeStats reasoning;
+  std::size_t total_questions = 0;
+  std::size_t total_clauses = 0;
+  /// Unique subject-predicate-object triples across the whole dataset.
+  std::size_t total_unique_spos = 0;
+  /// Mean question length in tokens (Table I "Avg. Query length").
+  double avg_query_length = 0;
+  /// Mean clauses per question.
+  double avg_clauses = 0;
+};
+
+/// \brief Computes the statistics over a generated dataset.
+MvqaStats ComputeMvqaStats(const MvqaDataset& dataset);
+
+/// \brief Renders the Table II style summary as text.
+std::string FormatMvqaStats(const MvqaStats& stats);
+
+}  // namespace svqa::data
+
+#endif  // SVQA_DATA_DATASET_STATS_H_

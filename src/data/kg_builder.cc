@@ -1,0 +1,79 @@
+#include "data/kg_builder.h"
+
+#include <unordered_map>
+
+namespace svqa::data {
+
+graph::Graph BuildKnowledgeGraph(const World& world,
+                                 const text::SynonymLexicon& lexicon) {
+  graph::Graph g;
+  std::unordered_map<std::string, graph::VertexId> concept_of;
+
+  auto ensure_concept = [&](const std::string& name) -> graph::VertexId {
+    auto it = concept_of.find(name);
+    if (it != concept_of.end()) return it->second;
+    const graph::VertexId v = g.AddVertex(name, "concept");
+    concept_of.emplace(name, v);
+    return v;
+  };
+
+  // Category concepts + hypernym taxonomy.
+  for (const std::string& category : world.vocab.object_categories) {
+    graph::VertexId child = ensure_concept(category);
+    for (const std::string& parent : lexicon.HypernymChain(category)) {
+      const graph::VertexId parent_v = ensure_concept(parent);
+      g.AddEdge(child, parent_v, "is-a").ok();
+      child = parent_v;
+    }
+  }
+
+  // Attribute taxonomy: each attribute value is a concept; colors are
+  // kinds of "color" (what the "what is the color of ..." questions
+  // resolve through).
+  ensure_concept("color");
+  ensure_concept("attribute");
+  for (const std::string& attr : world.vocab.attributes) {
+    const graph::VertexId av = ensure_concept(attr);
+    const char* parent =
+        world.vocab.IsColor(attr) ? "color" : "attribute";
+    g.AddEdge(av, ensure_concept(parent), "is-a").ok();
+  }
+
+  // Characters.
+  std::vector<graph::VertexId> char_vertex(world.characters.size());
+  for (std::size_t i = 0; i < world.characters.size(); ++i) {
+    const CharacterProfile& c = world.characters[i];
+    char_vertex[i] = g.AddVertex(c.name, c.category);
+    // Characters are instances of their category concept.
+    g.AddEdge(char_vertex[i], ensure_concept(c.category), "instance-of")
+        .ok();
+  }
+  for (const auto& [gf, owner] : world.girlfriend_of) {
+    g.AddEdge(char_vertex[gf], char_vertex[owner], "girlfriend-of").ok();
+  }
+  for (std::size_t i = 0; i < world.characters.size(); ++i) {
+    for (int f : world.characters[i].friends) {
+      g.AddEdge(char_vertex[i], char_vertex[f], "friend-of").ok();
+    }
+  }
+
+  // Teams and cities.
+  std::vector<graph::VertexId> team_vertex;
+  team_vertex.reserve(world.vocab.teams.size());
+  for (const std::string& team : world.vocab.teams) {
+    team_vertex.push_back(g.AddVertex(team, "team"));
+  }
+  std::vector<graph::VertexId> city_vertex;
+  city_vertex.reserve(world.vocab.cities.size());
+  for (const std::string& city : world.vocab.cities) {
+    city_vertex.push_back(g.AddVertex(city, "city"));
+  }
+  for (std::size_t i = 0; i < world.characters.size(); ++i) {
+    const CharacterProfile& c = world.characters[i];
+    g.AddEdge(char_vertex[i], team_vertex[c.team], "member-of").ok();
+    g.AddEdge(char_vertex[i], city_vertex[c.city], "lives-in").ok();
+  }
+  return g;
+}
+
+}  // namespace svqa::data

@@ -1,0 +1,27 @@
+#ifndef SVQA_DATA_KG_BUILDER_H_
+#define SVQA_DATA_KG_BUILDER_H_
+
+#include "data/world.h"
+#include "graph/graph.h"
+#include "text/lexicon.h"
+
+namespace svqa::data {
+
+/// \brief Builds the external knowledge graph G for a world:
+///
+/// * one *concept* vertex per object category (label = category name,
+///   category = "concept"), connected by `is-a` edges along the synonym
+///   lexicon's hypernym chains (dog -> pet -> animal, robe -> clothes,
+///   car -> vehicle, wizard -> person);
+/// * one vertex per named character (label = name, category =
+///   wizard/person) with `girlfriend-of` / `friend-of` social edges;
+/// * team and city vertices with `member-of` / `lives-in` edges.
+///
+/// The taxonomy is what lets matchVertex resolve "animal" or "clothes"
+/// to concrete scene objects after merging.
+graph::Graph BuildKnowledgeGraph(const World& world,
+                                 const text::SynonymLexicon& lexicon);
+
+}  // namespace svqa::data
+
+#endif  // SVQA_DATA_KG_BUILDER_H_

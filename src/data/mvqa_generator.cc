@@ -1,0 +1,676 @@
+#include "data/mvqa_generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "data/kg_builder.h"
+#include "exec/executor.h"
+#include "text/lexicon.h"
+
+namespace svqa::data {
+
+std::size_t MvqaDataset::NumOfType(nlp::QuestionType type) const {
+  std::size_t n = 0;
+  for (const auto& q : questions) {
+    if (q.type == type) ++n;
+  }
+  return n;
+}
+
+aggregator::MergedGraph BuildPerfectMergedGraph(
+    const World& world, const graph::Graph& knowledge_graph) {
+  std::vector<vision::SceneGraphResult> results;
+  results.reserve(world.scenes.size());
+  for (const vision::Scene& scene : world.scenes) {
+    vision::SceneGraphResult r;
+    r.graph = PerfectSceneGraph(scene);
+    r.scene_id = scene.id;
+    results.push_back(std::move(r));
+  }
+  aggregator::GraphMerger merger;
+  auto merged = merger.Merge(knowledge_graph, results);
+  // The perfect merge cannot fail: scene graphs are well-formed by
+  // construction.
+  return std::move(merged).ValueOrDie();
+}
+
+namespace {
+
+nlp::SpocElement El(std::string head, bool variable = false,
+                    bool want_kind = false, std::string owner = "") {
+  nlp::SpocElement e;
+  e.text = head;
+  e.head = std::move(head);
+  e.is_variable = variable;
+  e.want_kind = want_kind;
+  e.owner = std::move(owner);
+  return e;
+}
+
+nlp::Spoc MakeSpoc(nlp::SpocElement subject, std::string predicate,
+                   nlp::SpocElement object, std::string constraint = "",
+                   int clause_index = 0) {
+  nlp::Spoc s;
+  s.subject = std::move(subject);
+  s.predicate = std::move(predicate);
+  s.object = std::move(object);
+  s.constraint = std::move(constraint);
+  s.clause_index = clause_index;
+  return s;
+}
+
+/// "harry-potter" -> "harry potter" (question-text rendering).
+std::string Spaced(std::string name) {
+  std::replace(name.begin(), name.end(), '-', ' ');
+  return name;
+}
+
+/// Builder/accumulator shared by the template families.
+struct GenContext {
+  const World& world;
+  const aggregator::MergedGraph& merged;
+  exec::QueryGraphExecutor& executor;
+  std::vector<MvqaQuestion> questions;
+  std::set<std::string> seen_texts;
+  int yes_count = 0;
+  int no_count = 0;
+
+  /// Executes a gold graph over the perfect merged graph.
+  std::optional<exec::Answer> Evaluate(const query::QueryGraph& g) {
+    auto r = executor.Execute(g);
+    if (!r.ok()) return std::nullopt;
+    return *r;
+  }
+
+  /// Scenes containing at least one vertex matching any element of the
+  /// gold graph (the Table II "images needed" statistic).
+  std::size_t CountRelevantImages(const query::QueryGraph& g) {
+    std::unordered_set<int32_t> images;
+    for (const nlp::Spoc& spoc : g.vertices()) {
+      for (const nlp::SpocElement* el : {&spoc.subject, &spoc.object}) {
+        if (el->empty()) continue;
+        for (graph::VertexId v : executor.matcher().Match(*el)) {
+          const int32_t img = merged.graph.vertex(v).source_image;
+          if (img != graph::kKnowledgeGraphSource) images.insert(img);
+        }
+      }
+    }
+    return images.size();
+  }
+
+  /// Evaluates and (when the answer is acceptable) appends a question
+  /// whose text is the gold graph's question string. Returns true when
+  /// added.
+  bool TryAdd(nlp::QuestionType type, query::QueryGraph gold,
+              bool adversarial = false, bool balance_judgment = true) {
+    if (seen_texts.count(gold.question()) > 0) return false;
+    auto ans = Evaluate(gold);
+    if (!ans.has_value()) return false;
+    switch (type) {
+      case nlp::QuestionType::kReasoning:
+        if (ans->entities.empty() || ans->text == "unknown") return false;
+        break;
+      case nlp::QuestionType::kCounting:
+        if (ans->count <= 0) return false;
+        break;
+      case nlp::QuestionType::kJudgment:
+        if (balance_judgment) {
+          // Keep the yes/no mix near 50/50.
+          if (ans->yes && yes_count > no_count + 2) return false;
+          if (!ans->yes && no_count > yes_count + 2) return false;
+        }
+        if (ans->yes) {
+          ++yes_count;
+        } else {
+          ++no_count;
+        }
+        break;
+    }
+    seen_texts.insert(gold.question());
+    MvqaQuestion q;
+    q.text = gold.question();
+    q.type = type;
+    q.gold_answer = ans->text;
+    q.num_clauses = static_cast<int>(gold.size());
+    q.relevant_images = CountRelevantImages(gold);
+    q.adversarial = adversarial;
+    q.gold_graph = std::move(gold);
+    questions.push_back(std::move(q));
+    return true;
+  }
+};
+
+using query::DependencyKind;
+using query::QueryEdge;
+using query::QueryGraph;
+
+// ---------------------------------------------------------------------------
+// Reasoning templates
+// ---------------------------------------------------------------------------
+
+void GenFlagship(GenContext* ctx, int quota) {
+  // "What kind of clothes are worn by the wizard who is most frequently
+  // hanging out with {owner}'s girlfriend?"
+  std::set<int> owners;
+  for (const auto& [gf, owner] : ctx->world.girlfriend_of) {
+    owners.insert(owner);
+  }
+  int added = 0;
+  for (int owner : owners) {
+    if (added >= quota) break;
+    const std::string& name = ctx->world.characters[owner].name;
+    QueryGraph gold(
+        "What kind of clothes are worn by the wizard who is most "
+        "frequently hanging out with " +
+            Spaced(name) + "'s girlfriend?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El("wizard"), "wear",
+                  El("clothes", /*variable=*/true, /*want_kind=*/true)),
+         MakeSpoc(El("wizard"), "hang-out",
+                  El("girlfriend", false, false, Spaced(name)),
+                  "most frequently", 1)},
+        {QueryEdge{1, 0, DependencyKind::kS2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenCompanionClothes(GenContext* ctx, int quota) {
+  // "What kind of clothes are worn by the wizard who is hanging out with
+  // {char}?"
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    if (c.category == "wizard") continue;  // companion is a person
+    QueryGraph gold(
+        "What kind of clothes are worn by the wizard who is hanging out "
+        "with " +
+            Spaced(c.name) + "?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El("wizard"), "wear", El("clothes", true, true)),
+         MakeSpoc(El("wizard"), "hang-out", El(c.name), "", 1)},
+        {QueryEdge{1, 0, DependencyKind::kS2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenWornBy(GenContext* ctx, int quota) {
+  // "What kind of clothes is worn by {char}?" (single clause)
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        "What kind of clothes is worn by " + Spaced(c.name) + "?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El(c.name), "wear", El("clothes", true, true))}, {});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+struct AnimalVariant {
+  const char* verb_past;  // "carried"
+  const char* verb;       // "carry"
+  const char* subject;    // "dog" / "pet" / "cat"
+  const char* subject_pl; // "dogs"
+  const char* loc_pred;   // "on" / "in"
+  const char* location;   // "grass" / "car"
+  const char* aux;        // "are" / "were"
+  const char* loc_verb;   // "sitting" / "situated"
+};
+
+void GenAnimalReasoning(GenContext* ctx, int quota) {
+  static const AnimalVariant kVariants[] = {
+      {"carried", "carry", "dog", "dogs", "on", "grass", "are", "sitting"},
+      {"carried", "carry", "pet", "pets", "in", "car", "were", "situated"},
+      {"chased", "chase", "dog", "dogs", "on", "grass", "are", "sitting"},
+      {"chased", "chase", "dog", "dogs", "in", "car", "were", "situated"},
+      {"watched", "watch", "cat", "cats", "on", "bed", "are", "sitting"},
+      {"chased", "chase", "pet", "pets", "on", "grass", "are", "sitting"},
+  };
+  int added = 0;
+  for (const AnimalVariant& v : kVariants) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        std::string("What kind of animals is ") + v.verb_past + " by the " +
+            v.subject_pl + " that " + v.aux + " " + v.loc_verb + " " +
+            v.loc_pred + " the " + v.location + "?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El(v.subject), v.verb, El("animal", true, true)),
+         MakeSpoc(El(v.subject), v.loc_pred, El(v.location), "", 1)},
+        {QueryEdge{1, 0, DependencyKind::kS2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenCompanionMostFrequent(GenContext* ctx, int quota) {
+  // "What kind of clothes is worn by the wizard who is most frequently
+  // hanging out with {char}?" — top-up pool with the superlative
+  // constraint on a named companion.
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    if (c.category == "wizard") continue;
+    QueryGraph gold(
+        "What kind of clothes is worn by the wizard who is most "
+        "frequently hanging out with " +
+            Spaced(c.name) + "?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El("wizard"), "wear", El("clothes", true, true)),
+         MakeSpoc(El("wizard"), "hang-out", El(c.name), "most frequently",
+                  1)},
+        {QueryEdge{1, 0, DependencyKind::kS2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning, std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenThreeClauseReasoning(GenContext* ctx, int quota) {
+  // "What kind of clothes are worn by the wizard who is hanging out with
+  // the person who is holding the {prop}?"
+  static const char* kProps[] = {"phone", "book", "ball", "umbrella"};
+  int added = 0;
+  for (const char* prop : kProps) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        std::string("What kind of clothes are worn by the wizard who is "
+                    "hanging out with the person who is holding the ") +
+            prop + "?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El("wizard"), "wear", El("clothes", true, true)),
+         MakeSpoc(El("wizard"), "hang-out", El("person"), "", 1),
+         MakeSpoc(El("person"), "hold", El(prop), "", 2)},
+        {QueryEdge{1, 0, DependencyKind::kS2S},
+         QueryEdge{2, 1, DependencyKind::kO2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counting templates
+// ---------------------------------------------------------------------------
+
+void GenCountHangout(GenContext* ctx, int quota) {
+  // "How many wizards are hanging out with {char}?"
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    if (c.category == "wizard") continue;
+    QueryGraph gold(
+        "How many wizards are hanging out with " + Spaced(c.name) + "?",
+        nlp::QuestionType::kCounting,
+        {MakeSpoc(El("wizard", true), "hang-out", El(c.name))}, {});
+    if (ctx->TryAdd(nlp::QuestionType::kCounting,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenCountPersonsWith(GenContext* ctx, int quota) {
+  // "How many persons are hanging out with {wizard}?" — top-up pool.
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    if (c.category != "wizard") continue;
+    QueryGraph gold(
+        "How many persons are hanging out with " + Spaced(c.name) + "?",
+        nlp::QuestionType::kCounting,
+        {MakeSpoc(El("person", true), "hang-out", El(c.name))}, {});
+    if (ctx->TryAdd(nlp::QuestionType::kCounting, std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenCountByClothing(GenContext* ctx, const char* counted,
+                        const char* wearer, int quota) {
+  // "How many {counted}s are hanging out with the {wearer} that is
+  // wearing a {clothing}?"
+  int added = 0;
+  for (const std::string& clothing : ctx->world.vocab.clothing_categories) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        std::string("How many ") + counted + "s are hanging out with the " +
+            wearer + " that is wearing a " + clothing + "?",
+        nlp::QuestionType::kCounting,
+        {MakeSpoc(El(counted, true), "hang-out", El(wearer)),
+         MakeSpoc(El(wearer), "wear", El(clothing), "", 1)},
+        {QueryEdge{1, 0, DependencyKind::kO2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kCounting,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenCountKinds(GenContext* ctx, int quota) {
+  static const AnimalVariant kVariants[] = {
+      {"chased", "chase", "dog", "dogs", "on", "grass", "are", "sitting"},
+      {"carried", "carry", "dog", "dogs", "in", "car", "were", "situated"},
+      {"watched", "watch", "cat", "cats", "on", "bed", "are", "sitting"},
+  };
+  int added = 0;
+  for (const AnimalVariant& v : kVariants) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        std::string("How many kinds of animals are ") + v.verb_past +
+            " by the " + v.subject_pl + " that " + v.aux + " " + v.loc_verb +
+            " " + v.loc_pred + " the " + v.location + "?",
+        nlp::QuestionType::kCounting,
+        {MakeSpoc(El(v.subject), v.verb, El("animal", true, true)),
+         MakeSpoc(El(v.subject), v.loc_pred, El(v.location), "", 1)},
+        {QueryEdge{1, 0, DependencyKind::kS2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kCounting,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenCountThreeClause(GenContext* ctx, int quota) {
+  static const char* kProps[] = {"phone", "book", "ball"};
+  int added = 0;
+  for (const char* prop : kProps) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        std::string("How many kinds of clothes are worn by the wizards "
+                    "that are hanging out with the person that is holding "
+                    "the ") +
+            prop + "?",
+        nlp::QuestionType::kCounting,
+        {MakeSpoc(El("wizard"), "wear", El("clothes", true, true)),
+         MakeSpoc(El("wizard"), "hang-out", El("person"), "", 1),
+         MakeSpoc(El("person"), "hold", El(prop), "", 2)},
+        {QueryEdge{1, 0, DependencyKind::kS2S},
+         QueryEdge{2, 1, DependencyKind::kO2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kCounting,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Judgment templates
+// ---------------------------------------------------------------------------
+
+void GenJudgmentPairs(GenContext* ctx, int quota) {
+  // "Does a {s} appear {p} a {o}?" — mixes present and absent patterns.
+  struct Candidate {
+    const char* s;
+    const char* p;
+    const char* o;
+  };
+  static const Candidate kCandidates[] = {
+      {"cat", "near", "car"},    {"dog", "on", "grass"},
+      {"bird", "on", "tree"},    {"car", "near", "tree"},
+      {"bear", "on", "tv"},      {"cat", "on", "bed"},
+      {"dog", "in", "car"},      {"person", "behind", "fence"},
+      {"laptop", "on", "table"}, {"horse", "near", "tv"},
+      {"bird", "under", "bed"},  {"cat", "behind", "bus"},
+      {"bear", "in", "car"},     {"dog", "on", "tree"},
+      {"truck", "near", "bed"},  {"horse", "in", "car"},
+      {"kite", "on", "street"},  {"boat", "near", "bench"},
+  };
+  int added = 0;
+  for (const Candidate& c : kCandidates) {
+    if (added >= quota) break;
+    QueryGraph gold(std::string("Does a ") + c.s + " appear " + c.p +
+                        " a " + c.o + "?",
+                    nlp::QuestionType::kJudgment,
+                    {MakeSpoc(El(c.s), c.p, El(c.o))}, {});
+    if (ctx->TryAdd(nlp::QuestionType::kJudgment,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenJudgmentEmbedded(GenContext* ctx, int quota) {
+  // "Does the {s} that is sitting {p1} the {m} appear {p2} the {o}?"
+  struct Candidate {
+    const char* s;
+    const char* p1;
+    const char* m;
+    const char* p2;
+    const char* o;
+  };
+  static const Candidate kCandidates[] = {
+      {"cat", "on", "bed", "near", "car"},
+      {"dog", "on", "grass", "near", "person"},
+      {"dog", "in", "car", "near", "person"},
+      {"cat", "on", "bed", "under", "table"},
+      {"bird", "on", "tree", "near", "boat"},
+      {"dog", "on", "grass", "in-front-of", "person"},
+      {"cat", "near", "car", "on", "bed"},
+      {"dog", "on", "grass", "under", "bench"},
+      {"horse", "on", "grass", "near", "tv"},
+      {"cat", "on", "bed", "behind", "bus"},
+      {"dog", "in", "car", "on", "tree"},
+      {"bird", "on", "fence", "near", "bed"},
+      {"bear", "on", "tv", "near", "tree"},
+      {"cat", "under", "table", "near", "car"},
+      {"dog", "on", "grass", "near", "tv"},
+      {"person", "on", "bench", "near", "car"},
+  };
+  int added = 0;
+  for (const Candidate& c : kCandidates) {
+    if (added >= quota) break;
+    const std::string p2 =
+        std::string(c.p2) == "in-front-of" ? "in front of" : c.p2;
+    QueryGraph gold(std::string("Does the ") + c.s + " that is sitting " +
+                        c.p1 + " the " + c.m + " appear " + p2 + " the " +
+                        c.o + "?",
+                    nlp::QuestionType::kJudgment,
+                    {MakeSpoc(El(c.s), c.p2, El(c.o)),
+                     MakeSpoc(El(c.s), c.p1, El(c.m), "", 1)},
+                    {QueryEdge{1, 0, DependencyKind::kS2S}});
+    if (ctx->TryAdd(nlp::QuestionType::kJudgment,
+                    std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+void GenJudgmentWizard(GenContext* ctx, int quota) {
+  // "Does the wizard that is hanging out with {char} wear a {clothing}?"
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    if (c.category == "wizard") continue;
+    for (const std::string& clothing :
+         ctx->world.vocab.clothing_categories) {
+      if (added >= quota) break;
+      QueryGraph gold(
+          "Does the wizard that is hanging out with " + Spaced(c.name) +
+              " wear a " + clothing + "?",
+          nlp::QuestionType::kJudgment,
+          {MakeSpoc(El("wizard"), "wear", El(clothing)),
+           MakeSpoc(El("wizard"), "hang-out", El(c.name), "", 1)},
+          {QueryEdge{1, 0, DependencyKind::kS2S}});
+      if (ctx->TryAdd(nlp::QuestionType::kJudgment,
+                      std::move(gold))) {
+        ++added;
+      }
+    }
+  }
+}
+
+void GenJudgmentThreeClause(GenContext* ctx, int quota) {
+  static const char* kProps[] = {"phone", "book", "ball", "umbrella"};
+  int added = 0;
+  for (const char* prop : kProps) {
+    for (const std::string& clothing :
+         ctx->world.vocab.clothing_categories) {
+      if (added >= quota) return;
+      QueryGraph gold(
+          std::string("Does the wizard that is hanging out with the "
+                      "person that is holding the ") +
+              prop + " wear a " + clothing + "?",
+          nlp::QuestionType::kJudgment,
+          {MakeSpoc(El("wizard"), "wear", El(clothing)),
+           MakeSpoc(El("wizard"), "hang-out", El("person"), "", 1),
+           MakeSpoc(El("person"), "hold", El(prop), "", 2)},
+          {QueryEdge{1, 0, DependencyKind::kS2S},
+           QueryEdge{2, 1, DependencyKind::kO2S}});
+      if (ctx->TryAdd(nlp::QuestionType::kJudgment,
+                      std::move(gold))) {
+        ++added;
+      }
+    }
+  }
+}
+
+void GenColorQuestions(GenContext* ctx, int quota) {
+  // "What is the color of the {clothing} that is worn by {char}?" — the
+  // attribute extension (the paper's SS-II example "What's the color of
+  // the hat that the man is wearing?", generalized cross-image).
+  int added = 0;
+  for (const CharacterProfile& c : ctx->world.characters) {
+    if (added >= quota) break;
+    QueryGraph gold(
+        "What is the color of the " + c.clothing + " that is worn by " +
+            Spaced(c.name) + "?",
+        nlp::QuestionType::kReasoning,
+        {MakeSpoc(El(c.clothing), "has-attribute", El("color", true)),
+         MakeSpoc(El(c.name), "wear", El(c.clothing), "", 1)},
+        {QueryEdge{1, 0, DependencyKind::kS2O}});
+    if (ctx->TryAdd(nlp::QuestionType::kReasoning, std::move(gold))) {
+      ++added;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial (FW-word) variants — Figure 8(a) failure mode.
+// ---------------------------------------------------------------------------
+
+void GenAdversarial(GenContext* ctx, int quota) {
+  int added = 0;
+  auto add = [&](nlp::QuestionType type, QueryGraph gold) {
+    if (added >= quota) return;
+    if (ctx->TryAdd(type, std::move(gold), /*adversarial=*/true,
+                    /*balance_judgment=*/false)) {
+      ++added;
+    }
+  };
+  // "canis" (dog) and "equus" (horse) parse as FW; gold semantics use the
+  // intended category.
+  add(nlp::QuestionType::kJudgment,
+      QueryGraph("Does the canis that is sitting on the grass appear near "
+                 "the person?",
+                 nlp::QuestionType::kJudgment,
+                 {MakeSpoc(El("dog"), "near", El("person")),
+                  MakeSpoc(El("dog"), "on", El("grass"), "", 1)},
+                 {QueryEdge{1, 0, DependencyKind::kS2S}}));
+  add(nlp::QuestionType::kJudgment,
+      QueryGraph("Does the equus that is sitting on the grass appear near "
+                 "the tv?",
+                 nlp::QuestionType::kJudgment,
+                 {MakeSpoc(El("horse"), "near", El("tv")),
+                  MakeSpoc(El("horse"), "on", El("grass"), "", 1)},
+                 {QueryEdge{1, 0, DependencyKind::kS2S}}));
+  add(nlp::QuestionType::kReasoning,
+      QueryGraph("What kind of clothes are worn by the magus who is "
+                 "hanging out with dean thomas?",
+                 nlp::QuestionType::kReasoning,
+                 {MakeSpoc(El("wizard"), "wear", El("clothes", true, true)),
+                  MakeSpoc(El("wizard"), "hang-out", El("dean-thomas"), "",
+                           1)},
+                 {QueryEdge{1, 0, DependencyKind::kS2S}}));
+  add(nlp::QuestionType::kReasoning,
+      QueryGraph("What kind of animals is carried by the canis that is "
+                 "sitting on the grass?",
+                 nlp::QuestionType::kReasoning,
+                 {MakeSpoc(El("dog"), "carry", El("animal", true, true)),
+                  MakeSpoc(El("dog"), "on", El("grass"), "", 1)},
+                 {QueryEdge{1, 0, DependencyKind::kS2S}}));
+}
+
+}  // namespace
+
+MvqaGenerator::MvqaGenerator(MvqaOptions options)
+    : options_(std::move(options)) {}
+
+MvqaDataset MvqaGenerator::Generate() const {
+  MvqaDataset ds;
+  ds.world = WorldGenerator(options_.world).Generate();
+  const text::SynonymLexicon lexicon = text::SynonymLexicon::Default();
+  ds.knowledge_graph = BuildKnowledgeGraph(ds.world, lexicon);
+  ds.perfect_merged = BuildPerfectMergedGraph(ds.world, ds.knowledge_graph);
+
+  text::EmbeddingModel embeddings(lexicon);
+  exec::QueryGraphExecutor executor(&ds.perfect_merged, &embeddings);
+  GenContext ctx{ds.world, ds.perfect_merged, executor, {}, {}, 0, 0};
+
+  const int adv = options_.num_adversarial;
+  const int adv_reasoning = adv / 2;
+  const int adv_judgment = adv - adv_reasoning;
+  auto have = [&ctx](nlp::QuestionType type) {
+    int n = 0;
+    for (const auto& q : ctx.questions) {
+      if (q.type == type) ++n;
+    }
+    return n;
+  };
+  auto remaining = [&](nlp::QuestionType type, int quota) {
+    return std::max(0, quota - have(type));
+  };
+
+  // Reasoning (top-up from the large single-clause pool).
+  {
+    const int quota = options_.num_reasoning - adv_reasoning;
+    GenFlagship(&ctx, 8);
+    GenCompanionClothes(&ctx, 12);
+    GenAnimalReasoning(&ctx, 6);
+    GenThreeClauseReasoning(&ctx, 4);
+    GenWornBy(&ctx, remaining(nlp::QuestionType::kReasoning, quota));
+    GenCompanionMostFrequent(&ctx,
+                             remaining(nlp::QuestionType::kReasoning, quota));
+  }
+  // Counting (top-up from the per-character pool).
+  {
+    const int quota = options_.num_counting;
+    GenCountHangout(&ctx, 4);
+    GenCountByClothing(&ctx, "wizard", "person", 4);
+    GenCountByClothing(&ctx, "person", "wizard", 4);
+    GenCountKinds(&ctx, 2);
+    GenCountThreeClause(&ctx, 2);
+    GenCountHangout(&ctx, remaining(nlp::QuestionType::kCounting, quota));
+    GenCountPersonsWith(&ctx, remaining(nlp::QuestionType::kCounting, quota));
+  }
+  // Judgment (top-up from the character x clothing pool).
+  {
+    const int quota = options_.num_judgment - adv_judgment;
+    GenJudgmentPairs(&ctx, 10);
+    GenJudgmentEmbedded(&ctx, 14);
+    GenJudgmentWizard(&ctx, 10);
+    GenJudgmentThreeClause(&ctx, 4);
+    GenJudgmentWizard(&ctx, remaining(nlp::QuestionType::kJudgment, quota));
+  }
+  // Adversarial.
+  GenAdversarial(&ctx, adv);
+  // Optional attribute extension.
+  GenColorQuestions(&ctx, options_.num_color);
+
+  ds.questions = std::move(ctx.questions);
+  return ds;
+}
+
+}  // namespace svqa::data

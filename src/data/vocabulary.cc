@@ -1,0 +1,76 @@
+#include "data/vocabulary.h"
+
+#include <algorithm>
+
+namespace svqa::data {
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+Vocabulary Vocabulary::Default() {
+  Vocabulary v;
+  v.object_categories = {
+      "person", "dog",    "cat",     "bird",   "horse",      "bear",
+      "car",    "bicycle", "motorcycle", "bus", "truck",     "boat",
+      "train",  "building", "tree",  "bench",  "frisbee",    "hat",
+      "robe",   "scarf",  "jacket",  "tv",     "bed",        "ball",
+      "umbrella", "backpack", "skateboard", "fence", "grass", "street",
+      "kite",   "book",   "chair",   "table",  "phone",      "laptop",
+      "wizard",
+  };
+  v.clothing_categories = {"hat", "robe", "scarf", "jacket"};
+  v.animal_categories = {"dog", "cat", "bird", "horse", "bear"};
+  v.vehicle_categories = {"car",   "bicycle", "motorcycle",
+                          "bus",   "truck",   "boat",
+                          "train"};
+  v.scene_predicates = {"on",    "in",    "near",  "behind", "in-front-of",
+                        "under", "wear",  "hold",  "carry",  "ride",
+                        "chase", "watch", "hang-out"};
+  v.kg_relations = {"girlfriend-of", "friend-of", "sibling-of",
+                    "member-of",     "lives-in",  "owner-of"};
+  v.attributes = {"red", "blue", "green", "yellow", "black", "white",
+                  "brown", "big", "small", "old", "wooden"};
+  v.color_attributes = {"red",   "blue",  "green", "yellow",
+                        "black", "white", "brown"};
+  // Named characters: a movie-flavoured cast. Wizards participate in the
+  // flagship cross-source questions; persons fill out social scenes.
+  v.characters = {
+      {"harry-potter", "wizard"},    {"ginny-weasley", "person"},
+      {"cho-chang", "person"},       {"ron-weasley", "wizard"},
+      {"hermione-granger", "wizard"}, {"neville-longbottom", "wizard"},
+      {"luna-lovegood", "wizard"},   {"draco-malfoy", "wizard"},
+      {"cedric-diggory", "wizard"},  {"fred-weasley", "wizard"},
+      {"george-weasley", "wizard"},  {"seamus-finnigan", "wizard"},
+      {"dean-thomas", "person"},     {"padma-patil", "person"},
+      {"parvati-patil", "person"},   {"lavender-jones", "person"},
+      {"katie-bell", "person"},      {"angelina-johnson", "person"},
+      {"oliver-wood", "wizard"},     {"percy-weasley", "wizard"},
+      {"susan-bones", "person"},     {"hannah-abbott", "person"},
+      {"ernie-macmillan", "wizard"}, {"justin-finch", "person"},
+      {"terry-boot", "wizard"},      {"michael-corner", "wizard"},
+      {"anthony-gold", "person"},    {"mandy-brock", "person"},
+      {"lisa-turpin", "person"},     {"blaise-zabini", "wizard"},
+  };
+  v.teams = {"gryffindor", "ravenclaw", "hufflepuff", "slytherin"};
+  v.cities = {"london", "hogsmeade", "godric-hollow", "little-whinging"};
+  return v;
+}
+
+bool Vocabulary::IsClothing(const std::string& category) const {
+  return Contains(clothing_categories, category);
+}
+bool Vocabulary::IsAnimal(const std::string& category) const {
+  return Contains(animal_categories, category);
+}
+bool Vocabulary::IsVehicle(const std::string& category) const {
+  return Contains(vehicle_categories, category);
+}
+bool Vocabulary::IsColor(const std::string& attribute) const {
+  return Contains(color_attributes, attribute);
+}
+
+}  // namespace svqa::data

@@ -1,0 +1,52 @@
+#ifndef SVQA_DATA_VOCABULARY_H_
+#define SVQA_DATA_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+namespace svqa::data {
+
+/// \brief The closed vocabulary of the synthetic MVQA world: object
+/// categories (COCO-flavoured), scene predicates, knowledge-graph
+/// relations, attributes, and named characters. Everything downstream
+/// (scene sampling, KG construction, question templates, the POS/synonym
+/// lexicons) draws from this single source.
+struct Vocabulary {
+  /// Object categories that can appear in scenes.
+  std::vector<std::string> object_categories;
+  /// Clothing categories (a subset of object_categories; targets of
+  /// "wear").
+  std::vector<std::string> clothing_categories;
+  /// Animal categories (subset).
+  std::vector<std::string> animal_categories;
+  /// Vehicle categories (subset).
+  std::vector<std::string> vehicle_categories;
+  /// Scene-graph predicates (spatial + action).
+  std::vector<std::string> scene_predicates;
+  /// Knowledge-graph relations between named entities.
+  std::vector<std::string> kg_relations;
+  /// Attribute labels.
+  std::vector<std::string> attributes;
+  /// Color attributes (subset of attributes; targets of "what color").
+  std::vector<std::string> color_attributes;
+  /// Named characters: {name, category} where category is "wizard" or
+  /// "person".
+  std::vector<std::pair<std::string, std::string>> characters;
+  /// Team names (member-of targets).
+  std::vector<std::string> teams;
+  /// City names (lives-in targets).
+  std::vector<std::string> cities;
+
+  /// The default world vocabulary (deterministic).
+  static Vocabulary Default();
+
+  /// True when `category` is a clothing category.
+  bool IsClothing(const std::string& category) const;
+  bool IsAnimal(const std::string& category) const;
+  bool IsVehicle(const std::string& category) const;
+  bool IsColor(const std::string& attribute) const;
+};
+
+}  // namespace svqa::data
+
+#endif  // SVQA_DATA_VOCABULARY_H_

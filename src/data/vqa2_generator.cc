@@ -1,0 +1,265 @@
+#include "data/vqa2_generator.h"
+
+#include <algorithm>
+
+#include "data/kg_builder.h"
+#include "exec/executor.h"
+#include "text/embedding.h"
+#include "text/lexicon.h"
+
+namespace svqa::data {
+namespace {
+
+using query::DependencyKind;
+using query::QueryEdge;
+using query::QueryGraph;
+
+nlp::SpocElement El(std::string head, bool variable = false,
+                    bool want_kind = false) {
+  nlp::SpocElement e;
+  e.text = head;
+  e.head = std::move(head);
+  e.is_variable = variable;
+  e.want_kind = want_kind;
+  return e;
+}
+
+nlp::Spoc MakeSpoc(nlp::SpocElement s, std::string p, nlp::SpocElement o,
+                   int clause_index = 0) {
+  nlp::Spoc spoc;
+  spoc.subject = std::move(s);
+  spoc.predicate = std::move(p);
+  spoc.object = std::move(o);
+  spoc.clause_index = clause_index;
+  return spoc;
+}
+
+}  // namespace
+
+Vqa2Generator::Vqa2Generator(Vqa2Options options) : options_(options) {}
+
+Vqa2Dataset Vqa2Generator::Generate() const {
+  Vqa2Dataset ds;
+  WorldOptions wo;
+  wo.num_scenes = options_.num_scenes;
+  wo.social_fraction = 0.0;  // VQAv2-style corpora are object scenes
+  wo.seed = options_.seed;
+  ds.world = WorldGenerator(wo).Generate();
+  const text::SynonymLexicon lexicon = text::SynonymLexicon::Default();
+  ds.knowledge_graph = BuildKnowledgeGraph(ds.world, lexicon);
+  ds.perfect_merged = BuildPerfectMergedGraph(ds.world, ds.knowledge_graph);
+
+  text::EmbeddingModel embeddings(lexicon);
+  exec::QueryGraphExecutor executor(&ds.perfect_merged, &embeddings);
+
+  int yes = 0, no = 0;
+  auto try_add = [&](std::string text, nlp::QuestionType type,
+                     QueryGraph gold,
+                     std::vector<SimpleQuery> subs, int* added, int quota) {
+    if (*added >= quota) return;
+    auto r = executor.Execute(gold);
+    if (!r.ok()) return;
+    if (type == nlp::QuestionType::kReasoning &&
+        (r->entities.empty() || r->text == "unknown")) {
+      return;
+    }
+    if (type == nlp::QuestionType::kCounting && r->count <= 0) return;
+    if (type == nlp::QuestionType::kJudgment) {
+      if (r->yes && yes > no + 2) return;
+      if (!r->yes && no > yes + 2) return;
+      (r->yes ? yes : no) += 1;
+    }
+    Vqa2Question q;
+    q.text = std::move(text);
+    q.type = type;
+    q.gold_answer = r->text;
+    q.sub_queries = std::move(subs);
+    q.gold_graph = std::move(gold);
+    ds.questions.push_back(std::move(q));
+    ++*added;
+  };
+
+  // --- Judgment: combined simple questions ("Does the X that is sitting
+  // P1 the M appear P2 the O?"). ------------------------------------------
+  {
+    struct Candidate {
+      const char* s;
+      const char* p1;
+      const char* m;
+      const char* p2;
+      const char* o;
+    };
+    static const Candidate kCandidates[] = {
+        {"cat", "on", "bed", "near", "car"},
+        {"dog", "on", "grass", "near", "person"},
+        {"dog", "in", "car", "near", "person"},
+        {"bird", "on", "tree", "near", "boat"},
+        {"cat", "near", "car", "on", "bed"},
+        {"horse", "on", "grass", "near", "tv"},
+        {"cat", "on", "bed", "behind", "bus"},
+        {"dog", "in", "car", "on", "tree"},
+        {"bird", "on", "fence", "near", "bed"},
+        {"bear", "on", "tv", "near", "tree"},
+        {"dog", "on", "grass", "under", "bench"},
+        {"person", "on", "bench", "near", "car"},
+        {"laptop", "on", "table", "near", "book"},
+        {"cat", "under", "table", "near", "car"},
+        {"dog", "on", "grass", "near", "tv"},
+        {"truck", "behind", "car", "on", "street"},
+        {"kite", "under", "tree", "near", "bench"},
+        {"boat", "near", "bird", "on", "street"},
+        {"bus", "on", "street", "near", "tree"},
+        {"ball", "under", "bench", "near", "grass"},
+        {"horse", "on", "grass", "near", "dog"},
+        {"bear", "near", "tree", "on", "grass"},
+        {"dog", "near", "person", "on", "grass"},
+        {"cat", "on", "bed", "near", "table"},
+        {"bird", "on", "tree", "near", "fence"},
+        {"person", "near", "car", "behind", "fence"},
+        {"dog", "on", "grass", "in", "car"},
+        {"cat", "near", "car", "under", "table"},
+        {"horse", "on", "grass", "behind", "tree"},
+        {"bus", "on", "street", "behind", "truck"},
+        {"bird", "on", "fence", "near", "tree"},
+        {"dog", "under", "bench", "near", "ball"},
+        {"person", "on", "bench", "behind", "fence"},
+        {"cat", "on", "bed", "in-front-of", "tv"},
+        {"dog", "near", "person", "under", "table"},
+        {"bear", "on", "tv", "behind", "car"},
+        {"horse", "on", "grass", "in", "car"},
+        {"bird", "near", "boat", "on", "street"},
+        {"truck", "behind", "car", "near", "tree"},
+        {"kite", "under", "tree", "on", "grass"},
+        {"ball", "under", "bench", "behind", "fence"},
+        {"laptop", "on", "table", "under", "bed"},
+        {"cat", "under", "table", "behind", "bus"},
+        {"dog", "in", "car", "near", "tree"},
+        {"person", "behind", "fence", "near", "tv"},
+        {"bus", "on", "street", "in-front-of", "building"},
+        {"cat", "on", "bed", "near", "laptop"},
+        {"dog", "on", "grass", "behind", "truck"},
+    };
+    int added = 0;
+    for (const Candidate& c : kCandidates) {
+      try_add(std::string("Does the ") + c.s + " that is sitting " + c.p1 +
+                  " the " + c.m + " appear " + c.p2 + " the " + c.o + "?",
+              nlp::QuestionType::kJudgment,
+              QueryGraph("", nlp::QuestionType::kJudgment,
+                         {MakeSpoc(El(c.s), c.p2, El(c.o)),
+                          MakeSpoc(El(c.s), c.p1, El(c.m), 1)},
+                         {QueryEdge{1, 0, DependencyKind::kS2S}}),
+              {SimpleQuery{c.s, c.p2, c.o}, SimpleQuery{c.s, c.p1, c.m}},
+              &added, options_.num_judgment);
+    }
+  }
+
+  // --- Counting: accumulated counts across images. -------------------------
+  {
+    struct Candidate {
+      const char* s;
+      const char* p;
+      const char* o;  // counted kind target
+    };
+    static const Candidate kCandidates[] = {
+        {"dog", "chase", "animal"},  {"dog", "carry", "animal"},
+        {"cat", "watch", "animal"},  {"person", "ride", "vehicle"},
+        {"person", "hold", "ball"},  {"dog", "in", "vehicle"},
+        {"cat", "on", "bed"},        {"bird", "on", "tree"},
+        {"person", "wear", "clothes"}, {"animal", "on", "grass"},
+        {"person", "watch", "tv"},   {"cat", "in", "vehicle"},
+        {"dog", "watch", "tv"},      {"animal", "in", "car"},
+        {"person", "ride", "horse"}, {"bird", "near", "boat"},
+        {"dog", "under", "bench"},   {"cat", "under", "table"},
+        {"person", "behind", "fence"}, {"bear", "on", "tv"},
+        {"vehicle", "on", "street"}, {"animal", "near", "person"},
+        {"person", "hold", "phone"},   {"person", "hold", "book"},
+        {"person", "hold", "umbrella"}, {"bird", "on", "fence"},
+        {"animal", "under", "table"},  {"animal", "under", "bench"},
+        {"vehicle", "near", "tree"},   {"person", "on", "bench"},
+        {"animal", "watch", "tv"},     {"book", "on", "table"},
+        {"laptop", "on", "table"},     {"truck", "behind", "car"},
+        {"kite", "under", "tree"},     {"ball", "under", "bench"},
+    };
+    int added = 0;
+    for (const Candidate& c : kCandidates) {
+      try_add(std::string("How many kinds of ") + c.o + "s are there "
+                  "where a " + c.s + " is " + c.p + " them?",
+              nlp::QuestionType::kCounting,
+              QueryGraph("", nlp::QuestionType::kCounting,
+                         {MakeSpoc(El(c.s), c.p, El(c.o, true, true))}, {}),
+              {SimpleQuery{c.s, c.p, c.o}}, &added, options_.num_counting);
+    }
+  }
+
+  // --- Reasoning: two related simple questions combined. -------------------
+  {
+    struct Candidate {
+      const char* s;
+      const char* p1;
+      const char* m;   // condition location
+      const char* p2;  // main predicate
+      const char* o;   // asked-for kind
+    };
+    static const Candidate kCandidates[] = {
+        {"dog", "on", "grass", "chase", "animal"},
+        {"dog", "on", "grass", "carry", "animal"},
+        {"dog", "in", "car", "chase", "animal"},
+        {"cat", "on", "bed", "watch", "animal"},
+        {"person", "on", "bench", "hold", "ball"},
+        {"person", "behind", "fence", "ride", "vehicle"},
+        {"dog", "on", "grass", "watch", "tv"},
+        {"cat", "near", "car", "watch", "animal"},
+        {"person", "near", "car", "ride", "vehicle"},
+        {"dog", "under", "bench", "chase", "animal"},
+        {"person", "on", "bench", "wear", "clothes"},
+        {"cat", "under", "table", "watch", "animal"},
+        {"person", "near", "car", "hold", "ball"},
+        {"dog", "on", "grass", "chase", "frisbee"},
+        {"person", "on", "bench", "watch", "tv"},
+        {"bird", "on", "tree", "near", "boat"},
+        {"person", "behind", "fence", "hold", "umbrella"},
+        {"dog", "in", "car", "watch", "tv"},
+        {"cat", "on", "bed", "near", "car"},
+        {"person", "near", "car", "wear", "clothes"},
+        {"dog", "on", "grass", "in-front-of", "person"},
+        {"person", "on", "bench", "hold", "book"},
+        {"dog", "near", "person", "chase", "animal"},
+        {"cat", "on", "bed", "watch", "bird"},
+        {"person", "behind", "fence", "hold", "phone"},
+        {"dog", "on", "grass", "carry", "bird"},
+        {"person", "near", "car", "hold", "umbrella"},
+        {"cat", "in", "car", "watch", "animal"},
+        {"dog", "in", "car", "chase", "frisbee"},
+        {"person", "on", "bench", "ride", "vehicle"},
+        {"dog", "under", "bench", "watch", "tv"},
+        {"person", "behind", "fence", "wear", "clothes"},
+        {"cat", "near", "car", "on", "bed"},
+        {"dog", "near", "person", "carry", "animal"},
+        {"person", "on", "bench", "hold", "umbrella"},
+        {"cat", "under", "table", "near", "car"},
+        {"dog", "on", "grass", "near", "person"},
+        {"person", "near", "car", "watch", "tv"},
+        {"bird", "on", "fence", "near", "boat"},
+        {"dog", "in", "car", "carry", "animal"},
+        {"person", "behind", "fence", "hold", "ball"},
+        {"cat", "on", "bed", "watch", "tv"},
+    };
+    int added = 0;
+    for (const Candidate& c : kCandidates) {
+      try_add(std::string("What kind of ") + c.o + "s is the " + c.s +
+                  " that is sitting " + c.p1 + " the " + c.m + " " + c.p2 +
+                  "ing?",
+              nlp::QuestionType::kReasoning,
+              QueryGraph("", nlp::QuestionType::kReasoning,
+                         {MakeSpoc(El(c.s), c.p2, El(c.o, true, true)),
+                          MakeSpoc(El(c.s), c.p1, El(c.m), 1)},
+                         {QueryEdge{1, 0, DependencyKind::kS2S}}),
+              {SimpleQuery{c.s, c.p2, c.o}, SimpleQuery{c.s, c.p1, c.m}},
+              &added, options_.num_reasoning);
+    }
+  }
+
+  return ds;
+}
+
+}  // namespace svqa::data

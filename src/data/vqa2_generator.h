@@ -1,0 +1,68 @@
+#ifndef SVQA_DATA_VQA2_GENERATOR_H_
+#define SVQA_DATA_VQA2_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "aggregator/merger.h"
+#include "data/mvqa_generator.h"
+#include "data/world.h"
+#include "query/query_graph.h"
+
+namespace svqa::data {
+
+/// \brief A decomposed simple question a per-image baseline can answer
+/// (one relation over concrete categories).
+struct SimpleQuery {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// \brief One modified-VQAv2 question (§VII Exp-2): a composite question
+/// with its gold logical form plus the decomposition the baselines
+/// consume (produced, per the paper, by SVQA's query-graph generator).
+struct Vqa2Question {
+  std::string text;
+  nlp::QuestionType type = nlp::QuestionType::kJudgment;
+  query::QueryGraph gold_graph;
+  std::string gold_answer;
+  /// Ordered simple sub-queries; sub_queries[0] is the main clause.
+  std::vector<SimpleQuery> sub_queries;
+};
+
+/// \brief The modified-VQAv2 dataset.
+struct Vqa2Dataset {
+  World world;
+  graph::Graph knowledge_graph;
+  aggregator::MergedGraph perfect_merged;
+  std::vector<Vqa2Question> questions;
+};
+
+/// \brief Generation knobs. The corpus is object scenes only (VQAv2 has
+/// no social/KG structure) and questions are simpler than MVQA's: 1-2
+/// clauses, concrete categories, per the paper's two modifications
+/// (accumulated counts across images; two related simple questions
+/// combined into a complex one).
+struct Vqa2Options {
+  int num_scenes = 800;
+  int num_judgment = 34;
+  int num_counting = 33;
+  int num_reasoning = 33;
+  uint64_t seed = 4242;
+};
+
+/// \brief Builds the modified VQAv2 dataset.
+class Vqa2Generator {
+ public:
+  explicit Vqa2Generator(Vqa2Options options = {});
+
+  Vqa2Dataset Generate() const;
+
+ private:
+  Vqa2Options options_;
+};
+
+}  // namespace svqa::data
+
+#endif  // SVQA_DATA_VQA2_GENERATOR_H_

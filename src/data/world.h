@@ -1,0 +1,91 @@
+#ifndef SVQA_DATA_WORLD_H_
+#define SVQA_DATA_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocabulary.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "vision/scene.h"
+
+namespace svqa::data {
+
+/// \brief A named character and their social / visual profile.
+struct CharacterProfile {
+  std::string name;
+  std::string category;  ///< "wizard" or "person".
+  std::vector<int> friends;
+  int team = 0;  ///< Index into Vocabulary::teams.
+  int city = 0;  ///< Index into Vocabulary::cities.
+  /// Signature clothing category this character wears in scenes.
+  std::string clothing;
+  std::string clothing_color;
+};
+
+/// \brief The ground-truth world: cast, social relations, and scenes.
+struct World {
+  Vocabulary vocab;
+  std::vector<CharacterProfile> characters;
+  /// (girlfriend index, partner index) pairs — the KG's girlfriend-of
+  /// edges. One partner may have several (the flagship question needs
+  /// Harry's two).
+  std::vector<std::pair<int, int>> girlfriend_of;
+  std::vector<vision::Scene> scenes;
+  /// Video episodes as [first, last] scene-id ranges (non-empty only
+  /// when WorldOptions::episode_length > 1). Frames of one episode share
+  /// their cast.
+  std::vector<std::pair<int, int>> episodes;
+
+  int CharacterIndex(const std::string& name) const;
+
+  /// Packages the episode ranges as vision::Video objects (frames are
+  /// copies of the member scenes).
+  std::vector<vision::Video> Videos() const;
+};
+
+/// \brief World sampling knobs.
+struct WorldOptions {
+  int num_scenes = 4233;
+  /// Fraction of scenes that are social (characters hanging out) rather
+  /// than COCO-style object scenes.
+  double social_fraction = 0.45;
+  /// Frames per social episode: 1 generates independent images (the
+  /// MVQA default); > 1 turns each social scene into a short video whose
+  /// frames share the cast (§II's video-as-image-collection).
+  int episode_length = 1;
+  uint64_t seed = 2024;
+};
+
+/// \brief Samples the synthetic world: assigns the social structure, then
+/// draws scenes — social scenes from co-appearance affinities (couples >
+/// friends > strangers), object scenes from a pattern library of
+/// plausible (subject, predicate, object) triples.
+class WorldGenerator {
+ public:
+  explicit WorldGenerator(WorldOptions options = {});
+
+  World Generate() const;
+
+ private:
+  void BuildCast(World* world, Rng* rng) const;
+  std::vector<int> PickCast(const World& world, Rng* rng) const;
+  vision::Scene MakeSocialScene(const World& world,
+                                const std::vector<int>& present, int id,
+                                Rng* rng) const;
+  vision::Scene MakeObjectScene(const World& world, int id, Rng* rng) const;
+
+  WorldOptions options_;
+};
+
+/// \brief Converts a ground-truth scene directly into a scene graph
+/// (no detector / relation-model noise): the reference against which the
+/// noisy SGG pipeline is compared, and the substrate for gold answers.
+/// Layout matches SceneGraphGenerator::Generate (instance labels for
+/// named entities, "category#k" for anonymous objects).
+graph::Graph PerfectSceneGraph(const vision::Scene& scene);
+
+}  // namespace svqa::data
+
+#endif  // SVQA_DATA_WORLD_H_

@@ -1,0 +1,60 @@
+#include "exec/batch_executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace svqa::exec {
+
+BatchExecutor::BatchExecutor(const QueryGraphExecutor* executor,
+                             BatchOptions options)
+    : executor_(executor), options_(options) {}
+
+BatchResult BatchExecutor::ExecuteAll(
+    const std::vector<query::QueryGraph>& graphs) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  BatchResult result;
+  result.outcomes.resize(graphs.size());
+
+  // Pre-analysis & ordering.
+  std::vector<int> order(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  if (options_.use_scheduler) {
+    std::vector<const query::QueryGraph*> ptrs;
+    ptrs.reserve(graphs.size());
+    for (const auto& g : graphs) ptrs.push_back(&g);
+    order = ScheduleQueries(ptrs).order;
+  }
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_workers);
+  std::vector<double> worker_micros(workers, 0.0);
+
+  // Queries are dealt to workers round-robin in schedule order; the
+  // shared cache sees them in that global order (a deterministic
+  // approximation of concurrent execution).
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const int qi = order[pos];
+    SimClock clock;
+    Result<Answer> r = executor_->Execute(graphs[qi], &clock);
+    QueryOutcome& outcome = result.outcomes[qi];
+    outcome.status = r.status();
+    if (r.ok()) outcome.answer = *r;
+    outcome.latency_micros = clock.ElapsedMicros();
+    worker_micros[pos % workers] += outcome.latency_micros;
+  }
+
+  if (workers == 1) {
+    result.total_micros = worker_micros[0];
+  } else {
+    result.total_micros =
+        *std::max_element(worker_micros.begin(), worker_micros.end());
+  }
+  result.wall_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return result;
+}
+
+}  // namespace svqa::exec

@@ -1,0 +1,59 @@
+#ifndef SVQA_EXEC_BATCH_EXECUTOR_H_
+#define SVQA_EXEC_BATCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/scheduler.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace svqa::exec {
+
+/// \brief Outcome of one query in a batch.
+struct QueryOutcome {
+  Status status;
+  Answer answer;
+  /// Virtual time this query consumed.
+  double latency_micros = 0;
+};
+
+/// \brief Batch execution options.
+struct BatchOptions {
+  /// Run the §V-B frequency-ratio scheduler before execution.
+  bool use_scheduler = true;
+  /// Worker count; > 1 simulates the parallelized executor: queries are
+  /// dealt round-robin to workers, and the batch's virtual latency is the
+  /// makespan (max worker total) instead of the serial sum.
+  std::size_t num_workers = 1;
+};
+
+/// \brief Batch result: per-query outcomes (input order) plus totals.
+struct BatchResult {
+  std::vector<QueryOutcome> outcomes;
+  /// Virtual latency of the whole batch (sum for serial execution,
+  /// makespan for parallel).
+  double total_micros = 0;
+  /// Host wall-clock time actually spent (diagnostics only).
+  double wall_micros = 0;
+};
+
+/// \brief Executes N query graphs through a shared executor/cache with
+/// optional scheduling (§V-B / Exp-5).
+class BatchExecutor {
+ public:
+  BatchExecutor(const QueryGraphExecutor* executor, BatchOptions options = {});
+
+  BatchResult ExecuteAll(const std::vector<query::QueryGraph>& graphs) const;
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  const QueryGraphExecutor* executor_;
+  BatchOptions options_;
+};
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_BATCH_EXECUTOR_H_

@@ -1,0 +1,77 @@
+#include "exec/constraints.h"
+
+#include "text/tokenizer.h"
+
+namespace svqa::exec {
+
+const char* ConstraintKindName(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kNone:
+      return "none";
+    case ConstraintKind::kMostFrequent:
+      return "most-frequent";
+    case ConstraintKind::kLeastFrequent:
+      return "least-frequent";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& ConstraintKeywords() {
+  static const auto* keywords = new std::vector<std::string>{
+      "most", "least", "often", "frequently", "rarely", "usually",
+      "commonly", "mostly"};
+  return *keywords;
+}
+
+namespace {
+
+ConstraintKind KindOfKeyword(const std::string& keyword) {
+  if (keyword == "least" || keyword == "rarely") {
+    return ConstraintKind::kLeastFrequent;
+  }
+  return ConstraintKind::kMostFrequent;
+}
+
+}  // namespace
+
+ConstraintSpec ResolveConstraint(const std::string& constraint,
+                                 const text::EmbeddingModel& embeddings,
+                                 SimClock* clock, double min_score) {
+  ConstraintSpec spec;
+  if (constraint.empty()) return spec;
+
+  const auto& keywords = ConstraintKeywords();
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kEmbeddingSim,
+                  static_cast<double>(keywords.size()));
+  }
+
+  // The superlative token carries the polarity ("most frequently" vs
+  // "least frequently"), so resolve each token and keep the strongest
+  // polarity-determining hit: an exact keyword wins outright, otherwise
+  // embedding-closest.
+  double best_score = -1;
+  std::string best_keyword;
+  for (const std::string& token : text::Tokenize(constraint)) {
+    for (const std::string& keyword : keywords) {
+      const double score =
+          token == keyword ? 1.0 : embeddings.Similarity(token, keyword);
+      const bool polar = keyword == "most" || keyword == "least" ||
+                         keyword == "rarely";
+      // Prefer polarity keywords on ties so "most frequently" resolves
+      // through "most", not "frequently".
+      const double adjusted = score + (polar ? 0.05 : 0.0);
+      if (adjusted > best_score) {
+        best_score = adjusted;
+        best_keyword = keyword;
+        spec.score = score;
+      }
+    }
+  }
+  if (spec.score < min_score) return ConstraintSpec{};
+  spec.matched_keyword = best_keyword;
+  spec.kind = KindOfKeyword(best_keyword);
+  return spec;
+}
+
+}  // namespace svqa::exec

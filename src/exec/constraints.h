@@ -1,0 +1,47 @@
+#ifndef SVQA_EXEC_CONSTRAINTS_H_
+#define SVQA_EXEC_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "text/embedding.h"
+#include "util/sim_clock.h"
+
+namespace svqa::exec {
+
+/// \brief Semantic classes of the constraint c_c (Algorithm 3 line 9:
+/// `Con <- maxScore(L(c_c), S)` against the predefined word set S of
+/// ref [35]).
+enum class ConstraintKind {
+  kNone,
+  /// Keep the subject group(s) with maximal support ("most frequently").
+  kMostFrequent,
+  /// Keep the subject group(s) with minimal support ("least often").
+  kLeastFrequent,
+};
+
+const char* ConstraintKindName(ConstraintKind kind);
+
+/// \brief A resolved constraint.
+struct ConstraintSpec {
+  ConstraintKind kind = ConstraintKind::kNone;
+  /// The predefined keyword the constraint text matched.
+  std::string matched_keyword;
+  /// Cosine score of the match.
+  double score = 0;
+};
+
+/// \brief The predefined constraint word set S.
+const std::vector<std::string>& ConstraintKeywords();
+
+/// \brief Resolves a constraint phrase by embedding similarity against
+/// the predefined word set (charging CostKind::kEmbeddingSim per
+/// keyword). Empty input or a weak match resolves to kNone.
+ConstraintSpec ResolveConstraint(const std::string& constraint,
+                                 const text::EmbeddingModel& embeddings,
+                                 SimClock* clock = nullptr,
+                                 double min_score = 0.45);
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_CONSTRAINTS_H_

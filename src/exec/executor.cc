@@ -1,0 +1,297 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+namespace svqa::exec {
+
+std::string SupportFact::ToString() const {
+  std::ostringstream os;
+  os << "{" << subject << ", " << predicate << ", " << object << "}";
+  if (image == graph::kKnowledgeGraphSource) {
+    os << " (knowledge graph)";
+  } else {
+    os << " (image " << image << ")";
+  }
+  return os.str();
+}
+
+QueryGraphExecutor::QueryGraphExecutor(const aggregator::MergedGraph* merged,
+                                       const text::EmbeddingModel* embeddings,
+                                       KeyCentricCache* cache,
+                                       ExecutorOptions options)
+    : merged_(merged),
+      embeddings_(embeddings),
+      matcher_(merged, embeddings),
+      cache_(cache),
+      options_(options) {}
+
+std::string QueryGraphExecutor::PathKey(const nlp::Spoc& spoc) {
+  return "path:" + VertexMatcher::ScopeKey(spoc.subject) + "|" +
+         spoc.predicate + "|" + VertexMatcher::ScopeKey(spoc.object);
+}
+
+std::vector<graph::VertexId> QueryGraphExecutor::ResolveScope(
+    const nlp::SpocElement& element, SimClock* clock) const {
+  const std::string key = VertexMatcher::ScopeKey(element);
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->GetScope(key, clock)) return std::move(*hit);
+  }
+  std::vector<graph::VertexId> scope = matcher_.Match(element, clock);
+  if (cache_ != nullptr) cache_->PutScope(key, scope);
+  return scope;
+}
+
+std::string QueryGraphExecutor::MatchPredicateLabel(
+    const std::string& predicate, SimClock* clock) const {
+  const auto& labels = merged_->graph.EdgeLabels();
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kEmbeddingSim,
+                  static_cast<double>(labels.size()));
+  }
+  // Exact canonical hit first; embedding similarity otherwise.
+  for (const auto& label : labels) {
+    if (label == predicate) return label;
+  }
+  const auto& lexicon = embeddings_->lexicon();
+  for (const auto& label : labels) {
+    if (lexicon.AreSynonyms(label, predicate)) return label;
+  }
+  auto [best, score] = embeddings_->MostSimilar(predicate, labels);
+  if (best >= 0 && score >= options_.predicate_similarity_threshold) {
+    return labels[static_cast<std::size_t>(best)];
+  }
+  return predicate;  // no plausible label; the filter will drop all pairs
+}
+
+std::vector<RelationPair> QueryGraphExecutor::ApplyConstraint(
+    std::vector<RelationPair> pairs, const std::string& constraint,
+    SimClock* clock) const {
+  if (constraint.empty() || pairs.empty()) return pairs;
+  // Con <- maxScore(L(c_c), S): resolve the constraint phrase against the
+  // predefined word set (Algorithm 3 line 9).
+  const ConstraintSpec spec =
+      ResolveConstraint(constraint, *embeddings_, clock);
+  if (spec.kind == ConstraintKind::kNone) return pairs;
+  const bool most = spec.kind == ConstraintKind::kMostFrequent;
+
+  // Group by subject identity (the constrained entity) and keep the
+  // group(s) with the max (min) support — "most frequently" semantics.
+  std::map<std::string, std::vector<RelationPair>> groups;
+  for (auto& p : pairs) {
+    groups[NormalizeVertexAnswer(p.subject, /*want_kind=*/false)]
+        .push_back(p);
+  }
+  std::size_t extreme = most ? 0 : pairs.size() + 1;
+  for (const auto& [key, group] : groups) {
+    if (most) {
+      extreme = std::max(extreme, group.size());
+    } else {
+      extreme = std::min(extreme, group.size());
+    }
+  }
+  std::vector<RelationPair> out;
+  for (const auto& [key, group] : groups) {
+    if (group.size() == extreme) {
+      out.insert(out.end(), group.begin(), group.end());
+    }
+  }
+  return out;
+}
+
+std::string QueryGraphExecutor::NormalizeVertexAnswer(graph::VertexId v,
+                                                      bool want_kind) const {
+  const graph::Vertex& vx = merged_->graph.vertex(v);
+  if (want_kind) return vx.category;
+  std::string label = vx.label;
+  if (auto pos = label.find('#'); pos != std::string::npos) {
+    // Anonymous scene object: the category is the informative part.
+    return vx.category;
+  }
+  return label;
+}
+
+Answer QueryGraphExecutor::MakeAnswer(
+    const query::QueryGraph& gq, const nlp::Spoc& spoc,
+    const std::vector<RelationPair>& pairs) const {
+  Answer ans;
+  ans.type = gq.type();
+
+  // Which side of the relation pairs carries the asked-for value?
+  const bool subject_var = spoc.subject.is_variable;
+  const bool object_var = spoc.object.is_variable;
+  const nlp::SpocElement& var_el = object_var ? spoc.object : spoc.subject;
+
+  // Evidence sample for provenance.
+  for (const auto& p : pairs) {
+    if (ans.provenance.size() >= Answer::kMaxProvenance) break;
+    SupportFact fact;
+    const auto& sv = merged_->graph.vertex(p.subject);
+    const auto& ov = merged_->graph.vertex(p.object);
+    fact.subject = sv.label;
+    fact.predicate = p.predicate;
+    fact.object = ov.label;
+    fact.image = sv.source_image != graph::kKnowledgeGraphSource
+                     ? sv.source_image
+                     : ov.source_image;
+    ans.provenance.push_back(std::move(fact));
+  }
+
+  switch (gq.type()) {
+    case nlp::QuestionType::kJudgment: {
+      ans.yes = !pairs.empty();
+      ans.text = ans.yes ? "yes" : "no";
+      break;
+    }
+    case nlp::QuestionType::kCounting: {
+      // Accumulate across images: distinct identities. "How many kinds
+      // of X" counts categories; entity counting counts names. An
+      // anonymous detection ("wizard#3") of an entity category is an
+      // *unresolvable* individual — it may be a re-detection of an
+      // already-counted entity in another image — so it is excluded from
+      // identity counts rather than inflating them.
+      std::unordered_set<std::string> distinct;
+      for (const auto& p : pairs) {
+        const graph::VertexId v = object_var ? p.object : p.subject;
+        if (!var_el.want_kind &&
+            merged_->graph.vertex(v).label.find('#') != std::string::npos) {
+          continue;
+        }
+        distinct.insert(NormalizeVertexAnswer(v, var_el.want_kind));
+      }
+      ans.count = static_cast<int64_t>(distinct.size());
+      ans.text = std::to_string(ans.count);
+      break;
+    }
+    case nlp::QuestionType::kReasoning: {
+      // Vote over normalized answers of the variable side; most frequent
+      // first (the paper's top-1 selection).
+      std::map<std::string, std::size_t> votes;
+      for (const auto& p : pairs) {
+        const graph::VertexId v =
+            (object_var || !subject_var) ? p.object : p.subject;
+        ++votes[NormalizeVertexAnswer(v, var_el.want_kind)];
+      }
+      std::vector<std::pair<std::string, std::size_t>> ranked(votes.begin(),
+                                                              votes.end());
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      for (const auto& [label, n] : ranked) ans.entities.push_back(label);
+      ans.text = ans.entities.empty() ? "unknown" : ans.entities.front();
+      break;
+    }
+  }
+  return ans;
+}
+
+Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
+                                           SimClock* clock) const {
+  if (gq.size() == 0) {
+    return Status::InvalidArgument("empty query graph");
+  }
+  SVQA_ASSIGN_OR_RETURN(std::vector<int> order, gq.TopologicalOrder());
+
+  // Per-vertex role bindings pushed by producers (Update Stage).
+  std::vector<std::optional<std::vector<graph::VertexId>>> subj_binding(
+      gq.size());
+  std::vector<std::optional<std::vector<graph::VertexId>>> obj_binding(
+      gq.size());
+
+  Answer final_answer;
+  bool answered = false;
+
+  for (int u : order) {
+    const nlp::Spoc& spoc = gq.vertices()[u];
+
+    // --- Query Stage ---
+    // The path cache is consulted first (§V-B): a hit supplies the whole
+    // relation-pair set, skipping both matchVertex scans and the
+    // adjacency traversal. Only vertices without question-specific
+    // bindings are path-cacheable.
+    const bool cacheable =
+        !subj_binding[u].has_value() && !obj_binding[u].has_value();
+    std::vector<RelationPair> rp;
+    bool from_cache = false;
+    if (cacheable && cache_ != nullptr) {
+      if (auto hit = cache_->GetPath(PathKey(spoc), clock)) {
+        rp = std::move(*hit);
+        from_cache = true;
+      }
+    }
+    if (!from_cache) {
+      const std::vector<graph::VertexId> subjects =
+          subj_binding[u].has_value() ? *subj_binding[u]
+                                      : ResolveScope(spoc.subject, clock);
+      const std::vector<graph::VertexId> objects =
+          obj_binding[u].has_value() ? *obj_binding[u]
+                                     : ResolveScope(spoc.object, clock);
+      rp = FindRelationPairs(merged_->graph, subjects, objects, clock);
+      if (cacheable && cache_ != nullptr) {
+        cache_->PutPath(PathKey(spoc), rp);
+      }
+    }
+
+    // Predicate filter: keep pairs whose label is the predicate, one of
+    // its lexicon synonyms, or (fallback) the embedding-closest label.
+    const auto& lexicon = embeddings_->lexicon();
+    std::vector<RelationPair> ap;
+    ap.reserve(rp.size());
+    for (const auto& p : rp) {
+      if (p.predicate == spoc.predicate ||
+          lexicon.AreSynonyms(p.predicate, spoc.predicate)) {
+        ap.push_back(p);
+      }
+    }
+    if (ap.empty() && !rp.empty()) {
+      const std::string label = MatchPredicateLabel(spoc.predicate, clock);
+      for (auto& p : rp) {
+        if (p.predicate == label) ap.push_back(std::move(p));
+      }
+    } else if (clock != nullptr) {
+      // maxScore still runs in the paper's algorithm; charge it.
+      clock->Charge(CostKind::kEmbeddingSim,
+                    static_cast<double>(merged_->graph.EdgeLabels().size()));
+    }
+
+    // Constraint filter.
+    ap = ApplyConstraint(std::move(ap), spoc.constraint, clock);
+
+    // --- Update Stage ---
+    for (const query::QueryEdge& e : gq.EdgesFromProducer(u)) {
+      std::vector<graph::VertexId> binding;
+      const bool from_subject = e.kind == query::DependencyKind::kS2S ||
+                                e.kind == query::DependencyKind::kO2S;
+      for (const auto& p : ap) {
+        binding.push_back(from_subject ? p.subject : p.object);
+      }
+      std::sort(binding.begin(), binding.end());
+      binding.erase(std::unique(binding.begin(), binding.end()),
+                    binding.end());
+      const bool to_subject = e.kind == query::DependencyKind::kS2S ||
+                              e.kind == query::DependencyKind::kS2O;
+      if (to_subject) {
+        subj_binding[e.consumer] = std::move(binding);
+      } else {
+        obj_binding[e.consumer] = std::move(binding);
+      }
+    }
+
+    // The main clause (vertex 0) produces the final answer.
+    if (u == 0) {
+      final_answer = MakeAnswer(gq, spoc, ap);
+      answered = true;
+    }
+  }
+
+  if (!answered) {
+    return Status::ExecutionError("main clause never executed");
+  }
+  return final_answer;
+}
+
+}  // namespace svqa::exec

@@ -1,0 +1,106 @@
+#ifndef SVQA_EXEC_EXECUTOR_H_
+#define SVQA_EXEC_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aggregator/merger.h"
+#include "exec/constraints.h"
+#include "exec/key_centric_cache.h"
+#include "exec/relation_pairs.h"
+#include "exec/vertex_matcher.h"
+#include "query/query_graph.h"
+#include "text/embedding.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace svqa::exec {
+
+/// \brief A supporting fact behind an answer: one merged-graph relation
+/// pair that survived the filters, with its source image.
+struct SupportFact {
+  /// Image the relation came from, or graph::kKnowledgeGraphSource for a
+  /// knowledge-graph fact.
+  int32_t image = graph::kKnowledgeGraphSource;
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  std::string ToString() const;
+};
+
+/// \brief The answer to a complex question.
+struct Answer {
+  nlp::QuestionType type = nlp::QuestionType::kReasoning;
+  /// Normalized answer text: "yes"/"no", a decimal count, or an entity /
+  /// category label.
+  std::string text;
+  bool yes = false;    ///< Judgment verdict.
+  int64_t count = 0;   ///< Counting result.
+  /// All candidate entity answers for reasoning questions, most frequent
+  /// first.
+  std::vector<std::string> entities;
+  /// Evidence: up to kMaxProvenance relation pairs of the main clause
+  /// that produced this answer.
+  std::vector<SupportFact> provenance;
+
+  static constexpr std::size_t kMaxProvenance = 10;
+};
+
+/// \brief Executor tuning knobs.
+struct ExecutorOptions {
+  /// Minimum embedding cosine for predicate label fallback matching.
+  double predicate_similarity_threshold = 0.5;
+};
+
+/// \brief Algorithm 3: executes a query graph over the merged graph.
+///
+/// Vertices are processed in dependency order (producers first). Each
+/// vertex resolves its subject/object scopes (through the scope cache or
+/// matchVertex), collects relation pairs (through the path cache or an
+/// adjacency scan), filters them by the maxScore-matched predicate and
+/// the constraint, and pushes the surviving bindings into its consumers.
+/// The main clause (vertex 0) yields the final answer.
+class QueryGraphExecutor {
+ public:
+  /// \param cache optional key-centric cache shared across queries; pass
+  /// nullptr for the cache-less configuration.
+  QueryGraphExecutor(const aggregator::MergedGraph* merged,
+                     const text::EmbeddingModel* embeddings,
+                     KeyCentricCache* cache = nullptr,
+                     ExecutorOptions options = {});
+
+  /// Executes one query graph.
+  Result<Answer> Execute(const query::QueryGraph& gq,
+                         SimClock* clock = nullptr) const;
+
+  const VertexMatcher& matcher() const { return matcher_; }
+  KeyCentricCache* cache() const { return cache_; }
+
+  /// The stable path-cache key for a vertex's relation-pair query.
+  static std::string PathKey(const nlp::Spoc& spoc);
+
+ private:
+  std::vector<graph::VertexId> ResolveScope(const nlp::SpocElement& element,
+                                            SimClock* clock) const;
+  /// maxScore over the merged graph's edge labels (Algorithm 3 line 8).
+  std::string MatchPredicateLabel(const std::string& predicate,
+                                  SimClock* clock) const;
+  std::vector<RelationPair> ApplyConstraint(std::vector<RelationPair> pairs,
+                                            const std::string& constraint,
+                                            SimClock* clock) const;
+  Answer MakeAnswer(const query::QueryGraph& gq, const nlp::Spoc& spoc,
+                    const std::vector<RelationPair>& pairs) const;
+  std::string NormalizeVertexAnswer(graph::VertexId v, bool want_kind) const;
+
+  const aggregator::MergedGraph* merged_;
+  const text::EmbeddingModel* embeddings_;
+  VertexMatcher matcher_;
+  KeyCentricCache* cache_;
+  ExecutorOptions options_;
+};
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_EXECUTOR_H_

@@ -1,0 +1,73 @@
+#include "exec/key_centric_cache.h"
+
+namespace svqa::exec {
+
+const char* CachePolicyName(CachePolicy policy) {
+  return policy == CachePolicy::kLfu ? "LFU" : "LRU";
+}
+
+KeyCentricCache::KeyCentricCache(KeyCentricCacheOptions options)
+    : options_(options),
+      scope_(options.capacity),
+      path_(options.capacity) {}
+
+std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
+    const std::string& key, SimClock* clock) {
+  if (!options_.enable_scope || options_.capacity == 0) return std::nullopt;
+  if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+  const std::vector<graph::VertexId>* hit =
+      options_.policy == CachePolicy::kLfu ? scope_.lfu.Get(key)
+                                           : scope_.lru.Get(key);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+void KeyCentricCache::PutScope(const std::string& key,
+                               std::vector<graph::VertexId> value) {
+  if (!options_.enable_scope || options_.capacity == 0) return;
+  if (options_.policy == CachePolicy::kLfu) {
+    scope_.lfu.Put(key, std::move(value));
+  } else {
+    scope_.lru.Put(key, std::move(value));
+  }
+}
+
+std::optional<std::vector<RelationPair>> KeyCentricCache::GetPath(
+    const std::string& key, SimClock* clock) {
+  if (!options_.enable_path || options_.capacity == 0) return std::nullopt;
+  if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+  const std::vector<RelationPair>* hit =
+      options_.policy == CachePolicy::kLfu ? path_.lfu.Get(key)
+                                           : path_.lru.Get(key);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+void KeyCentricCache::PutPath(const std::string& key,
+                              std::vector<RelationPair> value) {
+  if (!options_.enable_path || options_.capacity == 0) return;
+  if (options_.policy == CachePolicy::kLfu) {
+    path_.lfu.Put(key, std::move(value));
+  } else {
+    path_.lru.Put(key, std::move(value));
+  }
+}
+
+cache::CacheStats KeyCentricCache::ScopeStats() const {
+  return options_.policy == CachePolicy::kLfu ? scope_.lfu.stats()
+                                              : scope_.lru.stats();
+}
+
+cache::CacheStats KeyCentricCache::PathStats() const {
+  return options_.policy == CachePolicy::kLfu ? path_.lfu.stats()
+                                              : path_.lru.stats();
+}
+
+void KeyCentricCache::Clear() {
+  scope_.lfu.Clear();
+  scope_.lru.Clear();
+  path_.lfu.Clear();
+  path_.lru.Clear();
+}
+
+}  // namespace svqa::exec

@@ -1,0 +1,72 @@
+#ifndef SVQA_EXEC_KEY_CENTRIC_CACHE_H_
+#define SVQA_EXEC_KEY_CENTRIC_CACHE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "exec/relation_pairs.h"
+#include "graph/graph.h"
+#include "util/sim_clock.h"
+
+namespace svqa::exec {
+
+/// \brief Cache replacement policy for the key-centric cache (Fig. 11
+/// compares the two).
+enum class CachePolicy { kLfu, kLru };
+
+const char* CachePolicyName(CachePolicy policy);
+
+/// \brief Configuration of the key-centric cache (§V-B).
+struct KeyCentricCacheOptions {
+  /// Pool size in items; 0 disables the pool entirely.
+  std::size_t capacity = 100;
+  CachePolicy policy = CachePolicy::kLfu;
+  /// Cache matchVertex scopes (candidate vertex sets per element key).
+  bool enable_scope = true;
+  /// Cache relation-pair paths (RP sets per (sub, obj, predicate) key).
+  bool enable_path = true;
+};
+
+/// \brief The key-centric cache: a *scope* store (matchVertex results)
+/// and a *path* store (getRelationpairs results), each under the chosen
+/// eviction policy. Every probe charges CostKind::kCacheProbe.
+class KeyCentricCache {
+ public:
+  explicit KeyCentricCache(KeyCentricCacheOptions options = {});
+
+  /// Scope lookup; copies the hit out (the caller mutates freely).
+  std::optional<std::vector<graph::VertexId>> GetScope(
+      const std::string& key, SimClock* clock = nullptr);
+  void PutScope(const std::string& key, std::vector<graph::VertexId> value);
+
+  /// Path lookup.
+  std::optional<std::vector<RelationPair>> GetPath(
+      const std::string& key, SimClock* clock = nullptr);
+  void PutPath(const std::string& key, std::vector<RelationPair> value);
+
+  const KeyCentricCacheOptions& options() const { return options_; }
+  cache::CacheStats ScopeStats() const;
+  cache::CacheStats PathStats() const;
+  void Clear();
+
+ private:
+  template <typename V>
+  struct PolicyPair {
+    explicit PolicyPair(std::size_t capacity)
+        : lfu(capacity), lru(capacity) {}
+    cache::LfuCache<std::string, V> lfu;
+    cache::LruCache<std::string, V> lru;
+  };
+
+  KeyCentricCacheOptions options_;
+  PolicyPair<std::vector<graph::VertexId>> scope_;
+  PolicyPair<std::vector<RelationPair>> path_;
+};
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_KEY_CENTRIC_CACHE_H_

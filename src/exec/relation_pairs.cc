@@ -1,0 +1,60 @@
+#include "exec/relation_pairs.h"
+
+#include <unordered_set>
+
+namespace svqa::exec {
+
+std::vector<RelationPair> FindRelationPairs(
+    const graph::Graph& g, const std::vector<graph::VertexId>& subjects,
+    const std::vector<graph::VertexId>& objects, SimClock* clock) {
+  std::vector<RelationPair> pairs;
+  if (subjects.empty() || objects.empty()) return pairs;
+
+  // Join-direction choice: scan the adjacency of the smaller candidate
+  // set and hash-probe the larger one — the traversal cost is
+  // proportional to the scanned side's degree sum.
+  const bool scan_subjects = subjects.size() <= objects.size();
+  const auto& scan = scan_subjects ? subjects : objects;
+  const auto& probe = scan_subjects ? objects : subjects;
+
+  std::unordered_set<graph::VertexId> probe_set(probe.begin(), probe.end());
+  double scanned = 0;
+  for (graph::VertexId v : scan) {
+    for (const auto& he : g.OutEdges(v)) {
+      ++scanned;
+      if (probe_set.count(he.neighbor) > 0) {
+        // Edge v -> neighbor. Subject/object roles depend on which side
+        // we scanned; `forward` records whether the stored edge runs
+        // subject -> object.
+        if (scan_subjects) {
+          pairs.push_back(RelationPair{
+              v, he.neighbor, std::string(g.EdgeLabelName(he.label)),
+              true});
+        } else {
+          pairs.push_back(RelationPair{
+              he.neighbor, v, std::string(g.EdgeLabelName(he.label)),
+              false});
+        }
+      }
+    }
+    for (const auto& he : g.InEdges(v)) {
+      ++scanned;
+      if (probe_set.count(he.neighbor) > 0) {
+        // Edge neighbor -> v.
+        if (scan_subjects) {
+          pairs.push_back(RelationPair{
+              v, he.neighbor, std::string(g.EdgeLabelName(he.label)),
+              false});
+        } else {
+          pairs.push_back(RelationPair{
+              he.neighbor, v, std::string(g.EdgeLabelName(he.label)),
+              true});
+        }
+      }
+    }
+  }
+  if (clock != nullptr) clock->Charge(CostKind::kEdgeTraverse, scanned);
+  return pairs;
+}
+
+}  // namespace svqa::exec

@@ -1,0 +1,30 @@
+#ifndef SVQA_EXEC_RELATION_PAIRS_H_
+#define SVQA_EXEC_RELATION_PAIRS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/sim_clock.h"
+
+namespace svqa::exec {
+
+/// \brief One (Sub - E_so - Obj) relation pair (Algorithm 3 line 26).
+/// `forward` is true when the merged-graph edge runs subject -> object.
+struct RelationPair {
+  graph::VertexId subject = 0;
+  graph::VertexId object = 0;
+  std::string predicate;
+  bool forward = true;
+};
+
+/// \brief getRelations(Sub, Obj): all edges of `g` connecting a subject
+/// candidate with an object candidate, in either direction. Charges
+/// CostKind::kEdgeTraverse per adjacency entry scanned.
+std::vector<RelationPair> FindRelationPairs(
+    const graph::Graph& g, const std::vector<graph::VertexId>& subjects,
+    const std::vector<graph::VertexId>& objects, SimClock* clock = nullptr);
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_RELATION_PAIRS_H_

@@ -1,0 +1,47 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "exec/executor.h"
+
+namespace svqa::exec {
+
+ScheduleResult ScheduleQueries(
+    const std::vector<const query::QueryGraph*>& graphs) {
+  ScheduleResult result;
+  result.scores.assign(graphs.size(), 0.0);
+
+  // Frequency of each distinct vertex key across the batch.
+  std::unordered_map<std::string, std::size_t> freq;
+  std::size_t total = 0;
+  for (const query::QueryGraph* g : graphs) {
+    for (const nlp::Spoc& spoc : g->vertices()) {
+      ++freq[QueryGraphExecutor::PathKey(spoc)];
+      ++total;
+    }
+  }
+  if (total == 0) total = 1;
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    double score = 0;
+    for (const nlp::Spoc& spoc : graphs[i]->vertices()) {
+      score += static_cast<double>(freq[QueryGraphExecutor::PathKey(spoc)]) /
+               static_cast<double>(total);
+    }
+    result.scores[i] = score;
+  }
+
+  result.order.resize(graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    result.order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(result.order.begin(), result.order.end(),
+                   [&](int a, int b) {
+                     return result.scores[a] > result.scores[b];
+                   });
+  return result;
+}
+
+}  // namespace svqa::exec

@@ -1,0 +1,29 @@
+#ifndef SVQA_EXEC_SCHEDULER_H_
+#define SVQA_EXEC_SCHEDULER_H_
+
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace svqa::exec {
+
+/// \brief Output of the pre-analysis: an execution order plus the
+/// frequency-ratio score of every graph.
+struct ScheduleResult {
+  /// Indices into the input vector, highest score first.
+  std::vector<int> order;
+  /// Score per input graph (sum of its vertices' frequency ratios).
+  std::vector<double> scores;
+};
+
+/// \brief Optimized query scheduling (§V-B): pre-analyzes the N query
+/// graphs, counts how often each distinct SPOC vertex key appears across
+/// the batch, scores every graph by the summed frequency ratio of its
+/// vertices, and sorts descending — graphs full of reusable vertices run
+/// first so the key-centric cache is warm for everyone else.
+ScheduleResult ScheduleQueries(
+    const std::vector<const query::QueryGraph*>& graphs);
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_SCHEDULER_H_

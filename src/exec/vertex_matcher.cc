@@ -1,0 +1,194 @@
+#include "exec/vertex_matcher.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "text/levenshtein.h"
+
+namespace svqa::exec {
+
+VertexMatcher::VertexMatcher(const aggregator::MergedGraph* merged,
+                             const text::EmbeddingModel* embeddings,
+                             VertexMatcherOptions options)
+    : merged_(merged), embeddings_(embeddings), options_(options) {
+  const graph::Graph& g = merged_->graph;
+  const auto& lexicon = embeddings_->lexicon();
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const graph::Vertex& vx = g.vertex(v);
+    canon_index_[lexicon.Canonical(vx.category)].push_back(v);
+    std::string label = vx.label;
+    if (auto pos = label.find('#'); pos != std::string::npos) {
+      label.resize(pos);
+    }
+    const std::string canon_label = lexicon.Canonical(label);
+    if (canon_label != lexicon.Canonical(vx.category)) {
+      canon_index_[canon_label].push_back(v);
+    }
+  }
+}
+
+std::string VertexMatcher::ScopeKey(const nlp::SpocElement& element) {
+  std::string key = "scope:";
+  key += element.head;
+  if (!element.owner.empty()) {
+    key += "|owner=";
+    key += element.owner;
+  }
+  if (!element.attribute.empty()) {
+    key += "|attr=";
+    key += element.attribute;
+  }
+  return key;
+}
+
+std::vector<graph::VertexId> VertexMatcher::MatchByLabel(
+    const std::string& head, SimClock* clock) const {
+  const graph::Graph& g = merged_->graph;
+  const auto& lexicon = embeddings_->lexicon();
+  const std::string canon = lexicon.Canonical(head);
+
+  // Virtually this is a scan of every vertex with a Levenshtein test per
+  // label (what the scope cache amortizes); charge it as such.
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kVertexCompare,
+                  static_cast<double>(g.num_vertices()));
+    clock->Charge(CostKind::kLevenshtein,
+                  static_cast<double>(g.num_vertices()));
+  }
+
+  // Physical fast path: exact canonical hit.
+  if (auto it = canon_index_.find(canon); it != canon_index_.end()) {
+    return it->second;
+  }
+
+  // Fuzzy fallback: normalized Levenshtein over labels and categories.
+  std::vector<graph::VertexId> out;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const graph::Vertex& vx = g.vertex(v);
+    std::string_view label = vx.label;
+    if (auto pos = label.find('#'); pos != std::string_view::npos) {
+      label = label.substr(0, pos);
+    }
+    if (text::NormalizedLevenshtein(label, canon) <=
+            options_.levenshtein_threshold ||
+        text::NormalizedLevenshtein(vx.category, canon) <=
+            options_.levenshtein_threshold) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+void VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
+                                   SimClock* clock) const {
+  const graph::Graph& g = merged_->graph;
+  // Walk down the taxonomy: concept -> (is-a in-edges) -> sub-concepts
+  // -> (instance-of in-edges) -> scene objects / entities.
+  std::unordered_set<graph::VertexId> seen(candidates->begin(),
+                                           candidates->end());
+  std::deque<graph::VertexId> frontier(candidates->begin(),
+                                       candidates->end());
+  double traversed = 0;
+  while (!frontier.empty()) {
+    const graph::VertexId v = frontier.front();
+    frontier.pop_front();
+    for (const auto& he : g.InEdges(v)) {
+      ++traversed;
+      const std::string_view label = g.EdgeLabelName(he.label);
+      if (label == "is-a" || label == aggregator::kInstanceOfEdge ||
+          label == aggregator::kSameAsEdge) {
+        if (seen.insert(he.neighbor).second) {
+          candidates->push_back(he.neighbor);
+          frontier.push_back(he.neighbor);
+        }
+      }
+    }
+  }
+  if (clock != nullptr) clock->Charge(CostKind::kEdgeTraverse, traversed);
+}
+
+std::vector<graph::VertexId> VertexMatcher::MatchPossessive(
+    const nlp::SpocElement& element, SimClock* clock) const {
+  const graph::Graph& g = merged_->graph;
+  // Resolve the owner entity: KG labels are kebab-case
+  // ("harry-potter"); the phrase is space-separated.
+  std::string owner_label = element.owner;
+  std::replace(owner_label.begin(), owner_label.end(), ' ', '-');
+  std::vector<graph::VertexId> owners = MatchByLabel(owner_label, clock);
+  if (owners.empty()) return {};
+
+  // The KG edge whose label is embedding-closest to the head
+  // ("girlfriend" -> "girlfriend-of").
+  const auto& labels = g.EdgeLabels();
+  auto [best, score] = embeddings_->MostSimilar(element.head, labels);
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kEmbeddingSim, static_cast<double>(labels.size()));
+  }
+  if (best < 0 || score < options_.edge_similarity_threshold) return {};
+  const std::string& edge_label = labels[static_cast<std::size_t>(best)];
+
+  // X --girlfriend-of--> owner: collect in-edge sources on the owner.
+  std::vector<graph::VertexId> out;
+  double traversed = 0;
+  for (graph::VertexId o : owners) {
+    for (const auto& he : g.InEdges(o)) {
+      ++traversed;
+      if (g.EdgeLabelName(he.label) == edge_label) {
+        out.push_back(he.neighbor);
+      }
+    }
+    // Also follow out-edges for symmetric relations.
+    for (const auto& he : g.OutEdges(o)) {
+      ++traversed;
+      if (g.EdgeLabelName(he.label) == edge_label) {
+        out.push_back(he.neighbor);
+      }
+    }
+  }
+  if (clock != nullptr) clock->Charge(CostKind::kEdgeTraverse, traversed);
+  return out;
+}
+
+std::vector<graph::VertexId> VertexMatcher::Match(
+    const nlp::SpocElement& element, SimClock* clock) const {
+  std::vector<graph::VertexId> out;
+  if (element.empty()) return out;
+
+  if (!element.owner.empty()) {
+    out = MatchPossessive(element, clock);
+    // Named entities found through the KG extend to their scene-graph
+    // appearances via same-as links.
+    ExpandTaxonomy(&out, clock);
+  } else {
+    out = MatchByLabel(element.head, clock);
+    ExpandTaxonomy(&out, clock);
+  }
+  // Attribute constraint ("red robe"): keep only candidates with a
+  // matching has-attribute edge.
+  if (!element.attribute.empty()) {
+    const graph::Graph& g = merged_->graph;
+    const auto& lexicon = embeddings_->lexicon();
+    const std::string want = lexicon.Canonical(element.attribute);
+    std::vector<graph::VertexId> filtered;
+    double traversed = 0;
+    for (graph::VertexId v : out) {
+      for (const auto& he : g.OutEdges(v)) {
+        ++traversed;
+        if (g.EdgeLabelName(he.label) == "has-attribute" &&
+            lexicon.Canonical(g.vertex(he.neighbor).category) == want) {
+          filtered.push_back(v);
+          break;
+        }
+      }
+    }
+    if (clock != nullptr) clock->Charge(CostKind::kEdgeTraverse, traversed);
+    out = std::move(filtered);
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace svqa::exec

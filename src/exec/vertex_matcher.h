@@ -1,0 +1,71 @@
+#ifndef SVQA_EXEC_VERTEX_MATCHER_H_
+#define SVQA_EXEC_VERTEX_MATCHER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aggregator/merger.h"
+#include "graph/graph.h"
+#include "nlp/spoc_extractor.h"
+#include "text/embedding.h"
+#include "util/sim_clock.h"
+
+namespace svqa::exec {
+
+/// \brief Options for matchVertex.
+struct VertexMatcherOptions {
+  /// Maximum normalized Levenshtein distance for a label match (the
+  /// paper's "empirical threshold").
+  double levenshtein_threshold = 0.34;
+  /// Minimum embedding cosine for the relation-edge fallback of
+  /// non-simple nouns.
+  double edge_similarity_threshold = 0.55;
+};
+
+/// \brief matchVertex (Algorithm 3, §V-A): resolves a SPOC element to
+/// candidate vertices of the merged graph.
+///
+/// Simple nouns scan every merged-graph vertex, comparing the canonical
+/// head against labels and categories by normalized Levenshtein distance
+/// (charging kVertexCompare + kLevenshtein per vertex — the cost the
+/// *scope* cache amortizes). Hyponym expansion then follows the KG
+/// taxonomy (is-a / instance-of links) so "animal" reaches dog/cat scene
+/// objects. Possessive phrases ("harry potter's girlfriend") resolve the
+/// owner and follow the KG edge whose label is embedding-closest to the
+/// head ("girlfriend" -> "girlfriend-of").
+class VertexMatcher {
+ public:
+  VertexMatcher(const aggregator::MergedGraph* merged,
+                const text::EmbeddingModel* embeddings,
+                VertexMatcherOptions options = {});
+
+  /// Resolves one element. The result is sorted and deduplicated.
+  std::vector<graph::VertexId> Match(const nlp::SpocElement& element,
+                                     SimClock* clock = nullptr) const;
+
+  /// The stable cache key identifying this element's match scope.
+  static std::string ScopeKey(const nlp::SpocElement& element);
+
+ private:
+  std::vector<graph::VertexId> MatchByLabel(const std::string& head,
+                                            SimClock* clock) const;
+  void ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
+                      SimClock* clock) const;
+  std::vector<graph::VertexId> MatchPossessive(
+      const nlp::SpocElement& element, SimClock* clock) const;
+
+  const aggregator::MergedGraph* merged_;
+  const text::EmbeddingModel* embeddings_;
+  VertexMatcherOptions options_;
+  /// Physical fast path: canonical category/label -> vertices. The
+  /// matcher still *charges* the full label scan (that is what the
+  /// algorithm performs and what the scope cache amortizes); the index
+  /// only keeps host wall-time reasonable. Fuzzy Levenshtein matching
+  /// runs only when the exact canonical lookup comes back empty.
+  std::unordered_map<std::string, std::vector<graph::VertexId>> canon_index_;
+};
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_VERTEX_MATCHER_H_

@@ -1,0 +1,143 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace svqa::graph {
+
+VertexId Graph::AddVertex(std::string label, std::string category,
+                          int32_t source_image) {
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  label_index_[label].push_back(id);
+  category_index_[category].push_back(id);
+  vertices_.push_back(
+      Vertex{std::move(label), std::move(category), source_image});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+LabelId Graph::InternEdgeLabel(std::string_view label) {
+  auto it = edge_label_ids_.find(std::string(label));
+  if (it != edge_label_ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(edge_labels_.size());
+  edge_labels_.emplace_back(label);
+  edge_label_ids_.emplace(std::string(label), id);
+  return id;
+}
+
+Status Graph::AddEdge(VertexId src, VertexId dst, std::string_view label) {
+  if (src >= vertices_.size() || dst >= vertices_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loops are not allowed");
+  }
+  if (HasEdge(src, dst, label)) {
+    return Status::AlreadyExists("duplicate edge");
+  }
+  const LabelId lid = InternEdgeLabel(label);
+  out_[src].push_back(HalfEdge{dst, lid});
+  in_[dst].push_back(HalfEdge{src, lid});
+  ++num_edges_;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(VertexId src, VertexId dst,
+                    std::string_view label) const {
+  if (src >= vertices_.size() || dst >= vertices_.size()) return false;
+  auto it = edge_label_ids_.find(std::string(label));
+  if (it == edge_label_ids_.end()) return false;
+  const LabelId lid = it->second;
+  // Scan the smaller of the two adjacency lists.
+  if (out_[src].size() <= in_[dst].size()) {
+    for (const auto& he : out_[src]) {
+      if (he.neighbor == dst && he.label == lid) return true;
+    }
+  } else {
+    for (const auto& he : in_[dst]) {
+      if (he.neighbor == src && he.label == lid) return true;
+    }
+  }
+  return false;
+}
+
+std::span<const VertexId> Graph::VerticesWithLabel(
+    std::string_view label) const {
+  auto it = label_index_.find(std::string(label));
+  if (it == label_index_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+std::span<const VertexId> Graph::VerticesWithCategory(
+    std::string_view category) const {
+  auto it = category_index_.find(std::string(category));
+  if (it == category_index_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+std::vector<EdgeRef> Graph::AllEdges() const {
+  std::vector<EdgeRef> edges;
+  edges.reserve(num_edges_);
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    for (const auto& he : out_[v]) {
+      edges.push_back(EdgeRef{v, he.neighbor, edge_labels_[he.label]});
+    }
+  }
+  return edges;
+}
+
+Status Graph::CheckConsistency() const {
+  if (out_.size() != vertices_.size() || in_.size() != vertices_.size()) {
+    return Status::Internal("adjacency table size mismatch");
+  }
+  std::size_t out_total = 0, in_total = 0;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    for (const auto& he : out_[v]) {
+      if (he.neighbor >= vertices_.size()) {
+        return Status::Internal("dangling out-edge");
+      }
+      if (he.label >= edge_labels_.size()) {
+        return Status::Internal("unknown edge label id");
+      }
+      ++out_total;
+    }
+    for (const auto& he : in_[v]) {
+      if (he.neighbor >= vertices_.size()) {
+        return Status::Internal("dangling in-edge");
+      }
+      ++in_total;
+    }
+  }
+  if (out_total != num_edges_ || in_total != num_edges_) {
+    return Status::Internal("edge count mismatch");
+  }
+  // Every out-edge must have a matching in-edge.
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    for (const auto& he : out_[v]) {
+      const auto& back = in_[he.neighbor];
+      const bool found =
+          std::any_of(back.begin(), back.end(), [&](const HalfEdge& b) {
+            return b.neighbor == v && b.label == he.label;
+          });
+      if (!found) return Status::Internal("missing reverse half-edge");
+    }
+  }
+  // Index entries must point at vertices with the indexed key.
+  for (const auto& [label, ids] : label_index_) {
+    for (VertexId v : ids) {
+      if (v >= vertices_.size() || vertices_[v].label != label) {
+        return Status::Internal("label index corrupt for '" + label + "'");
+      }
+    }
+  }
+  for (const auto& [cat, ids] : category_index_) {
+    for (VertexId v : ids) {
+      if (v >= vertices_.size() || vertices_[v].category != cat) {
+        return Status::Internal("category index corrupt for '" + cat + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace svqa::graph

@@ -1,0 +1,137 @@
+#ifndef SVQA_GRAPH_GRAPH_H_
+#define SVQA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace svqa::graph {
+
+/// Dense vertex identifier (index into the vertex table).
+using VertexId = uint32_t;
+/// Interned label identifier.
+using LabelId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr int32_t kKnowledgeGraphSource = -1;
+
+/// \brief One vertex of a directed labeled graph G = (V, E, L).
+///
+/// `label` is the display label L(v) (e.g. "ginny-weasley", "dog#3");
+/// `category` is the type used by frequency statistics and entity linking
+/// (e.g. "person", "dog"). `source_image` is the image index a scene-graph
+/// vertex came from, or kKnowledgeGraphSource for KG vertices.
+struct Vertex {
+  std::string label;
+  std::string category;
+  int32_t source_image = kKnowledgeGraphSource;
+};
+
+/// \brief Outgoing/incoming half-edge stored in adjacency lists.
+struct HalfEdge {
+  VertexId neighbor;
+  LabelId label;
+};
+
+/// \brief A fully-resolved edge (for iteration / serialization).
+struct EdgeRef {
+  VertexId src;
+  VertexId dst;
+  std::string_view label;
+};
+
+/// \brief Directed labeled multigraph with label interning and secondary
+/// indexes by vertex label and category.
+///
+/// This one structure backs scene graphs G_sg, the knowledge graph G, and
+/// the merged graph G_mg (§III). Vertices are append-only; parallel edges
+/// with distinct labels are allowed, exact duplicates are rejected.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  // --- construction ---
+
+  /// Adds a vertex; returns its id.
+  VertexId AddVertex(std::string label, std::string category,
+                     int32_t source_image = kKnowledgeGraphSource);
+
+  /// Adds a directed edge src --label--> dst. Rejects out-of-range ids,
+  /// self-loops, and exact duplicates.
+  Status AddEdge(VertexId src, VertexId dst, std::string_view label);
+
+  /// True when the exact edge already exists.
+  bool HasEdge(VertexId src, VertexId dst, std::string_view label) const;
+
+  // --- accessors ---
+
+  std::size_t num_vertices() const { return vertices_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const Vertex& vertex(VertexId v) const { return vertices_[v]; }
+
+  std::span<const HalfEdge> OutEdges(VertexId v) const {
+    return {out_[v].data(), out_[v].size()};
+  }
+  std::span<const HalfEdge> InEdges(VertexId v) const {
+    return {in_[v].data(), in_[v].size()};
+  }
+
+  std::size_t OutDegree(VertexId v) const { return out_[v].size(); }
+  std::size_t InDegree(VertexId v) const { return in_[v].size(); }
+
+  /// The string for an interned edge label.
+  std::string_view EdgeLabelName(LabelId id) const {
+    return edge_labels_[id];
+  }
+
+  /// All distinct edge-label strings (the `T <- getLabels(E_mg)` set of
+  /// Algorithm 3 line 2).
+  const std::vector<std::string>& EdgeLabels() const { return edge_labels_; }
+
+  /// Vertices whose display label equals `label` (exact match).
+  std::span<const VertexId> VerticesWithLabel(std::string_view label) const;
+
+  /// Vertices whose category equals `category` (exact match).
+  std::span<const VertexId> VerticesWithCategory(
+      std::string_view category) const;
+
+  /// All edges, materialized (src, dst, label) — intended for tests and
+  /// serialization, not hot paths.
+  std::vector<EdgeRef> AllEdges() const;
+
+  /// Validates internal invariants (index consistency, edge endpoints);
+  /// used by tests and debug checks.
+  Status CheckConsistency() const;
+
+ private:
+  LabelId InternEdgeLabel(std::string_view label);
+
+  std::vector<Vertex> vertices_;
+  std::vector<std::vector<HalfEdge>> out_;
+  std::vector<std::vector<HalfEdge>> in_;
+  std::size_t num_edges_ = 0;
+
+  std::vector<std::string> edge_labels_;
+  std::unordered_map<std::string, LabelId> edge_label_ids_;
+
+  std::unordered_map<std::string, std::vector<VertexId>> label_index_;
+  std::unordered_map<std::string, std::vector<VertexId>> category_index_;
+};
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_GRAPH_H_

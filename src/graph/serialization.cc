@@ -1,0 +1,109 @@
+#include "graph/serialization.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace svqa::graph {
+namespace {
+
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+template <typename Int>
+bool ParseInt(std::string_view s, Int* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::string ToText(const Graph& g) {
+  std::ostringstream os;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Vertex& vx = g.vertex(v);
+    os << "v\t" << v << '\t' << vx.label << '\t' << vx.category << '\t'
+       << vx.source_image << '\n';
+  }
+  for (const auto& e : g.AllEdges()) {
+    os << "e\t" << e.src << '\t' << e.dst << '\t' << e.label << '\n';
+  }
+  return os.str();
+}
+
+Result<Graph> FromText(const std::string& text) {
+  Graph g;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = SplitTabs(line);
+    const auto fail = [&](const std::string& why) {
+      return Status::ParseError("line " + std::to_string(lineno) + ": " +
+                                why);
+    };
+    if (fields[0] == "v") {
+      if (fields.size() != 5) return fail("vertex line needs 5 fields");
+      VertexId id;
+      int32_t src_img;
+      if (!ParseInt(fields[1], &id) || !ParseInt(fields[4], &src_img)) {
+        return fail("bad vertex numbers");
+      }
+      if (id != g.num_vertices()) {
+        return fail("vertex ids must be dense and ordered");
+      }
+      g.AddVertex(std::string(fields[2]), std::string(fields[3]), src_img);
+    } else if (fields[0] == "e") {
+      if (fields.size() != 4) return fail("edge line needs 4 fields");
+      VertexId src, dst;
+      if (!ParseInt(fields[1], &src) || !ParseInt(fields[2], &dst)) {
+        return fail("bad edge endpoints");
+      }
+      Status s = g.AddEdge(src, dst, fields[3]);
+      if (!s.ok()) return fail(s.ToString());
+    } else {
+      return fail("unknown record type '" + std::string(fields[0]) + "'");
+    }
+  }
+  return g;
+}
+
+Status ToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << ToText(g);
+  out.close();
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromText(buffer.str());
+}
+
+}  // namespace svqa::graph

@@ -1,0 +1,31 @@
+#ifndef SVQA_GRAPH_SERIALIZATION_H_
+#define SVQA_GRAPH_SERIALIZATION_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace svqa::graph {
+
+/// \brief Serializes a graph to a line-oriented text format:
+///
+///     v <id> <label> <category> <source_image>
+///     e <src> <dst> <label>
+///
+/// Fields are tab-separated; labels may contain spaces but not tabs.
+std::string ToText(const Graph& g);
+
+/// \brief Parses the format produced by ToText. Vertex ids must be dense
+/// and in order; otherwise a ParseError is returned.
+Result<Graph> FromText(const std::string& text);
+
+/// \brief Writes ToText(g) to `path` (overwrites).
+Status ToFile(const Graph& g, const std::string& path);
+
+/// \brief Reads and parses a graph file written by ToFile.
+Result<Graph> FromFile(const std::string& path);
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_SERIALIZATION_H_

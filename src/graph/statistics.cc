@@ -1,0 +1,58 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace svqa::graph {
+
+std::vector<CategoryCount> CategoryFrequencies(const Graph& g) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++counts[g.vertex(v).category];
+  }
+  std::vector<CategoryCount> out;
+  out.reserve(counts.size());
+  for (auto& [cat, count] : counts) out.push_back({cat, count});
+  std::sort(out.begin(), out.end(),
+            [](const CategoryCount& a, const CategoryCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.category < b.category;
+            });
+  return out;
+}
+
+std::vector<CategoryCount> EdgeLabelFrequencies(const Graph& g) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& he : g.OutEdges(v)) {
+      ++counts[std::string(g.EdgeLabelName(he.label))];
+    }
+  }
+  std::vector<CategoryCount> out;
+  out.reserve(counts.size());
+  for (auto& [label, count] : counts) out.push_back({label, count});
+  std::sort(out.begin(), out.end(),
+            [](const CategoryCount& a, const CategoryCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.category < b.category;
+            });
+  return out;
+}
+
+GraphSummary Summarize(const Graph& g) {
+  GraphSummary s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.num_edge_labels = g.EdgeLabels().size();
+  s.num_categories = CategoryFrequencies(g).size();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(v));
+  }
+  s.avg_out_degree =
+      s.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  return s;
+}
+
+}  // namespace svqa::graph

@@ -1,0 +1,42 @@
+#ifndef SVQA_GRAPH_STATISTICS_H_
+#define SVQA_GRAPH_STATISTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace svqa::graph {
+
+/// \brief (category, occurrence count) pair.
+struct CategoryCount {
+  std::string category;
+  std::size_t count;
+};
+
+/// \brief Occurrence counts of vertex categories, sorted descending by
+/// count (ties broken alphabetically for determinism). This is the
+/// `statistics(...)` step of Algorithm 1 line 2.
+std::vector<CategoryCount> CategoryFrequencies(const Graph& g);
+
+/// \brief Occurrence counts of edge labels (predicates), sorted
+/// descending — the head/tail predicate distribution whose skew drives
+/// the TDE debiasing story (Table V).
+std::vector<CategoryCount> EdgeLabelFrequencies(const Graph& g);
+
+/// \brief Summary numbers for logging / dataset tables.
+struct GraphSummary {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_edge_labels = 0;
+  std::size_t num_categories = 0;
+  double avg_out_degree = 0;
+  std::size_t max_out_degree = 0;
+};
+
+GraphSummary Summarize(const Graph& g);
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_STATISTICS_H_

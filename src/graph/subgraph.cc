@@ -1,0 +1,55 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace svqa::graph {
+
+std::vector<VertexId> KHopNeighborhood(const Graph& g, VertexId t, int k) {
+  if (t >= g.num_vertices()) return {};
+  std::vector<VertexId> result;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<std::pair<VertexId, int>> frontier;
+  frontier.emplace_back(t, 0);
+  seen[t] = true;
+  while (!frontier.empty()) {
+    auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    result.push_back(v);
+    if (depth == k) continue;
+    for (const auto& he : g.OutEdges(v)) {
+      if (!seen[he.neighbor]) {
+        seen[he.neighbor] = true;
+        frontier.emplace_back(he.neighbor, depth + 1);
+      }
+    }
+    for (const auto& he : g.InEdges(v)) {
+      if (!seen[he.neighbor]) {
+        seen[he.neighbor] = true;
+        frontier.emplace_back(he.neighbor, depth + 1);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+SubgraphRef SubgraphRef::Induced(const Graph& g, VertexId t, int k) {
+  return SubgraphRef(t, KHopNeighborhood(g, t, k));
+}
+
+bool SubgraphRef::Contains(VertexId v) const {
+  return std::binary_search(vertices_.begin(), vertices_.end(), v);
+}
+
+std::size_t SubgraphRef::CountInducedEdges(const Graph& g) const {
+  std::size_t count = 0;
+  for (VertexId v : vertices_) {
+    for (const auto& he : g.OutEdges(v)) {
+      if (Contains(he.neighbor)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace svqa::graph

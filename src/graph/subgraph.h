@@ -1,0 +1,50 @@
+#ifndef SVQA_GRAPH_SUBGRAPH_H_
+#define SVQA_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace svqa::graph {
+
+/// \brief S(t, k): vertices reachable from `t` within `k` hops
+/// (Definition 1), following edges in both directions as the paper's
+/// Example 3 does ("Fence" reaches "Man" through either edge
+/// orientation). Includes `t` itself. Result is sorted ascending.
+std::vector<VertexId> KHopNeighborhood(const Graph& g, VertexId t, int k);
+
+/// \brief G[S(t, k)] as an *index over G*, not a copy (§III-B: "our
+/// extraction method does not store a part of G independently; instead it
+/// adds an index to G").
+///
+/// Holds a sorted vertex set plus the id of the anchor t; membership tests
+/// are O(log n). Edge iteration delegates to the backing graph and filters
+/// by membership.
+class SubgraphRef {
+ public:
+  SubgraphRef() = default;
+  SubgraphRef(VertexId anchor, std::vector<VertexId> sorted_vertices)
+      : anchor_(anchor), vertices_(std::move(sorted_vertices)) {}
+
+  /// Builds G[S(t, k)] for a graph.
+  static SubgraphRef Induced(const Graph& g, VertexId t, int k);
+
+  VertexId anchor() const { return anchor_; }
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// O(log n) membership test.
+  bool Contains(VertexId v) const;
+
+  /// Number of edges of `g` with both endpoints inside this subgraph.
+  std::size_t CountInducedEdges(const Graph& g) const;
+
+ private:
+  VertexId anchor_ = kInvalidVertex;
+  std::vector<VertexId> vertices_;
+};
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_SUBGRAPH_H_

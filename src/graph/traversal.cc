@@ -1,0 +1,77 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+namespace svqa::graph {
+
+void BreadthFirst(const Graph& g, VertexId start,
+                  const std::function<bool(VertexId, int)>& visit) {
+  if (start >= g.num_vertices()) return;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<std::pair<VertexId, int>> frontier{{start, 0}};
+  seen[start] = true;
+  while (!frontier.empty()) {
+    auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    if (!visit(v, depth)) return;
+    for (const auto& he : g.OutEdges(v)) {
+      if (!seen[he.neighbor]) {
+        seen[he.neighbor] = true;
+        frontier.emplace_back(he.neighbor, depth + 1);
+      }
+    }
+  }
+}
+
+int HopDistance(const Graph& g, VertexId src, VertexId dst) {
+  if (src >= g.num_vertices() || dst >= g.num_vertices()) return -1;
+  if (src == dst) return 0;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<std::pair<VertexId, int>> frontier{{src, 0}};
+  seen[src] = true;
+  while (!frontier.empty()) {
+    auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    auto expand = [&](VertexId n) -> bool {
+      if (n == dst) return true;
+      if (!seen[n]) {
+        seen[n] = true;
+        frontier.emplace_back(n, depth + 1);
+      }
+      return false;
+    };
+    for (const auto& he : g.OutEdges(v)) {
+      if (expand(he.neighbor)) return depth + 1;
+    }
+    for (const auto& he : g.InEdges(v)) {
+      if (expand(he.neighbor)) return depth + 1;
+    }
+  }
+  return -1;
+}
+
+std::pair<std::vector<int>, int> ConnectedComponents(const Graph& g) {
+  std::vector<int> comp(g.num_vertices(), -1);
+  int next = 0;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (comp[s] != -1) continue;
+    const int id = next++;
+    std::deque<VertexId> frontier{s};
+    comp[s] = id;
+    while (!frontier.empty()) {
+      VertexId v = frontier.front();
+      frontier.pop_front();
+      auto expand = [&](VertexId n) {
+        if (comp[n] == -1) {
+          comp[n] = id;
+          frontier.push_back(n);
+        }
+      };
+      for (const auto& he : g.OutEdges(v)) expand(he.neighbor);
+      for (const auto& he : g.InEdges(v)) expand(he.neighbor);
+    }
+  }
+  return {std::move(comp), next};
+}
+
+}  // namespace svqa::graph

@@ -1,0 +1,26 @@
+#ifndef SVQA_GRAPH_TRAVERSAL_H_
+#define SVQA_GRAPH_TRAVERSAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace svqa::graph {
+
+/// \brief Breadth-first traversal from `start` following out-edges.
+/// Invokes `visit(v, depth)`; returning false stops the walk early.
+void BreadthFirst(const Graph& g, VertexId start,
+                  const std::function<bool(VertexId, int)>& visit);
+
+/// \brief Shortest hop distance from `src` to `dst` over undirected
+/// adjacency, or -1 when unreachable.
+int HopDistance(const Graph& g, VertexId src, VertexId dst);
+
+/// \brief Weakly-connected components; returns a component id per vertex
+/// and the number of components.
+std::pair<std::vector<int>, int> ConnectedComponents(const Graph& g);
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,30 @@
+#include "nlp/clause_splitter.h"
+
+namespace svqa::nlp {
+
+std::vector<std::string> SplitClauses(const ParseOutput& parse) {
+  std::vector<std::string> out(parse.clauses.size());
+  const DependencyTree& tree = parse.tree;
+  for (std::size_t k = 0; k < parse.clauses.size(); ++k) {
+    const ClauseInfo& c = parse.clauses[k];
+    std::string text;
+    for (int i = 0; i < static_cast<int>(tree.size()); ++i) {
+      if (parse.clause_of_token[i] != static_cast<int>(k)) continue;
+      std::string word = tree.WordOf(i);
+      // Replace the relative marker with its antecedent.
+      if (i == c.wh_token && c.antecedent >= 0) {
+        word = tree.WordOf(c.antecedent);
+      }
+      if (!text.empty() && word != "'s") text.push_back(' ');
+      text += word;
+    }
+    out[k] = std::move(text);
+  }
+  return out;
+}
+
+std::size_t ClauseCount(const ParseOutput& parse) {
+  return parse.clauses.size();
+}
+
+}  // namespace svqa::nlp

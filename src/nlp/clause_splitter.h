@@ -1,0 +1,22 @@
+#ifndef SVQA_NLP_CLAUSE_SPLITTER_H_
+#define SVQA_NLP_CLAUSE_SPLITTER_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/dependency_parser.h"
+
+namespace svqa::nlp {
+
+/// \brief Renders each clause of a parsed question as standalone text,
+/// with relative pronouns replaced by their antecedents ("who is hanging
+/// out with ..." -> "wizard is hanging out with ..."). This is the
+/// sentence-splitting view the Exp-4 baselines (ABCD, DisSim) produce.
+std::vector<std::string> SplitClauses(const ParseOutput& parse);
+
+/// \brief Number of clauses a parsed question contains.
+std::size_t ClauseCount(const ParseOutput& parse);
+
+}  // namespace svqa::nlp
+
+#endif  // SVQA_NLP_CLAUSE_SPLITTER_H_

@@ -1,0 +1,443 @@
+#include "nlp/dependency_parser.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "text/inflection.h"
+
+namespace svqa::nlp {
+
+int DependencyTree::ChildWithRel(int head, std::string_view rel) const {
+  for (int i = 0; i < static_cast<int>(arcs_.size()); ++i) {
+    if (arcs_[i].head == head && arcs_[i].rel == rel) return i;
+  }
+  return -1;
+}
+
+std::vector<int> DependencyTree::ChildrenWithRel(int head,
+                                                 std::string_view rel) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(arcs_.size()); ++i) {
+    if (arcs_[i].head == head && arcs_[i].rel == rel) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> DependencyTree::ChildrenOf(int head) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(arcs_.size()); ++i) {
+    if (arcs_[i].head == head) out.push_back(i);
+  }
+  return out;
+}
+
+int DependencyTree::Root() const {
+  for (int i = 0; i < static_cast<int>(arcs_.size()); ++i) {
+    if (arcs_[i].rel == "root") return i;
+  }
+  return -1;
+}
+
+std::string DependencyTree::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    os << i << '\t' << tokens_[i].word << '/' << tokens_[i].tag << "\t-"
+       << arcs_[i].rel << "-> " << arcs_[i].head << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+bool IsRelativeMarkerToken(const TaggedToken& t) {
+  return (t.tag == "WP" && (t.word == "who" || t.word == "whom")) ||
+         (t.tag == "WDT" && (t.word == "that" || t.word == "which"));
+}
+
+/// "who"/"whom" always mark a relative clause in interrogatives; "that"
+/// and "which" only after a noun ("the cat *that* sits" vs the
+/// sentence-initial determiner "*which* wizard is ...").
+bool IsRelativeMarkerAt(const std::vector<TaggedToken>& toks, int i) {
+  const TaggedToken& t = toks[static_cast<std::size_t>(i)];
+  if (!IsRelativeMarkerToken(t)) return false;
+  if (t.tag == "WDT") {
+    return i > 0 && IsNounTag(toks[static_cast<std::size_t>(i - 1)].tag);
+  }
+  return true;
+}
+
+struct Workspace {
+  const std::vector<TaggedToken>& toks;
+  std::vector<DepArc> arcs;
+  int transitions = 0;
+
+  explicit Workspace(const std::vector<TaggedToken>& t)
+      : toks(t), arcs(t.size()) {}
+
+  int n() const { return static_cast<int>(toks.size()); }
+
+  void Attach(int dep, int head, std::string rel) {
+    arcs[dep].head = head;
+    arcs[dep].rel = std::move(rel);
+    ++transitions;
+  }
+
+  bool Attached(int i) const { return !arcs[i].rel.empty(); }
+
+  bool IsNoun(int i) const { return IsNounTag(toks[i].tag); }
+  bool IsVerb(int i) const { return IsVerbTag(toks[i].tag); }
+
+  /// A noun that heads its own NP: not folded into another noun phrase
+  /// via compound / nmod / nmod:poss.
+  bool IsFreeNounHead(int i) const {
+    if (!IsNoun(i)) return false;
+    const std::string& rel = arcs[i].rel;
+    return rel != "compound" && rel != "nmod" && rel != "nmod:poss";
+  }
+};
+
+/// Raw verb group found by the linear scan.
+struct VerbGroup {
+  int first = 0;          ///< First token of the contiguous run.
+  int main_verb = -1;
+  std::vector<int> aux;
+  int particle = -1;
+  int marker = -1;        ///< Relative marker just before the group, or -1.
+  int antecedent = -1;    ///< Noun before the marker, or -1.
+};
+
+std::vector<VerbGroup> FindVerbGroups(const Workspace& ws) {
+  std::vector<VerbGroup> groups;
+  int i = 0;
+  while (i < ws.n()) {
+    if (!ws.IsVerb(i)) {
+      ++i;
+      continue;
+    }
+    VerbGroup g;
+    g.first = i;
+    std::vector<int> verbs;
+    int j = i;
+    while (j < ws.n() && (ws.IsVerb(j) || IsAdverbTag(ws.toks[j].tag))) {
+      if (ws.IsVerb(j)) verbs.push_back(j);
+      ++j;
+    }
+    g.main_verb = verbs.back();
+    for (std::size_t k = 0; k + 1 < verbs.size(); ++k) {
+      g.aux.push_back(verbs[k]);
+    }
+    if (j < ws.n() && ws.toks[j].tag == "RP") {
+      g.particle = j;
+      ++j;
+    }
+    // Relative marker directly before the group (over adverbs).
+    int b = g.first - 1;
+    while (b >= 0 && IsAdverbTag(ws.toks[b].tag)) --b;
+    if (b >= 0 && IsRelativeMarkerAt(ws.toks, b)) {
+      g.marker = b;
+      for (int a = b - 1; a >= 0; --a) {
+        if (ws.IsNoun(a)) {
+          g.antecedent = a;
+          break;
+        }
+      }
+    }
+    groups.push_back(std::move(g));
+    i = j;
+  }
+  return groups;
+}
+
+bool HasBeAux(const Workspace& ws, const VerbGroup& g) {
+  for (int a : g.aux) {
+    if (text::IsBeVerb(ws.toks[a].word)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ParseOutput> DependencyParser::Parse(
+    const std::vector<TaggedToken>& tagged, SimClock* clock) const {
+  if (tagged.empty()) {
+    return Status::ParseError("empty sentence");
+  }
+  Workspace ws(tagged);
+  const int n = ws.n();
+
+  // --- Stage 1: verb groups. ----------------------------------------------
+  std::vector<VerbGroup> groups = FindVerbGroups(ws);
+  if (groups.empty()) {
+    return Status::ParseError("no predicate verb found");
+  }
+
+  // Fold a bare sentence-leading "does/do/did" into the first later group
+  // that is not a relative clause (its semantic host): "Does the cat that
+  // is sitting ... appear near ..." folds into "appear".
+  {
+    std::vector<VerbGroup> kept;
+    for (std::size_t k = 0; k < groups.size(); ++k) {
+      VerbGroup& g = groups[k];
+      const std::string& w = ws.toks[g.main_verb].word;
+      const bool bare_aux = g.aux.empty() && g.particle < 0 &&
+                            (w == "does" || w == "do" || w == "did") &&
+                            k + 1 < groups.size();
+      if (!bare_aux) {
+        kept.push_back(std::move(g));
+        continue;
+      }
+      std::size_t host = k + 1;
+      for (std::size_t m = k + 1; m < groups.size(); ++m) {
+        if (groups[m].marker < 0) {
+          host = m;
+          break;
+        }
+      }
+      groups[host].aux.insert(groups[host].aux.begin(), g.main_verb);
+    }
+    groups = std::move(kept);
+    if (groups.empty()) {
+      return Status::ParseError("only auxiliary verbs found");
+    }
+  }
+
+  // --- Stage 2: clause structure. -----------------------------------------
+  // Matrix clause = the first unmarked group (fallback: group 0). Relative
+  // clauses own [marker, start of next group's run); the matrix owns
+  // everything else.
+  int matrix_group = 0;
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    if (groups[k].marker < 0) {
+      matrix_group = static_cast<int>(k);
+      break;
+    }
+    if (k + 1 == groups.size()) matrix_group = 0;  // all marked: fallback
+  }
+
+  std::vector<ClauseInfo> clauses;  // matrix first
+  {
+    auto make_clause = [&](const VerbGroup& g, bool is_matrix) {
+      ClauseInfo c;
+      c.main_verb = g.main_verb;
+      c.aux = g.aux;
+      c.particle = g.particle;
+      c.passive = HasBeAux(ws, g) && ws.toks[g.main_verb].tag == "VBN";
+      c.copular = g.aux.empty() && text::IsBeVerb(ws.toks[g.main_verb].word);
+      c.is_matrix = is_matrix;
+      c.wh_token = g.marker;
+      c.antecedent = g.antecedent;
+      return c;
+    };
+    clauses.push_back(make_clause(groups[matrix_group], true));
+    clauses.front().start = 0;
+    clauses.front().end = n;
+    for (std::size_t k = 0; k < groups.size(); ++k) {
+      if (static_cast<int>(k) == matrix_group) continue;
+      ClauseInfo c = make_clause(groups[k], false);
+      c.start = groups[k].marker >= 0 ? groups[k].marker : groups[k].first;
+      // Span ends at the next group's run start (markers/adverbs before
+      // that group stay with it), or the sentence end.
+      c.end = n;
+      for (std::size_t m = k + 1; m < groups.size(); ++m) {
+        if (static_cast<int>(m) == matrix_group) continue;
+        const VerbGroup& next = groups[m];
+        c.end = next.marker >= 0 ? next.marker : next.first;
+        break;
+      }
+      // The matrix verb group always breaks a relative span (a folded
+      // sentence-initial auxiliary does not count; the run start does).
+      const VerbGroup& mg = groups[matrix_group];
+      if (mg.first > c.start && mg.first < c.end) {
+        c.end = mg.first;
+      }
+      clauses.push_back(std::move(c));
+    }
+  }
+
+  // Token ownership: relative clauses claim their spans; the matrix gets
+  // the rest.
+  std::vector<int> clause_of(n, 0);
+  for (std::size_t k = 1; k < clauses.size(); ++k) {
+    for (int t = clauses[k].start; t < clauses[k].end && t < n; ++t) {
+      clause_of[t] = static_cast<int>(k);
+    }
+  }
+  // The folded auxiliary of the matrix belongs to the matrix.
+  for (int a : clauses[0].aux) clause_of[a] = 0;
+
+  // --- Stage 3: noun-phrase internal structure. ----------------------------
+  // Possessives: OWNER 's HEAD => owner -nmod:poss-> head, 's -case-> owner.
+  for (int i = 0; i < n; ++i) {
+    if (ws.toks[i].tag != "POS") continue;
+    const int owner = i - 1;
+    if (owner < 0 || !ws.IsNoun(owner)) continue;
+    int head = -1;
+    for (int j = i + 1; j < n && clause_of[j] == clause_of[i]; ++j) {
+      if (ws.IsNoun(j)) {
+        head = j;
+        break;
+      }
+    }
+    if (head < 0) continue;
+    ws.Attach(owner, head, "nmod:poss");
+    ws.Attach(i, owner, "case");
+  }
+  // Compounds: consecutive nouns N1 N2 -> compound(N1 -> N2).
+  for (int i = 0; i + 1 < n; ++i) {
+    if (!ws.IsNoun(i) || ws.Attached(i)) continue;
+    if (ws.IsNoun(i + 1) && clause_of[i] == clause_of[i + 1]) {
+      ws.Attach(i, i + 1, "compound");
+    }
+  }
+  // "of" chains: HEAD of NOUN => noun -nmod-> head, of -case-> noun.
+  for (int i = 0; i < n; ++i) {
+    if (ws.toks[i].word != "of") continue;
+    int left = -1;
+    for (int j = i - 1; j >= 0; --j) {
+      if (ws.IsNoun(j)) {
+        left = j;
+        break;
+      }
+      if (ws.IsVerb(j)) break;
+    }
+    int right = -1;
+    for (int j = i + 1; j < n && clause_of[j] == clause_of[i]; ++j) {
+      if (ws.IsNoun(j)) {
+        right = j;
+        break;
+      }
+    }
+    if (left >= 0 && right >= 0 && !ws.Attached(right)) {
+      ws.Attach(right, left, "nmod");
+      ws.Attach(i, right, "case");
+    }
+  }
+  // Determiners and adjectives attach to the next noun in their clause.
+  for (int i = 0; i < n; ++i) {
+    if (ws.Attached(i)) continue;
+    const std::string& tag = ws.toks[i].tag;
+    const bool det_like = tag == "DT" || tag == "PRP$" ||
+                          (tag == "WDT" && !IsRelativeMarkerAt(ws.toks, i));
+    if (det_like || IsAdjectiveTag(tag)) {
+      for (int j = i + 1; j < n && clause_of[j] == clause_of[i]; ++j) {
+        if (ws.IsNoun(j)) {
+          ws.Attach(i, j, det_like ? "det" : "amod");
+          break;
+        }
+        if (ws.IsVerb(j)) break;
+      }
+    }
+  }
+
+  // --- Stage 4: auxiliaries, particles, adverbs. ---------------------------
+  for (const ClauseInfo& c : clauses) {
+    for (int a : c.aux) {
+      ws.Attach(a, c.main_verb, c.passive ? "aux:pass" : "aux");
+    }
+    if (c.particle >= 0) {
+      ws.Attach(c.particle, c.main_verb, "compound:prt");
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (ws.Attached(i) || !IsAdverbTag(ws.toks[i].tag)) continue;
+    if ((ws.toks[i].tag == "RBS" || ws.toks[i].tag == "RBR") && i + 1 < n &&
+        IsAdverbTag(ws.toks[i + 1].tag)) {
+      ws.Attach(i, i + 1, "advmod");  // "most frequently"
+    } else {
+      ws.Attach(i, clauses[clause_of[i]].main_verb, "advmod");
+    }
+  }
+  // "how many" -> advmod(how -> many).
+  for (int i = 0; i + 1 < n; ++i) {
+    if (ws.toks[i].word == "how" && ws.toks[i + 1].word == "many" &&
+        !ws.Attached(i)) {
+      ws.Attach(i, i + 1, "advmod");
+    }
+  }
+
+  // --- Stage 5: grammatical relations per clause. ---------------------------
+  for (std::size_t k = 0; k < clauses.size(); ++k) {
+    const ClauseInfo& c = clauses[k];
+    const int verb = c.main_verb;
+    const int ci = static_cast<int>(k);
+
+    // Subject: nearest free noun head before the main verb, owned by
+    // this clause (skips center-embedded relative spans and handles
+    // subject-auxiliary inversion, where the folded "does" precedes the
+    // subject).
+    int subject = -1;
+    for (int j = verb - 1; j >= 0; --j) {
+      if (clause_of[j] != ci) continue;
+      if (ws.IsFreeNounHead(j) && !ws.Attached(j)) {
+        subject = j;
+        break;
+      }
+    }
+    if (subject >= 0) {
+      ws.Attach(subject, verb, c.passive ? "nsubj:pass" : "nsubj");
+    } else if (c.wh_token >= 0) {
+      ws.Attach(c.wh_token, verb, c.passive ? "nsubj:pass" : "nsubj");
+    } else {
+      // Sentence-initial bare wh pronoun ("What is ...").
+      for (int j = 0; j < verb; ++j) {
+        if (clause_of[j] == ci && IsWhTag(ws.toks[j].tag) &&
+            !ws.Attached(j)) {
+          ws.Attach(j, verb, "nsubj");
+          break;
+        }
+      }
+    }
+
+    // Objects / obliques: forward from the verb group over tokens owned
+    // by this clause.
+    int scan_from = verb + 1;
+    if (c.particle >= 0) scan_from = c.particle + 1;
+    int pending_case = -1;
+    for (int j = scan_from; j < n; ++j) {
+      if (clause_of[j] != ci) continue;
+      if (ws.toks[j].tag == "IN") {
+        if (!ws.Attached(j)) pending_case = j;
+        continue;
+      }
+      if (ws.IsFreeNounHead(j) && !ws.Attached(j)) {
+        if (pending_case >= 0) {
+          const bool agent = c.passive && ws.toks[pending_case].word == "by";
+          ws.Attach(j, verb, agent ? "obl:agent" : "obl");
+          ws.Attach(pending_case, j, "case");
+          pending_case = -1;
+        } else {
+          ws.Attach(j, verb, "obj");
+        }
+      }
+    }
+
+    // Clause head.
+    if (c.is_matrix) {
+      ws.Attach(verb, -1, "root");
+    } else if (c.antecedent >= 0) {
+      ws.Attach(verb, c.antecedent, "acl:relcl");
+    } else {
+      ws.Attach(verb, clauses[0].main_verb, "advcl");
+    }
+  }
+
+  // --- Stage 6: attach leftovers. ------------------------------------------
+  for (int i = 0; i < n; ++i) {
+    if (!ws.Attached(i)) {
+      ws.Attach(i, clauses[clause_of[i]].main_verb, "dep");
+    }
+  }
+
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kParseTransition,
+                  static_cast<double>(ws.transitions));
+  }
+
+  ParseOutput out;
+  out.tree = DependencyTree(tagged, std::move(ws.arcs));
+  out.clauses = std::move(clauses);
+  out.clause_of_token = std::move(clause_of);
+  return out;
+}
+
+}  // namespace svqa::nlp

@@ -1,0 +1,111 @@
+#ifndef SVQA_NLP_DEPENDENCY_PARSER_H_
+#define SVQA_NLP_DEPENDENCY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/pos_tagger.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace svqa::nlp {
+
+/// \brief One dependency arc: token i attaches to `head` (token index,
+/// -1 for the root) with Universal-Dependencies-style relation `rel`.
+struct DepArc {
+  int head = -1;
+  std::string rel;
+};
+
+/// \brief A dependency tree over a tagged sentence.
+class DependencyTree {
+ public:
+  DependencyTree() = default;
+  DependencyTree(std::vector<TaggedToken> tokens, std::vector<DepArc> arcs)
+      : tokens_(std::move(tokens)), arcs_(std::move(arcs)) {}
+
+  const std::vector<TaggedToken>& tokens() const { return tokens_; }
+  const std::vector<DepArc>& arcs() const { return arcs_; }
+  std::size_t size() const { return tokens_.size(); }
+
+  int HeadOf(int i) const { return arcs_[i].head; }
+  const std::string& RelOf(int i) const { return arcs_[i].rel; }
+  const std::string& WordOf(int i) const { return tokens_[i].word; }
+  const std::string& TagOf(int i) const { return tokens_[i].tag; }
+
+  /// First dependent of `head` with relation `rel`, or -1.
+  int ChildWithRel(int head, std::string_view rel) const;
+
+  /// All dependents of `head` with relation `rel`, in token order.
+  std::vector<int> ChildrenWithRel(int head, std::string_view rel) const;
+
+  /// All dependents of `head`, in token order.
+  std::vector<int> ChildrenOf(int head) const;
+
+  /// Token index of the root (-1 if none).
+  int Root() const;
+
+  /// Human-readable rendering (one "word -rel-> head" line per token).
+  std::string ToString() const;
+
+ private:
+  std::vector<TaggedToken> tokens_;
+  std::vector<DepArc> arcs_;
+};
+
+/// \brief Span and predicate structure of one clause found in the
+/// sentence (the `C <- getClauses(DT, POS)` product of Algorithm 2).
+///
+/// The *matrix* clause owns every token not claimed by a relative
+/// clause; relative clauses own the contiguous span from their marker to
+/// the start of the next verb group. Clause 0 is always the matrix
+/// clause, followed by relative clauses in token order — center-embedded
+/// relatives ("the cat *that is sitting on the bed* appears ...") are
+/// therefore represented exactly.
+struct ClauseInfo {
+  int start = 0;          ///< First token of the clause span (relative
+                          ///< clauses only; 0 for the matrix clause).
+  int end = 0;            ///< One past the span's last token.
+  int main_verb = -1;     ///< Token index of the clause's main verb.
+  std::vector<int> aux;   ///< Auxiliary tokens of the verb group.
+  int particle = -1;      ///< RP particle ("hanging *out*"), -1 if none.
+  bool passive = false;   ///< Aux "be" + past participle.
+  bool copular = false;   ///< Bare copula clause ("... that are near X").
+  bool is_matrix = false; ///< The sentence's main clause.
+  int wh_token = -1;      ///< Relative marker starting the clause, or -1.
+  int antecedent = -1;    ///< Noun the relative clause modifies, or -1.
+};
+
+/// \brief Parser output: the tree plus clause structure.
+struct ParseOutput {
+  DependencyTree tree;
+  /// Matrix clause first, then relative clauses in token order.
+  std::vector<ClauseInfo> clauses;
+  /// For each token, the index (into `clauses`) of the owning clause.
+  std::vector<int> clause_of_token;
+};
+
+/// \brief Deterministic rule-based dependency parser.
+///
+/// Substitutes for the Stanford transition-based neural parser (paper
+/// Eq. 5; DESIGN.md §1). It performs head attachment with UD relation
+/// labels over the tag patterns that interrogative sentences use:
+/// noun-phrase internals (det, amod, compound, nmod+case for "of",
+/// nmod:poss for possessives), verb groups (aux, aux:pass, passives),
+/// adverbial chains (advmod), prepositional obliques (obl+case), relative
+/// clauses (acl:relcl), and wh-subjects. Each attachment charges
+/// CostKind::kParseTransition, mirroring a transition parser's action
+/// count.
+class DependencyParser {
+ public:
+  DependencyParser() = default;
+
+  /// Parses a tagged sentence. Fails with ParseError when no predicate
+  /// can be found (e.g. all candidate verbs were mistagged).
+  Result<ParseOutput> Parse(const std::vector<TaggedToken>& tagged,
+                            SimClock* clock = nullptr) const;
+};
+
+}  // namespace svqa::nlp
+
+#endif  // SVQA_NLP_DEPENDENCY_PARSER_H_

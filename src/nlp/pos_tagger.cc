@@ -1,0 +1,248 @@
+#include "nlp/pos_tagger.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/inflection.h"
+
+namespace svqa::nlp {
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool AllDigits(const std::string& w) {
+  return !w.empty() && std::all_of(w.begin(), w.end(), [](unsigned char c) {
+    return std::isdigit(c);
+  });
+}
+
+}  // namespace
+
+const std::vector<std::string>& PtbTagSet() {
+  static const auto* tags = new std::vector<std::string>{
+      "CC",   "CD",  "DT",    "EX",   "FW",  "IN",   "JJ",  "JJR", "JJS",
+      "LS",   "MD",  "NN",    "NNS",  "NNP", "NNPS", "PDT", "POS", "PRP",
+      "PRP$", "RB",  "RBR",   "RBS",  "RP",  "SYM",  "TO",  "UH",  "VB",
+      "VBD",  "VBG", "VBN",   "VBP",  "VBZ", "WDT",  "WP",  "WP$", "WRB",
+      ".",    ",",   ":",     "``",   "''",  "-LRB-", "-RRB-", "$", "#"};
+  return *tags;
+}
+
+bool IsValidPtbTag(std::string_view tag) {
+  const auto& tags = PtbTagSet();
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+bool IsNounTag(std::string_view tag) {
+  return tag == "NN" || tag == "NNS" || tag == "NNP" || tag == "NNPS";
+}
+bool IsVerbTag(std::string_view tag) {
+  return tag == "VB" || tag == "VBD" || tag == "VBG" || tag == "VBN" ||
+         tag == "VBP" || tag == "VBZ";
+}
+bool IsAdjectiveTag(std::string_view tag) {
+  return tag == "JJ" || tag == "JJR" || tag == "JJS";
+}
+bool IsAdverbTag(std::string_view tag) {
+  return tag == "RB" || tag == "RBR" || tag == "RBS";
+}
+bool IsWhTag(std::string_view tag) {
+  return tag == "WP" || tag == "WP$" || tag == "WDT" || tag == "WRB";
+}
+
+void PosTagger::AddLexeme(std::string word, std::string tag) {
+  lexicon_[std::move(word)] = std::move(tag);
+}
+
+void PosTagger::RegisterEntityNames(const std::vector<std::string>& labels) {
+  for (const std::string& label : labels) {
+    std::size_t start = 0;
+    while (start <= label.size()) {
+      std::size_t dash = label.find('-', start);
+      const std::string part =
+          label.substr(start, dash == std::string::npos ? std::string::npos
+                                                        : dash - start);
+      if (!part.empty() && !HasLexeme(part)) {
+        AddLexeme(part, "NNP");
+      }
+      if (dash == std::string::npos) break;
+      start = dash + 1;
+    }
+  }
+}
+
+PosTagger PosTagger::Default() {
+  PosTagger t;
+  const auto add_all = [&t](std::initializer_list<const char*> words,
+                            const char* tag) {
+    for (const char* w : words) t.AddLexeme(w, tag);
+  };
+
+  // Closed classes.
+  add_all({"the", "a", "an", "this", "these", "those", "that", "all",
+           "some", "any", "each", "every", "no"},
+          "DT");
+  add_all({"of", "in", "on", "by", "with", "at", "from", "under", "behind",
+           "near", "over", "during", "across", "beside", "inside", "into",
+           "onto", "through", "between", "around", "above", "below",
+           "in-front-of"},
+          "IN");
+  add_all({"to"}, "TO");
+  add_all({"and", "or", "but"}, "CC");
+  add_all({"out", "up", "down", "off"}, "RP");
+  add_all({"it", "he", "she", "they", "them", "him", "her", "we", "i",
+           "you"},
+          "PRP");
+  add_all({"its", "his", "their", "our", "my", "your"}, "PRP$");
+  add_all({"who", "whom", "what"}, "WP");
+  add_all({"whose"}, "WP$");
+  add_all({"which"}, "WDT");
+  add_all({"where", "when", "why", "how"}, "WRB");
+  add_all({"'s"}, "POS");
+  add_all({"there"}, "EX");
+  add_all({"can", "could", "will", "would", "shall", "should", "may",
+           "might", "must"},
+          "MD");
+  add_all({"not", "n't"}, "RB");
+
+  // Copula / auxiliaries.
+  t.AddLexeme("is", "VBZ");
+  t.AddLexeme("are", "VBP");
+  t.AddLexeme("was", "VBD");
+  t.AddLexeme("were", "VBD");
+  t.AddLexeme("be", "VB");
+  t.AddLexeme("been", "VBN");
+  t.AddLexeme("being", "VBG");
+  t.AddLexeme("am", "VBP");
+  t.AddLexeme("does", "VBZ");
+  t.AddLexeme("do", "VBP");
+  t.AddLexeme("did", "VBD");
+  t.AddLexeme("has", "VBZ");
+  t.AddLexeme("have", "VBP");
+  t.AddLexeme("had", "VBD");
+
+  // Domain nouns (MVQA world vocabulary).
+  add_all({"man",      "woman",    "person",   "people",   "dog",
+           "puppy",    "cat",      "kitten",   "bird",     "horse",
+           "car",      "bicycle",  "bike",     "motorcycle", "bus",
+           "truck",    "building", "house",    "tree",     "bench",
+           "frisbee",  "hat",      "cap",      "kind",     "type",
+           "sort",     "wizard",   "pet",      "animal",   "vehicle",
+           "bear",     "tv",       "television", "bed",    "ball",
+           "umbrella", "backpack", "bag",      "skateboard", "boat",
+           "train",    "fence",    "grass",    "street",   "road",
+           "kite",     "book",     "chair",    "table",    "phone",
+           "laptop",   "girlfriend", "friend", "member",   "owner",
+           "sibling",  "brother",  "sister",   "robe",     "gown",
+           "scarf",    "jacket",   "coat",     "shirt",    "window",
+           "mouth",    "hand",     "head",     "park",     "city",
+           "school",   "team",     "club",     "movie",    "image",
+           "question", "clause",  "color"},
+          "NN");
+  add_all({"clothes", "pets", "animals", "vehicles", "wizards", "dogs",
+           "cats", "birds", "people", "men", "women", "cars", "trees",
+           "robes", "hats", "images", "questions"},
+          "NNS");
+
+  // Domain verbs: base, 3sg, past, participle, gerund.
+  add_all({"wear", "hold", "carry", "ride", "sit", "stand", "watch",
+           "chase", "eat", "play", "walk", "jump", "hang", "appear",
+           "catch", "look", "run", "accompany", "own", "live", "belong"},
+          "VB");
+  add_all({"wears", "holds", "carries", "rides", "sits", "stands",
+           "watches", "chases", "eats", "plays", "walks", "jumps",
+           "hangs", "appears", "catches", "looks", "runs", "owns",
+           "lives", "belongs"},
+          "VBZ");
+  add_all({"wore", "held", "carried", "rode", "sat", "stood", "watched",
+           "chased", "ate", "played", "walked", "jumped", "hung",
+           "appeared", "caught", "looked", "ran", "owned", "lived"},
+          "VBD");
+  add_all({"worn", "ridden", "eaten", "seen", "situated", "carried",
+           "held", "chased", "watched", "hung", "caught", "shown",
+           "accompanied", "owned"},
+          "VBN");
+  add_all({"wearing", "holding", "carrying", "riding", "sitting",
+           "standing", "watching", "chasing", "eating", "playing",
+           "walking", "jumping", "hanging", "appearing", "catching",
+           "looking", "running", "accompanying", "living"},
+          "VBG");
+
+  // Adjectives & adverbs.
+  add_all({"red", "blue", "green", "yellow", "black", "white", "brown",
+           "big", "small", "large", "little", "old", "young", "tall",
+           "many", "same", "different", "wooden"},
+          "JJ");
+  add_all({"frequently", "often", "usually", "together", "only", "also",
+           "mostly", "commonly"},
+          "RB");
+  t.AddLexeme("most", "RBS");
+  t.AddLexeme("least", "RBS");
+  t.AddLexeme("more", "RBR");
+  t.AddLexeme("less", "RBR");
+
+  return t;
+}
+
+std::string PosTagger::LexicalTag(const std::string& word) const {
+  auto it = lexicon_.find(word);
+  if (it != lexicon_.end()) return it->second;
+  return "";
+}
+
+std::string PosTagger::SuffixTag(const std::string& word) {
+  if (AllDigits(word)) return "CD";
+  if (EndsWith(word, "ing") && word.size() > 4) return "VBG";
+  if (EndsWith(word, "ed") && word.size() > 3) return "VBN";
+  if (EndsWith(word, "ly") && word.size() > 3) return "RB";
+  if (EndsWith(word, "est") && word.size() > 4) return "JJS";
+  // Latinate endings of words outside the lexicon are treated as foreign
+  // (FW) — the Stanford tagger's behaviour the paper shows for "canis".
+  if (EndsWith(word, "is") || EndsWith(word, "us") || EndsWith(word, "um")) {
+    return "FW";
+  }
+  if (EndsWith(word, "s") && word.size() > 2) return "NNS";
+  return "NN";
+}
+
+void PosTagger::ApplyContextRules(std::vector<TaggedToken>* tagged) const {
+  auto& toks = *tagged;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // "that" introducing a relative clause after a noun: WDT.
+    if (toks[i].word == "that" && i > 0 && IsNounTag(toks[i - 1].tag)) {
+      toks[i].tag = "WDT";
+    }
+    // "what"/"which" directly before a noun or "kind": determiner use.
+    if ((toks[i].word == "what" || toks[i].word == "which") &&
+        i + 1 < toks.size() &&
+        (IsNounTag(toks[i + 1].tag) || IsAdjectiveTag(toks[i + 1].tag))) {
+      toks[i].tag = "WDT";
+    }
+    // A noun-tagged word right after an auxiliary that has a known verb
+    // reading stays a verb in our templates ("does ... appear").
+    // Capitalized-in-source proper nouns are lowercased by the tokenizer;
+    // treat unknown NN between a POS clitic context as NNP-ish: handled
+    // by the parser's compound rule instead.
+  }
+}
+
+std::vector<TaggedToken> PosTagger::Tag(
+    const std::vector<std::string>& tokens, SimClock* clock) const {
+  std::vector<TaggedToken> out;
+  out.reserve(tokens.size());
+  for (const auto& word : tokens) {
+    std::string tag = LexicalTag(word);
+    if (tag.empty()) tag = SuffixTag(word);
+    out.push_back(TaggedToken{word, tag});
+  }
+  ApplyContextRules(&out);
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kParseToken, static_cast<double>(tokens.size()));
+  }
+  return out;
+}
+
+}  // namespace svqa::nlp

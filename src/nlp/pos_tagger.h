@@ -1,0 +1,84 @@
+#ifndef SVQA_NLP_POS_TAGGER_H_
+#define SVQA_NLP_POS_TAGGER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace svqa::nlp {
+
+/// \brief A token together with its Penn-Treebank part-of-speech tag.
+struct TaggedToken {
+  std::string word;
+  std::string tag;
+};
+
+/// \brief Returns true for a valid PTB tag (the 45-tag set the paper's
+/// §IV-B refers to, plus the RP particle and punctuation tags).
+bool IsValidPtbTag(std::string_view tag);
+
+/// \brief The full PTB tag inventory.
+const std::vector<std::string>& PtbTagSet();
+
+/// True for noun tags (NN/NNS/NNP/NNPS).
+bool IsNounTag(std::string_view tag);
+/// True for verb tags (VB/VBD/VBG/VBN/VBP/VBZ).
+bool IsVerbTag(std::string_view tag);
+/// True for adjective tags (JJ/JJR/JJS).
+bool IsAdjectiveTag(std::string_view tag);
+/// True for adverb tags (RB/RBR/RBS).
+bool IsAdverbTag(std::string_view tag);
+/// True for wh-word tags (WP/WP$/WDT/WRB).
+bool IsWhTag(std::string_view tag);
+
+/// \brief Rule/lexicon part-of-speech tagger.
+///
+/// Substitutes for the Stanford maximum-entropy tagger (paper Eq. 4; see
+/// DESIGN.md §1): a closed-class + domain lexicon assigns initial tags,
+/// suffix heuristics cover inflected open-class words, and contextual
+/// rewrite rules disambiguate (e.g. "that" as DT vs WDT, auxiliary vs
+/// main "be"). Unknown latinate words ("canis") receive FW, reproducing
+/// the paper's Figure 8(a) statement-parsing failure mode.
+class PosTagger {
+ public:
+  /// A tagger pre-loaded with the MVQA world vocabulary.
+  static PosTagger Default();
+
+  PosTagger() = default;
+
+  /// Registers (or overrides) a lexicon entry.
+  void AddLexeme(std::string word, std::string tag);
+
+  /// True when the word has a lexicon entry.
+  bool HasLexeme(const std::string& word) const {
+    return lexicon_.count(word) > 0;
+  }
+
+  /// Registers the parts of entity labels ("fred-weasley" -> "fred",
+  /// "weasley") as proper nouns, unless a part already has a lexical
+  /// entry. This is the gazetteer step a production system derives from
+  /// its knowledge graph; without it, names like "fred" fall into the
+  /// suffix heuristics ("-ed" -> VBN).
+  void RegisterEntityNames(const std::vector<std::string>& labels);
+
+  /// Tags a tokenized sentence. Charges CostKind::kParseToken per token
+  /// when `clock` is provided.
+  std::vector<TaggedToken> Tag(const std::vector<std::string>& tokens,
+                               SimClock* clock = nullptr) const;
+
+  std::size_t lexicon_size() const { return lexicon_.size(); }
+
+ private:
+  std::string LexicalTag(const std::string& word) const;
+  static std::string SuffixTag(const std::string& word);
+  void ApplyContextRules(std::vector<TaggedToken>* tagged) const;
+
+  std::unordered_map<std::string, std::string> lexicon_;
+};
+
+}  // namespace svqa::nlp
+
+#endif  // SVQA_NLP_POS_TAGGER_H_

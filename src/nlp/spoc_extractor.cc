@@ -1,0 +1,311 @@
+#include "nlp/spoc_extractor.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "text/inflection.h"
+
+namespace svqa::nlp {
+
+std::string Spoc::ToString() const {
+  std::ostringstream os;
+  os << "[s=" << subject.text << " | p=" << predicate
+     << " | o=" << object.text << " | c=" << constraint << "]";
+  return os.str();
+}
+
+std::string_view QuestionTypeName(QuestionType type) {
+  switch (type) {
+    case QuestionType::kJudgment:
+      return "judgment";
+    case QuestionType::kCounting:
+      return "counting";
+    case QuestionType::kReasoning:
+      return "reasoning";
+  }
+  return "?";
+}
+
+SpocExtractor::SpocExtractor(const text::SynonymLexicon* lexicon)
+    : lexicon_(lexicon) {}
+
+namespace {
+
+/// Collects the token indexes of an NP: the head plus its nominal
+/// dependents (det, amod, compound, nmod, nmod:poss, case under those).
+void CollectNpTokens(const DependencyTree& tree, int head,
+                     std::vector<int>* out) {
+  out->push_back(head);
+  for (int child : tree.ChildrenOf(head)) {
+    const std::string& rel = tree.RelOf(child);
+    if (rel == "det" || rel == "amod" || rel == "compound" ||
+        rel == "nmod" || rel == "nmod:poss" || rel == "case" ||
+        rel == "advmod") {
+      CollectNpTokens(tree, child, out);
+    }
+  }
+}
+
+std::string RenderTokens(const DependencyTree& tree, std::vector<int> toks) {
+  std::sort(toks.begin(), toks.end());
+  std::string out;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& w = tree.WordOf(toks[i]);
+    if (i > 0 && w != "'s") out.push_back(' ');
+    out += w;
+  }
+  return out;
+}
+
+/// Owner phrase of a possessive: the nmod:poss child plus its compounds,
+/// without the case clitic.
+std::string RenderOwner(const DependencyTree& tree, int owner) {
+  std::vector<int> toks{owner};
+  for (int child : tree.ChildrenOf(owner)) {
+    if (tree.RelOf(child) == "compound") toks.push_back(child);
+  }
+  return RenderTokens(tree, std::move(toks));
+}
+
+bool IsKindWord(const std::string& w) {
+  const std::string s = text::SingularNoun(w);
+  return s == "kind" || s == "type" || s == "sort";
+}
+
+}  // namespace
+
+SpocElement SpocExtractor::BuildElement(const DependencyTree& tree,
+                                        int head_token) const {
+  SpocElement el;
+  if (head_token < 0) return el;
+
+  std::vector<int> np;
+  CollectNpTokens(tree, head_token, &np);
+  // Drop the phrase-introducing preposition ("by", "with") — a direct
+  // case child of the head — but keep embedded ones ("kind *of* clothes").
+  const int top_case = tree.ChildWithRel(head_token, "case");
+  if (top_case >= 0) {
+    np.erase(std::remove(np.begin(), np.end(), top_case), np.end());
+  }
+  el.text = RenderTokens(tree, np);
+
+  int effective_head = head_token;
+  // "kind of X" collapses onto X and marks the kind ask; other "of"
+  // modifiers ("the color of the robe") are recorded for downstream
+  // rules instead.
+  if (IsKindWord(tree.WordOf(head_token))) {
+    for (int child : tree.ChildrenOf(head_token)) {
+      if (tree.RelOf(child) == "nmod") {
+        effective_head = child;
+        el.want_kind = true;
+        break;
+      }
+    }
+  } else {
+    for (int child : tree.ChildrenOf(head_token)) {
+      if (tree.RelOf(child) == "nmod") {
+        el.of_head = text::SingularNoun(tree.WordOf(child));
+        break;
+      }
+    }
+  }
+  // Join compound tokens into the head ("harry potter" ->
+  // "harry-potter"); named entities live in the graph in kebab case.
+  {
+    std::vector<int> parts;
+    for (int child : tree.ChildrenOf(effective_head)) {
+      if (tree.RelOf(child) == "compound") parts.push_back(child);
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string head;
+    for (int p : parts) {
+      head += tree.WordOf(p);
+      head += '-';
+    }
+    // Proper nouns keep their surface form ("thomas" is not a plural).
+    const std::string& tag = tree.TagOf(effective_head);
+    if (tag == "NNP" || tag == "NNPS") {
+      head += tree.WordOf(effective_head);
+    } else {
+      head += text::SingularNoun(tree.WordOf(effective_head));
+    }
+    el.head = std::move(head);
+  }
+
+  for (int child : tree.ChildrenOf(effective_head)) {
+    if (tree.RelOf(child) == "nmod:poss") {
+      el.owner = RenderOwner(tree, child);
+    }
+    // Adjectival attribute constraints ("red robe"). Only attributes
+    // known to the lexicon's color group become filters; qualitative
+    // adjectives ("big") stay descriptive.
+    if (tree.RelOf(child) == "amod") {
+      static const std::array<std::string_view, 7> kColors = {
+          "red", "blue", "green", "yellow", "black", "white", "brown"};
+      const std::string& word = tree.WordOf(child);
+      if (std::find(kColors.begin(), kColors.end(), word) !=
+          kColors.end()) {
+        el.attribute = word;
+      }
+    }
+  }
+
+  // Variable detection: wh determiner ("what kind", "which wizard") or a
+  // "how many" quantifier on the head token or the surface kind-word.
+  for (int probe : {head_token, effective_head}) {
+    for (int child : tree.ChildrenOf(probe)) {
+      const std::string& tag = tree.TagOf(child);
+      const std::string& word = tree.WordOf(child);
+      if (tag == "WDT" || tag == "WP") el.is_variable = true;
+      if (word == "many" && tree.ChildWithRel(child, "advmod") >= 0) {
+        el.is_variable = true;
+      }
+    }
+  }
+  return el;
+}
+
+Result<SpocExtraction> SpocExtractor::Extract(const ParseOutput& parse,
+                                              SimClock* clock) const {
+  const DependencyTree& tree = parse.tree;
+  SpocExtraction out;
+
+  // Question type from the sentence opening.
+  if (!tree.tokens().empty()) {
+    const std::string& first = tree.WordOf(0);
+    if (first == "how" && tree.size() > 1 && tree.WordOf(1) == "many") {
+      out.type = QuestionType::kCounting;
+    } else if (first == "does" || first == "do" || first == "did" ||
+               first == "is" || first == "are" || first == "was" ||
+               first == "were") {
+      out.type = QuestionType::kJudgment;
+    } else {
+      out.type = QuestionType::kReasoning;
+    }
+  }
+
+  for (std::size_t k = 0; k < parse.clauses.size(); ++k) {
+    const ClauseInfo& c = parse.clauses[k];
+    const int verb = c.main_verb;
+    Spoc spoc;
+    spoc.clause_index = static_cast<int>(k);
+
+    // --- Predicate ---
+    if (c.copular) {
+      // Copular clause: the preposition carries the relation ("is ...
+      // near the car" -> predicate "near"); bare copula falls back to
+      // "be".
+      spoc.predicate = "be";
+      const int obl = tree.ChildWithRel(verb, "obl");
+      if (obl >= 0) {
+        const int kase = tree.ChildWithRel(obl, "case");
+        if (kase >= 0) spoc.predicate = tree.WordOf(kase);
+      }
+    } else {
+      spoc.predicate = text::VerbLemma(tree.WordOf(verb));
+      if (c.particle >= 0) {
+        spoc.predicate += "-" + tree.WordOf(c.particle);
+      }
+    }
+    if (lexicon_ != nullptr) {
+      spoc.predicate = lexicon_->Canonical(spoc.predicate);
+    }
+
+    // --- Grammatical roles ---
+    int subj_tok = tree.ChildWithRel(verb, "nsubj");
+    if (subj_tok < 0) subj_tok = tree.ChildWithRel(verb, "nsubj:pass");
+    int agent_tok = tree.ChildWithRel(verb, "obl:agent");
+    int obj_tok = tree.ChildWithRel(verb, "obj");
+    bool obj_is_oblique = false;
+    if (obj_tok < 0) {
+      obj_tok = tree.ChildWithRel(verb, "obl");
+      obj_is_oblique = obj_tok >= 0;
+    }
+
+    // Locative verbs ("sitting on the bed", "appear near the car"):
+    // the scene-graph relation is the preposition, not the verb.
+    if (obj_is_oblique) {
+      static const std::array<std::string_view, 6> kLocative = {
+          "sit", "stand", "lie", "appear", "situate", "locate"};
+      const bool locative =
+          std::find(kLocative.begin(), kLocative.end(), spoc.predicate) !=
+          kLocative.end();
+      if (locative) {
+        const int kase = tree.ChildWithRel(obj_tok, "case");
+        if (kase >= 0) {
+          spoc.predicate = tree.WordOf(kase);
+          if (lexicon_ != nullptr) {
+            spoc.predicate = lexicon_->Canonical(spoc.predicate);
+          }
+        }
+      }
+    }
+
+    // Relative-pronoun coreference (§IV-B): a wh subject is replaced by
+    // the antecedent noun the clause modifies through the acl edge.
+    if (subj_tok >= 0 && IsWhTag(tree.TagOf(subj_tok)) &&
+        c.antecedent >= 0) {
+      subj_tok = c.antecedent;
+    }
+
+    SpocElement subject = BuildElement(tree, subj_tok);
+    SpocElement object = BuildElement(tree, obj_tok);
+
+    if (c.passive && agent_tok >= 0) {
+      // Active normalization: "X are worn by Y" => [Y, wear, X].
+      spoc.subject = BuildElement(tree, agent_tok);
+      spoc.object = std::move(subject);
+    } else {
+      spoc.subject = std::move(subject);
+      spoc.object = std::move(object);
+    }
+
+    // --- Constraint ---
+    // Superlative adverbial chains on the verb ("most frequently").
+    for (int adv : tree.ChildrenWithRel(verb, "advmod")) {
+      std::vector<int> chain{adv};
+      for (int sub : tree.ChildrenWithRel(adv, "advmod")) chain.push_back(sub);
+      if (chain.size() > 1 ||
+          tree.TagOf(adv) == "RBS" || tree.TagOf(adv) == "RBR") {
+        spoc.constraint = RenderTokens(tree, std::move(chain));
+        break;
+      }
+    }
+
+    // Attribute questions: "what is the color of the robe ..." — the
+    // copula plus an attribute-word object with an of-modifier becomes a
+    // has-attribute query on the modifier ([robe, has-attribute,
+    // color?]).
+    if (c.copular && spoc.predicate == "be" &&
+        spoc.object.head == "color" && !spoc.object.of_head.empty()) {
+      nlp::SpocElement owner_el;
+      owner_el.text = spoc.object.of_head;
+      owner_el.head = spoc.object.of_head;
+      nlp::SpocElement color_el;
+      color_el.text = "color";
+      color_el.head = "color";
+      color_el.is_variable = true;
+      spoc.subject = std::move(owner_el);
+      spoc.predicate = "has-attribute";
+      spoc.object = std::move(color_el);
+    }
+
+    if (spoc.subject.empty() && spoc.object.empty()) {
+      return Status::ParseError("clause " + std::to_string(k) +
+                                " yielded no subject or object");
+    }
+    out.spocs.push_back(std::move(spoc));
+  }
+
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kParseTransition,
+                  static_cast<double>(out.spocs.size()) * 4.0);
+  }
+  if (out.spocs.empty()) {
+    return Status::ParseError("no clauses extracted");
+  }
+  return out;
+}
+
+}  // namespace svqa::nlp

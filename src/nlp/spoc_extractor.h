@@ -1,0 +1,90 @@
+#ifndef SVQA_NLP_SPOC_EXTRACTOR_H_
+#define SVQA_NLP_SPOC_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/dependency_parser.h"
+#include "text/lexicon.h"
+#include "util/result.h"
+
+namespace svqa::nlp {
+
+/// \brief One nominal element (subject or object) of a SPOC quadruple.
+struct SpocElement {
+  /// Surface phrase, e.g. "harry potter's girlfriend".
+  std::string text;
+  /// Canonical singular head noun, e.g. "girlfriend", "clothes".
+  std::string head;
+  /// Possessive owner phrase ("harry potter"), empty when none.
+  std::string owner;
+  /// Head of an embedded "of" modifier that was *not* collapsed (e.g.
+  /// "robe" in "the color of the robe"); empty when none. Kind-words
+  /// collapse onto their modifier instead and leave this empty.
+  std::string of_head;
+  /// Attribute constraint from an adjectival modifier ("a *red* robe");
+  /// empty when none. The matcher keeps only candidates carrying a
+  /// matching has-attribute edge.
+  std::string attribute;
+  /// True when this element is the value the question asks for
+  /// ("what kind of clothes", "how many dogs").
+  bool is_variable = false;
+  /// True when the question asks for the *kind/type* of the head
+  /// ("what kind of clothes" -> head "clothes", want_kind).
+  bool want_kind = false;
+
+  bool empty() const { return head.empty(); }
+};
+
+/// \brief The SPOC quadruple of one clause (paper §II): subject,
+/// predicate, object, constraint. Passive clauses with an explicit agent
+/// are normalized to active voice (subject := agent, object := patient,
+/// predicate := base lemma), matching the paper's Example 4 conversion of
+/// "are worn" to "wear".
+struct Spoc {
+  SpocElement subject;
+  /// Canonical predicate lemma ("wear", "hang-out", "near").
+  std::string predicate;
+  SpocElement object;
+  /// Constraint phrase c_c ("most frequently"), empty when none.
+  std::string constraint;
+  /// Index of the originating clause in sentence order.
+  int clause_index = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief The three MVQA answer modes (§V, following OK-VQA [34]).
+enum class QuestionType { kJudgment, kCounting, kReasoning };
+
+std::string_view QuestionTypeName(QuestionType type);
+
+/// \brief Extractor output: ordered SPOCs plus the detected answer mode.
+struct SpocExtraction {
+  std::vector<Spoc> spocs;
+  QuestionType type = QuestionType::kReasoning;
+};
+
+/// \brief The state machine of §IV-B: walks each clause of a parsed
+/// question and produces its SPOC, resolving relative-pronoun coreference
+/// through acl edges ("who" -> "wizard") and normalizing voice and
+/// inflection.
+class SpocExtractor {
+ public:
+  /// \param lexicon canonicalizes predicates ("worn"/"wearing" -> "wear").
+  explicit SpocExtractor(const text::SynonymLexicon* lexicon);
+
+  /// Extracts SPOCs from a parse. Fails when a clause yields neither a
+  /// subject nor an object (unparseable question).
+  Result<SpocExtraction> Extract(const ParseOutput& parse,
+                                 SimClock* clock = nullptr) const;
+
+ private:
+  SpocElement BuildElement(const DependencyTree& tree, int head_token) const;
+
+  const text::SynonymLexicon* lexicon_;
+};
+
+}  // namespace svqa::nlp
+
+#endif  // SVQA_NLP_SPOC_EXTRACTOR_H_

@@ -1,0 +1,78 @@
+#include "query/query_graph.h"
+
+#include <deque>
+#include <sstream>
+
+namespace svqa::query {
+
+QueryGraph::QueryGraph(std::string question, nlp::QuestionType type,
+                       std::vector<nlp::Spoc> vertices,
+                       std::vector<QueryEdge> edges)
+    : question_(std::move(question)),
+      type_(type),
+      vertices_(std::move(vertices)),
+      edges_(std::move(edges)) {}
+
+std::vector<int> QueryGraph::StartVertices() const {
+  std::vector<int> out;
+  for (int v = 0; v < static_cast<int>(vertices_.size()); ++v) {
+    if (InDegree(v) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<QueryEdge> QueryGraph::EdgesFromProducer(int v) const {
+  std::vector<QueryEdge> out;
+  for (const QueryEdge& e : edges_) {
+    if (e.producer == v) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t QueryGraph::InDegree(int v) const {
+  std::size_t n = 0;
+  for (const QueryEdge& e : edges_) {
+    if (e.consumer == v) ++n;
+  }
+  return n;
+}
+
+Result<std::vector<int>> QueryGraph::TopologicalOrder() const {
+  std::vector<std::size_t> indegree(vertices_.size(), 0);
+  for (const QueryEdge& e : edges_) ++indegree[e.consumer];
+  std::deque<int> ready;
+  for (int v = 0; v < static_cast<int>(vertices_.size()); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const QueryEdge& e : edges_) {
+      if (e.producer == v && --indegree[e.consumer] == 0) {
+        ready.push_back(e.consumer);
+      }
+    }
+  }
+  if (order.size() != vertices_.size()) {
+    return Status::InvalidArgument("query graph contains a cycle");
+  }
+  return order;
+}
+
+std::string QueryGraph::ToString() const {
+  std::ostringstream os;
+  os << "QueryGraph(" << nlp::QuestionTypeName(type_) << ", "
+     << vertices_.size() << " vertices)\n";
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    os << "  v" << i << " " << vertices_[i].ToString() << '\n';
+  }
+  for (const QueryEdge& e : edges_) {
+    os << "  v" << e.producer << " -" << DependencyKindName(e.kind) << "-> v"
+       << e.consumer << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace svqa::query

@@ -1,0 +1,64 @@
+#ifndef SVQA_QUERY_QUERY_GRAPH_H_
+#define SVQA_QUERY_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/spoc_extractor.h"
+#include "query/spoc.h"
+#include "util/result.h"
+
+namespace svqa::query {
+
+/// \brief Directed edge of the query graph: `producer` executes first and
+/// its bindings replace a role of `consumer` (Definition 3).
+struct QueryEdge {
+  int producer = 0;
+  int consumer = 0;
+  DependencyKind kind = DependencyKind::kS2S;
+};
+
+/// \brief The query graph G_q = (V_q, E_q): one SPOC vertex per clause,
+/// dependency edges from condition clauses toward the main clause.
+/// Acyclic by construction (edges always point from a later clause to an
+/// earlier one).
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+  QueryGraph(std::string question, nlp::QuestionType type,
+             std::vector<nlp::Spoc> vertices, std::vector<QueryEdge> edges);
+
+  const std::string& question() const { return question_; }
+  nlp::QuestionType type() const { return type_; }
+  const std::vector<nlp::Spoc>& vertices() const { return vertices_; }
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Vertices with zero in-degree — the starting points of Algorithm 3
+  /// (conditions with no further conditions).
+  std::vector<int> StartVertices() const;
+
+  /// Edges whose producer is `v` (the S(u,1) neighbours to update).
+  std::vector<QueryEdge> EdgesFromProducer(int v) const;
+
+  /// Number of edges arriving at consumer `v`.
+  std::size_t InDegree(int v) const;
+
+  /// A topological execution order (producers before consumers). Fails if
+  /// the graph is cyclic (cannot happen for builder-produced graphs; the
+  /// check protects hand-built ones).
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// Debug rendering.
+  std::string ToString() const;
+
+ private:
+  std::string question_;
+  nlp::QuestionType type_ = nlp::QuestionType::kReasoning;
+  std::vector<nlp::Spoc> vertices_;
+  std::vector<QueryEdge> edges_;
+};
+
+}  // namespace svqa::query
+
+#endif  // SVQA_QUERY_QUERY_GRAPH_H_

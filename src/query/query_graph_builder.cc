@@ -1,0 +1,80 @@
+#include "query/query_graph_builder.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/thread_pool.h"
+
+namespace svqa::query {
+
+QueryGraphBuilder::QueryGraphBuilder(const text::SynonymLexicon* lexicon)
+    : lexicon_(lexicon),
+      tagger_(nlp::PosTagger::Default()),
+      extractor_(lexicon) {}
+
+Result<QueryGraph> QueryGraphBuilder::Build(const std::string& question,
+                                            SimClock* clock) const {
+  // Initial Stage: POS + dependency tree.
+  const auto tokens = text::Tokenize(question);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty question");
+  }
+  const auto tagged = tagger_.Tag(tokens, clock);
+  SVQA_ASSIGN_OR_RETURN(nlp::ParseOutput parse,
+                        parser_.Parse(tagged, clock));
+
+  // Parse Stage: clauses -> SPOC quadruples.
+  SVQA_ASSIGN_OR_RETURN(nlp::SpocExtraction extraction,
+                        extractor_.Extract(parse, clock));
+
+  // Connect Stage: overlap matching between clause pairs. Clauses are in
+  // sentence order; a later clause is a condition of an earlier one, so
+  // edges run later -> earlier. Each producer links to its nearest
+  // matching consumer only, keeping chains (c2 -> c1 -> c0) instead of
+  // redundant skip edges.
+  std::vector<QueryEdge> edges;
+  const int n = static_cast<int>(extraction.spocs.size());
+  for (int producer = 1; producer < n; ++producer) {
+    for (int consumer = producer - 1; consumer >= 0; --consumer) {
+      auto kind = MatchSpocs(extraction.spocs[consumer],
+                             extraction.spocs[producer], *lexicon_);
+      if (kind.has_value()) {
+        edges.push_back(QueryEdge{producer, consumer, *kind});
+        break;  // nearest consumer only
+      }
+    }
+  }
+
+  return QueryGraph(question, extraction.type, std::move(extraction.spocs),
+                    std::move(edges));
+}
+
+QueryGraphBuilder::BatchParseResult QueryGraphBuilder::BuildAll(
+    const std::vector<std::string>& questions, std::size_t workers) const {
+  BatchParseResult result;
+  result.outcomes.resize(questions.size());
+  if (questions.empty()) return result;
+  workers = std::max<std::size_t>(1, workers);
+
+  ThreadPool pool(workers);
+  pool.ParallelFor(questions.size(), [&](std::size_t i) {
+    SimClock clock;
+    auto built = Build(questions[i], &clock);
+    ParseOutcome& out = result.outcomes[i];
+    out.status = built.status();
+    if (built.ok()) out.graph = std::move(*built);
+    out.micros = clock.ElapsedMicros();
+  });
+
+  // Deterministic makespan: round-robin worker accounting over the
+  // per-question virtual costs (independent of real thread scheduling).
+  std::vector<double> worker_totals(workers, 0.0);
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    worker_totals[i % workers] += result.outcomes[i].micros;
+  }
+  result.makespan_micros =
+      *std::max_element(worker_totals.begin(), worker_totals.end());
+  return result;
+}
+
+}  // namespace svqa::query

@@ -1,0 +1,73 @@
+#ifndef SVQA_QUERY_QUERY_GRAPH_BUILDER_H_
+#define SVQA_QUERY_QUERY_GRAPH_BUILDER_H_
+
+#include <string>
+
+#include "nlp/dependency_parser.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/spoc_extractor.h"
+#include "query/query_graph.h"
+#include "text/lexicon.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace svqa::query {
+
+/// \brief Algorithm 2 end-to-end: question text -> tokens -> POS ->
+/// dependency tree -> clauses -> SPOCs -> query graph.
+///
+/// The Connect Stage creates an edge from every later clause whose
+/// subject/object overlaps a role of an earlier clause (conditions feed
+/// the main clause), labeled with the DependencyKind that tells the
+/// executor which role to replace.
+class QueryGraphBuilder {
+ public:
+  /// \param lexicon shared canonicalization lexicon (must outlive the
+  /// builder).
+  explicit QueryGraphBuilder(const text::SynonymLexicon* lexicon);
+
+  /// Builds the query graph for a natural-language question.
+  Result<QueryGraph> Build(const std::string& question,
+                           SimClock* clock = nullptr) const;
+
+  /// Feeds the tagger's gazetteer with entity labels (typically the
+  /// knowledge graph's vertex labels) so proper names tag as NNP.
+  void RegisterEntityNames(const std::vector<std::string>& labels) {
+    tagger_.RegisterEntityNames(labels);
+  }
+
+  /// One question's outcome in a parallel batch parse.
+  struct ParseOutcome {
+    Status status;
+    QueryGraph graph;
+    /// Virtual time this question's parse consumed.
+    double micros = 0;
+  };
+
+  /// Batch result: outcomes in input order plus the batch's virtual
+  /// latency (makespan over workers).
+  struct BatchParseResult {
+    std::vector<ParseOutcome> outcomes;
+    double makespan_micros = 0;
+  };
+
+  /// Parses a batch of questions across `workers` threads — the paper's
+  /// §VII observation that the rule parser, unlike the neural splitters,
+  /// parallelizes trivially (no shared model state). Questions are dealt
+  /// round-robin; the virtual makespan is the max per-worker total.
+  /// Build must not race with RegisterEntityNames.
+  BatchParseResult BuildAll(const std::vector<std::string>& questions,
+                            std::size_t workers) const;
+
+  const nlp::PosTagger& tagger() const { return tagger_; }
+
+ private:
+  const text::SynonymLexicon* lexicon_;
+  nlp::PosTagger tagger_;
+  nlp::DependencyParser parser_;
+  nlp::SpocExtractor extractor_;
+};
+
+}  // namespace svqa::query
+
+#endif  // SVQA_QUERY_QUERY_GRAPH_BUILDER_H_

@@ -1,0 +1,48 @@
+#include "query/spoc.h"
+
+namespace svqa::query {
+
+std::string_view DependencyKindName(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kS2S:
+      return "S2S";
+    case DependencyKind::kS2O:
+      return "S2O";
+    case DependencyKind::kO2S:
+      return "O2S";
+    case DependencyKind::kO2O:
+      return "O2O";
+  }
+  return "?";
+}
+
+bool ElementsOverlap(const nlp::SpocElement& a, const nlp::SpocElement& b,
+                     const text::SynonymLexicon& lexicon) {
+  if (a.empty() || b.empty()) return false;
+  if (a.is_variable || b.is_variable) return false;
+  if (!lexicon.AreSynonyms(a.head, b.head)) return false;
+  if (!a.owner.empty() && !b.owner.empty() && a.owner != b.owner) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<DependencyKind> MatchSpocs(
+    const nlp::Spoc& consumer, const nlp::Spoc& producer,
+    const text::SynonymLexicon& lexicon) {
+  if (ElementsOverlap(consumer.subject, producer.subject, lexicon)) {
+    return DependencyKind::kS2S;
+  }
+  if (ElementsOverlap(consumer.subject, producer.object, lexicon)) {
+    return DependencyKind::kS2O;
+  }
+  if (ElementsOverlap(consumer.object, producer.subject, lexicon)) {
+    return DependencyKind::kO2S;
+  }
+  if (ElementsOverlap(consumer.object, producer.object, lexicon)) {
+    return DependencyKind::kO2O;
+  }
+  return std::nullopt;
+}
+
+}  // namespace svqa::query

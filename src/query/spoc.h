@@ -1,0 +1,42 @@
+#ifndef SVQA_QUERY_SPOC_H_
+#define SVQA_QUERY_SPOC_H_
+
+#include <optional>
+#include <string_view>
+
+#include "nlp/spoc_extractor.h"
+#include "text/lexicon.h"
+
+namespace svqa::query {
+
+/// \brief Inter-clause dependency kinds (§IV-C). The first letter names
+/// the role in the *consumer* vertex that gets replaced; the second the
+/// role in the *producer* vertex that supplies the binding (matching the
+/// Replace() calls of Algorithm 3 lines 14-17).
+enum class DependencyKind {
+  kS2S,  ///< consumer subject <- producer subject
+  kS2O,  ///< consumer subject <- producer object
+  kO2S,  ///< consumer object  <- producer subject
+  kO2O,  ///< consumer object  <- producer object
+};
+
+std::string_view DependencyKindName(DependencyKind kind);
+
+/// \brief True when two SPOC elements denote the same entity/role — the
+/// SOOverlap predicate of Algorithm 2 line 13. Variables never join
+/// (they are outputs, not keys); otherwise heads must share a canonical
+/// concept, and possessive owners must agree when both are present.
+bool ElementsOverlap(const nlp::SpocElement& a, const nlp::SpocElement& b,
+                     const text::SynonymLexicon& lexicon);
+
+/// \brief The SOMatching step of Algorithm 2 line 14: finds the
+/// dependency kind linking consumer and producer SPOCs, if any. When
+/// several roles overlap, subject-subject wins (the strongest signal per
+/// §IV-C).
+std::optional<DependencyKind> MatchSpocs(const nlp::Spoc& consumer,
+                                         const nlp::Spoc& producer,
+                                         const text::SynonymLexicon& lexicon);
+
+}  // namespace svqa::query
+
+#endif  // SVQA_QUERY_SPOC_H_

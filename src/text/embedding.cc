@@ -1,0 +1,103 @@
+#include "text/embedding.h"
+
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace svqa::text {
+namespace {
+
+void Normalize(Embedding* v) {
+  double norm = 0;
+  for (float x : *v) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) return;
+  for (float& x : *v) x = static_cast<float>(x / norm);
+}
+
+void AddScaled(Embedding* dst, const Embedding& src, double w) {
+  for (std::size_t i = 0; i < kEmbeddingDim; ++i) {
+    (*dst)[i] += static_cast<float>(w * src[i]);
+  }
+}
+
+}  // namespace
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < kEmbeddingDim; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+EmbeddingModel::EmbeddingModel(SynonymLexicon lexicon, uint64_t seed)
+    : lexicon_(std::move(lexicon)), seed_(seed) {}
+
+Embedding EmbeddingModel::HashVector(std::string_view token,
+                                     uint64_t salt) const {
+  Rng rng(HashCombine(HashCombine(StableHash64(token), salt), seed_));
+  Embedding v;
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  Normalize(&v);
+  return v;
+}
+
+Embedding EmbeddingModel::Embed(std::string_view word) const {
+  const std::string lower = ToLower(word);
+  const std::string concept_name = lexicon_.Canonical(lower);
+
+  Embedding out{};
+  // Surface-form component keeps distinct words within a group from being
+  // bit-identical.
+  AddScaled(&out, HashVector(lower, /*salt=*/0x5f0e), 1.0 - concept_weight_);
+  // Shared concept component: synonyms collapse onto this.
+  AddScaled(&out, HashVector(concept_name, /*salt=*/0xc0ffee),
+            concept_weight_);
+  // Attenuated hypernym components give "dog" ~ "animal" a positive score.
+  double w = hypernym_weight_;
+  for (const auto& parent : lexicon_.HypernymChain(lower)) {
+    AddScaled(&out, HashVector(parent, /*salt=*/0xc0ffee), w);
+    w *= 0.5;
+  }
+  Normalize(&out);
+  return out;
+}
+
+Embedding EmbeddingModel::EmbedPhrase(std::string_view phrase) const {
+  const auto tokens = Tokenize(phrase);
+  Embedding out{};
+  if (tokens.empty()) return out;
+  for (const auto& tok : tokens) {
+    AddScaled(&out, Embed(tok), 1.0 / static_cast<double>(tokens.size()));
+  }
+  Normalize(&out);
+  return out;
+}
+
+double EmbeddingModel::Similarity(std::string_view a,
+                                  std::string_view b) const {
+  return CosineSimilarity(EmbedPhrase(a), EmbedPhrase(b));
+}
+
+std::pair<int, double> EmbeddingModel::MostSimilar(
+    std::string_view query, const std::vector<std::string>& candidates) const {
+  if (candidates.empty()) return {-1, 0.0};
+  const Embedding q = EmbedPhrase(query);
+  int best = -1;
+  double best_score = -2.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double s = CosineSimilarity(q, EmbedPhrase(candidates[i]));
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(i);
+    }
+  }
+  return {best, best_score};
+}
+
+}  // namespace svqa::text

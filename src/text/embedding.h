@@ -1,0 +1,69 @@
+#ifndef SVQA_TEXT_EMBEDDING_H_
+#define SVQA_TEXT_EMBEDDING_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/lexicon.h"
+
+namespace svqa::text {
+
+/// Embedding dimensionality. Small enough that cosine evaluation cost is
+/// negligible next to its charged virtual cost (CostKind::kEmbeddingSim).
+inline constexpr std::size_t kEmbeddingDim = 64;
+
+using Embedding = std::array<float, kEmbeddingDim>;
+
+/// \brief Cosine similarity of two embeddings in [-1, 1]; 0 when either
+/// vector is all-zero.
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+/// \brief Deterministic word-embedding model.
+///
+/// Substitutes for pretrained word2vec (DESIGN.md §1): a word's vector is
+/// a blend of (a) a hashed random-projection vector unique to the surface
+/// form, (b) its synonym-group concept vector, and (c) attenuated hypernym
+/// concept vectors. The result: synonyms ("dog"/"puppy") have cosine near
+/// `concept_weight`², hyponym/hypernym pairs ("dog"/"animal") a moderate
+/// positive score, and unrelated words near zero — the structure maxScore
+/// and matchVertex rely on in §V.
+class EmbeddingModel {
+ public:
+  /// \param lexicon supplies synonym/hypernym structure.
+  /// \param seed controls the hashed projection (per-run reproducible).
+  explicit EmbeddingModel(SynonymLexicon lexicon, uint64_t seed = 42);
+
+  /// Embeds a single word.
+  Embedding Embed(std::string_view word) const;
+
+  /// Embeds a phrase as the mean of its word vectors (re-normalized).
+  Embedding EmbedPhrase(std::string_view phrase) const;
+
+  /// Cosine similarity between two words/phrases.
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  /// Index of the most similar candidate to `query`, with its score.
+  /// Returns {-1, 0} when `candidates` is empty. This is the paper's
+  /// `maxScore` primitive (§V-A line 8-9).
+  std::pair<int, double> MostSimilar(
+      std::string_view query, const std::vector<std::string>& candidates) const;
+
+  const SynonymLexicon& lexicon() const { return lexicon_; }
+
+ private:
+  Embedding HashVector(std::string_view token, uint64_t salt) const;
+
+  SynonymLexicon lexicon_;
+  uint64_t seed_;
+  /// Weight of the shared concept vector vs the surface-form vector.
+  double concept_weight_ = 0.85;
+  /// Per-level attenuation of hypernym concept vectors.
+  double hypernym_weight_ = 0.35;
+};
+
+}  // namespace svqa::text
+
+#endif  // SVQA_TEXT_EMBEDDING_H_

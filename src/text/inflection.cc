@@ -1,0 +1,154 @@
+#include "text/inflection.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+namespace svqa::text {
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+const std::unordered_map<std::string, std::string>& IrregularVerbs() {
+  static const auto* map = new std::unordered_map<std::string, std::string>{
+      {"worn", "wear"},     {"wore", "wear"},     {"held", "hold"},
+      {"sat", "sit"},       {"stood", "stand"},   {"ridden", "ride"},
+      {"rode", "ride"},     {"eaten", "eat"},     {"ate", "eat"},
+      {"seen", "see"},      {"saw", "see"},       {"carried", "carry"},
+      {"is", "be"},         {"are", "be"},        {"was", "be"},
+      {"were", "be"},       {"been", "be"},       {"being", "be"},
+      {"am", "be"},         {"has", "have"},      {"had", "have"},
+      {"does", "do"},       {"did", "do"},        {"done", "do"},
+      {"chased", "chase"},  {"hung", "hang"},     {"went", "go"},
+      {"gone", "go"},       {"caught", "catch"},  {"thrown", "throw"},
+      {"threw", "throw"},   {"found", "find"},    {"kept", "keep"},
+      {"made", "make"},     {"taken", "take"},    {"took", "take"},
+      {"given", "give"},    {"gave", "give"},     {"shown", "show"},
+      {"showed", "show"},   {"situated", "sit"},
+  };
+  return *map;
+}
+
+const std::unordered_map<std::string, std::string>& IrregularNouns() {
+  static const auto* map = new std::unordered_map<std::string, std::string>{
+      {"people", "person"},   {"children", "child"}, {"men", "man"},
+      {"women", "woman"},     {"feet", "foot"},      {"teeth", "tooth"},
+      {"mice", "mouse"},      {"geese", "goose"},    {"clothes", "clothes"},
+      {"glasses", "glasses"}, {"buses", "bus"},      {"wolves", "wolf"},
+      {"leaves", "leaf"},     {"movies", "movie"},
+  };
+  return *map;
+}
+
+}  // namespace
+
+std::string VerbLemma(std::string_view verb) {
+  std::string v(verb);
+  auto it = IrregularVerbs().find(v);
+  if (it != IrregularVerbs().end()) return it->second;
+
+  if (EndsWith(v, "ing") && v.size() > 5) {
+    std::string stem = v.substr(0, v.size() - 3);
+    // Doubled final consonant: "sitting" -> "sit".
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem.back())) {
+      stem.pop_back();
+      return stem;
+    }
+    // CVC + e restoration: "riding" -> "ride", "chasing" -> "chase".
+    if (stem.size() >= 2 && !IsVowel(stem.back()) &&
+        IsVowel(stem[stem.size() - 2]) &&
+        (stem.size() < 3 || !IsVowel(stem[stem.size() - 3]))) {
+      return stem + "e";
+    }
+    return stem;
+  }
+  if (EndsWith(v, "ied") && v.size() > 4) {
+    return v.substr(0, v.size() - 3) + "y";
+  }
+  if (EndsWith(v, "ed") && v.size() > 3) {
+    std::string stem = v.substr(0, v.size() - 2);
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem.back())) {
+      stem.pop_back();
+      return stem;
+    }
+    if (EndsWith(stem, "at") || EndsWith(stem, "as") || EndsWith(stem, "os") ||
+        EndsWith(stem, "ik")) {
+      return stem + "e";
+    }
+    return stem;
+  }
+  if (EndsWith(v, "ies") && v.size() > 4) {
+    return v.substr(0, v.size() - 3) + "y";
+  }
+  if (EndsWith(v, "es") && v.size() > 3 &&
+      (EndsWith(v, "ches") || EndsWith(v, "shes") || EndsWith(v, "sses") ||
+       EndsWith(v, "xes"))) {
+    return v.substr(0, v.size() - 2);
+  }
+  if (EndsWith(v, "s") && v.size() > 2 && !EndsWith(v, "ss")) {
+    return v.substr(0, v.size() - 1);
+  }
+  return v;
+}
+
+std::string SingularNoun(std::string_view noun) {
+  std::string n(noun);
+  auto it = IrregularNouns().find(n);
+  if (it != IrregularNouns().end()) return it->second;
+
+  if (EndsWith(n, "ies") && n.size() > 4) {
+    return n.substr(0, n.size() - 3) + "y";
+  }
+  if ((EndsWith(n, "ches") || EndsWith(n, "shes") || EndsWith(n, "sses") ||
+       EndsWith(n, "xes")) &&
+      n.size() > 4) {
+    return n.substr(0, n.size() - 2);
+  }
+  if (EndsWith(n, "s") && n.size() > 2 && !EndsWith(n, "ss") &&
+      !EndsWith(n, "us")) {
+    return n.substr(0, n.size() - 1);
+  }
+  return n;
+}
+
+bool IsBeVerb(std::string_view word) {
+  static const std::array<std::string_view, 7> kForms = {
+      "is", "are", "was", "were", "be", "been", "being"};
+  for (auto f : kForms) {
+    if (word == f) return true;
+  }
+  return false;
+}
+
+bool IsAuxiliary(std::string_view word) {
+  if (IsBeVerb(word)) return true;
+  static const std::array<std::string_view, 7> kForms = {
+      "has", "have", "had", "does", "do", "did", "will"};
+  for (auto f : kForms) {
+    if (word == f) return true;
+  }
+  return false;
+}
+
+bool IsPastParticiple(std::string_view word) {
+  static const std::array<std::string_view, 14> kIrregular = {
+      "worn", "held", "ridden", "eaten", "seen", "done", "been",
+      "gone", "caught", "thrown", "found", "taken", "given", "shown"};
+  for (auto f : kIrregular) {
+    if (word == f) return true;
+  }
+  std::string w(word);
+  if (w.size() > 3 && (EndsWith(w, "ed") || EndsWith(w, "en"))) return true;
+  return false;
+}
+
+}  // namespace svqa::text

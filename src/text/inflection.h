@@ -1,0 +1,38 @@
+#ifndef SVQA_TEXT_INFLECTION_H_
+#define SVQA_TEXT_INFLECTION_H_
+
+#include <string>
+#include <string_view>
+
+namespace svqa::text {
+
+/// \brief English morphology helpers used by the SPOC extractor (§IV-B):
+/// normalizing passive participles to base verbs ("worn" -> "wear"),
+/// progressive forms ("hanging" -> "hang"), and plural nouns to singular
+/// ("clothes" stays, "dogs" -> "dog").
+
+/// Base (lemma) form of a verb: strips -s / -ing / -ed with doubling and
+/// e-restoration rules, and consults an irregular table (worn->wear,
+/// held->hold, sat->sit, ...). Unknown words pass through unchanged.
+std::string VerbLemma(std::string_view verb);
+
+/// Singular form of a noun: -ies -> -y, -ses/-xes/-ches/-shes -> drop
+/// "es", else drop trailing "s" (with an invariant/irregular table:
+/// clothes, people -> person, children -> child, ...).
+std::string SingularNoun(std::string_view noun);
+
+/// True for the copula family ("is", "are", "was", "were", "be", "been",
+/// "being") — the SLVP structure marker from §IV-B.
+bool IsBeVerb(std::string_view word);
+
+/// True for auxiliary verbs that head periphrastic tenses ("is", "are",
+/// "was", "were", "has", "have", "had", "does", "do", "did", "will").
+bool IsAuxiliary(std::string_view word);
+
+/// True for past participle forms (irregular table + -ed/-en heuristics);
+/// used to detect passive voice ("are worn").
+bool IsPastParticiple(std::string_view word);
+
+}  // namespace svqa::text
+
+#endif  // SVQA_TEXT_INFLECTION_H_

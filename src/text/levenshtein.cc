@@ -1,0 +1,40 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace svqa::text {
+
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  const std::size_t m = b.size();
+  if (m == 0) return a.size();
+
+  // Single rolling row over the shorter string.
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::size_t up = row[j];
+      std::size_t sub = diag + (a[i - 1] != b[j - 1] ? 1 : 0);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const double d = static_cast<double>(LevenshteinDistance(a, b));
+  return 2.0 * d / (static_cast<double>(a.size() + b.size()) + d);
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  return 1.0 - NormalizedLevenshtein(a, b);
+}
+
+}  // namespace svqa::text

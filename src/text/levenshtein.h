@@ -1,0 +1,21 @@
+#ifndef SVQA_TEXT_LEVENSHTEIN_H_
+#define SVQA_TEXT_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace svqa::text {
+
+/// \brief Classic edit distance (insert/delete/substitute, unit costs).
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief Normalized Levenshtein distance in [0, 1] following Yujian & Bo
+/// (paper ref [37]): 2*d / (|a| + |b| + d); 0 means identical.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+/// \brief Similarity convenience: 1 - NormalizedLevenshtein.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace svqa::text
+
+#endif  // SVQA_TEXT_LEVENSHTEIN_H_

@@ -1,0 +1,153 @@
+#include "text/lexicon.h"
+
+#include "text/tokenizer.h"
+
+namespace svqa::text {
+
+void SynonymLexicon::AddGroup(std::string canonical,
+                              const std::vector<std::string>& words) {
+  word_to_concept_[canonical] = canonical;
+  for (const auto& w : words) word_to_concept_[w] = canonical;
+}
+
+void SynonymLexicon::AddHypernym(std::string_view child,
+                                 std::string_view parent) {
+  concept_parent_[Canonical(child)] = Canonical(parent);
+}
+
+std::string SynonymLexicon::Canonical(std::string_view word) const {
+  auto it = word_to_concept_.find(std::string(word));
+  if (it != word_to_concept_.end()) return it->second;
+  return std::string(word);
+}
+
+bool SynonymLexicon::AreSynonyms(std::string_view a,
+                                 std::string_view b) const {
+  return Canonical(a) == Canonical(b);
+}
+
+std::vector<std::string> SynonymLexicon::HypernymChain(
+    std::string_view word) const {
+  std::vector<std::string> chain;
+  std::string cur = Canonical(word);
+  // Bounded walk guards against accidental cycles in user-added data.
+  for (int depth = 0; depth < 8; ++depth) {
+    auto it = concept_parent_.find(cur);
+    if (it == concept_parent_.end()) break;
+    chain.push_back(it->second);
+    cur = it->second;
+  }
+  return chain;
+}
+
+bool SynonymLexicon::HypernymRelated(std::string_view a,
+                                     std::string_view b) const {
+  const std::string ca = Canonical(a);
+  const std::string cb = Canonical(b);
+  if (ca == cb) return true;
+  for (const auto& up : HypernymChain(a)) {
+    if (up == cb) return true;
+  }
+  for (const auto& up : HypernymChain(b)) {
+    if (up == ca) return true;
+  }
+  return false;
+}
+
+SynonymLexicon SynonymLexicon::Default() {
+  SynonymLexicon lex;
+  // --- Object categories (COCO-flavoured synthetic world) ---
+  lex.AddGroup("person", {"man", "woman", "people", "human", "guy", "lady"});
+  lex.AddGroup("dog", {"puppy", "canine", "hound"});
+  lex.AddGroup("cat", {"kitten", "feline"});
+  lex.AddGroup("bird", {"parrot", "pigeon"});
+  lex.AddGroup("horse", {"pony", "stallion"});
+  lex.AddGroup("car", {"automobile", "sedan"});
+  lex.AddGroup("bicycle", {"bike", "cycle"});
+  lex.AddGroup("motorcycle", {"motorbike"});
+  lex.AddGroup("bus", {"coach"});
+  lex.AddGroup("truck", {"lorry"});
+  lex.AddGroup("building", {"house", "tower"});
+  lex.AddGroup("tree", {"trees"});
+  lex.AddGroup("bench", {"seat"});
+  lex.AddGroup("frisbee", {"disc"});
+  lex.AddGroup("hat", {"cap"});
+  lex.AddGroup("clothes", {"clothing", "cloth", "garment", "outfit"});
+  lex.AddGroup("robe", {"robes", "gown"});
+  lex.AddGroup("scarf", {"scarves"});
+  lex.AddGroup("jacket", {"coat"});
+  lex.AddGroup("shirt", {"tshirt"});
+  lex.AddGroup("wizard", {"sorcerer", "mage"});
+  lex.AddGroup("pet", {"pets"});
+  lex.AddGroup("animal", {"animals", "creature"});
+  lex.AddGroup("vehicle", {"vehicles"});
+  lex.AddGroup("bear", {"teddy"});
+  lex.AddGroup("tv", {"television", "monitor"});
+  lex.AddGroup("bed", {"mattress"});
+  lex.AddGroup("ball", {"football"});
+  lex.AddGroup("umbrella", {});
+  lex.AddGroup("backpack", {"bag", "knapsack"});
+  lex.AddGroup("skateboard", {});
+  lex.AddGroup("boat", {"ship"});
+  lex.AddGroup("train", {});
+  lex.AddGroup("fence", {"railing"});
+  lex.AddGroup("grass", {"lawn"});
+  lex.AddGroup("street", {"road"});
+  lex.AddGroup("kite", {});
+  lex.AddGroup("book", {});
+  lex.AddGroup("chair", {"stool"});
+  lex.AddGroup("table", {"desk"});
+  lex.AddGroup("phone", {"cellphone", "smartphone"});
+  lex.AddGroup("laptop", {"computer", "notebook"});
+
+  // --- Hypernym structure used by matchVertex's semantic fallback ---
+  for (const char* animal : {"dog", "cat", "bird", "horse", "bear"}) {
+    lex.AddHypernym(animal, "animal");
+  }
+  lex.AddHypernym("pet", "animal");
+  lex.AddHypernym("dog", "pet");
+  lex.AddHypernym("cat", "pet");
+  for (const char* v :
+       {"car", "bicycle", "motorcycle", "bus", "truck", "boat", "train"}) {
+    lex.AddHypernym(v, "vehicle");
+  }
+  for (const char* c : {"hat", "robe", "scarf", "jacket", "shirt"}) {
+    lex.AddHypernym(c, "clothes");
+  }
+  lex.AddHypernym("wizard", "person");
+
+  // --- Predicates (scene-graph relations + verb synonyms) ---
+  lex.AddGroup("on", {"atop", "upon"});
+  lex.AddGroup("in", {"inside", "within"});
+  lex.AddGroup("near", {"beside", "next-to", "by"});
+  lex.AddGroup("behind", {});
+  lex.AddGroup("in-front-of", {"before"});
+  lex.AddGroup("under", {"beneath", "below"});
+  lex.AddGroup("wear", {"wearing", "worn", "wears", "dressed"});
+  lex.AddGroup("hold", {"holding", "held", "holds"});
+  lex.AddGroup("carry", {"carrying", "carried", "carries"});
+  lex.AddGroup("ride", {"riding", "ridden", "rides"});
+  lex.AddGroup("sit", {"sitting", "sits", "seated", "situated"});
+  lex.AddGroup("stand", {"standing", "stands"});
+  lex.AddGroup("watch", {"watching", "watches", "look", "looking"});
+  lex.AddGroup("chase", {"chasing", "chases"});
+  lex.AddGroup("eat", {"eating", "eats"});
+  lex.AddGroup("play", {"playing", "plays"});
+  lex.AddGroup("walk", {"walking", "walks"});
+  lex.AddGroup("jump", {"jumping", "jumps"});
+  lex.AddGroup("hang-out", {"hanging-out", "hangs-out", "accompany",
+                            "accompanying", "with"});
+  lex.AddGroup("appear", {"appearing", "appears", "shown"});
+
+  // --- Knowledge-graph relations ---
+  lex.AddGroup("girlfriend-of", {"girlfriend"});
+  lex.AddGroup("friend-of", {"friend", "friends"});
+  lex.AddGroup("member-of", {"member"});
+  lex.AddGroup("lives-in", {"lives"});
+  lex.AddGroup("owner-of", {"owner", "owns"});
+  lex.AddGroup("sibling-of", {"sibling", "brother", "sister"});
+
+  return lex;
+}
+
+}  // namespace svqa::text

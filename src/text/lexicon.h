@@ -1,0 +1,58 @@
+#ifndef SVQA_TEXT_LEXICON_H_
+#define SVQA_TEXT_LEXICON_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace svqa::text {
+
+/// \brief Synonym / hypernym lexicon.
+///
+/// Substitutes for the distributional structure of pretrained word2vec
+/// embeddings (DESIGN.md §1): words in the same group ("dog", "puppy",
+/// "canine") share a canonical concept, and a concept may name a hypernym
+/// parent ("dog" IS-A "animal"). The EmbeddingModel blends concept vectors
+/// so synonyms score high cosine similarity and hyponym/hypernym pairs
+/// score moderately high.
+class SynonymLexicon {
+ public:
+  SynonymLexicon() = default;
+
+  /// Returns a lexicon pre-populated with the vocabulary used by the
+  /// synthetic MVQA world (object categories, predicates, attributes).
+  static SynonymLexicon Default();
+
+  /// Registers `words` as one synonym group named by `canonical`
+  /// (canonical itself becomes a member). Later registrations of a word
+  /// overwrite earlier ones.
+  void AddGroup(std::string canonical, const std::vector<std::string>& words);
+
+  /// Declares `child` concept to be a kind of `parent` concept.
+  void AddHypernym(std::string_view child, std::string_view parent);
+
+  /// Canonical concept for a word; the word itself when unknown.
+  std::string Canonical(std::string_view word) const;
+
+  /// True when both words map to the same concept.
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// True when Canonical(a) is a (transitive) hyponym of Canonical(b) or
+  /// vice versa.
+  bool HypernymRelated(std::string_view a, std::string_view b) const;
+
+  /// The hypernym chain of a word's concept, nearest parent first.
+  std::vector<std::string> HypernymChain(std::string_view word) const;
+
+  /// Number of registered words.
+  std::size_t size() const { return word_to_concept_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> word_to_concept_;
+  std::unordered_map<std::string, std::string> concept_parent_;
+};
+
+}  // namespace svqa::text
+
+#endif  // SVQA_TEXT_LEXICON_H_

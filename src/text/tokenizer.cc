@@ -1,0 +1,97 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace svqa::text {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+bool IsPunct(char c) {
+  switch (c) {
+    case '?':
+    case '!':
+    case '.':
+    case ',':
+    case ';':
+    case ':':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string ToLower(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+namespace {
+
+/// Merges multi-word expressions that function as single prepositions
+/// ("in front of" -> "in-front-of"), matching the scene-graph predicate
+/// vocabulary.
+void MergeMultiword(std::vector<std::string>* tokens) {
+  auto& t = *tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i] == "in" && t[i + 1] == "front" && t[i + 2] == "of") {
+      t[i] = "in-front-of";
+      t.erase(t.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+              t.begin() + static_cast<std::ptrdiff_t>(i) + 3);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (IsWordChar(c)) {
+      std::size_t start = i;
+      while (i < n && IsWordChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      // Possessive clitic: "Potter's" -> "potter" + "'s".
+      bool possessive = false;
+      if (i + 1 < n && input[i] == '\'' &&
+          (input[i + 1] == 's' || input[i + 1] == 'S') &&
+          (i + 2 >= n || !IsWordChar(input[i + 2]))) {
+        possessive = true;
+        i += 2;
+      }
+      tokens.push_back(options.lowercase ? ToLower(word) : word);
+      if (possessive) tokens.emplace_back("'s");
+    } else if (IsPunct(c)) {
+      if (options.keep_punctuation) tokens.emplace_back(1, c);
+      ++i;
+    } else {
+      ++i;  // whitespace / other separators
+    }
+  }
+  MergeMultiword(&tokens);
+  return tokens;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace svqa::text

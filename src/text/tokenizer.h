@@ -1,0 +1,35 @@
+#ifndef SVQA_TEXT_TOKENIZER_H_
+#define SVQA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svqa::text {
+
+/// \brief Tokenizer options.
+struct TokenizerOptions {
+  /// Lowercase all tokens (question parsing is case-insensitive).
+  bool lowercase = true;
+  /// Emit punctuation marks (",", "?", ...) as their own tokens instead of
+  /// dropping them.
+  bool keep_punctuation = false;
+};
+
+/// \brief Splits text into word tokens.
+///
+/// Handles possessive clitics ("Potter's" -> "potter", "'s") and
+/// hyphenated compounds (kept whole), mirroring the PTB conventions the
+/// Stanford tools use for the constructs appearing in MVQA questions.
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options = {});
+
+/// \brief Joins tokens with single spaces.
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+/// \brief ASCII lowercase of a string.
+std::string ToLower(std::string_view input);
+
+}  // namespace svqa::text
+
+#endif  // SVQA_TEXT_TOKENIZER_H_

@@ -1,0 +1,55 @@
+#ifndef SVQA_UTIL_LOGGING_H_
+#define SVQA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace svqa {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarning so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via SVQA_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace svqa
+
+#define SVQA_LOG(level)                                          \
+  ::svqa::internal::LogMessage(::svqa::LogLevel::k##level, \
+                               __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check (active in all build types).
+#define SVQA_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      SVQA_LOG(Error) << "Check failed: " #cond;                          \
+      ::abort();                                                          \
+    }                                                                     \
+  } while (false)
+
+#endif  // SVQA_UTIL_LOGGING_H_

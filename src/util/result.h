@@ -1,0 +1,89 @@
+#ifndef SVQA_UTIL_RESULT_H_
+#define SVQA_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace svqa {
+
+/// \brief Value-or-error holder in the spirit of arrow::Result.
+///
+/// A `Result<T>` either holds a `T` (status is OK) or a non-OK `Status`.
+/// Accessing the value of an errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: allows `return Status::...;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(storage_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(std::move(storage_));
+  }
+
+  /// Shorthand accessors matching arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(storage_);
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+/// Assigns the unwrapped value of a Result expression to `lhs`, or returns
+/// its error. Mirrors ARROW_ASSIGN_OR_RAISE. `lhs` may include a
+/// declaration, e.g. SVQA_ASSIGN_OR_RETURN(auto g, LoadGraph(path));
+#define SVQA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SVQA_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SVQA_ASSIGN_OR_RETURN_NAME(x, y) SVQA_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define SVQA_ASSIGN_OR_RETURN(lhs, expr) \
+  SVQA_ASSIGN_OR_RETURN_IMPL(            \
+      SVQA_ASSIGN_OR_RETURN_NAME(_svqa_result_, __LINE__), lhs, expr)
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_RESULT_H_

@@ -1,0 +1,52 @@
+#include "util/sim_clock.h"
+
+#include <sstream>
+
+namespace svqa {
+namespace {
+
+const char* KindName(CostKind kind) {
+  switch (kind) {
+    case CostKind::kVertexCompare:
+      return "vertex-compare";
+    case CostKind::kEdgeTraverse:
+      return "edge-traverse";
+    case CostKind::kLevenshtein:
+      return "levenshtein";
+    case CostKind::kEmbeddingSim:
+      return "embedding-sim";
+    case CostKind::kCacheProbe:
+      return "cache-probe";
+    case CostKind::kParseToken:
+      return "parse-token";
+    case CostKind::kParseTransition:
+      return "parse-transition";
+    case CostKind::kNeuralImageInference:
+      return "neural-image-inference";
+    case CostKind::kNeuralParseInference:
+      return "neural-parse-inference";
+    case CostKind::kModelLoad:
+      return "model-load";
+    case CostKind::kSceneGraphGen:
+      return "scene-graph-gen";
+    case CostKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SimClock::Summary() const {
+  std::ostringstream os;
+  os << "elapsed=" << ElapsedMillis() << "ms";
+  for (int i = 0; i < static_cast<int>(CostKind::kNumKinds); ++i) {
+    if (op_counts_[i] > 0) {
+      os << " " << KindName(static_cast<CostKind>(i)) << "="
+         << op_counts_[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace svqa

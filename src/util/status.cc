@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+namespace svqa {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kExecutionError:
+      return "execution-error";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace svqa

@@ -1,0 +1,110 @@
+#ifndef SVQA_UTIL_STATUS_H_
+#define SVQA_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace svqa {
+
+/// \brief Machine-readable error category attached to a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kParseError = 5,
+  kExecutionError = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// \brief Returns the canonical lowercase name of a status code
+/// (e.g. "invalid-argument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Arrow/RocksDB-style operation outcome: a code plus a
+/// human-readable message. `Status::OK()` is cheap (no allocation).
+///
+/// Functions in this library that can fail return either `Status` or
+/// `Result<T>`; exceptions are not used on library paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory for the singleton-like OK value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsExecutionError() const {
+    return code_ == StatusCode::kExecutionError;
+  }
+
+  /// Renders "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller. Mirrors ARROW_RETURN_NOT_OK.
+#define SVQA_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::svqa::Status _svqa_status = (expr);        \
+    if (!_svqa_status.ok()) return _svqa_status; \
+  } while (false)
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_STATUS_H_

@@ -1,0 +1,54 @@
+#ifndef SVQA_UTIL_THREAD_POOL_H_
+#define SVQA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace svqa {
+
+/// \brief Small fixed-size worker pool used by the parallel batch
+/// executor (§V-B) and the parallelized query-graph generator (Exp-4).
+///
+/// Tasks are arbitrary `std::function<void()>`; `WaitIdle` blocks until
+/// every submitted task has finished. Destruction drains the queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for
+  /// completion. Convenience for data-parallel loops.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_THREAD_POOL_H_

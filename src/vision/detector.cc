@@ -1,0 +1,97 @@
+#include "vision/detector.h"
+
+#include <algorithm>
+
+namespace svqa::vision {
+
+SimulatedDetector::SimulatedDetector(DetectorOptions options)
+    : options_(options) {}
+
+const std::vector<std::pair<std::string, std::string>>&
+SimulatedDetector::ConfusionPairs() {
+  // Plausible visual confusions; "teddy -> bear" reproduces the paper's
+  // Figure 8(b) object-recognition failure.
+  static const auto* pairs =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"teddy", "bear"},   {"bear", "dog"},      {"dog", "cat"},
+          {"cat", "dog"},      {"car", "truck"},     {"truck", "bus"},
+          {"bus", "truck"},    {"bicycle", "motorcycle"},
+          {"motorcycle", "bicycle"}, {"bird", "kite"}, {"kite", "bird"},
+          {"horse", "dog"},    {"bench", "chair"},   {"chair", "bench"},
+          {"tv", "laptop"},    {"laptop", "tv"},
+      };
+  return *pairs;
+}
+
+std::array<float, kFeatureDim> MakeFeature(const std::string& category,
+                                           const std::string& instance,
+                                           uint64_t seed) {
+  Rng rng(HashCombine(HashCombine(StableHash64(category),
+                                  StableHash64(instance)),
+                      seed));
+  std::array<float, kFeatureDim> f;
+  for (auto& x : f) x = static_cast<float>(rng.NextGaussian());
+  return f;
+}
+
+std::vector<Detection> SimulatedDetector::Detect(const Scene& scene) const {
+  Rng rng(HashCombine(options_.seed, static_cast<uint64_t>(scene.id) *
+                                         0x9e3779b97f4a7c15ULL));
+  std::vector<Detection> detections;
+  detections.reserve(scene.objects.size());
+
+  for (std::size_t i = 0; i < scene.objects.size(); ++i) {
+    const SceneObject& obj = scene.objects[i];
+    if (rng.Chance(options_.miss_rate)) continue;  // missed detection
+
+    Detection d;
+    d.truth_index = static_cast<int>(i);
+    d.box = obj.box;
+    for (auto& coord : d.box) {
+      coord += static_cast<float>(rng.NextGaussian() * options_.box_jitter *
+                                  0.1);
+      coord = std::clamp(coord, 0.0f, 1.0f);
+    }
+
+    // Label prediction with confusion noise.
+    d.label = obj.category;
+    if (rng.Chance(options_.misclassify_rate)) {
+      for (const auto& [from, to] : ConfusionPairs()) {
+        if (from == obj.category) {
+          d.label = to;
+          break;
+        }
+      }
+    }
+
+    // Named-entity identity: retained unless face recognition fails.
+    std::string instance = obj.instance;
+    if (!instance.empty() && rng.Chance(options_.identity_loss_rate)) {
+      instance.clear();
+    }
+    if (!instance.empty()) d.label = instance;
+
+    // Attribute prediction with swap noise.
+    static const char* kAttributePool[] = {"red",   "blue",  "green",
+                                           "yellow", "black", "white",
+                                           "brown"};
+    for (const std::string& attr : obj.attributes) {
+      if (rng.Chance(options_.attribute_error_rate)) {
+        d.attributes.push_back(kAttributePool[rng.Below(7)]);
+      } else {
+        d.attributes.push_back(attr);
+      }
+    }
+
+    d.feature = MakeFeature(obj.category, obj.instance, options_.seed);
+    // Feature noise.
+    for (auto& x : d.feature) {
+      x += static_cast<float>(rng.NextGaussian() * 0.05);
+    }
+    d.score = 0.75 + 0.25 * rng.NextDouble();
+    detections.push_back(std::move(d));
+  }
+  return detections;
+}
+
+}  // namespace svqa::vision

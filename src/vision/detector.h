@@ -1,0 +1,75 @@
+#ifndef SVQA_VISION_DETECTOR_H_
+#define SVQA_VISION_DETECTOR_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "vision/scene.h"
+
+namespace svqa::vision {
+
+/// \brief One detection: bounding box b_i, feature map m_i, label l_i
+/// (the v_i = (b_i, m_i, l_i) triple of §III-A).
+struct Detection {
+  std::array<float, 4> box{0, 0, 0, 0};
+  std::array<float, kFeatureDim> feature{};
+  std::string label;
+  /// Predicted attribute labels ("red", "wooden").
+  std::vector<std::string> attributes;
+  double score = 0;
+  /// Index of the originating ground-truth object (-1 for a spurious
+  /// detection); consumed by metrics and the relation-model oracle only,
+  /// never by query-side code.
+  int truth_index = -1;
+};
+
+/// \brief Detector noise model.
+struct DetectorOptions {
+  /// Probability an object is missed entirely.
+  double miss_rate = 0.04;
+  /// Probability a detected object receives a confusable wrong label
+  /// (teddy bear -> bear, dog -> cat, ... per the confusion table).
+  double misclassify_rate = 0.08;
+  /// Multiplicative jitter applied to box coordinates.
+  double box_jitter = 0.04;
+  /// Probability a named entity loses its identity and is labeled by
+  /// bare category (face recognition failure).
+  double identity_loss_rate = 0.03;
+  /// Probability an attribute is predicted wrongly (swapped for another
+  /// attribute from the vocabulary).
+  double attribute_error_rate = 0.05;
+  uint64_t seed = 1;
+};
+
+/// \brief Mask R-CNN stand-in: derives noisy detections from ground-truth
+/// scenes. Deterministic given (options.seed, scene.id).
+class SimulatedDetector {
+ public:
+  explicit SimulatedDetector(DetectorOptions options = {});
+
+  /// Runs "object detection" on one scene.
+  std::vector<Detection> Detect(const Scene& scene) const;
+
+  /// The label confusion table (category -> plausible wrong label).
+  static const std::vector<std::pair<std::string, std::string>>&
+  ConfusionPairs();
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  DetectorOptions options_;
+};
+
+/// \brief Deterministic feature map for a category/instance: detections
+/// of the same underlying thing embed nearby; the relation models read
+/// the relation signal through `truth_index` (features stand in for the
+/// RPN activations).
+std::array<float, kFeatureDim> MakeFeature(const std::string& category,
+                                           const std::string& instance,
+                                           uint64_t seed);
+
+}  // namespace svqa::vision
+
+#endif  // SVQA_VISION_DETECTOR_H_

@@ -1,0 +1,192 @@
+#include "vision/relation_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svqa::vision {
+
+bool IsContactPredicate(std::string_view predicate) {
+  return predicate == "wear" || predicate == "hold" ||
+         predicate == "carry" || predicate == "ride";
+}
+
+double BoxCenterDistance(const std::array<float, 4>& a,
+                         const std::array<float, 4>& b) {
+  const double ax = a[0] + a[2] / 2.0, ay = a[1] + a[3] / 2.0;
+  const double bx = b[0] + b[2] / 2.0, by = b[1] + b[3] / 2.0;
+  return std::sqrt((ax - bx) * (ax - bx) + (ay - by) * (ay - by));
+}
+
+bool BoxesOverlap(const std::array<float, 4>& a,
+                  const std::array<float, 4>& b) {
+  return a[0] < b[0] + b[2] && b[0] < a[0] + a[2] && a[1] < b[1] + b[3] &&
+         b[1] < a[1] + a[3];
+}
+
+const char* RelationModel::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kVTransE:
+      return "VTransE";
+    case Kind::kVCTree:
+      return "VCTree";
+    case Kind::kNeuralMotifs:
+      return "Neural-Motifs";
+  }
+  return "?";
+}
+
+RelationModelOptions RelationModel::DefaultOptionsFor(Kind kind) {
+  RelationModelOptions o;
+  switch (kind) {
+    case Kind::kVTransE:
+      // Translation-embedding model: weakest context signal.
+      o.content_strength = 1.70;
+      o.shared_noise = 0.95;
+      break;
+    case Kind::kVCTree:
+      // Dynamic-tree context propagation.
+      o.content_strength = 1.95;
+      o.shared_noise = 0.85;
+      break;
+    case Kind::kNeuralMotifs:
+      // Sequential (LSTM) global context: strongest.
+      o.content_strength = 2.05;
+      o.shared_noise = 0.80;
+      break;
+  }
+  return o;
+}
+
+RelationModel::RelationModel(Kind kind, std::vector<std::string> predicates,
+                             RelationModelOptions options)
+    : kind_(kind), predicates_(std::move(predicates)), options_(options) {
+  marginal_bias_.assign(predicates_.size(), 1.0 / predicates_.size());
+}
+
+void RelationModel::FitBias(const std::vector<Scene>& corpus) {
+  std::map<std::pair<std::string, std::string>, std::vector<double>> counts;
+  std::vector<double> marginal(predicates_.size(), 1.0);  // add-one
+
+  auto predicate_index = [this](const std::string& p) -> int {
+    for (std::size_t i = 0; i < predicates_.size(); ++i) {
+      if (predicates_[i] == p) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  for (const Scene& scene : corpus) {
+    for (const SceneRelation& rel : scene.relations) {
+      const int pi = predicate_index(rel.predicate);
+      if (pi < 0) continue;
+      const auto key = std::make_pair(scene.objects[rel.subject].category,
+                                      scene.objects[rel.object].category);
+      auto& vec = counts[key];
+      if (vec.empty()) vec.assign(predicates_.size(), 0.5);  // smoothing
+      vec[pi] += 1.0;
+      marginal[pi] += 1.0;
+    }
+  }
+
+  // Normalize to conditional distributions.
+  for (auto& [key, vec] : counts) {
+    double total = 0;
+    for (double c : vec) total += c;
+    for (double& c : vec) c /= total;
+  }
+  double mtotal = 0;
+  for (double c : marginal) mtotal += c;
+  for (double& c : marginal) c /= mtotal;
+
+  bias_ = std::move(counts);
+  marginal_bias_ = std::move(marginal);
+}
+
+double RelationModel::BiasLogit(const std::string& la, const std::string& lb,
+                                std::size_t predicate_index) const {
+  auto it = bias_.find(std::make_pair(la, lb));
+  const std::vector<double>& dist =
+      it != bias_.end() ? it->second : marginal_bias_;
+  // log-probability scaled by the bias strength; shifted so the mean
+  // predicate sits near zero.
+  const double p = std::max(dist[predicate_index], 1e-6);
+  return options_.bias_strength *
+         (std::log(p) - std::log(1.0 / predicates_.size()));
+}
+
+RelationLogits RelationModel::ScorePair(const Scene& scene,
+                                        const Detection& a,
+                                        const Detection& b,
+                                        bool mask_features) const {
+  RelationLogits logits(predicates_.size() + 1, 0.0);
+  logits[0] = options_.background_logit;
+
+  // The true relation content: readable only through intact features.
+  int true_predicate = -1;
+  if (!mask_features && a.truth_index >= 0 && b.truth_index >= 0) {
+    const std::string& truth =
+        scene.PredicateBetween(a.truth_index, b.truth_index);
+    if (!truth.empty()) {
+      for (std::size_t i = 0; i < predicates_.size(); ++i) {
+        if (predicates_[i] == truth) {
+          true_predicate = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+  }
+
+  // Deterministic per-(scene, pair, predicate) noise. The shared part is
+  // identical across masked/unmasked passes; the mask part is not.
+  const uint64_t pair_seed = HashCombine(
+      HashCombine(options_.seed, static_cast<uint64_t>(scene.id)),
+      HashCombine(static_cast<uint64_t>(a.truth_index + 1) * 2654435761ULL,
+                  static_cast<uint64_t>(b.truth_index + 1)));
+  Rng shared_rng(pair_seed);
+  Rng mask_rng(HashCombine(pair_seed, mask_features ? 0xdead : 0xbeef));
+
+  // Geometry (boxes are never masked, so these terms appear in both
+  // passes and cancel in the TDE difference, as they should).
+  const double distance = BoxCenterDistance(a.box, b.box);
+  const double proximity_penalty =
+      options_.distance_penalty *
+      std::max(0.0, distance - options_.proximity_radius);
+  const bool contact = BoxesOverlap(a.box, b.box);
+
+  const std::string& la = a.label;
+  const std::string& lb = b.label;
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    double logit = BiasLogit(la, lb, i);
+    if (static_cast<int>(i) == true_predicate) {
+      logit += options_.content_strength;
+    }
+    logit -= proximity_penalty;
+    if (!contact && IsContactPredicate(predicates_[i])) {
+      logit -= options_.no_contact_penalty;
+    }
+    logit += shared_rng.NextGaussian() * options_.shared_noise;
+    logit += mask_rng.NextGaussian() * options_.mask_noise;
+    logits[i + 1] = logit;
+  }
+  // Unmasked features also signal the *absence* of an interaction.
+  if (!mask_features && a.truth_index >= 0 && b.truth_index >= 0 &&
+      scene.PredicateBetween(a.truth_index, b.truth_index).empty()) {
+    logits[0] += options_.background_content_strength;
+  }
+  // Background noise (shared so TDE cancels it too).
+  logits[0] += shared_rng.NextGaussian() * options_.shared_noise * 0.5;
+  return logits;
+}
+
+std::vector<double> Softmax(const RelationLogits& logits) {
+  std::vector<double> out(logits.size());
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    total += out[i];
+  }
+  for (double& p : out) p /= total;
+  return out;
+}
+
+}  // namespace svqa::vision

@@ -1,0 +1,21 @@
+#include "vision/scene.h"
+
+namespace svqa::vision {
+
+const std::string& Scene::PredicateBetween(int a, int b) const {
+  static const std::string kEmpty;
+  for (const auto& rel : relations) {
+    if (rel.subject == a && rel.object == b) return rel.predicate;
+  }
+  return kEmpty;
+}
+
+std::vector<Scene> FlattenVideos(const std::vector<Video>& videos) {
+  std::vector<Scene> frames;
+  for (const Video& video : videos) {
+    frames.insert(frames.end(), video.frames.begin(), video.frames.end());
+  }
+  return frames;
+}
+
+}  // namespace svqa::vision

@@ -1,0 +1,67 @@
+#ifndef SVQA_VISION_SCENE_H_
+#define SVQA_VISION_SCENE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svqa::vision {
+
+/// Dimensionality of simulated feature maps m_i.
+inline constexpr std::size_t kFeatureDim = 32;
+
+/// \brief Ground-truth object in a synthetic scene.
+///
+/// Substitutes for a COCO image region (DESIGN.md §1): the scene is the
+/// *world state* a real image would depict; the SimulatedDetector derives
+/// noisy detections from it exactly as Mask R-CNN derives them from
+/// pixels.
+struct SceneObject {
+  /// Category label, e.g. "dog".
+  std::string category;
+  /// Named-entity identity when this object is a known individual
+  /// ("ginny-weasley"); empty for anonymous objects.
+  std::string instance;
+  /// Ground-truth bounding box (x, y, w, h) in [0,1] image coordinates.
+  std::array<float, 4> box{0, 0, 0, 0};
+  /// Attribute labels ("red", "wooden").
+  std::vector<std::string> attributes;
+};
+
+/// \brief Ground-truth directed relation between two scene objects.
+struct SceneRelation {
+  int subject = 0;  ///< Index into Scene::objects.
+  int object = 0;   ///< Index into Scene::objects.
+  std::string predicate;
+};
+
+/// \brief One synthetic "image": ground-truth objects and relations.
+struct Scene {
+  int32_t id = 0;
+  std::vector<SceneObject> objects;
+  std::vector<SceneRelation> relations;
+  /// Human-readable caption (the MVQA annotation text).
+  std::string caption;
+
+  /// The ground-truth predicate from object a to object b, or "" if none.
+  const std::string& PredicateBetween(int a, int b) const;
+};
+
+/// \brief Video data per the paper's §II definition: "the video data is
+/// the collection of I" — an ordered sequence of frames, each a Scene.
+/// The SVQA pipeline consumes frames exactly like independent images;
+/// identity-aware counting keeps entities re-detected across frames from
+/// being double counted.
+struct Video {
+  int32_t id = 0;
+  std::vector<Scene> frames;
+};
+
+/// \brief Concatenates the frames of several videos into one image
+/// corpus (the union of the paper's definition).
+std::vector<Scene> FlattenVideos(const std::vector<Video>& videos);
+
+}  // namespace svqa::vision
+
+#endif  // SVQA_VISION_SCENE_H_

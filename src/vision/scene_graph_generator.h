@@ -1,0 +1,64 @@
+#ifndef SVQA_VISION_SCENE_GRAPH_GENERATOR_H_
+#define SVQA_VISION_SCENE_GRAPH_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/sim_clock.h"
+#include "vision/detector.h"
+#include "vision/relation_model.h"
+#include "vision/tde.h"
+
+namespace svqa::vision {
+
+/// \brief A generated scene graph G_sg(I): the graph plus the raw
+/// detections and scored relations (kept for SGG metrics).
+struct SceneGraphResult {
+  graph::Graph graph;
+  std::vector<Detection> detections;
+  /// Relations that passed the existence gate (= the graph's edges).
+  std::vector<PredictedRelation> relations;
+  /// Every scored candidate pair (superset of `relations`), ranked by
+  /// the SGG evaluator for Recall@K.
+  std::vector<PredictedRelation> candidates;
+  /// Attribute edges emitted (object --has-attribute--> value vertex).
+  std::size_t attribute_edges = 0;
+  int32_t scene_id = 0;
+};
+
+/// \brief End-to-end scene graph generation (§III-A): simulated detector
+/// -> relation model -> Original or TDE inference -> graph::Graph.
+///
+/// Vertex labels: the detection label (instance name for recognized
+/// entities, otherwise "category#k" to keep labels unique within an
+/// image); vertex category: the detected class; source_image: scene id.
+class SceneGraphGenerator {
+ public:
+  SceneGraphGenerator(SimulatedDetector detector,
+                      std::shared_ptr<const RelationModel> model,
+                      InferenceMode mode);
+
+  /// Generates the scene graph for one scene. Charges
+  /// CostKind::kSceneGraphGen when `clock` is given.
+  SceneGraphResult Generate(const Scene& scene,
+                            SimClock* clock = nullptr) const;
+
+  /// Generates scene graphs for a corpus.
+  std::vector<SceneGraphResult> GenerateAll(const std::vector<Scene>& scenes,
+                                            SimClock* clock = nullptr) const;
+
+  InferenceMode mode() const { return mode_; }
+  const RelationModel& model() const { return *model_; }
+  const SimulatedDetector& detector() const { return detector_; }
+
+ private:
+  SimulatedDetector detector_;
+  std::shared_ptr<const RelationModel> model_;
+  InferenceMode mode_;
+};
+
+}  // namespace svqa::vision
+
+#endif  // SVQA_VISION_SCENE_GRAPH_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "vision/sgg_metrics.h"
+
+#include <algorithm>
+
+namespace svqa::vision {
+
+SggEvaluator::SggEvaluator(std::vector<std::string> predicates)
+    : predicates_(std::move(predicates)) {
+  Reset();
+}
+
+void SggEvaluator::Reset() {
+  tallies_.clear();
+  for (const auto& p : predicates_) tallies_[p] = Tally{};
+}
+
+void SggEvaluator::AddScene(const Scene& scene,
+                            const SceneGraphResult& result) {
+  // Rank all scored candidates by confidence descending (standard
+  // Recall@K practice: the gate does not truncate the ranking). Falls
+  // back to emitted relations for hand-built results.
+  const auto& pool =
+      result.candidates.empty() ? result.relations : result.candidates;
+  std::vector<const PredictedRelation*> ranked;
+  ranked.reserve(pool.size());
+  for (const auto& rel : pool) ranked.push_back(&rel);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const PredictedRelation* a, const PredictedRelation* b) {
+              return a->score > b->score;
+            });
+
+  // Ground-truth bookkeeping.
+  for (const SceneRelation& gt : scene.relations) {
+    auto it = tallies_.find(gt.predicate);
+    if (it == tallies_.end()) continue;  // predicate outside vocabulary
+    it->second.total += 1.0;
+
+    // Is this GT triple matched within the top-K predictions?
+    auto matched_within = [&](std::size_t k) {
+      const std::size_t limit = std::min(k, ranked.size());
+      for (std::size_t i = 0; i < limit; ++i) {
+        const PredictedRelation* pr = ranked[i];
+        const int si = result.detections[pr->subject].truth_index;
+        const int oi = result.detections[pr->object].truth_index;
+        if (si == gt.subject && oi == gt.object &&
+            pr->predicate == gt.predicate) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (matched_within(20)) it->second.matched_20 += 1.0;
+    if (matched_within(50)) it->second.matched_50 += 1.0;
+    if (matched_within(100)) it->second.matched_100 += 1.0;
+  }
+}
+
+MeanRecallResult SggEvaluator::Evaluate() const {
+  MeanRecallResult out;
+  double sum20 = 0, sum50 = 0, sum100 = 0;
+  int classes = 0;
+  for (const auto& [pred, tally] : tallies_) {
+    if (tally.total == 0) continue;
+    ++classes;
+    sum20 += tally.matched_20 / tally.total;
+    sum50 += tally.matched_50 / tally.total;
+    sum100 += tally.matched_100 / tally.total;
+    out.per_predicate_at_100[pred] = tally.matched_100 / tally.total;
+  }
+  if (classes > 0) {
+    out.mr_at_20 = sum20 / classes;
+    out.mr_at_50 = sum50 / classes;
+    out.mr_at_100 = sum100 / classes;
+  }
+  return out;
+}
+
+}  // namespace svqa::vision

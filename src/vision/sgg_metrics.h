@@ -1,0 +1,54 @@
+#ifndef SVQA_VISION_SGG_METRICS_H_
+#define SVQA_VISION_SGG_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vision/scene_graph_generator.h"
+
+namespace svqa::vision {
+
+/// \brief Mean Recall at the three standard cutoffs (Table V).
+struct MeanRecallResult {
+  double mr_at_20 = 0;
+  double mr_at_50 = 0;
+  double mr_at_100 = 0;
+  /// Per-predicate recall at K=100 (diagnostic).
+  std::map<std::string, double> per_predicate_at_100;
+};
+
+/// \brief Scene-graph evaluation: mean recall mR@K.
+///
+/// For each scene, predicted triples are ranked by score and the top K
+/// are matched against ground truth (subject object identity via
+/// truth_index + exact predicate). Recall is accumulated *per predicate
+/// class* over the dataset and averaged across classes — the metric that
+/// exposes head-predicate bias (tail classes never reach the top K of a
+/// biased model).
+class SggEvaluator {
+ public:
+  /// \param predicates the predicate vocabulary to average over.
+  explicit SggEvaluator(std::vector<std::string> predicates);
+
+  /// Accumulates one scene's predictions against its ground truth.
+  void AddScene(const Scene& scene, const SceneGraphResult& result);
+
+  /// Computes mR@{20,50,100} over everything accumulated so far.
+  MeanRecallResult Evaluate() const;
+
+  void Reset();
+
+ private:
+  struct Tally {
+    double matched_20 = 0, matched_50 = 0, matched_100 = 0;
+    double total = 0;
+  };
+
+  std::vector<std::string> predicates_;
+  std::map<std::string, Tally> tallies_;
+};
+
+}  // namespace svqa::vision
+
+#endif  // SVQA_VISION_SGG_METRICS_H_

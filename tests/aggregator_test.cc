@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "aggregator/category_stats.h"
+#include "aggregator/merger.h"
+#include "aggregator/subgraph_cache.h"
+#include "data/kg_builder.h"
+#include "data/world.h"
+#include "text/lexicon.h"
+
+namespace svqa::aggregator {
+namespace {
+
+graph::Graph MakeSceneGraph(int image, int dogs, int cats) {
+  graph::Graph g;
+  for (int i = 0; i < dogs; ++i) {
+    g.AddVertex("dog#" + std::to_string(i), "dog", image);
+  }
+  for (int i = 0; i < cats; ++i) {
+    g.AddVertex("cat#" + std::to_string(i), "cat", image);
+  }
+  return g;
+}
+
+TEST(CategoryStatsTest, AggregatesAcrossSceneGraphs) {
+  const auto g1 = MakeSceneGraph(0, 3, 1);
+  const auto g2 = MakeSceneGraph(1, 2, 0);
+  const auto stats = CountCategories({&g1, &g2});
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].category, "dog");
+  EXPECT_EQ(stats[0].count, 5u);
+  EXPECT_EQ(stats[1].category, "cat");
+  EXPECT_EQ(stats[1].count, 1u);
+}
+
+TEST(CategoryStatsTest, CoverageComputation) {
+  std::vector<graph::CategoryCount> counts = {
+      {"dog", 10}, {"cat", 6}, {"rare", 2}};
+  const CoverageStats cov = ComputeCoverage(counts, 5);
+  EXPECT_NEAR(cov.type_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cov.vertex_fraction, 16.0 / 18.0, 1e-9);
+}
+
+TEST(CategoryStatsTest, CoverageEmpty) {
+  const CoverageStats cov = ComputeCoverage({}, 5);
+  EXPECT_DOUBLE_EQ(cov.type_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(cov.vertex_fraction, 0.0);
+}
+
+class AggregatorFixture : public ::testing::Test {
+ protected:
+  AggregatorFixture() {
+    data::WorldOptions opts;
+    opts.num_scenes = 120;
+    opts.seed = 11;
+    world_ = data::WorldGenerator(opts).Generate();
+    kg_ = data::BuildKnowledgeGraph(world_,
+                                    text::SynonymLexicon::Default());
+    for (const auto& scene : world_.scenes) {
+      vision::SceneGraphResult r;
+      r.graph = data::PerfectSceneGraph(scene);
+      r.scene_id = scene.id;
+      scene_graphs_.push_back(std::move(r));
+    }
+  }
+
+  data::World world_;
+  graph::Graph kg_;
+  std::vector<vision::SceneGraphResult> scene_graphs_;
+};
+
+TEST_F(AggregatorFixture, SubgraphCacheBuildsFrequentCategories) {
+  std::vector<const graph::Graph*> sgs;
+  for (const auto& r : scene_graphs_) sgs.push_back(&r.graph);
+  const auto stats = CountCategories(sgs);
+
+  SubgraphCacheOptions opts;  // threshold 5, k = 2 (paper values)
+  SubgraphCache cache = SubgraphCache::Build(kg_, stats, opts);
+  EXPECT_GT(cache.num_cached_subgraphs(), 0u);
+  // Frequent categories like "wizard" must be cached with a non-trivial
+  // 2-hop neighborhood.
+  const graph::SubgraphRef* wizard = cache.SubgraphFor("wizard");
+  ASSERT_NE(wizard, nullptr);
+  EXPECT_GT(wizard->size(), 1u);
+}
+
+TEST_F(AggregatorFixture, SubgraphCacheFindsKnownLabels) {
+  std::vector<const graph::Graph*> sgs;
+  for (const auto& r : scene_graphs_) sgs.push_back(&r.graph);
+  SubgraphCache cache =
+      SubgraphCache::Build(kg_, CountCategories(sgs), SubgraphCacheOptions{});
+
+  auto hit = cache.FindVertex(kg_, "dog");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(kg_.vertex(*hit).label, "dog");
+  EXPECT_FALSE(cache.FindVertex(kg_, "unobtainium").has_value());
+}
+
+TEST_F(AggregatorFixture, MergePreservesComponentsAndLinks) {
+  GraphMerger merger;
+  auto merged = merger.Merge(kg_, scene_graphs_);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+
+  std::size_t scene_vertices = 0, scene_edges = 0;
+  for (const auto& r : scene_graphs_) {
+    scene_vertices += r.graph.num_vertices();
+    scene_edges += r.graph.num_edges();
+  }
+  EXPECT_EQ(merged->graph.num_vertices(),
+            kg_.num_vertices() + scene_vertices);
+  EXPECT_EQ(merged->kg_vertex_count, kg_.num_vertices());
+  // Edges: KG + scene + links.
+  EXPECT_EQ(merged->graph.num_edges(), kg_.num_edges() + scene_edges +
+                                           merged->entity_links +
+                                           merged->concept_links);
+  EXPECT_GT(merged->entity_links, 0u);
+  EXPECT_GT(merged->concept_links, 0u);
+  EXPECT_TRUE(merged->graph.CheckConsistency().ok());
+}
+
+TEST_F(AggregatorFixture, NamedEntitiesLinkToKgVertices) {
+  GraphMerger merger;
+  auto merged = merger.Merge(kg_, scene_graphs_).ValueOrDie();
+  // Pick a scene-graph vertex labeled with a character name and verify
+  // its same-as link ends at the KG character vertex.
+  bool checked = false;
+  for (graph::VertexId v = merged.kg_vertex_count;
+       v < merged.graph.num_vertices() && !checked; ++v) {
+    const auto& vx = merged.graph.vertex(v);
+    if (vx.label.find('#') != std::string::npos) continue;
+    for (const auto& he : merged.graph.OutEdges(v)) {
+      if (merged.graph.EdgeLabelName(he.label) == kSameAsEdge) {
+        EXPECT_LT(he.neighbor, merged.kg_vertex_count);
+        EXPECT_EQ(merged.graph.vertex(he.neighbor).label, vx.label);
+        checked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(AggregatorFixture, AnonymousObjectsLinkToConcepts) {
+  GraphMerger merger;
+  auto merged = merger.Merge(kg_, scene_graphs_).ValueOrDie();
+  bool checked = false;
+  for (graph::VertexId v = merged.kg_vertex_count;
+       v < merged.graph.num_vertices() && !checked; ++v) {
+    const auto& vx = merged.graph.vertex(v);
+    if (vx.label.find('#') == std::string::npos) continue;
+    for (const auto& he : merged.graph.OutEdges(v)) {
+      if (merged.graph.EdgeLabelName(he.label) == kInstanceOfEdge) {
+        EXPECT_EQ(merged.graph.vertex(he.neighbor).label, vx.category);
+        checked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(AggregatorFixture, CacheReducesVirtualLinkCost) {
+  MergerOptions with_cache;
+  with_cache.use_cache = true;
+  MergerOptions without_cache;
+  without_cache.use_cache = false;
+
+  SimClock clock_with, clock_without;
+  GraphMerger(with_cache).Merge(kg_, scene_graphs_, &clock_with).ok();
+  GraphMerger(without_cache)
+      .Merge(kg_, scene_graphs_, &clock_without)
+      .ok();
+  EXPECT_LT(clock_with.ElapsedMicros(), clock_without.ElapsedMicros());
+}
+
+TEST_F(AggregatorFixture, MergeIsDeterministic) {
+  GraphMerger merger;
+  auto a = merger.Merge(kg_, scene_graphs_).ValueOrDie();
+  auto b = merger.Merge(kg_, scene_graphs_).ValueOrDie();
+  EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.entity_links, b.entity_links);
+  EXPECT_EQ(a.concept_links, b.concept_links);
+}
+
+TEST_F(AggregatorFixture, PaperCoverageObservationHoldsApproximately) {
+  // §III-B: with threshold 5, the frequent categories should cover the
+  // majority of scene-graph vertices (paper: ~82%).
+  std::vector<const graph::Graph*> sgs;
+  for (const auto& r : scene_graphs_) sgs.push_back(&r.graph);
+  const auto cov = ComputeCoverage(CountCategories(sgs), 5);
+  EXPECT_GT(cov.vertex_fraction, 0.6);
+}
+
+}  // namespace
+}  // namespace svqa::aggregator

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "baseline/parse_baselines.h"
+#include "baseline/vqa_baselines.h"
+#include "core/evaluation.h"
+#include "data/vqa2_generator.h"
+
+namespace svqa::baseline {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::Vqa2Options opts;
+    opts.num_scenes = 300;
+    dataset_ = new data::Vqa2Dataset(data::Vqa2Generator(opts).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static data::Vqa2Dataset* dataset_;
+};
+
+data::Vqa2Dataset* BaselineFixture::dataset_ = nullptr;
+
+TEST_F(BaselineFixture, ProfilesAreDistinct) {
+  const auto vb = BaselineProfile::VisualBert();
+  const auto vilt = BaselineProfile::Vilt();
+  const auto ofa = BaselineProfile::Ofa();
+  // OFA is the cheapest per image and the most accurate (Table IV shape).
+  EXPECT_LT(ofa.per_image_cost_factor, vb.per_image_cost_factor);
+  EXPECT_LT(ofa.per_image_cost_factor, vilt.per_image_cost_factor);
+  EXPECT_GT(ofa.detect_prob, vb.detect_prob);
+  EXPECT_LT(ofa.false_positive_prob, vb.false_positive_prob);
+}
+
+TEST_F(BaselineFixture, ChargesPerImageInference) {
+  NeuralVqaModel model(BaselineProfile::Ofa(), 1);
+  SimClock clock;
+  model.Answer(dataset_->questions.front(), dataset_->world, &clock);
+  // Model load + per-image work across the whole corpus.
+  EXPECT_GT(clock.OpCount(CostKind::kModelLoad), 0);
+  EXPECT_GE(clock.OpCount(CostKind::kNeuralImageInference),
+            static_cast<double>(dataset_->world.scenes.size()) * 0.2);
+  // Second question: no reload.
+  SimClock clock2;
+  model.Answer(dataset_->questions.back(), dataset_->world, &clock2);
+  EXPECT_DOUBLE_EQ(clock2.OpCount(CostKind::kModelLoad), 0);
+}
+
+TEST_F(BaselineFixture, AnswersAreDeterministic) {
+  NeuralVqaModel a(BaselineProfile::Vilt(), 7);
+  NeuralVqaModel b(BaselineProfile::Vilt(), 7);
+  for (const auto& q : dataset_->questions) {
+    EXPECT_EQ(a.Answer(q, dataset_->world, nullptr).text,
+              b.Answer(q, dataset_->world, nullptr).text);
+  }
+}
+
+TEST_F(BaselineFixture, OfaBeatsVisualBertOnJudgment) {
+  NeuralVqaModel ofa(BaselineProfile::Ofa(), 3);
+  NeuralVqaModel vb(BaselineProfile::VisualBert(), 3);
+  int ofa_right = 0, vb_right = 0, total = 0;
+  for (const auto& q : dataset_->questions) {
+    if (q.type != nlp::QuestionType::kJudgment) continue;
+    ++total;
+    if (ofa.Answer(q, dataset_->world, nullptr).text == q.gold_answer) {
+      ++ofa_right;
+    }
+    if (vb.Answer(q, dataset_->world, nullptr).text == q.gold_answer) {
+      ++vb_right;
+    }
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GE(ofa_right, vb_right);
+}
+
+TEST_F(BaselineFixture, AnswerTypeMatchesQuestionType) {
+  NeuralVqaModel model(BaselineProfile::Ofa(), 1);
+  for (const auto& q : dataset_->questions) {
+    const auto ans = model.Answer(q, dataset_->world, nullptr);
+    EXPECT_EQ(ans.type, q.type);
+    if (q.type == nlp::QuestionType::kJudgment) {
+      EXPECT_TRUE(ans.text == "yes" || ans.text == "no");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parse baselines (Exp-4)
+// ---------------------------------------------------------------------------
+
+TEST(ParseBaselineTest, LoadChargedOnceThenPerQuestion) {
+  NeuralSplitBaseline model = NeuralSplitBaseline::AbcdMlp();
+  SimClock clock;
+  ASSERT_TRUE(model.Split("does a dog appear near a car?", &clock).ok());
+  const double after_first = clock.ElapsedMicros();
+  ASSERT_TRUE(model.Split("does a cat appear on a bed?", &clock).ok());
+  const double after_second = clock.ElapsedMicros();
+  // First call dominated by the load; the increment is much smaller.
+  EXPECT_LT(after_second - after_first, after_first * 0.1);
+  EXPECT_GT(clock.OpCount(CostKind::kModelLoad), 0);
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kNeuralParseInference), 2);
+}
+
+TEST(ParseBaselineTest, ResetLoadStateRecharges) {
+  NeuralSplitBaseline model = NeuralSplitBaseline::DisSim();
+  SimClock clock;
+  model.Split("does a dog appear near a car?", &clock).ok();
+  const double after_first = clock.OpCount(CostKind::kModelLoad);
+  model.ResetLoadState();
+  model.Split("does a dog appear near a car?", &clock).ok();
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kModelLoad), 2 * after_first);
+}
+
+TEST(ParseBaselineTest, SplitsClausesFunctionally) {
+  NeuralSplitBaseline model = NeuralSplitBaseline::AbcdBilinear();
+  auto clauses = model.Split(
+      "what kind of clothes are worn by the wizard who is hanging out "
+      "with the person?",
+      nullptr);
+  ASSERT_TRUE(clauses.ok());
+  EXPECT_EQ(clauses->size(), 2u);
+}
+
+TEST(ParseBaselineTest, DistinctNamesAndCosts) {
+  const auto mlp = NeuralSplitBaseline::AbcdMlp();
+  const auto bilinear = NeuralSplitBaseline::AbcdBilinear();
+  const auto dissim = NeuralSplitBaseline::DisSim();
+  EXPECT_EQ(mlp.name(), "ABCD-MLP");
+  EXPECT_EQ(bilinear.name(), "ABCD-bilinear");
+  EXPECT_EQ(dissim.name(), "DisSim");
+}
+
+}  // namespace
+}  // namespace svqa::baseline

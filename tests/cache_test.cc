@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+
+namespace svqa::cache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LFU
+// ---------------------------------------------------------------------------
+
+TEST(LfuCacheTest, MissOnEmpty) {
+  LfuCache<int, std::string> cache(2);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LfuCacheTest, PutThenGet) {
+  LfuCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  const std::string* v = cache.Get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(LfuCacheTest, OverwriteUpdatesValue) {
+  LfuCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(1, "uno");
+  EXPECT_EQ(*cache.Get(1), "uno");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LfuCacheTest, EvictsLeastFrequentlyUsed) {
+  LfuCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Get(1);  // freq(1)=2, freq(2)=1
+  cache.Put(3, 30);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LfuCacheTest, TieBreaksByRecency) {
+  LfuCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  // Both freq 1; key 1 is older (LRU within the bucket) -> evicted.
+  cache.Put(3, 30);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(LfuCacheTest, FrequencyOfTracksAccesses) {
+  LfuCache<int, int> cache(3);
+  cache.Put(5, 0);
+  EXPECT_EQ(cache.FrequencyOf(5), 1u);
+  cache.Get(5);
+  cache.Get(5);
+  EXPECT_EQ(cache.FrequencyOf(5), 3u);
+  EXPECT_EQ(cache.FrequencyOf(99), 0u);
+}
+
+TEST(LfuCacheTest, ZeroCapacityDisables) {
+  LfuCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LfuCacheTest, ClearEmptiesCache) {
+  LfuCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LfuCacheTest, HeavyHitterSurvivesScanPressure) {
+  // The scenario LFU exists for (Exp-5 / Fig. 11): one hot key survives
+  // a scan of many cold keys that would evict it under LRU.
+  LfuCache<int, int> lfu(4);
+  lfu.Put(0, 0);
+  for (int round = 0; round < 3; ++round) lfu.Get(0);
+  for (int k = 100; k < 120; ++k) lfu.Put(k, k);
+  EXPECT_TRUE(lfu.Contains(0));
+
+  LruCache<int, int> lru(4);
+  lru.Put(0, 0);
+  for (int round = 0; round < 3; ++round) lru.Get(0);
+  for (int k = 100; k < 120; ++k) lru.Put(k, k);
+  EXPECT_FALSE(lru.Contains(0));
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+TEST(LruCacheTest, PutGetOverwrite) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  cache.Put("a", 2);
+  EXPECT_EQ(*cache.Get("a"), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Get(1);  // 2 is now LRU
+  cache.Put(3, 30);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh 1
+  cache.Put(3, 30);  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, StatsAccumulate) {
+  LruCache<int, int> cache(1);
+  cache.Get(1);            // miss
+  cache.Put(1, 10);        // insert
+  cache.Get(1);            // hit
+  cache.Put(2, 20);        // evict
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().inserts, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.5);
+}
+
+TEST(CacheStatsTest, HitRateOnNoLookups) {
+  CacheStats stats;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized: both policies never exceed capacity.
+// ---------------------------------------------------------------------------
+
+class CacheCapacityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheCapacityTest, LfuNeverExceedsCapacity) {
+  LfuCache<int, int> cache(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    cache.Put(i % 37, i);
+    cache.Get(i % 11);
+    EXPECT_LE(cache.size(), GetParam());
+  }
+}
+
+TEST_P(CacheCapacityTest, LruNeverExceedsCapacity) {
+  LruCache<int, int> cache(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    cache.Put(i % 37, i);
+    cache.Get(i % 11);
+    EXPECT_LE(cache.size(), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacityTest,
+                         ::testing::Values(0u, 1u, 2u, 5u, 16u, 100u));
+
+}  // namespace
+}  // namespace svqa::cache

@@ -1,0 +1,77 @@
+#include "exec/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "text/lexicon.h"
+
+namespace svqa::exec {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  text::EmbeddingModel embeddings_{text::SynonymLexicon::Default()};
+};
+
+TEST_F(ConstraintsTest, EmptyConstraintIsNone) {
+  const ConstraintSpec spec = ResolveConstraint("", embeddings_);
+  EXPECT_EQ(spec.kind, ConstraintKind::kNone);
+}
+
+TEST_F(ConstraintsTest, MostFrequentlyResolvesToMost) {
+  const ConstraintSpec spec =
+      ResolveConstraint("most frequently", embeddings_);
+  EXPECT_EQ(spec.kind, ConstraintKind::kMostFrequent);
+  EXPECT_EQ(spec.matched_keyword, "most");
+  EXPECT_GE(spec.score, 0.99);
+}
+
+TEST_F(ConstraintsTest, LeastResolvesToLeast) {
+  EXPECT_EQ(ResolveConstraint("least often", embeddings_).kind,
+            ConstraintKind::kLeastFrequent);
+  EXPECT_EQ(ResolveConstraint("rarely", embeddings_).kind,
+            ConstraintKind::kLeastFrequent);
+}
+
+TEST_F(ConstraintsTest, FrequencyAdverbAloneDefaultsToMost) {
+  EXPECT_EQ(ResolveConstraint("frequently", embeddings_).kind,
+            ConstraintKind::kMostFrequent);
+  EXPECT_EQ(ResolveConstraint("usually", embeddings_).kind,
+            ConstraintKind::kMostFrequent);
+}
+
+TEST_F(ConstraintsTest, SynonymResolvesThroughEmbeddings) {
+  // "mostly" is in the lexicon's frequency group; its embedding is close
+  // to the keyword set even without an exact hit.
+  const ConstraintSpec spec = ResolveConstraint("mostly", embeddings_);
+  EXPECT_EQ(spec.kind, ConstraintKind::kMostFrequent);
+}
+
+TEST_F(ConstraintsTest, UnrelatedPhraseIsNone) {
+  const ConstraintSpec spec =
+      ResolveConstraint("xylophone zebra", embeddings_);
+  EXPECT_EQ(spec.kind, ConstraintKind::kNone);
+}
+
+TEST_F(ConstraintsTest, ChargesEmbeddingCosts) {
+  SimClock clock;
+  ResolveConstraint("most frequently", embeddings_, &clock);
+  EXPECT_GE(clock.OpCount(CostKind::kEmbeddingSim),
+            static_cast<double>(ConstraintKeywords().size()));
+}
+
+TEST(ConstraintNamesTest, Names) {
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kNone), "none");
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kMostFrequent),
+               "most-frequent");
+  EXPECT_STREQ(ConstraintKindName(ConstraintKind::kLeastFrequent),
+               "least-frequent");
+}
+
+TEST(ConstraintKeywordsTest, ContainsPaperPolarityWords) {
+  const auto& kws = ConstraintKeywords();
+  EXPECT_NE(std::find(kws.begin(), kws.end(), "most"), kws.end());
+  EXPECT_NE(std::find(kws.begin(), kws.end(), "least"), kws.end());
+}
+
+}  // namespace
+}  // namespace svqa::exec

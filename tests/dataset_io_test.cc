@@ -1,0 +1,111 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "text/embedding.h"
+
+namespace svqa::data {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MvqaOptions opts;
+    opts.world.num_scenes = 700;
+    opts.num_color = 4;
+    dataset_ = new MvqaDataset(MvqaGenerator(opts).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static MvqaDataset* dataset_;
+};
+
+MvqaDataset* DatasetIoTest::dataset_ = nullptr;
+
+TEST_F(DatasetIoTest, TextRoundTripPreservesEverything) {
+  const std::string text = QuestionsToText(dataset_->questions);
+  auto loaded = QuestionsFromText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), dataset_->questions.size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    const MvqaQuestion& a = dataset_->questions[i];
+    const MvqaQuestion& b = (*loaded)[i];
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.gold_answer, b.gold_answer);
+    EXPECT_EQ(a.adversarial, b.adversarial);
+    EXPECT_EQ(a.num_clauses, b.num_clauses);
+    EXPECT_EQ(a.relevant_images, b.relevant_images);
+    ASSERT_EQ(a.gold_graph.size(), b.gold_graph.size());
+    ASSERT_EQ(a.gold_graph.edges().size(), b.gold_graph.edges().size());
+    for (std::size_t v = 0; v < a.gold_graph.size(); ++v) {
+      const nlp::Spoc& sa = a.gold_graph.vertices()[v];
+      const nlp::Spoc& sb = b.gold_graph.vertices()[v];
+      EXPECT_EQ(sa.subject.head, sb.subject.head);
+      EXPECT_EQ(sa.subject.owner, sb.subject.owner);
+      EXPECT_EQ(sa.subject.attribute, sb.subject.attribute);
+      EXPECT_EQ(sa.subject.is_variable, sb.subject.is_variable);
+      EXPECT_EQ(sa.predicate, sb.predicate);
+      EXPECT_EQ(sa.object.head, sb.object.head);
+      EXPECT_EQ(sa.object.want_kind, sb.object.want_kind);
+      EXPECT_EQ(sa.constraint, sb.constraint);
+    }
+    for (std::size_t e = 0; e < a.gold_graph.edges().size(); ++e) {
+      EXPECT_EQ(a.gold_graph.edges()[e].producer,
+                b.gold_graph.edges()[e].producer);
+      EXPECT_EQ(a.gold_graph.edges()[e].consumer,
+                b.gold_graph.edges()[e].consumer);
+      EXPECT_EQ(a.gold_graph.edges()[e].kind,
+                b.gold_graph.edges()[e].kind);
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, LoadedGoldGraphsExecuteIdentically) {
+  auto loaded = QuestionsFromText(QuestionsToText(dataset_->questions));
+  ASSERT_TRUE(loaded.ok());
+  text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  exec::QueryGraphExecutor executor(&dataset_->perfect_merged, &embeddings);
+  for (const MvqaQuestion& q : *loaded) {
+    auto ans = executor.Execute(q.gold_graph);
+    ASSERT_TRUE(ans.ok()) << q.text;
+    EXPECT_EQ(ans->text, q.gold_answer) << q.text;
+  }
+}
+
+TEST_F(DatasetIoTest, FileRoundTrip) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/mvqa_questions.tsv";
+  ASSERT_TRUE(SaveQuestions(dataset_->questions, path).ok());
+  auto loaded = LoadQuestions(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), dataset_->questions.size());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoParseTest, RejectsMalformedInput) {
+  EXPECT_TRUE(QuestionsFromText("X\tgarbage\n").status().IsParseError());
+  EXPECT_TRUE(QuestionsFromText("V\ta|b|c|d|e|\twear\ta|b|c|d|e|\t\n")
+                  .status()
+                  .IsParseError());  // V outside a question
+  EXPECT_TRUE(
+      QuestionsFromText("Q\tjudgment\t0\t1\n").status().IsParseError());
+  EXPECT_TRUE(QuestionsFromText(
+                  "Q\tbogus\t0\t1\t5\tyes\tdoes a dog appear?\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(DatasetIoParseTest, EmptyInputYieldsNoQuestions) {
+  auto loaded = QuestionsFromText("# svqa-mvqa-questions v1\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace svqa::data

@@ -1,0 +1,204 @@
+#include "nlp/dependency_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace svqa::nlp {
+namespace {
+
+class DependencyParserTest : public ::testing::Test {
+ protected:
+  ParseOutput Parse(const std::string& sentence) {
+    auto tagged = tagger_.Tag(text::Tokenize(sentence));
+    auto result = parser_.Parse(tagged);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).ValueOrDie();
+  }
+
+  /// Index of the first token equal to `word`.
+  static int TokenIndex(const DependencyTree& tree, const std::string& word) {
+    for (int i = 0; i < static_cast<int>(tree.size()); ++i) {
+      if (tree.WordOf(i) == word) return i;
+    }
+    return -1;
+  }
+
+  PosTagger tagger_ = PosTagger::Default();
+  DependencyParser parser_;
+};
+
+TEST_F(DependencyParserTest, EmptyInputFails) {
+  EXPECT_TRUE(parser_.Parse({}).status().IsParseError());
+}
+
+TEST_F(DependencyParserTest, NoVerbFails) {
+  auto tagged = tagger_.Tag(text::Tokenize("the big dog"));
+  EXPECT_TRUE(parser_.Parse(tagged).status().IsParseError());
+}
+
+TEST_F(DependencyParserTest, SimpleTransitiveClause) {
+  const auto parse = Parse("the dog chases the cat");
+  const auto& t = parse.tree;
+  ASSERT_EQ(parse.clauses.size(), 1u);
+  const int verb = parse.clauses[0].main_verb;
+  EXPECT_EQ(t.WordOf(verb), "chases");
+  EXPECT_EQ(t.RelOf(verb), "root");
+  EXPECT_EQ(t.ChildWithRel(verb, "nsubj"), TokenIndex(t, "dog"));
+  EXPECT_EQ(t.ChildWithRel(verb, "obj"), TokenIndex(t, "cat"));
+  EXPECT_EQ(t.RelOf(TokenIndex(t, "the")), "det");
+}
+
+TEST_F(DependencyParserTest, EveryTokenAttached) {
+  const auto parse = Parse(
+      "what kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend");
+  const auto& t = parse.tree;
+  int roots = 0;
+  for (int i = 0; i < static_cast<int>(t.size()); ++i) {
+    EXPECT_FALSE(t.RelOf(i).empty()) << "token " << i << " unattached";
+    if (t.RelOf(i) == "root") ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST_F(DependencyParserTest, PassiveWithAgent) {
+  const auto parse = Parse("what kind of clothes are worn by the wizard");
+  const auto& t = parse.tree;
+  ASSERT_EQ(parse.clauses.size(), 1u);
+  EXPECT_TRUE(parse.clauses[0].passive);
+  const int verb = parse.clauses[0].main_verb;
+  EXPECT_EQ(t.WordOf(verb), "worn");
+  EXPECT_EQ(t.ChildWithRel(verb, "nsubj:pass"), TokenIndex(t, "kind"));
+  EXPECT_EQ(t.ChildWithRel(verb, "obl:agent"), TokenIndex(t, "wizard"));
+  EXPECT_EQ(t.RelOf(TokenIndex(t, "are")), "aux:pass");
+  // "kind of clothes": clothes -nmod-> kind, of -case-> clothes.
+  EXPECT_EQ(t.HeadOf(TokenIndex(t, "clothes")), TokenIndex(t, "kind"));
+  EXPECT_EQ(t.RelOf(TokenIndex(t, "clothes")), "nmod");
+  EXPECT_EQ(t.RelOf(TokenIndex(t, "of")), "case");
+}
+
+TEST_F(DependencyParserTest, RelativeClauseAttachesToAntecedent) {
+  const auto parse =
+      Parse("the wizard who is hanging out with the person wears a robe");
+  const auto& t = parse.tree;
+  ASSERT_EQ(parse.clauses.size(), 2u);
+  EXPECT_TRUE(parse.clauses[0].is_matrix);
+  EXPECT_EQ(t.WordOf(parse.clauses[0].main_verb), "wears");
+  const ClauseInfo& rel = parse.clauses[1];
+  EXPECT_EQ(t.WordOf(rel.main_verb), "hanging");
+  EXPECT_EQ(rel.antecedent, TokenIndex(t, "wizard"));
+  EXPECT_EQ(t.RelOf(rel.main_verb), "acl:relcl");
+  EXPECT_EQ(t.HeadOf(rel.main_verb), TokenIndex(t, "wizard"));
+  // "who" is the relative subject.
+  EXPECT_EQ(t.ChildWithRel(rel.main_verb, "nsubj"), TokenIndex(t, "who"));
+  // Particle.
+  EXPECT_EQ(rel.particle, TokenIndex(t, "out"));
+}
+
+TEST_F(DependencyParserTest, CenterEmbeddedRelativeClause) {
+  // The J2 construction: the relative clause sits inside the matrix.
+  const auto parse =
+      Parse("does the cat that is sitting on the bed appear near the car");
+  const auto& t = parse.tree;
+  ASSERT_EQ(parse.clauses.size(), 2u);
+  const ClauseInfo& matrix = parse.clauses[0];
+  EXPECT_TRUE(matrix.is_matrix);
+  EXPECT_EQ(t.WordOf(matrix.main_verb), "appear");
+  // The folded "does" is an aux of "appear".
+  EXPECT_EQ(t.RelOf(TokenIndex(t, "does")), "aux");
+  EXPECT_EQ(t.HeadOf(TokenIndex(t, "does")), matrix.main_verb);
+  // Matrix subject skips the embedded clause and finds "cat".
+  EXPECT_EQ(t.ChildWithRel(matrix.main_verb, "nsubj"),
+            TokenIndex(t, "cat"));
+  // Matrix oblique: "near the car".
+  const int car = TokenIndex(t, "car");
+  EXPECT_EQ(t.HeadOf(car), matrix.main_verb);
+  EXPECT_EQ(t.RelOf(car), "obl");
+  // Embedded clause: "sitting on the bed" under "cat".
+  const ClauseInfo& rel = parse.clauses[1];
+  EXPECT_EQ(t.WordOf(rel.main_verb), "sitting");
+  EXPECT_EQ(rel.antecedent, TokenIndex(t, "cat"));
+  const int bed = TokenIndex(t, "bed");
+  EXPECT_EQ(t.HeadOf(bed), rel.main_verb);
+  EXPECT_EQ(t.RelOf(bed), "obl");
+}
+
+TEST_F(DependencyParserTest, PossessiveStructure) {
+  const auto parse = Parse("the wizard watches harry potter's girlfriend");
+  const auto& t = parse.tree;
+  const int potter = TokenIndex(t, "potter");
+  const int harry = TokenIndex(t, "harry");
+  const int girlfriend = TokenIndex(t, "girlfriend");
+  EXPECT_EQ(t.HeadOf(potter), girlfriend);
+  EXPECT_EQ(t.RelOf(potter), "nmod:poss");
+  EXPECT_EQ(t.HeadOf(harry), potter);
+  EXPECT_EQ(t.RelOf(harry), "compound");
+  EXPECT_EQ(t.RelOf(TokenIndex(t, "'s")), "case");
+}
+
+TEST_F(DependencyParserTest, SuperlativeAdverbChain) {
+  const auto parse =
+      Parse("the wizard is most frequently hanging out with the person");
+  const auto& t = parse.tree;
+  const int most = TokenIndex(t, "most");
+  const int freq = TokenIndex(t, "frequently");
+  EXPECT_EQ(t.HeadOf(most), freq);
+  EXPECT_EQ(t.RelOf(most), "advmod");
+  EXPECT_EQ(t.HeadOf(freq), TokenIndex(t, "hanging"));
+  EXPECT_EQ(t.RelOf(freq), "advmod");
+}
+
+TEST_F(DependencyParserTest, HowManySubjectQuestion) {
+  const auto parse = Parse("how many dogs are sitting in the cars");
+  const auto& t = parse.tree;
+  ASSERT_EQ(parse.clauses.size(), 1u);
+  const int verb = parse.clauses[0].main_verb;
+  EXPECT_EQ(t.WordOf(verb), "sitting");
+  EXPECT_EQ(t.ChildWithRel(verb, "nsubj"), TokenIndex(t, "dogs"));
+  EXPECT_EQ(t.HeadOf(TokenIndex(t, "many")), TokenIndex(t, "dogs"));
+  EXPECT_EQ(t.HeadOf(TokenIndex(t, "how")), TokenIndex(t, "many"));
+  const int cars = TokenIndex(t, "cars");
+  EXPECT_EQ(t.RelOf(cars), "obl");
+}
+
+TEST_F(DependencyParserTest, ThreeClauseChain) {
+  const auto parse = Parse(
+      "what kind of clothes are worn by the wizard who is hanging out "
+      "with the person who is holding the phone");
+  ASSERT_EQ(parse.clauses.size(), 3u);
+  const auto& t = parse.tree;
+  EXPECT_EQ(t.WordOf(parse.clauses[0].main_verb), "worn");
+  EXPECT_EQ(t.WordOf(parse.clauses[1].main_verb), "hanging");
+  EXPECT_EQ(t.WordOf(parse.clauses[2].main_verb), "holding");
+  EXPECT_EQ(parse.clauses[1].antecedent, TokenIndex(t, "wizard"));
+  EXPECT_EQ(parse.clauses[2].antecedent, TokenIndex(t, "person"));
+}
+
+TEST_F(DependencyParserTest, CopularRelativeClause) {
+  const auto parse =
+      Parse("how many dogs are sitting in the cars that are near the trees");
+  ASSERT_EQ(parse.clauses.size(), 2u);
+  EXPECT_TRUE(parse.clauses[1].copular);
+  const auto& t = parse.tree;
+  const int trees = TokenIndex(t, "trees");
+  EXPECT_EQ(t.HeadOf(trees), parse.clauses[1].main_verb);
+  EXPECT_EQ(t.RelOf(trees), "obl");
+}
+
+TEST_F(DependencyParserTest, ChargesTransitionCosts) {
+  SimClock clock;
+  auto tagged = tagger_.Tag(text::Tokenize("the dog chases the cat"));
+  ASSERT_TRUE(parser_.Parse(tagged, &clock).ok());
+  EXPECT_GT(clock.OpCount(CostKind::kParseTransition), 0);
+}
+
+TEST_F(DependencyParserTest, TreeToStringMentionsTokens) {
+  const auto parse = Parse("the dog chases the cat");
+  const std::string s = parse.tree.ToString();
+  EXPECT_NE(s.find("chases"), std::string::npos);
+  EXPECT_NE(s.find("root"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svqa::nlp

@@ -1,0 +1,133 @@
+#include "vision/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::vision {
+namespace {
+
+Scene MakeScene(int id = 1) {
+  Scene scene;
+  scene.id = id;
+  SceneObject dog;
+  dog.category = "dog";
+  dog.box = {0.1f, 0.1f, 0.2f, 0.2f};
+  SceneObject person;
+  person.category = "wizard";
+  person.instance = "harry-potter";
+  person.box = {0.5f, 0.4f, 0.2f, 0.4f};
+  scene.objects = {dog, person};
+  scene.relations = {SceneRelation{1, 0, "watch"}};
+  return scene;
+}
+
+TEST(SceneTest, PredicateBetween) {
+  const Scene scene = MakeScene();
+  EXPECT_EQ(scene.PredicateBetween(1, 0), "watch");
+  EXPECT_EQ(scene.PredicateBetween(0, 1), "");  // direction matters
+  EXPECT_EQ(scene.PredicateBetween(0, 0), "");
+}
+
+TEST(DetectorTest, NoiselessDetectionIsFaithful) {
+  DetectorOptions opts;
+  opts.miss_rate = 0;
+  opts.misclassify_rate = 0;
+  opts.identity_loss_rate = 0;
+  opts.box_jitter = 0;
+  SimulatedDetector detector(opts);
+  const Scene scene = MakeScene();
+  const auto dets = detector.Detect(scene);
+  ASSERT_EQ(dets.size(), 2u);
+  EXPECT_EQ(dets[0].label, "dog");
+  EXPECT_EQ(dets[0].truth_index, 0);
+  EXPECT_EQ(dets[1].label, "harry-potter");  // identity retained
+  EXPECT_EQ(dets[1].truth_index, 1);
+  EXPECT_EQ(dets[0].box, scene.objects[0].box);
+}
+
+TEST(DetectorTest, Deterministic) {
+  SimulatedDetector a, b;
+  const Scene scene = MakeScene();
+  const auto da = a.Detect(scene);
+  const auto db = b.Detect(scene);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].label, db[i].label);
+    EXPECT_EQ(da[i].box, db[i].box);
+  }
+}
+
+TEST(DetectorTest, SeedChangesNoise) {
+  DetectorOptions o1;
+  o1.seed = 1;
+  DetectorOptions o2;
+  o2.seed = 2;
+  const Scene scene = MakeScene();
+  EXPECT_NE(SimulatedDetector(o1).Detect(scene)[0].box,
+            SimulatedDetector(o2).Detect(scene)[0].box);
+}
+
+TEST(DetectorTest, MissRateDropsObjects) {
+  DetectorOptions opts;
+  opts.miss_rate = 1.0;
+  SimulatedDetector detector(opts);
+  EXPECT_TRUE(detector.Detect(MakeScene()).empty());
+}
+
+TEST(DetectorTest, MisclassificationUsesConfusionTable) {
+  DetectorOptions opts;
+  opts.miss_rate = 0;
+  opts.misclassify_rate = 1.0;
+  opts.identity_loss_rate = 0;
+  SimulatedDetector detector(opts);
+  const auto dets = detector.Detect(MakeScene());
+  ASSERT_EQ(dets.size(), 2u);
+  EXPECT_EQ(dets[0].label, "cat");  // dog -> cat in the table
+}
+
+TEST(DetectorTest, IdentityLossFallsBackToCategory) {
+  DetectorOptions opts;
+  opts.miss_rate = 0;
+  opts.misclassify_rate = 0;
+  opts.identity_loss_rate = 1.0;
+  SimulatedDetector detector(opts);
+  const auto dets = detector.Detect(MakeScene());
+  ASSERT_EQ(dets.size(), 2u);
+  EXPECT_EQ(dets[1].label, "wizard");  // name lost, category kept
+}
+
+TEST(DetectorTest, MissRateIsApproximatelyHonored) {
+  DetectorOptions opts;
+  opts.miss_rate = 0.3;
+  SimulatedDetector detector(opts);
+  int total = 0;
+  for (int id = 0; id < 2000; ++id) {
+    total += static_cast<int>(detector.Detect(MakeScene(id)).size());
+  }
+  EXPECT_NEAR(static_cast<double>(total) / (2000 * 2), 0.7, 0.03);
+}
+
+TEST(DetectorTest, BoxesStayInUnitSquare) {
+  DetectorOptions opts;
+  opts.box_jitter = 0.5;
+  SimulatedDetector detector(opts);
+  for (int id = 0; id < 100; ++id) {
+    for (const auto& d : detector.Detect(MakeScene(id))) {
+      for (float c : d.box) {
+        EXPECT_GE(c, 0.0f);
+        EXPECT_LE(c, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(FeatureTest, DeterministicPerCategoryInstance) {
+  const auto a = MakeFeature("dog", "", 1);
+  const auto b = MakeFeature("dog", "", 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, MakeFeature("cat", "", 1));
+  EXPECT_NE(a, MakeFeature("dog", "rex", 1));
+  EXPECT_NE(a, MakeFeature("dog", "", 2));
+}
+
+}  // namespace
+}  // namespace svqa::vision

@@ -1,0 +1,102 @@
+#include "text/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svqa::text {
+namespace {
+
+class EmbeddingTest : public ::testing::Test {
+ protected:
+  EmbeddingModel model_{SynonymLexicon::Default(), /*seed=*/42};
+};
+
+TEST_F(EmbeddingTest, VectorsAreUnitNorm) {
+  for (const char* w : {"dog", "girlfriend", "zebra", "xqzy"}) {
+    const Embedding v = model_.Embed(w);
+    double norm = 0;
+    for (float x : v) norm += static_cast<double>(x) * x;
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-5) << w;
+  }
+}
+
+TEST_F(EmbeddingTest, Deterministic) {
+  EmbeddingModel other(SynonymLexicon::Default(), 42);
+  EXPECT_EQ(model_.Embed("wizard"), other.Embed("wizard"));
+}
+
+TEST_F(EmbeddingTest, SeedChangesVectors) {
+  EmbeddingModel other(SynonymLexicon::Default(), 43);
+  EXPECT_NE(model_.Embed("wizard"), other.Embed("wizard"));
+}
+
+TEST_F(EmbeddingTest, SelfSimilarityIsOne) {
+  EXPECT_NEAR(model_.Similarity("dog", "dog"), 1.0, 1e-6);
+}
+
+TEST_F(EmbeddingTest, SynonymsScoreHigh) {
+  EXPECT_GT(model_.Similarity("dog", "puppy"), 0.6);
+  EXPECT_GT(model_.Similarity("girlfriend", "girlfriend-of"), 0.6);
+  EXPECT_GT(model_.Similarity("worn", "wear"), 0.6);
+}
+
+TEST_F(EmbeddingTest, HypernymsScoreModerately) {
+  const double s = model_.Similarity("dog", "animal");
+  EXPECT_GT(s, 0.15);
+  EXPECT_LT(s, 0.9);
+}
+
+TEST_F(EmbeddingTest, UnrelatedWordsScoreLow) {
+  EXPECT_LT(model_.Similarity("frisbee", "girlfriend"), 0.4);
+  EXPECT_LT(model_.Similarity("xqzy", "wvut"), 0.4);
+}
+
+TEST_F(EmbeddingTest, SynonymBeatsUnrelated) {
+  EXPECT_GT(model_.Similarity("dog", "puppy"),
+            model_.Similarity("dog", "umbrella"));
+}
+
+TEST_F(EmbeddingTest, MostSimilarPicksSynonym) {
+  const std::vector<std::string> candidates = {"on", "near",
+                                               "girlfriend-of", "wear"};
+  auto [idx, score] = model_.MostSimilar("girlfriend", candidates);
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(candidates[static_cast<std::size_t>(idx)], "girlfriend-of");
+  EXPECT_GT(score, 0.5);
+}
+
+TEST_F(EmbeddingTest, MostSimilarEmptyCandidates) {
+  auto [idx, score] = model_.MostSimilar("dog", {});
+  EXPECT_EQ(idx, -1);
+  EXPECT_DOUBLE_EQ(score, 0.0);
+}
+
+TEST_F(EmbeddingTest, PhraseEmbeddingAveragesWords) {
+  // A phrase containing a word is closer to that word than an unrelated
+  // one.
+  EXPECT_GT(model_.Similarity("kind of clothes", "clothes"),
+            model_.Similarity("kind of clothes", "bicycle"));
+}
+
+TEST_F(EmbeddingTest, EmptyPhraseIsZeroVector) {
+  const Embedding v = model_.EmbedPhrase("");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(CosineTest, ZeroVectorScoresZero) {
+  Embedding zero{};
+  Embedding one{};
+  one[0] = 1.0f;
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, one), 0.0);
+}
+
+TEST(CosineTest, OppositeVectorsScoreMinusOne) {
+  Embedding a{}, b{};
+  a[3] = 1.0f;
+  b[3] = -2.0f;
+  EXPECT_NEAR(CosineSimilarity(a, b), -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace svqa::text

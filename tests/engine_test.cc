@@ -1,0 +1,246 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "data/kg_builder.h"
+#include "data/world.h"
+#include "text/lexicon.h"
+
+namespace svqa::core {
+namespace {
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldOptions opts;
+    opts.num_scenes = 300;
+    opts.seed = 77;
+    world_ = new data::World(data::WorldGenerator(opts).Generate());
+    kg_ = new graph::Graph(data::BuildKnowledgeGraph(
+        *world_, text::SynonymLexicon::Default()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete kg_;
+  }
+
+  static data::World* world_;
+  static graph::Graph* kg_;
+};
+
+data::World* EngineFixture::world_ = nullptr;
+graph::Graph* EngineFixture::kg_ = nullptr;
+
+TEST_F(EngineFixture, AskBeforeIngestFails) {
+  SvqaEngine engine;
+  EXPECT_FALSE(engine.ingested());
+  EXPECT_TRUE(engine.Ask("does a dog appear near a car?")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, DoubleIngestFails) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  EXPECT_TRUE(engine.Ingest(*kg_, world_->scenes).IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, InvalidOptionsRejected) {
+  SvqaOptions opts;
+  opts.detector.miss_rate = 2.0;
+  SvqaEngine engine(opts);
+  EXPECT_TRUE(engine.Ingest(*kg_, world_->scenes).IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, IngestBuildsMergedGraph) {
+  SvqaEngine engine;
+  SimClock clock;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes, &clock).ok());
+  EXPECT_TRUE(engine.ingested());
+  EXPECT_GT(engine.merged().graph.num_vertices(), kg_->num_vertices());
+  EXPECT_EQ(engine.scene_graphs().size(), world_->scenes.size());
+  EXPECT_GT(clock.OpCount(CostKind::kSceneGraphGen), 0);
+  EXPECT_TRUE(engine.merged().graph.CheckConsistency().ok());
+}
+
+TEST_F(EngineFixture, AskEndToEnd) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  SimClock clock;
+  auto ans = engine.Ask("does a dog appear on the grass?", &clock);
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->type, nlp::QuestionType::kJudgment);
+  EXPECT_GT(clock.ElapsedMicros(), 0);
+}
+
+TEST_F(EngineFixture, ParseOnlyDoesNotNeedIngest) {
+  SvqaEngine engine;
+  auto parsed = engine.Parse("does a dog appear near a car?");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST_F(EngineFixture, ExecuteGoldGraphMatchesAsk) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  const std::string q = "does a cat appear on the bed?";
+  auto parsed = engine.Parse(q);
+  ASSERT_TRUE(parsed.ok());
+  auto via_ask = engine.Ask(q);
+  auto via_execute = engine.Execute(*parsed);
+  ASSERT_TRUE(via_ask.ok());
+  ASSERT_TRUE(via_execute.ok());
+  EXPECT_EQ(via_ask->text, via_execute->text);
+}
+
+TEST_F(EngineFixture, CacheToggleHonored) {
+  SvqaOptions with;
+  with.enable_cache = true;
+  SvqaEngine engine_with(with);
+  ASSERT_TRUE(engine_with.Ingest(*kg_, world_->scenes).ok());
+  EXPECT_NE(engine_with.cache(), nullptr);
+
+  SvqaOptions without;
+  without.enable_cache = false;
+  SvqaEngine engine_without(without);
+  ASSERT_TRUE(engine_without.Ingest(*kg_, world_->scenes).ok());
+  EXPECT_EQ(engine_without.cache(), nullptr);
+}
+
+TEST_F(EngineFixture, BatchExecution) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  std::vector<query::QueryGraph> graphs;
+  for (const char* q :
+       {"does a dog appear on the grass?", "does a cat appear on the bed?",
+        "does a dog appear on the grass?"}) {
+    auto parsed = engine.Parse(q);
+    ASSERT_TRUE(parsed.ok());
+    graphs.push_back(std::move(*parsed));
+  }
+  const auto result = engine.ExecuteBatch(graphs);
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  EXPECT_EQ(result.outcomes[0].answer.text, result.outcomes[2].answer.text);
+  EXPECT_GT(result.total_micros, 0);
+}
+
+TEST_F(EngineFixture, NamedEntityQuestionsWork) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  auto ans =
+      engine.Ask("how many wizards are hanging out with dean thomas?");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->type, nlp::QuestionType::kCounting);
+}
+
+TEST_F(EngineFixture, WhichQuestionsNameEntities) {
+  // "Which wizard ..." asks for a named individual (not a kind): the
+  // variable sits on the subject and the answer is an entity label.
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  auto ans = engine.Ask(
+      "which wizard is most frequently hanging out with ginny weasley?");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+  EXPECT_EQ(ans->type, nlp::QuestionType::kReasoning);
+  // The answer is one of the cast's wizards.
+  bool is_wizard = false;
+  for (const auto& c : world_->characters) {
+    if (c.name == ans->text && c.category == "wizard") is_wizard = true;
+  }
+  EXPECT_TRUE(is_wizard) << ans->text;
+
+  // Cross-check against the gold logical form on the same merged graph.
+  nlp::Spoc spoc;
+  spoc.subject.head = "wizard";
+  spoc.subject.text = "wizard";
+  spoc.subject.is_variable = true;
+  spoc.predicate = "hang-out";
+  spoc.object.head = "ginny-weasley";
+  spoc.object.text = "ginny weasley";
+  spoc.constraint = "most frequently";
+  query::QueryGraph gold("", nlp::QuestionType::kReasoning, {spoc}, {});
+  auto expected = engine.Execute(gold);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(ans->text, expected->text);
+}
+
+TEST_F(EngineFixture, ExplainRendersTraceWithProvenance) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  auto trace = engine.Explain("does a dog appear on the grass?");
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_NE(trace->find("QueryGraph"), std::string::npos);
+  EXPECT_NE(trace->find("A: "), std::string::npos);
+  // A yes-judgment must come with evidence.
+  EXPECT_NE(trace->find("Supporting facts:"), std::string::npos);
+  EXPECT_NE(trace->find("(image "), std::string::npos);
+}
+
+TEST_F(EngineFixture, ProvenancePointsAtRealFacts) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  auto ans = engine.Ask("does a dog appear on the grass?");
+  ASSERT_TRUE(ans.ok());
+  ASSERT_TRUE(ans->yes);
+  ASSERT_FALSE(ans->provenance.empty());
+  EXPECT_LE(ans->provenance.size(), exec::Answer::kMaxProvenance);
+  for (const auto& fact : ans->provenance) {
+    EXPECT_FALSE(fact.subject.empty());
+    EXPECT_FALSE(fact.predicate.empty());
+    EXPECT_FALSE(fact.object.empty());
+    EXPECT_GE(fact.image, 0);  // scene facts for a visual question
+    EXPECT_LT(fact.image, static_cast<int32_t>(world_->scenes.size()));
+  }
+}
+
+TEST_F(EngineFixture, NoAnswerNoProvenance) {
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  auto ans = engine.Ask("does a horse appear under a laptop?");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_FALSE(ans->yes);
+  EXPECT_TRUE(ans->provenance.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation helpers
+// ---------------------------------------------------------------------------
+
+TEST(AnswersMatchTest, JudgmentRequiresExactString) {
+  text::EmbeddingModel emb(text::SynonymLexicon::Default());
+  EXPECT_TRUE(
+      AnswersMatch("yes", "yes", nlp::QuestionType::kJudgment, emb));
+  EXPECT_FALSE(
+      AnswersMatch("yes", "no", nlp::QuestionType::kJudgment, emb));
+}
+
+TEST(AnswersMatchTest, CountingRequiresExactNumber) {
+  text::EmbeddingModel emb(text::SynonymLexicon::Default());
+  EXPECT_TRUE(AnswersMatch("5", "5", nlp::QuestionType::kCounting, emb));
+  EXPECT_FALSE(AnswersMatch("5", "6", nlp::QuestionType::kCounting, emb));
+}
+
+TEST(AnswersMatchTest, ReasoningAcceptsSynonyms) {
+  // Paper: "dog" vs "puppy" are considered consistent.
+  text::EmbeddingModel emb(text::SynonymLexicon::Default());
+  EXPECT_TRUE(
+      AnswersMatch("dog", "dog", nlp::QuestionType::kReasoning, emb));
+  EXPECT_TRUE(
+      AnswersMatch("dog", "puppy", nlp::QuestionType::kReasoning, emb));
+  EXPECT_FALSE(
+      AnswersMatch("dog", "umbrella", nlp::QuestionType::kReasoning, emb));
+}
+
+TEST(OptionsTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(SvqaOptions{}.Validate().ok());
+}
+
+TEST(OptionsTest, ValidateRejectsBadThreshold) {
+  SvqaOptions opts;
+  opts.executor.predicate_similarity_threshold = 3.0;
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace svqa::core

@@ -1,0 +1,203 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/statistics.h"
+
+namespace svqa::graph {
+namespace {
+
+Graph MakeTriangle() {
+  Graph g;
+  const VertexId a = g.AddVertex("a", "letter");
+  const VertexId b = g.AddVertex("b", "letter");
+  const VertexId c = g.AddVertex("c", "digit");
+  EXPECT_TRUE(g.AddEdge(a, b, "next").ok());
+  EXPECT_TRUE(g.AddEdge(b, c, "next").ok());
+  EXPECT_TRUE(g.AddEdge(c, a, "loop").ok());
+  return g;
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.CheckConsistency().ok());
+}
+
+TEST(GraphTest, AddVertexAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex("x", "t"), 0u);
+  EXPECT_EQ(g.AddVertex("y", "t"), 1u);
+  EXPECT_EQ(g.vertex(0).label, "x");
+  EXPECT_EQ(g.vertex(1).category, "t");
+}
+
+TEST(GraphTest, SourceImageDefaultsToKg) {
+  Graph g;
+  const VertexId v = g.AddVertex("x", "t");
+  EXPECT_EQ(g.vertex(v).source_image, kKnowledgeGraphSource);
+  const VertexId w = g.AddVertex("y", "t", 7);
+  EXPECT_EQ(g.vertex(w).source_image, 7);
+}
+
+TEST(GraphTest, AddEdgeUpdatesAdjacency) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_edges(), 3u);
+  ASSERT_EQ(g.OutEdges(0).size(), 1u);
+  EXPECT_EQ(g.OutEdges(0)[0].neighbor, 1u);
+  ASSERT_EQ(g.InEdges(0).size(), 1u);
+  EXPECT_EQ(g.InEdges(0)[0].neighbor, 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Graph g;
+  const VertexId a = g.AddVertex("a", "t");
+  EXPECT_TRUE(g.AddEdge(a, a, "self").IsInvalidArgument());
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  Graph g;
+  g.AddVertex("a", "t");
+  EXPECT_EQ(g.AddEdge(0, 5, "x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(5, 0, "x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, RejectsExactDuplicateEdge) {
+  Graph g;
+  const VertexId a = g.AddVertex("a", "t");
+  const VertexId b = g.AddVertex("b", "t");
+  EXPECT_TRUE(g.AddEdge(a, b, "r").ok());
+  EXPECT_EQ(g.AddEdge(a, b, "r").code(), StatusCode::kAlreadyExists);
+  // Parallel edge with a different label is allowed.
+  EXPECT_TRUE(g.AddEdge(a, b, "s").ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphTest, HasEdgeChecksLabel) {
+  Graph g = MakeTriangle();
+  EXPECT_TRUE(g.HasEdge(0, 1, "next"));
+  EXPECT_FALSE(g.HasEdge(0, 1, "loop"));
+  EXPECT_FALSE(g.HasEdge(1, 0, "next"));  // direction matters
+  EXPECT_FALSE(g.HasEdge(0, 9, "next"));  // out of range is just false
+}
+
+TEST(GraphTest, EdgeLabelsAreInterned) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.EdgeLabels().size(), 2u);  // "next", "loop"
+}
+
+TEST(GraphTest, LabelIndexFindsVertices) {
+  Graph g;
+  g.AddVertex("dog", "animal");
+  g.AddVertex("dog", "animal");
+  g.AddVertex("cat", "animal");
+  EXPECT_EQ(g.VerticesWithLabel("dog").size(), 2u);
+  EXPECT_EQ(g.VerticesWithLabel("cat").size(), 1u);
+  EXPECT_TRUE(g.VerticesWithLabel("fish").empty());
+}
+
+TEST(GraphTest, CategoryIndexFindsVertices) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.VerticesWithCategory("letter").size(), 2u);
+  EXPECT_EQ(g.VerticesWithCategory("digit").size(), 1u);
+  EXPECT_TRUE(g.VerticesWithCategory("x").empty());
+}
+
+TEST(GraphTest, AllEdgesMaterializes) {
+  Graph g = MakeTriangle();
+  const auto edges = g.AllEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].src, 0u);
+  EXPECT_EQ(edges[0].dst, 1u);
+  EXPECT_EQ(edges[0].label, "next");
+}
+
+TEST(GraphTest, ConsistencyHoldsAfterManyInsertions) {
+  Graph g;
+  for (int i = 0; i < 50; ++i) {
+    g.AddVertex("v" + std::to_string(i), "t" + std::to_string(i % 5));
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 1; j <= 3; ++j) {
+      g.AddEdge(static_cast<VertexId>(i),
+                static_cast<VertexId>((i + j) % 50),
+                "r" + std::to_string(j))
+          .ok();
+    }
+  }
+  EXPECT_TRUE(g.CheckConsistency().ok());
+  EXPECT_EQ(g.num_edges(), 150u);
+}
+
+TEST(GraphTest, CopySemantics) {
+  Graph g = MakeTriangle();
+  Graph copy = g;
+  copy.AddVertex("d", "letter");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(copy.num_vertices(), 4u);
+  EXPECT_TRUE(copy.CheckConsistency().ok());
+}
+
+TEST(StatisticsTest, CategoryFrequenciesSortedDescending) {
+  Graph g;
+  g.AddVertex("a", "x");
+  g.AddVertex("b", "y");
+  g.AddVertex("c", "y");
+  g.AddVertex("d", "z");
+  g.AddVertex("e", "z");
+  g.AddVertex("f", "z");
+  const auto freq = CategoryFrequencies(g);
+  ASSERT_EQ(freq.size(), 3u);
+  EXPECT_EQ(freq[0].category, "z");
+  EXPECT_EQ(freq[0].count, 3u);
+  EXPECT_EQ(freq[1].category, "y");
+  EXPECT_EQ(freq[2].category, "x");
+}
+
+TEST(StatisticsTest, TiesBreakAlphabetically) {
+  Graph g;
+  g.AddVertex("1", "beta");
+  g.AddVertex("2", "alpha");
+  const auto freq = CategoryFrequencies(g);
+  EXPECT_EQ(freq[0].category, "alpha");
+  EXPECT_EQ(freq[1].category, "beta");
+}
+
+TEST(StatisticsTest, EdgeLabelFrequenciesSortedDescending) {
+  Graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.AddVertex("v" + std::to_string(i), "t");
+  }
+  g.AddEdge(0, 1, "near").ok();
+  g.AddEdge(1, 2, "near").ok();
+  g.AddEdge(2, 3, "near").ok();
+  g.AddEdge(0, 2, "chase").ok();
+  const auto freqs = EdgeLabelFrequencies(g);
+  ASSERT_EQ(freqs.size(), 2u);
+  EXPECT_EQ(freqs[0].category, "near");
+  EXPECT_EQ(freqs[0].count, 3u);
+  EXPECT_EQ(freqs[1].category, "chase");
+  EXPECT_EQ(freqs[1].count, 1u);
+}
+
+TEST(StatisticsTest, EdgeLabelFrequenciesEmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(EdgeLabelFrequencies(g).empty());
+}
+
+TEST(StatisticsTest, SummarizeNumbers) {
+  Graph g = MakeTriangle();
+  const GraphSummary s = Summarize(g);
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.num_edge_labels, 2u);
+  EXPECT_EQ(s.num_categories, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 1.0);
+  EXPECT_EQ(s.max_out_degree, 1u);
+}
+
+}  // namespace
+}  // namespace svqa::graph

@@ -1,0 +1,100 @@
+#include "text/levenshtein.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace svqa::text {
+namespace {
+
+TEST(LevenshteinTest, IdenticalStrings) {
+  EXPECT_EQ(LevenshteinDistance("dog", "dog"), 0u);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("dog", "dog"), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("dog", "dog"), 1.0);
+}
+
+TEST(LevenshteinTest, EmptyStrings) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("a", ""), 1.0);
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("dog", "dogs"), 1u);
+  EXPECT_EQ(LevenshteinDistance("cat", "act"), 2u);
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  EXPECT_EQ(LevenshteinDistance("wizard", "lizard"),
+            LevenshteinDistance("lizard", "wizard"));
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("robe", "rope"),
+                   NormalizedLevenshtein("rope", "robe"));
+}
+
+TEST(LevenshteinTest, NormalizedIsInUnitInterval) {
+  const char* words[] = {"a", "dog", "wizard", "girlfriend", ""};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      const double d = NormalizedLevenshtein(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+// Property sweep: the triangle inequality holds for the raw distance on
+// random short strings.
+class LevenshteinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LevenshteinPropertyTest, TriangleInequality) {
+  svqa::Rng rng(GetParam());
+  auto random_word = [&rng]() {
+    std::string w;
+    const int len = static_cast<int>(rng.Below(8));
+    for (int i = 0; i < len; ++i) {
+      w.push_back(static_cast<char>('a' + rng.Below(4)));
+    }
+    return w;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string a = random_word(), b = random_word(),
+                      c = random_word();
+    EXPECT_LE(LevenshteinDistance(a, c),
+              LevenshteinDistance(a, b) + LevenshteinDistance(b, c))
+        << "a=" << a << " b=" << b << " c=" << c;
+  }
+}
+
+TEST_P(LevenshteinPropertyTest, DistanceBounds) {
+  svqa::Rng rng(GetParam() ^ 0xabcd);
+  auto random_word = [&rng]() {
+    std::string w;
+    const int len = static_cast<int>(rng.Below(10));
+    for (int i = 0; i < len; ++i) {
+      w.push_back(static_cast<char>('a' + rng.Below(6)));
+    }
+    return w;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string a = random_word(), b = random_word();
+    const std::size_t d = LevenshteinDistance(a, b);
+    // Lower bound: length difference; upper bound: longer length.
+    const std::size_t lo =
+        a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, std::max(a.size(), b.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace svqa::text

@@ -1,0 +1,86 @@
+#include "text/lexicon.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::text {
+namespace {
+
+TEST(LexiconTest, UnknownWordIsItsOwnConcept) {
+  SynonymLexicon lex;
+  EXPECT_EQ(lex.Canonical("zyzzy"), "zyzzy");
+}
+
+TEST(LexiconTest, GroupMembersShareConcept) {
+  SynonymLexicon lex;
+  lex.AddGroup("dog", {"puppy", "hound"});
+  EXPECT_EQ(lex.Canonical("puppy"), "dog");
+  EXPECT_EQ(lex.Canonical("dog"), "dog");
+  EXPECT_TRUE(lex.AreSynonyms("puppy", "hound"));
+  EXPECT_TRUE(lex.AreSynonyms("dog", "puppy"));
+  EXPECT_FALSE(lex.AreSynonyms("dog", "cat"));
+}
+
+TEST(LexiconTest, LaterRegistrationWins) {
+  SynonymLexicon lex;
+  lex.AddGroup("a", {"x"});
+  lex.AddGroup("b", {"x"});
+  EXPECT_EQ(lex.Canonical("x"), "b");
+}
+
+TEST(LexiconTest, HypernymChainWalksUp) {
+  SynonymLexicon lex;
+  lex.AddGroup("dog", {});
+  lex.AddGroup("pet", {});
+  lex.AddGroup("animal", {});
+  lex.AddHypernym("dog", "pet");
+  lex.AddHypernym("pet", "animal");
+  const auto chain = lex.HypernymChain("dog");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], "pet");
+  EXPECT_EQ(chain[1], "animal");
+}
+
+TEST(LexiconTest, HypernymRelatedBothDirections) {
+  SynonymLexicon lex = SynonymLexicon::Default();
+  EXPECT_TRUE(lex.HypernymRelated("dog", "animal"));
+  EXPECT_TRUE(lex.HypernymRelated("animal", "dog"));
+  EXPECT_TRUE(lex.HypernymRelated("puppy", "pet"));  // via synonym + chain
+  EXPECT_FALSE(lex.HypernymRelated("dog", "vehicle"));
+}
+
+TEST(LexiconTest, HypernymCycleIsBounded) {
+  SynonymLexicon lex;
+  lex.AddHypernym("a", "b");
+  lex.AddHypernym("b", "a");
+  // Must terminate; contents are bounded by the walk limit.
+  const auto chain = lex.HypernymChain("a");
+  EXPECT_LE(chain.size(), 8u);
+}
+
+TEST(DefaultLexiconTest, CoversCoreVocabulary) {
+  SynonymLexicon lex = SynonymLexicon::Default();
+  EXPECT_TRUE(lex.AreSynonyms("dog", "puppy"));
+  EXPECT_TRUE(lex.AreSynonyms("worn", "wear"));
+  EXPECT_TRUE(lex.AreSynonyms("hanging-out", "hang-out"));
+  EXPECT_TRUE(lex.AreSynonyms("girlfriend", "girlfriend-of"));
+  EXPECT_TRUE(lex.AreSynonyms("clothes", "clothing"));
+  EXPECT_GT(lex.size(), 100u);
+}
+
+TEST(DefaultLexiconTest, CarryAndHoldAreDistinct) {
+  // Regression: merging these made "carry" queries match "hold" edges.
+  SynonymLexicon lex = SynonymLexicon::Default();
+  EXPECT_FALSE(lex.AreSynonyms("carry", "hold"));
+  EXPECT_TRUE(lex.AreSynonyms("carried", "carry"));
+  EXPECT_TRUE(lex.AreSynonyms("holding", "hold"));
+}
+
+TEST(DefaultLexiconTest, TaxonomyForMatching) {
+  SynonymLexicon lex = SynonymLexicon::Default();
+  EXPECT_TRUE(lex.HypernymRelated("robe", "clothes"));
+  EXPECT_TRUE(lex.HypernymRelated("car", "vehicle"));
+  EXPECT_TRUE(lex.HypernymRelated("wizard", "person"));
+}
+
+}  // namespace
+}  // namespace svqa::text

@@ -1,0 +1,151 @@
+#include "data/mvqa_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset_stats.h"
+#include "exec/executor.h"
+#include "text/embedding.h"
+
+namespace svqa::data {
+namespace {
+
+/// The dataset is expensive to generate (4,233 scenes + gold answers);
+/// share one instance across the suite.
+class MvqaFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MvqaOptions opts;
+    opts.world.num_scenes = 1500;  // smaller world, same structure
+    dataset_ = new MvqaDataset(MvqaGenerator(opts).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static MvqaDataset* dataset_;
+};
+
+MvqaDataset* MvqaFixture::dataset_ = nullptr;
+
+TEST_F(MvqaFixture, QuotasMatchPaperTableII) {
+  EXPECT_EQ(dataset_->questions.size(), 100u);
+  EXPECT_EQ(dataset_->NumOfType(nlp::QuestionType::kJudgment), 40u);
+  EXPECT_EQ(dataset_->NumOfType(nlp::QuestionType::kCounting), 16u);
+  EXPECT_EQ(dataset_->NumOfType(nlp::QuestionType::kReasoning), 44u);
+}
+
+TEST_F(MvqaFixture, QuestionsAreUniqueAndNonEmpty) {
+  std::set<std::string> texts;
+  for (const auto& q : dataset_->questions) {
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_TRUE(texts.insert(q.text).second) << "duplicate: " << q.text;
+  }
+}
+
+TEST_F(MvqaFixture, GoldAnswersAreValid) {
+  for (const auto& q : dataset_->questions) {
+    EXPECT_FALSE(q.gold_answer.empty()) << q.text;
+    switch (q.type) {
+      case nlp::QuestionType::kJudgment:
+        EXPECT_TRUE(q.gold_answer == "yes" || q.gold_answer == "no")
+            << q.text;
+        break;
+      case nlp::QuestionType::kCounting:
+        EXPECT_GT(std::stol(q.gold_answer), 0) << q.text;
+        break;
+      case nlp::QuestionType::kReasoning:
+        EXPECT_NE(q.gold_answer, "unknown") << q.text;
+        break;
+    }
+  }
+}
+
+TEST_F(MvqaFixture, JudgmentAnswersAreBalanced) {
+  int yes = 0, no = 0;
+  for (const auto& q : dataset_->questions) {
+    if (q.type != nlp::QuestionType::kJudgment) continue;
+    (q.gold_answer == "yes" ? yes : no) += 1;
+  }
+  EXPECT_GE(yes, 12);
+  EXPECT_GE(no, 12);
+}
+
+TEST_F(MvqaFixture, GoldGraphsAreAcyclicWithMatchingClauseCounts) {
+  for (const auto& q : dataset_->questions) {
+    EXPECT_EQ(static_cast<int>(q.gold_graph.size()), q.num_clauses);
+    EXPECT_TRUE(q.gold_graph.TopologicalOrder().ok()) << q.text;
+  }
+}
+
+TEST_F(MvqaFixture, AverageClausesNearPaper) {
+  // Paper: 219 clauses over 100 questions (avg 2.2); we require > 1.5
+  // (multi-clause dominated) and the presence of 3-clause questions.
+  const auto stats = ComputeMvqaStats(*dataset_);
+  EXPECT_GT(stats.avg_clauses, 1.5);
+  bool has_three = false;
+  for (const auto& q : dataset_->questions) {
+    if (q.num_clauses == 3) has_three = true;
+  }
+  EXPECT_TRUE(has_three);
+}
+
+TEST_F(MvqaFixture, GoldAnswersReproducibleOnPerfectGraph) {
+  // Executing each gold graph over the perfect merged graph returns the
+  // stored gold answer (the dataset's defining property).
+  text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  exec::QueryGraphExecutor executor(&dataset_->perfect_merged, &embeddings);
+  for (const auto& q : dataset_->questions) {
+    auto ans = executor.Execute(q.gold_graph);
+    ASSERT_TRUE(ans.ok()) << q.text;
+    EXPECT_EQ(ans->text, q.gold_answer) << q.text;
+  }
+}
+
+TEST_F(MvqaFixture, AdversarialQuestionsMarked) {
+  int adversarial = 0;
+  for (const auto& q : dataset_->questions) {
+    if (q.adversarial) ++adversarial;
+  }
+  EXPECT_EQ(adversarial, 4);
+}
+
+TEST_F(MvqaFixture, RelevantImagesPopulated) {
+  for (const auto& q : dataset_->questions) {
+    EXPECT_GT(q.relevant_images, 0u) << q.text;
+    EXPECT_LE(q.relevant_images, dataset_->world.scenes.size());
+  }
+}
+
+TEST_F(MvqaFixture, StatsAggregateCorrectly) {
+  const MvqaStats stats = ComputeMvqaStats(*dataset_);
+  EXPECT_EQ(stats.total_questions, 100u);
+  EXPECT_EQ(stats.num_images, dataset_->world.scenes.size());
+  EXPECT_EQ(stats.judgment.questions + stats.counting.questions +
+                stats.reasoning.questions,
+            100u);
+  EXPECT_EQ(stats.judgment.clauses + stats.counting.clauses +
+                stats.reasoning.clauses,
+            stats.total_clauses);
+  EXPECT_GT(stats.total_unique_spos, 10u);
+  EXPECT_GT(stats.avg_query_length, 5.0);
+  const std::string formatted = FormatMvqaStats(stats);
+  EXPECT_NE(formatted.find("Judgement"), std::string::npos);
+  EXPECT_NE(formatted.find("Counting"), std::string::npos);
+}
+
+TEST_F(MvqaFixture, DeterministicGeneration) {
+  MvqaOptions opts;
+  opts.world.num_scenes = 300;
+  const MvqaDataset a = MvqaGenerator(opts).Generate();
+  const MvqaDataset b = MvqaGenerator(opts).Generate();
+  ASSERT_EQ(a.questions.size(), b.questions.size());
+  for (std::size_t i = 0; i < a.questions.size(); ++i) {
+    EXPECT_EQ(a.questions[i].text, b.questions[i].text);
+    EXPECT_EQ(a.questions[i].gold_answer, b.questions[i].gold_answer);
+  }
+}
+
+}  // namespace
+}  // namespace svqa::data

@@ -1,0 +1,136 @@
+// Persistence: graph files, merged-graph save/load, and the
+// engine-level offline-once / query-many workflow.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "aggregator/merger.h"
+#include "core/engine.h"
+#include "data/kg_builder.h"
+#include "data/mvqa_generator.h"
+#include "graph/serialization.h"
+#include "text/lexicon.h"
+
+namespace svqa {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphFileTest, RoundTrip) {
+  graph::Graph g;
+  g.AddVertex("harry-potter", "wizard");
+  g.AddVertex("robe#0", "robe", 3);
+  g.AddEdge(0, 1, "wear").ok();
+
+  const std::string path = TempPath("graph_roundtrip.svqa");
+  ASSERT_TRUE(graph::ToFile(g, path).ok());
+  auto loaded = graph::FromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_vertices(), 2u);
+  EXPECT_TRUE(loaded->HasEdge(0, 1, "wear"));
+  std::remove(path.c_str());
+}
+
+TEST(GraphFileTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(graph::FromFile("/nonexistent/path/graph.svqa")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(GraphFileTest, UnwritablePathFails) {
+  graph::Graph g;
+  EXPECT_FALSE(graph::ToFile(g, "/nonexistent/dir/graph.svqa").ok());
+}
+
+class MergedPersistenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldOptions opts;
+    opts.num_scenes = 120;
+    opts.seed = 17;
+    world_ = new data::World(data::WorldGenerator(opts).Generate());
+    kg_ = new graph::Graph(data::BuildKnowledgeGraph(
+        *world_, text::SynonymLexicon::Default()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete kg_;
+  }
+  static data::World* world_;
+  static graph::Graph* kg_;
+};
+
+data::World* MergedPersistenceTest::world_ = nullptr;
+graph::Graph* MergedPersistenceTest::kg_ = nullptr;
+
+TEST_F(MergedPersistenceTest, MergedGraphRoundTrip) {
+  const auto merged = data::BuildPerfectMergedGraph(*world_, *kg_);
+  const std::string path = TempPath("merged_roundtrip.svqa");
+  ASSERT_TRUE(aggregator::SaveMergedGraph(merged, path).ok());
+  auto loaded = aggregator::LoadMergedGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->kg_vertex_count, merged.kg_vertex_count);
+  EXPECT_EQ(loaded->entity_links, merged.entity_links);
+  EXPECT_EQ(loaded->concept_links, merged.concept_links);
+  EXPECT_EQ(loaded->graph.num_vertices(), merged.graph.num_vertices());
+  EXPECT_EQ(loaded->graph.num_edges(), merged.graph.num_edges());
+  EXPECT_TRUE(loaded->graph.CheckConsistency().ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(MergedPersistenceTest, LoadRejectsHeaderlessFile) {
+  graph::Graph g;
+  g.AddVertex("x", "t");
+  const std::string path = TempPath("headerless.svqa");
+  ASSERT_TRUE(graph::ToFile(g, path).ok());
+  EXPECT_TRUE(aggregator::LoadMergedGraph(path).status().IsParseError());
+  std::remove(path.c_str());
+}
+
+TEST_F(MergedPersistenceTest, EngineSaveLoadAnswersIdentically) {
+  // Process 1: ingest and save.
+  core::SvqaEngine first;
+  ASSERT_TRUE(first.Ingest(*kg_, world_->scenes).ok());
+  const std::string path = TempPath("engine_merged.svqa");
+  ASSERT_TRUE(first.SaveMergedGraph(path).ok());
+
+  // Process 2: load the merged graph, skip the offline phase entirely.
+  core::SvqaEngine second;
+  auto merged = core::SvqaEngine::LoadMergedGraph(path);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ASSERT_TRUE(second.IngestMerged(std::move(*merged)).ok());
+
+  const char* questions[] = {
+      "does a dog appear on the grass?",
+      "how many wizards are hanging out with dean thomas?",
+      "what kind of clothes is worn by harry potter?",
+  };
+  for (const char* q : questions) {
+    auto a = first.Ask(q);
+    auto b = second.Ask(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    EXPECT_EQ(a->text, b->text) << q;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(MergedPersistenceTest, SaveBeforeIngestFails) {
+  core::SvqaEngine engine;
+  EXPECT_TRUE(
+      engine.SaveMergedGraph(TempPath("x.svqa")).IsInvalidArgument());
+}
+
+TEST_F(MergedPersistenceTest, IngestMergedOnlyOnce) {
+  core::SvqaEngine engine;
+  auto merged = data::BuildPerfectMergedGraph(*world_, *kg_);
+  ASSERT_TRUE(engine.IngestMerged(merged).ok());
+  EXPECT_TRUE(engine.IngestMerged(merged).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace svqa

@@ -1,0 +1,127 @@
+#include "nlp/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace svqa::nlp {
+namespace {
+
+class PosTaggerTest : public ::testing::Test {
+ protected:
+  std::vector<TaggedToken> Tag(const std::string& sentence) {
+    return tagger_.Tag(text::Tokenize(sentence));
+  }
+
+  std::vector<std::string> TagsOf(const std::string& sentence) {
+    std::vector<std::string> tags;
+    for (const auto& t : Tag(sentence)) tags.push_back(t.tag);
+    return tags;
+  }
+
+  PosTagger tagger_ = PosTagger::Default();
+};
+
+TEST_F(PosTaggerTest, TagSetInventory) {
+  EXPECT_GE(PtbTagSet().size(), 45u);
+  EXPECT_TRUE(IsValidPtbTag("NN"));
+  EXPECT_TRUE(IsValidPtbTag("VBG"));
+  EXPECT_TRUE(IsValidPtbTag("FW"));
+  EXPECT_FALSE(IsValidPtbTag("XYZ"));
+}
+
+TEST_F(PosTaggerTest, AllEmittedTagsAreValid) {
+  for (const auto& t :
+       Tag("what kind of clothes are worn by the wizard who is most "
+           "frequently hanging out with harry potter's girlfriend")) {
+    EXPECT_TRUE(IsValidPtbTag(t.tag)) << t.word << " -> " << t.tag;
+  }
+}
+
+TEST_F(PosTaggerTest, FlagshipQuestionTags) {
+  const auto tags = TagsOf(
+      "what kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend");
+  // what/WDT (before noun) kind/NN of/IN clothes/NNS are/VBP worn/VBN
+  // by/IN the/DT wizard/NN who/WP is/VBZ most/RBS frequently/RB
+  // hanging/VBG out/RP with/IN harry/NNP potter/NNP 's/POS girlfriend/NN
+  const std::vector<std::string> expected = {
+      "WDT", "NN",  "IN",  "NNS", "VBP", "VBN", "IN",  "DT",  "NN", "WP",
+      "VBZ", "RBS", "RB",  "VBG", "RP",  "IN",  "NN",  "NN",  "POS", "NN"};
+  EXPECT_EQ(tags, expected);
+}
+
+TEST_F(PosTaggerTest, ThatAfterNounIsRelativizer) {
+  const auto tagged = Tag("the dog that is sitting");
+  EXPECT_EQ(tagged[2].word, "that");
+  EXPECT_EQ(tagged[2].tag, "WDT");
+}
+
+TEST_F(PosTaggerTest, ThatWithoutAntecedentStaysDeterminer) {
+  const auto tagged = Tag("that is sitting");
+  EXPECT_EQ(tagged[0].tag, "DT");
+}
+
+TEST_F(PosTaggerTest, WhatBeforeNounIsDeterminer) {
+  EXPECT_EQ(Tag("what kind of clothes")[0].tag, "WDT");
+  EXPECT_EQ(Tag("what is this")[0].tag, "WP");
+}
+
+TEST_F(PosTaggerTest, LatinateUnknownsBecomeForeignWords) {
+  // The Figure 8(a) failure mode: "canis" parses as FW.
+  EXPECT_EQ(Tag("canis")[0].tag, "FW");
+  EXPECT_EQ(Tag("magus")[0].tag, "FW");
+  EXPECT_EQ(Tag("equus")[0].tag, "FW");
+}
+
+TEST_F(PosTaggerTest, SuffixHeuristics) {
+  EXPECT_EQ(Tag("zorging")[0].tag, "VBG");
+  EXPECT_EQ(Tag("zorged")[0].tag, "VBN");
+  EXPECT_EQ(Tag("zorgly")[0].tag, "RB");
+  EXPECT_EQ(Tag("zorgs")[0].tag, "NNS");
+  EXPECT_EQ(Tag("zorg")[0].tag, "NN");
+  EXPECT_EQ(Tag("42")[0].tag, "CD");
+}
+
+TEST_F(PosTaggerTest, HowManyTagging) {
+  const auto tags = TagsOf("how many dogs are sitting in the cars");
+  EXPECT_EQ(tags[0], "WRB");
+  EXPECT_EQ(tags[1], "JJ");
+  EXPECT_EQ(tags[2], "NNS");
+}
+
+TEST_F(PosTaggerTest, GazetteerRegistersNames) {
+  EXPECT_EQ(Tag("fred weasley")[0].tag, "VBN");  // suffix trap before
+  tagger_.RegisterEntityNames({"fred-weasley"});
+  const auto tagged = Tag("fred weasley");
+  EXPECT_EQ(tagged[0].tag, "NNP");
+  EXPECT_EQ(tagged[1].tag, "NNP");
+}
+
+TEST_F(PosTaggerTest, GazetteerDoesNotOverrideLexicon) {
+  tagger_.RegisterEntityNames({"the-dog"});  // parts: "the", "dog"
+  EXPECT_EQ(Tag("the")[0].tag, "DT");
+  EXPECT_EQ(Tag("dog")[0].tag, "NN");
+}
+
+TEST_F(PosTaggerTest, ChargesParseTokenCosts) {
+  SimClock clock;
+  tagger_.Tag(text::Tokenize("the dog runs"), &clock);
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kParseToken), 3);
+}
+
+TEST(TagPredicateTest, Classifiers) {
+  EXPECT_TRUE(IsNounTag("NN"));
+  EXPECT_TRUE(IsNounTag("NNP"));
+  EXPECT_FALSE(IsNounTag("VB"));
+  EXPECT_TRUE(IsVerbTag("VBG"));
+  EXPECT_FALSE(IsVerbTag("NN"));
+  EXPECT_TRUE(IsAdjectiveTag("JJS"));
+  EXPECT_TRUE(IsAdverbTag("RBS"));
+  EXPECT_TRUE(IsWhTag("WP"));
+  EXPECT_TRUE(IsWhTag("WDT"));
+  EXPECT_FALSE(IsWhTag("DT"));
+}
+
+}  // namespace
+}  // namespace svqa::nlp

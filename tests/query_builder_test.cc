@@ -1,0 +1,157 @@
+#include "query/query_graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::query {
+namespace {
+
+class QueryGraphBuilderTest : public ::testing::Test {
+ protected:
+  QueryGraphBuilderTest() : builder_(&lexicon_) {
+    builder_.RegisterEntityNames(
+        {"harry-potter", "ginny-weasley", "dean-thomas", "fred-weasley"});
+  }
+
+  QueryGraph Build(const std::string& question) {
+    auto result = builder_.Build(question);
+    EXPECT_TRUE(result.ok()) << question << ": " << result.status();
+    return std::move(result).ValueOrDie();
+  }
+
+  text::SynonymLexicon lexicon_ = text::SynonymLexicon::Default();
+  QueryGraphBuilder builder_;
+};
+
+TEST_F(QueryGraphBuilderTest, EmptyQuestionFails) {
+  EXPECT_TRUE(builder_.Build("").status().IsInvalidArgument());
+  EXPECT_TRUE(builder_.Build("  ?  ").status().IsInvalidArgument());
+}
+
+TEST_F(QueryGraphBuilderTest, VerblessQuestionFails) {
+  EXPECT_TRUE(builder_.Build("the red dog").status().IsParseError());
+}
+
+TEST_F(QueryGraphBuilderTest, SingleClauseGraph) {
+  const QueryGraph g = Build("does a dog appear near a car?");
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.type(), nlp::QuestionType::kJudgment);
+  EXPECT_EQ(g.vertices()[0].subject.head, "dog");
+  EXPECT_EQ(g.vertices()[0].predicate, "near");
+  EXPECT_EQ(g.vertices()[0].object.head, "car");
+}
+
+TEST_F(QueryGraphBuilderTest, FlagshipTwoVertexS2S) {
+  const QueryGraph g = Build(
+      "What kind of clothes are worn by the wizard who is most frequently "
+      "hanging out with harry potter's girlfriend?");
+  ASSERT_EQ(g.size(), 2u);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].producer, 1);
+  EXPECT_EQ(g.edges()[0].consumer, 0);
+  EXPECT_EQ(g.edges()[0].kind, DependencyKind::kS2S);
+  EXPECT_EQ(g.StartVertices(), (std::vector<int>{1}));
+  EXPECT_EQ(g.vertices()[1].constraint, "most frequently");
+  EXPECT_EQ(g.vertices()[1].object.owner, "harry potter");
+}
+
+TEST_F(QueryGraphBuilderTest, ThreeClauseChain) {
+  const QueryGraph g = Build(
+      "What kind of clothes are worn by the wizard who is hanging out "
+      "with the person who is holding the phone?");
+  ASSERT_EQ(g.size(), 3u);
+  ASSERT_EQ(g.edges().size(), 2u);
+  // Chain: v2 -> v1 (O2S over "person"), v1 -> v0 (S2S over "wizard").
+  EXPECT_EQ(g.edges()[0].producer, 1);
+  EXPECT_EQ(g.edges()[0].consumer, 0);
+  EXPECT_EQ(g.edges()[0].kind, DependencyKind::kS2S);
+  EXPECT_EQ(g.edges()[1].producer, 2);
+  EXPECT_EQ(g.edges()[1].consumer, 1);
+  EXPECT_EQ(g.edges()[1].kind, DependencyKind::kO2S);
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST_F(QueryGraphBuilderTest, CountingQuestionType) {
+  const QueryGraph g =
+      Build("How many wizards are hanging out with dean thomas?");
+  EXPECT_EQ(g.type(), nlp::QuestionType::kCounting);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.vertices()[0].subject.is_variable);
+  EXPECT_EQ(g.vertices()[0].object.head, "dean-thomas");
+}
+
+TEST_F(QueryGraphBuilderTest, EmbeddedRelativeClauseO2S) {
+  const QueryGraph g = Build(
+      "How many wizards are hanging out with the person that is wearing "
+      "a scarf?");
+  ASSERT_EQ(g.size(), 2u);
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].kind, DependencyKind::kO2S);
+  EXPECT_EQ(g.vertices()[1].subject.head, "person");
+  EXPECT_EQ(g.vertices()[1].predicate, "wear");
+  EXPECT_EQ(g.vertices()[1].object.head, "scarf");
+}
+
+TEST_F(QueryGraphBuilderTest, QuestionTextIsPreserved) {
+  const std::string q = "does a dog appear near a car?";
+  EXPECT_EQ(Build(q).question(), q);
+}
+
+TEST_F(QueryGraphBuilderTest, ChargesParseCosts) {
+  SimClock clock;
+  ASSERT_TRUE(
+      builder_.Build("does a dog appear near a car?", &clock).ok());
+  EXPECT_GT(clock.OpCount(CostKind::kParseToken), 0);
+  EXPECT_GT(clock.OpCount(CostKind::kParseTransition), 0);
+}
+
+TEST_F(QueryGraphBuilderTest, BuildAllMatchesSerialBuilds) {
+  const std::vector<std::string> questions = {
+      "does a dog appear near a car?",
+      "how many wizards are hanging out with dean thomas?",
+      "not parseable gibberish",
+      "what kind of clothes is worn by harry potter?",
+  };
+  const auto batch = builder_.BuildAll(questions, 4);
+  ASSERT_EQ(batch.outcomes.size(), questions.size());
+  double total = 0;
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    auto serial = builder_.Build(questions[i]);
+    EXPECT_EQ(batch.outcomes[i].status.ok(), serial.ok()) << questions[i];
+    if (serial.ok()) {
+      EXPECT_EQ(batch.outcomes[i].graph.ToString(), serial->ToString());
+    }
+    total += batch.outcomes[i].micros;
+  }
+  // The makespan of a parallel batch is below the serial total but at
+  // least the largest single question.
+  EXPECT_LT(batch.makespan_micros, total);
+  double max_single = 0;
+  for (const auto& o : batch.outcomes) {
+    max_single = std::max(max_single, o.micros);
+  }
+  EXPECT_GE(batch.makespan_micros, max_single);
+}
+
+TEST_F(QueryGraphBuilderTest, BuildAllEmptyBatch) {
+  const auto batch = builder_.BuildAll({}, 4);
+  EXPECT_TRUE(batch.outcomes.empty());
+  EXPECT_DOUBLE_EQ(batch.makespan_micros, 0);
+}
+
+TEST_F(QueryGraphBuilderTest, DeterministicAcrossCalls) {
+  const std::string q =
+      "What kind of animals is carried by the dogs that are sitting on "
+      "the grass?";
+  const QueryGraph a = Build(q);
+  const QueryGraph b = Build(q);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.vertices()[i].ToString(), b.vertices()[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace svqa::query

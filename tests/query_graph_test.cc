@@ -1,0 +1,152 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "query/spoc.h"
+
+namespace svqa::query {
+namespace {
+
+nlp::SpocElement El(std::string head, bool variable = false) {
+  nlp::SpocElement e;
+  e.text = head;
+  e.head = std::move(head);
+  e.is_variable = variable;
+  return e;
+}
+
+nlp::Spoc MakeSpoc(const std::string& s, const std::string& p,
+                   const std::string& o, bool object_var = false) {
+  nlp::Spoc spoc;
+  spoc.subject = El(s);
+  spoc.predicate = p;
+  spoc.object = El(o, object_var);
+  return spoc;
+}
+
+text::SynonymLexicon Lex() { return text::SynonymLexicon::Default(); }
+
+TEST(DependencyKindTest, Names) {
+  EXPECT_EQ(DependencyKindName(DependencyKind::kS2S), "S2S");
+  EXPECT_EQ(DependencyKindName(DependencyKind::kS2O), "S2O");
+  EXPECT_EQ(DependencyKindName(DependencyKind::kO2S), "O2S");
+  EXPECT_EQ(DependencyKindName(DependencyKind::kO2O), "O2O");
+}
+
+TEST(ElementsOverlapTest, SynonymHeadsOverlap) {
+  const auto lex = Lex();
+  EXPECT_TRUE(ElementsOverlap(El("dog"), El("puppy"), lex));
+  EXPECT_TRUE(ElementsOverlap(El("dog"), El("dog"), lex));
+  EXPECT_FALSE(ElementsOverlap(El("dog"), El("cat"), lex));
+}
+
+TEST(ElementsOverlapTest, VariablesNeverJoin) {
+  const auto lex = Lex();
+  EXPECT_FALSE(ElementsOverlap(El("dog", true), El("dog"), lex));
+  EXPECT_FALSE(ElementsOverlap(El("dog"), El("dog", true), lex));
+}
+
+TEST(ElementsOverlapTest, EmptyNeverJoins) {
+  const auto lex = Lex();
+  EXPECT_FALSE(ElementsOverlap(El(""), El("dog"), lex));
+}
+
+TEST(ElementsOverlapTest, OwnersMustAgree) {
+  const auto lex = Lex();
+  nlp::SpocElement a = El("girlfriend");
+  a.owner = "harry potter";
+  nlp::SpocElement b = El("girlfriend");
+  b.owner = "draco malfoy";
+  EXPECT_FALSE(ElementsOverlap(a, b, lex));
+  b.owner = "harry potter";
+  EXPECT_TRUE(ElementsOverlap(a, b, lex));
+  b.owner.clear();  // one-sided owner still matches
+  EXPECT_TRUE(ElementsOverlap(a, b, lex));
+}
+
+TEST(MatchSpocsTest, PrefersSubjectSubject) {
+  const auto lex = Lex();
+  const auto consumer = MakeSpoc("wizard", "wear", "robe");
+  const auto producer = MakeSpoc("wizard", "hang-out", "person");
+  auto kind = MatchSpocs(consumer, producer, lex);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, DependencyKind::kS2S);
+}
+
+TEST(MatchSpocsTest, ObjectToSubject) {
+  const auto lex = Lex();
+  const auto consumer = MakeSpoc("wizard", "hang-out", "person");
+  const auto producer = MakeSpoc("person", "hold", "phone");
+  auto kind = MatchSpocs(consumer, producer, lex);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, DependencyKind::kO2S);
+}
+
+TEST(MatchSpocsTest, SubjectToObject) {
+  const auto lex = Lex();
+  const auto consumer = MakeSpoc("person", "hold", "phone");
+  const auto producer = MakeSpoc("wizard", "hang-out", "person");
+  auto kind = MatchSpocs(consumer, producer, lex);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, DependencyKind::kS2O);
+}
+
+TEST(MatchSpocsTest, NoOverlapIsNull) {
+  const auto lex = Lex();
+  EXPECT_FALSE(MatchSpocs(MakeSpoc("dog", "chase", "cat"),
+                          MakeSpoc("person", "hold", "phone"), lex)
+                   .has_value());
+}
+
+TEST(QueryGraphTest, StartVerticesHaveZeroInDegree) {
+  QueryGraph g("q", nlp::QuestionType::kReasoning,
+               {MakeSpoc("wizard", "wear", "clothes", true),
+                MakeSpoc("wizard", "hang-out", "person"),
+                MakeSpoc("person", "hold", "phone")},
+               {QueryEdge{1, 0, DependencyKind::kS2S},
+                QueryEdge{2, 1, DependencyKind::kO2S}});
+  EXPECT_EQ(g.StartVertices(), (std::vector<int>{2}));
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(2), 0u);
+  EXPECT_EQ(g.EdgesFromProducer(1).size(), 1u);
+  EXPECT_EQ(g.EdgesFromProducer(0).size(), 0u);
+}
+
+TEST(QueryGraphTest, TopologicalOrderRespectsEdges) {
+  QueryGraph g("q", nlp::QuestionType::kReasoning,
+               {MakeSpoc("a", "p", "b"), MakeSpoc("c", "p", "d"),
+                MakeSpoc("e", "p", "f")},
+               {QueryEdge{1, 0, DependencyKind::kS2S},
+                QueryEdge{2, 1, DependencyKind::kS2S}});
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(QueryGraphTest, CycleDetected) {
+  QueryGraph g("q", nlp::QuestionType::kReasoning,
+               {MakeSpoc("a", "p", "b"), MakeSpoc("c", "p", "d")},
+               {QueryEdge{0, 1, DependencyKind::kS2S},
+                QueryEdge{1, 0, DependencyKind::kS2S}});
+  EXPECT_TRUE(g.TopologicalOrder().status().IsInvalidArgument());
+}
+
+TEST(QueryGraphTest, ToStringShowsStructure) {
+  QueryGraph g("q", nlp::QuestionType::kCounting,
+               {MakeSpoc("wizard", "hang-out", "person")}, {});
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("counting"), std::string::npos);
+  EXPECT_NE(s.find("hang-out"), std::string::npos);
+}
+
+TEST(QueryGraphTest, EmptyGraphBehaves) {
+  QueryGraph g;
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_TRUE(g.StartVertices().empty());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->empty());
+}
+
+}  // namespace
+}  // namespace svqa::query

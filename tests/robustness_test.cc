@@ -1,0 +1,146 @@
+// Failure-injection and edge-case robustness: extreme noise settings,
+// degenerate corpora, and hostile question inputs must degrade
+// gracefully (wrong answers are fine; crashes and hangs are not).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/kg_builder.h"
+#include "data/world.h"
+#include "text/lexicon.h"
+
+namespace svqa::core {
+namespace {
+
+data::World SmallWorld(int scenes = 60, uint64_t seed = 13) {
+  data::WorldOptions opts;
+  opts.num_scenes = scenes;
+  opts.seed = seed;
+  return data::WorldGenerator(opts).Generate();
+}
+
+graph::Graph Kg(const data::World& world) {
+  return data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+}
+
+TEST(RobustnessTest, EmptyImageCorpus) {
+  const data::World world = SmallWorld(0);
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(Kg(SmallWorld(5)), world.scenes).ok());
+  // KG-only questions still work.
+  auto ans = engine.Ask("does a dog appear near a car?");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->text, "no");
+}
+
+TEST(RobustnessTest, EmptyKnowledgeGraph) {
+  const data::World world = SmallWorld(40);
+  SvqaEngine engine;
+  graph::Graph empty_kg;
+  ASSERT_TRUE(engine.Ingest(empty_kg, world.scenes).ok());
+  // Without the taxonomy, hypernym questions degrade but direct-category
+  // questions still execute.
+  auto ans = engine.Ask("does a dog appear on the grass?");
+  ASSERT_TRUE(ans.ok()) << ans.status();
+}
+
+TEST(RobustnessTest, BlindDetectorAnswersConservatively) {
+  const data::World world = SmallWorld(60);
+  SvqaOptions opts;
+  opts.detector.miss_rate = 1.0;  // detector sees nothing
+  SvqaEngine engine(opts);
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  auto ans = engine.Ask("does a dog appear on the grass?");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->text, "no");  // no scene evidence at all
+  auto count =
+      engine.Ask("how many wizards are hanging out with dean thomas?");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->count, 0);
+}
+
+TEST(RobustnessTest, FullyConfusedDetectorStillTerminates) {
+  const data::World world = SmallWorld(60);
+  SvqaOptions opts;
+  opts.detector.misclassify_rate = 1.0;
+  opts.detector.identity_loss_rate = 1.0;
+  SvqaEngine engine(opts);
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  auto ans = engine.Ask(
+      "what kind of clothes are worn by the wizard who is hanging out "
+      "with dean thomas?");
+  ASSERT_TRUE(ans.ok());  // answer may be wrong; execution must succeed
+}
+
+TEST(RobustnessTest, HostileQuestionInputs) {
+  const data::World world = SmallWorld(30);
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  // None of these may crash; they fail with a Status or answer "no".
+  const char* inputs[] = {
+      "",
+      "?????",
+      "dog dog dog dog dog",
+      "does does does",
+      "what",
+      "the of with by",
+      "does a zzyzx appear near a qqqq?",
+      "what kind of blorbs are worn by the fizzle who is glorping?",
+      "how many",
+      "a b c d e f g h i j k l m n o p q r s t u v w x y z",
+  };
+  for (const char* q : inputs) {
+    auto result = engine.Ask(q);
+    if (result.ok()) {
+      EXPECT_FALSE(result->text.empty()) << q;
+    } else {
+      EXPECT_FALSE(result.status().message().empty()) << q;
+    }
+  }
+}
+
+TEST(RobustnessTest, VeryLongQuestionTerminates) {
+  const data::World world = SmallWorld(20);
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  std::string q = "does a dog";
+  for (int i = 0; i < 200; ++i) q += " that is sitting on the grass";
+  q += " appear near a car?";
+  auto result = engine.Ask(q);  // must terminate promptly either way
+  SUCCEED();
+}
+
+TEST(RobustnessTest, SingleObjectScenes) {
+  data::World world = SmallWorld(0);
+  for (int i = 0; i < 10; ++i) {
+    vision::Scene scene;
+    scene.id = i;
+    vision::SceneObject dog;
+    dog.category = "dog";
+    dog.box = {0.4f, 0.4f, 0.2f, 0.2f};
+    scene.objects.push_back(dog);
+    world.scenes.push_back(scene);
+  }
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(Kg(SmallWorld(5)), world.scenes).ok());
+  auto ans = engine.Ask("does a dog appear near a car?");
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->text, "no");  // dogs exist but no relations at all
+}
+
+TEST(RobustnessTest, RepeatAskIsIdempotent) {
+  const data::World world = SmallWorld(80);
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  const char* q = "how many wizards are hanging out with dean thomas?";
+  auto first = engine.Ask(q);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto again = engine.Ask(q);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->text, first->text);
+  }
+}
+
+}  // namespace
+}  // namespace svqa::core

@@ -1,0 +1,237 @@
+#include "vision/scene_graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/vocabulary.h"
+#include "data/world.h"
+#include "vision/sgg_metrics.h"
+
+namespace svqa::vision {
+namespace {
+
+std::shared_ptr<RelationModel> MakeModel(const std::vector<Scene>& corpus) {
+  auto model = std::make_shared<RelationModel>(
+      RelationModel::Kind::kNeuralMotifs,
+      data::Vocabulary::Default().scene_predicates,
+      RelationModel::DefaultOptionsFor(RelationModel::Kind::kNeuralMotifs));
+  model->FitBias(corpus);
+  return model;
+}
+
+std::vector<Scene> SmallWorldScenes(int n = 60) {
+  data::WorldOptions opts;
+  opts.num_scenes = n;
+  opts.seed = 7;
+  return data::WorldGenerator(opts).Generate().scenes;
+}
+
+SimulatedDetector QuietDetector() {
+  DetectorOptions d;
+  d.miss_rate = 0;
+  d.misclassify_rate = 0;
+  d.identity_loss_rate = 0;
+  d.box_jitter = 0;
+  return SimulatedDetector(d);
+}
+
+TEST(SceneGraphGeneratorTest, ProducesConsistentGraphs) {
+  const auto scenes = SmallWorldScenes();
+  SceneGraphGenerator gen(QuietDetector(), MakeModel(scenes),
+                          InferenceMode::kTde);
+  for (const auto& scene : scenes) {
+    const SceneGraphResult result = gen.Generate(scene);
+    EXPECT_TRUE(result.graph.CheckConsistency().ok());
+    EXPECT_EQ(result.scene_id, scene.id);
+    EXPECT_EQ(result.detections.size(), scene.objects.size());
+    // Every edge is either a recorded relation or an attribute edge.
+    EXPECT_EQ(result.graph.num_edges(),
+              result.relations.size() + result.attribute_edges);
+  }
+}
+
+TEST(SceneGraphGeneratorTest, AnonymousLabelsAreUniquified) {
+  Scene scene;
+  scene.id = 1;
+  for (int i = 0; i < 3; ++i) {
+    SceneObject dog;
+    dog.category = "dog";
+    dog.box = {0.1f * static_cast<float>(i), 0.1f, 0.1f, 0.1f};
+    scene.objects.push_back(dog);
+  }
+  SceneGraphGenerator gen(QuietDetector(), MakeModel({scene}),
+                          InferenceMode::kTde);
+  const auto result = gen.Generate(scene);
+  ASSERT_EQ(result.graph.num_vertices(), 3u);
+  EXPECT_EQ(result.graph.vertex(0).label, "dog#0");
+  EXPECT_EQ(result.graph.vertex(1).label, "dog#1");
+  EXPECT_EQ(result.graph.vertex(2).label, "dog#2");
+  for (graph::VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(result.graph.vertex(v).category, "dog");
+    EXPECT_EQ(result.graph.vertex(v).source_image, 1);
+  }
+}
+
+TEST(SceneGraphGeneratorTest, NamedEntitiesKeepNameAndCategory) {
+  Scene scene;
+  scene.id = 2;
+  SceneObject w;
+  w.category = "wizard";
+  w.instance = "harry-potter";
+  w.box = {0.4f, 0.4f, 0.2f, 0.3f};
+  scene.objects = {w};
+  SceneGraphGenerator gen(QuietDetector(), MakeModel({scene}),
+                          InferenceMode::kTde);
+  const auto result = gen.Generate(scene);
+  ASSERT_EQ(result.graph.num_vertices(), 1u);
+  EXPECT_EQ(result.graph.vertex(0).label, "harry-potter");
+  EXPECT_EQ(result.graph.vertex(0).category, "wizard");
+}
+
+TEST(SceneGraphGeneratorTest, ChargesSceneGraphCost) {
+  const auto scenes = SmallWorldScenes(5);
+  SceneGraphGenerator gen(QuietDetector(), MakeModel(scenes),
+                          InferenceMode::kTde);
+  SimClock clock;
+  gen.GenerateAll(scenes, &clock);
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kSceneGraphGen), 5);
+}
+
+TEST(SceneGraphGeneratorTest, RecallIsReasonableOnCleanDetections) {
+  // With a noise-free detector, most ground-truth relations should be
+  // recovered by TDE inference.
+  const auto scenes = SmallWorldScenes(80);
+  SceneGraphGenerator gen(QuietDetector(), MakeModel(scenes),
+                          InferenceMode::kTde);
+  std::size_t gt_total = 0, matched = 0;
+  for (const auto& scene : scenes) {
+    const auto result = gen.Generate(scene);
+    for (const auto& gt : scene.relations) {
+      ++gt_total;
+      for (const auto& pred : result.relations) {
+        if (result.detections[pred.subject].truth_index == gt.subject &&
+            result.detections[pred.object].truth_index == gt.object &&
+            pred.predicate == gt.predicate) {
+          ++matched;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(gt_total, 100u);
+  EXPECT_GT(static_cast<double>(matched) / static_cast<double>(gt_total),
+            0.6);
+}
+
+// ---------------------------------------------------------------------------
+// SGG metrics (mR@K)
+// ---------------------------------------------------------------------------
+
+TEST(SggEvaluatorTest, PerfectPredictionsScoreOne) {
+  Scene scene;
+  scene.id = 9;
+  for (int i = 0; i < 2; ++i) {
+    SceneObject o;
+    o.category = i == 0 ? "dog" : "cat";
+    o.box = {0.2f * static_cast<float>(i), 0.2f, 0.1f, 0.1f};
+    scene.objects.push_back(o);
+  }
+  scene.relations = {SceneRelation{0, 1, "chase"}};
+
+  SceneGraphResult result;
+  for (int i = 0; i < 2; ++i) {
+    Detection d;
+    d.truth_index = i;
+    d.label = scene.objects[i].category;
+    result.detections.push_back(d);
+  }
+  result.relations = {PredictedRelation{0, 1, "chase", 0.9}};
+
+  SggEvaluator eval({"chase", "near"});
+  eval.AddScene(scene, result);
+  const auto mr = eval.Evaluate();
+  EXPECT_DOUBLE_EQ(mr.mr_at_20, 1.0);
+  EXPECT_DOUBLE_EQ(mr.mr_at_100, 1.0);
+}
+
+TEST(SggEvaluatorTest, WrongPredicateScoresZero) {
+  Scene scene;
+  scene.id = 9;
+  SceneObject a, b;
+  a.category = "dog";
+  b.category = "cat";
+  scene.objects = {a, b};
+  scene.relations = {SceneRelation{0, 1, "chase"}};
+
+  SceneGraphResult result;
+  Detection da, db;
+  da.truth_index = 0;
+  db.truth_index = 1;
+  result.detections = {da, db};
+  result.relations = {PredictedRelation{0, 1, "near", 0.9}};
+
+  SggEvaluator eval({"chase", "near"});
+  eval.AddScene(scene, result);
+  EXPECT_DOUBLE_EQ(eval.Evaluate().mr_at_100, 0.0);
+}
+
+TEST(SggEvaluatorTest, MeanAveragesOverPredicateClasses) {
+  // Two predicate classes: one fully recalled, one not -> mR = 0.5.
+  Scene scene;
+  scene.id = 1;
+  SceneObject a, b, c;
+  a.category = "dog";
+  b.category = "cat";
+  c.category = "tree";
+  scene.objects = {a, b, c};
+  scene.relations = {SceneRelation{0, 1, "chase"},
+                     SceneRelation{1, 2, "near"}};
+
+  SceneGraphResult result;
+  for (int i = 0; i < 3; ++i) {
+    Detection d;
+    d.truth_index = i;
+    result.detections.push_back(d);
+  }
+  result.relations = {PredictedRelation{0, 1, "chase", 0.9}};
+
+  SggEvaluator eval({"chase", "near"});
+  eval.AddScene(scene, result);
+  EXPECT_DOUBLE_EQ(eval.Evaluate().mr_at_100, 0.5);
+}
+
+TEST(SggEvaluatorTest, RecallAtKIsMonotoneInK) {
+  const auto scenes = SmallWorldScenes(50);
+  SceneGraphGenerator gen(QuietDetector(), MakeModel(scenes),
+                          InferenceMode::kOriginal);
+  SggEvaluator eval(data::Vocabulary::Default().scene_predicates);
+  for (const auto& scene : scenes) {
+    eval.AddScene(scene, gen.Generate(scene));
+  }
+  const auto mr = eval.Evaluate();
+  EXPECT_LE(mr.mr_at_20, mr.mr_at_50);
+  EXPECT_LE(mr.mr_at_50, mr.mr_at_100);
+}
+
+TEST(SggEvaluatorTest, ResetClears) {
+  SggEvaluator eval({"chase"});
+  Scene scene;
+  SceneObject a, b;
+  a.category = "dog";
+  b.category = "cat";
+  scene.objects = {a, b};
+  scene.relations = {SceneRelation{0, 1, "chase"}};
+  SceneGraphResult result;
+  Detection da, db;
+  da.truth_index = 0;
+  db.truth_index = 1;
+  result.detections = {da, db};
+  result.relations = {PredictedRelation{0, 1, "chase", 1.0}};
+  eval.AddScene(scene, result);
+  eval.Reset();
+  EXPECT_DOUBLE_EQ(eval.Evaluate().mr_at_100, 0.0);
+}
+
+}  // namespace
+}  // namespace svqa::vision

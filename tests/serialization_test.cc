@@ -1,0 +1,81 @@
+#include "graph/serialization.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::graph {
+namespace {
+
+Graph SampleGraph() {
+  Graph g;
+  g.AddVertex("harry-potter", "wizard");
+  g.AddVertex("ginny-weasley", "person", kKnowledgeGraphSource);
+  g.AddVertex("dog#0", "dog", 17);
+  g.AddEdge(1, 0, "girlfriend-of").ok();
+  g.AddEdge(2, 0, "near").ok();
+  return g;
+}
+
+TEST(SerializationTest, RoundTrip) {
+  const Graph g = SampleGraph();
+  const std::string text = ToText(g);
+  auto parsed = FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const Graph& h = *parsed;
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.vertex(0).label, "harry-potter");
+  EXPECT_EQ(h.vertex(2).source_image, 17);
+  EXPECT_TRUE(h.HasEdge(1, 0, "girlfriend-of"));
+  EXPECT_TRUE(h.HasEdge(2, 0, "near"));
+  EXPECT_TRUE(h.CheckConsistency().ok());
+}
+
+TEST(SerializationTest, EmptyGraphRoundTrip) {
+  Graph g;
+  auto parsed = FromText(ToText(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vertices(), 0u);
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = FromText("# header\n\nv\t0\ta\tt\t-1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vertices(), 1u);
+}
+
+TEST(SerializationTest, RejectsNonDenseVertexIds) {
+  auto parsed = FromText("v\t1\ta\tt\t-1\n");
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
+TEST(SerializationTest, RejectsBadFieldCount) {
+  EXPECT_TRUE(FromText("v\t0\ta\n").status().IsParseError());
+  EXPECT_TRUE(FromText("e\t0\t1\n").status().IsParseError());
+}
+
+TEST(SerializationTest, RejectsUnknownRecordType) {
+  EXPECT_TRUE(FromText("x\t0\n").status().IsParseError());
+}
+
+TEST(SerializationTest, RejectsBadNumbers) {
+  EXPECT_TRUE(FromText("v\tzero\ta\tt\t-1\n").status().IsParseError());
+  EXPECT_TRUE(
+      FromText("v\t0\ta\tt\t-1\ne\t0\tx\tr\n").status().IsParseError());
+}
+
+TEST(SerializationTest, RejectsEdgeToMissingVertex) {
+  EXPECT_TRUE(
+      FromText("v\t0\ta\tt\t-1\ne\t0\t3\tr\n").status().IsParseError());
+}
+
+TEST(SerializationTest, LabelsMayContainSpaces) {
+  Graph g;
+  g.AddVertex("two words", "a type");
+  auto parsed = FromText(ToText(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->vertex(0).label, "two words");
+  EXPECT_EQ(parsed->vertex(0).category, "a type");
+}
+
+}  // namespace
+}  // namespace svqa::graph

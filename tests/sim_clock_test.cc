@@ -1,0 +1,95 @@
+#include "util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 0);
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kVertexCompare), 0);
+}
+
+TEST(SimClockTest, ChargeAccumulatesCostAndCount) {
+  SimClock clock;
+  clock.Charge(CostKind::kVertexCompare, 10);
+  const double unit =
+      clock.model().MicrosFor(CostKind::kVertexCompare, 1.0);
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 10 * unit);
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kVertexCompare), 10);
+}
+
+TEST(SimClockTest, ChargeMicrosIsDirect) {
+  SimClock clock;
+  clock.ChargeMicros(1500);
+  EXPECT_DOUBLE_EQ(clock.ElapsedMillis(), 1.5);
+  EXPECT_DOUBLE_EQ(clock.ElapsedSeconds(), 0.0015);
+}
+
+TEST(SimClockTest, ResetClearsEverything) {
+  SimClock clock;
+  clock.Charge(CostKind::kLevenshtein, 5);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 0);
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kLevenshtein), 0);
+}
+
+TEST(SimClockTest, MergeSerialAddsTimes) {
+  SimClock a, b;
+  a.ChargeMicros(100);
+  b.ChargeMicros(50);
+  b.Charge(CostKind::kCacheProbe, 3);
+  a.MergeSerial(b);
+  EXPECT_DOUBLE_EQ(
+      a.ElapsedMicros(),
+      150 + b.model().MicrosFor(CostKind::kCacheProbe, 3.0));
+  EXPECT_DOUBLE_EQ(a.OpCount(CostKind::kCacheProbe), 3);
+}
+
+TEST(SimClockTest, MergeParallelTakesMaxTimeButAddsCounts) {
+  SimClock a, b;
+  a.ChargeMicros(100);
+  b.ChargeMicros(250);
+  a.Charge(CostKind::kEdgeTraverse, 2);
+  b.Charge(CostKind::kEdgeTraverse, 5);
+  const double a_total = a.ElapsedMicros();
+  const double b_total = b.ElapsedMicros();
+  a.MergeParallel(b);
+  EXPECT_DOUBLE_EQ(a.ElapsedMicros(), std::max(a_total, b_total));
+  EXPECT_DOUBLE_EQ(a.OpCount(CostKind::kEdgeTraverse), 7);
+}
+
+TEST(SimClockTest, MergeParallelKeepsOwnTimeWhenLarger) {
+  SimClock a, b;
+  a.ChargeMicros(500);
+  b.ChargeMicros(10);
+  a.MergeParallel(b);
+  EXPECT_DOUBLE_EQ(a.ElapsedMicros(), 500);
+}
+
+TEST(SimClockTest, SummaryMentionsChargedKinds) {
+  SimClock clock;
+  clock.Charge(CostKind::kModelLoad);
+  const std::string summary = clock.Summary();
+  EXPECT_NE(summary.find("model-load"), std::string::npos);
+  EXPECT_EQ(summary.find("levenshtein"), std::string::npos);
+}
+
+TEST(CostModelTest, DefaultsArePositive) {
+  CostModel model;
+  for (int i = 0; i < static_cast<int>(CostKind::kNumKinds); ++i) {
+    EXPECT_GT(model.MicrosFor(static_cast<CostKind>(i)), 0.0);
+  }
+}
+
+TEST(CostModelTest, NeuralInferenceDwarfsGraphOps) {
+  // The central latency asymmetry of the paper: per-image inference is
+  // orders of magnitude more expensive than a graph primitive.
+  CostModel model;
+  EXPECT_GT(model.MicrosFor(CostKind::kNeuralImageInference),
+            1000 * model.MicrosFor(CostKind::kVertexCompare));
+}
+
+}  // namespace
+}  // namespace svqa

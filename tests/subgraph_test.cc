@@ -1,0 +1,90 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::graph {
+namespace {
+
+/// A path 0 -> 1 -> 2 -> 3 -> 4.
+Graph MakePath() {
+  Graph g;
+  for (int i = 0; i < 5; ++i) {
+    g.AddVertex("v" + std::to_string(i), "t");
+  }
+  for (VertexId i = 0; i + 1 < 5; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, i + 1, "e").ok());
+  }
+  return g;
+}
+
+TEST(KHopTest, ZeroHopsIsSelf) {
+  Graph g = MakePath();
+  EXPECT_EQ(KHopNeighborhood(g, 2, 0), (std::vector<VertexId>{2}));
+}
+
+TEST(KHopTest, OneHopFollowsBothDirections) {
+  // The paper's Example 3: neighbours reachable through either edge
+  // orientation.
+  Graph g = MakePath();
+  EXPECT_EQ(KHopNeighborhood(g, 2, 1), (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(KHopTest, TwoHopsExpandFurther) {
+  Graph g = MakePath();
+  EXPECT_EQ(KHopNeighborhood(g, 2, 2),
+            (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(KHopTest, HopsBeyondDiameterSaturate) {
+  Graph g = MakePath();
+  EXPECT_EQ(KHopNeighborhood(g, 0, 100).size(), 5u);
+}
+
+TEST(KHopTest, DisconnectedVertexStaysAlone) {
+  Graph g = MakePath();
+  const VertexId lone = g.AddVertex("lone", "t");
+  EXPECT_EQ(KHopNeighborhood(g, lone, 3), (std::vector<VertexId>{lone}));
+}
+
+TEST(KHopTest, InvalidVertexYieldsEmpty) {
+  Graph g = MakePath();
+  EXPECT_TRUE(KHopNeighborhood(g, 99, 2).empty());
+}
+
+TEST(SubgraphRefTest, InducedContainsAnchor) {
+  Graph g = MakePath();
+  const SubgraphRef sub = SubgraphRef::Induced(g, 2, 1);
+  EXPECT_EQ(sub.anchor(), 2u);
+  EXPECT_TRUE(sub.Contains(2));
+  EXPECT_TRUE(sub.Contains(1));
+  EXPECT_TRUE(sub.Contains(3));
+  EXPECT_FALSE(sub.Contains(0));
+  EXPECT_FALSE(sub.Contains(4));
+  EXPECT_EQ(sub.size(), 3u);
+}
+
+TEST(SubgraphRefTest, CountInducedEdges) {
+  Graph g = MakePath();
+  const SubgraphRef sub = SubgraphRef::Induced(g, 2, 1);
+  // Edges 1->2 and 2->3 are inside; 0->1 and 3->4 cross the boundary.
+  EXPECT_EQ(sub.CountInducedEdges(g), 2u);
+}
+
+TEST(SubgraphRefTest, EmptyDefault) {
+  SubgraphRef sub;
+  EXPECT_TRUE(sub.empty());
+  EXPECT_FALSE(sub.Contains(0));
+}
+
+TEST(SubgraphRefTest, IsIndexNotCopy) {
+  // The subgraph holds vertex ids of the backing graph (the paper's
+  // "adds an index to G" property): mutating the backing graph is
+  // reflected when counting induced edges.
+  Graph g = MakePath();
+  SubgraphRef sub = SubgraphRef::Induced(g, 2, 1);
+  EXPECT_TRUE(g.AddEdge(3, 1, "extra").ok());
+  EXPECT_EQ(sub.CountInducedEdges(g), 3u);
+}
+
+}  // namespace
+}  // namespace svqa::graph

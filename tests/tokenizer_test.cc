@@ -1,0 +1,85 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  EXPECT_EQ(Tokenize("the quick dog"),
+            (std::vector<std::string>{"the", "quick", "dog"}));
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  EXPECT_EQ(Tokenize("The DOG Runs"),
+            (std::vector<std::string>{"the", "dog", "runs"}));
+}
+
+TEST(TokenizerTest, PreservesCaseWhenAsked) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  EXPECT_EQ(Tokenize("The Dog", opts),
+            (std::vector<std::string>{"The", "Dog"}));
+}
+
+TEST(TokenizerTest, DropsPunctuationByDefault) {
+  EXPECT_EQ(Tokenize("dogs, cats?"),
+            (std::vector<std::string>{"dogs", "cats"}));
+}
+
+TEST(TokenizerTest, KeepsPunctuationWhenAsked) {
+  TokenizerOptions opts;
+  opts.keep_punctuation = true;
+  EXPECT_EQ(Tokenize("dogs, cats?", opts),
+            (std::vector<std::string>{"dogs", ",", "cats", "?"}));
+}
+
+TEST(TokenizerTest, PossessiveCliticSplits) {
+  EXPECT_EQ(Tokenize("harry potter's girlfriend"),
+            (std::vector<std::string>{"harry", "potter", "'s",
+                                      "girlfriend"}));
+}
+
+TEST(TokenizerTest, PossessiveAtEndOfInput) {
+  EXPECT_EQ(Tokenize("potter's"),
+            (std::vector<std::string>{"potter", "'s"}));
+}
+
+TEST(TokenizerTest, HyphenatedCompoundsStayWhole) {
+  EXPECT_EQ(Tokenize("ginny-weasley"),
+            (std::vector<std::string>{"ginny-weasley"}));
+}
+
+TEST(TokenizerTest, MergesInFrontOf) {
+  EXPECT_EQ(Tokenize("the dog appears in front of the tv"),
+            (std::vector<std::string>{"the", "dog", "appears",
+                                      "in-front-of", "the", "tv"}));
+}
+
+TEST(TokenizerTest, InWithoutFrontIsNotMerged) {
+  EXPECT_EQ(Tokenize("in the front yard of"),
+            (std::vector<std::string>{"in", "the", "front", "yard", "of"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t  ").empty());
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  EXPECT_EQ(Tokenize("42 dogs"),
+            (std::vector<std::string>{"42", "dogs"}));
+}
+
+TEST(JoinTokensTest, RoundTripsSimpleText) {
+  const std::vector<std::string> toks{"a", "b", "c"};
+  EXPECT_EQ(JoinTokens(toks), "a b c");
+  EXPECT_EQ(JoinTokens({}), "");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+}  // namespace
+}  // namespace svqa::text

@@ -1,0 +1,90 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+namespace svqa::graph {
+namespace {
+
+Graph MakeForkGraph() {
+  // 0 -> 1 -> 2, 0 -> 3; 4 isolated.
+  Graph g;
+  for (int i = 0; i < 5; ++i) {
+    g.AddVertex("v" + std::to_string(i), "t");
+  }
+  g.AddEdge(0, 1, "e").ok();
+  g.AddEdge(1, 2, "e").ok();
+  g.AddEdge(0, 3, "e").ok();
+  return g;
+}
+
+TEST(BreadthFirstTest, VisitsInDepthOrder) {
+  Graph g = MakeForkGraph();
+  std::vector<std::pair<VertexId, int>> visits;
+  BreadthFirst(g, 0, [&](VertexId v, int depth) {
+    visits.emplace_back(v, depth);
+    return true;
+  });
+  ASSERT_EQ(visits.size(), 4u);
+  EXPECT_EQ(visits[0], (std::pair<VertexId, int>{0, 0}));
+  EXPECT_EQ(visits[1].second, 1);
+  EXPECT_EQ(visits[2].second, 1);
+  EXPECT_EQ(visits[3], (std::pair<VertexId, int>{2, 2}));
+}
+
+TEST(BreadthFirstTest, EarlyStop) {
+  Graph g = MakeForkGraph();
+  int count = 0;
+  BreadthFirst(g, 0, [&](VertexId, int) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(BreadthFirstTest, InvalidStartIsNoop) {
+  Graph g = MakeForkGraph();
+  int count = 0;
+  BreadthFirst(g, 42, [&](VertexId, int) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(HopDistanceTest, SelfIsZero) {
+  Graph g = MakeForkGraph();
+  EXPECT_EQ(HopDistance(g, 1, 1), 0);
+}
+
+TEST(HopDistanceTest, UndirectedDistances) {
+  Graph g = MakeForkGraph();
+  EXPECT_EQ(HopDistance(g, 0, 2), 2);
+  EXPECT_EQ(HopDistance(g, 2, 0), 2);  // traverses in-edges too
+  EXPECT_EQ(HopDistance(g, 3, 2), 3);  // 3 - 0 - 1 - 2
+}
+
+TEST(HopDistanceTest, UnreachableIsMinusOne) {
+  Graph g = MakeForkGraph();
+  EXPECT_EQ(HopDistance(g, 0, 4), -1);
+  EXPECT_EQ(HopDistance(g, 0, 99), -1);
+}
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  Graph g = MakeForkGraph();
+  auto [comp, n] = ConnectedComponents(g);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  Graph g;
+  auto [comp, n] = ConnectedComponents(g);
+  EXPECT_EQ(n, 0);
+  EXPECT_TRUE(comp.empty());
+}
+
+}  // namespace
+}  // namespace svqa::graph

@@ -1,0 +1,116 @@
+// Video support (§II: video data = collection of images): episode
+// generation, flattening, and cross-frame identity counting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "data/kg_builder.h"
+#include "data/world.h"
+#include "text/lexicon.h"
+
+namespace svqa {
+namespace {
+
+data::World EpisodeWorld(int scenes = 200, int episode_length = 4) {
+  data::WorldOptions opts;
+  opts.num_scenes = scenes;
+  opts.episode_length = episode_length;
+  opts.seed = 51;
+  return data::WorldGenerator(opts).Generate();
+}
+
+TEST(VideoTest, DefaultWorldHasNoEpisodes) {
+  data::WorldOptions opts;
+  opts.num_scenes = 50;
+  const data::World world = data::WorldGenerator(opts).Generate();
+  EXPECT_TRUE(world.episodes.empty());
+}
+
+TEST(VideoTest, EpisodesCoverContiguousSceneRanges) {
+  const data::World world = EpisodeWorld();
+  ASSERT_FALSE(world.episodes.empty());
+  for (const auto& [first, last] : world.episodes) {
+    ASSERT_LE(first, last);
+    ASSERT_LT(last, static_cast<int>(world.scenes.size()));
+    EXPECT_LE(last - first + 1, 4);
+  }
+}
+
+TEST(VideoTest, FramesOfAnEpisodeShareTheCast) {
+  const data::World world = EpisodeWorld();
+  for (const auto& [first, last] : world.episodes) {
+    std::set<std::string> cast_of_first;
+    for (const auto& obj : world.scenes[first].objects) {
+      if (!obj.instance.empty()) cast_of_first.insert(obj.instance);
+    }
+    for (int id = first + 1; id <= last; ++id) {
+      std::set<std::string> cast;
+      for (const auto& obj : world.scenes[id].objects) {
+        if (!obj.instance.empty()) cast.insert(obj.instance);
+      }
+      EXPECT_EQ(cast, cast_of_first) << "episode frame " << id;
+    }
+  }
+}
+
+TEST(VideoTest, VideosPackageEpisodes) {
+  const data::World world = EpisodeWorld();
+  const auto videos = world.Videos();
+  ASSERT_EQ(videos.size(), world.episodes.size());
+  std::size_t total_frames = 0;
+  for (const auto& video : videos) total_frames += video.frames.size();
+  const auto flattened = vision::FlattenVideos(videos);
+  EXPECT_EQ(flattened.size(), total_frames);
+}
+
+TEST(VideoTest, IngestVideosAnswersLikeIngestFrames) {
+  const data::World world = EpisodeWorld(120, 3);
+  const graph::Graph kg =
+      data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+  const auto videos = world.Videos();
+  ASSERT_FALSE(videos.empty());
+
+  core::SvqaEngine by_video;
+  ASSERT_TRUE(by_video.IngestVideos(kg, videos).ok());
+  core::SvqaEngine by_frames;
+  ASSERT_TRUE(by_frames.Ingest(kg, vision::FlattenVideos(videos)).ok());
+
+  const char* questions[] = {
+      "how many wizards are hanging out with dean thomas?",
+      "what kind of clothes is worn by harry potter?",
+  };
+  for (const char* q : questions) {
+    auto a = by_video.Ask(q);
+    auto b = by_frames.Ask(q);
+    ASSERT_EQ(a.ok(), b.ok()) << q;
+    if (a.ok()) {
+      EXPECT_EQ(a->text, b->text) << q;
+    }
+  }
+}
+
+TEST(VideoTest, CrossFrameReDetectionsDoNotInflateCounts) {
+  // The same pair appearing in every frame of an episode counts once:
+  // compare an episode world with a single-frame world of the same cast
+  // structure — counting answers are per-identity, not per-frame.
+  const data::World world = EpisodeWorld(240, 4);
+  const graph::Graph kg =
+      data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+  core::SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(kg, world.scenes).ok());
+
+  auto count =
+      engine.Ask("how many wizards are hanging out with dean thomas?");
+  ASSERT_TRUE(count.ok());
+  // Wizard count is bounded by the cast size, not the frame count.
+  int wizards = 0;
+  for (const auto& c : world.characters) {
+    if (c.category == "wizard") ++wizards;
+  }
+  EXPECT_LE(count->count, wizards);
+}
+
+}  // namespace
+}  // namespace svqa

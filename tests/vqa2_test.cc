@@ -1,0 +1,100 @@
+#include "data/vqa2_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/executor.h"
+#include "text/embedding.h"
+
+namespace svqa::data {
+namespace {
+
+class Vqa2Fixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Vqa2Options opts;
+    opts.num_scenes = 400;
+    dataset_ = new Vqa2Dataset(Vqa2Generator(opts).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Vqa2Dataset* dataset_;
+};
+
+Vqa2Dataset* Vqa2Fixture::dataset_ = nullptr;
+
+TEST_F(Vqa2Fixture, CorpusIsObjectScenesOnly) {
+  EXPECT_EQ(dataset_->world.scenes.size(), 400u);
+  for (const auto& scene : dataset_->world.scenes) {
+    for (const auto& obj : scene.objects) {
+      EXPECT_TRUE(obj.instance.empty());
+    }
+  }
+}
+
+TEST_F(Vqa2Fixture, TypeMixPresent) {
+  std::size_t judgment = 0, counting = 0, reasoning = 0;
+  for (const auto& q : dataset_->questions) {
+    switch (q.type) {
+      case nlp::QuestionType::kJudgment:
+        ++judgment;
+        break;
+      case nlp::QuestionType::kCounting:
+        ++counting;
+        break;
+      case nlp::QuestionType::kReasoning:
+        ++reasoning;
+        break;
+    }
+  }
+  EXPECT_GE(judgment, 10u);
+  EXPECT_GE(counting, 10u);
+  EXPECT_GE(reasoning, 10u);
+}
+
+TEST_F(Vqa2Fixture, SubQueriesDecomposed) {
+  for (const auto& q : dataset_->questions) {
+    EXPECT_FALSE(q.sub_queries.empty()) << q.text;
+    EXPECT_EQ(q.sub_queries.size(), q.gold_graph.size()) << q.text;
+    for (const auto& sub : q.sub_queries) {
+      EXPECT_FALSE(sub.subject.empty());
+      EXPECT_FALSE(sub.predicate.empty());
+      EXPECT_FALSE(sub.object.empty());
+    }
+  }
+}
+
+TEST_F(Vqa2Fixture, GoldAnswersReproducible) {
+  text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  exec::QueryGraphExecutor executor(&dataset_->perfect_merged, &embeddings);
+  for (const auto& q : dataset_->questions) {
+    auto ans = executor.Execute(q.gold_graph);
+    ASSERT_TRUE(ans.ok()) << q.text;
+    EXPECT_EQ(ans->text, q.gold_answer) << q.text;
+  }
+}
+
+TEST_F(Vqa2Fixture, QuestionsUnique) {
+  std::set<std::string> texts;
+  for (const auto& q : dataset_->questions) {
+    EXPECT_TRUE(texts.insert(q.text).second) << q.text;
+  }
+}
+
+TEST_F(Vqa2Fixture, Deterministic) {
+  Vqa2Options opts;
+  opts.num_scenes = 200;
+  const Vqa2Dataset a = Vqa2Generator(opts).Generate();
+  const Vqa2Dataset b = Vqa2Generator(opts).Generate();
+  ASSERT_EQ(a.questions.size(), b.questions.size());
+  for (std::size_t i = 0; i < a.questions.size(); ++i) {
+    EXPECT_EQ(a.questions[i].text, b.questions[i].text);
+    EXPECT_EQ(a.questions[i].gold_answer, b.questions[i].gold_answer);
+  }
+}
+
+}  // namespace
+}  // namespace svqa::data

@@ -1,0 +1,231 @@
+#include "data/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/kg_builder.h"
+#include "data/vocabulary.h"
+#include "text/lexicon.h"
+#include "vision/relation_model.h"
+
+namespace svqa::data {
+namespace {
+
+TEST(VocabularyTest, DefaultIsPopulated) {
+  const Vocabulary v = Vocabulary::Default();
+  EXPECT_GT(v.object_categories.size(), 20u);
+  EXPECT_GT(v.scene_predicates.size(), 10u);
+  EXPECT_GE(v.characters.size(), 30u);
+  EXPECT_FALSE(v.teams.empty());
+  EXPECT_FALSE(v.cities.empty());
+}
+
+TEST(VocabularyTest, SubsetPredicates) {
+  const Vocabulary v = Vocabulary::Default();
+  EXPECT_TRUE(v.IsClothing("robe"));
+  EXPECT_FALSE(v.IsClothing("dog"));
+  EXPECT_TRUE(v.IsAnimal("dog"));
+  EXPECT_FALSE(v.IsAnimal("car"));
+  EXPECT_TRUE(v.IsVehicle("car"));
+  EXPECT_FALSE(v.IsVehicle("dog"));
+}
+
+TEST(VocabularyTest, SubsetsAreWithinObjectCategories) {
+  const Vocabulary v = Vocabulary::Default();
+  auto contains = [&](const std::string& c) {
+    return std::find(v.object_categories.begin(),
+                     v.object_categories.end(),
+                     c) != v.object_categories.end();
+  };
+  for (const auto& c : v.clothing_categories) EXPECT_TRUE(contains(c)) << c;
+  for (const auto& c : v.animal_categories) EXPECT_TRUE(contains(c)) << c;
+  for (const auto& c : v.vehicle_categories) EXPECT_TRUE(contains(c)) << c;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldOptions opts;
+    opts.num_scenes = 300;
+    opts.seed = 5;
+    world_ = new World(WorldGenerator(opts).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* WorldTest::world_ = nullptr;
+
+TEST_F(WorldTest, GeneratesRequestedSceneCount) {
+  EXPECT_EQ(world_->scenes.size(), 300u);
+}
+
+TEST_F(WorldTest, Deterministic) {
+  WorldOptions opts;
+  opts.num_scenes = 50;
+  opts.seed = 5;
+  const World a = WorldGenerator(opts).Generate();
+  const World b = WorldGenerator(opts).Generate();
+  ASSERT_EQ(a.scenes.size(), b.scenes.size());
+  for (std::size_t i = 0; i < a.scenes.size(); ++i) {
+    EXPECT_EQ(a.scenes[i].objects.size(), b.scenes[i].objects.size());
+    EXPECT_EQ(a.scenes[i].relations.size(), b.scenes[i].relations.size());
+  }
+}
+
+TEST_F(WorldTest, HarryHasTwoGirlfriends) {
+  // The flagship question requires Harry's two girlfriends (paper
+  // Example 1: Ginny and Cho).
+  const int harry = world_->CharacterIndex("harry-potter");
+  ASSERT_GE(harry, 0);
+  int count = 0;
+  for (const auto& [gf, owner] : world_->girlfriend_of) {
+    if (owner == harry) ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(WorldTest, CharacterIndexLookups) {
+  EXPECT_GE(world_->CharacterIndex("ginny-weasley"), 0);
+  EXPECT_EQ(world_->CharacterIndex("voldemort"), -1);
+}
+
+TEST_F(WorldTest, RelationsReferenceValidObjects) {
+  for (const auto& scene : world_->scenes) {
+    for (const auto& rel : scene.relations) {
+      ASSERT_GE(rel.subject, 0);
+      ASSERT_LT(rel.subject, static_cast<int>(scene.objects.size()));
+      ASSERT_GE(rel.object, 0);
+      ASSERT_LT(rel.object, static_cast<int>(scene.objects.size()));
+      EXPECT_NE(rel.subject, rel.object);
+    }
+  }
+}
+
+TEST_F(WorldTest, OnePredicatePerOrderedPair) {
+  for (const auto& scene : world_->scenes) {
+    std::set<std::pair<int, int>> seen;
+    for (const auto& rel : scene.relations) {
+      EXPECT_TRUE(seen.insert({rel.subject, rel.object}).second)
+          << "duplicate pair in scene " << scene.id;
+    }
+  }
+}
+
+TEST_F(WorldTest, SocialScenesEncodeWearAndHangOut) {
+  int social = 0;
+  for (const auto& scene : world_->scenes) {
+    bool has_named = false;
+    for (const auto& obj : scene.objects) {
+      if (!obj.instance.empty()) has_named = true;
+    }
+    if (!has_named) continue;
+    ++social;
+    bool has_wear = false;
+    for (const auto& rel : scene.relations) {
+      if (rel.predicate == "wear") has_wear = true;
+    }
+    EXPECT_TRUE(has_wear) << "scene " << scene.id;
+  }
+  EXPECT_GT(social, 50);
+}
+
+TEST_F(WorldTest, ContactRelationsHaveOverlappingBoxes) {
+  for (const auto& scene : world_->scenes) {
+    for (const auto& rel : scene.relations) {
+      if (!vision::IsContactPredicate(rel.predicate)) continue;
+      EXPECT_TRUE(vision::BoxesOverlap(scene.objects[rel.subject].box,
+                                       scene.objects[rel.object].box))
+          << rel.predicate << " in scene " << scene.id;
+    }
+  }
+}
+
+TEST_F(WorldTest, RelatedObjectsAreNearby) {
+  for (const auto& scene : world_->scenes) {
+    for (const auto& rel : scene.relations) {
+      EXPECT_LT(vision::BoxCenterDistance(scene.objects[rel.subject].box,
+                                          scene.objects[rel.object].box),
+                0.45)
+          << rel.predicate << " in scene " << scene.id;
+    }
+  }
+}
+
+TEST_F(WorldTest, PerfectSceneGraphMirrorsScene) {
+  const vision::Scene& scene = world_->scenes[0];
+  const graph::Graph g = PerfectSceneGraph(scene);
+  std::size_t attributes = 0;
+  for (const auto& obj : scene.objects) attributes += obj.attributes.size();
+  EXPECT_EQ(g.num_vertices(), scene.objects.size() + attributes);
+  EXPECT_EQ(g.num_edges(), scene.relations.size() + attributes);
+  EXPECT_TRUE(g.CheckConsistency().ok());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.vertex(v).source_image, scene.id);
+  }
+}
+
+TEST_F(WorldTest, PerfectSceneGraphNamesEntities) {
+  // Find a social scene and check named labels.
+  for (const auto& scene : world_->scenes) {
+    bool named = false;
+    for (const auto& obj : scene.objects) {
+      if (!obj.instance.empty()) named = true;
+    }
+    if (!named) continue;
+    const graph::Graph g = PerfectSceneGraph(scene);
+    for (std::size_t i = 0; i < scene.objects.size(); ++i) {
+      if (!scene.objects[i].instance.empty()) {
+        EXPECT_EQ(g.vertex(static_cast<graph::VertexId>(i)).label,
+                  scene.objects[i].instance);
+      } else {
+        EXPECT_NE(g.vertex(static_cast<graph::VertexId>(i))
+                      .label.find('#'),
+                  std::string::npos);
+      }
+    }
+    break;
+  }
+}
+
+TEST(KgBuilderTest, BuildsTaxonomyAndSocialEdges) {
+  WorldOptions opts;
+  opts.num_scenes = 10;
+  const World world = WorldGenerator(opts).Generate();
+  const auto lexicon = text::SynonymLexicon::Default();
+  const graph::Graph kg = BuildKnowledgeGraph(world, lexicon);
+  EXPECT_TRUE(kg.CheckConsistency().ok());
+
+  // Concepts exist for all categories.
+  for (const auto& cat : world.vocab.object_categories) {
+    EXPECT_FALSE(kg.VerticesWithLabel(cat).empty()) << cat;
+  }
+  // Taxonomy: dog -is-a-> pet.
+  const auto dogs = kg.VerticesWithLabel("dog");
+  ASSERT_FALSE(dogs.empty());
+  bool has_isa = false;
+  for (const auto& he : kg.OutEdges(dogs.front())) {
+    if (kg.EdgeLabelName(he.label) == "is-a") has_isa = true;
+  }
+  EXPECT_TRUE(has_isa);
+
+  // Characters and girlfriend edges.
+  const auto harrys = kg.VerticesWithLabel("harry-potter");
+  ASSERT_EQ(harrys.size(), 1u);
+  int gf_edges = 0;
+  for (const auto& he : kg.InEdges(harrys.front())) {
+    if (kg.EdgeLabelName(he.label) == "girlfriend-of") ++gf_edges;
+  }
+  EXPECT_EQ(gf_edges, 2);
+
+  // Teams and cities.
+  EXPECT_FALSE(kg.VerticesWithCategory("team").empty());
+  EXPECT_FALSE(kg.VerticesWithCategory("city").empty());
+}
+
+}  // namespace
+}  // namespace svqa::data
