@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_mvqa.dir/bench_exp1_mvqa.cc.o"
+  "CMakeFiles/bench_exp1_mvqa.dir/bench_exp1_mvqa.cc.o.d"
+  "bench_exp1_mvqa"
+  "bench_exp1_mvqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_mvqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_sgg.dir/bench_exp3_sgg.cc.o"
+  "CMakeFiles/bench_exp3_sgg.dir/bench_exp3_sgg.cc.o.d"
+  "bench_exp3_sgg"
+  "bench_exp3_sgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_sgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_parse.dir/bench_exp4_parse.cc.o"
+  "CMakeFiles/bench_exp4_parse.dir/bench_exp4_parse.cc.o.d"
+  "bench_exp4_parse"
+  "bench_exp4_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp5_cache.dir/bench_exp5_cache.cc.o"
+  "CMakeFiles/bench_exp5_cache.dir/bench_exp5_cache.cc.o.d"
+  "bench_exp5_cache"
+  "bench_exp5_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp5_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

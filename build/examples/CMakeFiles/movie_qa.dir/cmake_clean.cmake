@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_qa.dir/movie_qa.cc.o"
+  "CMakeFiles/movie_qa.dir/movie_qa.cc.o.d"
+  "movie_qa"
+  "movie_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

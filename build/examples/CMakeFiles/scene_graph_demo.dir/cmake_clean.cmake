@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_graph_demo.dir/scene_graph_demo.cc.o"
+  "CMakeFiles/scene_graph_demo.dir/scene_graph_demo.cc.o.d"
+  "scene_graph_demo"
+  "scene_graph_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_graph_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

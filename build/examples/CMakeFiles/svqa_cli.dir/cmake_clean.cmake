@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_cli.dir/svqa_cli.cc.o"
+  "CMakeFiles/svqa_cli.dir/svqa_cli.cc.o.d"
+  "svqa_cli"
+  "svqa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

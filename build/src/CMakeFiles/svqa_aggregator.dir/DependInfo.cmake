@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregator/category_stats.cc" "src/CMakeFiles/svqa_aggregator.dir/aggregator/category_stats.cc.o" "gcc" "src/CMakeFiles/svqa_aggregator.dir/aggregator/category_stats.cc.o.d"
+  "/root/repo/src/aggregator/merger.cc" "src/CMakeFiles/svqa_aggregator.dir/aggregator/merger.cc.o" "gcc" "src/CMakeFiles/svqa_aggregator.dir/aggregator/merger.cc.o.d"
+  "/root/repo/src/aggregator/subgraph_cache.cc" "src/CMakeFiles/svqa_aggregator.dir/aggregator/subgraph_cache.cc.o" "gcc" "src/CMakeFiles/svqa_aggregator.dir/aggregator/subgraph_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

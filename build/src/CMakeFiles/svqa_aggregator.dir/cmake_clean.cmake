@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_aggregator.dir/aggregator/category_stats.cc.o"
+  "CMakeFiles/svqa_aggregator.dir/aggregator/category_stats.cc.o.d"
+  "CMakeFiles/svqa_aggregator.dir/aggregator/merger.cc.o"
+  "CMakeFiles/svqa_aggregator.dir/aggregator/merger.cc.o.d"
+  "CMakeFiles/svqa_aggregator.dir/aggregator/subgraph_cache.cc.o"
+  "CMakeFiles/svqa_aggregator.dir/aggregator/subgraph_cache.cc.o.d"
+  "libsvqa_aggregator.a"
+  "libsvqa_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_baseline.dir/baseline/parse_baselines.cc.o"
+  "CMakeFiles/svqa_baseline.dir/baseline/parse_baselines.cc.o.d"
+  "CMakeFiles/svqa_baseline.dir/baseline/vqa_baselines.cc.o"
+  "CMakeFiles/svqa_baseline.dir/baseline/vqa_baselines.cc.o.d"
+  "libsvqa_baseline.a"
+  "libsvqa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

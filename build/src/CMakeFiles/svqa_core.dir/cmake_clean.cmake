@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_core.dir/core/engine.cc.o"
+  "CMakeFiles/svqa_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/svqa_core.dir/core/evaluation.cc.o"
+  "CMakeFiles/svqa_core.dir/core/evaluation.cc.o.d"
+  "CMakeFiles/svqa_core.dir/core/options.cc.o"
+  "CMakeFiles/svqa_core.dir/core/options.cc.o.d"
+  "libsvqa_core.a"
+  "libsvqa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/svqa_data.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/dataset_stats.cc" "src/CMakeFiles/svqa_data.dir/data/dataset_stats.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/dataset_stats.cc.o.d"
+  "/root/repo/src/data/kg_builder.cc" "src/CMakeFiles/svqa_data.dir/data/kg_builder.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/kg_builder.cc.o.d"
+  "/root/repo/src/data/mvqa_generator.cc" "src/CMakeFiles/svqa_data.dir/data/mvqa_generator.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/mvqa_generator.cc.o.d"
+  "/root/repo/src/data/vocabulary.cc" "src/CMakeFiles/svqa_data.dir/data/vocabulary.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/vocabulary.cc.o.d"
+  "/root/repo/src/data/vqa2_generator.cc" "src/CMakeFiles/svqa_data.dir/data/vqa2_generator.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/vqa2_generator.cc.o.d"
+  "/root/repo/src/data/world.cc" "src/CMakeFiles/svqa_data.dir/data/world.cc.o" "gcc" "src/CMakeFiles/svqa_data.dir/data/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_aggregator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_data.dir/data/dataset_io.cc.o"
+  "CMakeFiles/svqa_data.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/svqa_data.dir/data/dataset_stats.cc.o"
+  "CMakeFiles/svqa_data.dir/data/dataset_stats.cc.o.d"
+  "CMakeFiles/svqa_data.dir/data/kg_builder.cc.o"
+  "CMakeFiles/svqa_data.dir/data/kg_builder.cc.o.d"
+  "CMakeFiles/svqa_data.dir/data/mvqa_generator.cc.o"
+  "CMakeFiles/svqa_data.dir/data/mvqa_generator.cc.o.d"
+  "CMakeFiles/svqa_data.dir/data/vocabulary.cc.o"
+  "CMakeFiles/svqa_data.dir/data/vocabulary.cc.o.d"
+  "CMakeFiles/svqa_data.dir/data/vqa2_generator.cc.o"
+  "CMakeFiles/svqa_data.dir/data/vqa2_generator.cc.o.d"
+  "CMakeFiles/svqa_data.dir/data/world.cc.o"
+  "CMakeFiles/svqa_data.dir/data/world.cc.o.d"
+  "libsvqa_data.a"
+  "libsvqa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

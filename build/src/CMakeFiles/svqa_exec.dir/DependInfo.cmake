@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/batch_executor.cc" "src/CMakeFiles/svqa_exec.dir/exec/batch_executor.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/batch_executor.cc.o.d"
+  "/root/repo/src/exec/constraints.cc" "src/CMakeFiles/svqa_exec.dir/exec/constraints.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/constraints.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/svqa_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/key_centric_cache.cc" "src/CMakeFiles/svqa_exec.dir/exec/key_centric_cache.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/key_centric_cache.cc.o.d"
+  "/root/repo/src/exec/relation_pairs.cc" "src/CMakeFiles/svqa_exec.dir/exec/relation_pairs.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/relation_pairs.cc.o.d"
+  "/root/repo/src/exec/scheduler.cc" "src/CMakeFiles/svqa_exec.dir/exec/scheduler.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/scheduler.cc.o.d"
+  "/root/repo/src/exec/vertex_matcher.cc" "src/CMakeFiles/svqa_exec.dir/exec/vertex_matcher.cc.o" "gcc" "src/CMakeFiles/svqa_exec.dir/exec/vertex_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_aggregator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_exec.dir/exec/batch_executor.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/batch_executor.cc.o.d"
+  "CMakeFiles/svqa_exec.dir/exec/constraints.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/constraints.cc.o.d"
+  "CMakeFiles/svqa_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/svqa_exec.dir/exec/key_centric_cache.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/key_centric_cache.cc.o.d"
+  "CMakeFiles/svqa_exec.dir/exec/relation_pairs.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/relation_pairs.cc.o.d"
+  "CMakeFiles/svqa_exec.dir/exec/scheduler.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/scheduler.cc.o.d"
+  "CMakeFiles/svqa_exec.dir/exec/vertex_matcher.cc.o"
+  "CMakeFiles/svqa_exec.dir/exec/vertex_matcher.cc.o.d"
+  "libsvqa_exec.a"
+  "libsvqa_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

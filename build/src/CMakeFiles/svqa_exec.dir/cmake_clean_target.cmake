@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvqa_exec.a"
+)

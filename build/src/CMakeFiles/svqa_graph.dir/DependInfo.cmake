@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/svqa_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/svqa_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/CMakeFiles/svqa_graph.dir/graph/serialization.cc.o" "gcc" "src/CMakeFiles/svqa_graph.dir/graph/serialization.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/CMakeFiles/svqa_graph.dir/graph/statistics.cc.o" "gcc" "src/CMakeFiles/svqa_graph.dir/graph/statistics.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/svqa_graph.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/svqa_graph.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/svqa_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/svqa_graph.dir/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

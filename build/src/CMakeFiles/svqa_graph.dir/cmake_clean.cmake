@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/svqa_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/svqa_graph.dir/graph/serialization.cc.o"
+  "CMakeFiles/svqa_graph.dir/graph/serialization.cc.o.d"
+  "CMakeFiles/svqa_graph.dir/graph/statistics.cc.o"
+  "CMakeFiles/svqa_graph.dir/graph/statistics.cc.o.d"
+  "CMakeFiles/svqa_graph.dir/graph/subgraph.cc.o"
+  "CMakeFiles/svqa_graph.dir/graph/subgraph.cc.o.d"
+  "CMakeFiles/svqa_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/svqa_graph.dir/graph/traversal.cc.o.d"
+  "libsvqa_graph.a"
+  "libsvqa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

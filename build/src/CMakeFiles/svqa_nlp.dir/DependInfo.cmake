@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/clause_splitter.cc" "src/CMakeFiles/svqa_nlp.dir/nlp/clause_splitter.cc.o" "gcc" "src/CMakeFiles/svqa_nlp.dir/nlp/clause_splitter.cc.o.d"
+  "/root/repo/src/nlp/dependency_parser.cc" "src/CMakeFiles/svqa_nlp.dir/nlp/dependency_parser.cc.o" "gcc" "src/CMakeFiles/svqa_nlp.dir/nlp/dependency_parser.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/CMakeFiles/svqa_nlp.dir/nlp/pos_tagger.cc.o" "gcc" "src/CMakeFiles/svqa_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/spoc_extractor.cc" "src/CMakeFiles/svqa_nlp.dir/nlp/spoc_extractor.cc.o" "gcc" "src/CMakeFiles/svqa_nlp.dir/nlp/spoc_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

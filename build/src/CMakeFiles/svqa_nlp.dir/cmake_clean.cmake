@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_nlp.dir/nlp/clause_splitter.cc.o"
+  "CMakeFiles/svqa_nlp.dir/nlp/clause_splitter.cc.o.d"
+  "CMakeFiles/svqa_nlp.dir/nlp/dependency_parser.cc.o"
+  "CMakeFiles/svqa_nlp.dir/nlp/dependency_parser.cc.o.d"
+  "CMakeFiles/svqa_nlp.dir/nlp/pos_tagger.cc.o"
+  "CMakeFiles/svqa_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "CMakeFiles/svqa_nlp.dir/nlp/spoc_extractor.cc.o"
+  "CMakeFiles/svqa_nlp.dir/nlp/spoc_extractor.cc.o.d"
+  "libsvqa_nlp.a"
+  "libsvqa_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/query_graph.cc" "src/CMakeFiles/svqa_query.dir/query/query_graph.cc.o" "gcc" "src/CMakeFiles/svqa_query.dir/query/query_graph.cc.o.d"
+  "/root/repo/src/query/query_graph_builder.cc" "src/CMakeFiles/svqa_query.dir/query/query_graph_builder.cc.o" "gcc" "src/CMakeFiles/svqa_query.dir/query/query_graph_builder.cc.o.d"
+  "/root/repo/src/query/spoc.cc" "src/CMakeFiles/svqa_query.dir/query/spoc.cc.o" "gcc" "src/CMakeFiles/svqa_query.dir/query/spoc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_query.dir/query/query_graph.cc.o"
+  "CMakeFiles/svqa_query.dir/query/query_graph.cc.o.d"
+  "CMakeFiles/svqa_query.dir/query/query_graph_builder.cc.o"
+  "CMakeFiles/svqa_query.dir/query/query_graph_builder.cc.o.d"
+  "CMakeFiles/svqa_query.dir/query/spoc.cc.o"
+  "CMakeFiles/svqa_query.dir/query/spoc.cc.o.d"
+  "libsvqa_query.a"
+  "libsvqa_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

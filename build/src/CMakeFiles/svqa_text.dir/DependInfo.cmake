@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/embedding.cc" "src/CMakeFiles/svqa_text.dir/text/embedding.cc.o" "gcc" "src/CMakeFiles/svqa_text.dir/text/embedding.cc.o.d"
+  "/root/repo/src/text/inflection.cc" "src/CMakeFiles/svqa_text.dir/text/inflection.cc.o" "gcc" "src/CMakeFiles/svqa_text.dir/text/inflection.cc.o.d"
+  "/root/repo/src/text/levenshtein.cc" "src/CMakeFiles/svqa_text.dir/text/levenshtein.cc.o" "gcc" "src/CMakeFiles/svqa_text.dir/text/levenshtein.cc.o.d"
+  "/root/repo/src/text/lexicon.cc" "src/CMakeFiles/svqa_text.dir/text/lexicon.cc.o" "gcc" "src/CMakeFiles/svqa_text.dir/text/lexicon.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/svqa_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/svqa_text.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_text.dir/text/embedding.cc.o"
+  "CMakeFiles/svqa_text.dir/text/embedding.cc.o.d"
+  "CMakeFiles/svqa_text.dir/text/inflection.cc.o"
+  "CMakeFiles/svqa_text.dir/text/inflection.cc.o.d"
+  "CMakeFiles/svqa_text.dir/text/levenshtein.cc.o"
+  "CMakeFiles/svqa_text.dir/text/levenshtein.cc.o.d"
+  "CMakeFiles/svqa_text.dir/text/lexicon.cc.o"
+  "CMakeFiles/svqa_text.dir/text/lexicon.cc.o.d"
+  "CMakeFiles/svqa_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/svqa_text.dir/text/tokenizer.cc.o.d"
+  "libsvqa_text.a"
+  "libsvqa_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

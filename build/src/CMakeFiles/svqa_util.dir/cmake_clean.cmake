@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_util.dir/util/logging.cc.o"
+  "CMakeFiles/svqa_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/svqa_util.dir/util/sim_clock.cc.o"
+  "CMakeFiles/svqa_util.dir/util/sim_clock.cc.o.d"
+  "CMakeFiles/svqa_util.dir/util/status.cc.o"
+  "CMakeFiles/svqa_util.dir/util/status.cc.o.d"
+  "CMakeFiles/svqa_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/svqa_util.dir/util/thread_pool.cc.o.d"
+  "libsvqa_util.a"
+  "libsvqa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/detector.cc" "src/CMakeFiles/svqa_vision.dir/vision/detector.cc.o" "gcc" "src/CMakeFiles/svqa_vision.dir/vision/detector.cc.o.d"
+  "/root/repo/src/vision/relation_model.cc" "src/CMakeFiles/svqa_vision.dir/vision/relation_model.cc.o" "gcc" "src/CMakeFiles/svqa_vision.dir/vision/relation_model.cc.o.d"
+  "/root/repo/src/vision/scene.cc" "src/CMakeFiles/svqa_vision.dir/vision/scene.cc.o" "gcc" "src/CMakeFiles/svqa_vision.dir/vision/scene.cc.o.d"
+  "/root/repo/src/vision/scene_graph_generator.cc" "src/CMakeFiles/svqa_vision.dir/vision/scene_graph_generator.cc.o" "gcc" "src/CMakeFiles/svqa_vision.dir/vision/scene_graph_generator.cc.o.d"
+  "/root/repo/src/vision/sgg_metrics.cc" "src/CMakeFiles/svqa_vision.dir/vision/sgg_metrics.cc.o" "gcc" "src/CMakeFiles/svqa_vision.dir/vision/sgg_metrics.cc.o.d"
+  "/root/repo/src/vision/tde.cc" "src/CMakeFiles/svqa_vision.dir/vision/tde.cc.o" "gcc" "src/CMakeFiles/svqa_vision.dir/vision/tde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

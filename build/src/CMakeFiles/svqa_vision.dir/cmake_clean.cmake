@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svqa_vision.dir/vision/detector.cc.o"
+  "CMakeFiles/svqa_vision.dir/vision/detector.cc.o.d"
+  "CMakeFiles/svqa_vision.dir/vision/relation_model.cc.o"
+  "CMakeFiles/svqa_vision.dir/vision/relation_model.cc.o.d"
+  "CMakeFiles/svqa_vision.dir/vision/scene.cc.o"
+  "CMakeFiles/svqa_vision.dir/vision/scene.cc.o.d"
+  "CMakeFiles/svqa_vision.dir/vision/scene_graph_generator.cc.o"
+  "CMakeFiles/svqa_vision.dir/vision/scene_graph_generator.cc.o.d"
+  "CMakeFiles/svqa_vision.dir/vision/sgg_metrics.cc.o"
+  "CMakeFiles/svqa_vision.dir/vision/sgg_metrics.cc.o.d"
+  "CMakeFiles/svqa_vision.dir/vision/tde.cc.o"
+  "CMakeFiles/svqa_vision.dir/vision/tde.cc.o.d"
+  "libsvqa_vision.a"
+  "libsvqa_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svqa_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_parser_test.dir/dependency_parser_test.cc.o"
+  "CMakeFiles/dependency_parser_test.dir/dependency_parser_test.cc.o.d"
+  "dependency_parser_test"
+  "dependency_parser_test.pdb"
+  "dependency_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_coverage_test.dir/grammar_coverage_test.cc.o"
+  "CMakeFiles/grammar_coverage_test.dir/grammar_coverage_test.cc.o.d"
+  "grammar_coverage_test"
+  "grammar_coverage_test.pdb"
+  "grammar_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflection_test.dir/inflection_test.cc.o"
+  "CMakeFiles/inflection_test.dir/inflection_test.cc.o.d"
+  "inflection_test"
+  "inflection_test.pdb"
+  "inflection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mvqa_test.cc" "tests/CMakeFiles/mvqa_test.dir/mvqa_test.cc.o" "gcc" "tests/CMakeFiles/mvqa_test.dir/mvqa_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svqa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_aggregator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svqa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvqa_test.dir/mvqa_test.cc.o"
+  "CMakeFiles/mvqa_test.dir/mvqa_test.cc.o.d"
+  "mvqa_test"
+  "mvqa_test.pdb"
+  "mvqa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

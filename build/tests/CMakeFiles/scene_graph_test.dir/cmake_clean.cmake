@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_graph_test.dir/scene_graph_test.cc.o"
+  "CMakeFiles/scene_graph_test.dir/scene_graph_test.cc.o.d"
+  "scene_graph_test"
+  "scene_graph_test.pdb"
+  "scene_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoc_extractor_test.dir/spoc_extractor_test.cc.o"
+  "CMakeFiles/spoc_extractor_test.dir/spoc_extractor_test.cc.o.d"
+  "spoc_extractor_test"
+  "spoc_extractor_test.pdb"
+  "spoc_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoc_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

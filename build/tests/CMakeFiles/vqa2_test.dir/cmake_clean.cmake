@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqa2_test.dir/vqa2_test.cc.o"
+  "CMakeFiles/vqa2_test.dir/vqa2_test.cc.o.d"
+  "vqa2_test"
+  "vqa2_test.pdb"
+  "vqa2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqa2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
