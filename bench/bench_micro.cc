@@ -19,6 +19,7 @@
 #include "text/embedding.h"
 #include "text/levenshtein.h"
 #include "text/tokenizer.h"
+#include "util/mutex.h"
 
 namespace {
 
@@ -137,6 +138,59 @@ void BM_LruCacheGetPut(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LruCacheGetPut)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Locked vs. unlocked cache probe path. The caches are internally
+// synchronized by default (util/mutex.h `Mutex`); instantiating with
+// `NullMutex` removes the lock for single-threaded use. These pairs make
+// the locking overhead visible in the perf trajectory, and the ->Threads
+// variants show how the single lock behaves under contention — the
+// baseline any future sharded/striped cache must beat.
+// ---------------------------------------------------------------------------
+
+template <typename Cache>
+void ProbeLoop(benchmark::State& state) {
+  Cache cache(256);
+  for (int k = 0; k < 256; ++k) cache.Put(k, k);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get((i * 7) % 256));  // always a hit
+    ++i;
+  }
+}
+
+void BM_LruCacheProbeLocked(benchmark::State& state) {
+  ProbeLoop<cache::LruCache<int, int>>(state);
+}
+BENCHMARK(BM_LruCacheProbeLocked);
+
+void BM_LruCacheProbeUnlocked(benchmark::State& state) {
+  ProbeLoop<cache::LruCache<int, int, NullMutex>>(state);
+}
+BENCHMARK(BM_LruCacheProbeUnlocked);
+
+void BM_LfuCacheProbeLocked(benchmark::State& state) {
+  ProbeLoop<cache::LfuCache<int, int>>(state);
+}
+BENCHMARK(BM_LfuCacheProbeLocked);
+
+void BM_LfuCacheProbeUnlocked(benchmark::State& state) {
+  ProbeLoop<cache::LfuCache<int, int, NullMutex>>(state);
+}
+BENCHMARK(BM_LfuCacheProbeUnlocked);
+
+void BM_LruCacheProbeContended(benchmark::State& state) {
+  static auto* shared = new cache::LruCache<int, int>(256);
+  if (state.thread_index() == 0) {
+    for (int k = 0; k < 256; ++k) shared->Put(k, k);
+  }
+  int i = state.thread_index();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared->Get((i * 7) % 256));
+    ++i;
+  }
+}
+BENCHMARK(BM_LruCacheProbeContended)->Threads(1)->Threads(4)->Threads(8);
 
 void BM_VertexMatch(benchmark::State& state) {
   static const auto* fixture = [] {

@@ -6,6 +6,12 @@
 namespace svqa::cache {
 
 /// \brief Hit/miss/eviction counters shared by all cache policies.
+///
+/// A plain value type: the cache implementations keep their counters
+/// under the cache mutex (`SVQA_GUARDED_BY`) and hand out *snapshots* by
+/// value, so a `CacheStats` you hold is immutable data — thread-safe to
+/// read, never shared. `Merge` combines snapshots from several stores
+/// (e.g. the key-centric cache's scope + path stores).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -18,6 +24,14 @@ struct CacheStats {
     return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
   }
   void Reset() { *this = CacheStats{}; }
+
+  /// Accumulates another snapshot into this one.
+  void Merge(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    inserts += other.inserts;
+  }
 };
 
 }  // namespace svqa::cache

@@ -4,9 +4,13 @@
 #include <cstddef>
 #include <list>
 #include <map>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "cache/cache_stats.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace svqa::cache {
 
@@ -16,28 +20,37 @@ namespace svqa::cache {
 ///
 /// Capacity 0 disables caching (every Get misses, Put is a no-op), which
 /// is how the "No cache" configurations of Exp-5 are expressed.
-template <typename K, typename V>
+///
+/// Thread-safe with the default `MutexT = Mutex`: every operation takes
+/// the internal lock and `Get` copies the hit out, so concurrent
+/// Get/Put/Clear from any number of threads is race-free. Instantiate
+/// with `NullMutex` for a lock-free, thread-*compatible* variant when the
+/// cache is provably confined to one thread (see BM_*CacheProbe in
+/// bench_micro for the overhead this buys back).
+template <typename K, typename V, typename MutexT = Mutex>
 class LfuCache {
  public:
   explicit LfuCache(std::size_t capacity) : capacity_(capacity) {}
 
-  /// Looks up `key`; on hit bumps its frequency and returns a pointer
-  /// valid until the next mutation. nullptr on miss.
-  const V* Get(const K& key) {
+  /// Looks up `key`; on hit bumps its frequency and returns a copy of
+  /// the value. nullopt on miss.
+  std::optional<V> Get(const K& key) SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++stats_.misses;
-      return nullptr;
+      return std::nullopt;
     }
     ++stats_.hits;
     Promote(it->second);
-    return &it->second.node->value;
+    return it->second.node->value;
   }
 
   /// Inserts or overwrites `key`. Evicts the least-frequently-used entry
   /// when at capacity.
-  void Put(const K& key, V value) {
+  void Put(const K& key, V value) SVQA_EXCLUDES(mu_) {
     if (capacity_ == 0) return;
+    BasicMutexLock<MutexT> lock(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.node->value = std::move(value);
@@ -51,20 +64,36 @@ class LfuCache {
     ++stats_.inserts;
   }
 
-  bool Contains(const K& key) const { return entries_.count(key) > 0; }
+  bool Contains(const K& key) const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    return entries_.count(key) > 0;
+  }
 
   /// Current frequency counter of a resident key (0 when absent).
-  std::size_t FrequencyOf(const K& key) const {
+  std::size_t FrequencyOf(const K& key) const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
     auto it = entries_.find(key);
     return it == entries_.end() ? 0 : it->second.freq;
   }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    return entries_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
 
-  void Clear() {
+  /// Returns a consistent snapshot of the counters.
+  CacheStats stats() const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    stats_.Reset();
+  }
+
+  void Clear() SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
     entries_.clear();
     buckets_.clear();
   }
@@ -81,7 +110,7 @@ class LfuCache {
     typename Bucket::iterator node;
   };
 
-  void Promote(Handle& h) {
+  void Promote(Handle& h) SVQA_REQUIRES(mu_) {
     Bucket& from = buckets_[h.freq];
     Bucket& to = buckets_[h.freq + 1];
     to.splice(to.begin(), from, h.node);
@@ -89,7 +118,7 @@ class LfuCache {
     ++h.freq;
   }
 
-  void Evict() {
+  void Evict() SVQA_REQUIRES(mu_) {
     auto bucket_it = buckets_.begin();  // lowest frequency
     Bucket& bucket = bucket_it->second;
     // Back of the list is least-recently used within the frequency.
@@ -99,10 +128,12 @@ class LfuCache {
     ++stats_.evictions;
   }
 
-  std::size_t capacity_;
-  std::unordered_map<K, Handle> entries_;
-  std::map<std::size_t, Bucket> buckets_;  // freq -> MRU-ordered nodes
-  CacheStats stats_;
+  const std::size_t capacity_;  // immutable after construction
+  mutable MutexT mu_;
+  std::unordered_map<K, Handle> entries_ SVQA_GUARDED_BY(mu_);
+  std::map<std::size_t, Bucket> buckets_
+      SVQA_GUARDED_BY(mu_);  // freq -> MRU-ordered nodes
+  CacheStats stats_ SVQA_GUARDED_BY(mu_);
 };
 
 }  // namespace svqa::cache

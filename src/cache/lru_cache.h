@@ -3,35 +3,48 @@
 
 #include <cstddef>
 #include <list>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "cache/cache_stats.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace svqa::cache {
 
 /// \brief Least-Recently-Used cache (paper ref [47]); the comparison
 /// policy for Figure 11. Capacity 0 disables caching.
-template <typename K, typename V>
+///
+/// Thread-safe with the default `MutexT = Mutex`: every operation takes
+/// the internal lock and `Get` copies the hit out, so concurrent
+/// Get/Put/Clear from any number of threads is race-free. Instantiate
+/// with `NullMutex` for a lock-free, thread-*compatible* variant when the
+/// cache is provably confined to one thread (see BM_*CacheProbe in
+/// bench_micro for the overhead this buys back).
+template <typename K, typename V, typename MutexT = Mutex>
 class LruCache {
  public:
   explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
 
-  /// Looks up `key`; on hit moves it to the front and returns a pointer
-  /// valid until the next mutation. nullptr on miss.
-  const V* Get(const K& key) {
+  /// Looks up `key`; on hit moves it to the front and returns a copy of
+  /// the value. nullopt on miss.
+  std::optional<V> Get(const K& key) SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
-      return nullptr;
+      return std::nullopt;
     }
     ++stats_.hits;
     order_.splice(order_.begin(), order_, it->second);
-    return &it->second->value;
+    return it->second->value;
   }
 
   /// Inserts or overwrites `key`; evicts the LRU entry at capacity.
-  void Put(const K& key, V value) {
+  void Put(const K& key, V value) SVQA_EXCLUDES(mu_) {
     if (capacity_ == 0) return;
+    BasicMutexLock<MutexT> lock(&mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->value = std::move(value);
@@ -48,14 +61,29 @@ class LruCache {
     ++stats_.inserts;
   }
 
-  bool Contains(const K& key) const { return index_.count(key) > 0; }
+  bool Contains(const K& key) const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    return index_.count(key) > 0;
+  }
 
-  std::size_t size() const { return index_.size(); }
+  std::size_t size() const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    return index_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
 
-  void Clear() {
+  /// Returns a consistent snapshot of the counters.
+  CacheStats stats() const SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
+    stats_.Reset();
+  }
+
+  void Clear() SVQA_EXCLUDES(mu_) {
+    BasicMutexLock<MutexT> lock(&mu_);
     index_.clear();
     order_.clear();
   }
@@ -66,10 +94,12 @@ class LruCache {
     V value;
   };
 
-  std::size_t capacity_;
-  std::list<Node> order_;  // front = most recently used
-  std::unordered_map<K, typename std::list<Node>::iterator> index_;
-  CacheStats stats_;
+  const std::size_t capacity_;  // immutable after construction
+  mutable MutexT mu_;
+  std::list<Node> order_ SVQA_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<K, typename std::list<Node>::iterator> index_
+      SVQA_GUARDED_BY(mu_);
+  CacheStats stats_ SVQA_GUARDED_BY(mu_);
 };
 
 }  // namespace svqa::cache

@@ -15,11 +15,8 @@ std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
     const std::string& key, SimClock* clock) {
   if (!options_.enable_scope || options_.capacity == 0) return std::nullopt;
   if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
-  const std::vector<graph::VertexId>* hit =
-      options_.policy == CachePolicy::kLfu ? scope_.lfu.Get(key)
-                                           : scope_.lru.Get(key);
-  if (hit == nullptr) return std::nullopt;
-  return *hit;
+  return options_.policy == CachePolicy::kLfu ? scope_.lfu.Get(key)
+                                              : scope_.lru.Get(key);
 }
 
 void KeyCentricCache::PutScope(const std::string& key,
@@ -36,11 +33,8 @@ std::optional<std::vector<RelationPair>> KeyCentricCache::GetPath(
     const std::string& key, SimClock* clock) {
   if (!options_.enable_path || options_.capacity == 0) return std::nullopt;
   if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
-  const std::vector<RelationPair>* hit =
-      options_.policy == CachePolicy::kLfu ? path_.lfu.Get(key)
-                                           : path_.lru.Get(key);
-  if (hit == nullptr) return std::nullopt;
-  return *hit;
+  return options_.policy == CachePolicy::kLfu ? path_.lfu.Get(key)
+                                              : path_.lru.Get(key);
 }
 
 void KeyCentricCache::PutPath(const std::string& key,
@@ -61,6 +55,12 @@ cache::CacheStats KeyCentricCache::ScopeStats() const {
 cache::CacheStats KeyCentricCache::PathStats() const {
   return options_.policy == CachePolicy::kLfu ? path_.lfu.stats()
                                               : path_.lru.stats();
+}
+
+cache::CacheStats KeyCentricCache::TotalStats() const {
+  cache::CacheStats total = ScopeStats();
+  total.Merge(PathStats());
+  return total;
 }
 
 void KeyCentricCache::Clear() {

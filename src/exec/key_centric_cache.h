@@ -34,6 +34,14 @@ struct KeyCentricCacheOptions {
 /// \brief The key-centric cache: a *scope* store (matchVertex results)
 /// and a *path* store (getRelationpairs results), each under the chosen
 /// eviction policy. Every probe charges CostKind::kCacheProbe.
+///
+/// Thread-safe by composition: `options_` is immutable after
+/// construction and each underlying policy store is internally locked
+/// (see cache/lru_cache.h), so concurrent Get*/Put* from executor
+/// workers sharing one cache is race-free. `Clear` and the `*Stats`
+/// snapshots are per-store atomic, not atomic across the scope and path
+/// stores — fine for their diagnostic role. The `SimClock*` argument is
+/// caller-owned per-query state and is charged outside any cache lock.
 class KeyCentricCache {
  public:
   explicit KeyCentricCache(KeyCentricCacheOptions options = {});
@@ -51,6 +59,8 @@ class KeyCentricCache {
   const KeyCentricCacheOptions& options() const { return options_; }
   cache::CacheStats ScopeStats() const;
   cache::CacheStats PathStats() const;
+  /// Scope + path stores merged into one snapshot.
+  cache::CacheStats TotalStats() const;
   void Clear();
 
  private:
@@ -62,9 +72,9 @@ class KeyCentricCache {
     cache::LruCache<std::string, V> lru;
   };
 
-  KeyCentricCacheOptions options_;
-  PolicyPair<std::vector<graph::VertexId>> scope_;
-  PolicyPair<std::vector<RelationPair>> path_;
+  const KeyCentricCacheOptions options_;  // immutable after construction
+  PolicyPair<std::vector<graph::VertexId>> scope_;  // internally locked
+  PolicyPair<std::vector<RelationPair>> path_;      // internally locked
 };
 
 }  // namespace svqa::exec

@@ -1,0 +1,70 @@
+#ifndef SVQA_UTIL_ANNOTATIONS_H_
+#define SVQA_UTIL_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety-analysis annotations (no-ops elsewhere).
+///
+/// Every piece of shared mutable state in the codebase declares which
+/// mutex guards it via `SVQA_GUARDED_BY`, and every function that must be
+/// called with a lock held says so via `SVQA_REQUIRES`. Clang builds add
+/// `-Wthread-safety -Werror=thread-safety` (see the root CMakeLists.txt),
+/// turning those declarations into compile errors when violated, so the
+/// locking discipline of the parallel execution path is enforced by the
+/// compiler instead of by convention. GCC defines the macros away.
+///
+/// The macro set mirrors the vocabulary of
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and is prefixed
+/// to avoid colliding with third-party headers that define the bare names.
+
+#if defined(__clang__) && !defined(SVQA_NO_THREAD_SAFETY_ANNOTATIONS)
+#define SVQA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SVQA_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares a data member protected by the given capability (mutex).
+#define SVQA_GUARDED_BY(x) SVQA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares a pointer member whose *pointee* is protected by the mutex.
+#define SVQA_PT_GUARDED_BY(x) SVQA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the capability.
+#define SVQA_REQUIRES(...) \
+  SVQA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while *not* holding the capability.
+#define SVQA_EXCLUDES(...) \
+  SVQA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define SVQA_ACQUIRE(...) \
+  SVQA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define SVQA_RELEASE(...) \
+  SVQA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define SVQA_TRY_ACQUIRE(ret, ...) \
+  SVQA_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Marks a type as a lockable capability (e.g. a mutex class).
+#define SVQA_CAPABILITY(x) SVQA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime equals a critical section.
+#define SVQA_SCOPED_CAPABILITY SVQA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The function returns a reference to the named capability.
+#define SVQA_RETURN_CAPABILITY(x) SVQA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Ordering hint: this mutex must be acquired after the listed ones.
+#define SVQA_ACQUIRED_AFTER(...) \
+  SVQA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (e.g. condition
+/// variable wait, which releases and reacquires internally). Use
+/// sparingly and leave a comment explaining why it is sound.
+#define SVQA_NO_THREAD_SAFETY_ANALYSIS \
+  SVQA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SVQA_UTIL_ANNOTATIONS_H_

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace svqa {
 namespace {
@@ -24,8 +25,11 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& EmitMutex() {
-  static std::mutex m;
+/// Serializes writes to stderr so interleaved messages from concurrent
+/// workers stay line-atomic. (stderr itself is the guarded resource; the
+/// stream buffers are per-message locals.)
+Mutex& EmitMutex() {
+  static Mutex m;
   return m;
 }
 
@@ -52,7 +56,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(&EmitMutex());
   std::fputs(stream_.str().c_str(), stderr);
   std::fputc('\n', stderr);
 }

@@ -1,6 +1,7 @@
 #ifndef SVQA_UTIL_LOGGING_H_
 #define SVQA_UTIL_LOGGING_H_
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 

@@ -1,7 +1,10 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace svqa {
 
@@ -13,26 +16,41 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  bool join_here = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
+    // First caller to observe !joined_ owns the join; later (or
+    // concurrent) callers return without waiting for the drain.
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
   }
-  work_cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  work_cv_.NotifyAll();
+  if (join_here) {
+    for (auto& worker : workers_) worker.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    if (stop_) return false;
     queue_.push(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  idle_cv_.WaitUntil(&mu_, [this]() SVQA_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -41,12 +59,13 @@ void ThreadPool::ParallelFor(std::size_t n,
   std::atomic<std::size_t> next{0};
   const std::size_t shards = std::min(n, workers_.size());
   for (std::size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
+    const bool accepted = Submit([&next, n, &fn] {
       for (std::size_t i = next.fetch_add(1); i < n;
            i = next.fetch_add(1)) {
         fn(i);
       }
     });
+    SVQA_CHECK(accepted);  // ParallelFor on a shut-down pool is a bug.
   }
   WaitIdle();
 }
@@ -55,8 +74,12 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      work_cv_.WaitUntil(&mu_, [this]() SVQA_REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
+      // Drain-on-shutdown: exit only once the queue is empty, so every
+      // task accepted before Shutdown() runs.
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -67,9 +90,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -1,13 +1,14 @@
 #ifndef SVQA_UTIL_THREAD_POOL_H_
 #define SVQA_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
 
 namespace svqa {
 
@@ -15,38 +16,58 @@ namespace svqa {
 /// executor (§V-B) and the parallelized query-graph generator (Exp-4).
 ///
 /// Tasks are arbitrary `std::function<void()>`; `WaitIdle` blocks until
-/// every submitted task has finished. Destruction drains the queue.
+/// every submitted task has finished.
+///
+/// Shutdown semantics: `Shutdown()` (or destruction, which calls it)
+/// stops intake immediately — `Submit` returns false from that point on —
+/// then drains every task already queued and joins the workers. Tasks
+/// accepted before shutdown are therefore guaranteed to run exactly once.
+///
+/// Thread-safety: all members are safe to call concurrently from any
+/// thread, including from inside running tasks (except the destructor,
+/// which must not race with other calls — standard object lifetime).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(std::size_t num_threads);
+
+  /// Equivalent to `Shutdown()`.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for asynchronous execution. Returns true if the
+  /// task was accepted; false (task dropped) once shutdown has begun.
+  bool Submit(std::function<void()> task) SVQA_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all workers are idle.
-  void WaitIdle();
+  void WaitIdle() SVQA_EXCLUDES(mu_);
+
+  /// Stops intake, drains all queued tasks, joins the workers.
+  /// Idempotent; safe to call concurrently with Submit/WaitIdle but not
+  /// from inside a pool task (a worker cannot join itself).
+  void Shutdown() SVQA_EXCLUDES(mu_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for
-  /// completion. Convenience for data-parallel loops.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// completion. Convenience for data-parallel loops. Must not be called
+  /// after `Shutdown()` (checked).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
+      SVQA_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SVQA_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // written only by ctor/Shutdown
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::queue<std::function<void()>> queue_ SVQA_GUARDED_BY(mu_);
+  std::size_t active_ SVQA_GUARDED_BY(mu_) = 0;
+  bool stop_ SVQA_GUARDED_BY(mu_) = false;
+  bool joined_ SVQA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace svqa

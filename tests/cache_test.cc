@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 
 #include "cache/lfu_cache.h"
 #include "cache/lru_cache.h"
+#include "util/mutex.h"
 
 namespace svqa::cache {
 namespace {
@@ -14,15 +16,15 @@ namespace {
 
 TEST(LfuCacheTest, MissOnEmpty) {
   LfuCache<int, std::string> cache(2);
-  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
   EXPECT_EQ(cache.stats().misses, 1u);
 }
 
 TEST(LfuCacheTest, PutThenGet) {
   LfuCache<int, std::string> cache(2);
   cache.Put(1, "one");
-  const std::string* v = cache.Get(1);
-  ASSERT_NE(v, nullptr);
+  const std::optional<std::string> v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, "one");
   EXPECT_EQ(cache.stats().hits, 1u);
 }
@@ -70,7 +72,7 @@ TEST(LfuCacheTest, FrequencyOfTracksAccesses) {
 TEST(LfuCacheTest, ZeroCapacityDisables) {
   LfuCache<int, int> cache(0);
   cache.Put(1, 10);
-  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
   EXPECT_EQ(cache.size(), 0u);
 }
 
@@ -80,7 +82,7 @@ TEST(LfuCacheTest, ClearEmptiesCache) {
   cache.Put(2, 20);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
 }
 
 TEST(LfuCacheTest, HeavyHitterSurvivesScanPressure) {
@@ -136,7 +138,7 @@ TEST(LruCacheTest, PutRefreshesRecency) {
 TEST(LruCacheTest, ZeroCapacityDisables) {
   LruCache<int, int> cache(0);
   cache.Put(1, 10);
-  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
 }
 
 TEST(LruCacheTest, StatsAccumulate) {
@@ -155,6 +157,46 @@ TEST(LruCacheTest, StatsAccumulate) {
 TEST(CacheStatsTest, HitRateOnNoLookups) {
   CacheStats stats;
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.0);
+}
+
+TEST(CacheStatsTest, MergeAccumulatesAllCounters) {
+  CacheStats a;
+  a.hits = 3;
+  a.misses = 1;
+  CacheStats b;
+  b.misses = 2;
+  b.evictions = 4;
+  b.inserts = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.hits, 3u);
+  EXPECT_EQ(a.misses, 3u);
+  EXPECT_EQ(a.evictions, 4u);
+  EXPECT_EQ(a.inserts, 5u);
+  EXPECT_EQ(a.lookups(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// NullMutex instantiation: the single-threaded (thread-compatible) variant
+// must behave identically to the locked default.
+// ---------------------------------------------------------------------------
+
+TEST(CacheMutexPolicyTest, NullMutexVariantsBehaveIdentically) {
+  LruCache<int, int, NullMutex> lru(2);
+  lru.Put(1, 10);
+  lru.Put(2, 20);
+  lru.Get(1);
+  lru.Put(3, 30);  // evicts 2
+  EXPECT_TRUE(lru.Contains(1));
+  EXPECT_FALSE(lru.Contains(2));
+
+  LfuCache<int, int, NullMutex> lfu(2);
+  lfu.Put(1, 10);
+  lfu.Put(2, 20);
+  lfu.Get(1);
+  lfu.Put(3, 30);  // evicts 2 (freq 1 < freq 2)
+  EXPECT_TRUE(lfu.Contains(1));
+  EXPECT_FALSE(lfu.Contains(2));
+  EXPECT_EQ(lfu.stats().evictions, 1u);
 }
 
 // ---------------------------------------------------------------------------

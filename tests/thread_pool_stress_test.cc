@@ -1,0 +1,133 @@
+// TSan-oriented stress tests for ThreadPool (registered under the ctest
+// `stress` label; the tsan preset runs them with race detection). Each
+// test maximizes interleavings — concurrent Submit from many producers,
+// Submit racing WaitIdle, Shutdown racing Submit — rather than asserting
+// on timing.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace svqa {
+namespace {
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitFromManyProducers) {
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        ASSERT_TRUE(pool.Submit([&executed] { executed.fetch_add(1); }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, SubmitRacesWaitIdle) {
+  // WaitIdle from one thread while another keeps submitting: WaitIdle
+  // must return only at a genuine quiescent point, and every accepted
+  // task must still run by destruction time.
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  std::atomic<bool> go{false};
+
+  std::thread submitter([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    }
+  });
+  std::thread waiter([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 50; ++i) pool.WaitIdle();
+  });
+  go.store(true);
+  submitter.join();
+  waiter.join();
+  pool.WaitIdle();
+  EXPECT_EQ(executed.load(), 1000);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFromConcurrentCallers) {
+  // ParallelFor is internally Submit + WaitIdle; two concurrent callers
+  // share the idle condition, so both must still see all their indices
+  // visited exactly once.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 2000;
+  std::vector<std::atomic<int>> hits_a(kN);
+  std::vector<std::atomic<int>> hits_b(kN);
+
+  std::thread caller_a([&] {
+    pool.ParallelFor(kN, [&hits_a](std::size_t i) { hits_a[i].fetch_add(1); });
+  });
+  std::thread caller_b([&] {
+    pool.ParallelFor(kN, [&hits_b](std::size_t i) { hits_b[i].fetch_add(1); });
+  });
+  caller_a.join();
+  caller_b.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits_a[i].load(), 1) << "index " << i;
+    ASSERT_EQ(hits_b[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ShutdownRacesSubmit) {
+  // Submit racing Shutdown: each accepted task must run exactly once and
+  // each rejected one not at all — accounted via two counters.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> submitters;
+    for (int p = 0; p < 4; ++p) {
+      submitters.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 100; ++i) {
+          if (pool.Submit([&executed] { executed.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread stopper([&] {
+      while (!go.load()) std::this_thread::yield();
+      pool.Shutdown();
+    });
+    go.store(true);
+    for (auto& t : submitters) t.join();
+    stopper.join();
+    pool.Shutdown();  // ensure the drain is complete before counting
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
+TEST(ThreadPoolStressTest, TasksSubmittingTasksUnderLoad) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&pool, &executed] {
+      executed.fetch_add(1);
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(executed.load(), 400);
+}
+
+}  // namespace
+}  // namespace svqa

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace svqa {
@@ -67,6 +69,50 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
   });
   pool.WaitIdle();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  // Regression: every task *accepted* before destruction must run, even
+  // tasks still sitting in the queue when the destructor fires.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      }));
+    }
+    // No WaitIdle: destruction itself must drain the backlog.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);  // accepted task ran during the drain
+  // After shutdown, intake is closed: rejected, not silently raced.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a double-join
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleAfterShutdownReturns) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
 }
 
 TEST(ThreadPoolTest, DestructionAfterWorkCompletes) {

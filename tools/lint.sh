@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Lint gate for the concurrency static-analysis layer.
+#
+# Runs the `lint` CMake preset: a clang build with
+#   -Wthread-safety -Werror=thread-safety  (annotation enforcement)
+#   -Werror                                (general warning cleanliness)
+#   clang-tidy over every TU              (.clang-tidy check set)
+#
+# Usage: tools/lint.sh [--fix]
+#   --fix  re-run clang-tidy with -fix over the compile database after
+#          the build (applies trivial auto-fixes in place).
+#
+# Exits non-zero on the first diagnostic, so CI can gate on it directly.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+missing=()
+command -v clang++ >/dev/null 2>&1 || missing+=("clang++")
+command -v clang-tidy >/dev/null 2>&1 || missing+=("clang-tidy")
+if [ "${#missing[@]}" -ne 0 ]; then
+  echo "lint.sh: missing required tools: ${missing[*]}" >&2
+  echo "lint.sh: install clang + clang-tidy (e.g. apt-get install clang clang-tidy)" >&2
+  exit 2
+fi
+
+echo "== configure (preset: lint) =="
+cmake --preset lint
+
+echo "== build + clang-tidy (preset: lint) =="
+cmake --build --preset lint -j "$(nproc)"
+
+if [ "${1:-}" = "--fix" ]; then
+  echo "== clang-tidy --fix over compile database =="
+  mapfile -t sources < <(git ls-files 'src/*.cc' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc')
+  run_tidy="$(command -v run-clang-tidy || true)"
+  if [ -n "${run_tidy}" ]; then
+    "${run_tidy}" -p build/lint -fix "${sources[@]}"
+  else
+    for f in "${sources[@]}"; do
+      clang-tidy -p build/lint -fix "$f"
+    done
+  fi
+fi
+
+echo "lint.sh: clean"
