@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace svqa::bench {
 
@@ -20,6 +22,79 @@ inline void Rule() {
 
 /// Percentage formatting.
 inline double Pct(double fraction) { return fraction * 100.0; }
+
+/// \brief One machine-readable benchmark record: the fixed fields every
+/// record carries plus free-form numeric extras.
+struct JsonRecord {
+  std::string name;
+  std::size_t workers = 1;
+  std::string cache_policy;  // "lfu" / "lru" / "none"
+  double total_micros = 0;   // virtual makespan
+  double wall_micros = 0;    // measured host time
+  double hit_rate = 0;       // shared-cache hit rate in [0, 1]
+  std::vector<std::pair<std::string, double>> extras;
+
+  JsonRecord& Extra(std::string key, double value) {
+    extras.emplace_back(std::move(key), value);
+    return *this;
+  }
+};
+
+/// \brief Collects JsonRecords and writes them as a JSON array, so the
+/// perf trajectory (BENCH_*.json) can be tracked across PRs and uploaded
+/// as a CI artifact. Records are flat string/number objects — no
+/// escaping is attempted beyond what benchmark names need (none).
+class JsonEmitter {
+ public:
+  /// \param path output file; empty disables emission entirely.
+  explicit JsonEmitter(std::string path) : path_(std::move(path)) {}
+
+  void Add(JsonRecord record) {
+    if (!path_.empty()) records_.push_back(std::move(record));
+  }
+
+  /// Writes the collected records. Returns false on I/O failure.
+  bool Flush() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"workers\": %zu, "
+                   "\"cache_policy\": \"%s\", \"total_micros\": %.1f, "
+                   "\"wall_micros\": %.1f, \"hit_rate\": %.4f",
+                   r.name.c_str(), r.workers, r.cache_policy.c_str(),
+                   r.total_micros, r.wall_micros, r.hit_rate);
+      for (const auto& [key, value] : r.extras) {
+        std::fprintf(f, ", \"%s\": %.1f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", records_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<JsonRecord> records_;
+};
+
+/// Tiny argv helper: returns the value following `flag`, or `fallback`.
+inline std::string FlagValue(int argc, char** argv, const std::string& flag,
+                             std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
 
 }  // namespace svqa::bench
 

@@ -2,12 +2,16 @@
 #define SVQA_EXEC_BATCH_EXECUTOR_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "exec/executor.h"
 #include "exec/scheduler.h"
 #include "query/query_graph.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace svqa::exec {
 
@@ -19,39 +23,95 @@ struct QueryOutcome {
   double latency_micros = 0;
 };
 
+/// \brief How a batch is driven through the executor.
+enum class BatchMode {
+  /// Deterministic single-thread replay: queries execute on the caller
+  /// thread in schedule order (the shared cache sees the same global
+  /// order every run) and the parallel makespan is *accounted*, not
+  /// measured. This is the reproducible Exp-5 configuration.
+  kSimulated,
+  /// Real parallel execution: `num_workers` util::ThreadPool workers
+  /// share one QueryGraphExecutor + KeyCentricCache and pull queries
+  /// dynamically (least-loaded); wall_micros is the measured makespan.
+  /// Answers are byte-identical to kSimulated; per-query virtual
+  /// latencies can differ when a shared cache/memo is enabled, because
+  /// the hit/miss interleaving is real (see DESIGN.md).
+  kThreaded,
+};
+
+const char* BatchModeName(BatchMode mode);
+
 /// \brief Batch execution options.
 struct BatchOptions {
   /// Run the §V-B frequency-ratio scheduler before execution.
   bool use_scheduler = true;
-  /// Worker count; > 1 simulates the parallelized executor: queries are
-  /// dealt round-robin to workers, and the batch's virtual latency is the
-  /// makespan (max worker total) instead of the serial sum.
+  /// Worker count. In kSimulated mode each query is *assigned* (in
+  /// schedule order) to the least-loaded virtual worker and the batch's
+  /// virtual latency is the makespan; in kThreaded mode this is the
+  /// real thread-pool size.
   std::size_t num_workers = 1;
+  BatchMode mode = BatchMode::kSimulated;
+  /// Latency pacing for kThreaded mode: host microseconds each worker
+  /// sleeps per *virtual second* its query charged (0 = off). Pacing
+  /// makes the measured wall-clock makespan track the virtual cost
+  /// model, so thread-overlap speedups are observable on any host —
+  /// including single-core CI — instead of depending on how many
+  /// physical cores happen to back the pool.
+  double pace_micros_per_virtual_second = 0;
 };
 
 /// \brief Batch result: per-query outcomes (input order) plus totals.
 struct BatchResult {
   std::vector<QueryOutcome> outcomes;
-  /// Virtual latency of the whole batch (sum for serial execution,
-  /// makespan for parallel).
+  /// Virtual latency of the whole batch: makespan over the per-worker
+  /// virtual loads (equals the serial sum when num_workers == 1).
   double total_micros = 0;
-  /// Host wall-clock time actually spent (diagnostics only).
+  /// Host wall-clock time actually spent. Diagnostics in kSimulated
+  /// mode; the measured makespan in kThreaded mode.
   double wall_micros = 0;
+  /// Virtual load per worker (kSimulated: least-loaded assignment;
+  /// kThreaded: what each pool worker actually executed).
+  std::vector<double> worker_micros;
+  /// Aggregate operation accounting: every per-query clock merged
+  /// serially (op counts add; elapsed equals the serial latency sum).
+  SimClock ops;
 };
 
 /// \brief Executes N query graphs through a shared executor/cache with
 /// optional scheduling (§V-B / Exp-5).
+///
+/// Outcomes are input-order stable in both modes. A lazily-created
+/// internal ThreadPool is reused across ExecuteAll calls; concurrent
+/// ExecuteAll calls on the *same* BatchExecutor are not supported (use
+/// one BatchExecutor per driving thread — they may share the executor).
 class BatchExecutor {
  public:
   BatchExecutor(const QueryGraphExecutor* executor, BatchOptions options = {});
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
 
   BatchResult ExecuteAll(const std::vector<query::QueryGraph>& graphs) const;
 
   const BatchOptions& options() const { return options_; }
 
  private:
+  std::vector<int> ScheduleOrder(
+      const std::vector<query::QueryGraph>& graphs) const;
+  void ExecuteSimulated(const std::vector<query::QueryGraph>& graphs,
+                        const std::vector<int>& order,
+                        BatchResult* result) const;
+  void ExecuteThreaded(const std::vector<query::QueryGraph>& graphs,
+                       const std::vector<int>& order,
+                       BatchResult* result) const;
+  /// Returns the reusable pool, (re)built to `workers` threads.
+  ThreadPool* EnsurePool(std::size_t workers) const SVQA_EXCLUDES(pool_mu_);
+
   const QueryGraphExecutor* executor_;
   BatchOptions options_;
+  mutable Mutex pool_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_ SVQA_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace svqa::exec

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 namespace svqa::exec {
 
@@ -24,7 +25,7 @@ QueryGraphExecutor::QueryGraphExecutor(const aggregator::MergedGraph* merged,
                                        ExecutorOptions options)
     : merged_(merged),
       embeddings_(embeddings),
-      matcher_(merged, embeddings),
+      matcher_(merged, embeddings, options.matcher),
       cache_(cache),
       options_(options) {}
 
@@ -46,24 +47,49 @@ std::vector<graph::VertexId> QueryGraphExecutor::ResolveScope(
 
 std::string QueryGraphExecutor::MatchPredicateLabel(
     const std::string& predicate, SimClock* clock) const {
+  if (options_.memoize_similarity) {
+    if (auto hit = predicate_label_memo_.Get(predicate)) {
+      if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+      return std::move(*hit);
+    }
+  }
   const auto& labels = merged_->graph.EdgeLabels();
   if (clock != nullptr) {
     clock->Charge(CostKind::kEmbeddingSim,
                   static_cast<double>(labels.size()));
   }
-  // Exact canonical hit first; embedding similarity otherwise.
+  // Exact canonical hit first; embedding similarity otherwise. The
+  // resolution is a pure function of the immutable merged graph, so the
+  // memoized value is identical no matter which query computed it.
+  std::string resolved = predicate;  // no plausible label drops all pairs
+  bool found = false;
   for (const auto& label : labels) {
-    if (label == predicate) return label;
+    if (label == predicate) {
+      resolved = label;
+      found = true;
+      break;
+    }
   }
-  const auto& lexicon = embeddings_->lexicon();
-  for (const auto& label : labels) {
-    if (lexicon.AreSynonyms(label, predicate)) return label;
+  if (!found) {
+    const auto& lexicon = embeddings_->lexicon();
+    for (const auto& label : labels) {
+      if (lexicon.AreSynonyms(label, predicate)) {
+        resolved = label;
+        found = true;
+        break;
+      }
+    }
   }
-  auto [best, score] = embeddings_->MostSimilar(predicate, labels);
-  if (best >= 0 && score >= options_.predicate_similarity_threshold) {
-    return labels[static_cast<std::size_t>(best)];
+  if (!found) {
+    auto [best, score] = embeddings_->MostSimilar(predicate, labels);
+    if (best >= 0 && score >= options_.predicate_similarity_threshold) {
+      resolved = labels[static_cast<std::size_t>(best)];
+    }
   }
-  return predicate;  // no plausible label; the filter will drop all pairs
+  if (options_.memoize_similarity) {
+    predicate_label_memo_.Put(predicate, resolved);
+  }
+  return resolved;
 }
 
 std::vector<RelationPair> QueryGraphExecutor::ApplyConstraint(
@@ -71,9 +97,21 @@ std::vector<RelationPair> QueryGraphExecutor::ApplyConstraint(
     SimClock* clock) const {
   if (constraint.empty() || pairs.empty()) return pairs;
   // Con <- maxScore(L(c_c), S): resolve the constraint phrase against the
-  // predefined word set (Algorithm 3 line 9).
-  const ConstraintSpec spec =
-      ResolveConstraint(constraint, *embeddings_, clock);
+  // predefined word set (Algorithm 3 line 9), through the memo so a
+  // repeated constraint charges one probe instead of a keyword sweep.
+  ConstraintSpec spec;
+  bool resolved = false;
+  if (options_.memoize_similarity) {
+    if (auto hit = constraint_memo_.Get(constraint)) {
+      if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+      spec = std::move(*hit);
+      resolved = true;
+    }
+  }
+  if (!resolved) {
+    spec = ResolveConstraint(constraint, *embeddings_, clock);
+    if (options_.memoize_similarity) constraint_memo_.Put(constraint, spec);
+  }
   if (spec.kind == ConstraintKind::kNone) return pairs;
   const bool most = spec.kind == ConstraintKind::kMostFrequent;
 
@@ -247,15 +285,14 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
         ap.push_back(p);
       }
     }
+    // maxScore runs in the paper's algorithm whether or not the synonym
+    // short-circuit above already kept pairs; through the memo it
+    // charges the embedding sweep once per distinct predicate.
+    const std::string label = MatchPredicateLabel(spoc.predicate, clock);
     if (ap.empty() && !rp.empty()) {
-      const std::string label = MatchPredicateLabel(spoc.predicate, clock);
       for (auto& p : rp) {
         if (p.predicate == label) ap.push_back(std::move(p));
       }
-    } else if (clock != nullptr) {
-      // maxScore still runs in the paper's algorithm; charge it.
-      clock->Charge(CostKind::kEmbeddingSim,
-                    static_cast<double>(merged_->graph.EdgeLabels().size()));
     }
 
     // Constraint filter.

@@ -12,6 +12,7 @@
 #include "exec/vertex_matcher.h"
 #include "query/query_graph.h"
 #include "text/embedding.h"
+#include "util/memo_cache.h"
 #include "util/result.h"
 #include "util/sim_clock.h"
 
@@ -52,6 +53,14 @@ struct Answer {
 struct ExecutorOptions {
   /// Minimum embedding cosine for predicate label fallback matching.
   double predicate_similarity_threshold = 0.5;
+  /// matchVertex configuration (label index, similarity memo).
+  VertexMatcherOptions matcher;
+  /// Memoize maxScore derivations shared across the batch: the
+  /// predicate -> best-edge-label table and constraint resolution. A
+  /// memo hit charges one kCacheProbe instead of kEmbeddingSim per
+  /// candidate. Disable (together with matcher.memoize_similarity) for
+  /// strictly per-query-deterministic virtual latencies.
+  bool memoize_similarity = true;
 };
 
 /// \brief Algorithm 3: executes a query graph over the merged graph.
@@ -62,6 +71,12 @@ struct ExecutorOptions {
 /// adjacency scan), filters them by the maxScore-matched predicate and
 /// the constraint, and pushes the surviving bindings into its consumers.
 /// The main clause (vertex 0) yields the final answer.
+///
+/// Thread-safety: `Execute` is safe for concurrent calls from batch
+/// workers sharing one executor — the merged graph and embeddings are
+/// immutable, the key-centric cache is internally locked, and the
+/// maxScore memos are thread-safe MemoCaches. Each worker must own its
+/// `SimClock`.
 class QueryGraphExecutor {
  public:
   /// \param cache optional key-centric cache shared across queries; pass
@@ -99,6 +114,10 @@ class QueryGraphExecutor {
   VertexMatcher matcher_;
   KeyCentricCache* cache_;
   ExecutorOptions options_;
+  /// maxScore memo: predicate -> best merged-graph edge label.
+  mutable MemoCache<std::string, std::string> predicate_label_memo_;
+  /// Constraint phrase -> resolved spec memo.
+  mutable MemoCache<std::string, ConstraintSpec> constraint_memo_;
 };
 
 }  // namespace svqa::exec

@@ -14,6 +14,7 @@ VertexMatcher::VertexMatcher(const aggregator::MergedGraph* merged,
     : merged_(merged), embeddings_(embeddings), options_(options) {
   const graph::Graph& g = merged_->graph;
   const auto& lexicon = embeddings_->lexicon();
+  taxonomy_children_.resize(static_cast<std::size_t>(g.num_vertices()));
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     const graph::Vertex& vx = g.vertex(v);
     canon_index_[lexicon.Canonical(vx.category)].push_back(v);
@@ -24,6 +25,14 @@ VertexMatcher::VertexMatcher(const aggregator::MergedGraph* merged,
     const std::string canon_label = lexicon.Canonical(label);
     if (canon_label != lexicon.Canonical(vx.category)) {
       canon_index_[canon_label].push_back(v);
+    }
+    for (const auto& he : g.InEdges(v)) {
+      const std::string_view el = g.EdgeLabelName(he.label);
+      if (el == "is-a" || el == aggregator::kInstanceOfEdge ||
+          el == aggregator::kSameAsEdge) {
+        taxonomy_children_[static_cast<std::size_t>(v)].push_back(
+            he.neighbor);
+      }
     }
   }
 }
@@ -48,21 +57,40 @@ std::vector<graph::VertexId> VertexMatcher::MatchByLabel(
   const auto& lexicon = embeddings_->lexicon();
   const std::string canon = lexicon.Canonical(head);
 
-  // Virtually this is a scan of every vertex with a Levenshtein test per
-  // label (what the scope cache amortizes); charge it as such.
-  if (clock != nullptr) {
+  const auto it = canon_index_.find(canon);
+  if (options_.use_label_index) {
+    // Indexed probe: one bucket lookup plus a verifying compare per
+    // bucket entry.
+    if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+    if (it != canon_index_.end()) {
+      if (clock != nullptr) {
+        clock->Charge(CostKind::kVertexCompare,
+                      static_cast<double>(it->second.size()));
+      }
+      return it->second;
+    }
+    // Near-miss key: the index cannot answer; the Levenshtein full scan
+    // below runs (and is charged) exactly as in the unindexed model.
+  } else {
+    // Pre-index model: a scan of every vertex with a Levenshtein test
+    // per label (what the scope cache amortizes); charge it as such
+    // even when the physical fast path below short-circuits.
+    if (clock != nullptr) {
+      clock->Charge(CostKind::kVertexCompare,
+                    static_cast<double>(g.num_vertices()));
+      clock->Charge(CostKind::kLevenshtein,
+                    static_cast<double>(g.num_vertices()));
+    }
+    if (it != canon_index_.end()) return it->second;
+  }
+
+  // Fuzzy fallback: normalized Levenshtein over labels and categories.
+  if (options_.use_label_index && clock != nullptr) {
     clock->Charge(CostKind::kVertexCompare,
                   static_cast<double>(g.num_vertices()));
     clock->Charge(CostKind::kLevenshtein,
                   static_cast<double>(g.num_vertices()));
   }
-
-  // Physical fast path: exact canonical hit.
-  if (auto it = canon_index_.find(canon); it != canon_index_.end()) {
-    return it->second;
-  }
-
-  // Fuzzy fallback: normalized Levenshtein over labels and categories.
   std::vector<graph::VertexId> out;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     const graph::Vertex& vx = g.vertex(v);
@@ -84,28 +112,53 @@ void VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
                                    SimClock* clock) const {
   const graph::Graph& g = merged_->graph;
   // Walk down the taxonomy: concept -> (is-a in-edges) -> sub-concepts
-  // -> (instance-of in-edges) -> scene objects / entities.
+  // -> (instance-of in-edges) -> scene objects / entities. The walk
+  // follows the per-vertex taxonomy bucket; with the index disabled the
+  // clock is charged for the full in-edge scan the bucket replaces.
   std::unordered_set<graph::VertexId> seen(candidates->begin(),
                                            candidates->end());
   std::deque<graph::VertexId> frontier(candidates->begin(),
                                        candidates->end());
   double traversed = 0;
+  double probes = 0;
   while (!frontier.empty()) {
     const graph::VertexId v = frontier.front();
     frontier.pop_front();
-    for (const auto& he : g.InEdges(v)) {
-      ++traversed;
-      const std::string_view label = g.EdgeLabelName(he.label);
-      if (label == "is-a" || label == aggregator::kInstanceOfEdge ||
-          label == aggregator::kSameAsEdge) {
-        if (seen.insert(he.neighbor).second) {
-          candidates->push_back(he.neighbor);
-          frontier.push_back(he.neighbor);
-        }
+    const auto& children = taxonomy_children_[static_cast<std::size_t>(v)];
+    if (options_.use_label_index) {
+      ++probes;
+      traversed += static_cast<double>(children.size());
+    } else {
+      traversed += static_cast<double>(g.InEdges(v).size());
+    }
+    for (const graph::VertexId child : children) {
+      if (seen.insert(child).second) {
+        candidates->push_back(child);
+        frontier.push_back(child);
       }
     }
   }
-  if (clock != nullptr) clock->Charge(CostKind::kEdgeTraverse, traversed);
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kEdgeTraverse, traversed);
+    if (probes > 0) clock->Charge(CostKind::kCacheProbe, probes);
+  }
+}
+
+std::pair<int, double> VertexMatcher::BestEdgeLabel(const std::string& head,
+                                                    SimClock* clock) const {
+  const auto& labels = merged_->graph.EdgeLabels();
+  if (options_.memoize_similarity) {
+    if (auto hit = edge_label_memo_.Get(head)) {
+      if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+      return *hit;
+    }
+  }
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kEmbeddingSim, static_cast<double>(labels.size()));
+  }
+  const std::pair<int, double> best = embeddings_->MostSimilar(head, labels);
+  if (options_.memoize_similarity) edge_label_memo_.Put(head, best);
+  return best;
 }
 
 std::vector<graph::VertexId> VertexMatcher::MatchPossessive(
@@ -121,10 +174,7 @@ std::vector<graph::VertexId> VertexMatcher::MatchPossessive(
   // The KG edge whose label is embedding-closest to the head
   // ("girlfriend" -> "girlfriend-of").
   const auto& labels = g.EdgeLabels();
-  auto [best, score] = embeddings_->MostSimilar(element.head, labels);
-  if (clock != nullptr) {
-    clock->Charge(CostKind::kEmbeddingSim, static_cast<double>(labels.size()));
-  }
+  const auto [best, score] = BestEdgeLabel(element.head, clock);
   if (best < 0 || score < options_.edge_similarity_threshold) return {};
   const std::string& edge_label = labels[static_cast<std::size_t>(best)];
 

@@ -1,0 +1,97 @@
+#ifndef SVQA_UTIL_MEMO_CACHE_H_
+#define SVQA_UTIL_MEMO_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace svqa {
+
+/// \brief Hit/miss counters of a MemoCache, snapshotted by value.
+struct MemoStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// \brief Small unbounded thread-safe memo table for pure functions.
+///
+/// Used to memoize deterministic derivations whose key universe is tiny
+/// and fixed by the workload (predicate -> best merged-graph edge label,
+/// constraint phrase -> ConstraintSpec, possessive head -> KG edge
+/// label). Unlike the key-centric cache there is no eviction: the tables
+/// stay bounded by the vocabulary, not the batch size.
+///
+/// Thread-safety: all operations take the internal Mutex. `Get` copies
+/// the hit out so no reference into the guarded map escapes. Concurrent
+/// `GetOrCompute` callers may compute the same value twice (the compute
+/// runs outside the lock); last write wins, which is harmless because
+/// memoized functions are pure — every computed value for a key is
+/// identical.
+template <typename K, typename V>
+class MemoCache {
+ public:
+  MemoCache() = default;
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  std::optional<V> Get(const K& key) {
+    MutexLock lock(&mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second;
+  }
+
+  void Put(const K& key, V value) {
+    MutexLock lock(&mu_);
+    map_.insert_or_assign(key, std::move(value));
+  }
+
+  /// Returns the memoized value for `key`, computing it with `compute()`
+  /// on a miss. `compute` runs outside the lock.
+  template <typename Fn>
+  V GetOrCompute(const K& key, Fn&& compute) {
+    if (auto hit = Get(key)) return std::move(*hit);
+    V value = compute();
+    Put(key, value);
+    return value;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(&mu_);
+    return map_.size();
+  }
+
+  MemoStats stats() const {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+
+  void Clear() {
+    MutexLock lock(&mu_);
+    map_.clear();
+    stats_ = MemoStats{};
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::unordered_map<K, V> map_ SVQA_GUARDED_BY(mu_);
+  MemoStats stats_ SVQA_GUARDED_BY(mu_);
+};
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_MEMO_CACHE_H_

@@ -1,0 +1,126 @@
+// Stress test (label: stress — runs under the tsan-stress ctest preset):
+// hammers one shared QueryGraphExecutor + KeyCentricCache through the
+// real thread pool from BatchExecutor's threaded mode, repeatedly and
+// from multiple driving threads, checking answers stay byte-identical
+// to the serial reference. TSan validates the locking; the assertions
+// validate the semantics.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "data/mvqa_generator.h"
+#include "exec/batch_executor.h"
+#include "text/lexicon.h"
+
+namespace svqa::exec {
+namespace {
+
+class BatchStressFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 60;
+    opts.world.seed = 123;
+    dataset_ = new data::MvqaDataset(data::MvqaGenerator(opts).Generate());
+    embeddings_ = new text::EmbeddingModel(text::SynonymLexicon::Default());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete embeddings_;
+  }
+
+  static std::vector<query::QueryGraph> Batch(unsigned seed, std::size_t n) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, dataset_->questions.size() - 1);
+    std::vector<query::QueryGraph> graphs;
+    graphs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      graphs.push_back(dataset_->questions[pick(rng)].gold_graph);
+    }
+    return graphs;
+  }
+
+  static data::MvqaDataset* dataset_;
+  static text::EmbeddingModel* embeddings_;
+};
+
+data::MvqaDataset* BatchStressFixture::dataset_ = nullptr;
+text::EmbeddingModel* BatchStressFixture::embeddings_ = nullptr;
+
+TEST_F(BatchStressFixture, RepeatedThreadedBatchesOnOneSharedCache) {
+  // One executor + cache + pool, reused across rounds: every round's
+  // answers must match the serial reference computed with a private
+  // executor. Memos and cache fill up concurrently while matching.
+  KeyCentricCache cache(KeyCentricCacheOptions{});
+  QueryGraphExecutor shared(&dataset_->perfect_merged, embeddings_, &cache);
+  BatchOptions bopts;
+  bopts.mode = BatchMode::kThreaded;
+  bopts.num_workers = 8;
+  BatchExecutor batch(&shared, bopts);
+
+  QueryGraphExecutor reference(&dataset_->perfect_merged, embeddings_);
+  for (unsigned round = 0; round < 6; ++round) {
+    const auto graphs = Batch(round, 24);
+    const BatchResult result = batch.ExecuteAll(graphs);
+    ASSERT_EQ(result.outcomes.size(), graphs.size());
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      ASSERT_TRUE(result.outcomes[i].status.ok())
+          << result.outcomes[i].status;
+      SimClock clock;
+      const Result<Answer> expect = reference.Execute(graphs[i], &clock);
+      ASSERT_TRUE(expect.ok());
+      EXPECT_EQ(result.outcomes[i].answer.text, expect->text)
+          << "round " << round << " query " << i;
+      EXPECT_EQ(result.outcomes[i].answer.entities, expect->entities);
+      EXPECT_EQ(result.outcomes[i].answer.count, expect->count);
+    }
+  }
+  EXPECT_GT(cache.TotalStats().HitRate(), 0.0);
+}
+
+TEST_F(BatchStressFixture, ConcurrentDriversShareOneExecutor) {
+  // Multiple driving threads, each with its own BatchExecutor (the
+  // documented sharing model), all pounding ONE executor + cache. The
+  // per-driver pools multiply the worker threads touching the shared
+  // structures.
+  KeyCentricCache cache(KeyCentricCacheOptions{});
+  QueryGraphExecutor shared(&dataset_->perfect_merged, embeddings_, &cache);
+  QueryGraphExecutor reference(&dataset_->perfect_merged, embeddings_);
+
+  constexpr int kDrivers = 4;
+  std::vector<std::thread> drivers;
+  std::vector<std::string> failures(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      BatchOptions bopts;
+      bopts.mode = BatchMode::kThreaded;
+      bopts.num_workers = 4;
+      BatchExecutor batch(&shared, bopts);
+      for (unsigned round = 0; round < 3; ++round) {
+        const auto graphs =
+            Batch(static_cast<unsigned>(d) * 100 + round, 16);
+        const BatchResult result = batch.ExecuteAll(graphs);
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+          SimClock clock;
+          const Result<Answer> expect = reference.Execute(graphs[i], &clock);
+          if (!result.outcomes[i].status.ok() || !expect.ok() ||
+              result.outcomes[i].answer.text != expect->text) {
+            failures[static_cast<std::size_t>(d)] =
+                "driver " + std::to_string(d) + " round " +
+                std::to_string(round) + " query " + std::to_string(i);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  for (const auto& f : failures) EXPECT_TRUE(f.empty()) << f;
+}
+
+}  // namespace
+}  // namespace svqa::exec

@@ -1,0 +1,225 @@
+// Parallel-vs-serial equivalence of BatchExecutor: answers must be
+// byte-identical across modes and worker counts, simulated latencies
+// must not depend on the worker count, and threaded latencies must be
+// exactly serial when no shared mutable state (cache/memos) is enabled.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "data/mvqa_generator.h"
+#include "exec/batch_executor.h"
+#include "text/lexicon.h"
+
+namespace svqa::exec {
+namespace {
+
+/// Full structural equality of two answers, provenance included.
+void ExpectSameAnswer(const Answer& a, const Answer& b, int query) {
+  EXPECT_EQ(a.type, b.type) << "query " << query;
+  EXPECT_EQ(a.text, b.text) << "query " << query;
+  EXPECT_EQ(a.yes, b.yes) << "query " << query;
+  EXPECT_EQ(a.count, b.count) << "query " << query;
+  EXPECT_EQ(a.entities, b.entities) << "query " << query;
+  ASSERT_EQ(a.provenance.size(), b.provenance.size()) << "query " << query;
+  for (std::size_t i = 0; i < a.provenance.size(); ++i) {
+    EXPECT_EQ(a.provenance[i].image, b.provenance[i].image);
+    EXPECT_EQ(a.provenance[i].subject, b.provenance[i].subject);
+    EXPECT_EQ(a.provenance[i].predicate, b.provenance[i].predicate);
+    EXPECT_EQ(a.provenance[i].object, b.provenance[i].object);
+  }
+}
+
+class BatchParallelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 120;
+    opts.world.seed = 77;
+    dataset_ = new data::MvqaDataset(data::MvqaGenerator(opts).Generate());
+    merged_ = &dataset_->perfect_merged;
+    embeddings_ = new text::EmbeddingModel(text::SynonymLexicon::Default());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete embeddings_;
+    merged_ = nullptr;
+  }
+
+  /// A randomized batch of gold query graphs (repeats allowed, so the
+  /// cache sees real reuse).
+  static std::vector<query::QueryGraph> RandomBatch(unsigned seed,
+                                                    std::size_t n) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, dataset_->questions.size() - 1);
+    std::vector<query::QueryGraph> graphs;
+    graphs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      graphs.push_back(dataset_->questions[pick(rng)].gold_graph);
+    }
+    return graphs;
+  }
+
+  /// Runs `graphs` through a fresh cache + executor + batch executor.
+  static BatchResult Run(const std::vector<query::QueryGraph>& graphs,
+                         BatchOptions bopts, bool enable_cache = true,
+                         bool memoize = true) {
+    KeyCentricCache cache(KeyCentricCacheOptions{});
+    ExecutorOptions eopts;
+    eopts.memoize_similarity = memoize;
+    eopts.matcher.memoize_similarity = memoize;
+    QueryGraphExecutor executor(merged_, embeddings_,
+                                enable_cache ? &cache : nullptr, eopts);
+    return BatchExecutor(&executor, bopts).ExecuteAll(graphs);
+  }
+
+  static data::MvqaDataset* dataset_;
+  static aggregator::MergedGraph* merged_;
+  static text::EmbeddingModel* embeddings_;
+};
+
+data::MvqaDataset* BatchParallelFixture::dataset_ = nullptr;
+aggregator::MergedGraph* BatchParallelFixture::merged_ = nullptr;
+text::EmbeddingModel* BatchParallelFixture::embeddings_ = nullptr;
+
+TEST_F(BatchParallelFixture, SimulatedIsIdenticalAcrossWorkerCounts) {
+  // Simulated mode executes in schedule order regardless of the worker
+  // count, so answers AND per-query virtual latencies are reproducible
+  // bit-for-bit — the Exp-5 guarantee.
+  for (unsigned seed : {1u, 2u, 3u}) {
+    const auto graphs = RandomBatch(seed, 40);
+    BatchOptions serial;
+    serial.num_workers = 1;
+    const BatchResult base = Run(graphs, serial);
+    for (std::size_t workers : {2u, 8u}) {
+      BatchOptions bopts;
+      bopts.num_workers = workers;
+      const BatchResult result = Run(graphs, bopts);
+      ASSERT_EQ(result.outcomes.size(), base.outcomes.size());
+      for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+        EXPECT_EQ(result.outcomes[i].status.ok(),
+                  base.outcomes[i].status.ok());
+        ExpectSameAnswer(result.outcomes[i].answer, base.outcomes[i].answer,
+                         static_cast<int>(i));
+        EXPECT_DOUBLE_EQ(result.outcomes[i].latency_micros,
+                         base.outcomes[i].latency_micros)
+            << "workers=" << workers << " query=" << i;
+      }
+      EXPECT_LE(result.total_micros, base.total_micros);
+    }
+  }
+}
+
+TEST_F(BatchParallelFixture, LeastLoadedBeatsRoundRobinMakespan) {
+  // The simulated makespan uses greedy least-loaded assignment, which is
+  // never worse than dealing queries round-robin over the same latencies
+  // in the same order.
+  const auto graphs = RandomBatch(9, 60);
+  BatchOptions bopts;
+  bopts.use_scheduler = false;  // schedule order == input order
+  bopts.num_workers = 4;
+  const BatchResult result = Run(graphs, bopts);
+
+  std::vector<double> rr(bopts.num_workers, 0.0);
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    rr[i % rr.size()] += result.outcomes[i].latency_micros;
+  }
+  const double rr_makespan = *std::max_element(rr.begin(), rr.end());
+  EXPECT_LE(result.total_micros, rr_makespan + 1e-6);
+
+  // And it is a valid makespan: at least the largest single query and
+  // at least sum/workers.
+  double sum = 0, largest = 0;
+  for (const auto& o : result.outcomes) {
+    sum += o.latency_micros;
+    largest = std::max(largest, o.latency_micros);
+  }
+  EXPECT_GE(result.total_micros, largest - 1e-6);
+  EXPECT_GE(result.total_micros,
+            sum / static_cast<double>(bopts.num_workers) - 1e-6);
+}
+
+TEST_F(BatchParallelFixture, ThreadedAnswersAreByteIdenticalToSerial) {
+  // Real threads, one shared executor + cache: answer content must not
+  // depend on scheduling. (Latencies may: hit/miss interleaving is
+  // real in threaded mode when a shared cache is on.)
+  for (unsigned seed : {11u, 12u}) {
+    const auto graphs = RandomBatch(seed, 40);
+    BatchOptions serial;
+    serial.num_workers = 1;
+    const BatchResult base = Run(graphs, serial);
+    for (std::size_t workers : {2u, 8u}) {
+      BatchOptions bopts;
+      bopts.mode = BatchMode::kThreaded;
+      bopts.num_workers = workers;
+      const BatchResult result = Run(graphs, bopts);
+      ASSERT_EQ(result.outcomes.size(), base.outcomes.size());
+      for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+        EXPECT_EQ(result.outcomes[i].status.ok(),
+                  base.outcomes[i].status.ok());
+        ExpectSameAnswer(result.outcomes[i].answer, base.outcomes[i].answer,
+                         static_cast<int>(i));
+      }
+    }
+  }
+}
+
+TEST_F(BatchParallelFixture, ThreadedLatenciesExactWithoutSharedState) {
+  // With the cache and all memos off the executor touches no shared
+  // mutable state, so each query's virtual latency is a pure function
+  // of the query — identical across modes and worker counts.
+  const auto graphs = RandomBatch(21, 30);
+  BatchOptions serial;
+  serial.num_workers = 1;
+  const BatchResult base =
+      Run(graphs, serial, /*enable_cache=*/false, /*memoize=*/false);
+  BatchOptions bopts;
+  bopts.mode = BatchMode::kThreaded;
+  bopts.num_workers = 8;
+  const BatchResult result =
+      Run(graphs, bopts, /*enable_cache=*/false, /*memoize=*/false);
+  ASSERT_EQ(result.outcomes.size(), base.outcomes.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+    ExpectSameAnswer(result.outcomes[i].answer, base.outcomes[i].answer,
+                     static_cast<int>(i));
+    EXPECT_DOUBLE_EQ(result.outcomes[i].latency_micros,
+                     base.outcomes[i].latency_micros);
+    sum += base.outcomes[i].latency_micros;
+  }
+  // The measured per-worker loads partition the serial work.
+  EXPECT_EQ(result.worker_micros.size(), 8u);
+  double load_sum = 0;
+  for (const double w : result.worker_micros) load_sum += w;
+  EXPECT_NEAR(load_sum, sum, 1e-3);
+  EXPECT_LE(result.total_micros, sum + 1e-6);
+  // Aggregate op accounting also matches the serial run.
+  EXPECT_DOUBLE_EQ(result.ops.ElapsedMicros(), base.ops.ElapsedMicros());
+}
+
+TEST_F(BatchParallelFixture, ThreadedEmptyBatchAndPoolReuse) {
+  QueryGraphExecutor executor(merged_, embeddings_);
+  BatchOptions bopts;
+  bopts.mode = BatchMode::kThreaded;
+  bopts.num_workers = 4;
+  BatchExecutor batch(&executor, bopts);
+  const BatchResult empty = batch.ExecuteAll({});
+  EXPECT_TRUE(empty.outcomes.empty());
+  EXPECT_DOUBLE_EQ(empty.total_micros, 0);
+  // Same instance runs further batches on its reused pool.
+  const auto graphs = RandomBatch(31, 10);
+  const BatchResult again = batch.ExecuteAll(graphs);
+  ASSERT_EQ(again.outcomes.size(), graphs.size());
+  for (const auto& o : again.outcomes) EXPECT_TRUE(o.status.ok());
+}
+
+TEST(BatchModeNameTest, Names) {
+  EXPECT_STREQ(BatchModeName(BatchMode::kSimulated), "simulated");
+  EXPECT_STREQ(BatchModeName(BatchMode::kThreaded), "threaded");
+}
+
+}  // namespace
+}  // namespace svqa::exec

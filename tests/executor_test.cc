@@ -158,13 +158,46 @@ TEST_F(ExecutorFixture, MatcherUnknownHeadYieldsNothing) {
   EXPECT_TRUE(matcher.Match(El("unobtainium")).empty());
 }
 
-TEST_F(ExecutorFixture, MatcherChargesScanCosts) {
-  VertexMatcher matcher(merged_, embeddings_);
+TEST_F(ExecutorFixture, MatcherChargesScanCostsWithoutIndex) {
+  VertexMatcherOptions opts;
+  opts.use_label_index = false;
+  VertexMatcher matcher(merged_, embeddings_, opts);
   SimClock clock;
   matcher.Match(El("dog"), &clock);
-  // Virtually a full scan regardless of the physical index.
+  // The pre-index model charges a full scan regardless of the physical
+  // fast path.
   EXPECT_GE(clock.OpCount(CostKind::kVertexCompare),
             static_cast<double>(merged_->graph.num_vertices()));
+  EXPECT_GE(clock.OpCount(CostKind::kLevenshtein),
+            static_cast<double>(merged_->graph.num_vertices()));
+}
+
+TEST_F(ExecutorFixture, MatcherIndexChargesBucketProbe) {
+  VertexMatcher matcher(merged_, embeddings_);  // index on by default
+  SimClock clock;
+  const auto matches = matcher.Match(El("dog"), &clock);
+  ASSERT_FALSE(matches.empty());
+  // An exact-key hit charges the probe plus one compare per bucket
+  // entry — far below the full scan — and no Levenshtein at all.
+  EXPECT_GT(clock.OpCount(CostKind::kCacheProbe), 0);
+  EXPECT_LT(clock.OpCount(CostKind::kVertexCompare),
+            static_cast<double>(merged_->graph.num_vertices()));
+  EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kLevenshtein), 0);
+}
+
+TEST_F(ExecutorFixture, MatcherIndexNearMissFallsBackToFullScan) {
+  VertexMatcher matcher(merged_, embeddings_);
+  SimClock clock;
+  // "dogg" is a near-miss key: no exact bucket, so the Levenshtein scan
+  // runs (and is charged) exactly as in the unindexed model.
+  const auto indexed = matcher.Match(El("dogg"), &clock);
+  EXPECT_GE(clock.OpCount(CostKind::kLevenshtein),
+            static_cast<double>(merged_->graph.num_vertices()));
+
+  VertexMatcherOptions opts;
+  opts.use_label_index = false;
+  VertexMatcher scan_matcher(merged_, embeddings_, opts);
+  EXPECT_EQ(indexed, scan_matcher.Match(El("dogg")));
 }
 
 TEST(ScopeKeyTest, EncodesHeadAndOwner) {
