@@ -1,0 +1,133 @@
+// Robustness sweep: how answer accuracy and tail latency of the batch
+// path hold up as the injected fault rate grows from 0 to 0.2, with the
+// retry layer on and off. Accuracy is the fraction of queries whose
+// answer matches the fault-free run; latency percentiles are virtual
+// micros (including retry backoff), so the sweep is host-independent.
+//
+// The sweep runs the deterministic simulated batch mode with a fixed
+// injector seed, so BENCH_robustness.json is bit-stable across runs and
+// comparable across PRs.
+//
+// Flags: --n N       batch size (default 200)
+//        --seed S    fault-injector seed (default 2026)
+//        --json PATH machine-readable output ("BENCH_robustness.json";
+//                    pass "" to disable)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/mvqa_generator.h"
+#include "exec/batch_executor.h"
+#include "text/lexicon.h"
+#include "util/fault_injector.h"
+
+namespace {
+
+using namespace svqa;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = std::atoi(
+      bench::FlagValue(argc, argv, "--n", "200").c_str());
+  const auto seed = static_cast<uint64_t>(std::atoll(
+      bench::FlagValue(argc, argv, "--seed", "2026").c_str()));
+  bench::JsonEmitter emitter(
+      bench::FlagValue(argc, argv, "--json", "BENCH_robustness.json"));
+
+  data::MvqaOptions mopts;
+  mopts.world.num_scenes = 120;
+  mopts.world.seed = 77;
+  const data::MvqaDataset dataset = data::MvqaGenerator(mopts).Generate();
+  const text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+
+  std::vector<query::QueryGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    graphs.push_back(
+        dataset.questions[static_cast<std::size_t>(i) %
+                          dataset.questions.size()]
+            .gold_graph);
+  }
+
+  const auto run = [&](const exec::ResilienceOptions& res) {
+    exec::KeyCentricCache cache(exec::KeyCentricCacheOptions{});
+    exec::QueryGraphExecutor executor(&dataset.perfect_merged, &embeddings,
+                                      &cache, exec::ExecutorOptions{});
+    exec::BatchOptions bopts;
+    bopts.resilience = res;
+    return exec::BatchExecutor(&executor, bopts).ExecuteAll(graphs);
+  };
+
+  const exec::BatchResult fault_free = run(exec::ResilienceOptions{});
+
+  bench::Banner("Robustness: accuracy & tail latency vs fault rate");
+  std::printf("%-8s %-8s %9s %9s %11s %11s %9s\n", "rate", "retries", "ok%",
+              "match%", "p50 us", "p99 us", "attempts");
+  bench::Rule();
+
+  for (const bool retries : {false, true}) {
+    for (const double rate : {0.0, 0.05, 0.1, 0.15, 0.2}) {
+      FaultConfig config = FaultConfig::Uniform(rate);
+      config.transient_fraction = 0.8;
+      FaultInjector injector(seed, config);
+      exec::ResilienceOptions res;
+      res.fault_policy = &injector;
+      res.enable_retries = retries;
+      const exec::BatchResult result = run(res);
+
+      std::size_t ok = 0, matches = 0, attempts = 0;
+      std::vector<double> latencies;
+      latencies.reserve(result.outcomes.size());
+      for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        const exec::QueryOutcome& o = result.outcomes[i];
+        attempts += static_cast<std::size_t>(o.diagnostics.attempts);
+        latencies.push_back(o.latency_micros);
+        if (!o.status.ok()) continue;
+        ++ok;
+        if (o.answer.text == fault_free.outcomes[i].answer.text) ++matches;
+      }
+      const double denom = static_cast<double>(result.outcomes.size());
+      const double p50 = Percentile(latencies, 0.50);
+      const double p99 = Percentile(latencies, 0.99);
+      std::printf("%-8.2f %-8s %8.1f%% %8.1f%% %11.0f %11.0f %9.2f\n", rate,
+                  retries ? "on" : "off",
+                  bench::Pct(static_cast<double>(ok) / denom),
+                  bench::Pct(static_cast<double>(matches) / denom), p50, p99,
+                  static_cast<double>(attempts) / denom);
+
+      bench::JsonRecord record;
+      record.name = retries ? "robustness_retries" : "robustness_no_retries";
+      record.cache_policy = "lfu";
+      record.total_micros = result.total_micros;
+      record.wall_micros = result.wall_micros;
+      // The emitter prints extras with one decimal, so fractions are
+      // stored as percentages.
+      record.Extra("fault_rate_pct", bench::Pct(rate))
+          .Extra("retries", retries ? 1 : 0)
+          .Extra("ok_pct", bench::Pct(static_cast<double>(ok) / denom))
+          .Extra("accuracy_pct",
+                 bench::Pct(static_cast<double>(matches) / denom))
+          .Extra("p50_virtual_micros", p50)
+          .Extra("p99_virtual_micros", p99)
+          .Extra("mean_attempts", static_cast<double>(attempts) / denom)
+          .Extra("injected_faults",
+                 static_cast<double>(injector.total_injected()));
+      emitter.Add(std::move(record));
+    }
+  }
+
+  return emitter.Flush() ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,9 +1,64 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "data/vocabulary.h"
+#include "util/retry.h"
+#include "util/rng.h"
 #include "vision/scene_graph_generator.h"
 
 namespace svqa::core {
+
+namespace {
+
+/// Probes an offline-phase fault site, retrying transient verdicts with
+/// the configured backoff (charged as virtual time). Returns the final
+/// verdict: OK, or the transient/permanent fault that stuck.
+Status ProbeWithRetry(const exec::ResilienceOptions& res, FaultSite site,
+                      const std::string& key, SimClock* clock) {
+  if (res.fault_policy == nullptr) return Status::OK();
+  const int max_attempts =
+      res.enable_retries ? std::max(1, res.retry.max_attempts) : 1;
+  Status s = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    s = res.fault_policy->Probe(site, key,
+                                static_cast<uint32_t>(attempt - 1));
+    if (s.ok() || !IsTransient(s) || attempt == max_attempts) break;
+    if (clock != nullptr) {
+      clock->ChargeMicros(
+          RetryBackoffMicros(res.retry, attempt, StableHash64(key)));
+    }
+  }
+  return s;
+}
+
+/// The ladder's last rung: the answer that is wrong in the safest
+/// direction — "no" for judgments, 0 for counts, "unknown" otherwise.
+exec::Answer ConservativeAnswer(nlp::QuestionType type, Status failure,
+                                const exec::Diagnostics& attempts_record) {
+  exec::Answer ans;
+  ans.type = type;
+  switch (type) {
+    case nlp::QuestionType::kJudgment:
+      ans.yes = false;
+      ans.text = "no";
+      break;
+    case nlp::QuestionType::kCounting:
+      ans.count = 0;
+      ans.text = "0";
+      break;
+    case nlp::QuestionType::kReasoning:
+      ans.text = "unknown";
+      break;
+  }
+  ans.diagnostics = attempts_record;
+  ans.diagnostics.rung = exec::DegradationRung::kConservative;
+  ans.diagnostics.primary = std::move(failure);
+  return ans;
+}
+
+}  // namespace
 
 SvqaEngine::SvqaEngine(SvqaOptions options)
     : options_(std::move(options)),
@@ -32,7 +87,24 @@ Status SvqaEngine::Ingest(const graph::Graph& knowledge_graph,
   model->FitBias(images);
   vision::SceneGraphGenerator generator(vision::SimulatedDetector(det),
                                         model, options_.sgg_mode);
-  scene_graphs_ = generator.GenerateAll(images, clock);
+  if (options_.resilience.fault_policy == nullptr) {
+    scene_graphs_ = generator.GenerateAll(images, clock);
+  } else {
+    // Detector I/O is fault-prone: probe per scene, retrying transient
+    // read failures with backoff; a scene whose read permanently fails
+    // is skipped — a degraded (sparser) ingest beats no ingest.
+    scene_graphs_.clear();
+    scene_graphs_.reserve(images.size());
+    for (const vision::Scene& scene : images) {
+      const std::string key = "scene:" + std::to_string(scene.id);
+      if (!ProbeWithRetry(options_.resilience, FaultSite::kDetectorIo, key,
+                          clock)
+               .ok()) {
+        continue;
+      }
+      scene_graphs_.push_back(generator.Generate(scene, clock));
+    }
+  }
 
   // Entity gazetteer: KG vertex labels become proper nouns for the
   // question tagger.
@@ -45,7 +117,10 @@ Status SvqaEngine::Ingest(const graph::Graph& knowledge_graph,
     builder_->RegisterEntityNames(labels);
   }
 
-  // Graph merging (Algorithm 1).
+  // Graph merging (Algorithm 1). The merge itself is not skippable, so
+  // a permanent kKgMerge fault fails the ingest; transient ones retry.
+  SVQA_RETURN_NOT_OK(ProbeWithRetry(options_.resilience, FaultSite::kKgMerge,
+                                    "kg-merge", clock));
   aggregator::GraphMerger merger(options_.merger);
   SVQA_ASSIGN_OR_RETURN(auto merged,
                         merger.Merge(knowledge_graph, scene_graphs_, clock));
@@ -109,9 +184,43 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
   if (executor_ == nullptr) {
     return Status::InvalidArgument("Ingest must be called before Ask");
   }
-  SVQA_ASSIGN_OR_RETURN(query::QueryGraph graph,
-                        builder_->Build(question, clock));
-  return executor_->Execute(graph, clock);
+  const exec::ResilienceOptions& res = options_.resilience;
+  // Salting the retry jitter with the question text decorrelates backoff
+  // schedules across questions while keeping each one replayable.
+  const uint64_t salt = StableHash64(question);
+
+  Result<query::QueryGraph> graph = builder_->Build(question, clock);
+  if (!graph.ok()) {
+    if (!options_.enable_degradation) return graph.status();
+    // A question we cannot even parse still deserves a definitive,
+    // conservative answer rather than an exception path.
+    return ConservativeAnswer(nlp::QuestionType::kReasoning, graph.status(),
+                              exec::Diagnostics{});
+  }
+
+  // Rung 0: full execution with deadline, cancellation, and retries.
+  exec::Diagnostics diag;
+  Result<exec::Answer> result =
+      executor_->ExecuteResilient(*graph, clock, res, salt, &diag);
+  if (result.ok() || !options_.enable_degradation) return result;
+
+  // Rung 1: a partial answer from the main clause's cached subgraph.
+  // The cache read still goes through the fault policy (which degrades
+  // a faulted read to a miss), but performs no scans, so it cannot blow
+  // the already-spent deadline further.
+  ExecContext degraded_ctx;
+  degraded_ctx.clock = clock;
+  degraded_ctx.faults = res.fault_policy;
+  if (std::optional<exec::Answer> partial =
+          executor_->ExecuteFromCache(*graph, degraded_ctx)) {
+    partial->diagnostics.primary = result.status();
+    partial->diagnostics.attempts = diag.attempts;
+    partial->diagnostics.backoff_micros = diag.backoff_micros;
+    return *std::move(partial);
+  }
+
+  // Rung 2: the conservative answer.
+  return ConservativeAnswer(graph->type(), result.status(), diag);
 }
 
 Result<std::string> SvqaEngine::Explain(const std::string& question) {

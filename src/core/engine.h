@@ -68,7 +68,15 @@ class SvqaEngine {
     return aggregator::LoadMergedGraph(path);
   }
 
-  /// Parses and executes one natural-language question.
+  /// Parses and executes one natural-language question under the
+  /// configured resilience options (deadline, retries, fault policy).
+  /// With `enable_degradation` (the default) a failed execution walks
+  /// the degradation ladder — cached-subgraph partial answer, then the
+  /// conservative "no"/0/"unknown" — so Ask returns an error only for
+  /// API misuse; `Answer::diagnostics` records the rung taken and the
+  /// underlying failure. With degradation disabled the raw Status
+  /// (kDeadlineExceeded, kCancelled, injected faults, parse errors)
+  /// surfaces instead.
   Result<exec::Answer> Ask(const std::string& question,
                            SimClock* clock = nullptr);
 

@@ -1,5 +1,7 @@
 #include "core/options.h"
 
+#include <cmath>
+
 namespace svqa::core {
 
 Status SvqaOptions::Validate() const {
@@ -14,6 +16,23 @@ Status SvqaOptions::Validate() const {
       executor.predicate_similarity_threshold > 1) {
     return Status::InvalidArgument(
         "predicate similarity threshold must be a cosine in [-1, 1]");
+  }
+  if (resilience.retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (resilience.retry.base_backoff_micros < 0 ||
+      resilience.retry.max_backoff_micros < 0) {
+    return Status::InvalidArgument("retry backoffs must be non-negative");
+  }
+  if (resilience.retry.backoff_multiplier < 1) {
+    return Status::InvalidArgument("retry.backoff_multiplier must be >= 1");
+  }
+  if (resilience.retry.jitter_fraction < 0 ||
+      resilience.retry.jitter_fraction >= 1) {
+    return Status::InvalidArgument("retry.jitter_fraction must be in [0, 1)");
+  }
+  if (std::isnan(resilience.query_deadline_micros)) {
+    return Status::InvalidArgument("query_deadline_micros must not be NaN");
   }
   return Status::OK();
 }

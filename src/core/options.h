@@ -32,6 +32,17 @@ struct SvqaOptions {
   /// Executor tuning.
   exec::ExecutorOptions executor;
 
+  /// Resilience: per-query virtual deadline, transient-failure retries,
+  /// fault-injection policy, and cooperative cancellation, threaded
+  /// through Ask and ExecuteBatch (see DESIGN.md "Failure model").
+  exec::ResilienceOptions resilience;
+  /// Walk Ask failures down the degradation ladder — full execution,
+  /// then a cached-subgraph partial answer, then the conservative
+  /// answer ("no" / 0 / "unknown") — instead of surfacing the error.
+  /// The rung taken is recorded in Answer::diagnostics. Disable to get
+  /// the raw failure Status.
+  bool enable_degradation = true;
+
   /// Embedding / noise seed.
   uint64_t seed = 42;
 

@@ -51,9 +51,10 @@ void BatchExecutor::ExecuteSimulated(
   std::vector<double>& loads = result->worker_micros;
   for (const int qi : order) {
     SimClock clock;
-    Result<Answer> r = executor_->Execute(graphs[static_cast<std::size_t>(qi)],
-                                          &clock);
     QueryOutcome& outcome = result->outcomes[static_cast<std::size_t>(qi)];
+    Result<Answer> r = executor_->ExecuteResilient(
+        graphs[static_cast<std::size_t>(qi)], &clock, options_.resilience,
+        /*salt=*/static_cast<uint64_t>(qi), &outcome.diagnostics);
     outcome.status = r.status();
     if (r.ok()) outcome.answer = *r;
     outcome.latency_micros = clock.ElapsedMicros();
@@ -82,8 +83,13 @@ void BatchExecutor::ExecuteThreaded(
       if (pos >= order.size()) return;
       const auto qi = static_cast<std::size_t>(order[pos]);
       SimClock& clock = clocks[qi];
-      Result<Answer> r = executor_->Execute(graphs[qi], &clock);
       QueryOutcome& outcome = result->outcomes[qi];
+      // Per-query isolation: the resilient call owns this slot's clock,
+      // deadline, and retry loop; an error lands in this slot's Status
+      // and the worker simply pulls the next query.
+      Result<Answer> r = executor_->ExecuteResilient(
+          graphs[qi], &clock, options_.resilience,
+          /*salt=*/static_cast<uint64_t>(qi), &outcome.diagnostics);
       outcome.status = r.status();
       if (r.ok()) outcome.answer = *r;
       outcome.latency_micros = clock.ElapsedMicros();

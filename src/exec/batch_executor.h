@@ -15,12 +15,15 @@
 
 namespace svqa::exec {
 
-/// \brief Outcome of one query in a batch.
+/// \brief Outcome of one query in a batch. Every slot gets a definitive
+/// Status — one query's failure never aborts or poisons its siblings.
 struct QueryOutcome {
   Status status;
   Answer answer;
-  /// Virtual time this query consumed.
+  /// Virtual time this query consumed (including retry backoff).
   double latency_micros = 0;
+  /// Retry/degradation record, populated even when `status` is an error.
+  Diagnostics diagnostics;
 };
 
 /// \brief How a batch is driven through the executor.
@@ -58,6 +61,12 @@ struct BatchOptions {
   /// including single-core CI — instead of depending on how many
   /// physical cores happen to back the pool.
   double pace_micros_per_virtual_second = 0;
+  /// Per-query deadline, retry, fault-injection, and cancellation knobs.
+  /// Each query runs under its own deadline on its own clock; the retry
+  /// jitter is salted with the query's input index, so the schedule is a
+  /// pure function of (seed, batch) — identical across modes and worker
+  /// counts.
+  ResilienceOptions resilience;
 };
 
 /// \brief Batch result: per-query outcomes (input order) plus totals.

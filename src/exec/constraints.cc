@@ -74,4 +74,17 @@ ConstraintSpec ResolveConstraint(const std::string& constraint,
   return spec;
 }
 
+Result<ConstraintSpec> ResolveConstraint(const std::string& constraint,
+                                         const text::EmbeddingModel& embeddings,
+                                         const ExecContext& ctx,
+                                         double min_score) {
+  SVQA_RETURN_NOT_OK(ctx.Checkpoint("constraint resolution"));
+  ConstraintSpec spec =
+      ResolveConstraint(constraint, embeddings, ctx.clock, min_score);
+  // The keyword sweep's cost is now on the clock; report an overrun
+  // before the caller builds on the spec.
+  SVQA_RETURN_NOT_OK(ctx.Checkpoint("constraint resolved"));
+  return spec;
+}
+
 }  // namespace svqa::exec

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "text/embedding.h"
+#include "util/exec_context.h"
+#include "util/result.h"
 #include "util/sim_clock.h"
 
 namespace svqa::exec {
@@ -41,6 +43,15 @@ ConstraintSpec ResolveConstraint(const std::string& constraint,
                                  const text::EmbeddingModel& embeddings,
                                  SimClock* clock = nullptr,
                                  double min_score = 0.45);
+
+/// \brief Context-aware constraint resolution: check-points the
+/// cancellation token and virtual deadline around the keyword sweep
+/// (whose cost is charged before the post-sweep check), surfacing
+/// kCancelled / kDeadlineExceeded instead of a spec.
+Result<ConstraintSpec> ResolveConstraint(const std::string& constraint,
+                                         const text::EmbeddingModel& embeddings,
+                                         const ExecContext& ctx,
+                                         double min_score = 0.45);
 
 }  // namespace svqa::exec
 

@@ -8,6 +8,18 @@
 
 namespace svqa::exec {
 
+const char* DegradationRungName(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kFullExecution:
+      return "full-execution";
+    case DegradationRung::kCachedSubgraph:
+      return "cached-subgraph";
+    case DegradationRung::kConservative:
+      return "conservative";
+  }
+  return "?";
+}
+
 std::string SupportFact::ToString() const {
   std::ostringstream os;
   os << "{" << subject << ", " << predicate << ", " << object << "}";
@@ -34,30 +46,35 @@ std::string QueryGraphExecutor::PathKey(const nlp::Spoc& spoc) {
          spoc.predicate + "|" + VertexMatcher::ScopeKey(spoc.object);
 }
 
-std::vector<graph::VertexId> QueryGraphExecutor::ResolveScope(
-    const nlp::SpocElement& element, SimClock* clock) const {
+Result<std::vector<graph::VertexId>> QueryGraphExecutor::ResolveScope(
+    const nlp::SpocElement& element, const ExecContext& ctx) const {
   const std::string key = VertexMatcher::ScopeKey(element);
   if (cache_ != nullptr) {
-    if (auto hit = cache_->GetScope(key, clock)) return std::move(*hit);
+    if (auto hit = cache_->GetScope(key, ctx)) return std::move(*hit);
   }
-  std::vector<graph::VertexId> scope = matcher_.Match(element, clock);
-  if (cache_ != nullptr) cache_->PutScope(key, scope);
+  SVQA_ASSIGN_OR_RETURN(std::vector<graph::VertexId> scope,
+                        matcher_.Match(element, ctx));
+  if (cache_ != nullptr) cache_->PutScope(key, scope, ctx);
   return scope;
 }
 
-std::string QueryGraphExecutor::MatchPredicateLabel(
-    const std::string& predicate, SimClock* clock) const {
+Result<std::string> QueryGraphExecutor::MatchPredicateLabel(
+    const std::string& predicate, const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   if (options_.memoize_similarity) {
     if (auto hit = predicate_label_memo_.Get(predicate)) {
       if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
       return std::move(*hit);
     }
   }
+  // The embedding sweep is the executor's relation-scoring fault site.
+  SVQA_RETURN_NOT_OK(ctx.ProbeFault(FaultSite::kRelationScore, predicate));
   const auto& labels = merged_->graph.EdgeLabels();
   if (clock != nullptr) {
     clock->Charge(CostKind::kEmbeddingSim,
                   static_cast<double>(labels.size()));
   }
+  SVQA_RETURN_NOT_OK(ctx.Checkpoint("predicate maxScore"));
   // Exact canonical hit first; embedding similarity otherwise. The
   // resolution is a pure function of the immutable merged graph, so the
   // memoized value is identical no matter which query computed it.
@@ -92,9 +109,10 @@ std::string QueryGraphExecutor::MatchPredicateLabel(
   return resolved;
 }
 
-std::vector<RelationPair> QueryGraphExecutor::ApplyConstraint(
+Result<std::vector<RelationPair>> QueryGraphExecutor::ApplyConstraint(
     std::vector<RelationPair> pairs, const std::string& constraint,
-    SimClock* clock) const {
+    const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   if (constraint.empty() || pairs.empty()) return pairs;
   // Con <- maxScore(L(c_c), S): resolve the constraint phrase against the
   // predefined word set (Algorithm 3 line 9), through the memo so a
@@ -109,7 +127,8 @@ std::vector<RelationPair> QueryGraphExecutor::ApplyConstraint(
     }
   }
   if (!resolved) {
-    spec = ResolveConstraint(constraint, *embeddings_, clock);
+    SVQA_ASSIGN_OR_RETURN(spec,
+                          ResolveConstraint(constraint, *embeddings_, ctx));
     if (options_.memoize_similarity) constraint_memo_.Put(constraint, spec);
   }
   if (spec.kind == ConstraintKind::kNone) return pairs;
@@ -229,6 +248,12 @@ Answer QueryGraphExecutor::MakeAnswer(
 
 Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
                                            SimClock* clock) const {
+  return Execute(gq, ExecContext::WithClock(clock));
+}
+
+Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
+                                           const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   if (gq.size() == 0) {
     return Status::InvalidArgument("empty query graph");
   }
@@ -244,6 +269,7 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
   bool answered = false;
 
   for (int u : order) {
+    SVQA_RETURN_NOT_OK(ctx.Checkpoint("query vertex"));
     const nlp::Spoc& spoc = gq.vertices()[u];
 
     // --- Query Stage ---
@@ -256,21 +282,30 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
     std::vector<RelationPair> rp;
     bool from_cache = false;
     if (cacheable && cache_ != nullptr) {
-      if (auto hit = cache_->GetPath(PathKey(spoc), clock)) {
+      if (auto hit = cache_->GetPath(PathKey(spoc), ctx)) {
         rp = std::move(*hit);
         from_cache = true;
       }
     }
     if (!from_cache) {
-      const std::vector<graph::VertexId> subjects =
-          subj_binding[u].has_value() ? *subj_binding[u]
-                                      : ResolveScope(spoc.subject, clock);
-      const std::vector<graph::VertexId> objects =
-          obj_binding[u].has_value() ? *obj_binding[u]
-                                     : ResolveScope(spoc.object, clock);
+      std::vector<graph::VertexId> subjects;
+      if (subj_binding[u].has_value()) {
+        subjects = *subj_binding[u];
+      } else {
+        SVQA_ASSIGN_OR_RETURN(subjects, ResolveScope(spoc.subject, ctx));
+      }
+      std::vector<graph::VertexId> objects;
+      if (obj_binding[u].has_value()) {
+        objects = *obj_binding[u];
+      } else {
+        SVQA_ASSIGN_OR_RETURN(objects, ResolveScope(spoc.object, ctx));
+      }
       rp = FindRelationPairs(merged_->graph, subjects, objects, clock);
+      // The adjacency scan's cost is on the clock; bail before filtering
+      // if it blew the budget.
+      SVQA_RETURN_NOT_OK(ctx.Checkpoint("relation pairs"));
       if (cacheable && cache_ != nullptr) {
-        cache_->PutPath(PathKey(spoc), rp);
+        cache_->PutPath(PathKey(spoc), rp, ctx);
       }
     }
 
@@ -288,7 +323,8 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
     // maxScore runs in the paper's algorithm whether or not the synonym
     // short-circuit above already kept pairs; through the memo it
     // charges the embedding sweep once per distinct predicate.
-    const std::string label = MatchPredicateLabel(spoc.predicate, clock);
+    SVQA_ASSIGN_OR_RETURN(const std::string label,
+                          MatchPredicateLabel(spoc.predicate, ctx));
     if (ap.empty() && !rp.empty()) {
       for (auto& p : rp) {
         if (p.predicate == label) ap.push_back(std::move(p));
@@ -296,7 +332,8 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
     }
 
     // Constraint filter.
-    ap = ApplyConstraint(std::move(ap), spoc.constraint, clock);
+    SVQA_ASSIGN_OR_RETURN(
+        ap, ApplyConstraint(std::move(ap), spoc.constraint, ctx));
 
     // --- Update Stage ---
     for (const query::QueryEdge& e : gq.EdgesFromProducer(u)) {
@@ -329,6 +366,78 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
     return Status::ExecutionError("main clause never executed");
   }
   return final_answer;
+}
+
+Result<Answer> QueryGraphExecutor::ExecuteResilient(
+    const query::QueryGraph& gq, SimClock* clock,
+    const ResilienceOptions& resilience, uint64_t salt,
+    Diagnostics* diagnostics) const {
+  ExecContext ctx;
+  ctx.clock = clock;
+  ctx.faults = resilience.fault_policy;
+  ctx.cancel = resilience.cancel;
+  if (clock != nullptr) {
+    ctx.deadline =
+        Deadline::FromBudget(clock, resilience.query_deadline_micros);
+  }
+  const int max_attempts =
+      resilience.enable_retries ? std::max(1, resilience.retry.max_attempts)
+                                : 1;
+  Diagnostics diag;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ctx.attempt = static_cast<uint32_t>(attempt - 1);
+    diag.attempts = attempt;
+    Result<Answer> result = Execute(gq, ctx);
+    if (result.ok()) {
+      diag.primary = Status::OK();
+      if (diagnostics != nullptr) *diagnostics = diag;
+      Answer ans = std::move(result).ValueOrDie();
+      ans.diagnostics = diag;
+      return ans;
+    }
+    last = result.status();
+    // Terminal failures (cancelled, deadline, permanent faults) are
+    // never retried; transient ones back off and go again.
+    if (!IsTransient(last) || attempt == max_attempts) break;
+    const double backoff = RetryBackoffMicros(resilience.retry, attempt, salt);
+    diag.backoff_micros += backoff;
+    if (clock != nullptr) clock->ChargeMicros(backoff);
+    // A backoff that blows the budget ends the loop here instead of
+    // burning another full attempt.
+    const Status after_backoff = ctx.Checkpoint("retry backoff");
+    if (!after_backoff.ok()) {
+      last = after_backoff;
+      diag.attempts = attempt;
+      break;
+    }
+  }
+  diag.primary = last;
+  if (diagnostics != nullptr) *diagnostics = diag;
+  return last;
+}
+
+std::optional<Answer> QueryGraphExecutor::ExecuteFromCache(
+    const query::QueryGraph& gq, const ExecContext& ctx) const {
+  if (cache_ == nullptr || gq.size() == 0) return std::nullopt;
+  const nlp::Spoc& spoc = gq.vertices()[0];  // the main clause
+  auto hit = cache_->GetPath(PathKey(spoc), ctx);
+  if (!hit.has_value()) return std::nullopt;
+  // Synonym-only predicate filter: the degraded path must stay cheap
+  // and fault-free, so no embedding sweep and no maxScore fallback.
+  const auto& lexicon = embeddings_->lexicon();
+  std::vector<RelationPair> ap;
+  ap.reserve(hit->size());
+  for (auto& p : *hit) {
+    if (p.predicate == spoc.predicate ||
+        lexicon.AreSynonyms(p.predicate, spoc.predicate)) {
+      ap.push_back(std::move(p));
+    }
+  }
+  if (ap.empty()) return std::nullopt;
+  Answer ans = MakeAnswer(gq, spoc, ap);
+  ans.diagnostics.rung = DegradationRung::kCachedSubgraph;
+  return ans;
 }
 
 }  // namespace svqa::exec

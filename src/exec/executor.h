@@ -12,8 +12,12 @@
 #include "exec/vertex_matcher.h"
 #include "query/query_graph.h"
 #include "text/embedding.h"
+#include "util/cancellation.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
 #include "util/memo_cache.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/sim_clock.h"
 
 namespace svqa::exec {
@@ -31,6 +35,32 @@ struct SupportFact {
   std::string ToString() const;
 };
 
+/// \brief Which rung of the degradation ladder produced an answer.
+enum class DegradationRung {
+  /// Normal Algorithm-3 execution succeeded (possibly after retries).
+  kFullExecution = 0,
+  /// Full execution failed; the answer was recovered from the main
+  /// clause's cached relation-pair subgraph.
+  kCachedSubgraph = 1,
+  /// Nothing usable survived; the conservative fallback answer.
+  kConservative = 2,
+};
+
+const char* DegradationRungName(DegradationRung rung);
+
+/// \brief Per-answer resilience diagnostics: how hard the pipeline had
+/// to work for this answer and how far down the ladder it landed.
+struct Diagnostics {
+  DegradationRung rung = DegradationRung::kFullExecution;
+  /// Outcome of the last full-execution attempt (OK on the top rung; the
+  /// failure that forced degradation otherwise).
+  Status primary = Status::OK();
+  /// Full-execution attempts made (1 = no retries needed).
+  int attempts = 1;
+  /// Virtual microseconds spent in retry backoff.
+  double backoff_micros = 0;
+};
+
 /// \brief The answer to a complex question.
 struct Answer {
   nlp::QuestionType type = nlp::QuestionType::kReasoning;
@@ -45,8 +75,26 @@ struct Answer {
   /// Evidence: up to kMaxProvenance relation pairs of the main clause
   /// that produced this answer.
   std::vector<SupportFact> provenance;
+  /// How this answer was obtained (degradation rung, retries, backoff).
+  Diagnostics diagnostics;
 
   static constexpr std::size_t kMaxProvenance = 10;
+};
+
+/// \brief Resilience knobs threaded through the execution pipeline.
+struct ResilienceOptions {
+  /// Per-query virtual-time budget in microseconds, measured on the
+  /// query's own SimClock; <= 0 or non-finite disables the deadline.
+  double query_deadline_micros = 0;
+  /// Retry transient (kResourceExhausted) failures with jittered
+  /// exponential backoff, charged as virtual time.
+  bool enable_retries = true;
+  RetryPolicy retry;
+  /// Fault policy consulted at the pipeline's injection sites; nullptr
+  /// disables injection entirely. Not owned.
+  const FaultPolicy* fault_policy = nullptr;
+  /// Cooperative cancellation; nullptr means not cancellable. Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// \brief Executor tuning knobs.
@@ -90,6 +138,35 @@ class QueryGraphExecutor {
   Result<Answer> Execute(const query::QueryGraph& gq,
                          SimClock* clock = nullptr) const;
 
+  /// Context-aware execution: polls cancellation and the virtual
+  /// deadline at every pipeline check-point and consults the context's
+  /// fault policy at the injection sites (matcher scans, relation
+  /// scoring, cache ops). Fails with kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted (transient fault) / kInternal (permanent fault).
+  Result<Answer> Execute(const query::QueryGraph& gq,
+                         const ExecContext& ctx) const;
+
+  /// Resilient execution: runs `Execute` under the options' deadline,
+  /// cancellation token, and fault policy, retrying transient failures
+  /// up to `retry.max_attempts` with jittered exponential backoff
+  /// (charged to the clock as virtual time; `salt` decorrelates the
+  /// jitter across queries of a batch). Terminal failures (cancelled,
+  /// deadline, permanent) are never retried. `diagnostics` (optional)
+  /// receives the attempt/backoff record even when the result is an
+  /// error — the degradation ladder above builds on it.
+  Result<Answer> ExecuteResilient(const query::QueryGraph& gq, SimClock* clock,
+                                  const ResilienceOptions& resilience,
+                                  uint64_t salt = 0,
+                                  Diagnostics* diagnostics = nullptr) const;
+
+  /// Degraded execution (ladder rung 2): answers from the main clause's
+  /// cached relation-pair subgraph alone — a synonym-only predicate
+  /// filter over the cached pairs, no scans, no embedding sweeps.
+  /// Returns nullopt when there is no cache, no cached entry for the
+  /// main clause, or nothing survives the filter.
+  std::optional<Answer> ExecuteFromCache(const query::QueryGraph& gq,
+                                         const ExecContext& ctx) const;
+
   const VertexMatcher& matcher() const { return matcher_; }
   KeyCentricCache* cache() const { return cache_; }
 
@@ -97,14 +174,14 @@ class QueryGraphExecutor {
   static std::string PathKey(const nlp::Spoc& spoc);
 
  private:
-  std::vector<graph::VertexId> ResolveScope(const nlp::SpocElement& element,
-                                            SimClock* clock) const;
+  Result<std::vector<graph::VertexId>> ResolveScope(
+      const nlp::SpocElement& element, const ExecContext& ctx) const;
   /// maxScore over the merged graph's edge labels (Algorithm 3 line 8).
-  std::string MatchPredicateLabel(const std::string& predicate,
-                                  SimClock* clock) const;
-  std::vector<RelationPair> ApplyConstraint(std::vector<RelationPair> pairs,
-                                            const std::string& constraint,
-                                            SimClock* clock) const;
+  Result<std::string> MatchPredicateLabel(const std::string& predicate,
+                                          const ExecContext& ctx) const;
+  Result<std::vector<RelationPair>> ApplyConstraint(
+      std::vector<RelationPair> pairs, const std::string& constraint,
+      const ExecContext& ctx) const;
   Answer MakeAnswer(const query::QueryGraph& gq, const nlp::Spoc& spoc,
                     const std::vector<RelationPair>& pairs) const;
   std::string NormalizeVertexAnswer(graph::VertexId v, bool want_kind) const;

@@ -47,6 +47,40 @@ void KeyCentricCache::PutPath(const std::string& key,
   }
 }
 
+std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
+    const std::string& key, const ExecContext& ctx) {
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {
+    // Degrade to a miss: the probe still cost a round-trip, but the
+    // caller recomputes and the query survives.
+    if (ctx.clock != nullptr) ctx.clock->Charge(CostKind::kCacheProbe);
+    return std::nullopt;
+  }
+  return GetScope(key, ctx.clock);
+}
+
+void KeyCentricCache::PutScope(const std::string& key,
+                               std::vector<graph::VertexId> value,
+                               const ExecContext& ctx) {
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
+  PutScope(key, std::move(value));
+}
+
+std::optional<std::vector<RelationPair>> KeyCentricCache::GetPath(
+    const std::string& key, const ExecContext& ctx) {
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {
+    if (ctx.clock != nullptr) ctx.clock->Charge(CostKind::kCacheProbe);
+    return std::nullopt;
+  }
+  return GetPath(key, ctx.clock);
+}
+
+void KeyCentricCache::PutPath(const std::string& key,
+                              std::vector<RelationPair> value,
+                              const ExecContext& ctx) {
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
+  PutPath(key, std::move(value));
+}
+
 cache::CacheStats KeyCentricCache::ScopeStats() const {
   return options_.policy == CachePolicy::kLfu ? scope_.lfu.stats()
                                               : scope_.lru.stats();

@@ -10,6 +10,7 @@
 #include "cache/lru_cache.h"
 #include "exec/relation_pairs.h"
 #include "graph/graph.h"
+#include "util/exec_context.h"
 #include "util/sim_clock.h"
 
 namespace svqa::exec {
@@ -55,6 +56,21 @@ class KeyCentricCache {
   std::optional<std::vector<RelationPair>> GetPath(
       const std::string& key, SimClock* clock = nullptr);
   void PutPath(const std::string& key, std::vector<RelationPair> value);
+
+  /// Context-aware variants: each op consults the context's fault policy
+  /// at FaultSite::kCacheOp (keyed by the cache key, so a Get and Put of
+  /// the same key in one attempt draw one verdict). An injected fault
+  /// *degrades* rather than fails — a Get becomes a charged miss and a
+  /// Put drops the write — because a flaky cache must slow queries down,
+  /// never take them down.
+  std::optional<std::vector<graph::VertexId>> GetScope(const std::string& key,
+                                                       const ExecContext& ctx);
+  void PutScope(const std::string& key, std::vector<graph::VertexId> value,
+                const ExecContext& ctx);
+  std::optional<std::vector<RelationPair>> GetPath(const std::string& key,
+                                                   const ExecContext& ctx);
+  void PutPath(const std::string& key, std::vector<RelationPair> value,
+               const ExecContext& ctx);
 
   const KeyCentricCacheOptions& options() const { return options_; }
   cache::CacheStats ScopeStats() const;

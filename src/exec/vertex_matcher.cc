@@ -51,11 +51,15 @@ std::string VertexMatcher::ScopeKey(const nlp::SpocElement& element) {
   return key;
 }
 
-std::vector<graph::VertexId> VertexMatcher::MatchByLabel(
-    const std::string& head, SimClock* clock) const {
+Result<std::vector<graph::VertexId>> VertexMatcher::MatchByLabel(
+    const std::string& head, const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   const graph::Graph& g = merged_->graph;
   const auto& lexicon = embeddings_->lexicon();
   const std::string canon = lexicon.Canonical(head);
+
+  SVQA_RETURN_NOT_OK(ctx.Checkpoint("matchVertex"));
+  SVQA_RETURN_NOT_OK(ctx.ProbeFault(FaultSite::kMatcherScan, canon));
 
   const auto it = canon_index_.find(canon);
   if (options_.use_label_index) {
@@ -81,15 +85,21 @@ std::vector<graph::VertexId> VertexMatcher::MatchByLabel(
       clock->Charge(CostKind::kLevenshtein,
                     static_cast<double>(g.num_vertices()));
     }
+    SVQA_RETURN_NOT_OK(ctx.Checkpoint("matchVertex full scan"));
     if (it != canon_index_.end()) return it->second;
   }
 
   // Fuzzy fallback: normalized Levenshtein over labels and categories.
-  if (options_.use_label_index && clock != nullptr) {
-    clock->Charge(CostKind::kVertexCompare,
-                  static_cast<double>(g.num_vertices()));
-    clock->Charge(CostKind::kLevenshtein,
-                  static_cast<double>(g.num_vertices()));
+  if (options_.use_label_index) {
+    if (clock != nullptr) {
+      clock->Charge(CostKind::kVertexCompare,
+                    static_cast<double>(g.num_vertices()));
+      clock->Charge(CostKind::kLevenshtein,
+                    static_cast<double>(g.num_vertices()));
+    }
+    // The scan's virtual cost is charged up front, so a budget-blowing
+    // scan bails here before burning host time on the physical loop.
+    SVQA_RETURN_NOT_OK(ctx.Checkpoint("matchVertex Levenshtein scan"));
   }
   std::vector<graph::VertexId> out;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -108,8 +118,10 @@ std::vector<graph::VertexId> VertexMatcher::MatchByLabel(
   return out;
 }
 
-void VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
-                                   SimClock* clock) const {
+Status VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
+                                     const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
+  SVQA_RETURN_NOT_OK(ctx.Checkpoint("taxonomy expansion"));
   const graph::Graph& g = merged_->graph;
   // Walk down the taxonomy: concept -> (is-a in-edges) -> sub-concepts
   // -> (instance-of in-edges) -> scene objects / entities. The walk
@@ -142,10 +154,12 @@ void VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
     clock->Charge(CostKind::kEdgeTraverse, traversed);
     if (probes > 0) clock->Charge(CostKind::kCacheProbe, probes);
   }
+  return ctx.Checkpoint("taxonomy expanded");
 }
 
-std::pair<int, double> VertexMatcher::BestEdgeLabel(const std::string& head,
-                                                    SimClock* clock) const {
+Result<std::pair<int, double>> VertexMatcher::BestEdgeLabel(
+    const std::string& head, const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   const auto& labels = merged_->graph.EdgeLabels();
   if (options_.memoize_similarity) {
     if (auto hit = edge_label_memo_.Get(head)) {
@@ -153,29 +167,38 @@ std::pair<int, double> VertexMatcher::BestEdgeLabel(const std::string& head,
       return *hit;
     }
   }
+  // The embedding sweep is the matcher's relation-scoring site.
+  SVQA_RETURN_NOT_OK(ctx.ProbeFault(FaultSite::kRelationScore, head));
   if (clock != nullptr) {
     clock->Charge(CostKind::kEmbeddingSim, static_cast<double>(labels.size()));
   }
+  SVQA_RETURN_NOT_OK(ctx.Checkpoint("edge-label maxScore"));
   const std::pair<int, double> best = embeddings_->MostSimilar(head, labels);
   if (options_.memoize_similarity) edge_label_memo_.Put(head, best);
   return best;
 }
 
-std::vector<graph::VertexId> VertexMatcher::MatchPossessive(
-    const nlp::SpocElement& element, SimClock* clock) const {
+Result<std::vector<graph::VertexId>> VertexMatcher::MatchPossessive(
+    const nlp::SpocElement& element, const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   const graph::Graph& g = merged_->graph;
   // Resolve the owner entity: KG labels are kebab-case
   // ("harry-potter"); the phrase is space-separated.
   std::string owner_label = element.owner;
   std::replace(owner_label.begin(), owner_label.end(), ' ', '-');
-  std::vector<graph::VertexId> owners = MatchByLabel(owner_label, clock);
-  if (owners.empty()) return {};
+  SVQA_ASSIGN_OR_RETURN(std::vector<graph::VertexId> owners,
+                        MatchByLabel(owner_label, ctx));
+  if (owners.empty()) return std::vector<graph::VertexId>{};
 
   // The KG edge whose label is embedding-closest to the head
   // ("girlfriend" -> "girlfriend-of").
   const auto& labels = g.EdgeLabels();
-  const auto [best, score] = BestEdgeLabel(element.head, clock);
-  if (best < 0 || score < options_.edge_similarity_threshold) return {};
+  SVQA_ASSIGN_OR_RETURN(const auto best_score,
+                        BestEdgeLabel(element.head, ctx));
+  const auto [best, score] = best_score;
+  if (best < 0 || score < options_.edge_similarity_threshold) {
+    return std::vector<graph::VertexId>{};
+  }
   const std::string& edge_label = labels[static_cast<std::size_t>(best)];
 
   // X --girlfriend-of--> owner: collect in-edge sources on the owner.
@@ -202,17 +225,27 @@ std::vector<graph::VertexId> VertexMatcher::MatchPossessive(
 
 std::vector<graph::VertexId> VertexMatcher::Match(
     const nlp::SpocElement& element, SimClock* clock) const {
+  // A bare clock context carries no faults, token, or deadline, so the
+  // resilient path below cannot fail.
+  Result<std::vector<graph::VertexId>> result =
+      Match(element, ExecContext::WithClock(clock));
+  return std::move(result).ValueOrDie();
+}
+
+Result<std::vector<graph::VertexId>> VertexMatcher::Match(
+    const nlp::SpocElement& element, const ExecContext& ctx) const {
+  SimClock* clock = ctx.clock;
   std::vector<graph::VertexId> out;
   if (element.empty()) return out;
 
   if (!element.owner.empty()) {
-    out = MatchPossessive(element, clock);
+    SVQA_ASSIGN_OR_RETURN(out, MatchPossessive(element, ctx));
     // Named entities found through the KG extend to their scene-graph
     // appearances via same-as links.
-    ExpandTaxonomy(&out, clock);
+    SVQA_RETURN_NOT_OK(ExpandTaxonomy(&out, ctx));
   } else {
-    out = MatchByLabel(element.head, clock);
-    ExpandTaxonomy(&out, clock);
+    SVQA_ASSIGN_OR_RETURN(out, MatchByLabel(element.head, ctx));
+    SVQA_RETURN_NOT_OK(ExpandTaxonomy(&out, ctx));
   }
   // Attribute constraint ("red robe"): keep only candidates with a
   // matching has-attribute edge.

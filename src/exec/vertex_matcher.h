@@ -10,7 +10,9 @@
 #include "graph/graph.h"
 #include "nlp/spoc_extractor.h"
 #include "text/embedding.h"
+#include "util/exec_context.h"
 #include "util/memo_cache.h"
+#include "util/result.h"
 #include "util/sim_clock.h"
 
 namespace svqa::exec {
@@ -58,6 +60,13 @@ struct VertexMatcherOptions {
 ///
 /// Thread-safety: `Match` is safe for concurrent calls; the only
 /// mutable state is the internally-locked similarity memo.
+///
+/// Resilience: the context-taking `Match` overload honours the
+/// check-point contract — it polls cancellation and the virtual-time
+/// deadline between scans (each scan's cost is charged before the
+/// check, so a scan that blows its budget surfaces kDeadlineExceeded at
+/// the very next check-point) and consults the fault policy at
+/// FaultSite::kMatcherScan / kRelationScore before fault-prone work.
 class VertexMatcher {
  public:
   VertexMatcher(const aggregator::MergedGraph* merged,
@@ -65,8 +74,14 @@ class VertexMatcher {
                 VertexMatcherOptions options = {});
 
   /// Resolves one element. The result is sorted and deduplicated.
+  /// Infallible convenience overload for fault-free, unbounded callers.
   std::vector<graph::VertexId> Match(const nlp::SpocElement& element,
                                      SimClock* clock = nullptr) const;
+
+  /// Context-aware resolution: surfaces kCancelled / kDeadlineExceeded
+  /// from check-points and injected faults from the context's policy.
+  Result<std::vector<graph::VertexId>> Match(const nlp::SpocElement& element,
+                                             const ExecContext& ctx) const;
 
   /// The stable cache key identifying this element's match scope.
   static std::string ScopeKey(const nlp::SpocElement& element);
@@ -76,16 +91,16 @@ class VertexMatcher {
   MemoStats similarity_memo_stats() const { return edge_label_memo_.stats(); }
 
  private:
-  std::vector<graph::VertexId> MatchByLabel(const std::string& head,
-                                            SimClock* clock) const;
-  void ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
-                      SimClock* clock) const;
-  std::vector<graph::VertexId> MatchPossessive(
-      const nlp::SpocElement& element, SimClock* clock) const;
+  Result<std::vector<graph::VertexId>> MatchByLabel(
+      const std::string& head, const ExecContext& ctx) const;
+  Status ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
+                        const ExecContext& ctx) const;
+  Result<std::vector<graph::VertexId>> MatchPossessive(
+      const nlp::SpocElement& element, const ExecContext& ctx) const;
   /// maxScore of `head` against the merged graph's edge labels, through
   /// the memo when enabled.
-  std::pair<int, double> BestEdgeLabel(const std::string& head,
-                                       SimClock* clock) const;
+  Result<std::pair<int, double>> BestEdgeLabel(const std::string& head,
+                                               const ExecContext& ctx) const;
 
   const aggregator::MergedGraph* merged_;
   const text::EmbeddingModel* embeddings_;

@@ -1,0 +1,66 @@
+#ifndef SVQA_UTIL_CANCELLATION_H_
+#define SVQA_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/sim_clock.h"
+
+namespace svqa {
+
+/// \brief Cooperative cancellation flag shared between a requester and
+/// any number of workers.
+///
+/// Copies of a token share one flag; `RequestCancel` is sticky. Workers
+/// never block on the token — they poll it at the execution pipeline's
+/// check-points (see ExecContext::Checkpoint) and unwind with
+/// StatusCode::kCancelled. Thread-safe: the flag is a single atomic.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; every copy of this token observes it.
+  void RequestCancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief A per-operation deadline expressed in *virtual* time.
+///
+/// Deadlines are charged against the SimClock cost model rather than the
+/// host clock, so timeout behaviour is deterministic and host-independent:
+/// the same query with the same budget times out at exactly the same
+/// check-point on any machine. The stored value is an absolute threshold
+/// on SimClock::ElapsedMicros().
+struct Deadline {
+  double virtual_micros = std::numeric_limits<double>::infinity();
+
+  static Deadline Unbounded() { return Deadline{}; }
+
+  /// A deadline `budget_micros` of virtual time after `clock`'s current
+  /// elapsed reading (after 0 when clock is null). Non-finite or
+  /// non-positive budgets mean unbounded.
+  static Deadline FromBudget(const SimClock* clock, double budget_micros) {
+    if (!std::isfinite(budget_micros) || budget_micros <= 0) {
+      return Unbounded();
+    }
+    const double base = clock != nullptr ? clock->ElapsedMicros() : 0.0;
+    return Deadline{base + budget_micros};
+  }
+
+  bool bounded() const { return std::isfinite(virtual_micros); }
+
+  /// True once the clock has charged past the threshold.
+  bool Expired(const SimClock& clock) const {
+    return clock.ElapsedMicros() > virtual_micros;
+  }
+};
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_CANCELLATION_H_

@@ -1,0 +1,107 @@
+#include "util/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace svqa {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDetectorIo:
+      return "detector-io";
+    case FaultSite::kRelationScore:
+      return "relation-score";
+    case FaultSite::kKgMerge:
+      return "kg-merge";
+    case FaultSite::kCacheOp:
+      return "cache-op";
+    case FaultSite::kMatcherScan:
+      return "matcher-scan";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "unknown";
+}
+
+FaultConfig FaultConfig::Uniform(double rate) {
+  FaultConfig config;
+  for (double& r : config.rates) r = rate;
+  return config;
+}
+
+FaultInjector::FaultInjector(uint64_t seed, FaultConfig config)
+    : seed_(seed), config_(config) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    probes_[i].store(0, std::memory_order_relaxed);
+    injected_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+double FaultInjector::UniformAt(FaultSite site, std::string_view key,
+                                uint64_t salt) const {
+  // splitmix-style finalization of the combined hash; the draw is a pure
+  // function of (seed, site, key, salt) so chaos schedules replay
+  // exactly regardless of thread interleaving.
+  uint64_t h = HashCombine(seed_, static_cast<uint64_t>(site) + 1);
+  h = HashCombine(h, StableHash64(key));
+  h = HashCombine(h, salt);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::WouldFault(FaultSite site, std::string_view key,
+                               uint32_t attempt) const {
+  const double rate = std::clamp(config_.rate(site), 0.0, 1.0);
+  if (rate <= 0) return false;
+  // Transience is keyed without the attempt so a key's classification is
+  // stable: permanent faults fail every attempt from the base draw;
+  // transient faults re-draw per attempt and clear probabilistically.
+  const bool transient =
+      UniformAt(site, key, /*salt=*/0x7261'6e73ULL) <
+      config_.transient_fraction;
+  const uint64_t salt =
+      transient ? 0x6661'756cULL + attempt : 0x6661'756cULL;
+  return UniformAt(site, key, salt) < rate;
+}
+
+Status FaultInjector::Probe(FaultSite site, std::string_view key,
+                            uint32_t attempt) const {
+  const int idx = static_cast<int>(site);
+  probes_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (!WouldFault(site, key, attempt)) return Status::OK();
+  injected_[idx].fetch_add(1, std::memory_order_relaxed);
+  const bool transient =
+      UniformAt(site, key, /*salt=*/0x7261'6e73ULL) <
+      config_.transient_fraction;
+  std::string msg = "injected ";
+  msg += transient ? "transient" : "permanent";
+  msg += " fault at ";
+  msg += FaultSiteName(site);
+  msg += ": ";
+  msg += key;
+  if (transient) return Status::ResourceExhausted(std::move(msg));
+  return Status::Internal(std::move(msg));
+}
+
+uint64_t FaultInjector::probes(FaultSite site) const {
+  return probes_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected(FaultSite site) const {
+  return injected_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    total += injected_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace svqa

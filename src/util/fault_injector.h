@@ -1,0 +1,117 @@
+#ifndef SVQA_UTIL_FAULT_INJECTOR_H_
+#define SVQA_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace svqa {
+
+/// \brief The instrumented failure points of the pipeline. Components
+/// consult the shared FaultPolicy at these sites; a chaos run flips a
+/// deterministic subset of them into injected failures.
+enum class FaultSite : int {
+  /// Reading one image through the (simulated) detector during Ingest.
+  kDetectorIo = 0,
+  /// Relation/predicate scoring: the maxScore embedding sweep that
+  /// resolves a predicate against the merged graph's edge labels.
+  kRelationScore,
+  /// One Algorithm-1 merge pass over the scene graphs.
+  kKgMerge,
+  /// One key-centric cache operation (scope or path, get or put).
+  kCacheOp,
+  /// One matchVertex scan (indexed probe or Levenshtein full scan).
+  kMatcherScan,
+  kNumSites,
+};
+
+constexpr int kNumFaultSites = static_cast<int>(FaultSite::kNumSites);
+
+const char* FaultSiteName(FaultSite site);
+
+/// \brief Hook consulted by pipeline components before fault-prone work.
+///
+/// OK means "proceed"; a non-OK status is the injected failure the
+/// component must surface (or degrade around). Implementations must be
+/// thread-safe and — for reproducible chaos runs — pure functions of
+/// (site, key, attempt), never of wall-clock time or call order.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  /// \param site which instrumented point is asking.
+  /// \param key stable identity of the operation (cache key, scan head,
+  /// scene id...). Equal keys draw equal verdicts within an attempt.
+  /// \param attempt 0-based retry attempt; transient faults clear on a
+  /// later attempt when the per-attempt draw passes.
+  virtual Status Probe(FaultSite site, std::string_view key,
+                       uint32_t attempt) const = 0;
+};
+
+/// \brief Per-site injection rates of a FaultInjector.
+struct FaultConfig {
+  /// Probability of injecting a fault at each site, in [0, 1].
+  double rates[kNumFaultSites] = {};
+  /// Fraction of injected faults classified transient (retryable,
+  /// surfaced as kResourceExhausted); the rest are permanent
+  /// (kInternal). Drawn deterministically per (site, key).
+  double transient_fraction = 1.0;
+
+  /// Every site at the same rate.
+  static FaultConfig Uniform(double rate);
+
+  double rate(FaultSite site) const {
+    return rates[static_cast<int>(site)];
+  }
+};
+
+/// \brief Seeded, deterministic fault injector.
+///
+/// The verdict for (site, key, attempt) is a pure hash of those inputs
+/// plus the seed — independent of thread interleaving, worker count, and
+/// call order — so an entire chaos run is reproducible from one seed:
+/// identical seeds yield identical fault schedules no matter how the
+/// batch is scheduled. Transience is drawn from a second independent
+/// hash so the transient/permanent split of a key is stable across
+/// attempts (a permanent fault never "heals" on retry; a transient one
+/// re-draws its fault bit per attempt and eventually clears).
+///
+/// Thread-safety: verdicts are stateless; the per-site counters are
+/// atomics, making concurrent Probe calls race-free.
+class FaultInjector final : public FaultPolicy {
+ public:
+  FaultInjector(uint64_t seed, FaultConfig config);
+
+  Status Probe(FaultSite site, std::string_view key,
+               uint32_t attempt) const override;
+
+  /// True when the probe at (site, key, attempt) would inject a fault.
+  bool WouldFault(FaultSite site, std::string_view key,
+                  uint32_t attempt) const;
+
+  uint64_t seed() const { return seed_; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Total probes / injected faults observed at `site` so far.
+  uint64_t probes(FaultSite site) const;
+  uint64_t injected(FaultSite site) const;
+  /// Injected faults summed over all sites.
+  uint64_t total_injected() const;
+
+ private:
+  /// Uniform [0, 1) draw from the (seed, site, key, salt) hash.
+  double UniformAt(FaultSite site, std::string_view key,
+                   uint64_t salt) const;
+
+  const uint64_t seed_;
+  const FaultConfig config_;
+  mutable std::atomic<uint64_t> probes_[kNumFaultSites];
+  mutable std::atomic<uint64_t> injected_[kNumFaultSites];
+};
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_FAULT_INJECTOR_H_

@@ -1,0 +1,63 @@
+#ifndef SVQA_UTIL_RETRY_H_
+#define SVQA_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace svqa {
+
+/// \brief Bounded exponential backoff with deterministic jitter.
+///
+/// Backoff is charged to the query's SimClock as *virtual* time, so
+/// retried executions stay host-independent: a chaos run's latencies
+/// replay exactly from the seed. Jitter is drawn from util::Rng keyed by
+/// (jitter_seed, salt, attempt), never from a global stream, so it is
+/// identical across worker counts and runs.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retrying.
+  int max_attempts = 3;
+  /// Virtual backoff before the first retry.
+  double base_backoff_micros = 1'000;
+  /// Growth factor per further retry.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on a single backoff period (pre-jitter).
+  double max_backoff_micros = 250'000;
+  /// Backoff is scaled by a uniform factor in [1-j, 1+j].
+  double jitter_fraction = 0.1;
+  /// Seed of the jitter draw (combined with the per-query salt).
+  uint64_t jitter_seed = 0x5245'5452'59ULL;
+};
+
+/// \brief Transient-classified failures: worth retrying because a later
+/// attempt can succeed (injected transient faults, exhausted pools).
+/// Deadline expiry and cancellation are deliberate terminal outcomes and
+/// parse/execution errors are deterministic — retrying cannot help.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+
+/// \brief The jittered virtual backoff before retry number `attempt`
+/// (1-based: attempt 1 follows the first failure). `salt` identifies the
+/// retried operation (e.g. a stable query key) so concurrent queries
+/// draw independent but reproducible jitter.
+inline double RetryBackoffMicros(const RetryPolicy& policy, int attempt,
+                                 uint64_t salt) {
+  if (attempt < 1 || policy.base_backoff_micros <= 0) return 0;
+  double backoff = policy.base_backoff_micros;
+  for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+  backoff = std::min(backoff, policy.max_backoff_micros);
+  const double j = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  if (j > 0) {
+    Rng rng(HashCombine(policy.jitter_seed,
+                        HashCombine(salt, static_cast<uint64_t>(attempt))));
+    backoff *= 1.0 - j + 2.0 * j * rng.NextDouble();
+  }
+  return backoff;
+}
+
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_RETRY_H_

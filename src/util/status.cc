@@ -22,6 +22,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown";
 }

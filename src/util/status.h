@@ -19,6 +19,13 @@ enum class StatusCode : int {
   kExecutionError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  /// The operation's virtual-time deadline elapsed before it finished.
+  kDeadlineExceeded = 9,
+  /// The operation observed a cancellation request and stopped early.
+  kCancelled = 10,
+  /// A bounded resource (budget, pool, injected transient capacity) was
+  /// exhausted; the canonical *transient* failure class — retryable.
+  kResourceExhausted = 11,
 };
 
 /// \brief Returns the canonical lowercase name of a status code
@@ -70,6 +77,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +98,13 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsExecutionError() const {
     return code_ == StatusCode::kExecutionError;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   /// Renders "OK" or "<code-name>: <message>".

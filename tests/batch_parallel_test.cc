@@ -12,6 +12,7 @@
 #include "data/mvqa_generator.h"
 #include "exec/batch_executor.h"
 #include "text/lexicon.h"
+#include "util/fault_injector.h"
 
 namespace svqa::exec {
 namespace {
@@ -214,6 +215,57 @@ TEST_F(BatchParallelFixture, ThreadedEmptyBatchAndPoolReuse) {
   const BatchResult again = batch.ExecuteAll(graphs);
   ASSERT_EQ(again.outcomes.size(), graphs.size());
   for (const auto& o : again.outcomes) EXPECT_TRUE(o.status.ok());
+}
+
+TEST_F(BatchParallelFixture, MidBatchFailureLeavesSiblingsByteIdentical) {
+  // Permanent injected faults kill a subset of queries mid-batch. Every
+  // slot must still end with a definitive Status, and the surviving
+  // siblings' answers must be byte-identical to the serial run under
+  // the same fault policy. Cache and memos are off so each query's
+  // fault schedule is a pure function of the query itself — the serial
+  // and threaded runs then see identical verdicts slot for slot.
+  FaultConfig config;
+  config.rates[static_cast<int>(FaultSite::kMatcherScan)] = 0.3;
+  config.transient_fraction = 0.0;  // permanent: retries cannot heal these
+  FaultInjector injector(4242, config);
+
+  const auto graphs = RandomBatch(17, 40);
+  BatchOptions serial;
+  serial.num_workers = 1;
+  serial.resilience.fault_policy = &injector;
+  const BatchResult base =
+      Run(graphs, serial, /*enable_cache=*/false, /*memoize=*/false);
+
+  std::size_t failed = 0;
+  for (const auto& o : base.outcomes) {
+    if (!o.status.ok()) {
+      ++failed;
+      EXPECT_EQ(o.status.code(), StatusCode::kInternal) << o.status;
+      EXPECT_EQ(o.diagnostics.attempts, 1);  // permanent: no retries burned
+    }
+  }
+  ASSERT_GT(failed, 0u);                    // the batch really was wounded
+  ASSERT_LT(failed, base.outcomes.size());  // ...but not wiped out
+
+  for (std::size_t workers : {2u, 8u}) {
+    BatchOptions bopts;
+    bopts.mode = BatchMode::kThreaded;
+    bopts.num_workers = workers;
+    bopts.resilience.fault_policy = &injector;
+    const BatchResult result =
+        Run(graphs, bopts, /*enable_cache=*/false, /*memoize=*/false);
+    ASSERT_EQ(result.outcomes.size(), base.outcomes.size());
+    for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+      EXPECT_EQ(result.outcomes[i].status, base.outcomes[i].status)
+          << "workers=" << workers << " query=" << i;
+      if (base.outcomes[i].status.ok()) {
+        ExpectSameAnswer(result.outcomes[i].answer, base.outcomes[i].answer,
+                         static_cast<int>(i));
+        EXPECT_DOUBLE_EQ(result.outcomes[i].latency_micros,
+                         base.outcomes[i].latency_micros);
+      }
+    }
+  }
 }
 
 TEST(BatchModeNameTest, Names) {

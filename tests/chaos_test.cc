@@ -1,0 +1,367 @@
+// Chaos suite: seeded fault sweeps across the execution pipeline.
+// Verifies the tentpole guarantees of the resilience layer: chaos runs
+// are reproducible from a single seed, per-query isolation holds under
+// real threads, retries heal transient faults, and the degradation
+// ladder recovers answers instead of surfacing errors.
+//
+// Labeled `chaos` so CI can run the suite selectively under TSan with a
+// hard per-test timeout (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/kg_builder.h"
+#include "data/mvqa_generator.h"
+#include "data/world.h"
+#include "exec/batch_executor.h"
+#include "text/lexicon.h"
+#include "util/fault_injector.h"
+
+namespace svqa::exec {
+namespace {
+
+class ChaosFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 120;
+    opts.world.seed = 77;
+    dataset_ = new data::MvqaDataset(data::MvqaGenerator(opts).Generate());
+    merged_ = &dataset_->perfect_merged;
+    embeddings_ = new text::EmbeddingModel(text::SynonymLexicon::Default());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete embeddings_;
+    merged_ = nullptr;
+  }
+
+  static std::vector<query::QueryGraph> RandomBatch(unsigned seed,
+                                                    std::size_t n) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, dataset_->questions.size() - 1);
+    std::vector<query::QueryGraph> graphs;
+    graphs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      graphs.push_back(dataset_->questions[pick(rng)].gold_graph);
+    }
+    return graphs;
+  }
+
+  /// Runs `graphs` through a fresh cache + executor under `bopts`.
+  static BatchResult Run(const std::vector<query::QueryGraph>& graphs,
+                         BatchOptions bopts, bool enable_cache = true,
+                         bool memoize = true) {
+    KeyCentricCache cache(KeyCentricCacheOptions{});
+    ExecutorOptions eopts;
+    eopts.memoize_similarity = memoize;
+    eopts.matcher.memoize_similarity = memoize;
+    QueryGraphExecutor executor(merged_, embeddings_,
+                                enable_cache ? &cache : nullptr, eopts);
+    return BatchExecutor(&executor, bopts).ExecuteAll(graphs);
+  }
+
+  static data::MvqaDataset* dataset_;
+  static aggregator::MergedGraph* merged_;
+  static text::EmbeddingModel* embeddings_;
+};
+
+data::MvqaDataset* ChaosFixture::dataset_ = nullptr;
+aggregator::MergedGraph* ChaosFixture::merged_ = nullptr;
+text::EmbeddingModel* ChaosFixture::embeddings_ = nullptr;
+
+void ExpectIdenticalOutcomes(const BatchResult& a, const BatchResult& b,
+                             const char* what) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << what;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].status, b.outcomes[i].status)
+        << what << " query " << i;
+    EXPECT_EQ(a.outcomes[i].answer.text, b.outcomes[i].answer.text)
+        << what << " query " << i;
+    EXPECT_EQ(a.outcomes[i].answer.entities, b.outcomes[i].answer.entities)
+        << what << " query " << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].latency_micros,
+                     b.outcomes[i].latency_micros)
+        << what << " query " << i;
+    EXPECT_EQ(a.outcomes[i].diagnostics.attempts,
+              b.outcomes[i].diagnostics.attempts)
+        << what << " query " << i;
+  }
+}
+
+TEST_F(ChaosFixture, SimulatedChaosIsDeterministicAcrossRunsAndWorkers) {
+  // One seed fully determines the chaos schedule: re-running the same
+  // batch with a fresh injector/cache/executor — at any simulated
+  // worker count — reproduces every status, answer, latency, and retry
+  // count bit for bit.
+  const auto graphs = RandomBatch(5, 60);
+  FaultConfig config = FaultConfig::Uniform(0.1);
+  config.transient_fraction = 0.7;
+
+  std::vector<BatchResult> runs;
+  for (const std::size_t workers : {1u, 4u, 8u, 1u}) {
+    FaultInjector injector(2024, config);
+    BatchOptions bopts;
+    bopts.num_workers = workers;
+    bopts.resilience.fault_policy = &injector;
+    bopts.resilience.query_deadline_micros = 0;  // unbounded
+    runs.push_back(Run(graphs, bopts));
+  }
+  ExpectIdenticalOutcomes(runs[0], runs[1], "workers 1 vs 4");
+  ExpectIdenticalOutcomes(runs[0], runs[2], "workers 1 vs 8");
+  ExpectIdenticalOutcomes(runs[0], runs[3], "rerun");
+}
+
+TEST_F(ChaosFixture, SeedMatrixSweepIsReproduciblePerSeed) {
+  // Fault sweep over a (seed x rate) matrix: every cell reproduces
+  // itself exactly, and raising the rate strictly increases injected
+  // faults for a fixed seed.
+  const auto graphs = RandomBatch(8, 30);
+  for (const uint64_t seed : {1u, 7u, 13u}) {
+    uint64_t injected_low = 0;
+    for (const double rate : {0.05, 0.2}) {
+      FaultConfig config = FaultConfig::Uniform(rate);
+      config.transient_fraction = 0.5;
+      FaultInjector first(seed, config);
+      FaultInjector second(seed, config);
+      BatchOptions bopts;
+      bopts.resilience.fault_policy = &first;
+      const BatchResult a = Run(graphs, bopts);
+      bopts.resilience.fault_policy = &second;
+      const BatchResult b = Run(graphs, bopts);
+      ExpectIdenticalOutcomes(a, b, "seed cell");
+      EXPECT_EQ(first.total_injected(), second.total_injected());
+      if (rate == 0.05) {
+        injected_low = first.total_injected();
+      } else {
+        EXPECT_GT(first.total_injected(), injected_low)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_F(ChaosFixture, ThreadedBatchSurvivesFaultsAndMatchesFaultFree) {
+  // The acceptance scenario: a 200-query batch on 8 real workers at
+  // fault rate 0.1 with retries enabled. No crashes, a definitive
+  // Status in every slot, and >= 95% of the answers identical to the
+  // fault-free run.
+  const auto graphs = RandomBatch(23, 200);
+  BatchOptions plain;
+  plain.num_workers = 1;
+  const BatchResult fault_free = Run(graphs, plain);
+
+  FaultInjector injector(99, FaultConfig::Uniform(0.1));  // all transient
+  BatchOptions bopts;
+  bopts.mode = BatchMode::kThreaded;
+  bopts.num_workers = 8;
+  bopts.resilience.fault_policy = &injector;
+  const BatchResult chaotic = Run(graphs, bopts);
+
+  ASSERT_EQ(chaotic.outcomes.size(), graphs.size());
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const QueryOutcome& o = chaotic.outcomes[i];
+    // Definitive per-slot status: OK or a classified failure.
+    if (!o.status.ok()) {
+      EXPECT_TRUE(o.status.IsResourceExhausted() ||
+                  o.status.code() == StatusCode::kInternal)
+          << "query " << i << ": " << o.status;
+      continue;
+    }
+    if (o.answer.text == fault_free.outcomes[i].answer.text &&
+        o.answer.entities == fault_free.outcomes[i].answer.entities) {
+      ++matches;
+    }
+  }
+  EXPECT_GE(matches, graphs.size() * 95 / 100)
+      << "only " << matches << "/" << graphs.size()
+      << " answers matched the fault-free run";
+  EXPECT_GT(injector.total_injected(), 0u);
+}
+
+TEST_F(ChaosFixture, RetriesHealTransientFaultsThatFailWithoutThem) {
+  // With retries off, transient faults fail queries; the same chaos
+  // schedule with retries on heals them (at the cost of backoff time).
+  const auto graphs = RandomBatch(31, 80);
+  FaultConfig config = FaultConfig::Uniform(0.15);  // all transient
+  FaultInjector injector(7, config);
+
+  BatchOptions off;
+  off.resilience.fault_policy = &injector;
+  off.resilience.enable_retries = false;
+  const BatchResult without = Run(graphs, off);
+  std::size_t failed_without = 0;
+  for (const auto& o : without.outcomes) {
+    if (!o.status.ok()) {
+      ++failed_without;
+      EXPECT_TRUE(o.status.IsResourceExhausted()) << o.status;
+      EXPECT_EQ(o.diagnostics.attempts, 1);
+    }
+  }
+  ASSERT_GT(failed_without, 0u);
+
+  BatchOptions on;
+  on.resilience.fault_policy = &injector;
+  std::size_t failed_with = 0;
+  std::size_t retried = 0;
+  double backoff = 0;
+  const BatchResult with = Run(graphs, on);
+  for (const auto& o : with.outcomes) {
+    if (!o.status.ok()) ++failed_with;
+    if (o.diagnostics.attempts > 1) ++retried;
+    backoff += o.diagnostics.backoff_micros;
+  }
+  EXPECT_LT(failed_with, failed_without);
+  EXPECT_GT(retried, 0u);
+  EXPECT_GT(backoff, 0.0);  // healing charged real virtual time
+}
+
+TEST_F(ChaosFixture, TightDeadlineBatchKeepsSiblingsByteIdentical) {
+  // A deadline that kills the expensive half of the batch: affected
+  // slots report kDeadlineExceeded, and the outcome vector is identical
+  // between serial and threaded runs (cache/memos off, so each query's
+  // virtual cost is a pure function of the query).
+  const auto graphs = RandomBatch(41, 40);
+  BatchOptions plain;
+  const BatchResult free_run =
+      Run(graphs, plain, /*enable_cache=*/false, /*memoize=*/false);
+  std::vector<double> lat;
+  for (const auto& o : free_run.outcomes) lat.push_back(o.latency_micros);
+  std::sort(lat.begin(), lat.end());
+  const double deadline = lat[lat.size() / 2];  // median cost
+
+  BatchOptions serial;
+  serial.resilience.query_deadline_micros = deadline;
+  const BatchResult base =
+      Run(graphs, serial, /*enable_cache=*/false, /*memoize=*/false);
+  std::size_t exceeded = 0;
+  for (const auto& o : base.outcomes) {
+    if (!o.status.ok()) {
+      EXPECT_TRUE(o.status.IsDeadlineExceeded()) << o.status;
+      ++exceeded;
+    }
+  }
+  ASSERT_GT(exceeded, 0u);
+  ASSERT_LT(exceeded, base.outcomes.size());
+
+  BatchOptions threaded = serial;
+  threaded.mode = BatchMode::kThreaded;
+  threaded.num_workers = 8;
+  const BatchResult result =
+      Run(graphs, threaded, /*enable_cache=*/false, /*memoize=*/false);
+  ASSERT_EQ(result.outcomes.size(), base.outcomes.size());
+  for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+    EXPECT_EQ(result.outcomes[i].status, base.outcomes[i].status)
+        << "query " << i;
+    EXPECT_EQ(result.outcomes[i].answer.text, base.outcomes[i].answer.text);
+    EXPECT_DOUBLE_EQ(result.outcomes[i].latency_micros,
+                     base.outcomes[i].latency_micros);
+  }
+}
+
+TEST_F(ChaosFixture, CancellationAbortsBatchCooperatively) {
+  // A pre-cancelled token stops every query at its first check-point;
+  // slots get kCancelled, nothing crashes, and the pool drains cleanly.
+  const auto graphs = RandomBatch(47, 30);
+  CancellationToken token;
+  token.RequestCancel();
+  BatchOptions bopts;
+  bopts.mode = BatchMode::kThreaded;
+  bopts.num_workers = 4;
+  bopts.resilience.cancel = &token;
+  const BatchResult result = Run(graphs, bopts);
+  ASSERT_EQ(result.outcomes.size(), graphs.size());
+  for (const auto& o : result.outcomes) {
+    EXPECT_TRUE(o.status.IsCancelled()) << o.status;
+    EXPECT_EQ(o.diagnostics.attempts, 1);  // terminal: never retried
+  }
+}
+
+TEST_F(ChaosFixture, CachedSubgraphRungRecoversAnswerAfterPermanentFault) {
+  // A permanent relation-scoring fault fails full execution, but the
+  // failed attempt has already warmed the path cache, so the degraded
+  // rung recovers the same answer from the cached subgraph alone.
+  // (Memos are off: a memo hit would skip the faulted probe entirely.)
+  KeyCentricCache cache(KeyCentricCacheOptions{});
+  ExecutorOptions eopts;
+  eopts.memoize_similarity = false;
+  eopts.matcher.memoize_similarity = false;
+  QueryGraphExecutor faulty(merged_, embeddings_, &cache, eopts);
+
+  FaultConfig config;
+  config.rates[static_cast<int>(FaultSite::kRelationScore)] = 1.0;
+  config.transient_fraction = 0.0;
+  FaultInjector injector(3, config);
+  ResilienceOptions res;
+  res.fault_policy = &injector;
+
+  // Find a single-clause gold graph whose fault-free answer is
+  // non-trivial, so the degraded recovery is observable.
+  QueryGraphExecutor plain(merged_, embeddings_, nullptr, eopts);
+  for (const auto& q : dataset_->questions) {
+    if (q.gold_graph.size() != 1) continue;
+    Result<Answer> fault_free = plain.Execute(q.gold_graph);
+    if (!fault_free.ok() || fault_free->provenance.empty()) continue;
+
+    Diagnostics diag;
+    SimClock clock;
+    Result<Answer> failed =
+        faulty.ExecuteResilient(q.gold_graph, &clock, res, 0, &diag);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(diag.attempts, 1);  // permanent: not retried
+
+    std::optional<Answer> partial =
+        faulty.ExecuteFromCache(q.gold_graph, ExecContext::WithClock(&clock));
+    ASSERT_TRUE(partial.has_value());
+    EXPECT_EQ(partial->diagnostics.rung, DegradationRung::kCachedSubgraph);
+    EXPECT_EQ(partial->text, fault_free->text);
+    return;  // one observable recovery is the point
+  }
+  FAIL() << "no single-clause question with non-trivial answer found";
+}
+
+TEST(ChaosEngineTest, EngineLadderNeverErrorsUnderChaos) {
+  // End to end: an engine under uniform transient chaos (including the
+  // offline detector-I/O and KG-merge sites) still ingests and answers
+  // every question definitively; the rung taken is recorded.
+  data::WorldOptions wopts;
+  wopts.num_scenes = 60;
+  wopts.seed = 13;
+  const data::World world = data::WorldGenerator(wopts).Generate();
+
+  FaultInjector injector(11, FaultConfig::Uniform(0.15));  // all transient
+  core::SvqaOptions opts;
+  opts.resilience.fault_policy = &injector;
+  core::SvqaEngine engine(opts);
+  ASSERT_TRUE(
+      engine
+          .Ingest(data::BuildKnowledgeGraph(world,
+                                            text::SynonymLexicon::Default()),
+                  world.scenes)
+          .ok());
+
+  const char* questions[] = {
+      "does a dog appear on the grass?",
+      "how many wizards are hanging out with dean thomas?",
+      "what kind of clothes are worn by the wizard who is hanging out "
+      "with dean thomas?",
+  };
+  for (const char* q : questions) {
+    auto result = engine.Ask(q);
+    ASSERT_TRUE(result.ok()) << q << ": " << result.status();
+    EXPECT_FALSE(result->text.empty()) << q;
+  }
+  EXPECT_GT(injector.probes(FaultSite::kDetectorIo), 0u);
+  EXPECT_GT(injector.probes(FaultSite::kKgMerge), 0u);
+}
+
+}  // namespace
+}  // namespace svqa::exec

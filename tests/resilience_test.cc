@@ -1,0 +1,270 @@
+// Unit coverage of the resilience primitives: the seeded deterministic
+// FaultInjector, virtual-time Deadlines, CancellationToken, the retry
+// backoff schedule, and the ExecContext check-point contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cancellation.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
+#include "util/retry.h"
+
+namespace svqa {
+namespace {
+
+TEST(FaultInjectorTest, ZeroRateNeverFaults) {
+  FaultInjector injector(1, FaultConfig{});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(injector
+                    .Probe(FaultSite::kMatcherScan, "key" + std::to_string(i),
+                           0)
+                    .ok());
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+  EXPECT_EQ(injector.probes(FaultSite::kMatcherScan), 200u);
+}
+
+TEST(FaultInjectorTest, FullRateAlwaysFaults) {
+  FaultInjector injector(1, FaultConfig::Uniform(1.0));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector
+                     .Probe(FaultSite::kCacheOp, "key" + std::to_string(i), 0)
+                     .ok());
+  }
+  EXPECT_EQ(injector.injected(FaultSite::kCacheOp), 50u);
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossInstancesAndCallOrder) {
+  FaultConfig config = FaultConfig::Uniform(0.3);
+  config.transient_fraction = 0.5;
+  FaultInjector a(99, config);
+  FaultInjector b(99, config);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back("op" + std::to_string(i));
+
+  // b probes in reverse order; verdicts must match a's key-for-key.
+  std::vector<Status> forward, backward(keys.size());
+  for (const auto& k : keys) {
+    forward.push_back(a.Probe(FaultSite::kRelationScore, k, 2));
+  }
+  for (std::size_t i = keys.size(); i-- > 0;) {
+    backward[i] = b.Probe(FaultSite::kRelationScore, keys[i], 2);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(forward[i], backward[i]) << keys[i];
+  }
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  EXPECT_GT(a.total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, SeedChangesSchedule) {
+  FaultInjector a(1, FaultConfig::Uniform(0.3));
+  FaultInjector b(2, FaultConfig::Uniform(0.3));
+  int differs = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = std::string("k") += std::to_string(i);
+    if (a.WouldFault(FaultSite::kMatcherScan, key, 0) !=
+        b.WouldFault(FaultSite::kMatcherScan, key, 0)) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjectorTest, RateIsApproximatelyHonoured) {
+  FaultInjector injector(7, FaultConfig::Uniform(0.1));
+  int faults = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.WouldFault(FaultSite::kMatcherScan,
+                            "key" + std::to_string(i), 0)) {
+      ++faults;
+    }
+  }
+  const double rate = static_cast<double>(faults) / n;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(FaultInjectorTest, TransientFaultsClearOnRetryPermanentOnesDoNot) {
+  FaultConfig transient = FaultConfig::Uniform(0.2);
+  transient.transient_fraction = 1.0;
+  FaultInjector tinj(11, transient);
+  // Every faulted key must eventually pass within a few attempts
+  // (P(fail) = 0.2 per attempt, independent draws).
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = std::string("k") += std::to_string(i);
+    if (!tinj.WouldFault(FaultSite::kMatcherScan, key, 0)) continue;
+    bool cleared = false;
+    for (uint32_t attempt = 1; attempt < 12; ++attempt) {
+      if (!tinj.WouldFault(FaultSite::kMatcherScan, key, attempt)) {
+        cleared = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(cleared) << key;
+  }
+
+  FaultConfig permanent = FaultConfig::Uniform(0.2);
+  permanent.transient_fraction = 0.0;
+  FaultInjector pinj(11, permanent);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = std::string("k") += std::to_string(i);
+    if (!pinj.WouldFault(FaultSite::kMatcherScan, key, 0)) continue;
+    for (uint32_t attempt = 1; attempt < 6; ++attempt) {
+      EXPECT_TRUE(pinj.WouldFault(FaultSite::kMatcherScan, key, attempt))
+          << key << " attempt " << attempt;
+    }
+    const Status s = pinj.Probe(FaultSite::kMatcherScan, key, 0);
+    EXPECT_EQ(s.code(), StatusCode::kInternal) << s;
+  }
+}
+
+TEST(FaultInjectorTest, TransientStatusIsResourceExhausted) {
+  FaultConfig config = FaultConfig::Uniform(1.0);
+  config.transient_fraction = 1.0;
+  FaultInjector injector(3, config);
+  const Status s = injector.Probe(FaultSite::kDetectorIo, "scene-7", 0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_TRUE(IsTransient(s));
+  EXPECT_NE(s.message().find("detector-io"), std::string::npos);
+}
+
+TEST(FaultSiteTest, NamesAreStable) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kDetectorIo), "detector-io");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kRelationScore), "relation-score");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kKgMerge), "kg-merge");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kCacheOp), "cache-op");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kMatcherScan), "matcher-scan");
+}
+
+TEST(DeadlineTest, BudgetIsRelativeToClock) {
+  SimClock clock;
+  clock.ChargeMicros(500);
+  const Deadline d = Deadline::FromBudget(&clock, 100);
+  EXPECT_TRUE(d.bounded());
+  EXPECT_FALSE(d.Expired(clock));
+  clock.ChargeMicros(99);
+  EXPECT_FALSE(d.Expired(clock));
+  clock.ChargeMicros(2);
+  EXPECT_TRUE(d.Expired(clock));
+}
+
+TEST(DeadlineTest, NonPositiveOrInfiniteBudgetIsUnbounded) {
+  SimClock clock;
+  EXPECT_FALSE(Deadline::FromBudget(&clock, 0).bounded());
+  EXPECT_FALSE(Deadline::FromBudget(&clock, -5).bounded());
+  EXPECT_FALSE(Deadline::FromBudget(
+                   &clock, std::numeric_limits<double>::infinity())
+                   .bounded());
+  EXPECT_FALSE(Deadline::Unbounded().bounded());
+}
+
+TEST(CancellationTokenTest, CopiesShareOneFlag) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.RequestCancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, VisibleAcrossThreads) {
+  CancellationToken token;
+  std::thread worker([token]() mutable {
+    while (!token.cancelled()) {
+      std::this_thread::yield();
+    }
+  });
+  token.RequestCancel();
+  worker.join();
+  SUCCEED();
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0;  // deterministic schedule for the assert
+  policy.base_backoff_micros = 1'000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 3'000;
+  EXPECT_DOUBLE_EQ(RetryBackoffMicros(policy, 1, 0), 1'000);
+  EXPECT_DOUBLE_EQ(RetryBackoffMicros(policy, 2, 0), 2'000);
+  EXPECT_DOUBLE_EQ(RetryBackoffMicros(policy, 3, 0), 3'000);  // capped
+  EXPECT_DOUBLE_EQ(RetryBackoffMicros(policy, 4, 0), 3'000);
+  EXPECT_DOUBLE_EQ(RetryBackoffMicros(policy, 0, 0), 0);
+}
+
+TEST(RetryTest, JitterIsBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.1;
+  std::set<double> values;
+  for (uint64_t salt = 0; salt < 64; ++salt) {
+    const double b = RetryBackoffMicros(policy, 1, salt);
+    EXPECT_GE(b, policy.base_backoff_micros * 0.9 - 1e-9);
+    EXPECT_LE(b, policy.base_backoff_micros * 1.1 + 1e-9);
+    EXPECT_DOUBLE_EQ(b, RetryBackoffMicros(policy, 1, salt));  // replayable
+    values.insert(b);
+  }
+  EXPECT_GT(values.size(), 32u);  // salts genuinely decorrelate
+}
+
+TEST(RetryTest, TransientClassification) {
+  EXPECT_TRUE(IsTransient(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsTransient(Status::Cancelled("x")));
+  EXPECT_FALSE(IsTransient(Status::Internal("x")));
+  EXPECT_FALSE(IsTransient(Status::ParseError("x")));
+}
+
+TEST(ExecContextTest, DefaultContextIsInert) {
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.Checkpoint("anywhere").ok());
+  EXPECT_TRUE(ctx.ProbeFault(FaultSite::kMatcherScan, "k").ok());
+}
+
+TEST(ExecContextTest, CheckpointReportsDeadlineThenCancellation) {
+  SimClock clock;
+  CancellationToken token;
+  ExecContext ctx;
+  ctx.clock = &clock;
+  ctx.cancel = &token;
+  ctx.deadline = Deadline::FromBudget(&clock, 100);
+  EXPECT_TRUE(ctx.Checkpoint("start").ok());
+
+  clock.ChargeMicros(150);
+  Status s = ctx.Checkpoint("mid-scan");
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_NE(s.message().find("mid-scan"), std::string::npos);
+
+  // Cancellation outranks the deadline report.
+  token.RequestCancel();
+  EXPECT_TRUE(ctx.Checkpoint("mid-scan").IsCancelled());
+}
+
+TEST(ExecContextTest, CheckpointChargesNothing) {
+  SimClock clock;
+  ExecContext ctx = ExecContext::WithClock(&clock);
+  ctx.deadline = Deadline::FromBudget(&clock, 10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ctx.Checkpoint("loop").ok());
+  EXPECT_DOUBLE_EQ(clock.ElapsedMicros(), 0);
+}
+
+TEST(ExecContextTest, ProbeRoutesToPolicyWithAttempt) {
+  FaultConfig config = FaultConfig::Uniform(1.0);
+  FaultInjector injector(5, config);
+  ExecContext ctx;
+  ctx.faults = &injector;
+  ctx.attempt = 3;
+  EXPECT_FALSE(ctx.ProbeFault(FaultSite::kCacheOp, "k").ok());
+  EXPECT_EQ(injector.probes(FaultSite::kCacheOp), 1u);
+}
+
+}  // namespace
+}  // namespace svqa

@@ -128,6 +128,93 @@ TEST(RobustnessTest, SingleObjectScenes) {
   EXPECT_EQ(ans->text, "no");  // dogs exist but no relations at all
 }
 
+TEST(RobustnessTest, MultiKilobyteQuestionAnswersWithinDeadline) {
+  const data::World world = SmallWorld(30);
+  SvqaOptions opts;
+  opts.resilience.query_deadline_micros = 5e6;  // 5 virtual seconds
+  SvqaEngine engine(opts);
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  std::string q;
+  q.reserve(64u << 10);
+  while (q.size() < (64u << 10)) {
+    q += "does a dog that is sitting on the grass near a car and ";
+  }
+  q += "a cat appear?";
+  SimClock clock;
+  auto result = engine.Ask(q, &clock);
+  // The ladder guarantees a definitive answer; the deadline bounds the
+  // execution phase's virtual cost.
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->text.empty());
+}
+
+TEST(RobustnessTest, InvalidUtf8QuestionNeverCrashes) {
+  const data::World world = SmallWorld(20);
+  SvqaEngine engine;
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  const std::string inputs[] = {
+      std::string("does a dog appear near a \xFF\xFE car?"),
+      std::string("what \x80\x81\x82 is this"),
+      std::string("\xC3\x28 truncated two-byte sequence"),
+      std::string("\xED\xA0\x80 lone surrogate half"),
+      std::string("does a dog\0appear?", 18),  // embedded NUL
+      std::string(3, '\xFF'),
+  };
+  for (const std::string& q : inputs) {
+    auto result = engine.Ask(q);
+    if (result.ok()) {
+      EXPECT_FALSE(result->text.empty());
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedClausesTerminate) {
+  const data::World world = SmallWorld(40);
+  SvqaOptions opts;
+  opts.resilience.query_deadline_micros = 10e6;
+  SvqaEngine engine(opts);
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  std::string q = "what kind of clothes are worn by the wizard";
+  for (int i = 0; i < 120; ++i) q += " who is hanging out with the wizard";
+  q += "?";
+  auto result = engine.Ask(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->text.empty());
+}
+
+TEST(RobustnessTest, TightDeadlineSurfacesWithoutDegradation) {
+  const data::World world = SmallWorld(60);
+  SvqaOptions opts;
+  opts.resilience.query_deadline_micros = 1;  // 1 virtual microsecond
+  opts.enable_degradation = false;
+  SvqaEngine engine(opts);
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  SimClock clock;
+  auto result =
+      engine.Ask("how many wizards are hanging out with dean thomas?", &clock);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+}
+
+TEST(RobustnessTest, TightDeadlineDegradesToConservativeAnswer) {
+  const data::World world = SmallWorld(60);
+  SvqaOptions opts;
+  opts.resilience.query_deadline_micros = 1;
+  SvqaEngine engine(opts);  // degradation on by default
+  ASSERT_TRUE(engine.Ingest(Kg(world), world.scenes).ok());
+  SimClock clock;  // deadlines are virtual-time: they need the clock
+  auto result =
+      engine.Ask("how many wizards are hanging out with dean thomas?", &clock);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->count, 0);
+  EXPECT_EQ(result->text, "0");
+  EXPECT_NE(result->diagnostics.rung, exec::DegradationRung::kFullExecution);
+  EXPECT_TRUE(result->diagnostics.primary.IsDeadlineExceeded())
+      << result->diagnostics.primary;
+}
+
 TEST(RobustnessTest, RepeatAskIsIdempotent) {
   const data::World world = SmallWorld(80);
   SvqaEngine engine;

@@ -34,6 +34,27 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kExecutionError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResiliencePredicatesMatchOnlyTheirCode) {
+  const Status deadline = Status::DeadlineExceeded("slow");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsCancelled());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+  EXPECT_FALSE(deadline.ok());
+
+  const Status cancelled = Status::Cancelled("stop");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+
+  const Status exhausted = Status::ResourceExhausted("budget");
+  EXPECT_TRUE(exhausted.IsResourceExhausted());
+  EXPECT_FALSE(exhausted.IsCancelled());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -51,6 +72,13 @@ TEST(StatusTest, StreamInsertion) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
   EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "parse-error");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "deadline-exceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource-exhausted");
+  EXPECT_EQ(Status::DeadlineExceeded("q").ToString(),
+            "deadline-exceeded: q");
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
