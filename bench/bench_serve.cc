@@ -1,0 +1,395 @@
+// Serving-layer benchmark: the in-process SvqaServer under offered
+// load.
+//
+// Section 1: saturation throughput vs virtual worker count (simulated
+//            mode, closed workload) — throughput must scale with
+//            workers.
+// Section 2: offered QPS x priority mix x queue depth sweep. Under 2x
+//            overload the best-effort class sheds while the interactive
+//            p99 stays within 1.5x of its unloaded value (strict
+//            priority + per-class depth caps protect it).
+// Section 3: threaded publish consistency — queries racing live
+//            Publish calls must be byte-identical to a quiesced run on
+//            the snapshot each response reports (mismatches == 0).
+//
+// Sections 1 and 2 run the deterministic discrete-event scheduler, so
+// every number in BENCH_serve.json is bit-for-bit reproducible across
+// hosts; only Section 3 (and the wall_micros fields) touches real
+// threads.
+//
+// Flags: --workers N  max worker count for the saturation sweep (8)
+//        --n N        requests per configuration (240)
+//        --json PATH  machine-readable output ("BENCH_serve.json";
+//                     pass "" to disable)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/mvqa_generator.h"
+#include "serve/server.h"
+#include "text/lexicon.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace svqa;
+
+/// 20% interactive / 30% batch / 50% best-effort, deterministic in i.
+serve::PriorityClass MixPriority(int i) {
+  const int slot = i % 10;
+  if (slot < 2) return serve::PriorityClass::kInteractive;
+  if (slot < 5) return serve::PriorityClass::kBatch;
+  return serve::PriorityClass::kBestEffort;
+}
+
+struct RunOutput {
+  double makespan_micros = 0;
+  double wall_micros = 0;
+  serve::ServerStats stats;
+  std::vector<serve::ServeResponse> responses;  // submit order
+};
+
+/// Replays `n` gold query graphs through a fresh simulated server.
+/// `gap_micros` is the virtual inter-arrival gap (0 = one burst at t=0);
+/// `deadline_of(i)` returns the budget for request i (0 = unbounded).
+template <typename DeadlineFn>
+RunOutput RunSimulated(const data::MvqaDataset& dataset,
+                       const text::EmbeddingModel& embeddings, int n,
+                       std::size_t workers, double gap_micros,
+                       const serve::AdmissionOptions& admission,
+                       DeadlineFn deadline_of) {
+  serve::GraphSnapshotStore store(&embeddings);
+  store.Publish(dataset.perfect_merged);
+  serve::ServerOptions opts;
+  opts.mode = serve::ServeMode::kSimulated;
+  opts.num_workers = workers;
+  opts.admission = admission;
+  serve::SvqaServer server(&store, opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<serve::TicketPtr> tickets;
+  tickets.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    serve::RequestOptions ro;
+    ro.priority = MixPriority(i);
+    ro.arrival_micros = gap_micros * i;
+    ro.deadline_micros = deadline_of(i);
+    tickets.push_back(server.Submit(
+        dataset.questions[static_cast<std::size_t>(i) %
+                          dataset.questions.size()]
+            .gold_graph,
+        ro));
+  }
+  RunOutput out;
+  const double wall_start = serve::SteadyNowMicros();
+  out.makespan_micros = server.RunSimulated();
+  out.wall_micros = serve::SteadyNowMicros() - wall_start;
+  for (const auto& t : tickets) out.responses.push_back(t->Wait());
+  out.stats = server.Stats();
+  return out;
+}
+
+/// p-th percentile (p in [0,1]) of the OK-response latencies of `cls`.
+double PercentileLatency(const RunOutput& run, serve::PriorityClass cls,
+                         double p) {
+  std::vector<double> lat;
+  for (const auto& r : run.responses) {
+    if (r.status.ok() && r.priority == cls) lat.push_back(r.latency_micros);
+  }
+  if (lat.empty()) return 0;
+  std::sort(lat.begin(), lat.end());
+  const auto idx = static_cast<std::size_t>(
+      std::max(0.0, p * static_cast<double>(lat.size()) - 1));
+  return lat[std::min(idx, lat.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace svqa;
+  using bench::Banner;
+  using bench::JsonRecord;
+  using bench::Pct;
+  using bench::Rule;
+
+  const std::size_t max_workers = static_cast<std::size_t>(
+      std::atoi(bench::FlagValue(argc, argv, "--workers", "8").c_str()));
+  const int n =
+      std::atoi(bench::FlagValue(argc, argv, "--n", "240").c_str());
+  bench::JsonEmitter json(
+      bench::FlagValue(argc, argv, "--json", "BENCH_serve.json"));
+
+  data::MvqaOptions mopts;
+  mopts.world.num_scenes = 120;
+  mopts.world.seed = 77;
+  const data::MvqaDataset dataset = data::MvqaGenerator(mopts).Generate();
+  data::MvqaOptions mopts_b;
+  mopts_b.world.num_scenes = 80;
+  mopts_b.world.seed = 123;
+  const data::MvqaDataset dataset_b =
+      data::MvqaGenerator(mopts_b).Generate();
+  const text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  std::printf("workload: %d requests, %zu distinct questions\n", n,
+              dataset.questions.size());
+
+  // ---- Section 1: saturation throughput vs worker count -------------
+  Banner("serve saturation: throughput vs workers (closed workload)");
+  std::printf("%8s %14s %16s %14s\n", "workers", "makespan (s)",
+              "throughput (q/s)", "mean exec (ms)");
+  Rule();
+  const serve::AdmissionOptions open_admission = [] {
+    serve::AdmissionOptions a;
+    a.max_queue_depth = 100000;  // closed workload: admit everything
+    for (int c = 0; c < serve::kNumPriorityClasses; ++c) {
+      a.class_depth[c] = 100000;
+    }
+    return a;
+  }();
+  double mean_exec_micros = 0;  // calibrates Section 2's offered load
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    const RunOutput run =
+        RunSimulated(dataset, embeddings, n, workers, /*gap_micros=*/0,
+                     open_admission, [](int) { return 0.0; });
+    const serve::ClassStats totals = run.stats.Totals();
+    const double throughput_qps =
+        run.makespan_micros > 0
+            ? static_cast<double>(totals.completed) * 1e6 /
+                  run.makespan_micros
+            : 0;
+    const double mean_exec =
+        totals.completed > 0
+            ? totals.exec_micros_sum /
+                  static_cast<double>(totals.completed)
+            : 0;
+    if (workers == 1) mean_exec_micros = mean_exec;
+    std::printf("%8zu %14.3f %16.1f %14.2f\n", workers,
+                run.makespan_micros / 1e6, throughput_qps,
+                mean_exec / 1e3);
+    JsonRecord record;
+    record.name = "serve_saturation_w" + std::to_string(workers);
+    record.workers = workers;
+    record.cache_policy = "lfu";
+    record.total_micros = run.makespan_micros;
+    record.wall_micros = run.wall_micros;
+    record.Extra("throughput_qps", throughput_qps)
+        .Extra("completed", static_cast<double>(totals.completed))
+        .Extra("mean_exec_micros", mean_exec);
+    json.Add(record);
+  }
+
+  // ---- Section 2: offered load x priority mix x queue depth ---------
+  Banner("serve overload: QPS x mix (20/30/50) x best-effort depth");
+  const std::size_t kServeWorkers = 4;
+  // Single-worker mean exec sets the capacity of one worker; the
+  // snapshot cache makes repeat queries cheaper, so this is
+  // conservative (true capacity is a little higher).
+  const double capacity_qps =
+      static_cast<double>(kServeWorkers) * 1e6 / mean_exec_micros;
+  std::printf("estimated capacity at %zu workers: %.1f q/s\n",
+              kServeWorkers, capacity_qps);
+  std::printf("%6s %7s %7s %11s %11s %13s %13s\n", "load", "depth",
+              "shed%", "be-shed%", "missed", "inter p99(ms)",
+              "inter mean(ms)");
+  Rule();
+  double unloaded_p99 = 0, overload_2x_p99 = 0;
+  bool overload_2x_sheds_best_effort = false;
+  for (const double load : {0.5, 1.0, 2.0}) {
+    for (const std::size_t depth : {4u, 16u, 64u}) {
+      serve::AdmissionOptions admission;
+      admission.max_queue_depth = 100000;
+      const int kInteractive =
+          static_cast<int>(serve::PriorityClass::kInteractive);
+      const int kBatch = static_cast<int>(serve::PriorityClass::kBatch);
+      const int kBestEffort =
+          static_cast<int>(serve::PriorityClass::kBestEffort);
+      admission.class_depth[kInteractive] = 100000;  // never shed
+      admission.class_depth[kBatch] = depth * 4;
+      admission.class_depth[kBestEffort] = depth;
+      const double gap_micros = 1e6 / (load * capacity_qps);
+      // Best-effort requests carry a deadline; the protected classes
+      // run unbounded so their latency is purely queueing + execution.
+      const double best_effort_budget = 8 * mean_exec_micros;
+      const RunOutput run = RunSimulated(
+          dataset, embeddings, n, kServeWorkers, gap_micros, admission,
+          [&](int i) {
+            return MixPriority(i) == serve::PriorityClass::kBestEffort
+                       ? best_effort_budget
+                       : 0.0;
+          });
+      const serve::ClassStats totals = run.stats.Totals();
+      const serve::ClassStats& be =
+          run.stats.of(serve::PriorityClass::kBestEffort);
+      const serve::ClassStats& inter =
+          run.stats.of(serve::PriorityClass::kInteractive);
+      const double shed_rate =
+          static_cast<double>(totals.shed) /
+          static_cast<double>(totals.submitted);
+      const double be_shed_rate =
+          be.submitted > 0 ? static_cast<double>(be.shed) /
+                                 static_cast<double>(be.submitted)
+                           : 0;
+      const double p99 =
+          PercentileLatency(run, serve::PriorityClass::kInteractive, 0.99);
+      const double p50 =
+          PercentileLatency(run, serve::PriorityClass::kInteractive, 0.50);
+      const uint64_t dispatched = totals.submitted - totals.shed;
+      const double mean_queue_wait =
+          dispatched > 0 ? totals.queue_wait_micros_sum /
+                               static_cast<double>(dispatched)
+                         : 0;
+      const double inter_mean =
+          inter.completed > 0
+              ? inter.latency_micros_sum /
+                    static_cast<double>(inter.completed)
+              : 0;
+      if (load == 0.5 && depth == 4) unloaded_p99 = p99;
+      if (load == 2.0) {
+        overload_2x_p99 = std::max(overload_2x_p99, p99);
+        if (be.shed > 0) overload_2x_sheds_best_effort = true;
+      }
+      std::printf("%5.1fx %7zu %6.1f%% %10.1f%% %11llu %13.2f %13.2f\n",
+                  load, depth, Pct(shed_rate), Pct(be_shed_rate),
+                  static_cast<unsigned long long>(totals.deadline_missed),
+                  p99 / 1e3, inter_mean / 1e3);
+      JsonRecord record;
+      record.name = "serve_load" + std::to_string(load).substr(0, 3) +
+                    "_depth" + std::to_string(depth);
+      record.workers = kServeWorkers;
+      record.cache_policy = "lfu";
+      record.total_micros = run.makespan_micros;
+      record.wall_micros = run.wall_micros;
+      record.Extra("load_factor", load)
+          .Extra("offered_qps", load * capacity_qps)
+          .Extra("best_effort_depth", static_cast<double>(depth))
+          .Extra("shed", static_cast<double>(totals.shed))
+          .Extra("best_effort_shed", static_cast<double>(be.shed))
+          .Extra("deadline_missed",
+                 static_cast<double>(totals.deadline_missed))
+          .Extra("interactive_p50_micros", p50)
+          .Extra("interactive_p99_micros", p99)
+          .Extra("interactive_mean_micros", inter_mean)
+          .Extra("mean_queue_wait_micros", mean_queue_wait);
+      json.Add(record);
+    }
+  }
+  const double p99_ratio =
+      unloaded_p99 > 0 ? overload_2x_p99 / unloaded_p99 : 0;
+  std::printf(
+      "\n2x overload: best-effort sheds: %s, interactive p99 %.2f ms vs "
+      "unloaded %.2f ms (%.2fx)\n",
+      overload_2x_sheds_best_effort ? "yes" : "NO", overload_2x_p99 / 1e3,
+      unloaded_p99 / 1e3, p99_ratio);
+  {
+    JsonRecord record;
+    record.name = "serve_overload_isolation";
+    record.workers = kServeWorkers;
+    record.cache_policy = "lfu";
+    record.Extra("interactive_p99_ratio_2x_vs_unloaded", p99_ratio)
+        .Extra("best_effort_shed_at_2x",
+               overload_2x_sheds_best_effort ? 1 : 0);
+    json.Add(record);
+  }
+
+  // ---- Section 3: threaded publish consistency ----------------------
+  Banner("serve threaded: queries racing Publish (byte-identity check)");
+  std::size_t mismatches = 0, verified = 0;
+  double wall_micros = 0;
+  {
+    serve::GraphSnapshotStore store(&embeddings);
+    store.Publish(dataset.perfect_merged);
+    Mutex snaps_mu;
+    std::vector<serve::SnapshotPtr> snapshots;
+    snapshots.push_back(store.Current());
+    serve::ServerOptions opts;
+    opts.num_workers = kServeWorkers;
+    serve::SvqaServer server(&store, opts);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    const int kRacing = std::min(n, 160);
+    std::vector<serve::TicketPtr> tickets(
+        static_cast<std::size_t>(kRacing));
+    const double wall_start = serve::SteadyNowMicros();
+    ThreadPool submitters(2);
+    submitters.Submit([&] {
+      for (int i = 0; i < kRacing; ++i) {
+        serve::RequestOptions ro;
+        ro.priority = MixPriority(i);
+        tickets[static_cast<std::size_t>(i)] = server.Submit(
+            dataset.questions[static_cast<std::size_t>(i) %
+                              dataset.questions.size()]
+                .gold_graph,
+            ro);
+      }
+    });
+    submitters.Submit([&] {
+      for (int p = 0; p < 4; ++p) {
+        server.Publish(p % 2 == 0 ? dataset_b.perfect_merged
+                                  : dataset.perfect_merged);
+        MutexLock lock(&snaps_mu);
+        snapshots.push_back(store.Current());
+      }
+    });
+    submitters.Shutdown();
+    server.Shutdown();
+    wall_micros = serve::SteadyNowMicros() - wall_start;
+    for (int i = 0; i < kRacing; ++i) {
+      const serve::ServeResponse& resp =
+          tickets[static_cast<std::size_t>(i)]->Wait();
+      if (!resp.status.ok()) continue;
+      const serve::GraphSnapshot* snap = nullptr;
+      for (const auto& s : snapshots) {
+        if (s->id() == resp.snapshot_id) snap = s.get();
+      }
+      if (snap == nullptr) {
+        ++mismatches;
+        continue;
+      }
+      SimClock clock;
+      auto direct = snap->executor().Execute(
+          dataset.questions[static_cast<std::size_t>(i) %
+                            dataset.questions.size()]
+              .gold_graph,
+          &clock);
+      ++verified;
+      if (!direct.ok() ||
+          direct.ValueOrDie().text != resp.answer.text ||
+          direct.ValueOrDie().entities != resp.answer.entities) {
+        ++mismatches;
+      }
+    }
+    std::printf(
+        "%zu responses verified against their snapshot, %zu mismatches "
+        "(%.1f ms wall, %llu publishes)\n",
+        verified, mismatches, wall_micros / 1e3,
+        static_cast<unsigned long long>(server.Stats().publishes));
+  }
+  {
+    JsonRecord record;
+    record.name = "serve_publish_consistency";
+    record.workers = kServeWorkers;
+    record.cache_policy = "lfu";
+    record.wall_micros = wall_micros;
+    record.Extra("verified", static_cast<double>(verified))
+        .Extra("mismatches", static_cast<double>(mismatches));
+    json.Add(record);
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr, "publish consistency violated!\n");
+    return 1;
+  }
+
+  return json.Flush() ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "data/vocabulary.h"
 #include "util/retry.h"
@@ -66,18 +67,45 @@ SvqaEngine::SvqaEngine(SvqaOptions options)
   embeddings_ =
       std::make_unique<text::EmbeddingModel>(lexicon_, options_.seed);
   builder_ = std::make_unique<query::QueryGraphBuilder>(&lexicon_);
+  serve::SnapshotStoreOptions store_options;
+  store_options.enable_cache = options_.enable_cache;
+  store_options.cache = options_.cache;
+  store_options.executor = options_.executor;
+  store_ = std::make_unique<serve::GraphSnapshotStore>(embeddings_.get(),
+                                                       store_options);
 }
 
 SvqaEngine::~SvqaEngine() = default;
+
+Status SvqaEngine::BeginIngest() {
+  MutexLock lock(&ingest_mu_);
+  if (ingest_started_) {
+    return Status::InvalidArgument("Ingest may only be called once");
+  }
+  ingest_started_ = true;
+  return Status::OK();
+}
+
+void SvqaEngine::AbortIngest() {
+  MutexLock lock(&ingest_mu_);
+  ingest_started_ = false;
+}
 
 Status SvqaEngine::Ingest(const graph::Graph& knowledge_graph,
                           const std::vector<vision::Scene>& images,
                           SimClock* clock) {
   SVQA_RETURN_NOT_OK(options_.Validate());
-  if (merged_ != nullptr) {
-    return Status::InvalidArgument("Ingest may only be called once");
-  }
+  SVQA_RETURN_NOT_OK(BeginIngest());
+  Status status = DoIngest(knowledge_graph, images, clock);
+  // A failed ingest releases the slot so the caller may retry; Ask keeps
+  // failing cleanly until a publish lands.
+  if (!status.ok()) AbortIngest();
+  return status;
+}
 
+Status SvqaEngine::DoIngest(const graph::Graph& knowledge_graph,
+                            const std::vector<vision::Scene>& images,
+                            SimClock* clock) {
   // Scene graph generation (§III-A).
   vision::DetectorOptions det = options_.detector;
   det.seed = options_.seed;
@@ -124,22 +152,22 @@ Status SvqaEngine::Ingest(const graph::Graph& knowledge_graph,
   aggregator::GraphMerger merger(options_.merger);
   SVQA_ASSIGN_OR_RETURN(auto merged,
                         merger.Merge(knowledge_graph, scene_graphs_, clock));
-  merged_ = std::make_unique<aggregator::MergedGraph>(std::move(merged));
 
-  // Online machinery.
-  if (options_.enable_cache) {
-    cache_ = std::make_unique<exec::KeyCentricCache>(options_.cache);
-  }
-  executor_ = std::make_unique<exec::QueryGraphExecutor>(
-      merged_.get(), embeddings_.get(), cache_.get(), options_.executor);
+  // Atomically publish: a concurrent Ask either still sees "nothing
+  // ingested" or the complete snapshot — never a half-built graph.
+  store_->Publish(std::move(merged));
   return Status::OK();
 }
 
 Status SvqaEngine::IngestMerged(aggregator::MergedGraph merged) {
   SVQA_RETURN_NOT_OK(options_.Validate());
-  if (merged_ != nullptr) {
-    return Status::InvalidArgument("Ingest may only be called once");
-  }
+  SVQA_RETURN_NOT_OK(BeginIngest());
+  Status status = DoIngestMerged(std::move(merged));
+  if (!status.ok()) AbortIngest();
+  return status;
+}
+
+Status SvqaEngine::DoIngestMerged(aggregator::MergedGraph merged) {
   SVQA_RETURN_NOT_OK(merged.graph.CheckConsistency());
 
   // Gazetteer from the KG prefix of the merged graph.
@@ -150,20 +178,16 @@ Status SvqaEngine::IngestMerged(aggregator::MergedGraph merged) {
   }
   builder_->RegisterEntityNames(labels);
 
-  merged_ = std::make_unique<aggregator::MergedGraph>(std::move(merged));
-  if (options_.enable_cache) {
-    cache_ = std::make_unique<exec::KeyCentricCache>(options_.cache);
-  }
-  executor_ = std::make_unique<exec::QueryGraphExecutor>(
-      merged_.get(), embeddings_.get(), cache_.get(), options_.executor);
+  store_->Publish(std::move(merged));
   return Status::OK();
 }
 
 Status SvqaEngine::SaveMergedGraph(const std::string& path) const {
-  if (merged_ == nullptr) {
+  serve::SnapshotPtr snap = store_->Current();
+  if (snap == nullptr) {
     return Status::InvalidArgument("nothing ingested yet");
   }
-  return aggregator::SaveMergedGraph(*merged_, path);
+  return aggregator::SaveMergedGraph(snap->merged(), path);
 }
 
 Result<query::QueryGraph> SvqaEngine::Parse(const std::string& question,
@@ -173,15 +197,21 @@ Result<query::QueryGraph> SvqaEngine::Parse(const std::string& question,
 
 Result<exec::Answer> SvqaEngine::Execute(const query::QueryGraph& graph,
                                          SimClock* clock) {
-  if (executor_ == nullptr) {
+  serve::SnapshotPtr snap = store_->Current();
+  if (snap == nullptr) {
     return Status::InvalidArgument("Ingest must be called before Execute");
   }
-  return executor_->Execute(graph, clock);
+  Result<exec::Answer> result = snap->executor().Execute(graph, clock);
+  if (result.ok()) result.ValueOrDie().diagnostics.snapshot_id = snap->id();
+  return result;
 }
 
 Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
                                      SimClock* clock) {
-  if (executor_ == nullptr) {
+  // Pin the snapshot that is current now; a publish racing this question
+  // cannot swap the graph out from under it.
+  serve::SnapshotPtr snap = store_->Current();
+  if (snap == nullptr) {
     return Status::InvalidArgument("Ingest must be called before Ask");
   }
   const exec::ResilienceOptions& res = options_.resilience;
@@ -194,15 +224,21 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
     if (!options_.enable_degradation) return graph.status();
     // A question we cannot even parse still deserves a definitive,
     // conservative answer rather than an exception path.
-    return ConservativeAnswer(nlp::QuestionType::kReasoning, graph.status(),
-                              exec::Diagnostics{});
+    exec::Answer ans = ConservativeAnswer(nlp::QuestionType::kReasoning,
+                                          graph.status(), exec::Diagnostics{});
+    ans.diagnostics.snapshot_id = snap->id();
+    return ans;
   }
 
   // Rung 0: full execution with deadline, cancellation, and retries.
   exec::Diagnostics diag;
   Result<exec::Answer> result =
-      executor_->ExecuteResilient(*graph, clock, res, salt, &diag);
-  if (result.ok() || !options_.enable_degradation) return result;
+      snap->executor().ExecuteResilient(*graph, clock, res, salt, &diag);
+  if (result.ok()) {
+    result.ValueOrDie().diagnostics.snapshot_id = snap->id();
+    return result;
+  }
+  if (!options_.enable_degradation) return result;
 
   // Rung 1: a partial answer from the main clause's cached subgraph.
   // The cache read still goes through the fault policy (which degrades
@@ -212,26 +248,30 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
   degraded_ctx.clock = clock;
   degraded_ctx.faults = res.fault_policy;
   if (std::optional<exec::Answer> partial =
-          executor_->ExecuteFromCache(*graph, degraded_ctx)) {
+          snap->executor().ExecuteFromCache(*graph, degraded_ctx)) {
     partial->diagnostics.primary = result.status();
     partial->diagnostics.attempts = diag.attempts;
     partial->diagnostics.backoff_micros = diag.backoff_micros;
+    partial->diagnostics.snapshot_id = snap->id();
     return *std::move(partial);
   }
 
   // Rung 2: the conservative answer.
-  return ConservativeAnswer(graph->type(), result.status(), diag);
+  exec::Answer ans = ConservativeAnswer(graph->type(), result.status(), diag);
+  ans.diagnostics.snapshot_id = snap->id();
+  return ans;
 }
 
 Result<std::string> SvqaEngine::Explain(const std::string& question) {
-  if (executor_ == nullptr) {
+  serve::SnapshotPtr snap = store_->Current();
+  if (snap == nullptr) {
     return Status::InvalidArgument("Ingest must be called before Explain");
   }
   SimClock clock;
   SVQA_ASSIGN_OR_RETURN(query::QueryGraph graph,
                         builder_->Build(question, &clock));
   SVQA_ASSIGN_OR_RETURN(exec::Answer answer,
-                        executor_->Execute(graph, &clock));
+                        snap->executor().Execute(graph, &clock));
 
   std::string out;
   out += "Q: " + question + "\n\n";
@@ -250,7 +290,11 @@ Result<std::string> SvqaEngine::Explain(const std::string& question) {
 exec::BatchResult SvqaEngine::ExecuteBatch(
     const std::vector<query::QueryGraph>& graphs,
     exec::BatchOptions batch_options) {
-  exec::BatchExecutor batch(executor_.get(), batch_options);
+  // One snapshot for the whole batch: every query of the batch sees the
+  // same graph even if a publish lands mid-run.
+  serve::SnapshotPtr snap = store_->Current();
+  exec::BatchExecutor batch(snap == nullptr ? nullptr : &snap->executor(),
+                            batch_options);
   return batch.ExecuteAll(graphs);
 }
 

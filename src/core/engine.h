@@ -9,8 +9,11 @@
 #include "exec/batch_executor.h"
 #include "exec/executor.h"
 #include "query/query_graph_builder.h"
+#include "serve/graph_snapshot_store.h"
 #include "text/embedding.h"
 #include "text/lexicon.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "vision/scene.h"
 #include "vision/sgg_metrics.h"
@@ -30,6 +33,12 @@ namespace svqa::core {
 /// Ingest runs the offline phase (scene graph generation + Algorithm 1
 /// merging); Ask runs the online phase (Algorithm 2 parsing + Algorithm 3
 /// execution with key-centric caching).
+///
+/// Concurrency: the merged graph lives in a serve::GraphSnapshotStore —
+/// Ingest builds off to the side and atomically publishes, and every Ask
+/// / Execute pins the snapshot that is current when it starts, so asking
+/// concurrently with an ingest (or a later publish through
+/// serve::SvqaServer) never observes a half-built graph.
 class SvqaEngine {
  public:
   explicit SvqaEngine(SvqaOptions options = {});
@@ -39,11 +48,12 @@ class SvqaEngine {
   SvqaEngine& operator=(const SvqaEngine&) = delete;
 
   /// Offline phase: converts every image to a scene graph and merges
-  /// everything with the knowledge graph. Must be called exactly once
-  /// before Ask.
+  /// everything with the knowledge graph, publishing the result as the
+  /// store's first snapshot. Must be called exactly once before Ask (a
+  /// failed ingest may be retried).
   Status Ingest(const graph::Graph& knowledge_graph,
                 const std::vector<vision::Scene>& images,
-                SimClock* clock = nullptr);
+                SimClock* clock = nullptr) SVQA_EXCLUDES(ingest_mu_);
 
   /// Video ingestion (§II: video data is a collection of images): the
   /// frames of every video are ingested as the image corpus.
@@ -57,7 +67,8 @@ class SvqaEngine {
   /// skipping the expensive scene-graph/merge phase. The KG prefix of
   /// the merged graph feeds the entity gazetteer. Alternative to Ingest;
   /// may also only be called once.
-  Status IngestMerged(aggregator::MergedGraph merged);
+  Status IngestMerged(aggregator::MergedGraph merged)
+      SVQA_EXCLUDES(ingest_mu_);
 
   /// Persists the merged graph so a later process can IngestMerged it.
   Status SaveMergedGraph(const std::string& path) const;
@@ -73,10 +84,10 @@ class SvqaEngine {
   /// With `enable_degradation` (the default) a failed execution walks
   /// the degradation ladder — cached-subgraph partial answer, then the
   /// conservative "no"/0/"unknown" — so Ask returns an error only for
-  /// API misuse; `Answer::diagnostics` records the rung taken and the
-  /// underlying failure. With degradation disabled the raw Status
-  /// (kDeadlineExceeded, kCancelled, injected faults, parse errors)
-  /// surfaces instead.
+  /// API misuse; `Answer::diagnostics` records the rung taken, the
+  /// underlying failure, and the snapshot id answered from. With
+  /// degradation disabled the raw Status (kDeadlineExceeded, kCancelled,
+  /// injected faults, parse errors) surfaces instead.
   Result<exec::Answer> Ask(const std::string& question,
                            SimClock* clock = nullptr);
 
@@ -93,32 +104,60 @@ class SvqaEngine {
   /// graph, the answer, and the supporting merged-graph facts.
   Result<std::string> Explain(const std::string& question);
 
-  /// Batch execution of parsed graphs with scheduling (§V-B).
+  /// Batch execution of parsed graphs with scheduling (§V-B), pinned to
+  /// the current snapshot for the whole batch.
   exec::BatchResult ExecuteBatch(
       const std::vector<query::QueryGraph>& graphs,
       exec::BatchOptions batch_options = {});
 
   // --- accessors -----------------------------------------------------------
-  bool ingested() const { return merged_ != nullptr; }
-  const aggregator::MergedGraph& merged() const { return *merged_; }
+  bool ingested() const { return store_->latest_id() != 0; }
+  /// The current snapshot's merged graph. Requires ingested(); the
+  /// reference stays valid while that snapshot remains current (pin the
+  /// snapshot via snapshot_store()->Current() to outlive a republish).
+  const aggregator::MergedGraph& merged() const {
+    return store_->Current()->merged();
+  }
   const text::EmbeddingModel& embeddings() const { return *embeddings_; }
   const text::SynonymLexicon& lexicon() const { return lexicon_; }
-  exec::KeyCentricCache* cache() { return cache_.get(); }
+  /// The current snapshot's key-centric cache (nullptr before ingest or
+  /// with caching disabled).
+  exec::KeyCentricCache* cache() {
+    serve::SnapshotPtr snap = store_->Current();
+    return snap == nullptr ? nullptr : snap->cache();
+  }
   const SvqaOptions& options() const { return options_; }
   /// Scene-graph results kept from Ingest (for SGG metrics).
   const std::vector<vision::SceneGraphResult>& scene_graphs() const {
     return scene_graphs_;
   }
+  /// The snapshot store queries execute against. serve::SvqaServer is
+  /// constructed over this to serve the engine's graph.
+  serve::GraphSnapshotStore* snapshot_store() { return store_.get(); }
+  const serve::GraphSnapshotStore& snapshot_store() const { return *store_; }
+  /// The question parser (for serve::ServerOptions::parser).
+  const query::QueryGraphBuilder& builder() const { return *builder_; }
 
  private:
+  /// Claims the single ingest slot; fails if an ingest already started.
+  Status BeginIngest() SVQA_EXCLUDES(ingest_mu_);
+  /// Releases the slot after a failed ingest so it can be retried.
+  void AbortIngest() SVQA_EXCLUDES(ingest_mu_);
+  Status DoIngest(const graph::Graph& knowledge_graph,
+                  const std::vector<vision::Scene>& images, SimClock* clock);
+  Status DoIngestMerged(aggregator::MergedGraph merged);
+
   SvqaOptions options_;
   text::SynonymLexicon lexicon_;
   std::unique_ptr<text::EmbeddingModel> embeddings_;
   std::unique_ptr<query::QueryGraphBuilder> builder_;
   std::vector<vision::SceneGraphResult> scene_graphs_;
-  std::unique_ptr<aggregator::MergedGraph> merged_;
-  std::unique_ptr<exec::KeyCentricCache> cache_;
-  std::unique_ptr<exec::QueryGraphExecutor> executor_;
+  std::unique_ptr<serve::GraphSnapshotStore> store_;
+
+  /// Serializes the Ingest-once contract against concurrent ingests; the
+  /// published graph itself is protected by the store's snapshot swap.
+  mutable Mutex ingest_mu_;
+  bool ingest_started_ SVQA_GUARDED_BY(ingest_mu_) = false;
 };
 
 }  // namespace svqa::core

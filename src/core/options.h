@@ -25,7 +25,10 @@ struct SvqaOptions {
   aggregator::MergerOptions merger;
 
   /// Key-centric caching (§V-B); set enable_cache=false for the
-  /// no-cache ablation.
+  /// no-cache ablation. Caches are snapshot-scoped: each snapshot the
+  /// engine's GraphSnapshotStore publishes gets a fresh cache built with
+  /// these options (cached scopes are only valid for the graph they were
+  /// computed over).
   bool enable_cache = true;
   exec::KeyCentricCacheOptions cache;
 

@@ -59,6 +59,17 @@ struct Diagnostics {
   int attempts = 1;
   /// Virtual microseconds spent in retry backoff.
   double backoff_micros = 0;
+  // --- serving-layer fields (filled by serve::RequestScheduler; defaults
+  // mean "not served through a queue") ---------------------------------
+  /// Time the request spent in the admission queue before dispatch
+  /// (virtual micros in simulated serving, host micros in threaded).
+  double queue_wait_micros = 0;
+  /// Graph snapshot the answer was computed against (0 = direct
+  /// execution outside the snapshot store).
+  uint64_t snapshot_id = 0;
+  /// serve::PriorityClass the request was admitted under (-1 = direct
+  /// execution, no admission control).
+  int priority_class = -1;
 };
 
 /// \brief The answer to a complex question.

@@ -1,0 +1,135 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace svqa::serve {
+
+Status AdmissionOptions::Validate() const {
+  if (max_queue_depth == 0) {
+    return Status::InvalidArgument("max_queue_depth must be positive");
+  }
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    if (class_depth[c] == 0) {
+      return Status::InvalidArgument("class_depth must be positive");
+    }
+    if (rate_per_second[c] > 0 && burst[c] < 1) {
+      return Status::InvalidArgument(
+          "burst must be >= 1 for a rate-limited class");
+    }
+  }
+  return Status::OK();
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options) {
+  MutexLock lock(&mu_);
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    // Buckets start full so a burst at t=0 admits up to `burst` requests.
+    tokens_[c] = options_.burst[c];
+    last_refill_[c] = 0;
+  }
+}
+
+Status AdmissionQueue::Admit(QueuedRequest req) {
+  const auto c = static_cast<int>(req.options.priority);
+  const char* klass = PriorityClassName(req.options.priority);
+  MutexLock lock(&mu_);
+  if (closed_) {
+    return Status::ResourceExhausted("admission closed (server draining)");
+  }
+  if (total_ >= options_.max_queue_depth) {
+    return Status::ResourceExhausted(
+        "queue full (" + std::to_string(total_) + "/" +
+        std::to_string(options_.max_queue_depth) + ")");
+  }
+  if (queues_[c].size() >= options_.class_depth[c]) {
+    return Status::ResourceExhausted(
+        std::string(klass) + " queue full (" +
+        std::to_string(queues_[c].size()) + "/" +
+        std::to_string(options_.class_depth[c]) + ")");
+  }
+  if (options_.rate_per_second[c] > 0) {
+    // Refill from the class's last admission instant; clamp so a
+    // slightly out-of-order arrival (threaded submitters race) never
+    // rewinds the bucket.
+    const double now = std::max(req.arrival_micros, last_refill_[c]);
+    tokens_[c] = std::min(
+        options_.burst[c],
+        tokens_[c] +
+            (now - last_refill_[c]) * options_.rate_per_second[c] / 1e6);
+    last_refill_[c] = now;
+    // The refill accumulates increments, so a bucket that is exactly
+    // due can sit one ulp short of a full token; don't shed over
+    // rounding noise.
+    if (tokens_[c] < 1.0 - 1e-9) {
+      return Status::ResourceExhausted(std::string(klass) +
+                                       " rate limit exceeded");
+    }
+    tokens_[c] = std::max(0.0, tokens_[c] - 1.0);
+  }
+  queues_[c].emplace(OrderKey{req.deadline_abs_micros, req.id},
+                     std::move(req));
+  ++total_;
+  cv_.NotifyOne();
+  return Status::OK();
+}
+
+bool AdmissionQueue::PopLocked(QueuedRequest* out) {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    auto it = queue.begin();
+    *out = std::move(it->second);
+    queue.erase(it);
+    --total_;
+    return true;
+  }
+  return false;
+}
+
+bool AdmissionQueue::PopBlocking(QueuedRequest* out) {
+  MutexLock lock(&mu_);
+  cv_.WaitUntil(&mu_, [this]() SVQA_REQUIRES(mu_) {
+    return total_ > 0 || closed_;
+  });
+  return PopLocked(out);
+}
+
+bool AdmissionQueue::TryPop(QueuedRequest* out) {
+  MutexLock lock(&mu_);
+  return PopLocked(out);
+}
+
+bool AdmissionQueue::Remove(uint64_t id, QueuedRequest* out) {
+  MutexLock lock(&mu_);
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->second.id != id) continue;
+      *out = std::move(it->second);
+      queue.erase(it);
+      --total_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionQueue::CloseIntake() {
+  MutexLock lock(&mu_);
+  closed_ = true;
+  // Wake every parked worker: those finding the queue drained exit.
+  cv_.NotifyAll();
+}
+
+std::size_t AdmissionQueue::size() const {
+  MutexLock lock(&mu_);
+  return total_;
+}
+
+std::size_t AdmissionQueue::class_size(PriorityClass c) const {
+  MutexLock lock(&mu_);
+  return queues_[static_cast<int>(c)].size();
+}
+
+}  // namespace svqa::serve

@@ -1,0 +1,108 @@
+#ifndef SVQA_SERVE_ADMISSION_QUEUE_H_
+#define SVQA_SERVE_ADMISSION_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "serve/request.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace svqa::serve {
+
+/// \brief Admission-control knobs: bounded depth (total and per class)
+/// plus a token-bucket rate limit per class. A request that cannot be
+/// admitted is *shed* — rejected immediately with kResourceExhausted —
+/// rather than queued indefinitely; bounded queues are what keep the
+/// interactive tail latency bounded under overload.
+struct AdmissionOptions {
+  /// Total queued requests across all classes.
+  std::size_t max_queue_depth = 256;
+  /// Per-class depth caps (interactive, batch, best-effort). Shrinking
+  /// the best-effort cap is the canonical overload valve.
+  std::size_t class_depth[kNumPriorityClasses] = {256, 256, 256};
+  /// Token-bucket refill rate per class in requests per *timeline
+  /// second* (virtual seconds in simulated mode, host seconds in
+  /// threaded mode); <= 0 disables rate limiting for the class.
+  double rate_per_second[kNumPriorityClasses] = {0, 0, 0};
+  /// Token-bucket burst capacity per class (>= 1 when rate limited).
+  double burst[kNumPriorityClasses] = {1, 1, 1};
+
+  Status Validate() const;
+};
+
+/// \brief Bounded, priority-classed request queue with deterministic
+/// dispatch order: strict priority across classes, earliest deadline
+/// first (submit order as tie-break) within a class.
+///
+/// Admission decisions are a pure function of (options, prior admits,
+/// request arrival time), so the simulated scheduler replays them
+/// bit-for-bit. Thread-safe; PopBlocking parks workers on the internal
+/// CondVar until work arrives or intake closes.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionOptions options = {});
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits or sheds `req`. Returns OK (request queued) or
+  /// kResourceExhausted naming the exhausted resource (total depth,
+  /// class depth, class rate limit, or closed intake). `req.arrival_micros`
+  /// drives the token-bucket refill and must be non-decreasing per class
+  /// for the rate limit to be meaningful (out-of-order arrivals are
+  /// clamped).
+  Status Admit(QueuedRequest req) SVQA_EXCLUDES(mu_);
+
+  /// Blocks until a request is available (then pops the dispatch-order
+  /// head into `*out` and returns true) or intake is closed and the
+  /// queue drained (returns false — the worker should exit).
+  bool PopBlocking(QueuedRequest* out) SVQA_EXCLUDES(mu_);
+
+  /// Non-blocking pop of the dispatch-order head.
+  bool TryPop(QueuedRequest* out) SVQA_EXCLUDES(mu_);
+
+  /// Removes a queued request by id (cancellation of queued work).
+  /// Returns false if the id is not queued (already dispatched or never
+  /// admitted).
+  bool Remove(uint64_t id, QueuedRequest* out) SVQA_EXCLUDES(mu_);
+
+  /// Stops intake: subsequent Admit calls shed with kResourceExhausted;
+  /// queued requests remain poppable (drain), and blocked PopBlocking
+  /// calls return false once the queue empties.
+  void CloseIntake() SVQA_EXCLUDES(mu_);
+
+  std::size_t size() const SVQA_EXCLUDES(mu_);
+  std::size_t class_size(PriorityClass c) const SVQA_EXCLUDES(mu_);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  /// EDF ordering key: absolute deadline, then submit sequence.
+  struct OrderKey {
+    double deadline;
+    uint64_t seq;
+    bool operator<(const OrderKey& other) const {
+      if (deadline != other.deadline) return deadline < other.deadline;
+      return seq < other.seq;
+    }
+  };
+  using ClassQueue = std::map<OrderKey, QueuedRequest>;
+
+  bool PopLocked(QueuedRequest* out) SVQA_REQUIRES(mu_);
+
+  const AdmissionOptions options_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  ClassQueue queues_[kNumPriorityClasses] SVQA_GUARDED_BY(mu_);
+  double tokens_[kNumPriorityClasses] SVQA_GUARDED_BY(mu_);
+  double last_refill_[kNumPriorityClasses] SVQA_GUARDED_BY(mu_);
+  std::size_t total_ SVQA_GUARDED_BY(mu_) = 0;
+  bool closed_ SVQA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_ADMISSION_QUEUE_H_

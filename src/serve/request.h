@@ -1,0 +1,153 @@
+#ifndef SVQA_SERVE_REQUEST_H_
+#define SVQA_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "exec/executor.h"
+#include "query/query_graph.h"
+#include "util/annotations.h"
+#include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace svqa::serve {
+
+/// \brief Admission/scheduling class of a request. Classes are served in
+/// strict priority order (interactive preempts nothing — dispatch is
+/// non-preemptive — but an idle worker always takes the highest class
+/// first); within a class, requests dispatch earliest-deadline-first.
+enum class PriorityClass : int {
+  /// Latency-sensitive user-facing questions.
+  kInteractive = 0,
+  /// Offline/analytical batches.
+  kBatch = 1,
+  /// Shed-first background work (prefetch, speculative warming).
+  kBestEffort = 2,
+};
+
+inline constexpr int kNumPriorityClasses = 3;
+
+const char* PriorityClassName(PriorityClass c);
+
+/// \brief Per-request knobs passed to SvqaServer::Submit*.
+struct RequestOptions {
+  PriorityClass priority = PriorityClass::kInteractive;
+  /// End-to-end *virtual-time* budget in microseconds; <= 0 or non-finite
+  /// means unbounded. In simulated mode the budget covers queue wait +
+  /// execution (both virtual); in threaded mode queue wait is host time,
+  /// so the budget bounds execution only (see DESIGN.md §7).
+  double deadline_micros = 0;
+  /// Simulated mode only: the request's virtual arrival time on the
+  /// service timeline (open-loop load generation). Ignored in threaded
+  /// mode, where arrival is the host submit instant.
+  double arrival_micros = 0;
+};
+
+/// \brief Final outcome of one served request.
+struct ServeResponse {
+  /// Definitive status: OK, kResourceExhausted (shed at admission),
+  /// kDeadlineExceeded (expired in queue or mid-execution), kCancelled,
+  /// or an execution failure.
+  Status status;
+  exec::Answer answer;
+  PriorityClass priority = PriorityClass::kInteractive;
+  /// Snapshot the request executed against (0 = never dispatched).
+  uint64_t snapshot_id = 0;
+  /// Time spent queued: virtual micros in simulated mode, host micros in
+  /// threaded mode.
+  double queue_wait_micros = 0;
+  /// Virtual execution time (parse + Algorithm 3 + retry backoff).
+  double exec_micros = 0;
+  /// End-to-end latency = queue_wait + exec. Pure virtual time in
+  /// simulated mode; a host-wait + virtual-exec hybrid in threaded mode
+  /// (diagnostic only there).
+  double latency_micros = 0;
+};
+
+/// \brief Shared completion handle between a submitter and the serving
+/// layer. Submit* returns one immediately; the response becomes
+/// available once the scheduler (or admission control) completes it.
+///
+/// Thread-safe: Wait/done may be called from any thread; Complete is
+/// called exactly once by the serving layer (later calls are ignored).
+class ServeTicket {
+ public:
+  explicit ServeTicket(uint64_t id) : id_(id) {}
+
+  ServeTicket(const ServeTicket&) = delete;
+  ServeTicket& operator=(const ServeTicket&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Blocks until the response is available, then returns it. The
+  /// reference stays valid for the ticket's lifetime.
+  const ServeResponse& Wait() const SVQA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    cv_.WaitUntil(&mu_, [this]() SVQA_REQUIRES(mu_) { return done_; });
+    return response_;
+  }
+
+  bool done() const SVQA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return done_;
+  }
+
+  /// Cooperative cancellation flag polled by the executor's
+  /// check-points; SvqaServer::Cancel raises it.
+  const CancellationToken& cancel_token() const { return cancel_; }
+
+  /// Raises the cancellation flag; sticky, observed at the next
+  /// check-point (or at dispatch, for a still-queued request).
+  void RequestCancel() { cancel_.RequestCancel(); }
+
+  /// Serving-layer entry point: publishes the response and wakes
+  /// waiters. First call wins; returns false (and drops `response`) if
+  /// the ticket was already completed.
+  bool Complete(ServeResponse response) SVQA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (done_) return false;
+    response_ = std::move(response);
+    done_ = true;
+    cv_.NotifyAll();
+    return true;
+  }
+
+ private:
+  const uint64_t id_;
+  CancellationToken cancel_;
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  bool done_ SVQA_GUARDED_BY(mu_) = false;
+  ServeResponse response_ SVQA_GUARDED_BY(mu_);
+};
+
+using TicketPtr = std::shared_ptr<ServeTicket>;
+
+/// \brief Internal unit of work flowing from admission to dispatch.
+/// Carries either a pre-parsed query graph or a natural-language
+/// question to be parsed on the worker (charged to the request's clock).
+struct QueuedRequest {
+  /// Submit sequence number; doubles as the deterministic EDF tie-break
+  /// and the retry-jitter salt.
+  uint64_t id = 0;
+  query::QueryGraph graph;
+  std::string question;
+  /// True when `question` must be parsed at dispatch time.
+  bool needs_parse = false;
+  RequestOptions options;
+  /// Arrival on the scheduling timeline: virtual micros (simulated) or
+  /// host micros since server start (threaded).
+  double arrival_micros = 0;
+  /// Absolute deadline on that same timeline (infinity = unbounded);
+  /// the EDF ordering key.
+  double deadline_abs_micros = std::numeric_limits<double>::infinity();
+  TicketPtr ticket;
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_REQUEST_H_

@@ -1,0 +1,226 @@
+#include "serve/request_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace svqa::serve {
+
+double SteadyNowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RequestScheduler::RequestScheduler(AdmissionQueue* queue,
+                                   const GraphSnapshotStore* store,
+                                   StatsCollector* stats,
+                                   SchedulerOptions options)
+    : queue_(queue), store_(store), stats_(stats), options_(options) {}
+
+RequestScheduler::~RequestScheduler() { Drain(); }
+
+void RequestScheduler::Start() {
+  if (pool_ != nullptr) return;
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_workers);
+  pool_ = std::make_unique<ThreadPool>(workers);
+  // The pool's tasks ARE the long-running worker loops: each parks on
+  // the admission queue and exits when intake closes and the queue
+  // drains, which is exactly when ThreadPool::Shutdown can join.
+  for (std::size_t i = 0; i < workers; ++i) {
+    pool_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+void RequestScheduler::Drain() {
+  queue_->CloseIntake();
+  if (pool_ != nullptr) pool_->Shutdown();
+}
+
+void RequestScheduler::WorkerLoop() {
+  QueuedRequest req;
+  while (queue_->PopBlocking(&req)) {
+    const double queue_wait =
+        std::max(0.0, SteadyNowMicros() - req.arrival_micros);
+    ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/false);
+    stats_->RecordOutcome(resp);
+    req.ticket->Complete(std::move(resp));
+  }
+}
+
+ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
+                                         double queue_wait_micros,
+                                         bool simulated) const {
+  ServeResponse resp;
+  resp.priority = req.options.priority;
+  resp.queue_wait_micros = queue_wait_micros;
+  resp.latency_micros = queue_wait_micros;
+
+  // Cancelled while queued: zero execution cost, the worker moves on.
+  if (req.ticket->cancel_token().cancelled()) {
+    resp.status = Status::Cancelled("cancelled before dispatch");
+    return resp;
+  }
+
+  const SnapshotPtr snap = store_->Current();
+  if (snap == nullptr) {
+    resp.status =
+        Status::InvalidArgument("no graph snapshot published yet");
+    return resp;
+  }
+  resp.snapshot_id = snap->id();
+
+  // The request's own clock measures only work done on its behalf
+  // (parse + execution), never queue wait — so exec_micros is a pure
+  // function of the query, bit-identical whatever the queue did. The
+  // deadline budget still covers queue wait in simulated mode: the wait
+  // is deducted from the budget arithmetically, below.
+  SimClock clock;
+
+  // Remaining work budget on this clock (infinity = unbounded). In
+  // simulated mode the budget counts from arrival, so a long queue wait
+  // can exhaust it here, before any execution; in threaded mode queue
+  // wait is host time and the budget bounds the virtual work only.
+  const bool bounded = std::isfinite(req.deadline_abs_micros) &&
+                       req.options.deadline_micros > 0;
+  double work_budget = std::numeric_limits<double>::infinity();
+  if (bounded) {
+    work_budget = req.options.deadline_micros -
+                  (simulated ? queue_wait_micros : 0.0);
+    if (work_budget <= 0) {
+      resp.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+      return resp;
+    }
+  }
+
+  // Parse on the worker when the request carries a raw question; parse
+  // cost is charged to the request's clock (and counts against its
+  // deadline) like any other work done on its behalf.
+  const query::QueryGraph* graph = &req.graph;
+  query::QueryGraph parsed;
+  if (req.needs_parse) {
+    if (options_.parser == nullptr) {
+      resp.status = Status::InvalidArgument(
+          "SubmitQuestion requires ServerOptions::parser");
+      return resp;
+    }
+    Result<query::QueryGraph> p =
+        options_.parser->Build(req.question, &clock);
+    if (!p.ok()) {
+      resp.status = p.status();
+      resp.exec_micros = clock.ElapsedMicros();
+      resp.latency_micros = queue_wait_micros + resp.exec_micros;
+      return resp;
+    }
+    parsed = std::move(p).ValueOrDie();
+    graph = &parsed;
+    if (clock.ElapsedMicros() >= work_budget) {
+      resp.status = Status::DeadlineExceeded("deadline expired during parse");
+      resp.exec_micros = clock.ElapsedMicros();
+      resp.latency_micros = queue_wait_micros + resp.exec_micros;
+      return resp;
+    }
+  }
+
+  // Execution under the request's remaining budget, its cancellation
+  // token, and the server-wide fault policy / retry configuration.
+  exec::ResilienceOptions res = options_.resilience;
+  res.cancel = &req.ticket->cancel_token();
+  res.query_deadline_micros =
+      bounded ? work_budget - clock.ElapsedMicros() : 0;
+
+  exec::Diagnostics diag;
+  Result<exec::Answer> r = snap->executor().ExecuteResilient(
+      *graph, &clock, res, /*salt=*/req.id, &diag);
+  resp.status = r.status();
+  if (r.ok()) {
+    resp.answer = std::move(r).ValueOrDie();
+  } else {
+    resp.answer.diagnostics = diag;
+  }
+  resp.answer.diagnostics.queue_wait_micros = queue_wait_micros;
+  resp.answer.diagnostics.snapshot_id = snap->id();
+  resp.answer.diagnostics.priority_class =
+      static_cast<int>(req.options.priority);
+
+  resp.exec_micros = clock.ElapsedMicros();
+  resp.latency_micros = queue_wait_micros + resp.exec_micros;
+  return resp;
+}
+
+double RequestScheduler::RunSimulated(std::vector<QueuedRequest> workload) {
+  const std::size_t workers = std::max<std::size_t>(1, options_.num_workers);
+  std::vector<double> free_at(workers, 0.0);
+  std::size_t next = 0;
+  const std::size_t n = workload.size();
+  double makespan = 0;
+
+  // Moves one arrival through admission control at its virtual arrival
+  // instant. Sheds (and pre-run cancellations) complete immediately with
+  // zero service time.
+  const auto admit_one = [&](QueuedRequest& req) {
+    const PriorityClass priority = req.options.priority;
+    TicketPtr ticket = req.ticket;
+    if (ticket->cancel_token().cancelled()) {
+      ServeResponse resp;
+      resp.priority = priority;
+      resp.status = Status::Cancelled("cancelled before dispatch");
+      stats_->RecordOutcome(resp);
+      ticket->Complete(std::move(resp));
+      return;
+    }
+    Status admitted = queue_->Admit(std::move(req));
+    if (admitted.ok()) return;
+    stats_->RecordShed(priority);
+    ServeResponse resp;
+    resp.priority = priority;
+    resp.status = std::move(admitted);
+    ticket->Complete(std::move(resp));
+  };
+
+  for (;;) {
+    // Earliest-free virtual worker; ties break to the lowest index so
+    // the whole event loop is deterministic.
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < free_at.size(); ++i) {
+      if (free_at[i] < free_at[w]) w = i;
+    }
+
+    if (queue_->size() == 0) {
+      if (next >= n) break;
+      // Jump to the next arrival instant; admit everything arriving at
+      // exactly that instant as one batch (submit order within it).
+      const double t = workload[next].arrival_micros;
+      while (next < n && workload[next].arrival_micros <= t) {
+        admit_one(workload[next++]);
+      }
+      continue;
+    }
+
+    // Any arrival no later than the candidate dispatch instant must be
+    // admitted first — it may outrank the current queue head under
+    // EDF/priority ordering.
+    if (next < n && workload[next].arrival_micros <= free_at[w]) {
+      const double t = workload[next].arrival_micros;
+      while (next < n && workload[next].arrival_micros <= t) {
+        admit_one(workload[next++]);
+      }
+      continue;
+    }
+
+    QueuedRequest req;
+    if (!queue_->TryPop(&req)) continue;
+    const double t_dispatch = std::max(free_at[w], req.arrival_micros);
+    const double queue_wait = t_dispatch - req.arrival_micros;
+    ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/true);
+    free_at[w] = t_dispatch + resp.exec_micros;
+    makespan = std::max(makespan, free_at[w]);
+    stats_->RecordOutcome(resp);
+    req.ticket->Complete(std::move(resp));
+  }
+  return makespan;
+}
+
+}  // namespace svqa::serve

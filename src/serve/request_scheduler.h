@@ -1,0 +1,94 @@
+#ifndef SVQA_SERVE_REQUEST_SCHEDULER_H_
+#define SVQA_SERVE_REQUEST_SCHEDULER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+#include "query/query_graph_builder.h"
+#include "serve/admission_queue.h"
+#include "serve/graph_snapshot_store.h"
+#include "serve/request.h"
+#include "serve/stats.h"
+#include "util/thread_pool.h"
+
+namespace svqa::serve {
+
+/// Host steady-clock reading in microseconds — the threaded mode's
+/// arrival/queue-wait timeline (absolute, so submitters and workers agree).
+double SteadyNowMicros();
+
+/// \brief Scheduler configuration shared by both modes.
+struct SchedulerOptions {
+  /// Worker count: real util::ThreadPool threads in threaded mode,
+  /// virtual workers in simulated mode.
+  std::size_t num_workers = 4;
+  /// Base resilience applied to every request (retry policy, fault
+  /// injection); the per-request deadline and cancellation token are
+  /// layered on top at dispatch time.
+  exec::ResilienceOptions resilience;
+  /// Enables SubmitQuestion: questions parse on the worker, charged to
+  /// the request's clock. Not owned; may be nullptr.
+  const query::QueryGraphBuilder* parser = nullptr;
+};
+
+/// \brief Deadline-aware dispatcher: pulls requests off the
+/// AdmissionQueue (strict priority across classes, EDF within), executes
+/// them against the store's current snapshot, and completes the tickets.
+///
+/// Two modes, mirroring BatchExecutor:
+///  - *Threaded*: `Start()` parks `num_workers` util::ThreadPool workers
+///    on the queue; each shares the snapshot's QueryGraphExecutor +
+///    KeyCentricCache. `Drain()` closes intake, lets the workers drain
+///    every queued request, and joins — the ThreadPool shutdown
+///    contract, one level up.
+///  - *Simulated*: `RunSimulated()` replays an open-loop workload on the
+///    caller thread through a discrete-event loop over virtual worker
+///    free-times. Admission, EDF ordering, queue waits, deadline misses,
+///    and sheds are all computed in virtual time — bit-for-bit
+///    reproducible across runs and hosts (see DESIGN.md §7).
+class RequestScheduler {
+ public:
+  RequestScheduler(AdmissionQueue* queue, const GraphSnapshotStore* store,
+                   StatsCollector* stats, SchedulerOptions options);
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Threaded mode: spawns the pool and parks the worker loops.
+  void Start();
+
+  /// Threaded mode: closes queue intake, drains, joins. Idempotent.
+  void Drain();
+
+  /// Simulated mode: admits and dispatches `workload` (already sorted by
+  /// (arrival, id)) deterministically. Every ticket is completed and
+  /// every outcome recorded by the time this returns. Returns the
+  /// virtual makespan (latest completion instant; 0 for an empty or
+  /// fully-shed workload).
+  double RunSimulated(std::vector<QueuedRequest> workload);
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+
+  /// Executes one popped request against the current snapshot.
+  /// `queue_wait_micros` is on the mode's timeline; in simulated mode it
+  /// is pre-charged to the request's clock so the end-to-end virtual
+  /// deadline covers time spent queued.
+  ServeResponse Dispatch(QueuedRequest& req, double queue_wait_micros,
+                         bool simulated) const;
+
+  AdmissionQueue* queue_;
+  const GraphSnapshotStore* store_;
+  StatsCollector* stats_;
+  SchedulerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_REQUEST_SCHEDULER_H_

@@ -1,0 +1,226 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "exec/scheduler.h"
+
+namespace svqa::serve {
+
+Status ServerOptions::Validate() const {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  return admission.Validate();
+}
+
+SvqaServer::SvqaServer(GraphSnapshotStore* store, ServerOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      queue_(options_.admission),
+      scheduler_(&queue_, store_, &stats_,
+                 SchedulerOptions{options_.num_workers, options_.resilience,
+                                  options_.parser}) {}
+
+SvqaServer::~SvqaServer() { Shutdown(); }
+
+Status SvqaServer::Start() {
+  SVQA_RETURN_NOT_OK(options_.Validate());
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  if (options_.mode == ServeMode::kThreaded) scheduler_.Start();
+  return Status::OK();
+}
+
+TicketPtr SvqaServer::Submit(const query::QueryGraph& graph,
+                             const RequestOptions& options) {
+  QueuedRequest req;
+  req.graph = graph;
+  req.options = options;
+  return SubmitInternal(std::move(req));
+}
+
+TicketPtr SvqaServer::SubmitQuestion(const std::string& question,
+                                     const RequestOptions& options) {
+  QueuedRequest req;
+  req.question = question;
+  req.needs_parse = true;
+  req.options = options;
+  return SubmitInternal(std::move(req));
+}
+
+std::vector<TicketPtr> SvqaServer::SubmitBatch(
+    const std::vector<query::QueryGraph>& graphs,
+    const RequestOptions& options) {
+  std::vector<int> order(graphs.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options_.schedule_batches && graphs.size() > 1) {
+    std::vector<const query::QueryGraph*> ptrs;
+    ptrs.reserve(graphs.size());
+    for (const query::QueryGraph& g : graphs) ptrs.push_back(&g);
+    order = exec::ScheduleQueries(ptrs).order;
+  }
+  // Submit in §V-B order (cache-warming graphs first — their submit
+  // sequence ids break EDF ties), return tickets in input order.
+  std::vector<TicketPtr> tickets(graphs.size());
+  for (int idx : order) tickets[idx] = Submit(graphs[idx], options);
+  return tickets;
+}
+
+TicketPtr SvqaServer::SubmitInternal(QueuedRequest req) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.id = id;
+  const PriorityClass priority = req.options.priority;
+  const bool simulated = options_.mode == ServeMode::kSimulated;
+  req.arrival_micros = simulated ? std::max(0.0, req.options.arrival_micros)
+                                 : SteadyNowMicros();
+  const double budget = req.options.deadline_micros;
+  req.deadline_abs_micros = std::isfinite(budget) && budget > 0
+                                ? req.arrival_micros + budget
+                                : std::numeric_limits<double>::infinity();
+  TicketPtr ticket = std::make_shared<ServeTicket>(id);
+  req.ticket = ticket;
+
+  stats_.RecordSubmitted(priority);
+  bool shed_on_shutdown = false;
+  {
+    MutexLock lock(&mu_);
+    PruneTicketsLocked();
+    tickets_.emplace(id, ticket);
+    if (simulated) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        shed_on_shutdown = true;
+      } else {
+        workload_.push_back(std::move(req));
+      }
+    }
+  }
+
+  if (simulated) {
+    if (shed_on_shutdown) {
+      stats_.RecordShed(priority);
+      ServeResponse resp;
+      resp.priority = priority;
+      resp.status =
+          Status::ResourceExhausted("admission closed (server draining)");
+      ticket->Complete(std::move(resp));
+    }
+    return ticket;
+  }
+
+  Status admitted = queue_.Admit(std::move(req));
+  if (!admitted.ok()) {
+    stats_.RecordShed(priority);
+    ServeResponse resp;
+    resp.priority = priority;
+    resp.status = std::move(admitted);
+    ticket->Complete(std::move(resp));
+  }
+  return ticket;
+}
+
+bool SvqaServer::Cancel(uint64_t id) {
+  TicketPtr ticket;
+  {
+    MutexLock lock(&mu_);
+    auto it = tickets_.find(id);
+    if (it == tickets_.end()) return false;
+    ticket = it->second;
+  }
+  if (ticket->done()) return false;
+  ticket->RequestCancel();
+  // A still-queued threaded request is pulled out and completed right
+  // here — no worker time spent, queue slot freed immediately. Simulated
+  // requests observe the sticky flag when the event loop reaches them.
+  QueuedRequest req;
+  if (options_.mode == ServeMode::kThreaded && queue_.Remove(id, &req)) {
+    ServeResponse resp;
+    resp.priority = req.options.priority;
+    resp.status = Status::Cancelled("cancelled while queued");
+    resp.queue_wait_micros =
+        std::max(0.0, SteadyNowMicros() - req.arrival_micros);
+    resp.latency_micros = resp.queue_wait_micros;
+    stats_.RecordOutcome(resp);
+    req.ticket->Complete(std::move(resp));
+  }
+  return true;
+}
+
+uint64_t SvqaServer::Publish(aggregator::MergedGraph merged) {
+  const uint64_t id = store_->Publish(std::move(merged));
+  stats_.RecordPublish(id);
+  return id;
+}
+
+double SvqaServer::RunSimulated() {
+  if (options_.mode != ServeMode::kSimulated) return 0;
+  std::vector<QueuedRequest> workload;
+  {
+    MutexLock lock(&mu_);
+    workload.swap(workload_);
+  }
+  // Deterministic replay order: (arrival instant, submit sequence).
+  std::sort(workload.begin(), workload.end(),
+            [](const QueuedRequest& a, const QueuedRequest& b) {
+              if (a.arrival_micros != b.arrival_micros) {
+                return a.arrival_micros < b.arrival_micros;
+              }
+              return a.id < b.id;
+            });
+  return scheduler_.RunSimulated(std::move(workload));
+}
+
+void SvqaServer::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  // Threaded: stop intake, drain every queued request, join the workers
+  // (the ThreadPool contract, one level up). Simulated: just closes the
+  // admission queue.
+  scheduler_.Drain();
+  // Anything still queued (possible only when the server was never
+  // started) owes its submitter a terminal response.
+  QueuedRequest queued;
+  while (queue_.TryPop(&queued)) {
+    ServeResponse resp;
+    resp.priority = queued.options.priority;
+    resp.status = Status::Cancelled("server shut down before dispatch");
+    stats_.RecordOutcome(resp);
+    queued.ticket->Complete(std::move(resp));
+  }
+  // Simulated requests that never got a RunSimulated still owe their
+  // submitters a response.
+  std::vector<QueuedRequest> leftover;
+  {
+    MutexLock lock(&mu_);
+    leftover.swap(workload_);
+  }
+  for (QueuedRequest& req : leftover) {
+    ServeResponse resp;
+    resp.priority = req.options.priority;
+    resp.status = Status::Cancelled("server shut down before simulation ran");
+    stats_.RecordOutcome(resp);
+    req.ticket->Complete(std::move(resp));
+  }
+}
+
+ServerStats SvqaServer::Stats() const {
+  ServerStats stats = stats_.Snapshot();
+  stats.latest_snapshot_id = store_->latest_id();
+  return stats;
+}
+
+void SvqaServer::PruneTicketsLocked() {
+  if (tickets_.size() < 4096) return;
+  for (auto it = tickets_.begin(); it != tickets_.end();) {
+    if (it->second->done()) {
+      it = tickets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace svqa::serve

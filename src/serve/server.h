@@ -1,0 +1,151 @@
+#ifndef SVQA_SERVE_SERVER_H_
+#define SVQA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aggregator/merger.h"
+#include "query/query_graph.h"
+#include "query/query_graph_builder.h"
+#include "serve/admission_queue.h"
+#include "serve/graph_snapshot_store.h"
+#include "serve/request.h"
+#include "serve/request_scheduler.h"
+#include "serve/stats.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace svqa::serve {
+
+/// \brief Serving mode, mirroring exec::BatchMode.
+enum class ServeMode : int {
+  /// Real util::ThreadPool workers; arrivals are host submit instants.
+  kThreaded = 0,
+  /// Deterministic discrete-event replay on the caller thread; arrivals
+  /// come from RequestOptions::arrival_micros and the whole run is
+  /// bit-for-bit reproducible.
+  kSimulated = 1,
+};
+
+/// \brief Server construction knobs.
+struct ServerOptions {
+  ServeMode mode = ServeMode::kThreaded;
+  /// Worker count (real threads or virtual workers).
+  std::size_t num_workers = 4;
+  AdmissionOptions admission;
+  /// Base resilience (retries, fault policy) applied to every request.
+  exec::ResilienceOptions resilience;
+  /// Enables SubmitQuestion. Not owned; may be nullptr.
+  const query::QueryGraphBuilder* parser = nullptr;
+  /// Reorder SubmitBatch through exec::ScheduleQueries (§V-B) so
+  /// cache-warming graphs enter the queue first.
+  bool schedule_batches = true;
+
+  Status Validate() const;
+};
+
+/// \brief In-process serving facade over the snapshot store: admission
+/// control, deadline-aware scheduling, cancellation, live publishes, and
+/// aggregate statistics behind one object.
+///
+/// Lifecycle: construct over a GraphSnapshotStore (typically
+/// SvqaEngine::snapshot_store()), `Start()`, submit away, `Shutdown()`.
+/// Threaded submissions complete asynchronously — callers rendezvous via
+/// ServeTicket::Wait. Simulated submissions accumulate until
+/// `RunSimulated()` replays them; every ticket is complete when it
+/// returns.
+///
+/// Thread-safety: all public methods may be called concurrently.
+/// Determinism of simulated runs assumes Cancel is not racing
+/// RunSimulated (cancel before or after the run is always deterministic).
+class SvqaServer {
+ public:
+  /// \param store snapshot store queries execute against (not owned;
+  /// must outlive the server). Publishes route through `Publish`.
+  SvqaServer(GraphSnapshotStore* store, ServerOptions options);
+  ~SvqaServer();
+
+  SvqaServer(const SvqaServer&) = delete;
+  SvqaServer& operator=(const SvqaServer&) = delete;
+
+  /// Validates options and (threaded mode) spawns the workers. Must be
+  /// called once before submitting.
+  Status Start();
+
+  /// Enqueues one pre-parsed query graph. Always returns a live ticket:
+  /// requests shed by admission control (queue depth, rate limit,
+  /// draining) complete immediately with kResourceExhausted.
+  TicketPtr Submit(const query::QueryGraph& graph,
+                   const RequestOptions& options = {});
+
+  /// Like Submit, but the question is parsed on the worker, charged to
+  /// the request's virtual clock. Requires ServerOptions::parser.
+  TicketPtr SubmitQuestion(const std::string& question,
+                           const RequestOptions& options = {});
+
+  /// Submits a batch, pre-ordered by the §V-B frequency-ratio scheduler
+  /// (when `schedule_batches`) so shared-vertex graphs warm the cache
+  /// first. Tickets return in input order.
+  std::vector<TicketPtr> SubmitBatch(
+      const std::vector<query::QueryGraph>& graphs,
+      const RequestOptions& options = {});
+
+  /// Cooperatively cancels request `id`. A still-queued request (threaded
+  /// mode) is pulled out and completed with kCancelled immediately; a
+  /// running one unwinds at its next execution check-point. Returns false
+  /// for unknown ids and already-completed requests.
+  bool Cancel(uint64_t id);
+
+  /// Publishes a new merged graph: queries already dispatched keep their
+  /// snapshot, later dispatches see the new one. Returns the snapshot id.
+  uint64_t Publish(aggregator::MergedGraph merged);
+
+  /// Simulated mode: replays everything submitted so far through the
+  /// deterministic event loop and returns the virtual makespan. All
+  /// outstanding tickets are complete on return. No-op (returns 0) in
+  /// threaded mode.
+  double RunSimulated();
+
+  /// Graceful drain: closes admission (new submits shed with
+  /// kResourceExhausted), lets workers finish every queued request, joins
+  /// (threaded), and completes never-run simulated requests with
+  /// kCancelled. Idempotent.
+  void Shutdown();
+
+  /// Point-in-time aggregate statistics (per-class counters + publish
+  /// info).
+  ServerStats Stats() const;
+
+  const ServerOptions& options() const { return options_; }
+  const GraphSnapshotStore& store() const { return *store_; }
+
+ private:
+  TicketPtr SubmitInternal(QueuedRequest req);
+  /// Drops completed tickets from the registry once it grows large.
+  void PruneTicketsLocked() SVQA_REQUIRES(mu_);
+
+  GraphSnapshotStore* store_;
+  const ServerOptions options_;
+  StatsCollector stats_;
+  AdmissionQueue queue_;
+  RequestScheduler scheduler_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutdown_{false};
+
+  mutable Mutex mu_;
+  /// Live tickets by id, for Cancel. Pruned lazily.
+  std::unordered_map<uint64_t, TicketPtr> tickets_ SVQA_GUARDED_BY(mu_);
+  /// Simulated mode: accumulated open-loop workload awaiting RunSimulated.
+  std::vector<QueuedRequest> workload_ SVQA_GUARDED_BY(mu_);
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_SERVER_H_

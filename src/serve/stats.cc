@@ -1,0 +1,102 @@
+#include "serve/stats.h"
+
+#include <cstdio>
+
+namespace svqa::serve {
+
+const char* PriorityClassName(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kBatch:
+      return "batch";
+    case PriorityClass::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+void ClassStats::Accumulate(const ClassStats& other) {
+  submitted += other.submitted;
+  shed += other.shed;
+  completed += other.completed;
+  failed += other.failed;
+  cancelled += other.cancelled;
+  deadline_missed += other.deadline_missed;
+  queue_wait_micros_sum += other.queue_wait_micros_sum;
+  exec_micros_sum += other.exec_micros_sum;
+  latency_micros_sum += other.latency_micros_sum;
+}
+
+ClassStats ServerStats::Totals() const {
+  ClassStats total;
+  for (const ClassStats& c : per_class) total.Accumulate(c);
+  return total;
+}
+
+std::string ServerStats::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %9s %6s %6s %6s %6s %8s\n",
+                "class", "submitted", "ok", "shed", "fail", "cancel",
+                "dl-miss");
+  out += line;
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const ClassStats& s = per_class[c];
+    std::snprintf(line, sizeof(line),
+                  "%-12s %9llu %6llu %6llu %6llu %6llu %8llu\n",
+                  PriorityClassName(static_cast<PriorityClass>(c)),
+                  static_cast<unsigned long long>(s.submitted),
+                  static_cast<unsigned long long>(s.completed),
+                  static_cast<unsigned long long>(s.shed),
+                  static_cast<unsigned long long>(s.failed),
+                  static_cast<unsigned long long>(s.cancelled),
+                  static_cast<unsigned long long>(s.deadline_missed));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "publishes: %llu (latest snapshot %llu)\n",
+                static_cast<unsigned long long>(publishes),
+                static_cast<unsigned long long>(latest_snapshot_id));
+  out += line;
+  return out;
+}
+
+void StatsCollector::RecordSubmitted(PriorityClass c) {
+  MutexLock lock(&mu_);
+  ++stats_.per_class[static_cast<int>(c)].submitted;
+}
+
+void StatsCollector::RecordShed(PriorityClass c) {
+  MutexLock lock(&mu_);
+  ++stats_.per_class[static_cast<int>(c)].shed;
+}
+
+void StatsCollector::RecordOutcome(const ServeResponse& response) {
+  MutexLock lock(&mu_);
+  ClassStats& s = stats_.per_class[static_cast<int>(response.priority)];
+  if (response.status.ok()) {
+    ++s.completed;
+  } else if (response.status.IsCancelled()) {
+    ++s.cancelled;
+  } else if (response.status.IsDeadlineExceeded()) {
+    ++s.deadline_missed;
+  } else {
+    ++s.failed;
+  }
+  s.queue_wait_micros_sum += response.queue_wait_micros;
+  s.exec_micros_sum += response.exec_micros;
+  s.latency_micros_sum += response.latency_micros;
+}
+
+void StatsCollector::RecordPublish(uint64_t snapshot_id) {
+  MutexLock lock(&mu_);
+  ++stats_.publishes;
+  stats_.latest_snapshot_id = snapshot_id;
+}
+
+ServerStats StatsCollector::Snapshot() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace svqa::serve

@@ -1,0 +1,81 @@
+#ifndef SVQA_SERVE_STATS_H_
+#define SVQA_SERVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace svqa::serve {
+
+/// \brief Per-priority-class serving counters. Every submitted request
+/// lands in exactly one terminal bucket:
+///   shed | completed | failed | cancelled | deadline_missed.
+struct ClassStats {
+  uint64_t submitted = 0;
+  /// Rejected by admission control (queue full / rate limit / shutdown).
+  uint64_t shed = 0;
+  /// Dispatched and answered OK.
+  uint64_t completed = 0;
+  /// Dispatched and failed (execution/parse error, injected fault).
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  /// Deadline expired in queue or mid-execution.
+  uint64_t deadline_missed = 0;
+  /// Sums over dispatched (non-shed) requests, for mean queue-wait /
+  /// exec / latency derivation.
+  double queue_wait_micros_sum = 0;
+  double exec_micros_sum = 0;
+  double latency_micros_sum = 0;
+
+  uint64_t terminal() const {
+    return shed + completed + failed + cancelled + deadline_missed;
+  }
+
+  void Accumulate(const ClassStats& other);
+};
+
+/// \brief Aggregate server statistics snapshot.
+struct ServerStats {
+  ClassStats per_class[kNumPriorityClasses];
+  /// Snapshots published through the server (not counting the store's
+  /// initial ingest publish unless routed through SvqaServer::Publish).
+  uint64_t publishes = 0;
+  uint64_t latest_snapshot_id = 0;
+
+  const ClassStats& of(PriorityClass c) const {
+    return per_class[static_cast<int>(c)];
+  }
+  /// All classes folded together.
+  ClassStats Totals() const;
+  /// Human-readable multi-line rendering (one row per class).
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe collector behind SvqaServer::Stats(). Workers,
+/// submitters, and the publisher all record concurrently.
+class StatsCollector {
+ public:
+  StatsCollector() = default;
+  StatsCollector(const StatsCollector&) = delete;
+  StatsCollector& operator=(const StatsCollector&) = delete;
+
+  void RecordSubmitted(PriorityClass c) SVQA_EXCLUDES(mu_);
+  void RecordShed(PriorityClass c) SVQA_EXCLUDES(mu_);
+  /// Terminal outcome of a dispatched (or cancelled-in-queue) request;
+  /// classifies by `response.status` and accumulates the time sums.
+  void RecordOutcome(const ServeResponse& response) SVQA_EXCLUDES(mu_);
+  void RecordPublish(uint64_t snapshot_id) SVQA_EXCLUDES(mu_);
+
+  ServerStats Snapshot() const SVQA_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  ServerStats stats_ SVQA_GUARDED_BY(mu_);
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_STATS_H_

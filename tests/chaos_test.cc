@@ -19,6 +19,7 @@
 #include "data/mvqa_generator.h"
 #include "data/world.h"
 #include "exec/batch_executor.h"
+#include "serve/server.h"
 #include "text/lexicon.h"
 #include "util/fault_injector.h"
 
@@ -326,6 +327,81 @@ TEST_F(ChaosFixture, CachedSubgraphRungRecoversAnswerAfterPermanentFault) {
     return;  // one observable recovery is the point
   }
   FAIL() << "no single-clause question with non-trivial answer found";
+}
+
+TEST_F(ChaosFixture, SimulatedServerUnderChaosIsDeterministic) {
+  // Fault injection composed with the serving layer: a simulated
+  // SvqaServer whose resilience policy draws from a seeded FaultInjector
+  // replays bit for bit — every status, answer, latency, and the full
+  // stats report — because queue order, dispatch order, retry schedule,
+  // and fault schedule are all functions of (workload, seed).
+  const auto graphs = RandomBatch(29, 48);
+  const FaultConfig config = [] {
+    FaultConfig c = FaultConfig::Uniform(0.12);
+    c.transient_fraction = 0.6;  // some faults exhaust the retry budget
+    return c;
+  }();
+
+  struct RunResult {
+    std::vector<Status> statuses;
+    std::vector<std::string> answers;
+    std::vector<double> latencies;
+    std::vector<int> attempts;
+    std::string stats;
+    double makespan = 0;
+  };
+  const auto run_once = [&]() {
+    FaultInjector injector(4242, config);
+    serve::GraphSnapshotStore store(embeddings_);
+    store.Publish(*merged_);
+    serve::ServerOptions opts;
+    opts.mode = serve::ServeMode::kSimulated;
+    opts.num_workers = 4;
+    opts.resilience.fault_policy = &injector;
+    serve::SvqaServer server(&store, opts);
+    EXPECT_TRUE(server.Start().ok());
+    std::vector<serve::TicketPtr> tickets;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      serve::RequestOptions ro;
+      ro.priority =
+          static_cast<serve::PriorityClass>(i % serve::kNumPriorityClasses);
+      ro.arrival_micros = static_cast<double>(i) * 20000.0;
+      if (i % 3 == 0) ro.deadline_micros = 400000.0;
+      tickets.push_back(server.Submit(graphs[i], ro));
+    }
+    RunResult out;
+    out.makespan = server.RunSimulated();
+    for (const serve::TicketPtr& t : tickets) {
+      const serve::ServeResponse& resp = t->Wait();
+      out.statuses.push_back(resp.status);
+      out.answers.push_back(resp.answer.text);
+      out.latencies.push_back(resp.latency_micros);
+      out.attempts.push_back(resp.answer.diagnostics.attempts);
+    }
+    const serve::ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.Totals().terminal(), stats.Totals().submitted);
+    out.stats = stats.ToString();
+    EXPECT_GT(injector.probes(FaultSite::kMatcherScan), 0u);
+    return out;
+  };
+
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats, b.stats);
+  ASSERT_EQ(a.statuses.size(), b.statuses.size());
+  for (std::size_t i = 0; i < a.statuses.size(); ++i) {
+    EXPECT_EQ(a.statuses[i], b.statuses[i]) << "request " << i;
+    EXPECT_EQ(a.answers[i], b.answers[i]) << "request " << i;
+    EXPECT_DOUBLE_EQ(a.latencies[i], b.latencies[i]) << "request " << i;
+    EXPECT_EQ(a.attempts[i], b.attempts[i]) << "request " << i;
+  }
+  // Chaos actually bit: at least one request needed a retry or failed.
+  bool touched = false;
+  for (std::size_t i = 0; i < a.statuses.size(); ++i) {
+    if (!a.statuses[i].ok() || a.attempts[i] > 1) touched = true;
+  }
+  EXPECT_TRUE(touched);
 }
 
 TEST(ChaosEngineTest, EngineLadderNeverErrorsUnderChaos) {

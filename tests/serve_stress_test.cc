@@ -1,0 +1,212 @@
+// Serving-layer stress: 8 real workers, concurrent submitters,
+// mid-flight snapshot publishes, and racing cancellations — run under
+// TSan via the `stress` label. Verifies the structural guarantees that
+// must hold under any interleaving: every ticket reaches exactly one
+// terminal response, accounting balances, and every successful answer is
+// byte-identical to a quiesced run on the snapshot it reports.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "data/mvqa_generator.h"
+#include "serve/server.h"
+#include "text/lexicon.h"
+#include "util/mutex.h"
+
+namespace svqa::serve {
+namespace {
+
+void ExpectSameAnswer(const exec::Answer& a, const exec::Answer& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.yes, b.yes);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.entities, b.entities);
+  ASSERT_EQ(a.provenance.size(), b.provenance.size());
+  for (std::size_t i = 0; i < a.provenance.size(); ++i) {
+    EXPECT_EQ(a.provenance[i].subject, b.provenance[i].subject);
+    EXPECT_EQ(a.provenance[i].predicate, b.provenance[i].predicate);
+    EXPECT_EQ(a.provenance[i].object, b.provenance[i].object);
+  }
+}
+
+class ServeStressFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions a;
+    a.world.num_scenes = 60;
+    a.world.seed = 77;
+    world_a_ = new data::MvqaDataset(data::MvqaGenerator(a).Generate());
+    data::MvqaOptions b;
+    b.world.num_scenes = 40;
+    b.world.seed = 123;
+    world_b_ = new data::MvqaDataset(data::MvqaGenerator(b).Generate());
+    embeddings_ = new text::EmbeddingModel(text::SynonymLexicon::Default());
+  }
+  static void TearDownTestSuite() {
+    delete world_a_;
+    delete world_b_;
+    delete embeddings_;
+  }
+
+  static data::MvqaDataset* world_a_;
+  static data::MvqaDataset* world_b_;
+  static text::EmbeddingModel* embeddings_;
+};
+
+data::MvqaDataset* ServeStressFixture::world_a_ = nullptr;
+data::MvqaDataset* ServeStressFixture::world_b_ = nullptr;
+text::EmbeddingModel* ServeStressFixture::embeddings_ = nullptr;
+
+TEST_F(ServeStressFixture, SubmittersPublishersAndCancellersRace) {
+  GraphSnapshotStore store(embeddings_);
+  store.Publish(world_a_->perfect_merged);
+
+  // Pin every snapshot ever published so responses can be re-verified
+  // against the exact graph they claim to have executed on.
+  Mutex snaps_mu;
+  std::vector<SnapshotPtr> snapshots;
+  snapshots.push_back(store.Current());
+
+  ServerOptions opts;
+  opts.num_workers = 8;
+  SvqaServer server(&store, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 30;
+  Mutex tickets_mu;
+  std::vector<TicketPtr> tickets;
+  std::vector<const query::QueryGraph*> submitted_graphs;
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSubmitters; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const auto& questions = world_a_->questions;
+        const query::QueryGraph& g =
+            questions[(s * kPerSubmitter + i) % questions.size()].gold_graph;
+        RequestOptions ro;
+        ro.priority = static_cast<PriorityClass>(i % kNumPriorityClasses);
+        // A few impossibly tight virtual deadlines force mid-execution
+        // deadline misses to flow through the terminal accounting.
+        if (i % 7 == 0) ro.deadline_micros = 1.0;
+        TicketPtr t = server.Submit(g, ro);
+        MutexLock lock(&tickets_mu);
+        tickets.push_back(std::move(t));
+        submitted_graphs.push_back(&g);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // publisher: alternates the two worlds
+    for (int p = 0; p < 4; ++p) {
+      server.Publish(p % 2 == 0 ? world_b_->perfect_merged
+                                : world_a_->perfect_merged);
+      MutexLock lock(&snaps_mu);
+      snapshots.push_back(store.Current());
+    }
+  });
+  threads.emplace_back([&] {  // canceller: sprays ids, hits some subset
+    for (uint64_t id = 1; id <= kSubmitters * kPerSubmitter; id += 5) {
+      server.Cancel(id);
+    }
+  });
+  for (auto& t : threads) t.join();
+  server.Shutdown();
+
+  ASSERT_EQ(tickets.size(),
+            static_cast<std::size_t>(kSubmitters * kPerSubmitter));
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i]->done()) << "ticket " << i << " never completed";
+    const ServeResponse& resp = tickets[i]->Wait();
+    if (!resp.status.ok()) {
+      // Only the expected terminal failures may appear.
+      EXPECT_TRUE(resp.status.IsCancelled() ||
+                  resp.status.IsDeadlineExceeded() ||
+                  resp.status.IsResourceExhausted())
+          << resp.status;
+      continue;
+    }
+    ++ok;
+    // Byte-identity against a quiesced run on the reported snapshot.
+    ASSERT_GE(resp.snapshot_id, 1u);
+    const SnapshotPtr* snap = nullptr;
+    for (const SnapshotPtr& s : snapshots) {
+      if (s->id() == resp.snapshot_id) snap = &s;
+    }
+    ASSERT_NE(snap, nullptr) << "unknown snapshot " << resp.snapshot_id;
+    SimClock clock;
+    auto direct = (*snap)->executor().Execute(*submitted_graphs[i], &clock);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameAnswer(resp.answer, direct.ValueOrDie());
+  }
+  EXPECT_GT(ok, 0u);
+
+  // Accounting balances across every racing outcome path.
+  const ClassStats totals = server.Stats().Totals();
+  EXPECT_EQ(totals.submitted,
+            static_cast<uint64_t>(kSubmitters * kPerSubmitter));
+  EXPECT_EQ(totals.terminal(), totals.submitted);
+  EXPECT_EQ(server.Stats().publishes, 4u);
+}
+
+TEST_F(ServeStressFixture, ShutdownRacesSubmitters) {
+  GraphSnapshotStore store(embeddings_);
+  store.Publish(world_a_->perfect_merged);
+  ServerOptions opts;
+  opts.num_workers = 8;
+  SvqaServer server(&store, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Mutex mu;
+  std::vector<TicketPtr> tickets;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 4; ++s) {
+    threads.emplace_back([&, s] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 25; ++i) {
+        TicketPtr t = server.Submit(
+            world_a_->questions[(s * 25 + i) % world_a_->questions.size()]
+                .gold_graph);
+        MutexLock lock(&mu);
+        tickets.push_back(std::move(t));
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!go.load()) std::this_thread::yield();
+    server.Shutdown();  // races the submitters
+  });
+  go.store(true);
+  for (auto& t : threads) t.join();
+  server.Shutdown();
+
+  // Every ticket is terminal: served before the drain finished, or shed
+  // after intake closed. Nothing hangs, nothing is lost.
+  std::size_t served = 0, shed = 0;
+  for (const TicketPtr& t : tickets) {
+    ASSERT_TRUE(t->done());
+    const ServeResponse& resp = t->Wait();
+    if (resp.status.ok()) {
+      ++served;
+    } else {
+      EXPECT_TRUE(resp.status.IsResourceExhausted() ||
+                  resp.status.IsCancelled())
+          << resp.status;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(served + shed, tickets.size());
+  const ClassStats totals = server.Stats().Totals();
+  EXPECT_EQ(totals.submitted, static_cast<uint64_t>(tickets.size()));
+  EXPECT_EQ(totals.terminal(), totals.submitted);
+}
+
+}  // namespace
+}  // namespace svqa::serve

@@ -1,0 +1,673 @@
+// Serving-layer tests: admission control and load shedding, EDF within a
+// class with strict priority across classes, deadline misses in queue,
+// cancellation of queued requests, graceful drain on shutdown, snapshot
+// isolation across publishes, byte-identity with direct execution, and
+// bit-for-bit reproducibility of the simulated scheduler.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/mvqa_generator.h"
+#include "serve/server.h"
+#include "text/lexicon.h"
+#include "util/fault_injector.h"
+
+namespace svqa::serve {
+namespace {
+
+/// Full structural equality of two answers, provenance included.
+void ExpectSameAnswer(const exec::Answer& a, const exec::Answer& b,
+                      int query) {
+  EXPECT_EQ(a.type, b.type) << "query " << query;
+  EXPECT_EQ(a.text, b.text) << "query " << query;
+  EXPECT_EQ(a.yes, b.yes) << "query " << query;
+  EXPECT_EQ(a.count, b.count) << "query " << query;
+  EXPECT_EQ(a.entities, b.entities) << "query " << query;
+  ASSERT_EQ(a.provenance.size(), b.provenance.size()) << "query " << query;
+  for (std::size_t i = 0; i < a.provenance.size(); ++i) {
+    EXPECT_EQ(a.provenance[i].image, b.provenance[i].image);
+    EXPECT_EQ(a.provenance[i].subject, b.provenance[i].subject);
+    EXPECT_EQ(a.provenance[i].predicate, b.provenance[i].predicate);
+    EXPECT_EQ(a.provenance[i].object, b.provenance[i].object);
+  }
+}
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 120;
+    opts.world.seed = 77;
+    dataset_ = new data::MvqaDataset(data::MvqaGenerator(opts).Generate());
+    embeddings_ = new text::EmbeddingModel(text::SynonymLexicon::Default());
+    store_ = new GraphSnapshotStore(embeddings_);
+    store_->Publish(dataset_->perfect_merged);
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete dataset_;
+    delete embeddings_;
+  }
+
+  static const query::QueryGraph& Graph(std::size_t i) {
+    return dataset_->questions[i % dataset_->questions.size()].gold_graph;
+  }
+
+  static std::vector<query::QueryGraph> RandomBatch(unsigned seed,
+                                                    std::size_t n) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, dataset_->questions.size() - 1);
+    std::vector<query::QueryGraph> graphs;
+    graphs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      graphs.push_back(dataset_->questions[pick(rng)].gold_graph);
+    }
+    return graphs;
+  }
+
+  /// Store options with every cross-request shared state disabled, so
+  /// per-request virtual execution time is a pure function of the query.
+  static SnapshotStoreOptions PureStoreOptions() {
+    SnapshotStoreOptions opts;
+    opts.enable_cache = false;
+    opts.executor.memoize_similarity = false;
+    opts.executor.matcher.memoize_similarity = false;
+    return opts;
+  }
+
+  static data::MvqaDataset* dataset_;
+  static text::EmbeddingModel* embeddings_;
+  static GraphSnapshotStore* store_;
+};
+
+data::MvqaDataset* ServeFixture::dataset_ = nullptr;
+text::EmbeddingModel* ServeFixture::embeddings_ = nullptr;
+GraphSnapshotStore* ServeFixture::store_ = nullptr;
+
+TEST(PriorityClassTest, Names) {
+  EXPECT_STREQ(PriorityClassName(PriorityClass::kInteractive), "interactive");
+  EXPECT_STREQ(PriorityClassName(PriorityClass::kBatch), "batch");
+  EXPECT_STREQ(PriorityClassName(PriorityClass::kBestEffort), "best-effort");
+}
+
+TEST_F(ServeFixture, StartValidatesOptions) {
+  {
+    ServerOptions opts;
+    opts.num_workers = 0;
+    SvqaServer server(store_, opts);
+    EXPECT_FALSE(server.Start().ok());
+  }
+  {
+    ServerOptions opts;
+    opts.admission.max_queue_depth = 0;
+    SvqaServer server(store_, opts);
+    EXPECT_FALSE(server.Start().ok());
+  }
+  {
+    ServerOptions opts;
+    opts.admission.rate_per_second[0] = 5.0;
+    opts.admission.burst[0] = 0;
+    SvqaServer server(store_, opts);
+    EXPECT_FALSE(server.Start().ok());
+  }
+  {
+    ServerOptions opts;
+    SvqaServer server(store_, opts);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_FALSE(server.Start().ok());  // double start
+  }
+}
+
+TEST_F(ServeFixture, TotalQueueDepthShedsExcess) {
+  // A never-started threaded server keeps everything queued, so
+  // admission decisions are observable without racing workers.
+  ServerOptions opts;
+  opts.admission.max_queue_depth = 4;
+  SvqaServer idle(store_, opts);
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 6; ++i) tickets.push_back(idle.Submit(Graph(i)));
+  // First 4 queued (not done); last 2 shed immediately.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(tickets[i]->done()) << i;
+  for (int i = 4; i < 6; ++i) {
+    ASSERT_TRUE(tickets[i]->done()) << i;
+    EXPECT_TRUE(tickets[i]->Wait().status.IsResourceExhausted()) << i;
+  }
+  const ServerStats stats = idle.Stats();
+  EXPECT_EQ(stats.of(PriorityClass::kInteractive).submitted, 6u);
+  EXPECT_EQ(stats.of(PriorityClass::kInteractive).shed, 2u);
+  idle.Shutdown();
+}
+
+TEST_F(ServeFixture, ClassDepthShedsOnlyThatClass) {
+  ServerOptions opts;
+  opts.admission.class_depth[static_cast<int>(PriorityClass::kBestEffort)] = 2;
+  SvqaServer server(store_, opts);  // unstarted: requests stay queued
+  RequestOptions be;
+  be.priority = PriorityClass::kBestEffort;
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(server.Submit(Graph(i), be));
+  TicketPtr interactive = server.Submit(Graph(9));
+  EXPECT_FALSE(tickets[0]->done());
+  EXPECT_FALSE(tickets[1]->done());
+  EXPECT_TRUE(tickets[2]->done());
+  EXPECT_TRUE(tickets[3]->done());
+  EXPECT_TRUE(tickets[3]->Wait().status.IsResourceExhausted());
+  EXPECT_FALSE(interactive->done());  // its class has room
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.of(PriorityClass::kBestEffort).shed, 2u);
+  EXPECT_EQ(stats.of(PriorityClass::kInteractive).shed, 0u);
+  server.Shutdown();
+}
+
+TEST_F(ServeFixture, RateLimitShedsDeterministically) {
+  // 10 requests/s with burst 1, arrivals every 10 ms virtual => exactly
+  // every 10th arrival is admitted (the bucket gains 0.1 token per gap).
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  opts.num_workers = 4;
+  const int kBestEffort = static_cast<int>(PriorityClass::kBestEffort);
+  opts.admission.rate_per_second[kBestEffort] = 10.0;
+  opts.admission.burst[kBestEffort] = 1.0;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 100; ++i) {
+    RequestOptions ro;
+    ro.priority = PriorityClass::kBestEffort;
+    ro.arrival_micros = i * 1e4;
+    tickets.push_back(server.Submit(Graph(i), ro));
+  }
+  server.RunSimulated();
+  int ok = 0, shed = 0;
+  for (int i = 0; i < 100; ++i) {
+    const ServeResponse& resp = tickets[i]->Wait();
+    if (resp.status.ok()) {
+      ++ok;
+      EXPECT_EQ(i % 10, 0) << "unexpected admit at arrival " << i;
+    } else {
+      ++shed;
+      EXPECT_TRUE(resp.status.IsResourceExhausted()) << resp.status;
+    }
+  }
+  EXPECT_EQ(ok, 10);
+  EXPECT_EQ(shed, 90);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.of(PriorityClass::kBestEffort).shed, 90u);
+  EXPECT_EQ(stats.of(PriorityClass::kBestEffort).completed, 10u);
+  EXPECT_EQ(stats.of(PriorityClass::kBestEffort).terminal(), 100u);
+}
+
+TEST_F(ServeFixture, EdfOrdersWithinClass) {
+  // One virtual worker, three same-class requests arriving together:
+  // dispatch order must follow deadlines, not submit order.
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  opts.num_workers = 1;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  const double deadlines[3] = {90e6, 30e6, 60e6};  // generous: none expire
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 3; ++i) {
+    RequestOptions ro;
+    ro.deadline_micros = deadlines[i];
+    tickets.push_back(server.Submit(Graph(i), ro));
+  }
+  server.RunSimulated();
+  for (const auto& t : tickets) ASSERT_TRUE(t->Wait().status.ok());
+  // Earliest deadline ran first (zero wait), then the 60e6, then 90e6.
+  EXPECT_DOUBLE_EQ(tickets[1]->Wait().queue_wait_micros, 0);
+  EXPECT_LT(tickets[2]->Wait().queue_wait_micros,
+            tickets[0]->Wait().queue_wait_micros);
+  EXPECT_GT(tickets[2]->Wait().queue_wait_micros, 0);
+}
+
+TEST_F(ServeFixture, StrictPriorityAcrossClassesNoInversion) {
+  // All requests arrive at t=0 on one worker. Every interactive request
+  // must dispatch before any batch one, and every batch before any
+  // best-effort — even though the lower classes carry *earlier*
+  // deadlines (the classic inversion bait).
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  opts.num_workers = 1;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<TicketPtr> interactive, batch, best_effort;
+  for (int i = 0; i < 3; ++i) {
+    RequestOptions ro;
+    ro.priority = PriorityClass::kBestEffort;
+    ro.deadline_micros = 500e6;  // earliest deadlines of all
+    best_effort.push_back(server.Submit(Graph(i), ro));
+  }
+  for (int i = 3; i < 6; ++i) {
+    RequestOptions ro;
+    ro.priority = PriorityClass::kBatch;
+    ro.deadline_micros = 800e6;
+    batch.push_back(server.Submit(Graph(i), ro));
+  }
+  for (int i = 6; i < 9; ++i) {
+    RequestOptions ro;  // interactive, unbounded
+    interactive.push_back(server.Submit(Graph(i), ro));
+  }
+  server.RunSimulated();
+  const auto max_wait = [](const std::vector<TicketPtr>& ts) {
+    double w = 0;
+    for (const auto& t : ts) w = std::max(w, t->Wait().queue_wait_micros);
+    return w;
+  };
+  const auto min_wait = [](const std::vector<TicketPtr>& ts) {
+    double w = std::numeric_limits<double>::infinity();
+    for (const auto& t : ts) w = std::min(w, t->Wait().queue_wait_micros);
+    return w;
+  };
+  for (const auto& t : interactive) ASSERT_TRUE(t->Wait().status.ok());
+  for (const auto& t : batch) ASSERT_TRUE(t->Wait().status.ok());
+  for (const auto& t : best_effort) ASSERT_TRUE(t->Wait().status.ok());
+  EXPECT_LT(max_wait(interactive), min_wait(batch));
+  EXPECT_LT(max_wait(batch), min_wait(best_effort));
+}
+
+TEST_F(ServeFixture, DeadlineExpiresInQueueWithoutExecuting) {
+  // One worker: the unbounded interactive request runs first (strict
+  // priority); the best-effort one's 1 ms budget is consumed entirely
+  // by queue wait, so it must fail kDeadlineExceeded with *zero*
+  // execution time — the shed-late path.
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  opts.num_workers = 1;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  TicketPtr first = server.Submit(Graph(0));
+  RequestOptions ro;
+  ro.priority = PriorityClass::kBestEffort;
+  ro.deadline_micros = 1e3;
+  TicketPtr doomed = server.Submit(Graph(1), ro);
+  server.RunSimulated();
+  ASSERT_TRUE(first->Wait().status.ok());
+  const ServeResponse& resp = doomed->Wait();
+  EXPECT_TRUE(resp.status.IsDeadlineExceeded()) << resp.status;
+  EXPECT_DOUBLE_EQ(resp.exec_micros, 0);
+  EXPECT_GT(resp.queue_wait_micros, 1e3);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.of(PriorityClass::kBestEffort).deadline_missed, 1u);
+}
+
+TEST_F(ServeFixture, SimulatedRunIsBitForBitReproducible) {
+  // Same workload, same config, two fresh servers: every observable —
+  // statuses, answers, queue waits, latencies, sheds, makespan, stats —
+  // must be bit-for-bit identical.
+  const auto graphs = RandomBatch(5, 48);
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> ddl(3e3, 3e4);
+  std::vector<RequestOptions> req_opts;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    RequestOptions ro;
+    ro.priority = static_cast<PriorityClass>(i % kNumPriorityClasses);
+    // A mix of unbounded, impossibly tight (guaranteed misses), and
+    // plausible deadlines.
+    ro.deadline_micros =
+        (i % 4 == 0) ? 0 : ((i % 6 == 1) ? 1.0 : ddl(rng));
+    // A 16-request burst at t=0 overwhelms the depth-8 queue (guaranteed
+    // sheds); the rest trickle in and mostly complete.
+    ro.arrival_micros =
+        i < 16 ? 0.0 : static_cast<double>(i - 15) * 2000.0;
+    req_opts.push_back(ro);
+  }
+
+  struct Observed {
+    std::vector<ServeResponse> responses;
+    double makespan = 0;
+    std::string stats;
+  };
+  const auto run = [&]() {
+    GraphSnapshotStore store(embeddings_);
+    store.Publish(dataset_->perfect_merged);
+    ServerOptions opts;
+    opts.mode = ServeMode::kSimulated;
+    opts.num_workers = 4;
+    opts.admission.max_queue_depth = 8;  // forces some shedding
+    SvqaServer server(&store, opts);
+    EXPECT_TRUE(server.Start().ok());
+    std::vector<TicketPtr> tickets;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      tickets.push_back(server.Submit(graphs[i], req_opts[i]));
+    }
+    Observed obs;
+    obs.makespan = server.RunSimulated();
+    for (const auto& t : tickets) obs.responses.push_back(t->Wait());
+    obs.stats = server.Stats().ToString();
+    return obs;
+  };
+
+  const Observed a = run();
+  const Observed b = run();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats, b.stats);
+  std::size_t shed = 0, missed = 0, completed = 0;
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    const ServeResponse& ra = a.responses[i];
+    const ServeResponse& rb = b.responses[i];
+    EXPECT_EQ(ra.status, rb.status) << "request " << i;
+    EXPECT_EQ(ra.snapshot_id, rb.snapshot_id);
+    EXPECT_DOUBLE_EQ(ra.queue_wait_micros, rb.queue_wait_micros);
+    EXPECT_DOUBLE_EQ(ra.exec_micros, rb.exec_micros);
+    EXPECT_DOUBLE_EQ(ra.latency_micros, rb.latency_micros);
+    ExpectSameAnswer(ra.answer, rb.answer, static_cast<int>(i));
+    if (ra.status.IsResourceExhausted()) ++shed;
+    if (ra.status.IsDeadlineExceeded()) ++missed;
+    if (ra.status.ok()) ++completed;
+  }
+  // The workload genuinely exercises all three outcomes.
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(missed, 0u);
+  EXPECT_GT(completed, 0u);
+}
+
+TEST_F(ServeFixture, SimulatedAnswersIdenticalAcrossWorkerCounts) {
+  // With snapshot caches and similarity memos off, execution time is a
+  // pure function of the query: worker count shifts queue waits but can
+  // never change a status, an answer, or a request's execution time.
+  const auto graphs = RandomBatch(6, 32);
+  const auto run = [&](std::size_t workers) {
+    GraphSnapshotStore store(embeddings_, PureStoreOptions());
+    store.Publish(dataset_->perfect_merged);
+    ServerOptions opts;
+    opts.mode = ServeMode::kSimulated;
+    opts.num_workers = workers;
+    SvqaServer server(&store, opts);
+    EXPECT_TRUE(server.Start().ok());
+    std::vector<TicketPtr> tickets;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      RequestOptions ro;
+      ro.arrival_micros = static_cast<double>(i) * 5e3;
+      tickets.push_back(server.Submit(graphs[i], ro));
+    }
+    std::pair<double, std::vector<ServeResponse>> out;
+    out.first = server.RunSimulated();
+    for (const auto& t : tickets) out.second.push_back(t->Wait());
+    return out;
+  };
+  const auto base = run(1);
+  for (std::size_t workers : {2u, 8u}) {
+    const auto result = run(workers);
+    ASSERT_EQ(result.second.size(), base.second.size());
+    for (std::size_t i = 0; i < base.second.size(); ++i) {
+      EXPECT_EQ(result.second[i].status, base.second[i].status);
+      EXPECT_DOUBLE_EQ(result.second[i].exec_micros,
+                       base.second[i].exec_micros)
+          << "workers=" << workers << " request=" << i;
+      ExpectSameAnswer(result.second[i].answer, base.second[i].answer,
+                       static_cast<int>(i));
+    }
+    // More workers can only shrink the virtual makespan.
+    EXPECT_LE(result.first, base.first + 1e-6);
+  }
+}
+
+TEST_F(ServeFixture, ServedAnswersByteIdenticalToDirectExecution) {
+  const auto graphs = RandomBatch(7, 24);
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  opts.num_workers = 4;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<TicketPtr> tickets = server.SubmitBatch(graphs);
+  ASSERT_EQ(tickets.size(), graphs.size());
+  server.RunSimulated();
+  const SnapshotPtr snap = store_->Current();
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const ServeResponse& resp = tickets[i]->Wait();
+    ASSERT_TRUE(resp.status.ok()) << resp.status;
+    EXPECT_EQ(resp.snapshot_id, snap->id());
+    SimClock clock;
+    auto direct = snap->executor().Execute(graphs[i], &clock);
+    ASSERT_TRUE(direct.ok());
+    // SubmitBatch reorders submissions (§V-B) but tickets map back to
+    // input order — each answer matches its own graph's direct run.
+    ExpectSameAnswer(resp.answer, direct.ValueOrDie(), static_cast<int>(i));
+    // Serving diagnostics ride along on the answer.
+    EXPECT_EQ(resp.answer.diagnostics.snapshot_id, snap->id());
+    EXPECT_EQ(resp.answer.diagnostics.priority_class,
+              static_cast<int>(PriorityClass::kInteractive));
+    EXPECT_DOUBLE_EQ(resp.answer.diagnostics.queue_wait_micros,
+                     resp.queue_wait_micros);
+  }
+}
+
+TEST_F(ServeFixture, CancelPullsQueuedRequestOut) {
+  ServerOptions opts;  // threaded but not started: requests stay queued
+  SvqaServer server(store_, opts);
+  TicketPtr t0 = server.Submit(Graph(0));
+  TicketPtr t1 = server.Submit(Graph(1));
+  TicketPtr t2 = server.Submit(Graph(2));
+  EXPECT_TRUE(server.Cancel(t1->id()));
+  ASSERT_TRUE(t1->done());
+  EXPECT_TRUE(t1->Wait().status.IsCancelled());
+  EXPECT_FALSE(server.Cancel(t1->id()));   // already terminal
+  EXPECT_FALSE(server.Cancel(999999));     // unknown id
+  // The worker drains the two survivors on startup.
+  ASSERT_TRUE(server.Start().ok());
+  server.Shutdown();
+  EXPECT_TRUE(t0->Wait().status.ok());
+  EXPECT_TRUE(t2->Wait().status.ok());
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.of(PriorityClass::kInteractive).submitted, 3u);
+  EXPECT_EQ(stats.of(PriorityClass::kInteractive).completed, 2u);
+  EXPECT_EQ(stats.of(PriorityClass::kInteractive).cancelled, 1u);
+}
+
+TEST_F(ServeFixture, CancelBeforeSimulatedRunSkipsExecution) {
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  TicketPtr doomed = server.Submit(Graph(0));
+  TicketPtr fine = server.Submit(Graph(1));
+  EXPECT_TRUE(server.Cancel(doomed->id()));
+  server.RunSimulated();
+  EXPECT_TRUE(doomed->Wait().status.IsCancelled());
+  EXPECT_DOUBLE_EQ(doomed->Wait().exec_micros, 0);
+  EXPECT_TRUE(fine->Wait().status.ok());
+}
+
+TEST_F(ServeFixture, ShutdownDrainsEveryQueuedRequest) {
+  // The graceful-drain contract: everything admitted before Shutdown
+  // completes with a real answer; submits after it are shed.
+  ServerOptions opts;
+  opts.num_workers = 4;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  const auto graphs = RandomBatch(8, 40);
+  std::vector<TicketPtr> tickets;
+  for (const auto& g : graphs) tickets.push_back(server.Submit(g));
+  server.Shutdown();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i]->done()) << i;
+    EXPECT_TRUE(tickets[i]->Wait().status.ok())
+        << i << ": " << tickets[i]->Wait().status;
+  }
+  TicketPtr late = server.Submit(Graph(0));
+  ASSERT_TRUE(late->done());
+  EXPECT_TRUE(late->Wait().status.IsResourceExhausted());
+  const ServerStats stats = server.Stats();
+  const ClassStats totals = stats.Totals();
+  EXPECT_EQ(totals.submitted, 41u);
+  EXPECT_EQ(totals.completed, 40u);
+  EXPECT_EQ(totals.shed, 1u);
+  EXPECT_EQ(totals.terminal(), totals.submitted);
+  server.Shutdown();  // idempotent
+}
+
+TEST_F(ServeFixture, ShutdownWithoutStartStillCompletesTickets) {
+  ServerOptions opts;
+  SvqaServer server(store_, opts);
+  TicketPtr a = server.Submit(Graph(0));
+  TicketPtr b = server.Submit(Graph(1));
+  server.Shutdown();
+  ASSERT_TRUE(a->done());
+  ASSERT_TRUE(b->done());
+  EXPECT_TRUE(a->Wait().status.IsCancelled());
+  EXPECT_TRUE(b->Wait().status.IsCancelled());
+}
+
+TEST_F(ServeFixture, SnapshotIsolationAcrossPublish) {
+  // Queries pinned to the snapshot current at dispatch; a Publish swaps
+  // later dispatches to the new graph without disturbing earlier ones.
+  data::MvqaOptions other_opts;
+  other_opts.world.num_scenes = 40;
+  other_opts.world.seed = 123;
+  data::MvqaDataset other = data::MvqaGenerator(other_opts).Generate();
+
+  GraphSnapshotStore store(embeddings_);
+  store.Publish(dataset_->perfect_merged);
+  const SnapshotPtr snap1 = store.Current();
+
+  ServerOptions opts;
+  opts.num_workers = 4;
+  SvqaServer server(&store, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto graphs = RandomBatch(11, 16);
+  std::vector<TicketPtr> before;
+  for (const auto& g : graphs) before.push_back(server.Submit(g));
+  const uint64_t new_id = server.Publish(other.perfect_merged);
+  EXPECT_EQ(new_id, 2u);
+  std::vector<TicketPtr> after;
+  for (const auto& g : graphs) after.push_back(server.Submit(g));
+  server.Shutdown();
+  const SnapshotPtr snap2 = store.Current();
+  ASSERT_EQ(snap2->id(), 2u);
+
+  // The pinned first snapshot is untouched by the publish.
+  EXPECT_EQ(snap1->id(), 1u);
+  EXPECT_EQ(snap1->merged().graph.num_vertices(),
+            dataset_->perfect_merged.graph.num_vertices());
+
+  // Every response is byte-identical to a quiesced direct run on the
+  // snapshot it reports having executed against.
+  const auto verify = [&](const std::vector<TicketPtr>& tickets) {
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const ServeResponse& resp = tickets[i]->Wait();
+      ASSERT_TRUE(resp.status.ok()) << resp.status;
+      ASSERT_TRUE(resp.snapshot_id == 1 || resp.snapshot_id == 2);
+      const SnapshotPtr& snap = resp.snapshot_id == 1 ? snap1 : snap2;
+      SimClock clock;
+      auto direct = snap->executor().Execute(graphs[i], &clock);
+      ASSERT_TRUE(direct.ok());
+      ExpectSameAnswer(resp.answer, direct.ValueOrDie(),
+                       static_cast<int>(i));
+    }
+  };
+  verify(before);
+  verify(after);
+  // Requests submitted after the publish returned ran on the new graph.
+  for (const auto& t : after) {
+    EXPECT_EQ(t->Wait().snapshot_id, 2u);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.publishes, 1u);
+  EXPECT_EQ(stats.latest_snapshot_id, 2u);
+}
+
+TEST_F(ServeFixture, StatsToStringRendersEveryClass) {
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  SvqaServer server(store_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    RequestOptions ro;
+    ro.priority = static_cast<PriorityClass>(c);
+    server.Submit(Graph(c), ro);
+  }
+  server.RunSimulated();
+  const std::string rendered = server.Stats().ToString();
+  EXPECT_NE(rendered.find("interactive"), std::string::npos);
+  EXPECT_NE(rendered.find("batch"), std::string::npos);
+  EXPECT_NE(rendered.find("best-effort"), std::string::npos);
+}
+
+// --- engine integration ----------------------------------------------------
+
+class ServeEngineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 120;
+    opts.world.seed = 77;
+    dataset_ = new data::MvqaDataset(data::MvqaGenerator(opts).Generate());
+    engine_ = new core::SvqaEngine();
+    ASSERT_TRUE(
+        engine_->IngestMerged(dataset_->perfect_merged).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete dataset_;
+  }
+
+  static data::MvqaDataset* dataset_;
+  static core::SvqaEngine* engine_;
+};
+
+data::MvqaDataset* ServeEngineFixture::dataset_ = nullptr;
+core::SvqaEngine* ServeEngineFixture::engine_ = nullptr;
+
+TEST_F(ServeEngineFixture, EngineIngestPublishesSnapshot) {
+  EXPECT_TRUE(engine_->ingested());
+  EXPECT_EQ(engine_->snapshot_store()->latest_id(), 1u);
+  EXPECT_NE(engine_->cache(), nullptr);
+  // The once-only contract survives the snapshot-store refactor.
+  const Status again = engine_->IngestMerged(dataset_->perfect_merged);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST_F(ServeEngineFixture, AskRecordsSnapshotId) {
+  auto answer = engine_->Ask(dataset_->questions[0].text);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->diagnostics.snapshot_id, 1u);
+}
+
+TEST_F(ServeEngineFixture, SubmitQuestionMatchesEngineAsk) {
+  // Natural-language questions served through the queue (parsed on the
+  // worker) give byte-identical answers to direct engine.Ask.
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  opts.num_workers = 2;
+  opts.parser = &engine_->builder();
+  SvqaServer server(engine_->snapshot_store(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  const std::size_t n = std::min<std::size_t>(12, dataset_->questions.size());
+  std::vector<TicketPtr> tickets;
+  for (std::size_t i = 0; i < n; ++i) {
+    tickets.push_back(server.SubmitQuestion(dataset_->questions[i].text));
+  }
+  server.RunSimulated();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServeResponse& resp = tickets[i]->Wait();
+    ASSERT_TRUE(resp.status.ok()) << resp.status;
+    auto direct = engine_->Ask(dataset_->questions[i].text);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameAnswer(resp.answer, direct.ValueOrDie(), static_cast<int>(i));
+    EXPECT_EQ(resp.snapshot_id, 1u);
+  }
+}
+
+TEST_F(ServeEngineFixture, SubmitQuestionWithoutParserFailsCleanly) {
+  ServerOptions opts;
+  opts.mode = ServeMode::kSimulated;
+  SvqaServer server(engine_->snapshot_store(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  TicketPtr t = server.SubmitQuestion("what is on the table?");
+  server.RunSimulated();
+  EXPECT_FALSE(t->Wait().status.ok());
+  EXPECT_EQ(t->Wait().status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace svqa::serve
