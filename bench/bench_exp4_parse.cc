@@ -49,7 +49,9 @@ int main() {
       batch.push_back(dataset.questions[static_cast<std::size_t>(i) %
                                         dataset.questions.size()]
                           .text);
-      builder.Build(batch.back(), &ours).ok();
+      // Benchmark charges the clock; the parse itself cannot fail on
+      // dataset questions.
+      (void)builder.Build(batch.back(), &ours);
     }
     const double ours_parallel =
         builder.BuildAll(batch, 8).makespan_micros / 1e6;
@@ -58,12 +60,11 @@ int main() {
       model.ResetLoadState();
       SimClock clock;
       for (int i = 0; i < n; ++i) {
-        model
-            .Split(dataset.questions[static_cast<std::size_t>(i) %
-                                     dataset.questions.size()]
-                       .text,
-                   &clock)
-            .ok();
+        (void)model.Split(
+            dataset.questions[static_cast<std::size_t>(i) %
+                              dataset.questions.size()]
+                .text,
+            &clock);
       }
       return clock.ElapsedSeconds();
     };

@@ -17,12 +17,15 @@ graph::Graph BuildKnowledgeGraph(const World& world,
     return v;
   };
 
+  // AddEdge discards below are deliberate: KG construction wires fresh,
+  // distinct vertices, and self-loops — AddEdge's only failure mode —
+  // cannot arise.
   // Category concepts + hypernym taxonomy.
   for (const std::string& category : world.vocab.object_categories) {
     graph::VertexId child = ensure_concept(category);
     for (const std::string& parent : lexicon.HypernymChain(category)) {
       const graph::VertexId parent_v = ensure_concept(parent);
-      g.AddEdge(child, parent_v, "is-a").ok();
+      (void)g.AddEdge(child, parent_v, "is-a");
       child = parent_v;
     }
   }
@@ -36,7 +39,7 @@ graph::Graph BuildKnowledgeGraph(const World& world,
     const graph::VertexId av = ensure_concept(attr);
     const char* parent =
         world.vocab.IsColor(attr) ? "color" : "attribute";
-    g.AddEdge(av, ensure_concept(parent), "is-a").ok();
+    (void)g.AddEdge(av, ensure_concept(parent), "is-a");
   }
 
   // Characters.
@@ -45,15 +48,15 @@ graph::Graph BuildKnowledgeGraph(const World& world,
     const CharacterProfile& c = world.characters[i];
     char_vertex[i] = g.AddVertex(c.name, c.category);
     // Characters are instances of their category concept.
-    g.AddEdge(char_vertex[i], ensure_concept(c.category), "instance-of")
-        .ok();
+    (void)g.AddEdge(char_vertex[i], ensure_concept(c.category),
+                    "instance-of");
   }
   for (const auto& [gf, owner] : world.girlfriend_of) {
-    g.AddEdge(char_vertex[gf], char_vertex[owner], "girlfriend-of").ok();
+    (void)g.AddEdge(char_vertex[gf], char_vertex[owner], "girlfriend-of");
   }
   for (std::size_t i = 0; i < world.characters.size(); ++i) {
     for (int f : world.characters[i].friends) {
-      g.AddEdge(char_vertex[i], char_vertex[f], "friend-of").ok();
+      (void)g.AddEdge(char_vertex[i], char_vertex[f], "friend-of");
     }
   }
 
@@ -70,8 +73,8 @@ graph::Graph BuildKnowledgeGraph(const World& world,
   }
   for (std::size_t i = 0; i < world.characters.size(); ++i) {
     const CharacterProfile& c = world.characters[i];
-    g.AddEdge(char_vertex[i], team_vertex[c.team], "member-of").ok();
-    g.AddEdge(char_vertex[i], city_vertex[c.city], "lives-in").ok();
+    (void)g.AddEdge(char_vertex[i], team_vertex[c.team], "member-of");
+    (void)g.AddEdge(char_vertex[i], city_vertex[c.city], "lives-in");
   }
   return g;
 }

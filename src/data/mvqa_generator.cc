@@ -32,6 +32,7 @@ aggregator::MergedGraph BuildPerfectMergedGraph(
   auto merged = merger.Merge(knowledge_graph, results);
   // The perfect merge cannot fail: scene graphs are well-formed by
   // construction.
+  // svqa-lint: allow(unchecked-result)
   return std::move(merged).ValueOrDie();
 }
 

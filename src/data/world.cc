@@ -395,8 +395,10 @@ graph::Graph PerfectSceneGraph(const vision::Scene& scene) {
     vertex_of[i] = g.AddVertex(std::move(label), obj.category, scene.id);
   }
   for (const auto& rel : scene.relations) {
-    g.AddEdge(vertex_of[rel.subject], vertex_of[rel.object], rel.predicate)
-        .ok();
+    // Scene relations are generated self-loop-free, the only AddEdge
+    // failure mode: a deliberate discard.
+    (void)g.AddEdge(vertex_of[rel.subject], vertex_of[rel.object],
+                    rel.predicate);
   }
   // Attribute vertices, mirroring SceneGraphGenerator's layout.
   for (std::size_t i = 0; i < scene.objects.size(); ++i) {
@@ -404,7 +406,8 @@ graph::Graph PerfectSceneGraph(const vision::Scene& scene) {
       const int k = label_counts[attr]++;
       const graph::VertexId av =
           g.AddVertex(attr + "#" + std::to_string(k), attr, scene.id);
-      g.AddEdge(vertex_of[i], av, "has-attribute").ok();
+      // Attribute vertices are fresh, so the edge cannot self-loop.
+      (void)g.AddEdge(vertex_of[i], av, "has-attribute");
     }
   }
   return g;

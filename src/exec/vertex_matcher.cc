@@ -229,6 +229,7 @@ std::vector<graph::VertexId> VertexMatcher::Match(
   // resilient path below cannot fail.
   Result<std::vector<graph::VertexId>> result =
       Match(element, ExecContext::WithClock(clock));
+  // svqa-lint: allow(unchecked-result) — infallible by construction.
   return std::move(result).ValueOrDie();
 }
 

@@ -8,7 +8,11 @@
 namespace svqa::serve {
 
 double SteadyNowMicros() {
+  // Measurement-only wall clock: stamps arrival/queue-wait in the real
+  // threaded mode. It never feeds exec_micros or any replayed quantity —
+  // RunSimulated derives queue waits purely from virtual time.
   return std::chrono::duration<double, std::micro>(
+             // svqa-lint: allow(virtual-time)
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

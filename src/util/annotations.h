@@ -67,4 +67,14 @@
 #define SVQA_NO_THREAD_SAFETY_ANALYSIS \
   SVQA_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Mandatory-error-checking marker for outcome-carrying types and
+/// must-check APIs. `Status` and `Result<T>` are declared with it, so
+/// any call that drops a returned outcome on the floor is a compiler
+/// warning (an error under the lint preset's -Werror) on every
+/// supported toolchain. Deliberate discards must say so with a
+/// `(void)` cast and a comment; `tools/svqa_lint` additionally audits
+/// unchecked value access on these types (see DESIGN.md, "Static
+/// invariants").
+#define SVQA_NODISCARD [[nodiscard]]
+
 #endif  // SVQA_UTIL_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "util/annotations.h"
 #include "util/sim_clock.h"
 
 namespace svqa {
@@ -24,7 +25,9 @@ class CancellationToken {
   /// Requests cancellation; every copy of this token observes it.
   void RequestCancel() { flag_->store(true, std::memory_order_release); }
 
-  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+  SVQA_NODISCARD bool cancelled() const {
+    return flag_->load(std::memory_order_acquire);
+  }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
@@ -53,10 +56,12 @@ struct Deadline {
     return Deadline{base + budget_micros};
   }
 
-  bool bounded() const { return std::isfinite(virtual_micros); }
+  SVQA_NODISCARD bool bounded() const {
+    return std::isfinite(virtual_micros);
+  }
 
   /// True once the clock has charged past the threshold.
-  bool Expired(const SimClock& clock) const {
+  SVQA_NODISCARD bool Expired(const SimClock& clock) const {
     return clock.ElapsedMicros() > virtual_micros;
   }
 };

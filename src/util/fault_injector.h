@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace svqa {
@@ -89,8 +90,8 @@ class FaultInjector final : public FaultPolicy {
                uint32_t attempt) const override;
 
   /// True when the probe at (site, key, attempt) would inject a fault.
-  bool WouldFault(FaultSite site, std::string_view key,
-                  uint32_t attempt) const;
+  SVQA_NODISCARD bool WouldFault(FaultSite site, std::string_view key,
+                                 uint32_t attempt) const;
 
   uint64_t seed() const { return seed_; }
   const FaultConfig& config() const { return config_; }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace svqa {
@@ -13,8 +14,15 @@ namespace svqa {
 ///
 /// A `Result<T>` either holds a `T` (status is OK) or a non-OK `Status`.
 /// Accessing the value of an errored Result aborts in debug builds.
+///
+/// SVQA_NODISCARD at class level: a dropped `Result` silently swallows
+/// both the value and the error, so discarding one is a diagnostic.
+///
+/// svqa-lint: allow-file(unchecked-result) — this header *defines* the
+/// checked accessors; the rule polices their call sites, not the
+/// assert-guarded implementations here.
 template <typename T>
-class Result {
+class SVQA_NODISCARD Result {
  public:
   /// Implicit from a value: allows `return value;` in functions returning
   /// Result<T>.
@@ -32,10 +40,10 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(storage_); }
+  SVQA_NODISCARD bool ok() const { return std::holds_alternative<T>(storage_); }
 
   /// The status: OK when a value is held.
-  Status status() const {
+  SVQA_NODISCARD Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(storage_);
   }

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "util/annotations.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -35,7 +36,7 @@ struct RetryPolicy {
 /// attempt can succeed (injected transient faults, exhausted pools).
 /// Deadline expiry and cancellation are deliberate terminal outcomes and
 /// parse/execution errors are deterministic — retrying cannot help.
-inline bool IsTransient(const Status& status) {
+SVQA_NODISCARD inline bool IsTransient(const Status& status) {
   return status.code() == StatusCode::kResourceExhausted;
 }
 

@@ -6,6 +6,8 @@
 #include <string_view>
 #include <utility>
 
+#include "util/annotations.h"
+
 namespace svqa {
 
 /// \brief Machine-readable error category attached to a Status.
@@ -37,7 +39,11 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// Functions in this library that can fail return either `Status` or
 /// `Result<T>`; exceptions are not used on library paths.
-class Status {
+///
+/// The class-level SVQA_NODISCARD makes every function returning a
+/// `Status` by value a must-check API: ignoring the outcome is a
+/// compile-time diagnostic, not a code-review catch.
+class SVQA_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -87,8 +93,8 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  SVQA_NODISCARD bool ok() const { return code_ == StatusCode::kOk; }
+  SVQA_NODISCARD StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   bool IsInvalidArgument() const {

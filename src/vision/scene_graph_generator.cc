@@ -67,10 +67,9 @@ SceneGraphResult SceneGraphGenerator::Generate(const Scene& scene,
         result.relations.push_back(rel);
         // Duplicate predictions for the same pair/predicate cannot occur
         // (one prediction per ordered pair), so AddEdge only fails for
-        // self-loops, which are excluded above.
-        result.graph
-            .AddEdge(vertex_of[i], vertex_of[j], rel.predicate)
-            .ok();
+        // self-loops, which are excluded above: a deliberate discard.
+        (void)result.graph.AddEdge(vertex_of[i], vertex_of[j],
+                                   rel.predicate);
       }
     }
   }

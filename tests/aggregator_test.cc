@@ -163,10 +163,11 @@ TEST_F(AggregatorFixture, CacheReducesVirtualLinkCost) {
   without_cache.use_cache = false;
 
   SimClock clock_with, clock_without;
-  GraphMerger(with_cache).Merge(kg_, scene_graphs_, &clock_with).ok();
-  GraphMerger(without_cache)
-      .Merge(kg_, scene_graphs_, &clock_without)
-      .ok();
+  ASSERT_TRUE(
+      GraphMerger(with_cache).Merge(kg_, scene_graphs_, &clock_with).ok());
+  ASSERT_TRUE(GraphMerger(without_cache)
+                  .Merge(kg_, scene_graphs_, &clock_without)
+                  .ok());
   EXPECT_LT(clock_with.ElapsedMicros(), clock_without.ElapsedMicros());
 }
 

@@ -107,10 +107,12 @@ TEST(ParseBaselineTest, LoadChargedOnceThenPerQuestion) {
 TEST(ParseBaselineTest, ResetLoadStateRecharges) {
   NeuralSplitBaseline model = NeuralSplitBaseline::DisSim();
   SimClock clock;
-  model.Split("does a dog appear near a car?", &clock).ok();
+  ASSERT_TRUE(
+      model.Split("does a dog appear near a car?", &clock).ok());
   const double after_first = clock.OpCount(CostKind::kModelLoad);
   model.ResetLoadState();
-  model.Split("does a dog appear near a car?", &clock).ok();
+  ASSERT_TRUE(
+      model.Split("does a dog appear near a car?", &clock).ok());
   EXPECT_DOUBLE_EQ(clock.OpCount(CostKind::kModelLoad), 2 * after_first);
 }
 

@@ -216,8 +216,8 @@ TEST(RelationPairsTest, FindsForwardAndBackwardEdges) {
   const auto a = g.AddVertex("a", "t");
   const auto b = g.AddVertex("b", "t");
   const auto c = g.AddVertex("c", "t");
-  g.AddEdge(a, b, "r").ok();
-  g.AddEdge(c, a, "s").ok();
+  ASSERT_TRUE(g.AddEdge(a, b, "r").ok());
+  ASSERT_TRUE(g.AddEdge(c, a, "s").ok());
   const auto pairs = FindRelationPairs(g, {a}, {b, c});
   ASSERT_EQ(pairs.size(), 2u);
   EXPECT_EQ(pairs[0].predicate, "r");
@@ -237,7 +237,7 @@ TEST(RelationPairsTest, ChargesTraversalCosts) {
   graph::Graph g;
   const auto a = g.AddVertex("a", "t");
   const auto b = g.AddVertex("b", "t");
-  g.AddEdge(a, b, "r").ok();
+  ASSERT_TRUE(g.AddEdge(a, b, "r").ok());
   SimClock clock;
   FindRelationPairs(g, {a}, {b}, &clock);
   EXPECT_GT(clock.OpCount(CostKind::kEdgeTraverse), 0);

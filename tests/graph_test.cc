@@ -122,10 +122,10 @@ TEST(GraphTest, ConsistencyHoldsAfterManyInsertions) {
   }
   for (int i = 0; i < 50; ++i) {
     for (int j = 1; j <= 3; ++j) {
-      g.AddEdge(static_cast<VertexId>(i),
-                static_cast<VertexId>((i + j) % 50),
-                "r" + std::to_string(j))
-          .ok();
+      ASSERT_TRUE(g.AddEdge(static_cast<VertexId>(i),
+                            static_cast<VertexId>((i + j) % 50),
+                            "r" + std::to_string(j))
+                      .ok());
     }
   }
   EXPECT_TRUE(g.CheckConsistency().ok());
@@ -171,10 +171,10 @@ TEST(StatisticsTest, EdgeLabelFrequenciesSortedDescending) {
   for (int i = 0; i < 4; ++i) {
     g.AddVertex("v" + std::to_string(i), "t");
   }
-  g.AddEdge(0, 1, "near").ok();
-  g.AddEdge(1, 2, "near").ok();
-  g.AddEdge(2, 3, "near").ok();
-  g.AddEdge(0, 2, "chase").ok();
+  ASSERT_TRUE(g.AddEdge(0, 1, "near").ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, "near").ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, "near").ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, "chase").ok());
   const auto freqs = EdgeLabelFrequencies(g);
   ASSERT_EQ(freqs.size(), 2u);
   EXPECT_EQ(freqs[0].category, "near");

@@ -1,0 +1,17 @@
+#ifndef FIXTURE_GUARDED_MUTEX_H_
+#define FIXTURE_GUARDED_MUTEX_H_
+
+namespace fixture {
+
+class SharedCounter {
+ public:
+  void Add(int delta);
+
+ private:
+  Mutex mu_;
+  int value_ SVQA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_GUARDED_MUTEX_H_

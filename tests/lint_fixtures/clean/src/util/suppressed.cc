@@ -1,0 +1,26 @@
+// svqa-lint: allow-file(virtual-time)
+#include <chrono>
+
+// svqa-lint: allow(layer-dag)
+#include "serve/server.h"
+
+namespace fixture {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// svqa-lint: allow(nodiscard-type)
+class Result {
+ public:
+  int v = 0;
+};
+
+int Get(const Result& r) {
+  // svqa-lint: allow(unchecked-result)
+  return r.ValueOrDie();
+}
+
+}  // namespace fixture

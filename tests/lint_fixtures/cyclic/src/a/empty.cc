@@ -1,0 +1,1 @@
+int Unused() { return 0; }

@@ -1,0 +1,6 @@
+namespace fixture {
+
+// svqa-lint: allow(no-such-rule)
+int F() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long WallSeconds() { return time(nullptr); }
+
+}  // namespace fixture

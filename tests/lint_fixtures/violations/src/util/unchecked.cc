@@ -1,0 +1,12 @@
+namespace fixture {
+
+class Result {
+ public:
+  int v = 0;
+};
+
+int Get(const Result& r) {
+  return r.ValueOrDie();
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+#ifndef FIXTURE_UNGUARDED_MUTEX_H_
+#define FIXTURE_UNGUARDED_MUTEX_H_
+
+namespace fixture {
+
+class SharedCounter {
+ public:
+  void Add(int delta);
+
+ private:
+  Mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_UNGUARDED_MUTEX_H_

@@ -24,7 +24,7 @@ TEST(GraphFileTest, RoundTrip) {
   graph::Graph g;
   g.AddVertex("harry-potter", "wizard");
   g.AddVertex("robe#0", "robe", 3);
-  g.AddEdge(0, 1, "wear").ok();
+  ASSERT_TRUE(g.AddEdge(0, 1, "wear").ok());
 
   const std::string path = TempPath("graph_roundtrip.svqa");
   ASSERT_TRUE(graph::ToFile(g, path).ok());

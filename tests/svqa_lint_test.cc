@@ -1,0 +1,305 @@
+// Self-tests for tools/svqa_lint: the analyzer that machine-checks the
+// project invariants (layer DAG, virtual-time purity, mandatory error
+// checking, lock-annotation coverage). Fixture trees with seeded
+// violations live in tests/lint_fixtures/; each test asserts the exact
+// diagnostics (file, line, rule) and the CLI exit codes.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svqa_lint/lint.h"
+
+namespace svqa_lint {
+namespace {
+
+// Injected by tests/CMakeLists.txt.
+const char* FixtureDir() { return SVQA_LINT_FIXTURE_DIR; }
+
+LayerSpec SimpleSpec() {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_TRUE(LayerSpec::Parse("util:\nserve: util\n", &spec, &error))
+      << error;
+  return spec;
+}
+
+std::vector<Diagnostic> Lint(const std::string& rel_path,
+                             const std::string& content) {
+  return LintFile(rel_path, content, SimpleSpec());
+}
+
+struct CliResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult Cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// ---------------------------------------------------------------------------
+// Masking and suppression machinery
+// ---------------------------------------------------------------------------
+
+TEST(MaskSource, BlanksCommentsAndLiterals) {
+  MaskedSource m = MaskSource(
+      "int a = 1; // steady_clock in a comment\n"
+      "const char* s = \"steady_clock in a string\";\n"
+      "/* block\n   steady_clock */ int b = 2;\n");
+  ASSERT_EQ(m.code.size(), 4u);
+  EXPECT_EQ(m.code[0], "int a = 1; ");
+  EXPECT_EQ(m.code[1], "const char* s =  ;");
+  EXPECT_EQ(m.code[2], "");
+  EXPECT_EQ(m.code[3], " int b = 2;");
+  EXPECT_EQ(m.comments[0], " steady_clock in a comment");
+}
+
+TEST(MaskSource, RawStringsAndEscapes) {
+  MaskedSource m = MaskSource(
+      "auto r = R\"(rand() \" inside)\";\n"
+      "char c = '\\''; int after = 1;\n");
+  EXPECT_EQ(m.code[0], "auto r =  ;");
+  EXPECT_EQ(m.code[1], "char c =  ; int after = 1;");
+}
+
+TEST(Suppression, CommentedOutCodeDoesNotTrip) {
+  // The banned token only appears in comments and strings: clean.
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "// std::chrono::steady_clock::now()\n"
+                   "const char* kName = \"random_device\";\n")
+                  .empty());
+}
+
+TEST(Suppression, UnknownRuleIsItsOwnDiagnostic) {
+  std::vector<Diagnostic> d =
+      Lint("src/util/f.cc", "// svqa-lint: allow(not-a-rule)\nint x;\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "bad-suppression");
+  EXPECT_EQ(d[0].line, 1);
+  EXPECT_NE(d[0].message.find("not-a-rule"), std::string::npos);
+}
+
+TEST(Suppression, EmptyRuleListIsRejected) {
+  std::vector<Diagnostic> d =
+      Lint("src/util/f.cc", "// svqa-lint: allow()\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "bad-suppression");
+}
+
+TEST(Suppression, AllowCoversSameAndNextLine) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "#include <chrono>\n"
+                   "// svqa-lint: allow(virtual-time)\n"
+                   "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "auto t = std::chrono::steady_clock::now();"
+                   "  // svqa-lint: allow(virtual-time)\n")
+                  .empty());
+  // Two lines of separation is out of range: the escape must sit on
+  // the violation.
+  EXPECT_EQ(Lint("src/util/f.cc",
+                 "// svqa-lint: allow(virtual-time)\n"
+                 "\n"
+                 "auto t = std::chrono::steady_clock::now();\n")
+                .size(),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Layer spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(LayerSpec, TransitiveClosure) {
+  LayerSpec spec;
+  std::string error;
+  ASSERT_TRUE(
+      LayerSpec::Parse("util:\ntext: util\nnlp: text\n", &spec, &error));
+  EXPECT_TRUE(spec.Allows("nlp", "text"));
+  EXPECT_TRUE(spec.Allows("nlp", "util"));  // inherited through text
+  EXPECT_FALSE(spec.Allows("util", "nlp"));
+  EXPECT_FALSE(spec.Allows("text", "nlp"));
+}
+
+TEST(LayerSpec, RejectsUndeclaredDep) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(LayerSpec::Parse("util: ghost\n", &spec, &error));
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+}
+
+TEST(LayerSpec, RejectsCycle) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(LayerSpec::Parse("a: b\nb: a\n", &spec, &error));
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+}
+
+TEST(LayerSpec, RejectsDuplicateLayer) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(LayerSpec::Parse("a:\na:\n", &spec, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Rule families over inline sources
+// ---------------------------------------------------------------------------
+
+TEST(LayerDag, ForbiddenIncludeIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/util/f.cc", "#include \"serve/server.h\"\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "layer-dag");
+  EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(LayerDag, AllowedAndSelfIncludesPass) {
+  EXPECT_TRUE(Lint("src/serve/f.cc",
+                   "#include \"serve/request.h\"\n"
+                   "#include \"util/status.h\"\n"
+                   "#include <vector>\n")
+                  .empty());
+}
+
+TEST(LayerDag, UndeclaredLayerIsFlagged) {
+  std::vector<Diagnostic> d = Lint("src/mystery/f.cc", "int x;\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "layer-dag");
+}
+
+TEST(VirtualTime, MemberAndForeignNamespaceCallsPass) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "double t = clock.time();\n"
+                   "double u = req->time();\n"
+                   "long v = mylib::time(1);\n")
+                  .empty());
+}
+
+TEST(VirtualTime, StdQualifiedAndGlobalCallsAreFlagged) {
+  std::vector<Diagnostic> d = Lint("src/util/f.cc",
+                                   "long a = std::time(nullptr);\n"
+                                   "long b = time(nullptr);\n"
+                                   "int c = rand();\n");
+  ASSERT_EQ(d.size(), 3u);
+  for (const Diagnostic& diag : d) EXPECT_EQ(diag.rule, "virtual-time");
+}
+
+TEST(VirtualTime, OutsideSrcIsFree) {
+  EXPECT_TRUE(
+      Lint("tests/f.cc", "auto t = std::chrono::steady_clock::now();\n")
+          .empty());
+  EXPECT_TRUE(
+      Lint("bench/f.cc", "auto t = std::chrono::steady_clock::now();\n")
+          .empty());
+}
+
+TEST(UncheckedResult, NearbyOkCheckPasses) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "int F(Result<int> r) {\n"
+                   "  if (!r.ok()) return -1;\n"
+                   "  return std::move(r).ValueOrDie();\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(NodiscardType, AnnotatedOutcomeTypesPass) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "class SVQA_NODISCARD Status {};\n"
+                   "template <typename T>\n"
+                   "class SVQA_NODISCARD Result {};\n"
+                   "class Status;\n"  // forward decl needs no annotation
+                   "enum class StatusCode { kOk };\n"
+                   "class Widget {};\n")
+                  .empty());
+}
+
+TEST(LockAnnotation, LocalMutexAndPointerMembersPass) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "class Fine {\n"
+                   " public:\n"
+                   "  void F() { Mutex local; }\n"
+                   " private:\n"
+                   "  Mutex* borrowed_;\n"
+                   "  int x_ = 0;\n"
+                   "};\n")
+                  .empty());
+}
+
+TEST(LockAnnotation, NestedClassAttributionIsInnermost) {
+  std::vector<Diagnostic> d = Lint("src/util/f.cc",
+                                   "class Outer {\n"
+                                   "  class Inner {\n"
+                                   "    Mutex mu_;\n"
+                                   "  };\n"
+                                   "  Mutex omu_;\n"
+                                   "  int x_ SVQA_GUARDED_BY(omu_);\n"
+                                   "};\n");
+  // Outer is guarded; Inner declares a mutex with no annotation.
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "lock-annotation");
+  EXPECT_EQ(d[0].line, 3);
+  EXPECT_NE(d[0].message.find("Inner"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fixture trees through the real CLI
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ViolationsTreeReportsEverySeededDefect) {
+  CliResult r = Cli({"--root", std::string(FixtureDir()) + "/violations"});
+  EXPECT_EQ(r.exit_code, 1) << r.out << r.err;
+
+  const std::vector<std::string> expected = {
+      "src/util/bad_suppression.cc:3: error: [bad-suppression] "
+      "unknown rule 'no-such-rule' in suppression",
+      "src/util/banned_clock.cc:8: error: [virtual-time]",
+      "src/util/banned_clock.cc:12: error: [virtual-time]",
+      "src/util/unchecked.cc:3: error: [nodiscard-type]",
+      "src/util/unchecked.cc:9: error: [unchecked-result]",
+      "src/util/unguarded_mutex.h:11: error: [lock-annotation]",
+      "src/util/uses_serve.cc:1: error: [layer-dag]",
+      "svqa_lint: 7 violation(s)",
+  };
+  for (const std::string& line : expected) {
+    EXPECT_NE(r.out.find(line), std::string::npos)
+        << "missing diagnostic: " << line << "\nfull output:\n"
+        << r.out;
+  }
+}
+
+TEST(Cli, CleanTreeExitsZero) {
+  CliResult r = Cli({"--root", std::string(FixtureDir()) + "/clean"});
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("svqa_lint: clean"), std::string::npos);
+}
+
+TEST(Cli, CyclicSpecIsAConfigurationError) {
+  CliResult r = Cli({"--root", std::string(FixtureDir()) + "/cyclic"});
+  EXPECT_EQ(r.exit_code, 2) << r.out << r.err;
+  EXPECT_NE(r.err.find("cycle"), std::string::npos);
+}
+
+TEST(Cli, MissingSpecAndBadArgsAreUsageErrors) {
+  EXPECT_EQ(Cli({"--root", "/nonexistent-svqa-root"}).exit_code, 2);
+  EXPECT_EQ(Cli({"--layers"}).exit_code, 2);
+  EXPECT_EQ(Cli({"--frobnicate"}).exit_code, 2);
+  EXPECT_EQ(Cli({"--help"}).exit_code, 0);
+}
+
+TEST(Cli, SingleFileTarget) {
+  CliResult r =
+      Cli({"--root", std::string(FixtureDir()) + "/violations",
+           "src/util/uses_serve.cc"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("svqa_lint: 1 violation(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svqa_lint

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Formatting gate: clang-format over every tracked C++ source, driven
+# by the repo-root .clang-format.
+#
+# Usage: tools/format.sh          # rewrite files in place
+#        tools/format.sh --check  # diff-free or die (what CI runs)
+#
+# tests/lint_fixtures/ is excluded: those files carry *seeded*
+# violations whose line numbers the svqa_lint self-tests assert
+# exactly — a formatter pass shifting them would silently invalidate
+# the fixtures.
+#
+# Exit codes: 0 clean/formatted, 1 --check found drift, 2 missing tool.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not found" >&2
+  echo "format.sh: install it (e.g. apt-get install clang-format)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files \
+  '*.cc' '*.cpp' '*.cxx' '*.h' '*.hh' '*.hpp' \
+  ':!tests/lint_fixtures')
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "format.sh: no tracked C++ sources" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  clang-format --dry-run -Werror "${files[@]}"
+  echo "format.sh: clean (${#files[@]} files)"
+else
+  clang-format -i "${files[@]}"
+  echo "format.sh: formatted ${#files[@]} files"
+fi

@@ -1,0 +1,783 @@
+#include "svqa_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace svqa_lint {
+namespace {
+
+/// Every suppressible rule id. "bad-suppression" is deliberately not
+/// here: a broken escape hatch must not be able to hide itself.
+const std::set<std::string>& RuleIds() {
+  static const std::set<std::string> kIds = {
+      "layer-dag", "virtual-time", "unchecked-result", "nodiscard-type",
+      "lock-annotation"};
+  return kIds;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Token stream
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based
+  bool ident = false;
+};
+
+/// Tokenizes masked code into identifiers and punctuation. "::" and
+/// "->" are kept as single tokens so qualifier/member-access checks can
+/// look at exactly one preceding token.
+std::vector<Token> Tokenize(const std::vector<std::string>& code) {
+  std::vector<Token> out;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& line = code[li];
+    std::size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        std::size_t j = i + 1;
+        while (j < line.size() && IsIdentChar(line[j])) ++j;
+        out.push_back(
+            {line.substr(i, j - i), static_cast<int>(li + 1), true});
+        i = j;
+        continue;
+      }
+      if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        out.push_back({"::", static_cast<int>(li + 1), false});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        out.push_back({"->", static_cast<int>(li + 1), false});
+        i += 2;
+        continue;
+      }
+      out.push_back({std::string(1, c), static_cast<int>(li + 1), false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  std::set<std::string> file_rules;
+  // line -> rules allowed on that line and the next.
+  std::map<int, std::set<std::string>> line_rules;
+  std::vector<Diagnostic> errors;  // bad-suppression findings
+
+  bool Active(const std::string& rule, int line) const {
+    if (file_rules.count(rule) != 0) return true;
+    for (int l : {line, line - 1}) {
+      auto it = line_rules.find(l);
+      if (it != line_rules.end() && it->second.count(rule) != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Parses `svqa-lint: allow(...)` / `allow-file(...)` markers out of the
+/// per-line comment text. Unknown rule names become bad-suppression
+/// diagnostics; an escape that names nothing real is itself a defect.
+Suppressions ParseSuppressions(const std::string& file,
+                               const std::vector<std::string>& comments) {
+  Suppressions sup;
+  const std::string kTag = "svqa-lint:";
+  for (std::size_t li = 0; li < comments.size(); ++li) {
+    const std::string& text = comments[li];
+    std::size_t pos = text.find(kTag);
+    while (pos != std::string::npos) {
+      std::size_t p = pos + kTag.size();
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p])) != 0)
+        ++p;
+      bool file_scope = false;
+      if (text.compare(p, 10, "allow-file") == 0) {
+        file_scope = true;
+        p += 10;
+      } else if (text.compare(p, 5, "allow") == 0) {
+        p += 5;
+      } else {
+        sup.errors.push_back({file, static_cast<int>(li + 1),
+                              "bad-suppression",
+                              "malformed svqa-lint marker (expected "
+                              "'allow(rule)' or 'allow-file(rule)')"});
+        break;
+      }
+      std::size_t open = text.find('(', p);
+      std::size_t close =
+          open == std::string::npos ? std::string::npos : text.find(')', open);
+      if (open == std::string::npos || close == std::string::npos ||
+          Trim(text.substr(p, open - p)) != "") {
+        sup.errors.push_back({file, static_cast<int>(li + 1),
+                              "bad-suppression",
+                              "malformed svqa-lint marker (missing rule "
+                              "list parentheses)"});
+        break;
+      }
+      std::stringstream rules(text.substr(open + 1, close - open - 1));
+      std::string rule;
+      bool any = false;
+      while (std::getline(rules, rule, ',')) {
+        rule = Trim(rule);
+        if (rule.empty()) continue;
+        any = true;
+        if (RuleIds().count(rule) == 0) {
+          sup.errors.push_back(
+              {file, static_cast<int>(li + 1), "bad-suppression",
+               "unknown rule '" + rule + "' in suppression"});
+          continue;
+        }
+        if (file_scope) {
+          sup.file_rules.insert(rule);
+        } else {
+          sup.line_rules[static_cast<int>(li + 1)].insert(rule);
+        }
+      }
+      if (!any) {
+        sup.errors.push_back({file, static_cast<int>(li + 1),
+                              "bad-suppression",
+                              "empty rule list in suppression"});
+      }
+      pos = text.find(kTag, close == std::string::npos ? p : close);
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layer-dag
+// ---------------------------------------------------------------------------
+
+/// Extracts `#include "..."` targets from the *raw* source (the masker
+/// blanks string literals, which is exactly where include paths live).
+std::vector<std::pair<int, std::string>> QuotedIncludes(
+    const std::string& content) {
+  std::vector<std::pair<int, std::string>> out;
+  std::istringstream in(content);
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0)
+      ++i;
+    if (line.compare(i, 7, "include") != 0) continue;
+    std::size_t open = line.find('"', i + 7);
+    if (open == std::string::npos) continue;
+    std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.emplace_back(ln, line.substr(open + 1, close - open - 1));
+  }
+  return out;
+}
+
+void CheckLayerDag(const std::string& file, const std::string& layer,
+                   const std::string& content, const LayerSpec& spec,
+                   std::vector<Diagnostic>* diags) {
+  if (!spec.HasLayer(layer)) {
+    diags->push_back({file, 1, "layer-dag",
+                      "file lives in layer '" + layer +
+                          "' which is not declared in the layer spec"});
+    return;
+  }
+  for (const auto& [line, inc] : QuotedIncludes(content)) {
+    std::size_t slash = inc.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string target = inc.substr(0, slash);
+    if (!spec.HasLayer(target)) continue;  // not a layered path
+    if (target == layer || spec.Allows(layer, target)) continue;
+    diags->push_back(
+        {file, line, "layer-dag",
+         "layer '" + layer + "' may not include \"" + inc + "\" (layer '" +
+             target + "' is not in its allowed dependency set)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: virtual-time
+// ---------------------------------------------------------------------------
+
+/// Identifiers banned wherever they appear: these only name wall-clock
+/// or entropy sources.
+const std::set<std::string>& BannedAnywhere() {
+  static const std::set<std::string> kBanned = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "random_device"};
+  return kBanned;
+}
+
+/// Identifiers banned as *calls* (global or std-qualified). Member
+/// calls (`x.time(...)`) and other-namespace qualifications are fine.
+const std::set<std::string>& BannedCalls() {
+  static const std::set<std::string> kBanned = {
+      "time",   "rand",     "srand",         "getenv",       "setenv",
+      "mktime", "localtime", "gmtime",       "clock_gettime", "gettimeofday"};
+  return kBanned;
+}
+
+void CheckVirtualTime(const std::string& file, const std::vector<Token>& toks,
+                      std::vector<Diagnostic>* diags) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    if (BannedAnywhere().count(t.text) != 0) {
+      diags->push_back(
+          {file, t.line, "virtual-time",
+           "'" + t.text +
+               "' is wall-clock/entropy state; src/ must run on SimClock "
+               "virtual time (see DESIGN.md, \"Static invariants\")"});
+      continue;
+    }
+    if (BannedCalls().count(t.text) == 0) continue;
+    // Must syntactically be a call.
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Member access is some other API that happens to share the name.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;
+    // Qualified: only std:: (and the global ::) forms are the C library.
+    if (i > 0 && toks[i - 1].text == "::") {
+      if (i >= 2 && toks[i - 2].ident && toks[i - 2].text != "std") continue;
+    }
+    diags->push_back(
+        {file, t.line, "virtual-time",
+         "call to '" + t.text +
+             "' reads ambient wall-clock/environment state; src/ must be "
+             "replayable on SimClock virtual time"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unchecked-result
+// ---------------------------------------------------------------------------
+
+/// Flags ValueOrDie() with no visible `ok()` check (or outcome-
+/// propagating macro) on the same or the preceding few lines. A lexical
+/// heuristic, deliberately: it catches the "grab the value, skip the
+/// check" pattern, and the suppression comment is the documented way to
+/// assert infallibility.
+constexpr int kOkLookbackLines = 8;
+
+void CheckUncheckedResult(const std::string& file,
+                          const std::vector<Token>& toks,
+                          std::vector<Diagnostic>* diags) {
+  // Pre-collect lines containing an ok() call or a checking macro.
+  std::set<int> check_lines;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    if ((t.text == "ok" && i + 1 < toks.size() && toks[i + 1].text == "(") ||
+        t.text == "SVQA_ASSIGN_OR_RETURN" || t.text == "SVQA_RETURN_NOT_OK") {
+      check_lines.insert(t.line);
+    }
+  }
+  for (const Token& t : toks) {
+    if (!t.ident || t.text != "ValueOrDie") continue;
+    bool checked = false;
+    for (int l = t.line; l >= t.line - kOkLookbackLines && !checked; --l) {
+      checked = check_lines.count(l) != 0;
+    }
+    if (checked) continue;
+    diags->push_back(
+        {file, t.line, "unchecked-result",
+         "ValueOrDie() without a nearby ok() check; verify the Result "
+         "first, or document infallibility with "
+         "// svqa-lint: allow(unchecked-result)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: nodiscard-type + lock-annotation (shared scope walk)
+// ---------------------------------------------------------------------------
+
+/// Type names that must be declared SVQA_NODISCARD: the outcome
+/// carriers of the error model.
+const std::set<std::string>& OutcomeTypes() {
+  static const std::set<std::string> kTypes = {"Status", "Result", "StatusOr"};
+  return kTypes;
+}
+
+struct Scope {
+  bool is_class = false;
+  std::string name;
+  bool has_guarded = false;
+  std::vector<int> mutex_member_lines;
+};
+
+void CheckTypesAndLocks(const std::string& file, const std::vector<Token>& toks,
+                        std::vector<Diagnostic>* diags) {
+  std::vector<Scope> stack;
+  // Pending class/struct head seen but its '{' not yet reached.
+  bool pending = false;
+  bool pending_is_class = false;
+  std::string pending_name;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.ident && (t.text == "class" || t.text == "struct")) {
+      // `enum class` declares no record scope; `friend class X;` and
+      // template parameters (`template <class T>`) are not definitions
+      // either — those die at the ';'/'>' before any '{'.
+      if (i > 0 && toks[i - 1].ident && toks[i - 1].text == "enum") continue;
+      if (i > 0 && toks[i - 1].ident && toks[i - 1].text == "friend") continue;
+      // Gather head identifiers: attribute macros (SVQA_NODISCARD) may
+      // precede the name; the name is the last identifier before a
+      // non-identifier token.
+      bool has_nodiscard = false;
+      std::string name;
+      std::size_t j = i + 1;
+      while (j < toks.size() && toks[j].ident) {
+        if (toks[j].text == "SVQA_NODISCARD") {
+          has_nodiscard = true;
+        } else {
+          name = toks[j].text;
+        }
+        ++j;
+      }
+      if (name.empty()) continue;  // anonymous struct or `template <class T>`
+      pending = true;
+      pending_is_class = true;
+      pending_name = name;
+
+      if (OutcomeTypes().count(name) != 0 && !has_nodiscard) {
+        // Definition (a '{' before the next ';') or forward declaration?
+        bool definition = false;
+        for (std::size_t k = j; k < toks.size(); ++k) {
+          if (toks[k].text == "{") {
+            definition = true;
+            break;
+          }
+          if (toks[k].text == ";") break;
+        }
+        if (definition) {
+          diags->push_back(
+              {file, t.line, "nodiscard-type",
+               "outcome type '" + name +
+                   "' must be declared SVQA_NODISCARD (util/annotations.h) "
+                   "so discarded results are compile-time diagnostics"});
+        }
+      }
+      continue;
+    }
+    if (t.text == ";" && pending) {
+      pending = false;  // forward declaration
+      continue;
+    }
+    if (t.text == "{") {
+      Scope s;
+      if (pending) {
+        s.is_class = pending_is_class;
+        s.name = pending_name;
+        pending = false;
+      }
+      stack.push_back(s);
+      continue;
+    }
+    if (t.text == "}") {
+      if (!stack.empty()) {
+        Scope s = stack.back();
+        stack.pop_back();
+        if (s.is_class && !s.has_guarded && !s.mutex_member_lines.empty()) {
+          for (int line : s.mutex_member_lines) {
+            diags->push_back(
+                {file, line, "lock-annotation",
+                 "class '" + s.name +
+                     "' declares a Mutex member but no SVQA_GUARDED_BY "
+                     "field annotation; state the lock's protection set"});
+          }
+        }
+      }
+      continue;
+    }
+    if (!t.ident || stack.empty()) continue;
+
+    if (t.text == "SVQA_GUARDED_BY" || t.text == "SVQA_PT_GUARDED_BY") {
+      // Credit the innermost enclosing class scope.
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->is_class) {
+          it->has_guarded = true;
+          break;
+        }
+      }
+      continue;
+    }
+    // A `Mutex name_;` member of the innermost scope (which must be a
+    // class body). Pointer/reference members and locals in member
+    // functions do not match: the next tokens must be exactly
+    // `<identifier> ;` or `<identifier> SVQA_GUARDED_BY`-style
+    // annotation, and the innermost scope must be the class itself.
+    if (t.text == "Mutex" && stack.back().is_class && i + 2 < toks.size() &&
+        toks[i + 1].ident && toks[i + 1].text != "SVQA_GUARDED_BY" &&
+        (toks[i + 2].text == ";" || toks[i + 2].ident)) {
+      stack.back().mutex_member_lines.push_back(t.line);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File orchestration
+// ---------------------------------------------------------------------------
+
+bool IsSourceFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": error: [" + d.rule + "] " +
+         d.message;
+}
+
+bool LayerSpec::Parse(const std::string& text, LayerSpec* out,
+                      std::string* error) {
+  out->allowed_.clear();
+  out->order_.clear();
+  std::istringstream in(text);
+  std::string line;
+  int ln = 0;
+  std::vector<std::pair<std::string, std::vector<std::string>>> raw;
+  while (std::getline(in, line)) {
+    ++ln;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      *error = "layers spec line " + std::to_string(ln) +
+               ": expected '<layer>: [deps...]'";
+      return false;
+    }
+    std::string layer = Trim(line.substr(0, colon));
+    if (layer.empty()) {
+      *error = "layers spec line " + std::to_string(ln) + ": empty layer name";
+      return false;
+    }
+    if (out->allowed_.count(layer) != 0) {
+      *error = "layers spec line " + std::to_string(ln) + ": layer '" + layer +
+               "' declared twice";
+      return false;
+    }
+    std::vector<std::string> deps;
+    std::stringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.push_back(dep);
+    out->allowed_[layer] = {};
+    out->order_.push_back(layer);
+    raw.emplace_back(layer, std::move(deps));
+  }
+  // Deps must name declared layers; a typo must not silently allow or
+  // forbid anything.
+  for (const auto& [layer, deps] : raw) {
+    for (const std::string& d : deps) {
+      if (out->allowed_.count(d) == 0) {
+        *error = "layer '" + layer + "' depends on undeclared layer '" + d +
+                 "'";
+        return false;
+      }
+      if (d == layer) {
+        *error = "layer '" + layer + "' lists itself as a dependency";
+        return false;
+      }
+      out->allowed_[layer].insert(d);
+    }
+  }
+  // Transitive closure (allowed includes are inherited through deps).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [layer, deps] : out->allowed_) {
+      std::set<std::string> next = deps;
+      for (const std::string& d : deps) {
+        const std::set<std::string>& dd = out->allowed_.at(d);
+        next.insert(dd.begin(), dd.end());
+      }
+      if (next.size() != deps.size()) {
+        deps = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  // A cyclic spec makes the DAG vacuous; reject it outright.
+  for (const auto& [layer, deps] : out->allowed_) {
+    if (deps.count(layer) != 0) {
+      *error = "layer spec contains a dependency cycle through '" + layer +
+               "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LayerSpec::Allows(const std::string& from, const std::string& to) const {
+  auto it = allowed_.find(from);
+  return it != allowed_.end() && it->second.count(to) != 0;
+}
+
+MaskedSource MaskSource(const std::string& content) {
+  MaskedSource out;
+  std::string code_line;
+  std::string comment_line;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the ')delim' terminator
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < content.size() &&
+                   content[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && i + 1 < content.size() &&
+                   content[i + 1] == '"' &&
+                   (i == 0 || !IsIdentChar(content[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t open = content.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim = ")" + content.substr(i + 2, open - i - 2) + "\"";
+            state = State::kRawString;
+            code_line += ' ';
+            i = open;  // skip past the '('
+          } else {
+            code_line += c;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < content.size()) {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < content.size()) {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  // Only a final unterminated line is pending; a trailing '\n' already
+  // flushed it.
+  if (!content.empty() && content.back() != '\n') flush_line();
+  return out;
+}
+
+std::vector<Diagnostic> LintFile(const std::string& rel_path,
+                                 const std::string& content,
+                                 const LayerSpec& spec) {
+  // Only src/ carries the invariants; tests, bench and examples are
+  // free to use wall clocks, to die on results, and to include from
+  // anywhere — they are leaves of the dependency graph by construction.
+  if (rel_path.rfind("src/", 0) != 0) return {};
+  std::size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) return {};  // stray file directly in src/
+  const std::string layer = rel_path.substr(4, slash - 4);
+
+  MaskedSource masked = MaskSource(content);
+  Suppressions sup = ParseSuppressions(rel_path, masked.comments);
+  std::vector<Token> toks = Tokenize(masked.code);
+
+  std::vector<Diagnostic> found;
+  CheckLayerDag(rel_path, layer, content, spec, &found);
+  CheckVirtualTime(rel_path, toks, &found);
+  CheckUncheckedResult(rel_path, toks, &found);
+  CheckTypesAndLocks(rel_path, toks, &found);
+
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : found) {
+    if (!sup.Active(d.rule, d.line)) out.push_back(std::move(d));
+  }
+  for (Diagnostic& d : sup.errors) out.push_back(std::move(d));
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  namespace fs = std::filesystem;
+  fs::path root = ".";
+  std::string layers_path;
+  std::vector<std::string> paths;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      out << "usage: svqa_lint [--root <dir>] [--layers <spec>] [path ...]\n"
+             "Checks SVQA project invariants (layer DAG, virtual-time\n"
+             "purity, mandatory error checking, lock-annotation coverage)\n"
+             "over src/. Exit: 0 clean, 1 violations, 2 usage/spec error.\n";
+      return 0;
+    }
+    if (a == "--root" || a == "--layers") {
+      if (i + 1 >= args.size()) {
+        err << "svqa_lint: " << a << " requires an argument\n";
+        return 2;
+      }
+      if (a == "--root") {
+        root = args[++i];
+      } else {
+        layers_path = args[++i];
+      }
+      continue;
+    }
+    if (a.rfind("--", 0) == 0) {
+      err << "svqa_lint: unknown flag '" << a << "'\n";
+      return 2;
+    }
+    paths.push_back(a);
+  }
+  if (paths.empty()) paths.push_back("src");
+  if (layers_path.empty()) layers_path = (root / "tools/layers.txt").string();
+
+  std::ifstream spec_in(layers_path);
+  if (!spec_in) {
+    err << "svqa_lint: cannot read layer spec '" << layers_path << "'\n";
+    return 2;
+  }
+  std::stringstream spec_text;
+  spec_text << spec_in.rdbuf();
+  LayerSpec spec;
+  std::string spec_error;
+  if (!LayerSpec::Parse(spec_text.str(), &spec, &spec_error)) {
+    err << "svqa_lint: " << spec_error << "\n";
+    return 2;
+  }
+
+  const fs::path abs_root = fs::absolute(root).lexically_normal();
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const std::string& p : paths) {
+    fs::path full = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+    } else {
+      err << "svqa_lint: no such file or directory: '" << full.string()
+          << "'\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> all;
+  for (const fs::path& f : files) {
+    std::ifstream in(f);
+    if (!in) {
+      err << "svqa_lint: cannot read '" << f.string() << "'\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string rel = fs::absolute(f)
+                                .lexically_normal()
+                                .lexically_relative(abs_root)
+                                .generic_string();
+    std::vector<Diagnostic> diags = LintFile(rel, buf.str(), spec);
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+
+  for (const Diagnostic& d : all) out << FormatDiagnostic(d) << "\n";
+  if (all.empty()) {
+    out << "svqa_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  out << "svqa_lint: " << all.size() << " violation(s)\n";
+  return 1;
+}
+
+}  // namespace svqa_lint

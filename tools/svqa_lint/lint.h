@@ -1,0 +1,118 @@
+#ifndef SVQA_TOOLS_SVQA_LINT_LINT_H_
+#define SVQA_TOOLS_SVQA_LINT_LINT_H_
+
+/// \file
+/// svqa_lint — project-invariant static analyzer for the SVQA tree.
+///
+/// The compiler enforces types and the thread-safety annotations; this
+/// tool enforces the *project* invariants that neither can see. It is a
+/// lightweight lexer (comments and literals are masked out, then rules
+/// run over identifier tokens), deliberately not a libclang frontend:
+/// the rules below need only token- and scope-level structure, and a
+/// dependency-free binary can gate every build, everywhere.
+///
+/// Rule families (ids are what `allow(...)` suppressions name):
+///   layer-dag        — `#include` edges between src/<layer>/ directories
+///                      must respect the declarative spec in
+///                      tools/layers.txt.
+///   virtual-time     — wall clocks and ambient nondeterminism
+///                      (std::chrono::{system,steady,high_resolution}_clock,
+///                      time()/rand()/srand(), std::random_device,
+///                      getenv(), ...) are banned in src/; replay of the
+///                      SimClock execution model must stay bit-for-bit.
+///   unchecked-result — `ValueOrDie()` / unguarded value access on
+///                      Result in src/ without a nearby `ok()` check.
+///   nodiscard-type   — outcome-carrying types (Status, Result,
+///                      StatusOr) must be declared SVQA_NODISCARD.
+///   lock-annotation  — a class declaring a `util::Mutex` member must
+///                      carry at least one SVQA_GUARDED_BY field
+///                      annotation.
+///
+/// Suppressions:
+///   // svqa-lint: allow(rule[, rule...])       same line or next line
+///   // svqa-lint: allow-file(rule[, rule...])  whole file
+/// Unknown rule names in a suppression are themselves a diagnostic
+/// (`bad-suppression`) so stale escapes cannot rot silently.
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace svqa_lint {
+
+/// One finding. `file` is the path as given to the linter, `line` is
+/// 1-based, `rule` is one of the rule ids above (or "bad-suppression").
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Renders "file:line: error: [rule] message".
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// The declarative layer DAG parsed from tools/layers.txt.
+///
+/// Spec grammar (one layer per line, '#' comments):
+///   <layer>: [dep [dep ...]]
+/// A layer may include its own headers and those of any listed dep,
+/// transitively closed at load time. Parse() rejects unknown dep names
+/// and cyclic specs so a bad spec is a hard configuration error
+/// (exit 2), never a silently-vacuous gate.
+class LayerSpec {
+ public:
+  /// Parses spec text; on failure returns false and sets *error.
+  static bool Parse(const std::string& text, LayerSpec* out,
+                    std::string* error);
+
+  bool HasLayer(const std::string& layer) const {
+    return allowed_.count(layer) != 0;
+  }
+  /// True when `from` may #include headers of `to`.
+  bool Allows(const std::string& from, const std::string& to) const;
+
+  /// Layer names in spec order (for diagnostics).
+  const std::vector<std::string>& layers() const { return order_; }
+
+ private:
+  std::map<std::string, std::set<std::string>> allowed_;
+  std::vector<std::string> order_;
+};
+
+/// A source file with comments and string/char literals blanked out
+/// (line structure preserved) plus the comment text gathered per line —
+/// rules scan `code`, the suppression parser scans `comments`.
+struct MaskedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+/// Masks `content`. Handles //, /*...*/, "...", '...' and raw string
+/// literals; newlines inside multi-line constructs are preserved so
+/// diagnostics keep real line numbers.
+MaskedSource MaskSource(const std::string& content);
+
+/// Lints one file. `rel_path` must be repo-root-relative with '/'
+/// separators (e.g. "src/exec/executor.cc"); rules only fire for files
+/// under src/ — tests, bench and examples are free by design.
+std::vector<Diagnostic> LintFile(const std::string& rel_path,
+                                 const std::string& content,
+                                 const LayerSpec& spec);
+
+/// Command-line entry point (what main() calls; tests call it too).
+///
+///   svqa_lint [--root <dir>] [--layers <spec>] [path ...]
+///
+/// Paths are files or directories (walked recursively for C++ sources),
+/// interpreted relative to --root (default: cwd); the default path set
+/// is {src}. Exit codes: 0 clean, 1 violations found, 2 usage/spec/IO
+/// error.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace svqa_lint
+
+#endif  // SVQA_TOOLS_SVQA_LINT_LINT_H_
