@@ -98,4 +98,87 @@ inline std::string FlagValue(int argc, char** argv, const std::string& flag,
 
 }  // namespace svqa::bench
 
+// ---------------------------------------------------------------------------
+// Heap allocation accounting (opt-in: define SVQA_BENCH_COUNT_ALLOCS)
+// ---------------------------------------------------------------------------
+//
+// Replaces the global allocation functions with counting wrappers so a
+// bench can report bytes/calls allocated across a measured region
+// (`AllocsNow()` before and after, subtract). Replaceable allocation
+// functions must not be `inline`, so this block may be compiled into at
+// most one translation unit per binary — every bench executable is a
+// single .cc, and bench/CMakeLists.txt sets the macro per target.
+#ifdef SVQA_BENCH_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace svqa::bench {
+
+/// Monotonic totals since process start.
+struct AllocSnapshot {
+  unsigned long long bytes = 0;
+  unsigned long long count = 0;
+};
+
+namespace internal {
+inline std::atomic<unsigned long long> g_alloc_bytes{0};
+inline std::atomic<unsigned long long> g_alloc_count{0};
+
+inline void* CountedAlloc(std::size_t size) {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace internal
+
+inline AllocSnapshot AllocsNow() {
+  return {internal::g_alloc_bytes.load(std::memory_order_relaxed),
+          internal::g_alloc_count.load(std::memory_order_relaxed)};
+}
+
+/// Allocation traffic between `start` and now.
+inline AllocSnapshot AllocsSince(const AllocSnapshot& start) {
+  const AllocSnapshot now = AllocsNow();
+  return {now.bytes - start.bytes, now.count - start.count};
+}
+
+}  // namespace svqa::bench
+
+void* operator new(std::size_t size) {
+  return svqa::bench::internal::CountedAlloc(size);
+}
+void* operator new[](std::size_t size) {
+  return svqa::bench::internal::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return svqa::bench::internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return svqa::bench::internal::CountedAlignedAlloc(
+      size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // SVQA_BENCH_COUNT_ALLOCS
+
 #endif  // SVQA_BENCH_BENCH_COMMON_H_

@@ -6,7 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+
+#include "bench_common.h"
 #include "cache/lfu_cache.h"
+#include "graph/frozen_graph.h"
 #include "cache/lru_cache.h"
 #include "data/kg_builder.h"
 #include "data/mvqa_generator.h"
@@ -197,6 +202,7 @@ struct MatchFixture {
   data::World world;
   aggregator::MergedGraph merged;
   text::EmbeddingModel embeddings;
+  std::shared_ptr<const graph::FrozenGraph> frozen;
 };
 
 const MatchFixture* GetMatchFixture() {
@@ -207,13 +213,54 @@ const MatchFixture* GetMatchFixture() {
     auto kg =
         data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
     auto merged = data::BuildPerfectMergedGraph(world, kg);
+    auto frozen = merged.graph.Freeze();
     return new MatchFixture{
         std::move(world), std::move(merged),
-        text::EmbeddingModel(text::SynonymLexicon::Default())};
+        text::EmbeddingModel(text::SynonymLexicon::Default()),
+        std::move(frozen)};
   }();
   return fixture;
 }
+
+/// Attaches bytes/calls-allocated-per-iteration counters to `state`
+/// for the region since `start` (bench_common.h operator-new hook).
+void ReportAllocs(benchmark::State& state,
+                  const svqa::bench::AllocSnapshot& start) {
+  const svqa::bench::AllocSnapshot delta = svqa::bench::AllocsSince(start);
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["alloc_B/op"] =
+      benchmark::Counter(static_cast<double>(delta.bytes) / iters);
+  state.counters["allocs/op"] =
+      benchmark::Counter(static_cast<double>(delta.count) / iters);
+}
 }  // namespace
+
+// Full-graph traversal: every out-edge of every vertex. The mutable
+// graph chases a vector-of-vectors (one heap node per vertex); the
+// frozen CSR walks two contiguous arrays. Same visit order, same sum.
+void BM_TraversalMutable(benchmark::State& state) {
+  const graph::Graph& g = GetMatchFixture()->merged.graph;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const auto& he : g.OutEdges(v)) sum += he.neighbor;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TraversalMutable);
+
+void BM_TraversalFrozen(benchmark::State& state) {
+  const graph::FrozenGraph& g = *GetMatchFixture()->frozen;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const auto& he : g.OutEdges(v)) sum += he.neighbor;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TraversalFrozen);
 
 // matchVertex with the indexed cost model vs the paper's full-scan
 // model. Exact keys resolve through the inverted index either way
@@ -226,11 +273,31 @@ void BM_VertexMatchIndexed(benchmark::State& state) {
   nlp::SpocElement el;
   el.head = "animal";
   el.text = "animal";
+  const auto allocs = bench::AllocsNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(matcher.Match(el));
   }
+  ReportAllocs(state, allocs);
 }
 BENCHMARK(BM_VertexMatchIndexed);
+
+// Same matcher wired to the frozen CSR snapshot: id-space equality and
+// interned near-miss memos instead of string compares.
+void BM_VertexMatchFrozen(benchmark::State& state) {
+  const auto* fixture = GetMatchFixture();
+  exec::VertexMatcher matcher(&fixture->merged, &fixture->embeddings,
+                              exec::VertexMatcherOptions{},
+                              fixture->frozen.get());
+  nlp::SpocElement el;
+  el.head = "animal";
+  el.text = "animal";
+  const auto allocs = bench::AllocsNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(el));
+  }
+  ReportAllocs(state, allocs);
+}
+BENCHMARK(BM_VertexMatchFrozen);
 
 void BM_VertexMatchFullScan(benchmark::State& state) {
   const auto* fixture = GetMatchFixture();
@@ -255,11 +322,32 @@ void BM_VertexMatchIndexedNearMiss(benchmark::State& state) {
   nlp::SpocElement el;
   el.head = "dogg";
   el.text = "dogg";
+  const auto allocs = bench::AllocsNow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(matcher.Match(el));
   }
+  ReportAllocs(state, allocs);
 }
 BENCHMARK(BM_VertexMatchIndexedNearMiss);
+
+// The frozen matcher memoizes the near-miss scan per canonical key, so
+// steady-state probes skip the Levenshtein sweep entirely (the charged
+// virtual cost is identical — only the host work disappears).
+void BM_VertexMatchFrozenNearMiss(benchmark::State& state) {
+  const auto* fixture = GetMatchFixture();
+  exec::VertexMatcher matcher(&fixture->merged, &fixture->embeddings,
+                              exec::VertexMatcherOptions{},
+                              fixture->frozen.get());
+  nlp::SpocElement el;
+  el.head = "dogg";
+  el.text = "dogg";
+  const auto allocs = bench::AllocsNow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(el));
+  }
+  ReportAllocs(state, allocs);
+}
+BENCHMARK(BM_VertexMatchFrozenNearMiss);
 
 void BM_SceneGraphGeneration(benchmark::State& state) {
   data::WorldOptions opts;

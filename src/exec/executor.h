@@ -1,12 +1,15 @@
 #ifndef SVQA_EXEC_EXECUTOR_H_
 #define SVQA_EXEC_EXECUTOR_H_
 
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "aggregator/merger.h"
 #include "exec/constraints.h"
+#include "graph/frozen_graph.h"
 #include "exec/key_centric_cache.h"
 #include "exec/relation_pairs.h"
 #include "exec/vertex_matcher.h"
@@ -120,6 +123,13 @@ struct ExecutorOptions {
   /// candidate. Disable (together with matcher.memoize_similarity) for
   /// strictly per-query-deterministic virtual latencies.
   bool memoize_similarity = true;
+  /// Execute against a compiled FrozenGraph snapshot (CSR adjacency,
+  /// interned symbols, id-space comparisons, arena-backed scratch)
+  /// instead of the mutable merged graph. Answers, charged virtual costs
+  /// (`total_micros`), and cache hit/miss sequences are byte-identical
+  /// either way — only host wall time and allocation volume change.
+  /// Disable for the mutable-path ablation baseline.
+  bool use_frozen_graph = true;
 };
 
 /// \brief Algorithm 3: executes a query graph over the merged graph.
@@ -140,10 +150,17 @@ class QueryGraphExecutor {
  public:
   /// \param cache optional key-centric cache shared across queries; pass
   /// nullptr for the cache-less configuration.
+  /// \param frozen optional precompiled snapshot of `merged->graph`
+  /// (e.g. compiled once by the snapshot store and pinned across the
+  /// executors sharing it). With `options.use_frozen_graph` set and no
+  /// snapshot passed, the constructor compiles one itself; with the
+  /// option cleared the argument is ignored and the mutable path runs.
   QueryGraphExecutor(const aggregator::MergedGraph* merged,
                      const text::EmbeddingModel* embeddings,
                      KeyCentricCache* cache = nullptr,
-                     ExecutorOptions options = {});
+                     ExecutorOptions options = {},
+                     std::shared_ptr<const graph::FrozenGraph> frozen =
+                         nullptr);
 
   /// Executes one query graph.
   Result<Answer> Execute(const query::QueryGraph& gq,
@@ -180,6 +197,9 @@ class QueryGraphExecutor {
 
   const VertexMatcher& matcher() const { return matcher_; }
   KeyCentricCache* cache() const { return cache_; }
+  /// The snapshot this executor runs against (nullptr on the mutable
+  /// path).
+  const graph::FrozenGraph* frozen() const { return frozen_.get(); }
 
   /// The stable path-cache key for a vertex's relation-pair query.
   static std::string PathKey(const nlp::Spoc& spoc);
@@ -187,18 +207,40 @@ class QueryGraphExecutor {
  private:
   Result<std::vector<graph::VertexId>> ResolveScope(
       const nlp::SpocElement& element, const ExecContext& ctx) const;
+  /// Frozen-path scope resolution: a cache hit hands back the shared
+  /// entry itself; a miss stores the freshly matched scope once and
+  /// shares it. Same keys, charges, and hit/miss sequence as
+  /// ResolveScope.
+  Result<ScopeValue> ResolveScopeShared(const nlp::SpocElement& element,
+                                        const ExecContext& ctx) const;
   /// maxScore over the merged graph's edge labels (Algorithm 3 line 8).
   Result<std::string> MatchPredicateLabel(const std::string& predicate,
                                           const ExecContext& ctx) const;
-  Result<std::vector<RelationPair>> ApplyConstraint(
-      std::vector<RelationPair> pairs, const std::string& constraint,
-      const ExecContext& ctx) const;
+  /// Frozen path: per-edge-label-id verdict of the synonym filter
+  /// (label == predicate or lexicon synonym), memoized per predicate so
+  /// the per-pair filter is one indexed byte load.
+  std::shared_ptr<const std::vector<uint8_t>> PredicateVerdicts(
+      const std::string& predicate) const;
+  /// Constraint filter over any RelationPair vector type. The frozen
+  /// path passes an arena-backed vector so the surviving-pair buffer
+  /// bump-allocates from per-query scratch; the mutable path keeps heap
+  /// vectors. Instantiated in executor.cc for both vector types.
+  template <typename PairVec>
+  Result<PairVec> ApplyConstraint(PairVec pairs, const std::string& constraint,
+                                  const ExecContext& ctx) const;
   Answer MakeAnswer(const query::QueryGraph& gq, const nlp::Spoc& spoc,
-                    const std::vector<RelationPair>& pairs) const;
+                    std::span<const RelationPair> pairs) const;
   std::string NormalizeVertexAnswer(graph::VertexId v, bool want_kind) const;
+  /// Frozen equivalent of NormalizeVertexAnswer: the interned symbol of
+  /// the normalized answer text (bijective with the string).
+  graph::SymbolId NormalizeAnswerSymbol(graph::VertexId v,
+                                        bool want_kind) const;
 
   const aggregator::MergedGraph* merged_;
   const text::EmbeddingModel* embeddings_;
+  /// Compiled snapshot (nullptr on the mutable path). Declared before
+  /// the matcher, which borrows the raw pointer.
+  std::shared_ptr<const graph::FrozenGraph> frozen_;
   VertexMatcher matcher_;
   KeyCentricCache* cache_;
   ExecutorOptions options_;
@@ -206,6 +248,9 @@ class QueryGraphExecutor {
   mutable MemoCache<std::string, std::string> predicate_label_memo_;
   /// Constraint phrase -> resolved spec memo.
   mutable MemoCache<std::string, ConstraintSpec> constraint_memo_;
+  /// Frozen path: predicate -> per-label-id synonym-filter verdicts.
+  mutable MemoCache<std::string, std::shared_ptr<const std::vector<uint8_t>>>
+      predicate_verdict_memo_;
 };
 
 }  // namespace svqa::exec

@@ -1,5 +1,7 @@
 #include "exec/key_centric_cache.h"
 
+#include <utility>
+
 namespace svqa::exec {
 
 const char* CachePolicyName(CachePolicy policy) {
@@ -11,43 +13,75 @@ KeyCentricCache::KeyCentricCache(KeyCentricCacheOptions options)
       scope_(options.capacity),
       path_(options.capacity) {}
 
-std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
+std::optional<ScopeValue> KeyCentricCache::GetScopeShared(
     const std::string& key, SimClock* clock) {
   if (!options_.enable_scope || options_.capacity == 0) return std::nullopt;
   if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
-  return options_.policy == CachePolicy::kLfu ? scope_.lfu.Get(key)
-                                              : scope_.lru.Get(key);
+  // Interning on Get too: a miss must reach the policy store so its
+  // hit/miss accounting matches a string-keyed store exactly.
+  const graph::SymbolId id = keys_.Intern(key);
+  return options_.policy == CachePolicy::kLfu ? scope_.lfu.Get(id)
+                                              : scope_.lru.Get(id);
+}
+
+void KeyCentricCache::PutScopeShared(const std::string& key,
+                                     ScopeValue value) {
+  if (!options_.enable_scope || options_.capacity == 0) return;
+  const graph::SymbolId id = keys_.Intern(key);
+  if (options_.policy == CachePolicy::kLfu) {
+    scope_.lfu.Put(id, std::move(value));
+  } else {
+    scope_.lru.Put(id, std::move(value));
+  }
+}
+
+std::optional<PathValue> KeyCentricCache::GetPathShared(const std::string& key,
+                                                        SimClock* clock) {
+  if (!options_.enable_path || options_.capacity == 0) return std::nullopt;
+  if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
+  const graph::SymbolId id = keys_.Intern(key);
+  return options_.policy == CachePolicy::kLfu ? path_.lfu.Get(id)
+                                              : path_.lru.Get(id);
+}
+
+void KeyCentricCache::PutPathShared(const std::string& key, PathValue value) {
+  if (!options_.enable_path || options_.capacity == 0) return;
+  const graph::SymbolId id = keys_.Intern(key);
+  if (options_.policy == CachePolicy::kLfu) {
+    path_.lfu.Put(id, std::move(value));
+  } else {
+    path_.lru.Put(id, std::move(value));
+  }
+}
+
+std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
+    const std::string& key, SimClock* clock) {
+  auto hit = GetScopeShared(key, clock);
+  if (!hit.has_value()) return std::nullopt;
+  return **hit;  // copy out: the caller owns a mutable vector
 }
 
 void KeyCentricCache::PutScope(const std::string& key,
                                std::vector<graph::VertexId> value) {
-  if (!options_.enable_scope || options_.capacity == 0) return;
-  if (options_.policy == CachePolicy::kLfu) {
-    scope_.lfu.Put(key, std::move(value));
-  } else {
-    scope_.lru.Put(key, std::move(value));
-  }
+  PutScopeShared(
+      key, std::make_shared<const std::vector<graph::VertexId>>(
+               std::move(value)));
 }
 
 std::optional<std::vector<RelationPair>> KeyCentricCache::GetPath(
     const std::string& key, SimClock* clock) {
-  if (!options_.enable_path || options_.capacity == 0) return std::nullopt;
-  if (clock != nullptr) clock->Charge(CostKind::kCacheProbe);
-  return options_.policy == CachePolicy::kLfu ? path_.lfu.Get(key)
-                                              : path_.lru.Get(key);
+  auto hit = GetPathShared(key, clock);
+  if (!hit.has_value()) return std::nullopt;
+  return **hit;
 }
 
 void KeyCentricCache::PutPath(const std::string& key,
                               std::vector<RelationPair> value) {
-  if (!options_.enable_path || options_.capacity == 0) return;
-  if (options_.policy == CachePolicy::kLfu) {
-    path_.lfu.Put(key, std::move(value));
-  } else {
-    path_.lru.Put(key, std::move(value));
-  }
+  PutPathShared(key, std::make_shared<const std::vector<RelationPair>>(
+                         std::move(value)));
 }
 
-std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
+std::optional<ScopeValue> KeyCentricCache::GetScopeShared(
     const std::string& key, const ExecContext& ctx) {
   if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {
     // Degrade to a miss: the probe still cost a round-trip, but the
@@ -55,30 +89,59 @@ std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
     if (ctx.clock != nullptr) ctx.clock->Charge(CostKind::kCacheProbe);
     return std::nullopt;
   }
-  return GetScope(key, ctx.clock);
+  return GetScopeShared(key, ctx.clock);
 }
 
-void KeyCentricCache::PutScope(const std::string& key,
-                               std::vector<graph::VertexId> value,
-                               const ExecContext& ctx) {
+void KeyCentricCache::PutScopeShared(const std::string& key, ScopeValue value,
+                                     const ExecContext& ctx) {
   if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
-  PutScope(key, std::move(value));
+  PutScopeShared(key, std::move(value));
 }
 
-std::optional<std::vector<RelationPair>> KeyCentricCache::GetPath(
+std::optional<PathValue> KeyCentricCache::GetPathShared(
     const std::string& key, const ExecContext& ctx) {
   if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {
     if (ctx.clock != nullptr) ctx.clock->Charge(CostKind::kCacheProbe);
     return std::nullopt;
   }
-  return GetPath(key, ctx.clock);
+  return GetPathShared(key, ctx.clock);
+}
+
+void KeyCentricCache::PutPathShared(const std::string& key, PathValue value,
+                                    const ExecContext& ctx) {
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
+  PutPathShared(key, std::move(value));
+}
+
+std::optional<std::vector<graph::VertexId>> KeyCentricCache::GetScope(
+    const std::string& key, const ExecContext& ctx) {
+  auto hit = GetScopeShared(key, ctx);
+  if (!hit.has_value()) return std::nullopt;
+  return **hit;
+}
+
+void KeyCentricCache::PutScope(const std::string& key,
+                               std::vector<graph::VertexId> value,
+                               const ExecContext& ctx) {
+  PutScopeShared(key,
+                 std::make_shared<const std::vector<graph::VertexId>>(
+                     std::move(value)),
+                 ctx);
+}
+
+std::optional<std::vector<RelationPair>> KeyCentricCache::GetPath(
+    const std::string& key, const ExecContext& ctx) {
+  auto hit = GetPathShared(key, ctx);
+  if (!hit.has_value()) return std::nullopt;
+  return **hit;
 }
 
 void KeyCentricCache::PutPath(const std::string& key,
                               std::vector<RelationPair> value,
                               const ExecContext& ctx) {
-  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
-  PutPath(key, std::move(value));
+  PutPathShared(key, std::make_shared<const std::vector<RelationPair>>(
+                         std::move(value)),
+                ctx);
 }
 
 cache::CacheStats KeyCentricCache::ScopeStats() const {

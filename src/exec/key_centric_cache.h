@@ -1,6 +1,7 @@
 #ifndef SVQA_EXEC_KEY_CENTRIC_CACHE_H_
 #define SVQA_EXEC_KEY_CENTRIC_CACHE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "cache/lru_cache.h"
 #include "exec/relation_pairs.h"
 #include "graph/graph.h"
+#include "graph/interning.h"
 #include "util/exec_context.h"
 #include "util/sim_clock.h"
 
@@ -32,17 +34,34 @@ struct KeyCentricCacheOptions {
   bool enable_path = true;
 };
 
+/// Shared immutable cache values: readers on the frozen path hold the
+/// entry itself instead of copying vectors out per probe.
+using ScopeValue = std::shared_ptr<const std::vector<graph::VertexId>>;
+using PathValue = std::shared_ptr<const std::vector<RelationPair>>;
+
 /// \brief The key-centric cache: a *scope* store (matchVertex results)
 /// and a *path* store (getRelationpairs results), each under the chosen
 /// eviction policy. Every probe charges CostKind::kCacheProbe.
 ///
+/// Key representation: callers address entries by the stable string
+/// keys (`VertexMatcher::ScopeKey` / `QueryGraphExecutor::PathKey`), but
+/// the policy stores are keyed by interned `SymbolId`s from a private
+/// table — the eviction lists hash and compare 32-bit ids, not strings.
+/// The string -> id mapping is injective, so hit/miss and eviction
+/// sequences are exactly those of a string-keyed store. Fault probes
+/// stay keyed by the string (the injector's site/key hashing is part of
+/// the observable model).
+///
+/// Values are immutable `shared_ptr` vectors: `Get*Shared` hands the
+/// entry out without copying (the frozen read path), while the legacy
+/// `Get*` copy-out overloads remain for callers that mutate.
+///
 /// Thread-safe by composition: `options_` is immutable after
-/// construction and each underlying policy store is internally locked
-/// (see cache/lru_cache.h), so concurrent Get*/Put* from executor
-/// workers sharing one cache is race-free. `Clear` and the `*Stats`
-/// snapshots are per-store atomic, not atomic across the scope and path
-/// stores — fine for their diagnostic role. The `SimClock*` argument is
-/// caller-owned per-query state and is charged outside any cache lock.
+/// construction, the interner and each policy store are internally
+/// locked. `Clear` and the `*Stats` snapshots are per-store atomic, not
+/// atomic across the scope and path stores — fine for their diagnostic
+/// role. The `SimClock*` argument is caller-owned per-query state and is
+/// charged outside any cache lock.
 class KeyCentricCache {
  public:
   explicit KeyCentricCache(KeyCentricCacheOptions options = {});
@@ -56,6 +75,15 @@ class KeyCentricCache {
   std::optional<std::vector<RelationPair>> GetPath(
       const std::string& key, SimClock* clock = nullptr);
   void PutPath(const std::string& key, std::vector<RelationPair> value);
+
+  /// Zero-copy lookups: the returned entry is shared with the cache (and
+  /// any concurrent reader) and must be treated as immutable.
+  std::optional<ScopeValue> GetScopeShared(const std::string& key,
+                                           SimClock* clock = nullptr);
+  void PutScopeShared(const std::string& key, ScopeValue value);
+  std::optional<PathValue> GetPathShared(const std::string& key,
+                                         SimClock* clock = nullptr);
+  void PutPathShared(const std::string& key, PathValue value);
 
   /// Context-aware variants: each op consults the context's fault policy
   /// at FaultSite::kCacheOp (keyed by the cache key, so a Get and Put of
@@ -71,6 +99,14 @@ class KeyCentricCache {
                                                    const ExecContext& ctx);
   void PutPath(const std::string& key, std::vector<RelationPair> value,
                const ExecContext& ctx);
+  std::optional<ScopeValue> GetScopeShared(const std::string& key,
+                                           const ExecContext& ctx);
+  void PutScopeShared(const std::string& key, ScopeValue value,
+                      const ExecContext& ctx);
+  std::optional<PathValue> GetPathShared(const std::string& key,
+                                         const ExecContext& ctx);
+  void PutPathShared(const std::string& key, PathValue value,
+                     const ExecContext& ctx);
 
   const KeyCentricCacheOptions& options() const { return options_; }
   cache::CacheStats ScopeStats() const;
@@ -84,13 +120,15 @@ class KeyCentricCache {
   struct PolicyPair {
     explicit PolicyPair(std::size_t capacity)
         : lfu(capacity), lru(capacity) {}
-    cache::LfuCache<std::string, V> lfu;
-    cache::LruCache<std::string, V> lru;
+    cache::LfuCache<graph::SymbolId, V> lfu;
+    cache::LruCache<graph::SymbolId, V> lru;
   };
 
   const KeyCentricCacheOptions options_;  // immutable after construction
-  PolicyPair<std::vector<graph::VertexId>> scope_;  // internally locked
-  PolicyPair<std::vector<RelationPair>> path_;      // internally locked
+  /// String key -> dense id; internally locked, append-only.
+  graph::SymbolTable keys_;
+  PolicyPair<ScopeValue> scope_;  // internally locked
+  PolicyPair<PathValue> path_;    // internally locked
 };
 
 }  // namespace svqa::exec

@@ -1,12 +1,13 @@
 #include "exec/relation_pairs.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace svqa::exec {
 
 std::vector<RelationPair> FindRelationPairs(
-    const graph::Graph& g, const std::vector<graph::VertexId>& subjects,
-    const std::vector<graph::VertexId>& objects, SimClock* clock) {
+    const graph::Graph& g, std::span<const graph::VertexId> subjects,
+    std::span<const graph::VertexId> objects, SimClock* clock) {
   std::vector<RelationPair> pairs;
   if (subjects.empty() || objects.empty()) return pairs;
 
@@ -28,12 +29,12 @@ std::vector<RelationPair> FindRelationPairs(
         // subject -> object.
         if (scan_subjects) {
           pairs.push_back(RelationPair{
-              v, he.neighbor, std::string(g.EdgeLabelName(he.label)),
-              true});
+              v, he.neighbor, std::string(g.EdgeLabelName(he.label)), true,
+              he.label});
         } else {
           pairs.push_back(RelationPair{
-              he.neighbor, v, std::string(g.EdgeLabelName(he.label)),
-              false});
+              he.neighbor, v, std::string(g.EdgeLabelName(he.label)), false,
+              he.label});
         }
       }
     }
@@ -43,12 +44,78 @@ std::vector<RelationPair> FindRelationPairs(
         // Edge neighbor -> v.
         if (scan_subjects) {
           pairs.push_back(RelationPair{
-              v, he.neighbor, std::string(g.EdgeLabelName(he.label)),
-              false});
+              v, he.neighbor, std::string(g.EdgeLabelName(he.label)), false,
+              he.label});
         } else {
           pairs.push_back(RelationPair{
-              he.neighbor, v, std::string(g.EdgeLabelName(he.label)),
-              true});
+              he.neighbor, v, std::string(g.EdgeLabelName(he.label)), true,
+              he.label});
+        }
+      }
+    }
+  }
+  if (clock != nullptr) clock->Charge(CostKind::kEdgeTraverse, scanned);
+  return pairs;
+}
+
+std::vector<RelationPair> FindRelationPairs(
+    const graph::FrozenGraph& g, std::span<const graph::VertexId> subjects,
+    std::span<const graph::VertexId> objects, SimClock* clock) {
+  std::vector<RelationPair> pairs;
+  if (subjects.empty() || objects.empty()) return pairs;
+
+  // Same join-direction choice as the mutable overload; the probe side
+  // is binary-searched in place (candidate sets arrive sorted), so the
+  // only allocations are the output pairs themselves.
+  const bool scan_subjects = subjects.size() <= objects.size();
+  const auto& scan = scan_subjects ? subjects : objects;
+  const auto& probe = scan_subjects ? objects : subjects;
+
+  const auto in_probe = [&probe](graph::VertexId v) {
+    return std::binary_search(probe.begin(), probe.end(), v);
+  };
+  // Counting pass: the result is usually published into the path cache
+  // where it lives long-term, so size the buffer exactly instead of
+  // paying the ~2x realloc-growth traffic. The traversal is charged
+  // once (below) — the recount is host work over the CSR rows, not
+  // modeled cost.
+  std::size_t matches = 0;
+  double scanned = 0;
+  for (graph::VertexId v : scan) {
+    for (const auto& he : g.OutEdges(v)) {
+      ++scanned;
+      if (in_probe(he.neighbor)) ++matches;
+    }
+    for (const auto& he : g.InEdges(v)) {
+      ++scanned;
+      if (in_probe(he.neighbor)) ++matches;
+    }
+  }
+  pairs.reserve(matches);
+  for (graph::VertexId v : scan) {
+    for (const auto& he : g.OutEdges(v)) {
+      if (in_probe(he.neighbor)) {
+        if (scan_subjects) {
+          pairs.push_back(RelationPair{
+              v, he.neighbor, std::string(g.EdgeLabelName(he.label)), true,
+              he.label});
+        } else {
+          pairs.push_back(RelationPair{
+              he.neighbor, v, std::string(g.EdgeLabelName(he.label)), false,
+              he.label});
+        }
+      }
+    }
+    for (const auto& he : g.InEdges(v)) {
+      if (in_probe(he.neighbor)) {
+        if (scan_subjects) {
+          pairs.push_back(RelationPair{
+              v, he.neighbor, std::string(g.EdgeLabelName(he.label)), false,
+              he.label});
+        } else {
+          pairs.push_back(RelationPair{
+              he.neighbor, v, std::string(g.EdgeLabelName(he.label)), true,
+              he.label});
         }
       }
     }

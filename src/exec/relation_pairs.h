@@ -1,9 +1,11 @@
 #ifndef SVQA_EXEC_RELATION_PAIRS_H_
 #define SVQA_EXEC_RELATION_PAIRS_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "graph/frozen_graph.h"
 #include "graph/graph.h"
 #include "util/sim_clock.h"
 
@@ -11,19 +13,35 @@ namespace svqa::exec {
 
 /// \brief One (Sub - E_so - Obj) relation pair (Algorithm 3 line 26).
 /// `forward` is true when the merged-graph edge runs subject -> object.
+/// `label` is the interned edge-label id of `predicate` (the id-space
+/// handle the frozen execution path filters on); kInvalidLabel for pairs
+/// built without access to the interning table.
 struct RelationPair {
   graph::VertexId subject = 0;
   graph::VertexId object = 0;
   std::string predicate;
   bool forward = true;
+  graph::LabelId label = graph::kInvalidLabel;
 };
 
 /// \brief getRelations(Sub, Obj): all edges of `g` connecting a subject
 /// candidate with an object candidate, in either direction. Charges
 /// CostKind::kEdgeTraverse per adjacency entry scanned.
 std::vector<RelationPair> FindRelationPairs(
-    const graph::Graph& g, const std::vector<graph::VertexId>& subjects,
-    const std::vector<graph::VertexId>& objects, SimClock* clock = nullptr);
+    const graph::Graph& g, std::span<const graph::VertexId> subjects,
+    std::span<const graph::VertexId> objects, SimClock* clock = nullptr);
+
+/// \brief Frozen-path getRelations: identical pairs, order, and charges
+/// as the mutable overload, but scanning the snapshot's contiguous CSR
+/// arrays and binary-searching the probe side instead of materializing a
+/// hash set.
+///
+/// Precondition: `subjects` and `objects` are ascending (matchVertex
+/// results and executor bindings are sorted + deduplicated); only the
+/// probed (larger) side's order is load-bearing.
+std::vector<RelationPair> FindRelationPairs(
+    const graph::FrozenGraph& g, std::span<const graph::VertexId> subjects,
+    std::span<const graph::VertexId> objects, SimClock* clock = nullptr);
 
 }  // namespace svqa::exec
 

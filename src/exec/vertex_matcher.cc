@@ -1,23 +1,39 @@
 #include "exec/vertex_matcher.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <unordered_set>
 
 #include "text/levenshtein.h"
+#include "util/arena.h"
 
 namespace svqa::exec {
 
 VertexMatcher::VertexMatcher(const aggregator::MergedGraph* merged,
                              const text::EmbeddingModel* embeddings,
-                             VertexMatcherOptions options)
-    : merged_(merged), embeddings_(embeddings), options_(options) {
+                             VertexMatcherOptions options,
+                             const graph::FrozenGraph* frozen)
+    : merged_(merged),
+      embeddings_(embeddings),
+      options_(options),
+      frozen_(frozen) {
   const graph::Graph& g = merged_->graph;
   const auto& lexicon = embeddings_->lexicon();
   taxonomy_children_.resize(static_cast<std::size_t>(g.num_vertices()));
+  if (frozen_ != nullptr) {
+    has_attribute_label_ =
+        frozen_->EdgeLabelIdOf("has-attribute").value_or(graph::kInvalidLabel);
+    canon_category_sym_.resize(static_cast<std::size_t>(g.num_vertices()),
+                               graph::kInvalidSymbol);
+  }
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     const graph::Vertex& vx = g.vertex(v);
     canon_index_[lexicon.Canonical(vx.category)].push_back(v);
+    if (frozen_ != nullptr) {
+      canon_category_sym_[static_cast<std::size_t>(v)] =
+          frozen_->symbols().Intern(lexicon.Canonical(vx.category));
+    }
     std::string label = vx.label;
     if (auto pos = label.find('#'); pos != std::string::npos) {
       label.resize(pos);
@@ -101,6 +117,27 @@ Result<std::vector<graph::VertexId>> VertexMatcher::MatchByLabel(
     // scan bails here before burning host time on the physical loop.
     SVQA_RETURN_NOT_OK(ctx.Checkpoint("matchVertex Levenshtein scan"));
   }
+  if (frozen_ != nullptr) {
+    // Id-space scan: the full virtual cost is already on the clock, so
+    // the memos below shed host work only. The whole scan result is a
+    // pure function of `canon` and the snapshot; repeats are shared.
+    if (auto memo = scan_memo_.Get(canon)) {
+      return std::vector<graph::VertexId>(**memo);
+    }
+    const graph::SymbolId canon_sym = frozen_->symbols().Intern(canon);
+    auto scanned = std::make_shared<std::vector<graph::VertexId>>();
+    const graph::VertexId n = frozen_->num_vertices();
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (LevenshteinWithin(frozen_->stripped_label_symbol(v), canon_sym,
+                            canon) ||
+          LevenshteinWithin(frozen_->category_symbol(v), canon_sym, canon)) {
+        scanned->push_back(v);
+      }
+    }
+    std::vector<graph::VertexId> out(*scanned);
+    scan_memo_.Put(canon, std::move(scanned));
+    return out;
+  }
   std::vector<graph::VertexId> out;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     const graph::Vertex& vx = g.vertex(v);
@@ -118,6 +155,18 @@ Result<std::vector<graph::VertexId>> VertexMatcher::MatchByLabel(
   return out;
 }
 
+bool VertexMatcher::LevenshteinWithin(graph::SymbolId sym,
+                                      graph::SymbolId canon_sym,
+                                      const std::string& canon) const {
+  const uint64_t key = (static_cast<uint64_t>(canon_sym) << 32) | sym;
+  if (auto hit = lev_pair_memo_.Get(key)) return *hit;
+  const bool within =
+      text::NormalizedLevenshtein(frozen_->symbols().NameOf(sym), canon) <=
+      options_.levenshtein_threshold;
+  lev_pair_memo_.Put(key, within);
+  return within;
+}
+
 Status VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
                                      const ExecContext& ctx) const {
   SimClock* clock = ctx.clock;
@@ -127,26 +176,69 @@ Status VertexMatcher::ExpandTaxonomy(std::vector<graph::VertexId>* candidates,
   // -> (instance-of in-edges) -> scene objects / entities. The walk
   // follows the per-vertex taxonomy bucket; with the index disabled the
   // clock is charged for the full in-edge scan the bucket replaces.
-  std::unordered_set<graph::VertexId> seen(candidates->begin(),
-                                           candidates->end());
-  std::deque<graph::VertexId> frontier(candidates->begin(),
-                                       candidates->end());
   double traversed = 0;
   double probes = 0;
-  while (!frontier.empty()) {
-    const graph::VertexId v = frontier.front();
-    frontier.pop_front();
-    const auto& children = taxonomy_children_[static_cast<std::size_t>(v)];
-    if (options_.use_label_index) {
-      ++probes;
-      traversed += static_cast<double>(children.size());
+  if (frozen_ != nullptr) {
+    // Id-space walk: a byte mask over the vertex table replaces the
+    // hash set and the frontier is a flat vector with a read head, both
+    // from the per-query arena when one is installed. Visit order and
+    // charges match the hash-set walk exactly (the mask answers the
+    // same membership queries).
+    const std::size_t n =
+        static_cast<std::size_t>(frozen_->num_vertices());
+    const auto walk = [&](uint8_t* seen, auto& frontier) {
+      for (const graph::VertexId c : *candidates) seen[c] = 1;
+      frontier.assign(candidates->begin(), candidates->end());
+      for (std::size_t head = 0; head < frontier.size(); ++head) {
+        const graph::VertexId v = frontier[head];
+        const auto& children =
+            taxonomy_children_[static_cast<std::size_t>(v)];
+        if (options_.use_label_index) {
+          ++probes;
+          traversed += static_cast<double>(children.size());
+        } else {
+          traversed += static_cast<double>(frozen_->InDegree(v));
+        }
+        for (const graph::VertexId child : children) {
+          if (seen[child] == 0) {
+            seen[child] = 1;
+            candidates->push_back(child);
+            frontier.push_back(child);
+          }
+        }
+      }
+    };
+    if (ctx.arena != nullptr) {
+      auto* seen = static_cast<uint8_t*>(ctx.arena->Allocate(n, 1));
+      std::memset(seen, 0, n);
+      util::ArenaVector<graph::VertexId> frontier{
+          util::ArenaAllocator<graph::VertexId>(ctx.arena)};
+      walk(seen, frontier);
     } else {
-      traversed += static_cast<double>(g.InEdges(v).size());
+      std::vector<uint8_t> seen(n, 0);
+      std::vector<graph::VertexId> frontier;
+      walk(seen.data(), frontier);
     }
-    for (const graph::VertexId child : children) {
-      if (seen.insert(child).second) {
-        candidates->push_back(child);
-        frontier.push_back(child);
+  } else {
+    std::unordered_set<graph::VertexId> seen(candidates->begin(),
+                                             candidates->end());
+    std::deque<graph::VertexId> frontier(candidates->begin(),
+                                         candidates->end());
+    while (!frontier.empty()) {
+      const graph::VertexId v = frontier.front();
+      frontier.pop_front();
+      const auto& children = taxonomy_children_[static_cast<std::size_t>(v)];
+      if (options_.use_label_index) {
+        ++probes;
+        traversed += static_cast<double>(children.size());
+      } else {
+        traversed += static_cast<double>(g.InEdges(v).size());
+      }
+      for (const graph::VertexId child : children) {
+        if (seen.insert(child).second) {
+          candidates->push_back(child);
+          frontier.push_back(child);
+        }
       }
     }
   }
@@ -204,18 +296,35 @@ Result<std::vector<graph::VertexId>> VertexMatcher::MatchPossessive(
   // X --girlfriend-of--> owner: collect in-edge sources on the owner.
   std::vector<graph::VertexId> out;
   double traversed = 0;
-  for (graph::VertexId o : owners) {
-    for (const auto& he : g.InEdges(o)) {
-      ++traversed;
-      if (g.EdgeLabelName(he.label) == edge_label) {
-        out.push_back(he.neighbor);
+  if (frozen_ != nullptr) {
+    // Labels and ids are bijective, so comparing the 32-bit id is the
+    // same predicate as comparing the label text.
+    const auto want = static_cast<graph::LabelId>(best);
+    for (graph::VertexId o : owners) {
+      for (const auto& he : frozen_->InEdges(o)) {
+        ++traversed;
+        if (he.label == want) out.push_back(he.neighbor);
+      }
+      // Also follow out-edges for symmetric relations.
+      for (const auto& he : frozen_->OutEdges(o)) {
+        ++traversed;
+        if (he.label == want) out.push_back(he.neighbor);
       }
     }
-    // Also follow out-edges for symmetric relations.
-    for (const auto& he : g.OutEdges(o)) {
-      ++traversed;
-      if (g.EdgeLabelName(he.label) == edge_label) {
-        out.push_back(he.neighbor);
+  } else {
+    for (graph::VertexId o : owners) {
+      for (const auto& he : g.InEdges(o)) {
+        ++traversed;
+        if (g.EdgeLabelName(he.label) == edge_label) {
+          out.push_back(he.neighbor);
+        }
+      }
+      // Also follow out-edges for symmetric relations.
+      for (const auto& he : g.OutEdges(o)) {
+        ++traversed;
+        if (g.EdgeLabelName(he.label) == edge_label) {
+          out.push_back(he.neighbor);
+        }
       }
     }
   }
@@ -256,13 +365,32 @@ Result<std::vector<graph::VertexId>> VertexMatcher::Match(
     const std::string want = lexicon.Canonical(element.attribute);
     std::vector<graph::VertexId> filtered;
     double traversed = 0;
-    for (graph::VertexId v : out) {
-      for (const auto& he : g.OutEdges(v)) {
-        ++traversed;
-        if (g.EdgeLabelName(he.label) == "has-attribute" &&
-            lexicon.Canonical(g.vertex(he.neighbor).category) == want) {
-          filtered.push_back(v);
-          break;
+    if (frozen_ != nullptr) {
+      // Canonical categories were interned at construction, so a wanted
+      // token absent from the table matches no vertex — exactly the
+      // string comparison's outcome.
+      const std::optional<graph::SymbolId> want_sym =
+          frozen_->symbols().Lookup(want);
+      for (graph::VertexId v : out) {
+        for (const auto& he : frozen_->OutEdges(v)) {
+          ++traversed;
+          if (he.label == has_attribute_label_ && want_sym.has_value() &&
+              canon_category_sym_[static_cast<std::size_t>(he.neighbor)] ==
+                  *want_sym) {
+            filtered.push_back(v);
+            break;
+          }
+        }
+      }
+    } else {
+      for (graph::VertexId v : out) {
+        for (const auto& he : g.OutEdges(v)) {
+          ++traversed;
+          if (g.EdgeLabelName(he.label) == "has-attribute" &&
+              lexicon.Canonical(g.vertex(he.neighbor).category) == want) {
+            filtered.push_back(v);
+            break;
+          }
         }
       }
     }

@@ -1,0 +1,165 @@
+#include "graph/frozen_graph.h"
+
+#include <numeric>
+#include <utility>
+
+namespace svqa::graph {
+
+namespace {
+
+/// Stable label-order projection of one adjacency segment. Sorting by
+/// (label, neighbor) makes every label run contiguous and
+/// binary-searchable; stability keeps parallel edges with equal
+/// (label, neighbor) in insertion order (they cannot exist today —
+/// exact duplicates are rejected — but the projection should not care).
+void SortSegment(std::vector<HalfEdge>* edges, std::size_t begin,
+                 std::size_t end) {
+  std::stable_sort(edges->begin() + static_cast<std::ptrdiff_t>(begin),
+                   edges->begin() + static_cast<std::ptrdiff_t>(end),
+                   [](const HalfEdge& a, const HalfEdge& b) {
+                     if (a.label != b.label) return a.label < b.label;
+                     return a.neighbor < b.neighbor;
+                   });
+}
+
+}  // namespace
+
+FrozenGraph::IdRangeIndex FrozenGraph::BuildIndex(
+    std::span<const SymbolId> vertex_syms) {
+  IdRangeIndex index;
+  // Distinct keys, sorted.
+  index.keys.assign(vertex_syms.begin(), vertex_syms.end());
+  std::sort(index.keys.begin(), index.keys.end());
+  index.keys.erase(std::unique(index.keys.begin(), index.keys.end()),
+                   index.keys.end());
+  // Bucket counts -> offsets -> fill (counting sort keeps postings in
+  // ascending vertex order, matching the mutable index's append order).
+  index.offsets.assign(index.keys.size() + 1, 0);
+  auto slot = [&index](SymbolId sym) {
+    return static_cast<std::size_t>(
+        std::lower_bound(index.keys.begin(), index.keys.end(), sym) -
+        index.keys.begin());
+  };
+  for (const SymbolId sym : vertex_syms) ++index.offsets[slot(sym) + 1];
+  std::partial_sum(index.offsets.begin(), index.offsets.end(),
+                   index.offsets.begin());
+  index.postings.resize(vertex_syms.size());
+  std::vector<uint32_t> cursor(index.offsets.begin(),
+                               index.offsets.end() - 1);
+  for (VertexId v = 0; v < vertex_syms.size(); ++v) {
+    index.postings[cursor[slot(vertex_syms[v])]++] = v;
+  }
+  return index;
+}
+
+std::shared_ptr<const FrozenGraph> FrozenGraph::Compile(
+    const Graph& g, std::shared_ptr<SymbolTable> symbols) {
+  auto frozen = std::shared_ptr<FrozenGraph>(new FrozenGraph());
+  frozen->symbols_ =
+      symbols != nullptr ? std::move(symbols) : std::make_shared<SymbolTable>();
+  SymbolTable& table = *frozen->symbols_;
+
+  const std::size_t n = g.num_vertices();
+  frozen->label_sym_.reserve(n);
+  frozen->category_sym_.reserve(n);
+  frozen->stripped_sym_.reserve(n);
+  frozen->anonymous_.reserve(n);
+  frozen->source_image_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const Vertex& vx = g.vertex(v);
+    frozen->label_sym_.push_back(table.Intern(vx.label));
+    frozen->category_sym_.push_back(table.Intern(vx.category));
+    std::string_view stripped = vx.label;
+    const auto pos = stripped.find('#');
+    const bool anon = pos != std::string_view::npos;
+    if (anon) stripped = stripped.substr(0, pos);
+    frozen->stripped_sym_.push_back(table.Intern(stripped));
+    frozen->anonymous_.push_back(anon ? 1 : 0);
+    frozen->source_image_.push_back(vx.source_image);
+  }
+
+  // Edge-label table: index == the Graph's LabelId numbering.
+  const auto& labels = g.EdgeLabels();
+  frozen->edge_labels_ = labels;
+  frozen->edge_label_sym_.reserve(labels.size());
+  frozen->edge_label_by_sym_.reserve(labels.size());
+  for (LabelId id = 0; id < labels.size(); ++id) {
+    const SymbolId sym = table.Intern(labels[id]);
+    frozen->edge_label_sym_.push_back(sym);
+    frozen->edge_label_by_sym_.emplace_back(sym, id);
+  }
+  std::sort(frozen->edge_label_by_sym_.begin(),
+            frozen->edge_label_by_sym_.end());
+
+  // CSR adjacency, scan order first.
+  frozen->out_offsets_.assign(n + 1, 0);
+  frozen->in_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    frozen->out_offsets_[v + 1] =
+        frozen->out_offsets_[v] + static_cast<uint32_t>(g.OutDegree(v));
+    frozen->in_offsets_[v + 1] =
+        frozen->in_offsets_[v] + static_cast<uint32_t>(g.InDegree(v));
+  }
+  frozen->out_edges_.reserve(g.num_edges());
+  frozen->in_edges_.reserve(g.num_edges());
+  for (VertexId v = 0; v < n; ++v) {
+    const auto out = g.OutEdges(v);
+    frozen->out_edges_.insert(frozen->out_edges_.end(), out.begin(),
+                              out.end());
+    const auto in = g.InEdges(v);
+    frozen->in_edges_.insert(frozen->in_edges_.end(), in.begin(), in.end());
+  }
+
+  // Label-order projection.
+  frozen->out_sorted_ = frozen->out_edges_;
+  frozen->in_sorted_ = frozen->in_edges_;
+  for (VertexId v = 0; v < n; ++v) {
+    SortSegment(&frozen->out_sorted_, frozen->out_offsets_[v],
+                frozen->out_offsets_[v + 1]);
+    SortSegment(&frozen->in_sorted_, frozen->in_offsets_[v],
+                frozen->in_offsets_[v + 1]);
+  }
+
+  frozen->label_index_ = BuildIndex(frozen->label_sym_);
+  frozen->category_index_ = BuildIndex(frozen->category_sym_);
+  return frozen;
+}
+
+std::optional<LabelId> FrozenGraph::EdgeLabelIdOf(
+    std::string_view name) const {
+  const auto sym = symbols_->Lookup(name);
+  if (!sym.has_value()) return std::nullopt;
+  const auto it = std::lower_bound(
+      edge_label_by_sym_.begin(), edge_label_by_sym_.end(),
+      std::make_pair(*sym, LabelId{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == edge_label_by_sym_.end() || it->first != *sym) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::size_t FrozenGraph::ApproxBytes() const {
+  auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::
+                                     value_type);
+  };
+  std::size_t total = bytes(label_sym_) + bytes(category_sym_) +
+                      bytes(stripped_sym_) + bytes(anonymous_) +
+                      bytes(source_image_) + bytes(out_offsets_) +
+                      bytes(in_offsets_) + bytes(out_edges_) +
+                      bytes(in_edges_) + bytes(out_sorted_) +
+                      bytes(in_sorted_) + bytes(edge_label_sym_) +
+                      bytes(edge_label_by_sym_);
+  total += bytes(label_index_.keys) + bytes(label_index_.offsets) +
+           bytes(label_index_.postings) + bytes(category_index_.keys) +
+           bytes(category_index_.offsets) + bytes(category_index_.postings);
+  return total;
+}
+
+std::shared_ptr<const FrozenGraph> Graph::Freeze(
+    std::shared_ptr<SymbolTable> symbols) const {
+  return FrozenGraph::Compile(*this, std::move(symbols));
+}
+
+}  // namespace svqa::graph

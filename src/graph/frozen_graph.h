@@ -1,0 +1,218 @@
+#ifndef SVQA_GRAPH_FROZEN_GRAPH_H_
+#define SVQA_GRAPH_FROZEN_GRAPH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/interning.h"
+
+namespace svqa::graph {
+
+/// \brief Immutable CSR snapshot of a `Graph`, compiled once per publish
+/// and shared read-only by every executor worker.
+///
+/// Layout (struct-of-arrays, all contiguous):
+///  - vertex table: interned label / category / stripped-label symbols,
+///    an anonymous flag (`label` contains '#'), and the source image;
+///  - adjacency: one offsets array + one flat HalfEdge array per
+///    direction, in two projections — *scan order* (the exact insertion
+///    order of the mutable graph, byte-compatible with
+///    `Graph::OutEdges`/`InEdges` iteration) and *label order* (sorted
+///    by (edge-label id, neighbor), binary-searchable via
+///    `OutEdgesWithLabel`);
+///  - label/category indexes: sorted symbol keys + offset ranges over a
+///    postings array instead of hash maps;
+///  - strings: a single slab pool inside the shared `SymbolTable`
+///    (snapshots of the same store share one table, so ids compare
+///    across the graph, the query side, and the vocabulary).
+///
+/// Invariants the executor's byte-identity contract relies on:
+///  - vertex ids, edge-label ids, and scan-order adjacency are exactly
+///    those of the source `Graph`;
+///  - index postings are ascending (the mutable graph appends vertex
+///    ids in increasing order);
+///  - both projections hold the same multiset of half-edges.
+///
+/// Thread-safety: immutable after `Compile`; the embedded symbol table
+/// accepts concurrent `Intern` calls from workers resolving query-side
+/// tokens.
+class FrozenGraph {
+ public:
+  /// Compiles a snapshot of `g`. Pass a shared `symbols` table to make
+  /// ids comparable across snapshots (the snapshot store does); a fresh
+  /// table is created when omitted.
+  static std::shared_ptr<const FrozenGraph> Compile(
+      const Graph& g, std::shared_ptr<SymbolTable> symbols = nullptr);
+
+  std::size_t num_vertices() const { return source_image_.size(); }
+  std::size_t num_edges() const { return out_edges_.size(); }
+
+  // --- vertex table (SoA) ---
+
+  SymbolId label_symbol(VertexId v) const { return label_sym_[v]; }
+  SymbolId category_symbol(VertexId v) const { return category_sym_[v]; }
+  /// Label with any '#'-suffix stripped ("dog#3" -> "dog").
+  SymbolId stripped_label_symbol(VertexId v) const {
+    return stripped_sym_[v];
+  }
+  /// True when the display label carries a '#' detection suffix.
+  bool label_is_anonymous(VertexId v) const { return anonymous_[v] != 0; }
+  int32_t source_image(VertexId v) const { return source_image_[v]; }
+
+  std::string_view label(VertexId v) const {
+    return symbols_->NameOf(label_sym_[v]);
+  }
+  std::string_view category(VertexId v) const {
+    return symbols_->NameOf(category_sym_[v]);
+  }
+  std::string_view stripped_label(VertexId v) const {
+    return symbols_->NameOf(stripped_sym_[v]);
+  }
+
+  // --- adjacency, scan order (identical to Graph::OutEdges/InEdges) ---
+
+  std::span<const HalfEdge> OutEdges(VertexId v) const {
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const HalfEdge> InEdges(VertexId v) const {
+    return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  std::size_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  std::size_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  // --- adjacency, label order (binary-searchable) ---
+
+  std::span<const HalfEdge> OutEdgesByLabel(VertexId v) const {
+    return {out_sorted_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const HalfEdge> InEdgesByLabel(VertexId v) const {
+    return {in_sorted_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+  /// The out-edges of `v` carrying exactly `label` (equal_range over the
+  /// label-ordered projection).
+  std::span<const HalfEdge> OutEdgesWithLabel(VertexId v, LabelId label) const {
+    return EdgesWithLabel(OutEdgesByLabel(v), label);
+  }
+  std::span<const HalfEdge> InEdgesWithLabel(VertexId v, LabelId label) const {
+    return EdgesWithLabel(InEdgesByLabel(v), label);
+  }
+
+  // --- edge labels (ids identical to the source Graph's interning) ---
+
+  std::string_view EdgeLabelName(LabelId id) const {
+    return symbols_->NameOf(edge_label_sym_[id]);
+  }
+  SymbolId edge_label_symbol(LabelId id) const { return edge_label_sym_[id]; }
+  /// Materialized label strings in id order (the `getLabels(E_mg)` set;
+  /// kept as std::string for the embedding maxScore API).
+  const std::vector<std::string>& EdgeLabels() const { return edge_labels_; }
+  /// Label id for a name, when that name labels any edge.
+  std::optional<LabelId> EdgeLabelIdOf(std::string_view name) const;
+
+  // --- label / category indexes as sorted id ranges ---
+
+  /// Vertices whose display label equals `label`, ascending. The span
+  /// points into the snapshot and is valid for its lifetime.
+  std::span<const VertexId> VerticesWithLabel(std::string_view label) const {
+    return label_index_.Find(*symbols_, label);
+  }
+  std::span<const VertexId> VerticesWithCategory(
+      std::string_view category) const {
+    return category_index_.Find(*symbols_, category);
+  }
+  std::span<const VertexId> VerticesWithLabelSym(SymbolId sym) const {
+    return label_index_.FindSym(sym);
+  }
+  std::span<const VertexId> VerticesWithCategorySym(SymbolId sym) const {
+    return category_index_.FindSym(sym);
+  }
+
+  /// The shared symbol table (mutable: workers intern query tokens).
+  SymbolTable& symbols() const { return *symbols_; }
+  std::shared_ptr<SymbolTable> symbols_ptr() const { return symbols_; }
+
+  /// Approximate resident bytes of the compiled arrays (excluding the
+  /// shared string pool); bench/diagnostic use.
+  std::size_t ApproxBytes() const;
+
+ private:
+  FrozenGraph() = default;
+
+  static std::span<const HalfEdge> EdgesWithLabel(
+      std::span<const HalfEdge> sorted, LabelId label) {
+    const auto lo = std::lower_bound(
+        sorted.begin(), sorted.end(), label,
+        [](const HalfEdge& e, LabelId l) { return e.label < l; });
+    if (lo == sorted.end()) return {};
+    auto hi = lo;
+    while (hi != sorted.end() && hi->label == label) ++hi;
+    return {&*lo, static_cast<std::size_t>(hi - lo)};
+  }
+
+  /// Sorted symbol keys with offset ranges over one postings array.
+  struct IdRangeIndex {
+    std::vector<SymbolId> keys;       ///< ascending
+    std::vector<uint32_t> offsets;    ///< size keys.size() + 1
+    std::vector<VertexId> postings;   ///< ascending within each range
+
+    std::span<const VertexId> FindSym(SymbolId sym) const {
+      const auto it = std::lower_bound(keys.begin(), keys.end(), sym);
+      if (it == keys.end() || *it != sym) return {};
+      const std::size_t i = static_cast<std::size_t>(it - keys.begin());
+      return {postings.data() + offsets[i], offsets[i + 1] - offsets[i]};
+    }
+    std::span<const VertexId> Find(const SymbolTable& symbols,
+                                   std::string_view key) const {
+      const auto sym = symbols.Lookup(key);
+      if (!sym.has_value()) return {};
+      return FindSym(*sym);
+    }
+  };
+
+  static IdRangeIndex BuildIndex(std::span<const SymbolId> vertex_syms);
+
+  std::shared_ptr<SymbolTable> symbols_;
+
+  // Vertex table.
+  std::vector<SymbolId> label_sym_;
+  std::vector<SymbolId> category_sym_;
+  std::vector<SymbolId> stripped_sym_;
+  std::vector<uint8_t> anonymous_;
+  std::vector<int32_t> source_image_;
+
+  // Adjacency (shared offsets; scan-order and label-order projections).
+  std::vector<uint32_t> out_offsets_;
+  std::vector<uint32_t> in_offsets_;
+  std::vector<HalfEdge> out_edges_;
+  std::vector<HalfEdge> in_edges_;
+  std::vector<HalfEdge> out_sorted_;
+  std::vector<HalfEdge> in_sorted_;
+
+  // Edge-label table (index == the Graph's LabelId).
+  std::vector<SymbolId> edge_label_sym_;
+  std::vector<std::string> edge_labels_;
+  /// (symbol, label id) sorted by symbol, for EdgeLabelIdOf.
+  std::vector<std::pair<SymbolId, LabelId>> edge_label_by_sym_;
+
+  IdRangeIndex label_index_;
+  IdRangeIndex category_index_;
+};
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_FROZEN_GRAPH_H_

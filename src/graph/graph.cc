@@ -61,18 +61,17 @@ bool Graph::HasEdge(VertexId src, VertexId dst,
   return false;
 }
 
-std::span<const VertexId> Graph::VerticesWithLabel(
-    std::string_view label) const {
+std::vector<VertexId> Graph::VerticesWithLabel(std::string_view label) const {
   auto it = label_index_.find(std::string(label));
   if (it == label_index_.end()) return {};
-  return {it->second.data(), it->second.size()};
+  return it->second;
 }
 
-std::span<const VertexId> Graph::VerticesWithCategory(
+std::vector<VertexId> Graph::VerticesWithCategory(
     std::string_view category) const {
   auto it = category_index_.find(std::string(category));
   if (it == category_index_.end()) return {};
-  return {it->second.data(), it->second.size()};
+  return it->second;
 }
 
 std::vector<EdgeRef> Graph::AllEdges() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -14,6 +15,9 @@
 
 namespace svqa::graph {
 
+class FrozenGraph;
+class SymbolTable;
+
 /// Dense vertex identifier (index into the vertex table).
 using VertexId = uint32_t;
 /// Interned label identifier.
@@ -21,6 +25,7 @@ using LabelId = uint32_t;
 
 inline constexpr VertexId kInvalidVertex =
     std::numeric_limits<VertexId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
 inline constexpr int32_t kKnowledgeGraphSource = -1;
 
 /// \brief One vertex of a directed labeled graph G = (V, E, L).
@@ -102,12 +107,28 @@ class Graph {
   /// Algorithm 3 line 2).
   const std::vector<std::string>& EdgeLabels() const { return edge_labels_; }
 
-  /// Vertices whose display label equals `label` (exact match).
-  std::span<const VertexId> VerticesWithLabel(std::string_view label) const;
+  /// Vertices whose display label equals `label` (exact match), in
+  /// insertion (ascending id) order.
+  ///
+  /// Contract: returns a *snapshot*. The mutable graph's index buckets
+  /// live inside an unordered_map that rehashes and whose vectors
+  /// reallocate on `AddVertex`, so a reference-returning variant would
+  /// dangle the moment the caller mutates the graph — exactly the
+  /// read-during-build pattern the aggregator uses. Read paths that need
+  /// zero-copy spans should `Freeze()` and use
+  /// `FrozenGraph::VerticesWithLabel`, whose spans are valid for the
+  /// snapshot's lifetime.
+  std::vector<VertexId> VerticesWithLabel(std::string_view label) const;
 
-  /// Vertices whose category equals `category` (exact match).
-  std::span<const VertexId> VerticesWithCategory(
-      std::string_view category) const;
+  /// Vertices whose category equals `category` (exact match); same
+  /// snapshot contract as `VerticesWithLabel`.
+  std::vector<VertexId> VerticesWithCategory(std::string_view category) const;
+
+  /// Compiles an immutable CSR snapshot of this graph (see
+  /// graph/frozen_graph.h). Pass a shared SymbolTable to make interned
+  /// ids comparable across snapshots; defined in frozen_graph.cc.
+  std::shared_ptr<const FrozenGraph> Freeze(
+      std::shared_ptr<SymbolTable> symbols = nullptr) const;
 
   /// All edges, materialized (src, dst, label) — intended for tests and
   /// serialization, not hot paths.

@@ -1,0 +1,54 @@
+#include "graph/interning.h"
+
+#include <cstring>
+
+namespace svqa::graph {
+
+std::string_view SymbolTable::Append(std::string_view s) {
+  if (slabs_.empty() || slab_used_ + s.size() > slab_cap_) {
+    const std::size_t cap = s.size() > kSlabBytes ? s.size() : kSlabBytes;
+    slabs_.push_back(std::make_unique<char[]>(cap));
+    slab_used_ = 0;
+    slab_cap_ = cap;
+    pool_bytes_ += cap;
+  }
+  char* dst = slabs_.back().get() + slab_used_;
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  slab_used_ += s.size();
+  return {dst, s.size()};
+}
+
+SymbolId SymbolTable::Intern(std::string_view s) {
+  MutexLock lock(&mu_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  const std::string_view stored = Append(s);
+  names_.push_back(stored);
+  ids_.emplace(stored, id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Lookup(std::string_view s) const {
+  MutexLock lock(&mu_);
+  auto it = ids_.find(s);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view SymbolTable::NameOf(SymbolId id) const {
+  MutexLock lock(&mu_);
+  return names_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  MutexLock lock(&mu_);
+  return names_.size();
+}
+
+std::size_t SymbolTable::pool_bytes() const {
+  MutexLock lock(&mu_);
+  return pool_bytes_;
+}
+
+}  // namespace svqa::graph

@@ -1,0 +1,85 @@
+#ifndef SVQA_GRAPH_INTERNING_H_
+#define SVQA_GRAPH_INTERNING_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace svqa::graph {
+
+/// Interned string identifier. Ids are dense (0, 1, 2, ...) in
+/// first-intern order within one SymbolTable.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol =
+    std::numeric_limits<SymbolId>::max();
+
+/// \brief Append-only string interner backed by a slab-allocated pool.
+///
+/// One table is shared by everything that names things at execution
+/// time — the frozen merged graph's vertex labels/categories, the query
+/// side's canonical tokens, and the edge-label vocabulary — so equality
+/// of two interned strings is equality of two `SymbolId`s, no character
+/// comparison, anywhere downstream.
+///
+/// Storage: characters live in large heap slabs that are never moved or
+/// freed, so the `string_view` returned by `NameOf` stays valid for the
+/// table's whole lifetime (snapshots share the table via `shared_ptr`,
+/// giving symbol names snapshot-store lifetime).
+///
+/// Thread-safety: all operations lock the internal mutex. `Intern` is
+/// called concurrently by executor workers resolving fresh query tokens;
+/// ids are assigned in first-intern order, so id *values* for
+/// query-side tokens can differ across thread interleavings — nothing
+/// observable depends on them (they are only ever compared for equality
+/// or mapped back through `NameOf`). Graph-compile-time ids are assigned
+/// single-threaded and are deterministic.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `s`, interning it on first sight.
+  SymbolId Intern(std::string_view s) SVQA_EXCLUDES(mu_);
+
+  /// The id for `s` if already interned.
+  std::optional<SymbolId> Lookup(std::string_view s) const SVQA_EXCLUDES(mu_);
+
+  /// The characters of an interned symbol. The view is stable for the
+  /// lifetime of the table.
+  std::string_view NameOf(SymbolId id) const SVQA_EXCLUDES(mu_);
+
+  /// Number of distinct symbols interned.
+  std::size_t size() const SVQA_EXCLUDES(mu_);
+
+  /// Bytes of string-pool slab capacity reserved.
+  std::size_t pool_bytes() const SVQA_EXCLUDES(mu_);
+
+ private:
+  /// Copies `s` into the pool and returns the stable view.
+  std::string_view Append(std::string_view s) SVQA_REQUIRES(mu_);
+
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  mutable Mutex mu_;
+  /// Slabs are append-only and never relocated: views into them are
+  /// stable without holding the lock.
+  std::vector<std::unique_ptr<char[]>> slabs_ SVQA_GUARDED_BY(mu_);
+  std::size_t slab_used_ SVQA_GUARDED_BY(mu_) = 0;
+  std::size_t slab_cap_ SVQA_GUARDED_BY(mu_) = 0;
+  std::size_t pool_bytes_ SVQA_GUARDED_BY(mu_) = 0;
+  std::vector<std::string_view> names_ SVQA_GUARDED_BY(mu_);
+  std::unordered_map<std::string_view, SymbolId> ids_ SVQA_GUARDED_BY(mu_);
+};
+
+}  // namespace svqa::graph
+
+#endif  // SVQA_GRAPH_INTERNING_H_

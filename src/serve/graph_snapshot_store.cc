@@ -16,16 +16,24 @@ std::unique_ptr<exec::KeyCentricCache> MakeCache(
 
 GraphSnapshot::GraphSnapshot(uint64_t id, aggregator::MergedGraph merged,
                              const text::EmbeddingModel* embeddings,
-                             const SnapshotStoreOptions& options)
+                             const SnapshotStoreOptions& options,
+                             std::shared_ptr<graph::SymbolTable> symbols)
     : id_(id),
       merged_(std::move(merged)),
+      frozen_(options.executor.use_frozen_graph
+                  ? merged_.graph.Freeze(std::move(symbols))
+                  : nullptr),
       cache_(MakeCache(options)),
       executor_(std::make_unique<exec::QueryGraphExecutor>(
-          &merged_, embeddings, cache_.get(), options.executor)) {}
+          &merged_, embeddings, cache_.get(), options.executor, frozen_)) {}
 
 GraphSnapshotStore::GraphSnapshotStore(const text::EmbeddingModel* embeddings,
                                        SnapshotStoreOptions options)
-    : embeddings_(embeddings), options_(options) {}
+    : embeddings_(embeddings),
+      options_(options),
+      symbols_(options.executor.use_frozen_graph
+                   ? std::make_shared<graph::SymbolTable>()
+                   : nullptr) {}
 
 SnapshotPtr GraphSnapshotStore::Current() const {
   MutexLock lock(&mu_);
@@ -42,7 +50,7 @@ uint64_t GraphSnapshotStore::Publish(aggregator::MergedGraph merged) {
   // while the next one (graph + cache + executor) comes up.
   auto snapshot =
       std::make_shared<const GraphSnapshot>(id, std::move(merged),
-                                            embeddings_, options_);
+                                            embeddings_, options_, symbols_);
   {
     MutexLock lock(&mu_);
     // Concurrent publishers may finish building out of order; never let

@@ -7,6 +7,8 @@
 #include "aggregator/merger.h"
 #include "exec/executor.h"
 #include "exec/key_centric_cache.h"
+#include "graph/frozen_graph.h"
+#include "graph/interning.h"
 #include "text/embedding.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -34,9 +36,14 @@ struct SnapshotStoreOptions {
 /// completely isolated from later publishes.
 class GraphSnapshot {
  public:
+  /// \param symbols global symbol table shared across snapshots (and
+  /// with the query side), so one string pool backs every version of
+  /// the graph; nullptr lets the snapshot own a private table. Ignored
+  /// when `options.executor.use_frozen_graph` is off.
   GraphSnapshot(uint64_t id, aggregator::MergedGraph merged,
                 const text::EmbeddingModel* embeddings,
-                const SnapshotStoreOptions& options);
+                const SnapshotStoreOptions& options,
+                std::shared_ptr<graph::SymbolTable> symbols = nullptr);
 
   // The executor points into `merged_`/`cache_`, so the snapshot must
   // never relocate.
@@ -49,10 +56,15 @@ class GraphSnapshot {
   const exec::QueryGraphExecutor& executor() const { return *executor_; }
   /// Snapshot-scoped cache; nullptr when caching is disabled.
   exec::KeyCentricCache* cache() const { return cache_.get(); }
+  /// The compiled CSR snapshot the executor reads (nullptr when frozen
+  /// execution is disabled); pinned for this snapshot's lifetime.
+  const graph::FrozenGraph* frozen() const { return frozen_.get(); }
 
  private:
   const uint64_t id_;
   const aggregator::MergedGraph merged_;
+  /// Compiled once per publish, before the executor wires up to it.
+  const std::shared_ptr<const graph::FrozenGraph> frozen_;
   const std::unique_ptr<exec::KeyCentricCache> cache_;
   const std::unique_ptr<exec::QueryGraphExecutor> executor_;
 };
@@ -92,10 +104,18 @@ class GraphSnapshotStore {
   uint64_t publish_count() const SVQA_EXCLUDES(mu_);
 
   const SnapshotStoreOptions& options() const { return options_; }
+  /// The store-wide symbol table every published snapshot interns into.
+  /// Append-only and internally locked; label/category ids are therefore
+  /// stable across snapshot versions.
+  const std::shared_ptr<graph::SymbolTable>& symbols() const {
+    return symbols_;
+  }
 
  private:
   const text::EmbeddingModel* embeddings_;
   const SnapshotStoreOptions options_;
+  /// One string pool for the lifetime of the store (see symbols()).
+  const std::shared_ptr<graph::SymbolTable> symbols_;
   mutable Mutex mu_;
   SnapshotPtr current_ SVQA_GUARDED_BY(mu_);
   uint64_t next_id_ SVQA_GUARDED_BY(mu_) = 1;

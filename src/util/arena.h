@@ -1,0 +1,138 @@
+#ifndef SVQA_UTIL_ARENA_H_
+#define SVQA_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace svqa::util {
+
+/// \brief Bump allocator for per-query executor intermediates.
+///
+/// Allocation is a pointer bump inside the current slab; there is no
+/// per-object free. `Reset` rewinds every slab for reuse, so a query (or
+/// a retry attempt) starts from zero without returning memory to the
+/// heap — the steady-state allocation count of a query running on a warm
+/// arena is zero.
+///
+/// Lifetime contract: objects allocated from the arena are invalidated
+/// by `Reset` and by the arena's destruction. The executor resets the
+/// arena between queries (and between resilient retry attempts), so
+/// nothing allocated from it may be stored into cross-query state (the
+/// key-centric cache, memo tables, answers). Trivially-destructible
+/// element types only — `Reset` runs no destructors.
+///
+/// Not thread-safe: an arena belongs to one query execution on one
+/// worker. Batch workers each use their own arena.
+class Arena {
+ public:
+  explicit Arena(std::size_t min_slab_bytes = 4096)
+      : min_slab_bytes_(min_slab_bytes == 0 ? 4096 : min_slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (slab_ < slabs_.size()) {
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(slabs_[slab_].data.get());
+      const std::size_t aligned = (base + used_ + align - 1) & ~(align - 1);
+      const std::size_t offset = aligned - base;
+      if (offset + bytes <= slabs_[slab_].cap) {
+        used_ = offset + bytes;
+        bytes_served_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Current slab exhausted: move to the next (pre-existing after a
+      // Reset) or fall through to grow.
+      if (slab_ + 1 >= slabs_.size()) break;
+      ++slab_;
+      used_ = 0;
+    }
+    NewSlab(bytes + align);
+    return Allocate(bytes, align);
+  }
+
+  /// Rewinds all slabs. Previously returned pointers become invalid;
+  /// reserved capacity is kept for the next query.
+  void Reset() {
+    slab_ = 0;
+    used_ = 0;
+    bytes_served_ = 0;
+  }
+
+  /// Bytes handed out since construction / the last Reset.
+  std::size_t bytes_served() const { return bytes_served_; }
+  /// Total slab capacity currently reserved from the heap.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Slab& s : slabs_) total += s.cap;
+    return total;
+  }
+  std::size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<char[]> data;
+    std::size_t cap = 0;
+  };
+
+  void NewSlab(std::size_t at_least) {
+    std::size_t cap = min_slab_bytes_;
+    if (!slabs_.empty()) cap = slabs_.back().cap * 2;  // geometric growth
+    if (cap < at_least) cap = at_least;
+    slabs_.push_back(Slab{std::make_unique<char[]>(cap), cap});
+    slab_ = slabs_.size() - 1;
+    used_ = 0;
+  }
+
+  const std::size_t min_slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t slab_ = 0;  ///< Index of the slab being bumped.
+  std::size_t used_ = 0;  ///< Bytes consumed in the current slab.
+  std::size_t bytes_served_ = 0;
+};
+
+/// \brief std-compatible allocator adapter over an Arena. `deallocate`
+/// is a no-op — storage is reclaimed wholesale by `Arena::Reset`.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other)  // NOLINT(runtime/explicit)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Convenience alias for the executor's scratch vectors.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace svqa::util
+
+#endif  // SVQA_UTIL_ARENA_H_

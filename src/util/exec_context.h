@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/arena.h"
 #include "util/cancellation.h"
 #include "util/fault_injector.h"
 #include "util/sim_clock.h"
@@ -33,6 +34,12 @@ struct ExecContext {
   /// Retry attempt this execution runs under; salts fault draws so
   /// transient faults can clear on retry.
   uint32_t attempt = 0;
+  /// Per-query scratch arena for executor/matcher intermediates (binding
+  /// sets, traversal frontiers). Owned by the driving call, reset
+  /// between queries and retry attempts; nullptr falls back to heap
+  /// vectors. Nothing allocated from it may outlive the query (see
+  /// util/arena.h).
+  util::Arena* arena = nullptr;
 
   static ExecContext WithClock(SimClock* clock) {
     ExecContext ctx;

@@ -1,0 +1,96 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace svqa::util {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(/*min_slab_bytes=*/64);
+  char* a = static_cast<char*>(arena.Allocate(10, 1));
+  char* b = static_cast<char*>(arena.Allocate(10, 1));
+  EXPECT_NE(a, b);
+  std::memset(a, 0xaa, 10);
+  std::memset(b, 0xbb, 10);
+  EXPECT_EQ(static_cast<unsigned char>(a[9]), 0xaa);
+
+  void* p8 = arena.Allocate(1, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % 8, 0u);
+  void* p64 = arena.Allocate(3, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p64) % 64, 0u);
+}
+
+TEST(ArenaTest, GrowsBeyondFirstSlab) {
+  Arena arena(/*min_slab_bytes=*/32);
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(16, 8);
+    ASSERT_NE(p, nullptr);
+  }
+  EXPECT_GT(arena.num_slabs(), 1u);
+  EXPECT_GE(arena.bytes_served(), 1600u);
+}
+
+TEST(ArenaTest, OversizeAllocationGetsDedicatedSlab) {
+  Arena arena(/*min_slab_bytes=*/32);
+  void* big = arena.Allocate(10'000, 8);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5a, 10'000);
+  EXPECT_GE(arena.bytes_reserved(), 10'000u);
+}
+
+TEST(ArenaTest, ResetReusesReservedSlabsWithoutGrowth) {
+  Arena arena(/*min_slab_bytes=*/64);
+  for (int i = 0; i < 50; ++i) arena.Allocate(32, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t slabs = arena.num_slabs();
+  for (int round = 0; round < 10; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_served(), 0u);
+    for (int i = 0; i < 50; ++i) arena.Allocate(32, 8);
+  }
+  // Identical workload after Reset must not reserve new memory.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_slabs(), slabs);
+}
+
+TEST(ArenaTest, ArenaVectorGrowsAndHoldsValues) {
+  Arena arena;
+  ArenaVector<uint32_t> v{ArenaAllocator<uint32_t>(&arena)};
+  for (uint32_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+  EXPECT_GT(arena.bytes_served(), 1000 * sizeof(uint32_t));
+}
+
+TEST(ArenaTest, ArenaVectorMoveKeepsAllocator) {
+  Arena arena;
+  ArenaVector<int> a{ArenaAllocator<int>(&arena)};
+  a.assign({1, 2, 3});
+  ArenaVector<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.get_allocator().arena(), &arena);
+}
+
+TEST(ArenaTest, NestedVectorsShareOneArena) {
+  Arena arena;
+  using Inner = ArenaVector<int>;
+  std::vector<Inner> outer;
+  for (int i = 0; i < 8; ++i) {
+    Inner in{ArenaAllocator<int>(&arena)};
+    in.assign(static_cast<std::size_t>(i) + 1, i);
+    outer.push_back(std::move(in));
+  }
+  int total = 0;
+  for (const auto& in : outer) {
+    total += std::accumulate(in.begin(), in.end(), 0);
+  }
+  EXPECT_EQ(total, 0 + 1 * 2 + 2 * 3 + 3 * 4 + 4 * 5 + 5 * 6 + 6 * 7 + 7 * 8);
+}
+
+}  // namespace
+}  // namespace svqa::util

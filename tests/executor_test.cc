@@ -218,7 +218,9 @@ TEST(RelationPairsTest, FindsForwardAndBackwardEdges) {
   const auto c = g.AddVertex("c", "t");
   ASSERT_TRUE(g.AddEdge(a, b, "r").ok());
   ASSERT_TRUE(g.AddEdge(c, a, "s").ok());
-  const auto pairs = FindRelationPairs(g, {a}, {b, c});
+  const std::vector<graph::VertexId> subs = {a};
+  const std::vector<graph::VertexId> objs = {b, c};
+  const auto pairs = FindRelationPairs(g, subs, objs);
   ASSERT_EQ(pairs.size(), 2u);
   EXPECT_EQ(pairs[0].predicate, "r");
   EXPECT_TRUE(pairs[0].forward);
@@ -229,8 +231,10 @@ TEST(RelationPairsTest, FindsForwardAndBackwardEdges) {
 TEST(RelationPairsTest, EmptyInputsYieldNothing) {
   graph::Graph g;
   g.AddVertex("a", "t");
-  EXPECT_TRUE(FindRelationPairs(g, {}, {0}).empty());
-  EXPECT_TRUE(FindRelationPairs(g, {0}, {}).empty());
+  const std::vector<graph::VertexId> none;
+  const std::vector<graph::VertexId> zero = {0};
+  EXPECT_TRUE(FindRelationPairs(g, none, zero).empty());
+  EXPECT_TRUE(FindRelationPairs(g, zero, none).empty());
 }
 
 TEST(RelationPairsTest, ChargesTraversalCosts) {
@@ -239,7 +243,9 @@ TEST(RelationPairsTest, ChargesTraversalCosts) {
   const auto b = g.AddVertex("b", "t");
   ASSERT_TRUE(g.AddEdge(a, b, "r").ok());
   SimClock clock;
-  FindRelationPairs(g, {a}, {b}, &clock);
+  const std::vector<graph::VertexId> subs = {a};
+  const std::vector<graph::VertexId> objs = {b};
+  FindRelationPairs(g, subs, objs, &clock);
   EXPECT_GT(clock.OpCount(CostKind::kEdgeTraverse), 0);
 }
 

@@ -1,0 +1,230 @@
+// Frozen-vs-mutable execution equivalence (TEST_P over world seeds):
+// the FrozenGraph path must be a pure physical optimization. For
+// randomized worlds and workloads that exercise hyponym expansion,
+// possessive resolution, and near-miss (Levenshtein) vocabulary, the
+// frozen executor must produce byte-identical answers, identical
+// charged virtual costs per query, and identical cache hit/miss/
+// eviction counters — serially, across batch worker counts, and under
+// deterministic fault injection with retries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/mvqa_generator.h"
+#include "exec/batch_executor.h"
+#include "exec/executor.h"
+#include "text/lexicon.h"
+#include "util/fault_injector.h"
+
+namespace svqa::exec {
+namespace {
+
+const CostKind kChargedKinds[] = {
+    CostKind::kVertexCompare, CostKind::kEdgeTraverse,
+    CostKind::kLevenshtein,   CostKind::kEmbeddingSim,
+    CostKind::kCacheProbe,
+};
+
+void ExpectSameAnswer(const Answer& a, const Answer& b, int query) {
+  EXPECT_EQ(a.type, b.type) << "query " << query;
+  EXPECT_EQ(a.text, b.text) << "query " << query;
+  EXPECT_EQ(a.yes, b.yes) << "query " << query;
+  EXPECT_EQ(a.count, b.count) << "query " << query;
+  EXPECT_EQ(a.entities, b.entities) << "query " << query;
+  ASSERT_EQ(a.provenance.size(), b.provenance.size()) << "query " << query;
+  for (std::size_t i = 0; i < a.provenance.size(); ++i) {
+    EXPECT_EQ(a.provenance[i].image, b.provenance[i].image)
+        << "query " << query;
+    EXPECT_EQ(a.provenance[i].subject, b.provenance[i].subject)
+        << "query " << query;
+    EXPECT_EQ(a.provenance[i].predicate, b.provenance[i].predicate)
+        << "query " << query;
+    EXPECT_EQ(a.provenance[i].object, b.provenance[i].object)
+        << "query " << query;
+  }
+}
+
+void ExpectSameStats(const cache::CacheStats& a, const cache::CacheStats& b,
+                     const char* which) {
+  EXPECT_EQ(a.hits, b.hits) << which;
+  EXPECT_EQ(a.misses, b.misses) << which;
+  EXPECT_EQ(a.evictions, b.evictions) << which;
+  EXPECT_EQ(a.inserts, b.inserts) << which;
+}
+
+nlp::SpocElement El(std::string head, bool variable = false) {
+  nlp::SpocElement e;
+  e.text = head;
+  e.head = std::move(head);
+  e.is_variable = variable;
+  return e;
+}
+
+class FrozenEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 60;
+    opts.world.seed = GetParam();
+    opts.seed = GetParam() * 31 + 7;
+    dataset_ = std::make_unique<data::MvqaDataset>(
+        data::MvqaGenerator(opts).Generate());
+    embeddings_ = std::make_unique<text::EmbeddingModel>(
+        text::SynonymLexicon::Default());
+  }
+
+  /// The workload: every generated gold graph (hyponyms, possessives,
+  /// constraints, all question types) plus hand-typoed near-miss
+  /// judgments that force the Levenshtein fallback scan.
+  std::vector<query::QueryGraph> Workload() const {
+    std::vector<query::QueryGraph> graphs;
+    for (const auto& q : dataset_->questions) {
+      graphs.push_back(q.gold_graph);
+    }
+    const graph::Graph& g = dataset_->perfect_merged.graph;
+    std::vector<std::string> typoed;
+    for (graph::VertexId v = 0; v < g.num_vertices() && typoed.size() < 6;
+         ++v) {
+      std::string cat = g.vertex(v).category;
+      if (cat.size() < 4) continue;
+      char& c = cat[cat.size() / 2];
+      c = c == 'z' ? 'a' : static_cast<char>(c + 1);
+      if (std::find(typoed.begin(), typoed.end(), cat) != typoed.end()) {
+        continue;
+      }
+      typoed.push_back(cat);
+      nlp::Spoc spoc;
+      spoc.subject = El(cat);
+      spoc.predicate = "chases";
+      spoc.object = El("animal", /*variable=*/true);
+      graphs.emplace_back("near-miss " + cat, nlp::QuestionType::kJudgment,
+                          std::vector<nlp::Spoc>{spoc},
+                          std::vector<query::QueryEdge>{});
+    }
+    return graphs;
+  }
+
+  QueryGraphExecutor MakeExecutor(bool frozen, KeyCentricCache* cache) const {
+    ExecutorOptions eopts;
+    eopts.use_frozen_graph = frozen;
+    return QueryGraphExecutor(&dataset_->perfect_merged, embeddings_.get(),
+                              cache, eopts);
+  }
+
+  std::unique_ptr<data::MvqaDataset> dataset_;
+  std::unique_ptr<text::EmbeddingModel> embeddings_;
+};
+
+TEST_P(FrozenEquivalenceTest, SerialAnswersChargesAndCacheCountersMatch) {
+  for (const CachePolicy policy : {CachePolicy::kLfu, CachePolicy::kLru}) {
+    KeyCentricCacheOptions copts;
+    copts.policy = policy;
+    KeyCentricCache frozen_cache(copts);
+    KeyCentricCache mutable_cache(copts);
+    const QueryGraphExecutor frozen = MakeExecutor(true, &frozen_cache);
+    const QueryGraphExecutor mut = MakeExecutor(false, &mutable_cache);
+    ASSERT_NE(frozen.frozen(), nullptr);
+    ASSERT_EQ(mut.frozen(), nullptr);
+
+    const auto graphs = Workload();
+    int query = 0;
+    for (const auto& gq : graphs) {
+      SimClock fc, mc;
+      const auto fa = frozen.Execute(gq, &fc);
+      const auto ma = mut.Execute(gq, &mc);
+      ASSERT_EQ(fa.ok(), ma.ok()) << "query " << query;
+      if (fa.ok()) {
+        ExpectSameAnswer(fa.ValueOrDie(), ma.ValueOrDie(), query);
+      }
+      // The charged cost model must be untouched: identical virtual
+      // time and identical per-kind op counts, query by query.
+      EXPECT_DOUBLE_EQ(fc.ElapsedMicros(), mc.ElapsedMicros())
+          << "query " << query;
+      for (const CostKind kind : kChargedKinds) {
+        EXPECT_DOUBLE_EQ(fc.OpCount(kind), mc.OpCount(kind))
+            << "query " << query << " kind " << static_cast<int>(kind);
+      }
+      ++query;
+    }
+    ExpectSameStats(frozen_cache.ScopeStats(), mutable_cache.ScopeStats(),
+                    "scope");
+    ExpectSameStats(frozen_cache.PathStats(), mutable_cache.PathStats(),
+                    "path");
+    const MemoStats fm = frozen.matcher().similarity_memo_stats();
+    const MemoStats mm = mut.matcher().similarity_memo_stats();
+    EXPECT_EQ(fm.hits, mm.hits);
+    EXPECT_EQ(fm.misses, mm.misses);
+  }
+}
+
+TEST_P(FrozenEquivalenceTest, BatchMatchesMutableAcrossWorkerCounts) {
+  const auto graphs = Workload();
+  KeyCentricCache mutable_cache;
+  const QueryGraphExecutor mut = MakeExecutor(false, &mutable_cache);
+  BatchOptions serial;
+  serial.num_workers = 1;
+  const BatchResult base = BatchExecutor(&mut, serial).ExecuteAll(graphs);
+
+  for (const std::size_t workers : {1u, 4u}) {
+    KeyCentricCache frozen_cache;
+    const QueryGraphExecutor frozen = MakeExecutor(true, &frozen_cache);
+    BatchOptions bopts;
+    bopts.num_workers = workers;
+    const BatchResult result = BatchExecutor(&frozen, bopts).ExecuteAll(graphs);
+    ASSERT_EQ(result.outcomes.size(), base.outcomes.size());
+    for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+      EXPECT_EQ(result.outcomes[i].status.ok(), base.outcomes[i].status.ok());
+      ExpectSameAnswer(result.outcomes[i].answer, base.outcomes[i].answer,
+                       static_cast<int>(i));
+      EXPECT_DOUBLE_EQ(result.outcomes[i].latency_micros,
+                       base.outcomes[i].latency_micros)
+          << "workers=" << workers << " query=" << i;
+    }
+  }
+}
+
+TEST_P(FrozenEquivalenceTest, FaultInjectionAndRetriesMatch) {
+  const FaultInjector injector(GetParam() * 101 + 13,
+                               FaultConfig::Uniform(0.05));
+  ResilienceOptions resilience;
+  resilience.fault_policy = &injector;
+  resilience.retry.max_attempts = 3;
+
+  KeyCentricCache frozen_cache, mutable_cache;
+  const QueryGraphExecutor frozen = MakeExecutor(true, &frozen_cache);
+  const QueryGraphExecutor mut = MakeExecutor(false, &mutable_cache);
+
+  const auto graphs = Workload();
+  int query = 0;
+  for (const auto& gq : graphs) {
+    SimClock fc, mc;
+    Diagnostics fd, md;
+    const auto fa = frozen.ExecuteResilient(
+        gq, &fc, resilience, static_cast<uint64_t>(query), &fd);
+    const auto ma = mut.ExecuteResilient(gq, &mc, resilience,
+                                         static_cast<uint64_t>(query), &md);
+    ASSERT_EQ(fa.ok(), ma.ok()) << "query " << query;
+    if (fa.ok()) {
+      ExpectSameAnswer(fa.ValueOrDie(), ma.ValueOrDie(), query);
+    } else {
+      EXPECT_EQ(fa.status().code(), ma.status().code()) << "query " << query;
+    }
+    EXPECT_EQ(fd.attempts, md.attempts) << "query " << query;
+    EXPECT_DOUBLE_EQ(fd.backoff_micros, md.backoff_micros)
+        << "query " << query;
+    EXPECT_DOUBLE_EQ(fc.ElapsedMicros(), mc.ElapsedMicros())
+        << "query " << query;
+    ++query;
+  }
+  ExpectSameStats(frozen_cache.TotalStats(), mutable_cache.TotalStats(),
+                  "total");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrozenEquivalenceTest,
+                         ::testing::Values(3u, 17u, 404u));
+
+}  // namespace
+}  // namespace svqa::exec

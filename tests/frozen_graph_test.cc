@@ -1,0 +1,235 @@
+#include "graph/frozen_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aggregator/merger.h"
+#include "data/kg_builder.h"
+#include "data/mvqa_generator.h"
+#include "data/world.h"
+#include "graph/graph.h"
+#include "graph/interning.h"
+#include "text/lexicon.h"
+
+namespace svqa::graph {
+namespace {
+
+Graph SmallGraph() {
+  Graph g;
+  const VertexId dog = g.AddVertex("dog#1", "dog", 3);
+  const VertexId cat = g.AddVertex("cat#2", "cat", 3);
+  const VertexId animal = g.AddVertex("animal", "concept");
+  const VertexId red = g.AddVertex("red", "color");
+  (void)g.AddEdge(dog, cat, "chases");
+  (void)g.AddEdge(dog, animal, "is-a");
+  (void)g.AddEdge(cat, animal, "is-a");
+  (void)g.AddEdge(dog, red, "has-attribute");
+  (void)g.AddEdge(cat, dog, "chases");
+  return g;
+}
+
+TEST(SymbolTableTest, InternIsIdempotentAndLookupFinds) {
+  SymbolTable table;
+  const SymbolId a = table.Intern("dog");
+  const SymbolId b = table.Intern("cat");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("dog"), a);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Lookup("dog"), std::optional<SymbolId>(a));
+  EXPECT_FALSE(table.Lookup("fish").has_value());
+  EXPECT_EQ(table.NameOf(a), "dog");
+  EXPECT_EQ(table.NameOf(b), "cat");
+}
+
+TEST(SymbolTableTest, NamesStayStableAcrossManyInterns) {
+  SymbolTable table;
+  const SymbolId first = table.Intern("anchor");
+  const std::string_view view = table.NameOf(first);
+  // Force multiple slab allocations.
+  for (int i = 0; i < 50'000; ++i) {
+    table.Intern("symbol-" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "anchor");  // the old view still points at live chars
+  EXPECT_EQ(table.NameOf(first).data(), view.data());
+  EXPECT_GT(table.pool_bytes(), 64u * 1024u);
+}
+
+TEST(SymbolTableTest, EmptyStringInterns) {
+  SymbolTable table;
+  const SymbolId e = table.Intern("");
+  EXPECT_EQ(table.Intern(""), e);
+  EXPECT_EQ(table.NameOf(e), "");
+}
+
+TEST(FrozenGraphTest, VertexTableMatchesSource) {
+  const Graph g = SmallGraph();
+  const auto frozen = g.Freeze();
+  ASSERT_EQ(frozen->num_vertices(), g.num_vertices());
+  ASSERT_EQ(frozen->num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(frozen->label(v), g.vertex(v).label);
+    EXPECT_EQ(frozen->category(v), g.vertex(v).category);
+    EXPECT_EQ(frozen->source_image(v), g.vertex(v).source_image);
+    const bool anon = g.vertex(v).label.find('#') != std::string::npos;
+    EXPECT_EQ(frozen->label_is_anonymous(v), anon);
+  }
+  EXPECT_EQ(frozen->stripped_label(0), "dog");
+  EXPECT_EQ(frozen->stripped_label(2), "animal");
+}
+
+TEST(FrozenGraphTest, ScanOrderAdjacencyIsByteIdentical) {
+  const Graph g = SmallGraph();
+  const auto frozen = g.Freeze();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto mu_out = g.OutEdges(v);
+    const auto fz_out = frozen->OutEdges(v);
+    ASSERT_EQ(mu_out.size(), fz_out.size());
+    for (std::size_t i = 0; i < mu_out.size(); ++i) {
+      EXPECT_EQ(mu_out[i].neighbor, fz_out[i].neighbor);
+      EXPECT_EQ(mu_out[i].label, fz_out[i].label);
+    }
+    const auto mu_in = g.InEdges(v);
+    const auto fz_in = frozen->InEdges(v);
+    ASSERT_EQ(mu_in.size(), fz_in.size());
+    for (std::size_t i = 0; i < mu_in.size(); ++i) {
+      EXPECT_EQ(mu_in[i].neighbor, fz_in[i].neighbor);
+      EXPECT_EQ(mu_in[i].label, fz_in[i].label);
+    }
+  }
+}
+
+TEST(FrozenGraphTest, EdgeLabelIdsMatchSourceInterning) {
+  const Graph g = SmallGraph();
+  const auto frozen = g.Freeze();
+  ASSERT_EQ(frozen->EdgeLabels(), g.EdgeLabels());
+  for (LabelId id = 0; id < g.EdgeLabels().size(); ++id) {
+    EXPECT_EQ(frozen->EdgeLabelName(id), g.EdgeLabelName(id));
+    EXPECT_EQ(frozen->EdgeLabelIdOf(g.EdgeLabelName(id)),
+              std::optional<LabelId>(id));
+  }
+  EXPECT_FALSE(frozen->EdgeLabelIdOf("no-such-label").has_value());
+  // "dog" is interned (vertex label) but labels no edge.
+  EXPECT_FALSE(frozen->EdgeLabelIdOf("dog").has_value());
+}
+
+TEST(FrozenGraphTest, SortedProjectionIsLabelOrderedSameMultiset) {
+  const Graph g = SmallGraph();
+  const auto frozen = g.Freeze();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto sorted = frozen->OutEdgesByLabel(v);
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      EXPECT_LE(sorted[i - 1].label, sorted[i].label);
+    }
+    auto key = [](const HalfEdge& e) {
+      return std::pair<LabelId, VertexId>(e.label, e.neighbor);
+    };
+    std::multiset<std::pair<LabelId, VertexId>> a, b;
+    for (const auto& e : frozen->OutEdges(v)) a.insert(key(e));
+    for (const auto& e : sorted) b.insert(key(e));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(FrozenGraphTest, EdgesWithLabelBinarySearchMatchesScan) {
+  const Graph g = SmallGraph();
+  const auto frozen = g.Freeze();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (LabelId id = 0; id < g.EdgeLabels().size(); ++id) {
+      std::size_t expected = 0;
+      for (const auto& he : g.OutEdges(v)) {
+        if (he.label == id) ++expected;
+      }
+      EXPECT_EQ(frozen->OutEdgesWithLabel(v, id).size(), expected);
+      for (const auto& he : frozen->OutEdgesWithLabel(v, id)) {
+        EXPECT_EQ(he.label, id);
+      }
+      std::size_t expected_in = 0;
+      for (const auto& he : g.InEdges(v)) {
+        if (he.label == id) ++expected_in;
+      }
+      EXPECT_EQ(frozen->InEdgesWithLabel(v, id).size(), expected_in);
+    }
+    EXPECT_TRUE(frozen->OutEdgesWithLabel(v, kInvalidLabel).empty());
+  }
+}
+
+TEST(FrozenGraphTest, IndexRangesMatchMutableIndexes) {
+  const Graph g = SmallGraph();
+  const auto frozen = g.Freeze();
+  for (const std::string key :
+       {"dog#1", "cat#2", "animal", "red", "missing"}) {
+    const std::vector<VertexId> expected = g.VerticesWithLabel(key);
+    const auto got = frozen->VerticesWithLabel(key);
+    ASSERT_EQ(expected.size(), got.size()) << key;
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  }
+  for (const std::string key : {"dog", "cat", "concept", "color", "x"}) {
+    const std::vector<VertexId> expected = g.VerticesWithCategory(key);
+    const auto got = frozen->VerticesWithCategory(key);
+    ASSERT_EQ(expected.size(), got.size()) << key;
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+  }
+}
+
+TEST(FrozenGraphTest, SharedSymbolTableAcrossSnapshots) {
+  auto table = std::make_shared<SymbolTable>();
+  Graph g1;
+  g1.AddVertex("dog", "animal");
+  Graph g2;
+  g2.AddVertex("dog", "animal");
+  g2.AddVertex("cat", "animal");
+  const auto f1 = g1.Freeze(table);
+  const auto f2 = g2.Freeze(table);
+  // Same strings, same ids — across snapshots.
+  EXPECT_EQ(f1->label_symbol(0), f2->label_symbol(0));
+  EXPECT_EQ(f1->category_symbol(0), f2->category_symbol(1));
+  EXPECT_EQ(&f1->symbols(), &f2->symbols());
+}
+
+TEST(FrozenGraphTest, MutableIndexSnapshotSurvivesGraphMutation) {
+  // The satellite fix: the returned snapshot must stay valid across
+  // AddVertex-triggered rehashes of the underlying index map.
+  Graph g;
+  g.AddVertex("dog", "animal");
+  const std::vector<VertexId> dogs = g.VerticesWithLabel("dog");
+  for (int i = 0; i < 1000; ++i) {
+    g.AddVertex("filler-" + std::to_string(i), "filler");
+  }
+  ASSERT_EQ(dogs.size(), 1u);
+  EXPECT_EQ(dogs[0], 0u);
+  EXPECT_EQ(g.VerticesWithLabel("dog"), dogs);
+}
+
+TEST(FrozenGraphTest, CompilesRealKnowledgeGraph) {
+  data::WorldOptions wopts;
+  wopts.num_scenes = 20;
+  wopts.seed = 7;
+  const data::World world = data::WorldGenerator(wopts).Generate();
+  const Graph kg =
+      data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+  const aggregator::MergedGraph merged =
+      data::BuildPerfectMergedGraph(world, kg);
+  const Graph& g = merged.graph;
+  const auto frozen = g.Freeze();
+  ASSERT_EQ(frozen->num_vertices(), g.num_vertices());
+  ASSERT_EQ(frozen->num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(frozen->label(v), g.vertex(v).label);
+    const auto mu = g.OutEdges(v);
+    const auto fz = frozen->OutEdges(v);
+    ASSERT_EQ(mu.size(), fz.size());
+    for (std::size_t i = 0; i < mu.size(); ++i) {
+      ASSERT_EQ(mu[i].neighbor, fz[i].neighbor);
+      ASSERT_EQ(mu[i].label, fz[i].label);
+    }
+  }
+  EXPECT_GT(frozen->ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace svqa::graph

@@ -1,0 +1,15 @@
+// Frozen-mutation suppression with rationale: construction of a graph
+// that is still private to its builder is legitimate in serve — no
+// reader can observe it until Publish() swaps the snapshot in.
+
+namespace fixture {
+
+void Seed(Graph& g) {
+  // Pre-publish construction; the graph is not yet visible to readers.
+  // svqa-lint: allow(frozen-mutation)
+  g.AddVertex("root", "concept");
+}
+
+int Plain() { return AddVertex(1); }  // free function: some other API
+
+}  // namespace fixture

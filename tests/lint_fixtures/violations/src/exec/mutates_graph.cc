@@ -1,0 +1,12 @@
+// Seeded frozen-mutation violations: the request path must not call
+// the mutating Graph API.
+#include "util/status.h"
+
+namespace fixture {
+
+void Rebuild(Graph& g, Graph* h) {
+  g.AddVertex("a", "thing");
+  (void)h->AddEdge(0, 1, "is-a");
+}
+
+}  // namespace fixture

@@ -220,6 +220,42 @@ TEST(NodiscardType, AnnotatedOutcomeTypesPass) {
                   .empty());
 }
 
+TEST(FrozenMutation, MemberCallsInServeAreFlagged) {
+  std::vector<Diagnostic> d = Lint("src/serve/f.cc",
+                                   "void F(Graph& g, Graph* h) {\n"
+                                   "  g.AddVertex(\"a\", \"b\");\n"
+                                   "  (void)h->AddEdge(0, 1, \"is-a\");\n"
+                                   "}\n");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].rule, "frozen-mutation");
+  EXPECT_EQ(d[0].line, 2);
+  EXPECT_EQ(d[1].rule, "frozen-mutation");
+  EXPECT_EQ(d[1].line, 3);
+}
+
+TEST(FrozenMutation, OtherLayersAndFreeFunctionsPass) {
+  // util is not a frozen layer: graph construction is its business.
+  EXPECT_TRUE(
+      Lint("src/util/f.cc", "void F(Graph& g) { g.AddVertex(\"a\", \"b\"); }\n")
+          .empty());
+  // A free function sharing the name is some other API.
+  EXPECT_TRUE(
+      Lint("src/serve/f.cc", "int F() { return AddVertex(1); }\n").empty());
+  // Non-call mentions (e.g. a member pointer) are fine too.
+  EXPECT_TRUE(
+      Lint("src/serve/f.cc", "auto p = &Graph::AddVertex;\n").empty());
+}
+
+TEST(FrozenMutation, SuppressionWithRationaleIsHonored) {
+  EXPECT_TRUE(Lint("src/serve/f.cc",
+                   "void Seed(Graph& g) {\n"
+                   "  // private until Publish() swaps it in\n"
+                   "  // svqa-lint: allow(frozen-mutation)\n"
+                   "  g.AddVertex(\"root\", \"concept\");\n"
+                   "}\n")
+                  .empty());
+}
+
 TEST(LockAnnotation, LocalMutexAndPointerMembersPass) {
   EXPECT_TRUE(Lint("src/util/f.cc",
                    "class Fine {\n"
@@ -257,6 +293,8 @@ TEST(Cli, ViolationsTreeReportsEverySeededDefect) {
   EXPECT_EQ(r.exit_code, 1) << r.out << r.err;
 
   const std::vector<std::string> expected = {
+      "src/exec/mutates_graph.cc:8: error: [frozen-mutation]",
+      "src/exec/mutates_graph.cc:9: error: [frozen-mutation]",
       "src/util/bad_suppression.cc:3: error: [bad-suppression] "
       "unknown rule 'no-such-rule' in suppression",
       "src/util/banned_clock.cc:8: error: [virtual-time]",
@@ -265,7 +303,7 @@ TEST(Cli, ViolationsTreeReportsEverySeededDefect) {
       "src/util/unchecked.cc:9: error: [unchecked-result]",
       "src/util/unguarded_mutex.h:11: error: [lock-annotation]",
       "src/util/uses_serve.cc:1: error: [layer-dag]",
-      "svqa_lint: 7 violation(s)",
+      "svqa_lint: 9 violation(s)",
   };
   for (const std::string& line : expected) {
     EXPECT_NE(r.out.find(line), std::string::npos)

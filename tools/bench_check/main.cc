@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_check/bench_check.h"
+
+int main(int argc, char** argv) {
+  return bench_check::RunCli(std::vector<std::string>(argv + 1, argv + argc),
+                             std::cout, std::cerr);
+}

@@ -14,8 +14,8 @@ namespace {
 /// here: a broken escape hatch must not be able to hide itself.
 const std::set<std::string>& RuleIds() {
   static const std::set<std::string> kIds = {
-      "layer-dag", "virtual-time", "unchecked-result", "nodiscard-type",
-      "lock-annotation"};
+      "layer-dag",      "virtual-time",   "unchecked-result",
+      "nodiscard-type", "lock-annotation", "frozen-mutation"};
   return kIds;
 }
 
@@ -273,6 +273,51 @@ void CheckVirtualTime(const std::string& file, const std::vector<Token>& toks,
          "call to '" + t.text +
              "' reads ambient wall-clock/environment state; src/ must be "
              "replayable on SimClock virtual time"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: frozen-mutation
+// ---------------------------------------------------------------------------
+
+/// Layers whose request paths must treat the graph as immutable: they
+/// execute against published snapshots, so a mutating Graph call there
+/// is a write into state a concurrent reader may be scanning.
+const std::set<std::string>& FrozenLayers() {
+  static const std::set<std::string> kLayers = {"exec", "serve"};
+  return kLayers;
+}
+
+/// The mutating (non-const) Graph API — everything else on Graph is a
+/// const read.
+const std::set<std::string>& GraphMutators() {
+  static const std::set<std::string> kMutators = {"AddVertex", "AddEdge"};
+  return kMutators;
+}
+
+void CheckFrozenMutation(const std::string& file, const std::string& layer,
+                         const std::vector<Token>& toks,
+                         std::vector<Diagnostic>* diags) {
+  if (FrozenLayers().count(layer) == 0) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident || GraphMutators().count(t.text) == 0) continue;
+    // Must syntactically be a call...
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // ...through member access (`g.AddEdge`, `g->AddVertex`) or a
+    // qualified name (`Graph::AddEdge`). A free function that happens to
+    // share the name is some other API and stays out of scope.
+    if (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->" &&
+                   toks[i - 1].text != "::")) {
+      continue;
+    }
+    diags->push_back(
+        {file, t.line, "frozen-mutation",
+         "call to mutating Graph API '" + t.text + "' in layer '" + layer +
+             "'; this layer executes against immutable snapshots — build "
+             "graphs on the ingest side and publish via Freeze(), or "
+             "suppress with a rationale if this is genuinely pre-publish "
+             "construction"});
   }
 }
 
@@ -665,6 +710,7 @@ std::vector<Diagnostic> LintFile(const std::string& rel_path,
   std::vector<Diagnostic> found;
   CheckLayerDag(rel_path, layer, content, spec, &found);
   CheckVirtualTime(rel_path, toks, &found);
+  CheckFrozenMutation(rel_path, layer, toks, &found);
   CheckUncheckedResult(rel_path, toks, &found);
   CheckTypesAndLocks(rel_path, toks, &found);
 

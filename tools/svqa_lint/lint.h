@@ -27,6 +27,13 @@
 ///   lock-annotation  — a class declaring a `util::Mutex` member must
 ///                      carry at least one SVQA_GUARDED_BY field
 ///                      annotation.
+///   frozen-mutation  — calls to the mutating Graph API (AddVertex,
+///                      AddEdge) are banned under src/exec/ and
+///                      src/serve/: those layers execute against
+///                      published immutable snapshots (FrozenGraph), so
+///                      graph construction belongs to the ingest side.
+///                      Genuinely pre-publish construction may suppress
+///                      with a rationale comment.
 ///
 /// Suppressions:
 ///   // svqa-lint: allow(rule[, rule...])       same line or next line
