@@ -7,8 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "aggregator/snapshot_codec.h"
 #include "bench_common.h"
 #include "cache/lfu_cache.h"
 #include "graph/frozen_graph.h"
@@ -21,6 +25,11 @@
 #include "nlp/dependency_parser.h"
 #include "nlp/pos_tagger.h"
 #include "query/query_graph_builder.h"
+#include "serve/durability.h"
+#include "serve/request_scheduler.h"
+#include "storage/recovery.h"
+#include "storage/sim_fs.h"
+#include "storage/snapshot.h"
 #include "text/embedding.h"
 #include "text/levenshtein.h"
 #include "text/tokenizer.h"
@@ -369,6 +378,197 @@ void BM_SceneGraphGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SceneGraphGeneration);
 
+// ---------------------------------------------------------------------------
+// Durable storage: snapshot codec and crash recovery
+// ---------------------------------------------------------------------------
+
+/// The durable corpus all recovery benches share: the perfect merged
+/// graph of a mid-size world, published as eight growing-prefix
+/// generations (snapshot every second one) into an in-memory SimFs —
+/// the exact state a crashed server would recover from.
+struct RecoveryFixture {
+  data::World world;
+  graph::Graph kg;
+  aggregator::MergedGraph merged;  // full corpus
+  std::string encoded;             // EncodeSnapshot(merged)
+  storage::SimFs fs;               // durable db after 8 publishes
+  serve::DurabilityStats publish_stats;
+  double publish_wall_micros = 0;
+
+  // Non-const: SimFs is not copyable, so the recovery benches run
+  // against this instance in place (Recover on a healthy directory
+  // only compacts the WAL once; afterwards it is repeatable).
+  static RecoveryFixture& Get() {
+    static RecoveryFixture* fixture = new RecoveryFixture();
+    return *fixture;
+  }
+
+ private:
+  RecoveryFixture() {
+    data::WorldOptions wopts;
+    wopts.num_scenes = 120;
+    wopts.seed = 17;
+    world = data::WorldGenerator(wopts).Generate();
+    kg = data::BuildKnowledgeGraph(world, text::SynonymLexicon::Default());
+    merged = data::BuildPerfectMergedGraph(world, kg);
+    encoded = storage::EncodeSnapshot(
+        aggregator::ToSnapshotData(merged, 1, nullptr));
+
+    serve::DurabilityOptions opts;
+    opts.snapshot_every = 2;
+    opts.keep_snapshots = 3;
+    serve::SnapshotDurability durability(&fs, "db", opts);
+    const double wall_start = serve::SteadyNowMicros();
+    for (int g = 1; g <= 8; ++g) {
+      data::World prefix = world;
+      prefix.scenes.resize(static_cast<std::size_t>(15 * g));
+      const aggregator::MergedGraph m =
+          data::BuildPerfectMergedGraph(prefix, kg);
+      if (!durability.LogIntent(m, nullptr).ok()) std::abort();
+      durability.OnPublish(m, nullptr);
+    }
+    publish_wall_micros = serve::SteadyNowMicros() - wall_start;
+    publish_stats = durability.stats();
+  }
+};
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  const RecoveryFixture& fixture = RecoveryFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::EncodeSnapshot(
+        aggregator::ToSnapshotData(fixture.merged, 1, nullptr)));
+  }
+}
+BENCHMARK(BM_SnapshotEncode);
+
+void BM_SnapshotDecode(benchmark::State& state) {
+  const RecoveryFixture& fixture = RecoveryFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        storage::SnapshotReader::Decode(fixture.encoded));
+  }
+}
+BENCHMARK(BM_SnapshotDecode);
+
+void BM_CrashRecovery(benchmark::State& state) {
+  // Recover() is effectively read-only on a healthy directory (the
+  // first pass may compact the WAL), so iterating on one SimFs is fair.
+  storage::SimFs& fs = RecoveryFixture::Get().fs;
+  for (auto _ : state) {
+    storage::RecoveryManager manager(&fs, "db");
+    benchmark::DoNotOptimize(manager.Recover().report.recovered_generation);
+  }
+}
+BENCHMARK(BM_CrashRecovery);
+
+/// BENCH_recovery.json: the durability cost/size profile. Byte and
+/// record counts are deterministic across hosts (diffed against the
+/// committed baseline by tools/bench_check); wall_micros fields are
+/// host measurements and skipped in the diff.
+bool EmitRecoveryRecords(const std::string& path) {
+  bench::JsonEmitter emitter(path);
+  RecoveryFixture& fixture = RecoveryFixture::Get();
+
+  {
+    const double wall_start = serve::SteadyNowMicros();
+    const std::string encoded = storage::EncodeSnapshot(
+        aggregator::ToSnapshotData(fixture.merged, 1, nullptr));
+    bench::JsonRecord record;
+    record.name = "recovery/encode";
+    record.cache_policy = "none";
+    record.wall_micros = serve::SteadyNowMicros() - wall_start;
+    record.Extra("snapshot_bytes", static_cast<double>(encoded.size()))
+        .Extra("vertices",
+               static_cast<double>(fixture.merged.graph.num_vertices()))
+        .Extra("edges",
+               static_cast<double>(fixture.merged.graph.num_edges()));
+    emitter.Add(record);
+  }
+  {
+    const double wall_start = serve::SteadyNowMicros();
+    auto decoded = storage::SnapshotReader::Decode(fixture.encoded);
+    bench::JsonRecord record;
+    record.name = "recovery/decode";
+    record.cache_policy = "none";
+    record.wall_micros = serve::SteadyNowMicros() - wall_start;
+    record.Extra("decode_ok", decoded.ok() ? 1 : 0)
+        .Extra("vertices",
+               decoded.ok() ? static_cast<double>(decoded->vertices.size())
+                            : 0);
+    emitter.Add(record);
+  }
+  {
+    const serve::DurabilityStats& stats = fixture.publish_stats;
+    bench::JsonRecord record;
+    record.name = "recovery/publish";
+    record.cache_policy = "none";
+    record.wall_micros = fixture.publish_wall_micros;
+    record.Extra("generations", static_cast<double>(stats.last_generation))
+        .Extra("wal_appends", static_cast<double>(stats.wal_appends))
+        .Extra("wal_bytes", static_cast<double>(stats.wal_bytes))
+        .Extra("snapshots_written",
+               static_cast<double>(stats.snapshots_written))
+        .Extra("snapshot_bytes", static_cast<double>(stats.snapshot_bytes))
+        .Extra("persist_failures",
+               static_cast<double>(stats.persist_failures));
+    emitter.Add(record);
+  }
+  {
+    const double wall_start = serve::SteadyNowMicros();
+    storage::RecoveryManager manager(&fixture.fs, "db");
+    const storage::RecoveredState recovered = manager.Recover();
+    bench::JsonRecord record;
+    record.name = "recovery/recover";
+    record.cache_policy = "none";
+    record.wall_micros = serve::SteadyNowMicros() - wall_start;
+    const storage::RecoveryReport& report = recovered.report;
+    record
+        .Extra("recovered_generation",
+               static_cast<double>(report.recovered_generation))
+        .Extra("snapshot_generation",
+               static_cast<double>(report.snapshot_generation))
+        .Extra("wal_records_replayed",
+               static_cast<double>(report.wal_records_replayed))
+        .Extra("quarantined_snapshots",
+               static_cast<double>(report.quarantined_snapshots))
+        .Extra("quarantined_wal_records",
+               static_cast<double>(report.quarantined_wal_records))
+        .Extra("vertices",
+               recovered.state.has_value()
+                   ? static_cast<double>(recovered.state->vertices.size())
+                   : 0)
+        .Extra("edges",
+               recovered.state.has_value()
+                   ? static_cast<double>(recovered.state->edges.size())
+                   : 0);
+    emitter.Add(record);
+  }
+  return emitter.Flush();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Google-benchmark main plus the BENCH_recovery.json section. `--json
+// PATH` is consumed here (pass "" to disable); everything else is
+// forwarded to the benchmark library untouched.
+int main(int argc, char** argv) {
+  const std::string json_path =
+      svqa::bench::FlagValue(argc, argv, "--json", "BENCH_recovery.json");
+  std::vector<char*> forwarded;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the value too
+      continue;
+    }
+    forwarded.push_back(argv[i]);
+  }
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded_argc,
+                                             forwarded.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return EmitRecoveryRecords(json_path) ? 0 : 1;
+}

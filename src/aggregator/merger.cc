@@ -1,6 +1,6 @@
 #include "aggregator/merger.h"
 
-#include <fstream>
+#include <charconv>
 #include <sstream>
 #include <unordered_map>
 
@@ -83,27 +83,23 @@ Result<MergedGraph> GraphMerger::Merge(
   return merged;
 }
 
-Status SaveMergedGraph(const MergedGraph& merged, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
+Status SaveMergedGraph(const MergedGraph& merged, const std::string& path,
+                       storage::StorageEnv* env) {
+  SVQA_RETURN_NOT_OK(graph::ValidateSerializable(merged.graph));
+  if (env == nullptr) env = &storage::DefaultEnv();
+  std::ostringstream out;
   out << "# svqa-merged-graph kg_vertex_count=" << merged.kg_vertex_count
       << " entity_links=" << merged.entity_links
       << " concept_links=" << merged.concept_links << '\n';
   out << graph::ToText(merged.graph);
-  out.close();
-  if (!out) {
-    return Status::Internal("write failed: " + path);
-  }
-  return Status::OK();
+  return env->WriteFileAtomic(path, out.str());
 }
 
-Result<MergedGraph> LoadMergedGraph(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::NotFound("cannot open: " + path);
-  }
+Result<MergedGraph> LoadMergedGraph(const std::string& path,
+                                    storage::StorageEnv* env) {
+  if (env == nullptr) env = &storage::DefaultEnv();
+  SVQA_ASSIGN_OR_RETURN(std::string text, env->ReadFile(path));
+  std::istringstream in(text);
   std::string header;
   if (!std::getline(in, header) ||
       header.rfind("# svqa-merged-graph", 0) != 0) {
@@ -111,13 +107,22 @@ Result<MergedGraph> LoadMergedGraph(const std::string& path) {
   }
   MergedGraph merged;
   {
-    std::istringstream hs(header.substr(header.find("kg_vertex_count=")));
+    std::istringstream hs(header);
     std::string field;
     while (hs >> field) {
       const auto eq = field.find('=');
       if (eq == std::string::npos) continue;
       const std::string key = field.substr(0, eq);
-      const std::size_t value = std::stoull(field.substr(eq + 1));
+      const std::string value_str = field.substr(eq + 1);
+      // from_chars, not stoull: a corrupted header must be a clean
+      // ParseError, never an exception.
+      std::size_t value = 0;
+      auto [ptr, ec] = std::from_chars(
+          value_str.data(), value_str.data() + value_str.size(), value);
+      if (ec != std::errc() || ptr != value_str.data() + value_str.size()) {
+        return Status::ParseError("bad merged-graph header field '" + field +
+                                  "' in " + path);
+      }
       if (key == "kg_vertex_count") merged.kg_vertex_count = value;
       if (key == "entity_links") merged.entity_links = value;
       if (key == "concept_links") merged.concept_links = value;

@@ -6,6 +6,7 @@
 
 #include "aggregator/subgraph_cache.h"
 #include "graph/graph.h"
+#include "storage/storage_env.h"
 #include "util/result.h"
 #include "util/sim_clock.h"
 #include "vision/scene_graph_generator.h"
@@ -66,11 +67,17 @@ class GraphMerger {
 };
 
 /// \brief Persists a merged graph (graph text format plus a metadata
-/// header) so the expensive offline phase can be done once.
-Status SaveMergedGraph(const MergedGraph& merged, const std::string& path);
+/// header) so the expensive offline phase can be done once. Written via
+/// StorageEnv::WriteFileAtomic — a crash mid-save never leaves a torn
+/// file; rejects graphs whose labels would not round-trip. `env`
+/// defaults to the process filesystem.
+Status SaveMergedGraph(const MergedGraph& merged, const std::string& path,
+                       storage::StorageEnv* env = nullptr);
 
-/// \brief Loads a merged graph written by SaveMergedGraph.
-Result<MergedGraph> LoadMergedGraph(const std::string& path);
+/// \brief Loads a merged graph written by SaveMergedGraph. Any damage is
+/// a clean ParseError, never a crash or a silently different graph.
+Result<MergedGraph> LoadMergedGraph(const std::string& path,
+                                    storage::StorageEnv* env = nullptr);
 
 }  // namespace svqa::aggregator
 

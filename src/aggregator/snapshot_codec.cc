@@ -1,0 +1,70 @@
+#include "aggregator/snapshot_codec.h"
+
+#include <string>
+#include <utility>
+
+namespace svqa::aggregator {
+
+storage::SnapshotData ToSnapshotData(const MergedGraph& merged,
+                                     uint64_t generation,
+                                     const graph::SymbolTable* symbols) {
+  storage::SnapshotData data;
+  data.generation = generation;
+  data.kg_vertex_count = merged.kg_vertex_count;
+  data.entity_links = merged.entity_links;
+  data.concept_links = merged.concept_links;
+  if (symbols != nullptr) {
+    const std::size_t n = symbols->size();
+    data.symbols.reserve(n);
+    for (std::size_t id = 0; id < n; ++id) {
+      data.symbols.emplace_back(
+          symbols->NameOf(static_cast<graph::SymbolId>(id)));
+    }
+  }
+  const graph::Graph& g = merged.graph;
+  data.vertices.reserve(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const graph::Vertex& vx = g.vertex(v);
+    data.vertices.push_back(
+        storage::SnapshotVertex{vx.label, vx.category, vx.source_image});
+  }
+  data.edges.reserve(g.num_edges());
+  for (const graph::EdgeRef& e : g.AllEdges()) {
+    data.edges.push_back(
+        storage::SnapshotEdge{e.src, e.dst, std::string(e.label)});
+  }
+  return data;
+}
+
+Result<MergedGraph> FromSnapshotData(const storage::SnapshotData& data) {
+  MergedGraph merged;
+  merged.kg_vertex_count = data.kg_vertex_count;
+  merged.entity_links = data.entity_links;
+  merged.concept_links = data.concept_links;
+  for (const storage::SnapshotVertex& v : data.vertices) {
+    merged.graph.AddVertex(v.label, v.category, v.source_image);
+  }
+  for (const storage::SnapshotEdge& e : data.edges) {
+    if (Status s = merged.graph.AddEdge(e.src, e.dst, e.label); !s.ok()) {
+      // SnapshotReader::Decode range-checks endpoints, so this only
+      // fires on duplicate/self-loop edges — still corruption, since
+      // the writer serialized a graph that had neither.
+      return Status::ParseError("snapshot edge rejected: " + s.ToString());
+    }
+  }
+  SVQA_RETURN_NOT_OK(merged.graph.CheckConsistency());
+  if (merged.kg_vertex_count > merged.graph.num_vertices()) {
+    return Status::ParseError("kg_vertex_count exceeds vertex count");
+  }
+  return merged;
+}
+
+void RestoreSymbols(const storage::SnapshotData& data,
+                    graph::SymbolTable* symbols) {
+  if (symbols == nullptr) return;
+  for (const std::string& s : data.symbols) {
+    symbols->Intern(s);
+  }
+}
+
+}  // namespace svqa::aggregator

@@ -1,0 +1,42 @@
+#ifndef SVQA_AGGREGATOR_SNAPSHOT_CODEC_H_
+#define SVQA_AGGREGATOR_SNAPSHOT_CODEC_H_
+
+#include <cstdint>
+
+#include "aggregator/merger.h"
+#include "graph/interning.h"
+#include "storage/snapshot.h"
+#include "util/result.h"
+
+namespace svqa::aggregator {
+
+/// \brief Converters between the execution-side MergedGraph and the
+/// storage layer's plain SnapshotData.
+///
+/// They live here (not in storage) because storage sits *below* graph
+/// in the layer DAG — see tools/layers.txt — so it cannot name
+/// graph::Graph or MergedGraph. Aggregator sees both sides.
+
+/// Flattens `merged` (plus the store-wide symbol table, when present)
+/// for persistence. Vertices are emitted in id order and edges in
+/// Graph::AllEdges order, so decoding replays construction exactly.
+storage::SnapshotData ToSnapshotData(const MergedGraph& merged,
+                                     uint64_t generation,
+                                     const graph::SymbolTable* symbols =
+                                         nullptr);
+
+/// Rebuilds the merged graph from recovered snapshot data. The rebuilt
+/// graph is construction-order identical to the persisted one (same
+/// ToText bytes, same adjacency order, same interned edge-label ids),
+/// so answers computed on it are byte-identical.
+Result<MergedGraph> FromSnapshotData(const storage::SnapshotData& data);
+
+/// Re-interns the recovered symbols in id order so SymbolId values
+/// stay stable across the restart. Call before the first post-recovery
+/// Freeze against the table.
+void RestoreSymbols(const storage::SnapshotData& data,
+                    graph::SymbolTable* symbols);
+
+}  // namespace svqa::aggregator
+
+#endif  // SVQA_AGGREGATOR_SNAPSHOT_CODEC_H_

@@ -71,6 +71,12 @@ SvqaEngine::SvqaEngine(SvqaOptions options)
   store_options.enable_cache = options_.enable_cache;
   store_options.cache = options_.cache;
   store_options.executor = options_.executor;
+  if (options_.durability.enabled()) {
+    durability_ = std::make_unique<serve::SnapshotDurability>(
+        options_.durability.env, options_.durability.dir,
+        options_.durability.options);
+    store_options.durability = durability_.get();
+  }
   store_ = std::make_unique<serve::GraphSnapshotStore>(embeddings_.get(),
                                                        store_options);
 }
@@ -153,6 +159,12 @@ Status SvqaEngine::DoIngest(const graph::Graph& knowledge_graph,
   SVQA_ASSIGN_OR_RETURN(auto merged,
                         merger.Merge(knowledge_graph, scene_graphs_, clock));
 
+  // WAL first: the ingest is acknowledged on disk before any reader can
+  // observe it, and a WAL failure fails the ingest (retryable).
+  if (durability_ != nullptr) {
+    SVQA_RETURN_NOT_OK(
+        durability_->LogIntent(merged, store_->symbols().get()).status());
+  }
   // Atomically publish: a concurrent Ask either still sees "nothing
   // ingested" or the complete snapshot — never a half-built graph.
   store_->Publish(std::move(merged));
@@ -178,8 +190,47 @@ Status SvqaEngine::DoIngestMerged(aggregator::MergedGraph merged) {
   }
   builder_->RegisterEntityNames(labels);
 
+  if (durability_ != nullptr) {
+    SVQA_RETURN_NOT_OK(
+        durability_->LogIntent(merged, store_->symbols().get()).status());
+  }
   store_->Publish(std::move(merged));
   return Status::OK();
+}
+
+Result<storage::RecoveryReport> SvqaEngine::WarmStart() {
+  SVQA_RETURN_NOT_OK(options_.Validate());
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "WarmStart requires options.durability.env to be set");
+  }
+  SVQA_RETURN_NOT_OK(BeginIngest());
+  Result<storage::RecoveryReport> report =
+      durability_->WarmStart(store_.get());
+  if (!report.ok()) {
+    AbortIngest();
+    return report;
+  }
+  if (report->rung == storage::RecoveryRung::kColdStart) {
+    // Nothing durable existed: release the slot so Ingest can run.
+    AbortIngest();
+    return report;
+  }
+  recovery_rung_.store(static_cast<int>(report->rung),
+                       std::memory_order_relaxed);
+  // Rebuild the entity gazetteer from the KG prefix of the recovered
+  // graph, exactly as IngestMerged would have.
+  serve::SnapshotPtr snap = store_->Current();
+  if (snap != nullptr) {
+    const aggregator::MergedGraph& merged = snap->merged();
+    std::vector<std::string> labels;
+    labels.reserve(merged.kg_vertex_count);
+    for (graph::VertexId v = 0; v < merged.kg_vertex_count; ++v) {
+      labels.push_back(merged.graph.vertex(v).label);
+    }
+    builder_->RegisterEntityNames(labels);
+  }
+  return report;
 }
 
 Status SvqaEngine::SaveMergedGraph(const std::string& path) const {
@@ -202,7 +253,11 @@ Result<exec::Answer> SvqaEngine::Execute(const query::QueryGraph& graph,
     return Status::InvalidArgument("Ingest must be called before Execute");
   }
   Result<exec::Answer> result = snap->executor().Execute(graph, clock);
-  if (result.ok()) result.ValueOrDie().diagnostics.snapshot_id = snap->id();
+  if (result.ok()) {
+    result.ValueOrDie().diagnostics.snapshot_id = snap->id();
+    result.ValueOrDie().diagnostics.recovery_rung =
+        recovery_rung_.load(std::memory_order_relaxed);
+  }
   return result;
 }
 
@@ -218,6 +273,7 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
   // Salting the retry jitter with the question text decorrelates backoff
   // schedules across questions while keeping each one replayable.
   const uint64_t salt = StableHash64(question);
+  const int rrung = recovery_rung_.load(std::memory_order_relaxed);
 
   Result<query::QueryGraph> graph = builder_->Build(question, clock);
   if (!graph.ok()) {
@@ -227,6 +283,7 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
     exec::Answer ans = ConservativeAnswer(nlp::QuestionType::kReasoning,
                                           graph.status(), exec::Diagnostics{});
     ans.diagnostics.snapshot_id = snap->id();
+    ans.diagnostics.recovery_rung = rrung;
     return ans;
   }
 
@@ -236,6 +293,7 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
       snap->executor().ExecuteResilient(*graph, clock, res, salt, &diag);
   if (result.ok()) {
     result.ValueOrDie().diagnostics.snapshot_id = snap->id();
+    result.ValueOrDie().diagnostics.recovery_rung = rrung;
     return result;
   }
   if (!options_.enable_degradation) return result;
@@ -253,12 +311,14 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
     partial->diagnostics.attempts = diag.attempts;
     partial->diagnostics.backoff_micros = diag.backoff_micros;
     partial->diagnostics.snapshot_id = snap->id();
+    partial->diagnostics.recovery_rung = rrung;
     return *std::move(partial);
   }
 
   // Rung 2: the conservative answer.
   exec::Answer ans = ConservativeAnswer(graph->type(), result.status(), diag);
   ans.diagnostics.snapshot_id = snap->id();
+  ans.diagnostics.recovery_rung = rrung;
   return ans;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SVQA_CORE_ENGINE_H_
 #define SVQA_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,7 +10,9 @@
 #include "exec/batch_executor.h"
 #include "exec/executor.h"
 #include "query/query_graph_builder.h"
+#include "serve/durability.h"
 #include "serve/graph_snapshot_store.h"
+#include "storage/recovery.h"
 #include "text/embedding.h"
 #include "text/lexicon.h"
 #include "util/annotations.h"
@@ -69,6 +72,16 @@ class SvqaEngine {
   /// may also only be called once.
   Status IngestMerged(aggregator::MergedGraph merged)
       SVQA_EXCLUDES(ingest_mu_);
+
+  /// Crash recovery: rebuilds the serving state from the durable
+  /// directory (newest verified snapshot + WAL tail replay) and, when
+  /// anything was recovered, publishes it and claims the ingest slot —
+  /// Ask serves the recovered graph immediately. On kColdStart (no
+  /// durable state) nothing is published and Ingest may run normally.
+  /// Requires `options.durability.env`; see DESIGN.md "Durability &
+  /// crash recovery". The recovery rung is surfaced in every
+  /// Answer::diagnostics afterwards.
+  Result<storage::RecoveryReport> WarmStart() SVQA_EXCLUDES(ingest_mu_);
 
   /// Persists the merged graph so a later process can IngestMerged it.
   Status SaveMergedGraph(const std::string& path) const;
@@ -137,6 +150,13 @@ class SvqaEngine {
   const serve::GraphSnapshotStore& snapshot_store() const { return *store_; }
   /// The question parser (for serve::ServerOptions::parser).
   const query::QueryGraphBuilder& builder() const { return *builder_; }
+  /// The durability glue (nullptr when options.durability is unset).
+  serve::SnapshotDurability* durability() { return durability_.get(); }
+  /// storage::RecoveryRung of the last WarmStart as an int (-1 = no
+  /// recovery ran); mirrored into Answer::diagnostics.recovery_rung.
+  int recovery_rung() const {
+    return recovery_rung_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Claims the single ingest slot; fails if an ingest already started.
@@ -152,7 +172,10 @@ class SvqaEngine {
   std::unique_ptr<text::EmbeddingModel> embeddings_;
   std::unique_ptr<query::QueryGraphBuilder> builder_;
   std::vector<vision::SceneGraphResult> scene_graphs_;
+  /// Must outlive store_ (the store holds a raw pointer to it).
+  std::unique_ptr<serve::SnapshotDurability> durability_;
   std::unique_ptr<serve::GraphSnapshotStore> store_;
+  std::atomic<int> recovery_rung_{-1};
 
   /// Serializes the Ingest-once contract against concurrent ingests; the
   /// published graph itself is protected by the store's snapshot swap.

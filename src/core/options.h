@@ -7,6 +7,7 @@
 #include "aggregator/merger.h"
 #include "exec/executor.h"
 #include "exec/key_centric_cache.h"
+#include "serve/durability.h"
 #include "vision/detector.h"
 #include "vision/relation_model.h"
 #include "vision/tde.h"
@@ -50,6 +51,13 @@ struct SvqaOptions {
   /// The rung taken is recorded in Answer::diagnostics. Disable to get
   /// the raw failure Status.
   bool enable_degradation = true;
+
+  /// Durability: when `durability.env` is set, every ingest is
+  /// WAL-logged before it becomes visible, snapshot files are persisted
+  /// under `durability.dir`, and SvqaEngine::WarmStart can rebuild the
+  /// serving state after a crash (see DESIGN.md "Durability & crash
+  /// recovery"). Null env = fully in-memory, exactly as before.
+  serve::DurabilitySetup durability;
 
   /// Embedding / noise seed.
   uint64_t seed = 42;

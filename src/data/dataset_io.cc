@@ -1,10 +1,18 @@
 #include "data/dataset_io.h"
 
-#include <fstream>
+#include <charconv>
 #include <sstream>
 
 namespace svqa::data {
 namespace {
+
+// from_chars, not stoi/stoull: corrupt numeric fields must surface as a
+// clean ParseError, never an exception.
+template <typename Int>
+bool ParseIntField(const std::string& s, Int* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
 
 constexpr char kFieldSep = '\t';
 constexpr char kElementSep = '|';
@@ -170,8 +178,10 @@ Result<std::vector<MvqaQuestion>> QuestionsFromText(
       if (fields.size() != 7) return fail("Q line needs 7 fields");
       SVQA_ASSIGN_OR_RETURN(pending.type, ParseType(fields[1]));
       pending.adversarial = fields[2] == "1";
-      pending.num_clauses = std::stoi(fields[3]);
-      pending.relevant_images = std::stoull(fields[4]);
+      if (!ParseIntField(fields[3], &pending.num_clauses) ||
+          !ParseIntField(fields[4], &pending.relevant_images)) {
+        return fail("bad Q line numbers");
+      }
       pending.gold_answer = fields[5];
       pending.text = fields[6];
       open = true;
@@ -189,8 +199,10 @@ Result<std::vector<MvqaQuestion>> QuestionsFromText(
       if (!open) return fail("E line outside a question");
       if (fields.size() != 4) return fail("E line needs 4 fields");
       query::QueryEdge e;
-      e.producer = std::stoi(fields[1]);
-      e.consumer = std::stoi(fields[2]);
+      if (!ParseIntField(fields[1], &e.producer) ||
+          !ParseIntField(fields[2], &e.consumer)) {
+        return fail("bad E line endpoints");
+      }
       SVQA_ASSIGN_OR_RETURN(e.kind, ParseKind(fields[3]));
       edges.push_back(e);
     } else {
@@ -202,23 +214,16 @@ Result<std::vector<MvqaQuestion>> QuestionsFromText(
 }
 
 Status SaveQuestions(const std::vector<MvqaQuestion>& questions,
-                     const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
-  out << QuestionsToText(questions);
-  out.close();
-  if (!out) return Status::Internal("write failed: " + path);
-  return Status::OK();
+                     const std::string& path, storage::StorageEnv* env) {
+  if (env == nullptr) env = &storage::DefaultEnv();
+  return env->WriteFileAtomic(path, QuestionsToText(questions));
 }
 
-Result<std::vector<MvqaQuestion>> LoadQuestions(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return QuestionsFromText(buffer.str());
+Result<std::vector<MvqaQuestion>> LoadQuestions(const std::string& path,
+                                                storage::StorageEnv* env) {
+  if (env == nullptr) env = &storage::DefaultEnv();
+  SVQA_ASSIGN_OR_RETURN(std::string text, env->ReadFile(path));
+  return QuestionsFromText(text);
 }
 
 }  // namespace svqa::data

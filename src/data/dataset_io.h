@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/mvqa_generator.h"
+#include "storage/storage_env.h"
 #include "util/result.h"
 
 namespace svqa::data {
@@ -24,10 +25,14 @@ std::string QuestionsToText(const std::vector<MvqaQuestion>& questions);
 /// \brief Parses QuestionsToText output.
 Result<std::vector<MvqaQuestion>> QuestionsFromText(const std::string& text);
 
-/// \brief File wrappers.
+/// \brief File wrappers. Saves go through StorageEnv::WriteFileAtomic
+/// (temp + sync + rename), so a crash mid-save never leaves a torn
+/// question file; `env` defaults to the process filesystem.
 Status SaveQuestions(const std::vector<MvqaQuestion>& questions,
-                     const std::string& path);
-Result<std::vector<MvqaQuestion>> LoadQuestions(const std::string& path);
+                     const std::string& path,
+                     storage::StorageEnv* env = nullptr);
+Result<std::vector<MvqaQuestion>> LoadQuestions(
+    const std::string& path, storage::StorageEnv* env = nullptr);
 
 }  // namespace svqa::data
 

@@ -73,6 +73,10 @@ struct Diagnostics {
   /// serve::PriorityClass the request was admitted under (-1 = direct
   /// execution, no admission control).
   int priority_class = -1;
+  /// storage::RecoveryRung the serving state was rebuilt at when the
+  /// engine warm-started from disk (-1 = no recovery ran). Kept as an
+  /// int so exec stays below the storage layer.
+  int recovery_rung = -1;
 };
 
 /// \brief The answer to a complex question.

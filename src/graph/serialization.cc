@@ -1,12 +1,16 @@
 #include "graph/serialization.h"
 
 #include <charconv>
-#include <fstream>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 namespace svqa::graph {
 namespace {
+
+bool HasFieldBreak(std::string_view s) {
+  return s.find_first_of("\t\n\r") != std::string_view::npos;
+}
 
 std::vector<std::string_view> SplitTabs(std::string_view line) {
   std::vector<std::string_view> fields;
@@ -44,6 +48,27 @@ std::string ToText(const Graph& g) {
   return os.str();
 }
 
+Status ValidateSerializable(const Graph& g) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Vertex& vx = g.vertex(v);
+    if (HasFieldBreak(vx.label) || HasFieldBreak(vx.category)) {
+      return Status::InvalidArgument(
+          "vertex " + std::to_string(v) +
+          ": label/category contains a tab or newline and would not "
+          "round-trip through the text format");
+    }
+  }
+  for (const auto& e : g.AllEdges()) {
+    if (HasFieldBreak(e.label)) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(e.src) + "->" + std::to_string(e.dst) +
+          ": label contains a tab or newline and would not round-trip "
+          "through the text format");
+    }
+  }
+  return Status::OK();
+}
+
 Result<Graph> FromText(const std::string& text) {
   Graph g;
   std::istringstream is(text);
@@ -51,6 +76,7 @@ Result<Graph> FromText(const std::string& text) {
   int lineno = 0;
   while (std::getline(is, line)) {
     ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
     if (line.empty() || line[0] == '#') continue;
     const auto fields = SplitTabs(line);
     const auto fail = [&](const std::string& why) {
@@ -83,27 +109,17 @@ Result<Graph> FromText(const std::string& text) {
   return g;
 }
 
-Status ToFile(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
-  }
-  out << ToText(g);
-  out.close();
-  if (!out) {
-    return Status::Internal("write failed: " + path);
-  }
-  return Status::OK();
+Status ToFile(const Graph& g, const std::string& path,
+              storage::StorageEnv* env) {
+  SVQA_RETURN_NOT_OK(ValidateSerializable(g));
+  if (env == nullptr) env = &storage::DefaultEnv();
+  return env->WriteFileAtomic(path, ToText(g));
 }
 
-Result<Graph> FromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::NotFound("cannot open: " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return FromText(buffer.str());
+Result<Graph> FromFile(const std::string& path, storage::StorageEnv* env) {
+  if (env == nullptr) env = &storage::DefaultEnv();
+  SVQA_ASSIGN_OR_RETURN(std::string text, env->ReadFile(path));
+  return FromText(text);
 }
 
 }  // namespace svqa::graph

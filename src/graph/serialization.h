@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "storage/storage_env.h"
 #include "util/result.h"
 
 namespace svqa::graph {
@@ -13,18 +14,33 @@ namespace svqa::graph {
 ///     v <id> <label> <category> <source_image>
 ///     e <src> <dst> <label>
 ///
-/// Fields are tab-separated; labels may contain spaces but not tabs.
+/// Fields are tab-separated; labels may contain spaces but not tabs or
+/// newlines — a label containing either would re-parse as a different
+/// graph. ToText itself does not check (see ValidateSerializable); the
+/// file writers below refuse such graphs instead of corrupting them.
 std::string ToText(const Graph& g);
 
+/// \brief Rejects graphs whose labels/categories would not round-trip
+/// through the text format (embedded '\t', '\n' or '\r'), naming the
+/// offending vertex or edge. OK means ToText(g) re-parses to `g`.
+Status ValidateSerializable(const Graph& g);
+
 /// \brief Parses the format produced by ToText. Vertex ids must be dense
-/// and in order; otherwise a ParseError is returned.
+/// and in order; otherwise a ParseError with a 1-based line number is
+/// returned. Tolerates CRLF line endings.
 Result<Graph> FromText(const std::string& text);
 
-/// \brief Writes ToText(g) to `path` (overwrites).
-Status ToFile(const Graph& g, const std::string& path);
+/// \brief Writes ToText(g) to `path` via StorageEnv::WriteFileAtomic
+/// (write temp, sync, rename): a crash mid-write never leaves a torn
+/// graph file behind. Fails (without touching `path`) when
+/// ValidateSerializable rejects `g`. `env` defaults to the process
+/// filesystem.
+Status ToFile(const Graph& g, const std::string& path,
+              storage::StorageEnv* env = nullptr);
 
 /// \brief Reads and parses a graph file written by ToFile.
-Result<Graph> FromFile(const std::string& path);
+Result<Graph> FromFile(const std::string& path,
+                       storage::StorageEnv* env = nullptr);
 
 }  // namespace svqa::graph
 

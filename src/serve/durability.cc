@@ -1,0 +1,167 @@
+#include "serve/durability.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "aggregator/snapshot_codec.h"
+#include "serve/graph_snapshot_store.h"
+
+namespace svqa::serve {
+
+SnapshotDurability::SnapshotDurability(storage::StorageEnv* env,
+                                       std::string dir,
+                                       DurabilityOptions options)
+    : env_(env),
+      dir_(std::move(dir)),
+      options_(options),
+      wal_(env, dir_) {}
+
+void SnapshotDurability::NoteFailure(const Status& s) {
+  ++stats_.persist_failures;
+  stats_.last_error = s.ToString();
+}
+
+Status SnapshotDurability::AppendWal(uint64_t generation,
+                                     const std::string& encoded) {
+  if (!options_.wal_ingest) return Status::OK();
+  Status s = wal_.Append(generation, encoded);
+  if (!s.ok()) {
+    // A failed append leaves the log refusing writes (its tail may be
+    // torn). Rewriting the valid prefix drops only the torn bytes —
+    // never an acked generation — so repair once and retry, keeping
+    // ingest retryable after a transient storage fault.
+    if (wal_.TruncateThrough(0).ok()) {
+      s = wal_.Append(generation, encoded);
+    }
+  }
+  if (s.ok()) {
+    ++stats_.wal_appends;
+    stats_.wal_bytes += encoded.size();
+  }
+  return s;
+}
+
+Result<uint64_t> SnapshotDurability::LogIntent(
+    const aggregator::MergedGraph& merged,
+    const graph::SymbolTable* symbols) {
+  MutexLock lock(&mu_);
+  const uint64_t generation = next_generation_++;
+  std::string encoded = storage::EncodeSnapshot(
+      aggregator::ToSnapshotData(merged, generation, symbols));
+  if (Status s = AppendWal(generation, encoded); !s.ok()) {
+    NoteFailure(s);
+    return s;
+  }
+  pending_.push_back(Pending{generation, std::move(encoded), false});
+  return generation;
+}
+
+void SnapshotDurability::OnPublish(const aggregator::MergedGraph& merged,
+                                   const graph::SymbolTable* symbols) {
+  MutexLock lock(&mu_);
+  Pending p;
+  if (!pending_.empty()) {
+    p = std::move(pending_.front());
+    pending_.pop_front();
+  } else {
+    p.generation = next_generation_++;
+    p.encoded = storage::EncodeSnapshot(
+        aggregator::ToSnapshotData(merged, p.generation, symbols));
+    if (Status s = AppendWal(p.generation, p.encoded); !s.ok()) {
+      // Live-republish path: record the gap but keep serving (see class
+      // comment). A snapshot write below can still restore durability.
+      NoteFailure(s);
+    }
+  }
+  stats_.last_generation = p.generation;
+  ++publish_seq_;
+  if (p.generation == 0) return;  // conservative-empty republish
+  const bool due = options_.persist_snapshots &&
+                   options_.snapshot_every > 0 &&
+                   publish_seq_ % options_.snapshot_every == 0;
+  if (due || p.already_durable) {
+    if (p.encoded.empty()) {
+      p.encoded = storage::EncodeSnapshot(
+          aggregator::ToSnapshotData(merged, p.generation, symbols));
+    }
+    PersistSnapshot(p.generation, p.encoded, p.already_durable);
+  }
+}
+
+void SnapshotDurability::PersistSnapshot(uint64_t generation,
+                                         const std::string& encoded,
+                                         bool skip_if_present) {
+  storage::SnapshotWriter writer(env_, dir_,
+                                 {.keep = options_.keep_snapshots});
+  if (skip_if_present &&
+      env_->FileExists(dir_ + "/" + storage::SnapshotFileName(generation))) {
+    return;
+  }
+  Result<std::string> written = writer.WriteEncoded(generation, encoded);
+  if (!written.ok()) {
+    NoteFailure(written.status());
+    return;
+  }
+  ++stats_.snapshots_written;
+  stats_.snapshot_bytes += encoded.size();
+  // The snapshot now covers every logged generation <= `generation`;
+  // shrink the WAL so replay stays O(tail), and repair any torn tail a
+  // failed append left behind.
+  if (Status s = wal_.TruncateThrough(generation); s.ok()) {
+    ++stats_.wal_truncations;
+  } else {
+    NoteFailure(s);
+  }
+}
+
+Result<storage::RecoveryReport> SnapshotDurability::WarmStart(
+    GraphSnapshotStore* store) {
+  storage::RecoveryManager manager(env_, dir_);
+  storage::RecoveredState recovered = manager.Recover();
+  const storage::RecoveryReport& report = recovered.report;
+
+  aggregator::MergedGraph merged;
+  uint64_t generation = 0;
+  bool publish = false;
+  if (recovered.state.has_value()) {
+    Result<aggregator::MergedGraph> rebuilt =
+        aggregator::FromSnapshotData(*recovered.state);
+    if (rebuilt.ok()) {
+      aggregator::RestoreSymbols(*recovered.state, store->symbols().get());
+      merged = std::move(*rebuilt);
+      generation = recovered.state->generation;
+      publish = true;
+    } else {
+      // Decode verified the bytes, so a rebuild failure means the
+      // writer persisted an inconsistent graph — degrade to the empty
+      // conservative mode rather than serving it.
+      recovered.report.rung = storage::RecoveryRung::kConservativeEmpty;
+      recovered.report.notes.push_back("recovered graph rejected: " +
+                                       rebuilt.status().ToString());
+      publish = true;
+    }
+  } else if (report.rung == storage::RecoveryRung::kConservativeEmpty) {
+    publish = true;  // explicit empty-graph conservative mode
+  }
+
+  {
+    MutexLock lock(&mu_);
+    next_generation_ =
+        std::max(next_generation_, report.recovered_generation + 1);
+    if (publish) {
+      // The republish below must not re-log what is already durable.
+      pending_.push_back(Pending{generation, std::string(), true});
+    }
+  }
+  if (publish) {
+    store->Publish(std::move(merged));
+  }
+  return recovered.report;
+}
+
+DurabilityStats SnapshotDurability::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace svqa::serve

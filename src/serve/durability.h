@@ -1,0 +1,137 @@
+#ifndef SVQA_SERVE_DURABILITY_H_
+#define SVQA_SERVE_DURABILITY_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "aggregator/merger.h"
+#include "graph/interning.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/storage_env.h"
+#include "storage/wal.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+#include "util/result.h"
+
+namespace svqa::serve {
+
+class GraphSnapshotStore;
+
+/// \brief Tuning for SnapshotDurability.
+struct DurabilityOptions {
+  /// WAL-log every publish (sync before the in-memory swap).
+  bool wal_ingest = true;
+  /// Persist a full snapshot file for every Nth publish.
+  bool persist_snapshots = true;
+  uint64_t snapshot_every = 1;
+  /// Snapshot generations retained on disk.
+  std::size_t keep_snapshots = 3;
+};
+
+/// \brief How an engine/server opts into durability: an environment
+/// (real FsEnv or a test SimFs), a directory, and the knobs. A null env
+/// means "volatile, exactly as before".
+struct DurabilitySetup {
+  storage::StorageEnv* env = nullptr;  ///< Not owned; nullptr disables.
+  std::string dir = "svqa_db";
+  DurabilityOptions options;
+
+  bool enabled() const { return env != nullptr; }
+};
+
+/// \brief Point-in-time durability counters.
+struct DurabilityStats {
+  uint64_t last_generation = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t wal_truncations = 0;
+  /// WAL appends or snapshot writes that failed (the in-memory publish
+  /// proceeded; the failure is recorded here and in `last_error`).
+  uint64_t persist_failures = 0;
+  std::string last_error;
+};
+
+/// \brief Glue between the in-memory GraphSnapshotStore and the storage
+/// layer: WAL-before-publish, periodic snapshot files, WAL truncation,
+/// and warm-start recovery.
+///
+/// Two write paths:
+///  - `LogIntent` + store Publish (the engine's ingest): the WAL append
+///    happens first and a failure *fails the ingest* — the in-memory
+///    store is never ahead of the log on this path.
+///  - store Publish alone (live republish through serve::SvqaServer):
+///    `OnPublish` WAL-logs inside the publish. A storage failure here
+///    is recorded but does not take serving down (availability over
+///    durability for live traffic; the gap is exactly what a crash
+///    would have lost anyway).
+///
+/// Thread-safety: all methods lock one internal mutex; WAL generation
+/// order therefore matches append order even under concurrent
+/// publishers.
+class SnapshotDurability {
+ public:
+  SnapshotDurability(storage::StorageEnv* env, std::string dir,
+                     DurabilityOptions options = {});
+
+  /// Durably logs the intent to publish `merged` before the store
+  /// mutates. Returns the assigned generation; on error nothing was
+  /// acknowledged and the caller must not publish.
+  SVQA_NODISCARD Result<uint64_t> LogIntent(
+      const aggregator::MergedGraph& merged,
+      const graph::SymbolTable* symbols) SVQA_EXCLUDES(mu_);
+
+  /// Hook called by GraphSnapshotStore::Publish before the snapshot
+  /// build/swap. Consumes a pending LogIntent when one exists (engine
+  /// path); otherwise WAL-logs here. Then persists a snapshot file when
+  /// one is due and truncates the WAL behind it. Never fails the
+  /// publish — see class comment.
+  void OnPublish(const aggregator::MergedGraph& merged,
+                 const graph::SymbolTable* symbols) SVQA_EXCLUDES(mu_);
+
+  /// Startup recovery: loads the newest verified snapshot, replays the
+  /// WAL tail, quarantines damage, republishes the recovered state into
+  /// `store` (or an empty conservative graph when durable state existed
+  /// but nothing survived), and primes the generation counter. On
+  /// kColdStart nothing is published. Call before serving traffic.
+  SVQA_NODISCARD Result<storage::RecoveryReport> WarmStart(
+      GraphSnapshotStore* store) SVQA_EXCLUDES(mu_);
+
+  DurabilityStats stats() const SVQA_EXCLUDES(mu_);
+  const std::string& dir() const { return dir_; }
+  storage::StorageEnv* env() const { return env_; }
+
+ private:
+  struct Pending {
+    uint64_t generation = 0;
+    std::string encoded;
+    /// Recovered republish: already on disk, skip WAL + dedupe snapshot.
+    bool already_durable = false;
+  };
+
+  /// Appends + syncs one WAL record; updates stats.
+  Status AppendWal(uint64_t generation, const std::string& encoded)
+      SVQA_REQUIRES(mu_);
+  /// Writes the snapshot file for `generation` and truncates the WAL.
+  void PersistSnapshot(uint64_t generation, const std::string& encoded,
+                       bool skip_if_present) SVQA_REQUIRES(mu_);
+  void NoteFailure(const Status& s) SVQA_REQUIRES(mu_);
+
+  storage::StorageEnv* const env_;
+  const std::string dir_;
+  const DurabilityOptions options_;
+  mutable Mutex mu_;
+  storage::IngestWal wal_;
+  uint64_t next_generation_ SVQA_GUARDED_BY(mu_) = 1;
+  uint64_t publish_seq_ SVQA_GUARDED_BY(mu_) = 0;
+  std::deque<Pending> pending_ SVQA_GUARDED_BY(mu_);
+  DurabilityStats stats_ SVQA_GUARDED_BY(mu_);
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_DURABILITY_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "serve/durability.h"
+
 namespace svqa::serve {
 
 namespace {
@@ -45,6 +47,13 @@ uint64_t GraphSnapshotStore::Publish(aggregator::MergedGraph merged) {
   {
     MutexLock lock(&mu_);
     id = next_id_++;
+  }
+  // Durability first: the WAL acknowledges the new state before any
+  // reader can observe it, so the durable log is never behind a graph
+  // a query was answered on. (Engine ingests pre-log via LogIntent;
+  // this call then just consumes the pending intent.)
+  if (options_.durability != nullptr) {
+    options_.durability->OnPublish(merged, symbols_.get());
   }
   // Build outside the lock: readers keep serving the current snapshot
   // while the next one (graph + cache + executor) comes up.

@@ -15,6 +15,8 @@
 
 namespace svqa::serve {
 
+class SnapshotDurability;
+
 /// \brief Construction knobs for the per-snapshot execution machinery.
 struct SnapshotStoreOptions {
   /// Build a key-centric cache per snapshot (caches are scoped to a
@@ -23,6 +25,10 @@ struct SnapshotStoreOptions {
   bool enable_cache = true;
   exec::KeyCentricCacheOptions cache;
   exec::ExecutorOptions executor;
+  /// When set (not owned; must outlive the store), every Publish is
+  /// WAL-logged and periodically persisted as a snapshot file, and
+  /// SnapshotDurability::WarmStart can rebuild the store from disk.
+  SnapshotDurability* durability = nullptr;
 };
 
 /// \brief One immutable, self-contained version of the serving state: a
@@ -104,6 +110,8 @@ class GraphSnapshotStore {
   uint64_t publish_count() const SVQA_EXCLUDES(mu_);
 
   const SnapshotStoreOptions& options() const { return options_; }
+  /// The durability hook wired at construction (nullptr = volatile).
+  SnapshotDurability* durability() const { return options_.durability; }
   /// The store-wide symbol table every published snapshot interns into.
   /// Append-only and internally locked; label/category ids are therefore
   /// stable across snapshot versions.

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "exec/scheduler.h"
+#include "serve/durability.h"
 
 namespace svqa::serve {
 
@@ -34,6 +35,21 @@ Status SvqaServer::Start() {
   }
   if (options_.mode == ServeMode::kThreaded) scheduler_.Start();
   return Status::OK();
+}
+
+Result<storage::RecoveryReport> SvqaServer::WarmStart() {
+  SnapshotDurability* durability = store_->durability();
+  if (durability == nullptr) {
+    return Status::InvalidArgument(
+        "WarmStart requires a store constructed with "
+        "SnapshotStoreOptions::durability");
+  }
+  Result<storage::RecoveryReport> report = durability->WarmStart(store_);
+  if (report.ok() &&
+      report->rung != storage::RecoveryRung::kColdStart) {
+    stats_.RecordRecovery(static_cast<int>(report->rung));
+  }
+  return report;
 }
 
 TicketPtr SvqaServer::Submit(const query::QueryGraph& graph,

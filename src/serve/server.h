@@ -16,8 +16,10 @@
 #include "serve/request.h"
 #include "serve/request_scheduler.h"
 #include "serve/stats.h"
+#include "storage/recovery.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace svqa::serve {
@@ -76,6 +78,14 @@ class SvqaServer {
   /// Validates options and (threaded mode) spawns the workers. Must be
   /// called once before submitting.
   Status Start();
+
+  /// Warm-start from disk: recovers the newest durable state through the
+  /// store's SnapshotDurability hook and publishes it, so the first
+  /// dispatched request already sees the pre-crash graph. Call before
+  /// Start() (or at least before traffic). InvalidArgument when the
+  /// store was built without SnapshotStoreOptions::durability. The rung
+  /// reached is surfaced in Stats().recovery_rung.
+  Result<storage::RecoveryReport> WarmStart();
 
   /// Enqueues one pre-parsed query graph. Always returns a live ticket:
   /// requests shed by admission control (queue depth, rate limit,

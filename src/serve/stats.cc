@@ -58,6 +58,10 @@ std::string ServerStats::ToString() const {
                 static_cast<unsigned long long>(publishes),
                 static_cast<unsigned long long>(latest_snapshot_id));
   out += line;
+  if (recovery_rung >= 0) {
+    std::snprintf(line, sizeof(line), "recovery rung: %d\n", recovery_rung);
+    out += line;
+  }
   return out;
 }
 
@@ -92,6 +96,11 @@ void StatsCollector::RecordPublish(uint64_t snapshot_id) {
   MutexLock lock(&mu_);
   ++stats_.publishes;
   stats_.latest_snapshot_id = snapshot_id;
+}
+
+void StatsCollector::RecordRecovery(int rung) {
+  MutexLock lock(&mu_);
+  stats_.recovery_rung = rung;
 }
 
 ServerStats StatsCollector::Snapshot() const {

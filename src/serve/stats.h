@@ -44,6 +44,9 @@ struct ServerStats {
   /// initial ingest publish unless routed through SvqaServer::Publish).
   uint64_t publishes = 0;
   uint64_t latest_snapshot_id = 0;
+  /// storage::RecoveryRung the server warm-started at (-1 = no recovery
+  /// ran). Kept as an int so serve stats stay storage-agnostic.
+  int recovery_rung = -1;
 
   const ClassStats& of(PriorityClass c) const {
     return per_class[static_cast<int>(c)];
@@ -68,6 +71,7 @@ class StatsCollector {
   /// classifies by `response.status` and accumulates the time sums.
   void RecordOutcome(const ServeResponse& response) SVQA_EXCLUDES(mu_);
   void RecordPublish(uint64_t snapshot_id) SVQA_EXCLUDES(mu_);
+  void RecordRecovery(int rung) SVQA_EXCLUDES(mu_);
 
   ServerStats Snapshot() const SVQA_EXCLUDES(mu_);
 

@@ -1,0 +1,21 @@
+#ifndef SVQA_STORAGE_CRC32_H_
+#define SVQA_STORAGE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace svqa::storage {
+
+/// \brief Incremental CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over
+/// `data`, continuing from `seed` (pass the previous return value to
+/// checksum a byte stream in pieces; 0 starts a fresh checksum).
+///
+/// Every durable byte this subsystem writes — record frames, snapshot
+/// chunks, WAL entries, manifests — is covered by this checksum, so a
+/// torn write, truncation, or flipped bit is detected at read time
+/// instead of becoming a silently wrong graph.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_CRC32_H_

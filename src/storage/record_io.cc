@@ -1,0 +1,178 @@
+#include "storage/record_io.h"
+
+#include <algorithm>
+
+#include "storage/crc32.h"
+
+namespace svqa::storage {
+
+namespace {
+
+uint32_t ReadU32At(std::string_view data, std::size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data[pos + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint16_t ReadU16At(std::string_view data, std::size_t pos) {
+  return static_cast<uint16_t>(
+      static_cast<unsigned char>(data[pos]) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(data[pos + 1]))
+       << 8));
+}
+
+}  // namespace
+
+const char* TailStateName(TailState state) {
+  switch (state) {
+    case TailState::kClean:
+      return "clean";
+    case TailState::kTorn:
+      return "torn";
+    case TailState::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+void AppendRecord(uint16_t type, std::string_view payload, std::string* out) {
+  out->append(kRecordMagic);
+  // Checksummed region: version + type + length, then the payload.
+  std::string head;
+  head.reserve(8);
+  head.push_back(static_cast<char>(kFormatVersion & 0xFFu));
+  head.push_back(static_cast<char>((kFormatVersion >> 8) & 0xFFu));
+  head.push_back(static_cast<char>(type & 0xFFu));
+  head.push_back(static_cast<char>((type >> 8) & 0xFFu));
+  PutU32(static_cast<uint32_t>(payload.size()), &head);
+  const uint32_t crc = Crc32(payload, Crc32(head));
+  out->append(head);
+  PutU32(crc, out);
+  out->append(payload);
+}
+
+RecordScan ScanRecords(std::string_view data) {
+  RecordScan scan;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t remaining = data.size() - pos;
+    if (remaining < kRecordHeaderBytes) {
+      // A short tail that still matches the magic prefix is a tear; a
+      // mismatch is corruption.
+      const std::size_t n = std::min(remaining, kRecordMagic.size());
+      if (data.substr(pos, n) == kRecordMagic.substr(0, n)) {
+        scan.tail = TailState::kTorn;
+        scan.tail_detail = "stream ends mid-header";
+      } else {
+        scan.tail = TailState::kCorrupt;
+        scan.tail_detail = "trailing bytes are not a record header";
+      }
+      scan.valid_bytes = pos;
+      return scan;
+    }
+    if (data.substr(pos, 4) != kRecordMagic) {
+      scan.tail = TailState::kCorrupt;
+      scan.tail_detail = "bad record magic";
+      scan.valid_bytes = pos;
+      return scan;
+    }
+    const uint16_t version = ReadU16At(data, pos + 4);
+    const uint16_t type = ReadU16At(data, pos + 6);
+    const uint32_t len = ReadU32At(data, pos + 8);
+    const uint32_t crc = ReadU32At(data, pos + 12);
+    if (version != kFormatVersion) {
+      scan.tail = TailState::kCorrupt;
+      scan.tail_detail =
+          "unsupported format version " + std::to_string(version);
+      scan.valid_bytes = pos;
+      return scan;
+    }
+    if (len > kMaxPayloadBytes) {
+      scan.tail = TailState::kCorrupt;
+      scan.tail_detail = "implausible payload length";
+      scan.valid_bytes = pos;
+      return scan;
+    }
+    if (remaining - kRecordHeaderBytes < len) {
+      // Header intact but the payload was cut off: verify what we can.
+      scan.tail = TailState::kTorn;
+      scan.tail_detail = "stream ends mid-payload";
+      scan.valid_bytes = pos;
+      return scan;
+    }
+    const std::string_view payload =
+        data.substr(pos + kRecordHeaderBytes, len);
+    const uint32_t expected =
+        Crc32(payload, Crc32(data.substr(pos + 4, 8)));
+    if (crc != expected) {
+      scan.tail = TailState::kCorrupt;
+      scan.tail_detail = "checksum mismatch";
+      scan.valid_bytes = pos;
+      return scan;
+    }
+    scan.records.push_back(Record{type, std::string(payload)});
+    pos += kRecordHeaderBytes + len;
+  }
+  scan.valid_bytes = pos;
+  return scan;
+}
+
+Result<uint32_t> PayloadReader::GetU32() {
+  if (remaining() < 4) {
+    return Status::ParseError("payload truncated reading u32");
+  }
+  const uint32_t v = ReadU32At(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> PayloadReader::GetU64() {
+  if (remaining() < 8) {
+    return Status::ParseError("payload truncated reading u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string_view PayloadReader::Rest() {
+  const std::string_view s = data_.substr(pos_);
+  pos_ = data_.size();
+  return s;
+}
+
+Result<std::string_view> PayloadReader::GetString() {
+  SVQA_ASSIGN_OR_RETURN(const uint32_t len, GetU32());
+  if (remaining() < len) {
+    return Status::ParseError("payload truncated reading string");
+  }
+  const std::string_view s = data_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+}  // namespace svqa::storage

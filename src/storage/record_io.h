@@ -1,0 +1,105 @@
+#ifndef SVQA_STORAGE_RECORD_IO_H_
+#define SVQA_STORAGE_RECORD_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace svqa::storage {
+
+/// \brief Versioned, CRC-checksummed record framing shared by snapshot
+/// files, the ingest WAL, and the manifest.
+///
+/// Wire layout (all integers little-endian):
+///
+///     offset  size  field
+///     0       4     magic "SVQR"
+///     4       2     format version (kFormatVersion)
+///     6       2     record type (application-defined)
+///     8       4     payload length
+///     12      4     CRC-32 over bytes [4, 12) + payload
+///     16      n     payload
+///
+/// The checksum covers the header fields after the magic plus the whole
+/// payload, so a flipped bit anywhere in a record — header or body — is
+/// detected. A stream of records is self-delimiting: readers walk
+/// frame-by-frame and classify the tail (see TailState).
+
+inline constexpr std::string_view kRecordMagic = "SVQR";
+inline constexpr uint16_t kFormatVersion = 1;
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+/// Upper bound on one payload; a length field above this is corruption,
+/// not a huge record.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 28;
+
+/// \brief One decoded record.
+struct Record {
+  uint16_t type = 0;
+  std::string payload;
+};
+
+/// \brief How the byte stream after the last whole record looked.
+enum class TailState : int {
+  /// The stream ended exactly at a record boundary.
+  kClean = 0,
+  /// The stream ended mid-record but everything up to the tear was
+  /// intact — the expected shape after a crash during an append.
+  kTorn = 1,
+  /// A record failed its checksum / magic / sanity checks: bit rot or
+  /// an overwrite, not a simple tear.
+  kCorrupt = 2,
+};
+
+const char* TailStateName(TailState state);
+
+/// \brief Result of scanning a record stream: the valid prefix plus the
+/// tail classification. Scanning never fails — damage is reported, not
+/// thrown — so callers can always act on the longest trustworthy prefix.
+struct RecordScan {
+  std::vector<Record> records;
+  TailState tail = TailState::kClean;
+  /// Byte offset where the valid prefix ends (== input size iff kClean).
+  std::size_t valid_bytes = 0;
+  /// Human-readable reason when tail != kClean.
+  std::string tail_detail;
+};
+
+/// Appends one framed record to `out`.
+void AppendRecord(uint16_t type, std::string_view payload, std::string* out);
+
+/// Scans `data` as a record stream (see RecordScan).
+RecordScan ScanRecords(std::string_view data);
+
+/// \brief Little-endian primitive append/parse helpers for payloads.
+void PutU32(uint32_t v, std::string* out);
+void PutU64(uint64_t v, std::string* out);
+/// Length-prefixed string.
+void PutString(std::string_view s, std::string* out);
+
+/// \brief Bounds-checked payload reader; every Get reports corruption
+/// as a ParseError instead of reading out of range.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  SVQA_NODISCARD Result<uint32_t> GetU32();
+  SVQA_NODISCARD Result<uint64_t> GetU64();
+  SVQA_NODISCARD Result<std::string_view> GetString();
+  /// Consumes and returns everything left (for nested byte streams).
+  std::string_view Rest();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_RECORD_IO_H_

@@ -1,0 +1,171 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace svqa::storage {
+
+const char* RecoveryRungName(RecoveryRung rung) {
+  switch (rung) {
+    case RecoveryRung::kColdStart:
+      return "cold-start";
+    case RecoveryRung::kSnapshotOnly:
+      return "snapshot";
+    case RecoveryRung::kSnapshotPlusWal:
+      return "snapshot+wal";
+    case RecoveryRung::kWalOnly:
+      return "wal-only";
+    case RecoveryRung::kConservativeEmpty:
+      return "conservative-empty";
+  }
+  return "unknown";
+}
+
+RecoveryManager::RecoveryManager(StorageEnv* env, std::string dir,
+                                 Options options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+RecoveredState RecoveryManager::Recover() {
+  RecoveredState out;
+  RecoveryReport& report = out.report;
+  bool saw_durable_state = false;
+
+  // Candidate snapshots: manifest entries plus a directory scan. The
+  // scan covers a manifest that lags (crash between file publish and
+  // manifest rewrite) or failed verification outright.
+  std::map<uint64_t, std::string> candidates;  // generation -> filename
+  if (Result<std::vector<ManifestEntry>> manifest =
+          ReadManifest(env_, dir_);
+      manifest.ok()) {
+    for (const ManifestEntry& e : *manifest) {
+      candidates[e.generation] = e.filename;
+    }
+  } else {
+    report.notes.push_back("manifest unusable: " +
+                           manifest.status().ToString());
+  }
+  if (Result<std::vector<std::string>> names = env_->ListDir(dir_);
+      names.ok()) {
+    for (const std::string& name : *names) {
+      if (std::optional<uint64_t> gen = ParseSnapshotFileName(name)) {
+        candidates.emplace(*gen, name);  // manifest entry wins ties
+      }
+    }
+  } else {
+    report.notes.push_back("cannot list " + dir_ + ": " +
+                           names.status().ToString());
+  }
+  if (!candidates.empty()) saw_durable_state = true;
+
+  // Newest snapshot whose checksums verify; quarantine the ones that
+  // do not instead of giving up.
+  SnapshotReader reader(env_);
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const std::string path = dir_ + "/" + it->second;
+    Result<SnapshotData> snap = reader.Read(path);
+    if (snap.ok()) {
+      if (snap->generation != it->first) {
+        report.notes.push_back(it->second +
+                               ": generation does not match filename");
+      }
+      report.snapshot_generation = snap->generation;
+      out.state = std::move(*snap);
+      break;
+    }
+    report.notes.push_back(it->second + ": " + snap.status().ToString());
+    ++report.quarantined_snapshots;
+    if (options_.quarantine) {
+      if (Status s = env_->Rename(path, path + ".quarantined"); !s.ok()) {
+        report.notes.push_back("quarantine failed: " + s.ToString());
+      }
+    }
+  }
+
+  // WAL tail: apply frame-valid publishes newer than the snapshot.
+  IngestWal wal(env_, dir_);
+  const bool wal_existed = env_->FileExists(wal.path());
+  if (wal_existed) saw_durable_state = true;
+  IngestWal::ReadResult log;
+  if (Result<IngestWal::ReadResult> read = wal.ReadAll(); read.ok()) {
+    log = std::move(*read);
+  } else {
+    report.notes.push_back("wal unreadable: " + read.status().ToString());
+    log.tail = TailState::kCorrupt;
+    log.tail_detail = "unreadable";
+  }
+  report.wal_tail = log.tail;
+  if (log.tail != TailState::kClean) {
+    report.notes.push_back(std::string("wal tail ") +
+                           TailStateName(log.tail) + ": " +
+                           log.tail_detail);
+  }
+  uint64_t adopted_generation =
+      out.state.has_value() ? out.state->generation : 0;
+  for (IngestWal::PublishRecord& rec : log.records) {
+    if (rec.generation <= report.snapshot_generation) {
+      ++report.wal_records_skipped;
+      continue;
+    }
+    Result<SnapshotData> decoded = SnapshotReader::Decode(rec.payload);
+    if (!decoded.ok()) {
+      // Frame checksum passed but the nested payload did not verify:
+      // set it aside and keep scanning — later records are framed
+      // independently and may be fine.
+      ++report.quarantined_wal_records;
+      report.notes.push_back(
+          "wal generation " + std::to_string(rec.generation) +
+          " quarantined: " + decoded.status().ToString());
+      continue;
+    }
+    ++report.wal_records_replayed;
+    if (decoded->generation != rec.generation) {
+      report.notes.push_back(
+          "wal generation " + std::to_string(rec.generation) +
+          " payload claims " + std::to_string(decoded->generation));
+    }
+    if (decoded->generation >= adopted_generation) {
+      adopted_generation = decoded->generation;
+      out.state = std::move(*decoded);
+    }
+  }
+
+  // Preserve damaged WAL bytes, then rewrite the log to its valid
+  // prefix so the process can append again.
+  if (wal_existed && log.tail != TailState::kClean &&
+      options_.quarantine) {
+    if (Result<std::string> raw = env_->ReadFile(wal.path()); raw.ok() &&
+        log.valid_bytes < raw->size()) {
+      if (Status s = env_->WriteFileAtomic(
+              dir_ + "/wal.quarantined", raw->substr(log.valid_bytes));
+          !s.ok()) {
+        report.notes.push_back("wal quarantine failed: " + s.ToString());
+      }
+    }
+  }
+  if (wal_existed && options_.repair_wal &&
+      (log.tail != TailState::kClean || report.wal_records_skipped > 0)) {
+    if (Status s = wal.TruncateThrough(report.snapshot_generation);
+        !s.ok()) {
+      report.notes.push_back("wal repair failed: " + s.ToString());
+    }
+  }
+
+  // Classify the rung.
+  if (out.state.has_value()) {
+    report.recovered_generation = out.state->generation;
+    if (report.snapshot_generation != 0) {
+      report.rung = report.wal_records_replayed > 0
+                        ? RecoveryRung::kSnapshotPlusWal
+                        : RecoveryRung::kSnapshotOnly;
+    } else {
+      report.rung = RecoveryRung::kWalOnly;
+    }
+  } else {
+    report.rung = saw_durable_state ? RecoveryRung::kConservativeEmpty
+                                    : RecoveryRung::kColdStart;
+  }
+  return out;
+}
+
+}  // namespace svqa::storage

@@ -1,0 +1,94 @@
+#ifndef SVQA_STORAGE_RECOVERY_H_
+#define SVQA_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/snapshot.h"
+#include "storage/storage_env.h"
+#include "storage/wal.h"
+
+namespace svqa::storage {
+
+/// \brief How much durable state a warm start managed to recover. The
+/// serving layer surfaces this through exec::Diagnostics so every
+/// answer carries the provenance of the graph it was computed on.
+enum class RecoveryRung : int {
+  /// Fresh directory: no durable state existed. Not a failure — the
+  /// process simply starts cold and awaits an Ingest.
+  kColdStart = 0,
+  /// The newest verified snapshot, with no newer WAL publishes.
+  kSnapshotOnly = 1,
+  /// A verified snapshot plus replayed WAL publishes beyond it.
+  kSnapshotPlusWal = 2,
+  /// No usable snapshot; state rebuilt from the WAL alone.
+  kWalOnly = 3,
+  /// Durable state existed but nothing survived verification: the
+  /// process degrades to an empty-graph conservative mode instead of
+  /// refusing to start.
+  kConservativeEmpty = 4,
+};
+
+const char* RecoveryRungName(RecoveryRung rung);
+
+/// \brief What recovery did and what it had to set aside.
+struct RecoveryReport {
+  RecoveryRung rung = RecoveryRung::kColdStart;
+  /// Generation of the adopted state (0 when nothing was adopted).
+  uint64_t recovered_generation = 0;
+  /// Generation of the verified snapshot used (0 if none).
+  uint64_t snapshot_generation = 0;
+  /// WAL publishes applied on top of (or instead of) the snapshot.
+  uint64_t wal_records_replayed = 0;
+  /// WAL publishes skipped because the snapshot already covered them.
+  uint64_t wal_records_skipped = 0;
+  /// Snapshot files that failed verification and were set aside.
+  uint64_t quarantined_snapshots = 0;
+  /// Frame-valid WAL records whose payload failed verification.
+  uint64_t quarantined_wal_records = 0;
+  /// State of the WAL tail as found on startup.
+  TailState wal_tail = TailState::kClean;
+  /// Human-readable trail of everything unusual recovery encountered.
+  std::vector<std::string> notes;
+};
+
+/// \brief The outcome: the newest recoverable state (if any) + report.
+struct RecoveredState {
+  std::optional<SnapshotData> state;
+  RecoveryReport report;
+};
+
+/// \brief Startup recovery: loads the newest snapshot whose checksums
+/// verify, replays the WAL tail, quarantines damage, and never aborts —
+/// the worst case is an explicit empty-graph conservative mode.
+class RecoveryManager {
+ public:
+  struct Options {
+    /// Rename unverifiable snapshot files to `<name>.quarantined` and
+    /// preserve damaged WAL suffix bytes in `wal.quarantined` (instead
+    /// of only dropping them).
+    bool quarantine = true;
+    /// Rewrite the WAL to its valid prefix (minus records covered by
+    /// the adopted snapshot) so the log is appendable again.
+    bool repair_wal = true;
+  };
+
+  RecoveryManager(StorageEnv* env, std::string dir, Options options);
+  RecoveryManager(StorageEnv* env, std::string dir)
+      : RecoveryManager(env, std::move(dir), Options()) {}
+
+  /// Runs recovery. Infallible by design: I/O errors are noted in the
+  /// report and degrade the rung, they do not throw or abort.
+  RecoveredState Recover();
+
+ private:
+  StorageEnv* const env_;
+  const std::string dir_;
+  const Options options_;
+};
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_RECOVERY_H_

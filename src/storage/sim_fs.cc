@@ -1,0 +1,291 @@
+#include "storage/sim_fs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace svqa::storage {
+
+namespace {
+
+/// Deterministic corruption parameters derived from the fault key: the
+/// same (policy seed, path, attempt) always yields the same damage, so
+/// a failing fuzz case replays exactly.
+uint64_t DamageHash(std::string_view key, uint64_t attempt) {
+  return HashCombine(StableHash64(key), attempt + 1);
+}
+
+class SimWritableFile final : public WritableFile {
+ public:
+  SimWritableFile(SimFs* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    return fs_->AppendTo(path_, data, &attempt_);
+  }
+
+  Status Sync() override { return fs_->SyncPath(path_); }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  SimFs* const fs_;
+  const std::string path_;
+  uint32_t attempt_ = 0;
+};
+
+}  // namespace
+
+Status SimFs::OfflineError() const {
+  return Status::Internal("simulated storage offline (crashed)");
+}
+
+std::size_t SimFs::ConsumeUnits(std::size_t want) {
+  if (!crash_armed_) {
+    units_written_ += want;
+    return want;
+  }
+  if (crash_budget_ >= want) {
+    crash_budget_ -= want;
+    units_written_ += want;
+    return want;
+  }
+  // The budget runs out mid-write: tear here and take the device down.
+  const std::size_t allowed = static_cast<std::size_t>(crash_budget_);
+  units_written_ += allowed;
+  crash_budget_ = 0;
+  crash_armed_ = false;
+  crashed_ = true;
+  return allowed;
+}
+
+bool SimFs::ConsumeMetaUnit() {
+  if (crashed_) return false;
+  return ConsumeUnits(1) == 1;
+}
+
+void SimFs::RecordBoundary() { op_boundaries_.push_back(units_written_); }
+
+Result<std::string> SimFs::ReadFile(const std::string& path) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("cannot open: " + path);
+  std::string copy = it->second.data;
+  if (faults_ != nullptr) {
+    const std::string key = "read:" + path;
+    const auto attempt = static_cast<uint32_t>(read_attempts_++);
+    if (!faults_->Probe(FaultSite::kStorageIo, key, attempt).ok() &&
+        !copy.empty()) {
+      // Silent media corruption: the on-"disk" bytes stay intact, the
+      // returned copy is damaged. Readers must catch this via checksums.
+      const uint64_t h = DamageHash(key, attempt);
+      if ((h & 1u) != 0) {
+        copy.resize(h % copy.size());
+      } else {
+        const uint64_t bit = (h >> 1) % (copy.size() * 8);
+        copy[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(copy[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      ++injected_read_corruptions_;
+    }
+  }
+  return copy;
+}
+
+Status SimFs::WriteFileAtomic(const std::string& path,
+                              std::string_view data) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  // Temp + sync + rename, each step consuming crash-plan units so the
+  // matrix can land a crash between any two of them. A torn temp is
+  // unsynced, so SimulateCrash erases it and the target keeps its old
+  // content — the all-or-nothing contract.
+  const std::string tmp = path + ".tmp";
+  const std::size_t allowed = ConsumeUnits(data.size());
+  FileState& t = files_[tmp];
+  t.data.assign(data.data(), allowed);
+  t.synced = 0;
+  if (allowed < data.size()) return OfflineError();
+  if (!ConsumeMetaUnit()) return OfflineError();  // sync
+  t.synced = t.data.size();
+  if (!ConsumeMetaUnit()) return OfflineError();  // rename
+  files_[path] = std::move(t);
+  files_.erase(tmp);
+  RecordBoundary();
+  return Status::OK();
+}
+
+Status SimFs::AppendTo(const std::string& path, std::string_view data,
+                       uint32_t* attempt_counter) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  FileState& f = files_[path];
+  if (faults_ != nullptr) {
+    const std::string key = "append:" + path;
+    const uint32_t attempt = (*attempt_counter)++;
+    const Status verdict = faults_->Probe(FaultSite::kStorageIo, key, attempt);
+    if (!verdict.ok()) {
+      // Torn append: a deterministic prefix lands before the error
+      // surfaces (EIO after a partial write). The caller sees the
+      // failure; the WAL's recovery contract must absorb the tail.
+      const uint64_t h = DamageHash(key, attempt);
+      const std::size_t partial =
+          ConsumeUnits(static_cast<std::size_t>(h % (data.size() + 1)));
+      f.data.append(data.data(), partial);
+      ++injected_append_faults_;
+      return verdict;
+    }
+  }
+  const std::size_t allowed = ConsumeUnits(data.size());
+  f.data.append(data.data(), allowed);
+  if (allowed < data.size()) return OfflineError();
+  RecordBoundary();
+  return Status::OK();
+}
+
+Status SimFs::SyncPath(const std::string& path) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("sync: no file " + path);
+  if (!ConsumeMetaUnit()) return OfflineError();
+  it->second.synced = it->second.data.size();
+  RecordBoundary();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> SimFs::OpenAppend(
+    const std::string& path) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  files_[path];  // create-if-absent, like fopen("ab")
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<SimWritableFile>(this, path));
+}
+
+bool SimFs::FileExists(const std::string& path) {
+  MutexLock lock(&mu_);
+  return files_.find(path) != files_.end();
+}
+
+Result<std::vector<std::string>> SimFs::ListDir(const std::string& dir) {
+  MutexLock lock(&mu_);
+  std::vector<std::string> names;
+  const std::string prefix = dir + "/";
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+    const std::string name = it->first.substr(prefix.size());
+    if (name.find('/') == std::string::npos) names.push_back(name);
+  }
+  return names;  // std::map iteration order is already sorted
+}
+
+Status SimFs::CreateDirs(const std::string& dir) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  (void)dir;  // directories are implicit
+  return Status::OK();
+}
+
+Status SimFs::Rename(const std::string& from, const std::string& to) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("rename: no file " + from);
+  if (!ConsumeMetaUnit()) return OfflineError();
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  RecordBoundary();
+  return Status::OK();
+}
+
+Status SimFs::Remove(const std::string& path) {
+  MutexLock lock(&mu_);
+  if (crashed_) return OfflineError();
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::OK();
+  if (!ConsumeMetaUnit()) return OfflineError();
+  files_.erase(it);
+  RecordBoundary();
+  return Status::OK();
+}
+
+void SimFs::PlanCrashAfter(uint64_t units) {
+  MutexLock lock(&mu_);
+  crash_armed_ = true;
+  crash_budget_ = units;
+}
+
+void SimFs::SimulateCrash() {
+  MutexLock lock(&mu_);
+  crashed_ = true;
+  crash_armed_ = false;
+  for (auto& [path, f] : files_) {
+    f.data.resize(std::min(f.synced, f.data.size()));
+  }
+}
+
+void SimFs::Restart() {
+  MutexLock lock(&mu_);
+  crashed_ = false;
+  crash_armed_ = false;
+  crash_budget_ = 0;
+}
+
+bool SimFs::crashed() const {
+  MutexLock lock(&mu_);
+  return crashed_;
+}
+
+uint64_t SimFs::units_written() const {
+  MutexLock lock(&mu_);
+  return units_written_;
+}
+
+std::vector<uint64_t> SimFs::op_boundaries() const {
+  MutexLock lock(&mu_);
+  return op_boundaries_;
+}
+
+Status SimFs::CorruptFlipBit(const std::string& path, uint64_t bit_index) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no file " + path);
+  std::string& data = it->second.data;
+  if (data.empty()) return Status::InvalidArgument("empty file " + path);
+  const uint64_t bit = bit_index % (data.size() * 8);
+  data[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>(data[bit / 8]) ^ (1u << (bit % 8)));
+  return Status::OK();
+}
+
+Status SimFs::CorruptTruncate(const std::string& path, uint64_t len) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no file " + path);
+  FileState& f = it->second;
+  const std::size_t new_len =
+      std::min(f.data.size(), static_cast<std::size_t>(len));
+  f.data.resize(new_len);
+  f.synced = std::min(f.synced, new_len);
+  return Status::OK();
+}
+
+void SimFs::set_fault_policy(const FaultPolicy* policy) {
+  MutexLock lock(&mu_);
+  faults_ = policy;
+}
+
+uint64_t SimFs::injected_read_corruptions() const {
+  MutexLock lock(&mu_);
+  return injected_read_corruptions_;
+}
+
+uint64_t SimFs::injected_append_faults() const {
+  MutexLock lock(&mu_);
+  return injected_append_faults_;
+}
+
+}  // namespace svqa::storage

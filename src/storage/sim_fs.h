@@ -1,0 +1,151 @@
+#ifndef SVQA_STORAGE_SIM_FS_H_
+#define SVQA_STORAGE_SIM_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/storage_env.h"
+#include "util/annotations.h"
+#include "util/fault_injector.h"
+#include "util/mutex.h"
+
+namespace svqa::storage {
+
+/// \brief Deterministic in-memory StorageEnv for crash and corruption
+/// testing.
+///
+/// Three failure models, all reproducible from explicit inputs:
+///
+///  1. **Crash points** (`PlanCrashAfter`): every content byte written
+///     and every metadata operation (sync, rename, remove) consumes one
+///     *write unit* from a budget. When the budget runs out mid-write
+///     the write is torn at exactly that byte and the device goes
+///     offline — every later mutation fails with kInternal. The
+///     crash-point matrix sweeps this budget over every interesting
+///     offset of a run.
+///  2. **Unsynced loss** (`SimulateCrash`): models the kernel page
+///     cache. Appended bytes are volatile until `Sync`; SimulateCrash
+///     truncates every file back to its synced prefix, exactly what a
+///     power cut does to un-fsynced data. `Restart` then brings the
+///     device back online for the recovery run.
+///  3. **Fault injection** (`set_fault_policy`): consults the seeded
+///     policy at FaultSite::kStorageIo before reads and appends. An
+///     injected read verdict deterministically corrupts the returned
+///     copy (bit flip or truncation, derived from the key hash —
+///     on-disk bytes stay intact); an injected append verdict tears
+///     the append partway and surfaces the error.
+///
+/// Paths are plain strings; directories exist implicitly ("db/x" is
+/// under directory "db"). Thread-safety: all operations lock one
+/// internal mutex, and op-boundary bookkeeping is deterministic for a
+/// single-threaded writer (the crash matrix's setup).
+class SimFs final : public StorageEnv {
+ public:
+  SimFs() = default;
+
+  // --- StorageEnv -----------------------------------------------------
+  Result<std::string> ReadFile(const std::string& path) override
+      SVQA_EXCLUDES(mu_);
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override SVQA_EXCLUDES(mu_);
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override SVQA_EXCLUDES(mu_);
+  bool FileExists(const std::string& path) override SVQA_EXCLUDES(mu_);
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override
+      SVQA_EXCLUDES(mu_);
+  Status CreateDirs(const std::string& dir) override SVQA_EXCLUDES(mu_);
+  Status Rename(const std::string& from, const std::string& to) override
+      SVQA_EXCLUDES(mu_);
+  Status Remove(const std::string& path) override SVQA_EXCLUDES(mu_);
+
+  // --- crash planning -------------------------------------------------
+
+  /// Arms the crash plan: after `units` further write units the device
+  /// tears the in-flight write and goes offline. Pass the unit counts
+  /// recorded by a clean run (see `units_written` / `op_boundaries`) to
+  /// hit every record boundary.
+  void PlanCrashAfter(uint64_t units) SVQA_EXCLUDES(mu_);
+
+  /// "Power cut": drops every unsynced byte (files shrink back to their
+  /// synced prefix) and leaves the device offline.
+  void SimulateCrash() SVQA_EXCLUDES(mu_);
+
+  /// "Process restart": device back online, crash plan disarmed. File
+  /// contents are whatever survived.
+  void Restart() SVQA_EXCLUDES(mu_);
+
+  /// True once a planned crash has fired or SimulateCrash ran.
+  bool crashed() const SVQA_EXCLUDES(mu_);
+
+  /// Total write units consumed so far (content bytes + metadata ops).
+  uint64_t units_written() const SVQA_EXCLUDES(mu_);
+
+  /// Unit counter value after each completed storage operation of the
+  /// run so far — the natural crash points a matrix test sweeps.
+  std::vector<uint64_t> op_boundaries() const SVQA_EXCLUDES(mu_);
+
+  // --- corruption (for fuzz tests) -----------------------------------
+
+  /// Flips one bit of `path` (bit index modulo file size); no-op
+  /// error if the file is missing or empty.
+  Status CorruptFlipBit(const std::string& path, uint64_t bit_index)
+      SVQA_EXCLUDES(mu_);
+
+  /// Truncates `path` to `len` bytes (clamped to the current size).
+  Status CorruptTruncate(const std::string& path, uint64_t len)
+      SVQA_EXCLUDES(mu_);
+
+  // --- fault injection ------------------------------------------------
+
+  /// Probes `policy` at FaultSite::kStorageIo before reads and appends;
+  /// nullptr (default) disables injection. Not owned.
+  void set_fault_policy(const FaultPolicy* policy) SVQA_EXCLUDES(mu_);
+
+  /// Reads whose returned copy was deterministically corrupted by the
+  /// fault policy.
+  uint64_t injected_read_corruptions() const SVQA_EXCLUDES(mu_);
+  /// Appends torn by the fault policy.
+  uint64_t injected_append_faults() const SVQA_EXCLUDES(mu_);
+
+  // Append path used by the WritableFile handles OpenAppend returns.
+  // Public only for those handles; callers should go through OpenAppend.
+  Status AppendTo(const std::string& path, std::string_view data,
+                  uint32_t* attempt_counter) SVQA_EXCLUDES(mu_);
+  Status SyncPath(const std::string& path) SVQA_EXCLUDES(mu_);
+
+ private:
+  struct FileState {
+    std::string data;
+    /// Bytes guaranteed to survive SimulateCrash.
+    std::size_t synced = 0;
+  };
+
+  /// Consumes write units for `want` content bytes; returns how many
+  /// may actually be written (fewer when the crash budget runs out,
+  /// which also marks the device crashed).
+  std::size_t ConsumeUnits(std::size_t want) SVQA_REQUIRES(mu_);
+  /// Consumes one metadata unit; false when the crash fires instead.
+  bool ConsumeMetaUnit() SVQA_REQUIRES(mu_);
+  void RecordBoundary() SVQA_REQUIRES(mu_);
+  Status OfflineError() const SVQA_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, FileState> files_ SVQA_GUARDED_BY(mu_);
+  bool crashed_ SVQA_GUARDED_BY(mu_) = false;
+  bool crash_armed_ SVQA_GUARDED_BY(mu_) = false;
+  uint64_t crash_budget_ SVQA_GUARDED_BY(mu_) = 0;
+  uint64_t units_written_ SVQA_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> op_boundaries_ SVQA_GUARDED_BY(mu_);
+  const FaultPolicy* faults_ SVQA_GUARDED_BY(mu_) = nullptr;
+  uint64_t read_attempts_ SVQA_GUARDED_BY(mu_) = 0;
+  uint64_t injected_read_corruptions_ SVQA_GUARDED_BY(mu_) = 0;
+  uint64_t injected_append_faults_ SVQA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_SIM_FS_H_

@@ -1,0 +1,343 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+namespace svqa::storage {
+
+namespace {
+
+constexpr std::string_view kSnapshotPrefix = "snapshot-";
+constexpr std::string_view kSnapshotSuffix = ".sgs";
+
+Status FooterMismatch(const std::string& what) {
+  return Status::ParseError("snapshot footer mismatch: " + what);
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t generation) {
+  std::string digits = std::to_string(generation);
+  std::string name(kSnapshotPrefix);
+  name.append(digits.size() < 12 ? 12 - digits.size() : 0, '0');
+  name += digits;
+  name += kSnapshotSuffix;
+  return name;
+}
+
+std::optional<uint64_t> ParseSnapshotFileName(std::string_view name) {
+  if (name.size() <= kSnapshotPrefix.size() + kSnapshotSuffix.size() ||
+      name.substr(0, kSnapshotPrefix.size()) != kSnapshotPrefix ||
+      name.substr(name.size() - kSnapshotSuffix.size()) != kSnapshotSuffix) {
+    return std::nullopt;
+  }
+  const std::string_view digits = name.substr(
+      kSnapshotPrefix.size(),
+      name.size() - kSnapshotPrefix.size() - kSnapshotSuffix.size());
+  uint64_t generation = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(),
+                      generation);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return generation;
+}
+
+std::string EncodeSnapshot(const SnapshotData& data) {
+  std::string out;
+  {
+    std::string payload;
+    PutU64(data.generation, &payload);
+    PutU64(data.kg_vertex_count, &payload);
+    PutU64(data.entity_links, &payload);
+    PutU64(data.concept_links, &payload);
+    PutU64(data.symbols.size(), &payload);
+    PutU64(data.vertices.size(), &payload);
+    PutU64(data.edges.size(), &payload);
+    AppendRecord(kRecSnapshotHeader, payload, &out);
+  }
+  for (std::size_t i = 0; i < data.symbols.size();
+       i += kSnapshotChunkItems) {
+    const std::size_t n =
+        std::min(kSnapshotChunkItems, data.symbols.size() - i);
+    std::string payload;
+    PutU32(static_cast<uint32_t>(n), &payload);
+    for (std::size_t j = i; j < i + n; ++j) {
+      PutString(data.symbols[j], &payload);
+    }
+    AppendRecord(kRecSymbolChunk, payload, &out);
+  }
+  for (std::size_t i = 0; i < data.vertices.size();
+       i += kSnapshotChunkItems) {
+    const std::size_t n =
+        std::min(kSnapshotChunkItems, data.vertices.size() - i);
+    std::string payload;
+    PutU32(static_cast<uint32_t>(n), &payload);
+    for (std::size_t j = i; j < i + n; ++j) {
+      const SnapshotVertex& v = data.vertices[j];
+      PutString(v.label, &payload);
+      PutString(v.category, &payload);
+      PutU32(static_cast<uint32_t>(v.source_image), &payload);
+    }
+    AppendRecord(kRecVertexChunk, payload, &out);
+  }
+  for (std::size_t i = 0; i < data.edges.size(); i += kSnapshotChunkItems) {
+    const std::size_t n =
+        std::min(kSnapshotChunkItems, data.edges.size() - i);
+    std::string payload;
+    PutU32(static_cast<uint32_t>(n), &payload);
+    for (std::size_t j = i; j < i + n; ++j) {
+      const SnapshotEdge& e = data.edges[j];
+      PutU32(e.src, &payload);
+      PutU32(e.dst, &payload);
+      PutString(e.label, &payload);
+    }
+    AppendRecord(kRecEdgeChunk, payload, &out);
+  }
+  {
+    std::string payload;
+    PutU64(data.generation, &payload);
+    PutU64(data.symbols.size(), &payload);
+    PutU64(data.vertices.size(), &payload);
+    PutU64(data.edges.size(), &payload);
+    AppendRecord(kRecSnapshotFooter, payload, &out);
+  }
+  return out;
+}
+
+Result<SnapshotData> SnapshotReader::Decode(std::string_view bytes) {
+  const RecordScan scan = ScanRecords(bytes);
+  if (scan.tail != TailState::kClean) {
+    return Status::ParseError(std::string("snapshot stream ") +
+                              TailStateName(scan.tail) + ": " +
+                              scan.tail_detail);
+  }
+  if (scan.records.empty()) {
+    return Status::ParseError("snapshot stream is empty");
+  }
+  if (scan.records.front().type != kRecSnapshotHeader) {
+    return Status::ParseError("snapshot does not start with a header");
+  }
+  SnapshotData data;
+  uint64_t want_symbols = 0;
+  uint64_t want_vertices = 0;
+  uint64_t want_edges = 0;
+  {
+    PayloadReader r(scan.records.front().payload);
+    SVQA_ASSIGN_OR_RETURN(data.generation, r.GetU64());
+    SVQA_ASSIGN_OR_RETURN(data.kg_vertex_count, r.GetU64());
+    SVQA_ASSIGN_OR_RETURN(data.entity_links, r.GetU64());
+    SVQA_ASSIGN_OR_RETURN(data.concept_links, r.GetU64());
+    SVQA_ASSIGN_OR_RETURN(want_symbols, r.GetU64());
+    SVQA_ASSIGN_OR_RETURN(want_vertices, r.GetU64());
+    SVQA_ASSIGN_OR_RETURN(want_edges, r.GetU64());
+  }
+  bool saw_footer = false;
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const Record& rec = scan.records[i];
+    if (saw_footer) {
+      return Status::ParseError("records after snapshot footer");
+    }
+    PayloadReader r(rec.payload);
+    switch (rec.type) {
+      case kRecSymbolChunk: {
+        SVQA_ASSIGN_OR_RETURN(const uint32_t n, r.GetU32());
+        for (uint32_t j = 0; j < n; ++j) {
+          SVQA_ASSIGN_OR_RETURN(const std::string_view s, r.GetString());
+          data.symbols.emplace_back(s);
+        }
+        break;
+      }
+      case kRecVertexChunk: {
+        SVQA_ASSIGN_OR_RETURN(const uint32_t n, r.GetU32());
+        for (uint32_t j = 0; j < n; ++j) {
+          SnapshotVertex v;
+          SVQA_ASSIGN_OR_RETURN(const std::string_view label, r.GetString());
+          SVQA_ASSIGN_OR_RETURN(const std::string_view category,
+                                r.GetString());
+          SVQA_ASSIGN_OR_RETURN(const uint32_t src_img, r.GetU32());
+          v.label = std::string(label);
+          v.category = std::string(category);
+          v.source_image = static_cast<int32_t>(src_img);
+          data.vertices.push_back(std::move(v));
+        }
+        break;
+      }
+      case kRecEdgeChunk: {
+        SVQA_ASSIGN_OR_RETURN(const uint32_t n, r.GetU32());
+        for (uint32_t j = 0; j < n; ++j) {
+          SnapshotEdge e;
+          SVQA_ASSIGN_OR_RETURN(e.src, r.GetU32());
+          SVQA_ASSIGN_OR_RETURN(e.dst, r.GetU32());
+          SVQA_ASSIGN_OR_RETURN(const std::string_view label, r.GetString());
+          e.label = std::string(label);
+          data.edges.push_back(std::move(e));
+        }
+        break;
+      }
+      case kRecSnapshotFooter: {
+        uint64_t generation = 0;
+        uint64_t symbols = 0;
+        uint64_t vertices = 0;
+        uint64_t edges = 0;
+        SVQA_ASSIGN_OR_RETURN(generation, r.GetU64());
+        SVQA_ASSIGN_OR_RETURN(symbols, r.GetU64());
+        SVQA_ASSIGN_OR_RETURN(vertices, r.GetU64());
+        SVQA_ASSIGN_OR_RETURN(edges, r.GetU64());
+        if (generation != data.generation) {
+          return FooterMismatch("generation");
+        }
+        if (symbols != want_symbols || vertices != want_vertices ||
+            edges != want_edges) {
+          return FooterMismatch("counts");
+        }
+        saw_footer = true;
+        break;
+      }
+      default:
+        return Status::ParseError("unknown snapshot record type " +
+                                  std::to_string(rec.type));
+    }
+    if (!r.AtEnd()) {
+      return Status::ParseError("trailing bytes in snapshot record");
+    }
+  }
+  if (!saw_footer) {
+    // A stream of intact records that simply stops is a truncation at a
+    // record boundary — only the footer can prove completeness.
+    return Status::ParseError("snapshot footer missing (truncated file)");
+  }
+  if (data.symbols.size() != want_symbols ||
+      data.vertices.size() != want_vertices ||
+      data.edges.size() != want_edges) {
+    return FooterMismatch("header counts");
+  }
+  for (const SnapshotEdge& e : data.edges) {
+    if (e.src >= data.vertices.size() || e.dst >= data.vertices.size()) {
+      return Status::ParseError("snapshot edge endpoint out of range");
+    }
+  }
+  if (data.kg_vertex_count > data.vertices.size()) {
+    return Status::ParseError("kg_vertex_count exceeds vertex count");
+  }
+  return data;
+}
+
+Result<SnapshotData> SnapshotReader::Read(const std::string& path) const {
+  SVQA_ASSIGN_OR_RETURN(const std::string bytes, env_->ReadFile(path));
+  return Decode(bytes);
+}
+
+SnapshotWriter::SnapshotWriter(StorageEnv* env, std::string dir,
+                               Options options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+Result<std::string> SnapshotWriter::Write(const SnapshotData& data) {
+  return WriteEncoded(data.generation, EncodeSnapshot(data));
+}
+
+Result<std::string> SnapshotWriter::WriteEncoded(uint64_t generation,
+                                                 std::string_view encoded) {
+  SVQA_RETURN_NOT_OK(env_->CreateDirs(dir_));
+  const std::string name = SnapshotFileName(generation);
+  SVQA_RETURN_NOT_OK(env_->WriteFileAtomic(dir_ + "/" + name, encoded));
+
+  // Refresh the manifest. A stale (or unreadable) manifest is not fatal
+  // for recovery — the directory scan fallback finds the file — so
+  // start from scratch if the old one does not parse.
+  std::vector<ManifestEntry> entries;
+  if (Result<std::vector<ManifestEntry>> old = ReadManifest(env_, dir_);
+      old.ok()) {
+    entries = std::move(*old);
+  }
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const ManifestEntry& e) {
+                                 return e.generation == generation;
+                               }),
+                entries.end());
+  entries.push_back(ManifestEntry{generation, name});
+  std::sort(entries.begin(), entries.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.generation < b.generation;
+            });
+
+  // Retention: drop generations beyond the newest `keep` — manifest
+  // first (so a crash mid-prune never leaves the manifest pointing at a
+  // deleted file), then the files.
+  std::vector<ManifestEntry> pruned;
+  if (options_.keep > 0 && entries.size() > options_.keep) {
+    pruned.assign(entries.begin(),
+                  entries.end() - static_cast<std::ptrdiff_t>(options_.keep));
+    entries.erase(entries.begin(),
+                  entries.end() - static_cast<std::ptrdiff_t>(options_.keep));
+  }
+  SVQA_RETURN_NOT_OK(WriteManifest(env_, dir_, entries));
+  for (const ManifestEntry& e : pruned) {
+    SVQA_RETURN_NOT_OK(env_->Remove(dir_ + "/" + e.filename));
+  }
+  return name;
+}
+
+Result<std::vector<ManifestEntry>> ReadManifest(StorageEnv* env,
+                                                const std::string& dir) {
+  const std::string path = dir + "/" + kManifestName;
+  if (!env->FileExists(path)) return std::vector<ManifestEntry>{};
+  SVQA_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFile(path));
+  const RecordScan scan = ScanRecords(bytes);
+  if (scan.tail != TailState::kClean) {
+    return Status::ParseError(std::string("manifest ") +
+                              TailStateName(scan.tail) + ": " +
+                              scan.tail_detail);
+  }
+  std::vector<ManifestEntry> entries;
+  bool saw_footer = false;
+  for (const Record& rec : scan.records) {
+    PayloadReader r(rec.payload);
+    if (rec.type == kRecManifestEntry) {
+      if (saw_footer) {
+        return Status::ParseError("manifest entry after footer");
+      }
+      ManifestEntry e;
+      SVQA_ASSIGN_OR_RETURN(e.generation, r.GetU64());
+      SVQA_ASSIGN_OR_RETURN(const std::string_view name, r.GetString());
+      e.filename = std::string(name);
+      entries.push_back(std::move(e));
+    } else if (rec.type == kRecManifestFooter) {
+      uint64_t count = 0;
+      SVQA_ASSIGN_OR_RETURN(count, r.GetU64());
+      if (count != entries.size()) {
+        return Status::ParseError("manifest footer count mismatch");
+      }
+      saw_footer = true;
+    } else {
+      return Status::ParseError("unknown manifest record type " +
+                                std::to_string(rec.type));
+    }
+    if (!r.AtEnd()) {
+      return Status::ParseError("trailing bytes in manifest record");
+    }
+  }
+  if (!saw_footer) {
+    return Status::ParseError("manifest footer missing");
+  }
+  return entries;
+}
+
+Status WriteManifest(StorageEnv* env, const std::string& dir,
+                     const std::vector<ManifestEntry>& entries) {
+  std::string out;
+  for (const ManifestEntry& e : entries) {
+    std::string payload;
+    PutU64(e.generation, &payload);
+    PutString(e.filename, &payload);
+    AppendRecord(kRecManifestEntry, payload, &out);
+  }
+  std::string payload;
+  PutU64(entries.size(), &payload);
+  AppendRecord(kRecManifestFooter, payload, &out);
+  return env->WriteFileAtomic(dir + "/" + kManifestName, out);
+}
+
+}  // namespace svqa::storage

@@ -1,0 +1,146 @@
+#ifndef SVQA_STORAGE_SNAPSHOT_H_
+#define SVQA_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record_io.h"
+#include "storage/storage_env.h"
+#include "util/result.h"
+
+namespace svqa::storage {
+
+/// Record types used by snapshot files, the WAL, and the manifest.
+/// Values are wire format — never renumber, only append.
+inline constexpr uint16_t kRecSnapshotHeader = 1;
+inline constexpr uint16_t kRecSymbolChunk = 2;
+inline constexpr uint16_t kRecVertexChunk = 3;
+inline constexpr uint16_t kRecEdgeChunk = 4;
+inline constexpr uint16_t kRecSnapshotFooter = 5;
+inline constexpr uint16_t kRecWalPublish = 6;
+inline constexpr uint16_t kRecManifestEntry = 7;
+inline constexpr uint16_t kRecManifestFooter = 8;
+
+/// Items per symbol/vertex/edge chunk record. Small enough that a real
+/// graph spans many records — giving the crash-point matrix many
+/// interesting boundaries — without measurable framing overhead.
+inline constexpr std::size_t kSnapshotChunkItems = 256;
+
+/// \brief A storage-layer view of one published graph generation.
+///
+/// Deliberately graph-agnostic (plain strings and ids): the storage
+/// layer sits *below* src/graph in the layer DAG so that graph
+/// serialization itself can route through StorageEnv. The converters
+/// between this and graph::Graph / aggregator::MergedGraph live in
+/// aggregator/snapshot_codec.h.
+struct SnapshotVertex {
+  std::string label;
+  std::string category;
+  int32_t source_image = -1;
+};
+
+struct SnapshotEdge {
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  std::string label;
+};
+
+struct SnapshotData {
+  /// Durable generation number (monotonic across process restarts).
+  uint64_t generation = 0;
+  /// MergedGraph bookkeeping carried through recovery.
+  uint64_t kg_vertex_count = 0;
+  uint64_t entity_links = 0;
+  uint64_t concept_links = 0;
+  /// SymbolTable contents in id order (id i == symbols[i]), so interned
+  /// ids stay stable across a restart.
+  std::vector<std::string> symbols;
+  /// Vertices in id order; edges in Graph::AllEdges order, so replaying
+  /// AddVertex/AddEdge reproduces the graph byte-for-byte.
+  std::vector<SnapshotVertex> vertices;
+  std::vector<SnapshotEdge> edges;
+};
+
+/// "snapshot-%012llu.sgs" for `generation`.
+std::string SnapshotFileName(uint64_t generation);
+/// Inverse of SnapshotFileName; nullopt for anything else.
+std::optional<uint64_t> ParseSnapshotFileName(std::string_view name);
+
+/// Serializes `data` as a record stream: header, chunked symbol /
+/// vertex / edge records, and a footer echoing the counts. The footer
+/// is what makes truncation at a record boundary detectable — a
+/// snapshot without a verified footer never loads.
+std::string EncodeSnapshot(const SnapshotData& data);
+
+/// \brief Writes snapshot files + manifest under one directory.
+///
+/// Publish protocol: encode → WriteFileAtomic the snapshot file →
+/// atomically rewrite MANIFEST → prune generations beyond `keep`. A
+/// crash between any two steps leaves the previous generation fully
+/// loadable (recovery falls back to a directory scan when the manifest
+/// lags or is damaged).
+class SnapshotWriter {
+ public:
+  struct Options {
+    /// Newest generations retained on disk; older files are pruned.
+    std::size_t keep = 3;
+  };
+
+  SnapshotWriter(StorageEnv* env, std::string dir, Options options);
+  SnapshotWriter(StorageEnv* env, std::string dir)
+      : SnapshotWriter(env, std::move(dir), Options()) {}
+
+  /// Persists `data`; returns the snapshot's filename.
+  SVQA_NODISCARD Result<std::string> Write(const SnapshotData& data);
+
+  /// Same, for a stream already produced by EncodeSnapshot (the WAL
+  /// path reuses its logged bytes instead of re-encoding).
+  SVQA_NODISCARD Result<std::string> WriteEncoded(uint64_t generation,
+                                                  std::string_view encoded);
+
+ private:
+  StorageEnv* const env_;
+  const std::string dir_;
+  const Options options_;
+};
+
+/// \brief Verifying reader for snapshot files.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(StorageEnv* env) : env_(env) {}
+
+  /// Decodes a snapshot byte stream. Any damage — bad checksum, torn
+  /// tail, missing footer, count mismatch — is a ParseError; a decoded
+  /// snapshot is complete and verified, never partial.
+  static Result<SnapshotData> Decode(std::string_view bytes);
+
+  /// Reads and decodes `path`.
+  SVQA_NODISCARD Result<SnapshotData> Read(const std::string& path) const;
+
+ private:
+  StorageEnv* const env_;
+};
+
+/// \brief One manifest line: a generation and its snapshot file.
+struct ManifestEntry {
+  uint64_t generation = 0;
+  std::string filename;
+};
+
+inline constexpr const char* kManifestName = "MANIFEST";
+
+/// Reads `dir`/MANIFEST. A missing manifest is an empty list; a damaged
+/// one is a ParseError (recovery then scans the directory instead).
+Result<std::vector<ManifestEntry>> ReadManifest(StorageEnv* env,
+                                                const std::string& dir);
+
+/// Atomically rewrites `dir`/MANIFEST.
+Status WriteManifest(StorageEnv* env, const std::string& dir,
+                     const std::vector<ManifestEntry>& entries);
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_SNAPSHOT_H_

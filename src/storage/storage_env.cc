@@ -1,0 +1,179 @@
+#include "storage/storage_env.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace svqa::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+/// Buffered stdio writer with an explicit fsync barrier.
+class FsWritableFile final : public WritableFile {
+ public:
+  FsWritableFile(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+
+  ~FsWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (f_ == nullptr) return Status::Internal("append on closed file");
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::Internal("write failed: " + path_ + ": " +
+                              ErrnoString());
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (f_ == nullptr) return Status::Internal("sync on closed file");
+    if (std::fflush(f_) != 0) {
+      return Status::Internal("flush failed: " + path_ + ": " +
+                              ErrnoString());
+    }
+    if (::fsync(fileno(f_)) != 0) {
+      return Status::Internal("fsync failed: " + path_ + ": " +
+                              ErrnoString());
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return Status::OK();
+    const int rc = std::fclose(f_);
+    f_ = nullptr;
+    if (rc != 0) {
+      return Status::Internal("close failed: " + path_ + ": " +
+                              ErrnoString());
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_;
+  const std::string path_;
+};
+
+}  // namespace
+
+Result<std::string> FsEnv::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open: " + path + ": " + ErrnoString());
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal("read failed: " + path);
+  }
+  return out;
+}
+
+Status FsEnv::WriteFileAtomic(const std::string& path,
+                              std::string_view data) {
+  // Temp lives next to the target so the rename stays within one
+  // filesystem (and therefore atomic).
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::InvalidArgument("cannot open for writing: " + tmp +
+                                     ": " + ErrnoString());
+    }
+    FsWritableFile out(f, tmp);
+    Status s = out.Append(data);
+    if (s.ok()) s = out.Sync();
+    Status close = out.Close();
+    if (s.ok()) s = close;
+    if (!s.ok()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return s;
+    }
+  }
+  return Rename(tmp, path);
+}
+
+Result<std::unique_ptr<WritableFile>> FsEnv::OpenAppend(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for append: " + path + ": " +
+                                   ErrnoString());
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FsWritableFile>(f, path));
+}
+
+bool FsEnv::FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+Result<std::vector<std::string>> FsEnv::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return names;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status FsEnv::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status FsEnv::Rename(const std::string& from, const std::string& to) {
+  // std::rename is atomic-replace on POSIX.
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("rename " + from + " -> " + to + ": " +
+                            ErrnoString());
+  }
+  return Status::OK();
+}
+
+Status FsEnv::Remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::Internal("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+StorageEnv& DefaultEnv() {
+  static FsEnv* env = new FsEnv();
+  return *env;
+}
+
+}  // namespace svqa::storage

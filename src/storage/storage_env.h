@@ -1,0 +1,104 @@
+#ifndef SVQA_STORAGE_STORAGE_ENV_H_
+#define SVQA_STORAGE_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace svqa::storage {
+
+/// \brief An open append-only file handle.
+///
+/// `Append` buffers; data is guaranteed durable only after `Sync`
+/// returns OK (the crash model drops every unsynced byte). `Close`
+/// flushes but does NOT sync — a WAL that needs durability must Sync
+/// before acknowledging.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  SVQA_NODISCARD virtual Status Append(std::string_view data) = 0;
+  /// Durability barrier: everything appended so far survives a crash.
+  SVQA_NODISCARD virtual Status Sync() = 0;
+  SVQA_NODISCARD virtual Status Close() = 0;
+};
+
+/// \brief The storage abstraction every durable byte goes through.
+///
+/// Two implementations: `FsEnv` (the real filesystem) and `SimFs` (a
+/// deterministic in-memory filesystem with crash points and fault
+/// injection — see storage/sim_fs.h). Code above this layer never opens
+/// a file directly; the svqa_lint `durable-io` rule bans raw
+/// `std::ofstream`/`std::fopen` outside src/storage so torn,
+/// non-atomic writes cannot creep back in.
+///
+/// Durability contract:
+///  - `WriteFileAtomic` publishes all-or-nothing: readers see the old
+///    content or the complete new content, never a prefix. (Implemented
+///    as write-temp + sync + atomic rename.)
+///  - `OpenAppend` + `Sync` is the WAL primitive: appended bytes are
+///    durable once Sync returns.
+///  - `Rename` over an existing target replaces it atomically.
+///
+/// Thread-safety: implementations are safe for concurrent calls on
+/// distinct paths; callers serialize writes to one path themselves.
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  SVQA_NODISCARD virtual Result<std::string> ReadFile(
+      const std::string& path) = 0;
+
+  /// Writes `data` to `path` all-or-nothing (temp + sync + rename).
+  SVQA_NODISCARD virtual Status WriteFileAtomic(const std::string& path,
+                                                std::string_view data) = 0;
+
+  /// Opens `path` for appending, creating it if absent.
+  SVQA_NODISCARD virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  SVQA_NODISCARD virtual bool FileExists(const std::string& path) = 0;
+
+  /// Regular-file names directly under `dir`, lexicographically sorted.
+  /// An absent directory reads as empty, not as an error.
+  SVQA_NODISCARD virtual Result<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  /// Creates `dir` and any missing parents; OK if already present.
+  SVQA_NODISCARD virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// Atomically renames `from` to `to`, replacing any existing `to`.
+  SVQA_NODISCARD virtual Status Rename(const std::string& from,
+                                       const std::string& to) = 0;
+
+  /// Removes `path`; OK if it does not exist.
+  SVQA_NODISCARD virtual Status Remove(const std::string& path) = 0;
+};
+
+/// \brief Real-filesystem StorageEnv (fopen/fwrite/fsync/rename).
+class FsEnv final : public StorageEnv {
+ public:
+  FsEnv() = default;
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override;
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirs(const std::string& dir) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+};
+
+/// The process-wide real-filesystem environment.
+StorageEnv& DefaultEnv();
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_STORAGE_ENV_H_

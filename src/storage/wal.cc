@@ -1,0 +1,116 @@
+#include "storage/wal.h"
+
+#include <utility>
+
+#include "storage/snapshot.h"
+
+namespace svqa::storage {
+
+IngestWal::IngestWal(StorageEnv* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+Status IngestWal::Append(uint64_t generation,
+                         std::string_view encoded_snapshot) {
+  MutexLock lock(&mu_);
+  if (broken_) {
+    return Status::Internal(
+        "wal tail may be torn by a failed append; run recovery "
+        "(TruncateThrough) before appending");
+  }
+  if (file_ == nullptr) {
+    SVQA_RETURN_NOT_OK(env_->CreateDirs(dir_));
+    auto opened = env_->OpenAppend(path());
+    if (!opened.ok()) return opened.status();
+    file_ = std::move(*opened);
+  }
+  std::string payload;
+  payload.reserve(8 + encoded_snapshot.size());
+  PutU64(generation, &payload);
+  payload.append(encoded_snapshot);
+  std::string frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  AppendRecord(kRecWalPublish, payload, &frame);
+  Status s = file_->Append(frame);
+  if (s.ok()) s = file_->Sync();
+  if (!s.ok()) {
+    // The frame may be partially on disk; refuse further appends until
+    // TruncateThrough rewrites the valid prefix.
+    file_.reset();
+    broken_ = true;
+  }
+  return s;
+}
+
+Result<IngestWal::ReadResult> IngestWal::ReadAll() const {
+  MutexLock lock(&mu_);
+  ReadResult result;
+  if (!env_->FileExists(path())) return result;
+  SVQA_ASSIGN_OR_RETURN(const std::string bytes, env_->ReadFile(path()));
+  const RecordScan scan = ScanRecords(bytes);
+  result.tail = scan.tail;
+  result.tail_detail = scan.tail_detail;
+  result.valid_bytes = scan.valid_bytes;
+  std::size_t offset = 0;
+  for (const Record& rec : scan.records) {
+    if (rec.type != kRecWalPublish) {
+      // A foreign record type mid-log is damage, not a format upgrade:
+      // stop the prefix here.
+      result.tail = TailState::kCorrupt;
+      result.tail_detail =
+          "unexpected record type " + std::to_string(rec.type);
+      result.valid_bytes = offset;
+      break;
+    }
+    PayloadReader r(rec.payload);
+    auto generation = r.GetU64();
+    if (!generation.ok()) {
+      result.tail = TailState::kCorrupt;
+      result.tail_detail = "wal record too short for a generation";
+      result.valid_bytes = offset;
+      break;
+    }
+    PublishRecord p;
+    p.generation = *generation;
+    p.payload = std::string(r.Rest());
+    result.records.push_back(std::move(p));
+    offset += kRecordHeaderBytes + rec.payload.size();
+  }
+  return result;
+}
+
+Status IngestWal::TruncateThrough(uint64_t generation) {
+  MutexLock lock(&mu_);
+  // Rewrite from the valid prefix; close the append handle first so the
+  // atomic replace is the only writer.
+  file_.reset();
+  ReadResult kept;
+  if (env_->FileExists(path())) {
+    SVQA_ASSIGN_OR_RETURN(const std::string bytes, env_->ReadFile(path()));
+    const RecordScan scan = ScanRecords(bytes);
+    for (const Record& rec : scan.records) {
+      if (rec.type != kRecWalPublish) break;
+      PayloadReader r(rec.payload);
+      auto gen = r.GetU64();
+      if (!gen.ok()) break;
+      PublishRecord p;
+      p.generation = *gen;
+      p.payload = std::string(r.Rest());
+      kept.records.push_back(std::move(p));
+    }
+  }
+  std::string out;
+  for (const PublishRecord& p : kept.records) {
+    if (p.generation <= generation) continue;
+    std::string payload;
+    payload.reserve(8 + p.payload.size());
+    PutU64(p.generation, &payload);
+    payload.append(p.payload);
+    AppendRecord(kRecWalPublish, payload, &out);
+  }
+  SVQA_RETURN_NOT_OK(env_->CreateDirs(dir_));
+  SVQA_RETURN_NOT_OK(env_->WriteFileAtomic(path(), out));
+  broken_ = false;
+  return Status::OK();
+}
+
+}  // namespace svqa::storage

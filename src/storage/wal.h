@@ -1,0 +1,83 @@
+#ifndef SVQA_STORAGE_WAL_H_
+#define SVQA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record_io.h"
+#include "storage/storage_env.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace svqa::storage {
+
+inline constexpr const char* kWalFileName = "wal.log";
+
+/// \brief Append-only write-ahead log of graph publishes.
+///
+/// `SvqaEngine::Ingest` (and every durable `GraphSnapshotStore::Publish`)
+/// appends a publish record — the generation number plus the encoded
+/// snapshot of the new state — and syncs *before* the in-memory store
+/// mutates. A crash at any point therefore loses at most un-acknowledged
+/// publishes: whatever the WAL's valid prefix holds is exactly a prefix
+/// of ingest history.
+///
+/// Replay contract (see RecoveryManager): read the valid prefix, apply
+/// records with generation beyond the newest verified snapshot, ignore
+/// the torn/corrupt tail. `TruncateThrough` rewrites the log after a
+/// snapshot makes its prefix redundant — which also repairs any torn
+/// tail left by a crashed append.
+class IngestWal {
+ public:
+  IngestWal(StorageEnv* env, std::string dir);
+
+  /// One replayable publish: the generation and its encoded snapshot.
+  struct PublishRecord {
+    uint64_t generation = 0;
+    std::string payload;
+  };
+
+  /// Valid-prefix read result; `tail` describes what (if anything)
+  /// followed the prefix. Reading never fails on damage — only on
+  /// environment errors (an unreadable device).
+  struct ReadResult {
+    std::vector<PublishRecord> records;
+    TailState tail = TailState::kClean;
+    std::string tail_detail;
+    /// Byte offset where the valid prefix ends (== file size iff clean).
+    std::size_t valid_bytes = 0;
+  };
+
+  /// Appends + syncs one publish record; durable once this returns OK.
+  /// After a failed append the log is marked broken (the tail may be
+  /// torn) and further appends are refused until `TruncateThrough`
+  /// repairs it.
+  SVQA_NODISCARD Status Append(uint64_t generation,
+                               std::string_view encoded_snapshot)
+      SVQA_EXCLUDES(mu_);
+
+  SVQA_NODISCARD Result<ReadResult> ReadAll() const SVQA_EXCLUDES(mu_);
+
+  /// Atomically rewrites the log keeping only valid records with
+  /// generation > `generation`; drops any torn/corrupt tail and clears
+  /// the broken flag.
+  SVQA_NODISCARD Status TruncateThrough(uint64_t generation)
+      SVQA_EXCLUDES(mu_);
+
+  std::string path() const { return dir_ + "/" + kWalFileName; }
+
+ private:
+  StorageEnv* const env_;
+  const std::string dir_;
+  mutable Mutex mu_;
+  /// Kept open across appends; dropped on failure so repair can rewrite.
+  std::unique_ptr<WritableFile> file_ SVQA_GUARDED_BY(mu_);
+  bool broken_ SVQA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace svqa::storage
+
+#endif  // SVQA_STORAGE_WAL_H_

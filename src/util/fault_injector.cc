@@ -18,6 +18,8 @@ const char* FaultSiteName(FaultSite site) {
       return "cache-op";
     case FaultSite::kMatcherScan:
       return "matcher-scan";
+    case FaultSite::kStorageIo:
+      return "storage-io";
     case FaultSite::kNumSites:
       break;
   }

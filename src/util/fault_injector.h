@@ -26,6 +26,10 @@ enum class FaultSite : int {
   kCacheOp,
   /// One matchVertex scan (indexed probe or Levenshtein full scan).
   kMatcherScan,
+  /// One durable-storage operation (snapshot/WAL read, append, sync,
+  /// rename) going through a storage::StorageEnv. storage::SimFs maps
+  /// injected verdicts to torn writes, truncation, and bit flips.
+  kStorageIo,
   kNumSites,
 };
 

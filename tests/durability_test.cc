@@ -1,0 +1,361 @@
+// Durability integration: WAL-before-publish through SvqaEngine::Ingest,
+// warm starts that answer byte-identically to the pre-crash engine,
+// conservative-empty degradation when nothing survives verification,
+// snapshot cadence/retention, fail-soft live publishes, and
+// SvqaServer::WarmStart surfacing the recovery rung in server stats.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aggregator/merger.h"
+#include "core/engine.h"
+#include "data/kg_builder.h"
+#include "data/mvqa_generator.h"
+#include "data/world.h"
+#include "serve/durability.h"
+#include "serve/graph_snapshot_store.h"
+#include "serve/server.h"
+#include "storage/sim_fs.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "text/lexicon.h"
+#include "util/fault_injector.h"
+
+namespace svqa {
+namespace {
+
+const char* const kQuestions[] = {
+    "does a dog appear on the grass?",
+    "how many wizards are hanging out with dean thomas?",
+    "what kind of clothes is worn by harry potter?",
+};
+
+/// Full structural equality of two answers, provenance included.
+void ExpectSameAnswer(const exec::Answer& a, const exec::Answer& b,
+                      const char* question) {
+  EXPECT_EQ(a.type, b.type) << question;
+  EXPECT_EQ(a.text, b.text) << question;
+  EXPECT_EQ(a.yes, b.yes) << question;
+  EXPECT_EQ(a.count, b.count) << question;
+  EXPECT_EQ(a.entities, b.entities) << question;
+  ASSERT_EQ(a.provenance.size(), b.provenance.size()) << question;
+  for (std::size_t i = 0; i < a.provenance.size(); ++i) {
+    EXPECT_EQ(a.provenance[i].image, b.provenance[i].image) << question;
+    EXPECT_EQ(a.provenance[i].subject, b.provenance[i].subject) << question;
+    EXPECT_EQ(a.provenance[i].predicate, b.provenance[i].predicate)
+        << question;
+    EXPECT_EQ(a.provenance[i].object, b.provenance[i].object) << question;
+  }
+}
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::WorldOptions opts;
+    opts.num_scenes = 120;
+    opts.seed = 17;
+    world_ = new data::World(data::WorldGenerator(opts).Generate());
+    kg_ = new graph::Graph(data::BuildKnowledgeGraph(
+        *world_, text::SynonymLexicon::Default()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete kg_;
+  }
+
+  static core::SvqaOptions Durable(storage::StorageEnv* env) {
+    core::SvqaOptions options;
+    options.durability.env = env;
+    options.durability.dir = "db";
+    return options;
+  }
+
+  static data::World* world_;
+  static graph::Graph* kg_;
+};
+
+data::World* DurabilityTest::world_ = nullptr;
+graph::Graph* DurabilityTest::kg_ = nullptr;
+
+TEST_F(DurabilityTest, IngestPersistsSnapshotAndTruncatesWal) {
+  storage::SimFs fs;
+  core::SvqaEngine engine(Durable(&fs));
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+
+  ASSERT_NE(engine.durability(), nullptr);
+  const serve::DurabilityStats stats = engine.durability()->stats();
+  EXPECT_EQ(stats.last_generation, 1u);
+  EXPECT_EQ(stats.wal_appends, 1u);
+  EXPECT_EQ(stats.snapshots_written, 1u);
+  EXPECT_EQ(stats.persist_failures, 0u);
+  EXPECT_GT(stats.wal_bytes, 0u);
+  EXPECT_GT(stats.snapshot_bytes, 0u);
+
+  EXPECT_TRUE(fs.FileExists("db/" + storage::SnapshotFileName(1)));
+  EXPECT_TRUE(fs.FileExists(std::string("db/") + storage::kManifestName));
+  // snapshot_every=1: the WAL prefix is redundant once the snapshot
+  // lands, so it is truncated back to empty.
+  storage::IngestWal wal(&fs, "db");
+  auto log = wal.ReadAll();
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->records.empty());
+  EXPECT_EQ(log->tail, storage::TailState::kClean);
+}
+
+TEST_F(DurabilityTest, WarmStartAnswersByteIdentically) {
+  storage::SimFs fs;
+  std::vector<exec::Answer> baseline;
+  {
+    core::SvqaEngine before(Durable(&fs));
+    ASSERT_TRUE(before.Ingest(*kg_, world_->scenes).ok());
+    for (const char* q : kQuestions) {
+      auto a = before.Ask(q);
+      ASSERT_TRUE(a.ok()) << q;
+      EXPECT_EQ(a->diagnostics.recovery_rung, -1) << q;
+      baseline.push_back(std::move(*a));
+    }
+  }
+  // Power cut + restart: unsynced bytes are gone, the device is back.
+  fs.SimulateCrash();
+  fs.Restart();
+
+  core::SvqaEngine after(Durable(&fs));
+  EXPECT_FALSE(after.ingested());
+  auto report = after.WarmStart();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rung, storage::RecoveryRung::kSnapshotOnly);
+  EXPECT_EQ(report->recovered_generation, 1u);
+  EXPECT_TRUE(after.ingested());
+  EXPECT_EQ(after.recovery_rung(),
+            static_cast<int>(storage::RecoveryRung::kSnapshotOnly));
+
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    auto a = after.Ask(kQuestions[i]);
+    ASSERT_TRUE(a.ok()) << kQuestions[i];
+    ExpectSameAnswer(baseline[i], *a, kQuestions[i]);
+    // Every post-recovery answer carries the rung it was rebuilt at.
+    EXPECT_EQ(a->diagnostics.recovery_rung,
+              static_cast<int>(storage::RecoveryRung::kSnapshotOnly));
+  }
+  // The recovered state claims the ingest slot.
+  EXPECT_TRUE(after.Ingest(*kg_, world_->scenes).IsInvalidArgument());
+}
+
+TEST_F(DurabilityTest, WarmStartOnEmptyDirIsColdStart) {
+  storage::SimFs fs;
+  core::SvqaEngine engine(Durable(&fs));
+  auto report = engine.WarmStart();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rung, storage::RecoveryRung::kColdStart);
+  EXPECT_FALSE(engine.ingested());
+  EXPECT_EQ(engine.recovery_rung(), -1);
+
+  // Cold start releases the ingest slot: normal ingest runs afterwards.
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  auto a = engine.Ask(kQuestions[0]);
+  ASSERT_TRUE(a.ok());
+  // And once ingested the slot is taken, so a late WarmStart refuses.
+  EXPECT_FALSE(engine.WarmStart().ok());
+}
+
+TEST_F(DurabilityTest, WarmStartWithoutDurabilityIsInvalid) {
+  core::SvqaEngine engine;
+  EXPECT_TRUE(engine.WarmStart().status().IsInvalidArgument());
+}
+
+TEST_F(DurabilityTest, StorageFaultFailsIngestThenRetrySucceeds) {
+  const FaultInjector always(5, FaultConfig::Uniform(1.0));
+  storage::SimFs fs;
+  core::SvqaEngine engine(Durable(&fs));
+
+  // The WAL append is torn by the injected fault *before* the publish:
+  // the ingest fails and nothing becomes visible.
+  fs.set_fault_policy(&always);
+  EXPECT_FALSE(engine.Ingest(*kg_, world_->scenes).ok());
+  EXPECT_FALSE(engine.ingested());
+  EXPECT_GE(fs.injected_append_faults(), 1u);
+
+  // The fault clears; the retry must succeed end-to-end.
+  fs.set_fault_policy(nullptr);
+  ASSERT_TRUE(engine.Ingest(*kg_, world_->scenes).ok());
+  EXPECT_TRUE(engine.ingested());
+  auto a = engine.Ask(kQuestions[0]);
+  ASSERT_TRUE(a.ok());
+
+  // What landed on disk is recoverable.
+  fs.SimulateCrash();
+  fs.Restart();
+  core::SvqaEngine after(Durable(&fs));
+  auto report = after.WarmStart();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NE(report->rung, storage::RecoveryRung::kColdStart);
+  EXPECT_NE(report->rung, storage::RecoveryRung::kConservativeEmpty);
+  auto b = after.Ask(kQuestions[0]);
+  ASSERT_TRUE(b.ok());
+  ExpectSameAnswer(*a, *b, kQuestions[0]);
+}
+
+TEST_F(DurabilityTest, NothingSurvivingDegradesToConservativeEmpty) {
+  storage::SimFs fs;
+  {
+    core::SvqaEngine before(Durable(&fs));
+    ASSERT_TRUE(before.Ingest(*kg_, world_->scenes).ok());
+  }
+  // Bit rot takes out the only snapshot; the WAL was already truncated
+  // to empty by the snapshot. Durable state existed, nothing survives.
+  ASSERT_TRUE(
+      fs.CorruptFlipBit("db/" + storage::SnapshotFileName(1), 12345).ok());
+
+  core::SvqaEngine after(Durable(&fs));
+  auto report = after.WarmStart();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rung, storage::RecoveryRung::kConservativeEmpty);
+  EXPECT_EQ(report->quarantined_snapshots, 1u);
+  EXPECT_TRUE(fs.FileExists("db/" + storage::SnapshotFileName(1) +
+                            ".quarantined"));
+
+  // The engine serves (conservatively) instead of refusing to start.
+  EXPECT_TRUE(after.ingested());
+  auto a = after.Ask(kQuestions[0]);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_FALSE(a->yes);
+  EXPECT_EQ(a->diagnostics.recovery_rung,
+            static_cast<int>(storage::RecoveryRung::kConservativeEmpty));
+}
+
+// ---------------------------------------------------------------------------
+// Direct store + durability glue (multi-publish cadence, fail-soft)
+
+aggregator::MergedGraph MakeMerged(int scenes) {
+  aggregator::MergedGraph merged;
+  merged.graph.AddVertex("concept#thing", "concept");
+  for (int i = 0; i < scenes; ++i) {
+    const uint32_t v = merged.graph.AddVertex(
+        "object#" + std::to_string(i), "thing", i);
+    EXPECT_TRUE(merged.graph.AddEdge(v, 0, "instance-of").ok());
+  }
+  merged.kg_vertex_count = 1;
+  merged.concept_links = static_cast<std::size_t>(scenes);
+  return merged;
+}
+
+TEST(DurabilityStoreTest, SnapshotCadenceAndRetention) {
+  text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  storage::SimFs fs;
+  serve::DurabilityOptions dopts;
+  dopts.snapshot_every = 2;
+  dopts.keep_snapshots = 2;
+  serve::SnapshotDurability durability(&fs, "db", dopts);
+  serve::SnapshotStoreOptions sopts;
+  sopts.durability = &durability;
+  serve::GraphSnapshotStore store(&embeddings, sopts);
+  ASSERT_EQ(store.durability(), &durability);
+
+  for (int i = 1; i <= 5; ++i) {
+    store.Publish(MakeMerged(i));
+  }
+  const serve::DurabilityStats stats = durability.stats();
+  EXPECT_EQ(stats.last_generation, 5u);
+  EXPECT_EQ(stats.wal_appends, 5u);
+  // Snapshots land on publishes 2 and 4 only.
+  EXPECT_EQ(stats.snapshots_written, 2u);
+  EXPECT_EQ(stats.wal_truncations, 2u);
+  EXPECT_TRUE(fs.FileExists("db/" + storage::SnapshotFileName(2)));
+  EXPECT_TRUE(fs.FileExists("db/" + storage::SnapshotFileName(4)));
+
+  // The WAL holds exactly the generations past the newest snapshot.
+  storage::IngestWal wal(&fs, "db");
+  auto log = wal.ReadAll();
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->records.size(), 1u);
+  EXPECT_EQ(log->records[0].generation, 5u);
+
+  // Recovery stitches snapshot 4 + WAL 5 back together.
+  storage::RecoveryManager recovery(&fs, "db");
+  const storage::RecoveredState result = recovery.Recover();
+  EXPECT_EQ(result.report.rung, storage::RecoveryRung::kSnapshotPlusWal);
+  ASSERT_TRUE(result.state.has_value());
+  EXPECT_EQ(result.state->generation, 5u);
+  EXPECT_EQ(result.state->vertices.size(), 6u);  // MakeMerged(5)
+}
+
+TEST(DurabilityStoreTest, LivePublishFailureIsFailSoft) {
+  const FaultInjector always(3, FaultConfig::Uniform(1.0));
+  text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  storage::SimFs fs;
+  serve::SnapshotDurability durability(&fs, "db", {});
+  serve::SnapshotStoreOptions sopts;
+  sopts.durability = &durability;
+  serve::GraphSnapshotStore store(&embeddings, sopts);
+
+  fs.set_fault_policy(&always);
+  // Availability over durability on the live path: the publish succeeds
+  // even though every storage write is faulting.
+  const uint64_t id = store.Publish(MakeMerged(3));
+  EXPECT_EQ(id, 1u);
+  ASSERT_NE(store.Current(), nullptr);
+  EXPECT_EQ(store.Current()->merged().graph.num_vertices(), 4u);
+
+  const serve::DurabilityStats stats = durability.stats();
+  EXPECT_GE(stats.persist_failures, 1u);
+  EXPECT_FALSE(stats.last_error.empty());
+
+  // Once storage heals, the next publish restores durability.
+  fs.set_fault_policy(nullptr);
+  store.Publish(MakeMerged(4));
+  EXPECT_TRUE(fs.FileExists("db/" + storage::SnapshotFileName(2)));
+}
+
+// ---------------------------------------------------------------------------
+// Server warm start
+
+TEST_F(DurabilityTest, ServerWarmStartServesRecoveredState) {
+  storage::SimFs fs;
+  // "Process 1": a durable engine serves and then dies.
+  core::SvqaEngine before(Durable(&fs));
+  ASSERT_TRUE(before.Ingest(*kg_, world_->scenes).ok());
+  std::vector<exec::Answer> baseline;
+  for (const char* q : kQuestions) {
+    auto a = before.Ask(q);
+    ASSERT_TRUE(a.ok()) << q;
+    baseline.push_back(std::move(*a));
+  }
+  fs.SimulateCrash();
+  fs.Restart();
+
+  // "Process 2": a server over a cold engine warm-starts from disk.
+  core::SvqaEngine after(Durable(&fs));
+  serve::ServerOptions options;
+  options.parser = &before.builder();
+  serve::SvqaServer server(after.snapshot_store(), options);
+  auto report = server.WarmStart();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->rung, storage::RecoveryRung::kSnapshotOnly);
+  ASSERT_TRUE(server.Start().ok());
+
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    serve::TicketPtr ticket = server.SubmitQuestion(kQuestions[i]);
+    const serve::ServeResponse& response = ticket->Wait();
+    ASSERT_TRUE(response.status.ok()) << kQuestions[i];
+    ExpectSameAnswer(baseline[i], response.answer, kQuestions[i]);
+  }
+
+  const serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.recovery_rung,
+            static_cast<int>(storage::RecoveryRung::kSnapshotOnly));
+  EXPECT_NE(stats.ToString().find("recovery rung"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServerWarmStartTest, RequiresDurableStore) {
+  text::EmbeddingModel embeddings(text::SynonymLexicon::Default());
+  serve::GraphSnapshotStore store(&embeddings);
+  serve::SvqaServer server(&store, serve::ServerOptions{});
+  EXPECT_TRUE(server.WarmStart().status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace svqa

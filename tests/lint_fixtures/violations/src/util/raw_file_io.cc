@@ -1,0 +1,17 @@
+// Seeded durable-io violations: write-capable raw file APIs outside
+// src/storage (writes must route through storage::StorageEnv).
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void WriteLog(const char* path) {
+  std::ofstream out(path);
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) {
+    (void)std::fclose(f);
+  }
+  (void)out;
+}
+
+}  // namespace fixture

@@ -200,6 +200,48 @@ TEST(VirtualTime, OutsideSrcIsFree) {
           .empty());
 }
 
+TEST(DurableIo, RawWritersInSrcAreFlagged) {
+  std::vector<Diagnostic> d = Lint("src/util/f.cc",
+                                   "void F(const char* p) {\n"
+                                   "  std::ofstream out(p);\n"
+                                   "  std::FILE* f = std::fopen(p, \"w\");\n"
+                                   "  (void)f;\n"
+                                   "}\n");
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].rule, "durable-io");
+  EXPECT_EQ(d[0].line, 2);
+  EXPECT_EQ(d[1].rule, "durable-io");
+  EXPECT_EQ(d[1].line, 3);
+}
+
+TEST(DurableIo, ReadsMemberCallsAndStorageLayerPass) {
+  // ifstream reads carry no durability contract to violate.
+  EXPECT_TRUE(
+      Lint("src/util/f.cc", "std::ifstream in(\"path\");\n").empty());
+  // A member call sharing a banned name is some other API.
+  EXPECT_TRUE(
+      Lint("src/util/f.cc", "auto f = env.fopen(\"path\");\n").empty());
+  EXPECT_TRUE(
+      Lint("src/util/f.cc", "auto f = mylib::fopen(\"path\");\n").empty());
+  // src/storage is the raw-I/O boundary; its backends are exempt.
+  LayerSpec spec;
+  std::string error;
+  ASSERT_TRUE(LayerSpec::Parse("util:\nstorage: util\n", &spec, &error));
+  EXPECT_TRUE(LintFile("src/storage/fs.cc",
+                       "std::ofstream out(\"path\");\n"
+                       "std::FILE* f = std::fopen(\"path\", \"w\");\n",
+                       spec)
+                  .empty());
+}
+
+TEST(DurableIo, SuppressionIsHonored) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "// tooling-only debug dump, not durable state\n"
+                   "// svqa-lint: allow(durable-io)\n"
+                   "std::ofstream out(\"path\");\n")
+                  .empty());
+}
+
 TEST(UncheckedResult, NearbyOkCheckPasses) {
   EXPECT_TRUE(Lint("src/util/f.cc",
                    "int F(Result<int> r) {\n"
@@ -299,11 +341,13 @@ TEST(Cli, ViolationsTreeReportsEverySeededDefect) {
       "unknown rule 'no-such-rule' in suppression",
       "src/util/banned_clock.cc:8: error: [virtual-time]",
       "src/util/banned_clock.cc:12: error: [virtual-time]",
+      "src/util/raw_file_io.cc:9: error: [durable-io]",
+      "src/util/raw_file_io.cc:10: error: [durable-io]",
       "src/util/unchecked.cc:3: error: [nodiscard-type]",
       "src/util/unchecked.cc:9: error: [unchecked-result]",
       "src/util/unguarded_mutex.h:11: error: [lock-annotation]",
       "src/util/uses_serve.cc:1: error: [layer-dag]",
-      "svqa_lint: 9 violation(s)",
+      "svqa_lint: 11 violation(s)",
   };
   for (const std::string& line : expected) {
     EXPECT_NE(r.out.find(line), std::string::npos)

@@ -14,8 +14,9 @@ namespace {
 /// here: a broken escape hatch must not be able to hide itself.
 const std::set<std::string>& RuleIds() {
   static const std::set<std::string> kIds = {
-      "layer-dag",      "virtual-time",   "unchecked-result",
-      "nodiscard-type", "lock-annotation", "frozen-mutation"};
+      "layer-dag",      "virtual-time",    "unchecked-result",
+      "nodiscard-type", "lock-annotation", "frozen-mutation",
+      "durable-io"};
   return kIds;
 }
 
@@ -318,6 +319,68 @@ void CheckFrozenMutation(const std::string& file, const std::string& layer,
              "graphs on the ingest side and publish via Freeze(), or "
              "suppress with a rationale if this is genuinely pre-publish "
              "construction"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: durable-io
+// ---------------------------------------------------------------------------
+
+/// Stream types whose mere mention marks a raw-file write path.
+/// `ifstream` is deliberately legal — reads have no durability contract
+/// to violate; `fstream` is banned because it can write.
+const std::set<std::string>& BannedIoTypes() {
+  static const std::set<std::string> kBanned = {"ofstream", "fstream",
+                                                "wofstream", "wfstream"};
+  return kBanned;
+}
+
+/// C-library file-opening calls banned as calls (global or
+/// std-qualified), mirroring the virtual-time call heuristic.
+const std::set<std::string>& BannedIoCalls() {
+  static const std::set<std::string> kBanned = {"fopen", "freopen",
+                                                "tmpfile"};
+  return kBanned;
+}
+
+void CheckDurableIo(const std::string& file, const std::string& layer,
+                    const std::vector<Token>& toks,
+                    std::vector<Diagnostic>* diags) {
+  // src/storage *is* the raw-I/O boundary: StorageEnv backends own the
+  // fopen/fsync/rename dance everything else must inherit.
+  if (layer == "storage") return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    // `#include <fstream>` names the header, not a write path — and a
+    // file may include it for the (legal) ifstream reader.
+    if (i >= 2 && toks[i - 1].text == "<" && toks[i - 2].text == "include")
+      continue;
+    if (BannedIoTypes().count(t.text) != 0) {
+      diags->push_back(
+          {file, t.line, "durable-io",
+           "'" + t.text +
+               "' writes files without the StorageEnv durability contract "
+               "(atomic rename, sync, fault injection); route writes "
+               "through storage::StorageEnv (see DESIGN.md, \"Durability "
+               "& crash recovery\")"});
+      continue;
+    }
+    if (BannedIoCalls().count(t.text) == 0) continue;
+    // Must syntactically be a call.
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Member access is some other API that shares the name.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;
+    // Qualified: only std:: (and the global ::) forms are the C library.
+    if (i > 0 && toks[i - 1].text == "::") {
+      if (i >= 2 && toks[i - 2].ident && toks[i - 2].text != "std") continue;
+    }
+    diags->push_back(
+        {file, t.line, "durable-io",
+         "call to '" + t.text +
+             "' opens raw file handles outside src/storage; durable "
+             "writes must route through storage::StorageEnv"});
   }
 }
 
@@ -710,6 +773,7 @@ std::vector<Diagnostic> LintFile(const std::string& rel_path,
   std::vector<Diagnostic> found;
   CheckLayerDag(rel_path, layer, content, spec, &found);
   CheckVirtualTime(rel_path, toks, &found);
+  CheckDurableIo(rel_path, layer, toks, &found);
   CheckFrozenMutation(rel_path, layer, toks, &found);
   CheckUncheckedResult(rel_path, toks, &found);
   CheckTypesAndLocks(rel_path, toks, &found);
