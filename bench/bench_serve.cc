@@ -17,10 +17,14 @@
 // hosts; only Section 3 (and the wall_micros fields) touches real
 // threads.
 //
-// Flags: --workers N  max worker count for the saturation sweep (8)
-//        --n N        requests per configuration (240)
-//        --json PATH  machine-readable output ("BENCH_serve.json";
-//                     pass "" to disable)
+// Flags: --workers N       max worker count for the saturation sweep (8)
+//        --n N             requests per configuration (240)
+//        --json PATH       machine-readable output ("BENCH_serve.json";
+//                          pass "" to disable)
+//        --trace_out PATH  run a short traced workload (observability
+//                          on, every request sampled) and write one
+//                          query's Chrome trace_event JSON to PATH
+//                          (default "" = skip)
 
 #include <algorithm>
 #include <cstdio>
@@ -389,6 +393,65 @@ int main(int argc, char** argv) {
   if (mismatches != 0) {
     std::fprintf(stderr, "publish consistency violated!\n");
     return 1;
+  }
+
+  // ---- Section 4: sample trace export (--trace_out) -----------------
+  // A short traced workload with observability on; the first completed
+  // request's span tree goes out as Chrome trace_event JSON (CI uploads
+  // it as an artifact next to the BENCH records).
+  const std::string trace_out =
+      bench::FlagValue(argc, argv, "--trace_out", "");
+  if (!trace_out.empty()) {
+    Banner("trace sample (observability on, every request traced)");
+    serve::GraphSnapshotStore store(&embeddings);
+    store.Publish(dataset.perfect_merged);
+    serve::ServerOptions opts;
+    opts.mode = serve::ServeMode::kSimulated;
+    opts.num_workers = 2;
+    opts.obs.enabled = true;
+    opts.obs.trace_sample_n = 1;
+    serve::SvqaServer server(&store, opts);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::vector<serve::TicketPtr> tickets;
+    for (int i = 0; i < 8; ++i) {
+      serve::RequestOptions ro;
+      ro.priority = MixPriority(i);
+      tickets.push_back(server.Submit(
+          dataset.questions[static_cast<std::size_t>(i) %
+                            dataset.questions.size()]
+              .gold_graph,
+          ro));
+    }
+    server.RunSimulated();
+    server.Shutdown();
+    bool written = false;
+    for (const auto& t : tickets) {
+      const serve::ServeResponse& resp = t->Wait();
+      if (!resp.status.ok() || resp.trace == nullptr) continue;
+      std::FILE* f = std::fopen(trace_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      const std::string trace_json = resp.trace->ToJson();
+      std::fwrite(trace_json.data(), 1, trace_json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %zu spans for query %llu to %s\n",
+                  resp.trace->spans().size(),
+                  static_cast<unsigned long long>(resp.trace->query_id()),
+                  trace_out.c_str());
+      written = true;
+      break;
+    }
+    if (!written) {
+      std::fprintf(stderr, "no traced response to export\n");
+      return 1;
+    }
   }
 
   return json.Flush() ? 0 : 1;

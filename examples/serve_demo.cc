@@ -1,19 +1,35 @@
 // Serving-layer demo: an SvqaEngine fronted by the in-process
 // SvqaServer — priority classes, deadlines, cancellation, a live
-// snapshot publish, and the aggregate stats report.
+// snapshot publish, a mixed-priority burst, and the observability
+// subsystem end to end (metrics snapshot, flight recorder, and a
+// per-query virtual-time trace).
 //
 // The server runs real worker threads here (ServeMode::kThreaded);
 // swap in kSimulated + RunSimulated() for deterministic replay.
+//
+// Usage: serve_demo [--trace_out=<path>]
+//   --trace_out writes one traced query's Chrome trace_event JSON to
+//   <path> (load via chrome://tracing or Perfetto).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "data/kg_builder.h"
 #include "data/world.h"
 #include "serve/server.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace svqa;
+
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+  }
 
   // 1. Ingest a world through the engine; this publishes snapshot 1
   //    into the engine's GraphSnapshotStore.
@@ -35,12 +51,15 @@ int main() {
               engine.merged().graph.num_vertices(),
               engine.merged().graph.num_edges());
 
-  // 2. A server over the engine's snapshot store. The engine's parser
-  //    lets clients submit raw questions; parsing happens on the worker
-  //    and is charged against the request's deadline.
+  // 2. A server over the engine's snapshot store, with observability
+  //    on: every request is traced (sample_n=1), all the stack metrics
+  //    are live, and each worker keeps a flight-recorder lane.
   serve::ServerOptions options;
   options.num_workers = 4;
   options.parser = &engine.builder();
+  options.obs.enabled = true;
+  options.obs.trace_sample_n = 1;
+  options.obs.ring_capacity = 64;
   serve::SvqaServer server(engine.snapshot_store(), options);
   status = server.Start();
   if (!status.ok()) {
@@ -77,6 +96,7 @@ int main() {
       server.SubmitQuestion("does a cat appear near the car?");
   server.Cancel(doomed->id());
 
+  serve::TicketPtr traced;  // keep one response around for its trace
   for (std::size_t i = 0; i < tickets.size(); ++i) {
     const serve::ServeResponse& resp = tickets[i]->Wait();
     std::printf("\nQ: %s\n", demos[i].question);
@@ -90,6 +110,9 @@ int main() {
           resp.queue_wait_micros, resp.exec_micros);
     } else {
       std::printf("A: <%s>\n", resp.status.ToString().c_str());
+    }
+    if (traced == nullptr && resp.status.ok() && resp.trace != nullptr) {
+      traced = tickets[i];
     }
   }
   const serve::ServeResponse& cancelled = doomed->Wait();
@@ -118,8 +141,47 @@ int main() {
               fresh->Wait().answer.text.c_str(),
               static_cast<unsigned long long>(fresh->Wait().snapshot_id));
 
-  // 6. Drain and report.
+  // 6. Mixed-priority burst: enough traffic that every class sees the
+  //    queue and the per-class metrics fill in.
+  const char* burst_questions[] = {
+      "does a dog appear on the grass?",
+      "how many wizards are hanging out with dean thomas?",
+      "does a cat appear near the car?",
+  };
+  std::vector<serve::TicketPtr> burst;
+  for (int i = 0; i < 30; ++i) {
+    serve::RequestOptions ro;
+    ro.priority = static_cast<serve::PriorityClass>(i % 3);
+    burst.push_back(server.SubmitQuestion(burst_questions[i % 3], ro));
+  }
+  std::size_t burst_ok = 0;
+  for (const serve::TicketPtr& t : burst) {
+    if (t->Wait().status.ok()) ++burst_ok;
+  }
+  std::printf("\nburst: %zu/%zu completed ok\n", burst_ok, burst.size());
+
+  // 7. Drain, then report: aggregate stats, the metrics snapshot, the
+  //    flight recorder's recent history, and one query's span tree.
   server.Shutdown();
   std::printf("\n%s", server.Stats().ToString().c_str());
+  std::printf("\nmetrics snapshot:\n%s", server.MetricsJson().c_str());
+  std::printf("\n%s", server.DumpFlightRecorder().c_str());
+
+  if (traced != nullptr) {
+    const serve::ServeResponse& resp = traced->Wait();
+    std::printf("\none query's span tree (virtual micros):\n%s",
+                resp.trace->TreeString().c_str());
+    if (trace_out != nullptr) {
+      std::FILE* f = std::fopen(trace_out, "w");
+      if (f == nullptr) {
+        std::printf("cannot open %s\n", trace_out);
+        return 1;
+      }
+      const std::string json = resp.trace->ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("trace JSON written to %s\n", trace_out);
+    }
+  }
   return 0;
 }

@@ -67,6 +67,10 @@ SvqaEngine::SvqaEngine(SvqaOptions options)
   embeddings_ =
       std::make_unique<text::EmbeddingModel>(lexicon_, options_.seed);
   builder_ = std::make_unique<query::QueryGraphBuilder>(&lexicon_);
+  if (options_.obs.enabled) {
+    // Ask/Execute run on the caller thread: one flight lane.
+    obs_ = std::make_unique<obs::Observability>(options_.obs, /*num_lanes=*/1);
+  }
   serve::SnapshotStoreOptions store_options;
   store_options.enable_cache = options_.enable_cache;
   store_options.cache = options_.cache;
@@ -75,6 +79,7 @@ SvqaEngine::SvqaEngine(SvqaOptions options)
     durability_ = std::make_unique<serve::SnapshotDurability>(
         options_.durability.env, options_.durability.dir,
         options_.durability.options);
+    if (obs_ != nullptr) durability_->SetMetrics(obs_->stack());
     store_options.durability = durability_.get();
   }
   store_ = std::make_unique<serve::GraphSnapshotStore>(embeddings_.get(),
@@ -269,13 +274,29 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
   if (snap == nullptr) {
     return Status::InvalidArgument("Ingest must be called before Ask");
   }
-  const exec::ResilienceOptions& res = options_.resilience;
+  exec::ResilienceOptions res = options_.resilience;
   // Salting the retry jitter with the question text decorrelates backoff
   // schedules across questions while keeping each one replayable.
   const uint64_t salt = StableHash64(question);
   const int rrung = recovery_rung_.load(std::memory_order_relaxed);
 
-  Result<query::QueryGraph> graph = builder_->Build(question, clock);
+  // Per-question telemetry: metrics + flight always (when enabled), a
+  // Tracer when the sampler selects this question's sequence number.
+  // The tracer's span tree lands in the flight recorder; the scope must
+  // outlive the resilient call below.
+  obs::Scope scope;
+  std::shared_ptr<obs::Tracer> tracer;
+  if (obs_ != nullptr && obs_->enabled()) {
+    const uint64_t qid = query_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_->ShouldTrace(qid)) tracer = std::make_shared<obs::Tracer>(qid);
+    scope = obs_->MakeScope(tracer.get(), /*lane=*/0, qid);
+    res.obs = &scope;
+  }
+
+  Result<query::QueryGraph> graph = [&] {
+    obs::Span parse_span(&scope, clock, "core.parse");
+    return builder_->Build(question, clock);
+  }();
   if (!graph.ok()) {
     if (!options_.enable_degradation) return graph.status();
     // A question we cannot even parse still deserves a definitive,
@@ -351,7 +372,9 @@ exec::BatchResult SvqaEngine::ExecuteBatch(
     const std::vector<query::QueryGraph>& graphs,
     exec::BatchOptions batch_options) {
   // One snapshot for the whole batch: every query of the batch sees the
-  // same graph even if a publish lands mid-run.
+  // same graph even if a publish lands mid-run. The engine's
+  // observability domain rides along unless the caller brought its own.
+  if (batch_options.obs == nullptr) batch_options.obs = obs_.get();
   serve::SnapshotPtr snap = store_->Current();
   exec::BatchExecutor batch(snap == nullptr ? nullptr : &snap->executor(),
                             batch_options);

@@ -9,6 +9,7 @@
 #include "core/options.h"
 #include "exec/batch_executor.h"
 #include "exec/executor.h"
+#include "obs/observability.h"
 #include "query/query_graph_builder.h"
 #include "serve/durability.h"
 #include "serve/graph_snapshot_store.h"
@@ -152,6 +153,11 @@ class SvqaEngine {
   const query::QueryGraphBuilder& builder() const { return *builder_; }
   /// The durability glue (nullptr when options.durability is unset).
   serve::SnapshotDurability* durability() { return durability_.get(); }
+  /// The engine's observability domain (nullptr when options.obs is
+  /// disabled): metrics registry, flight recorder, trace sampling.
+  /// Ask and ExecuteBatch record through it; serve::SvqaServer owns a
+  /// separate domain for its own traffic.
+  obs::Observability* observability() { return obs_.get(); }
   /// storage::RecoveryRung of the last WarmStart as an int (-1 = no
   /// recovery ran); mirrored into Answer::diagnostics.recovery_rung.
   int recovery_rung() const {
@@ -172,10 +178,15 @@ class SvqaEngine {
   std::unique_ptr<text::EmbeddingModel> embeddings_;
   std::unique_ptr<query::QueryGraphBuilder> builder_;
   std::vector<vision::SceneGraphResult> scene_graphs_;
+  /// Present iff options.obs.enabled. Declared before durability_,
+  /// which holds a raw pointer to its metric handles.
+  std::unique_ptr<obs::Observability> obs_;
   /// Must outlive store_ (the store holds a raw pointer to it).
   std::unique_ptr<serve::SnapshotDurability> durability_;
   std::unique_ptr<serve::GraphSnapshotStore> store_;
   std::atomic<int> recovery_rung_{-1};
+  /// Monotonic query id feeding the trace sampler (Ask path).
+  std::atomic<uint64_t> query_seq_{0};
 
   /// Serializes the Ingest-once contract against concurrent ingests; the
   /// published graph itself is protected by the store's snapshot swap.

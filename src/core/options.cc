@@ -34,7 +34,7 @@ Status SvqaOptions::Validate() const {
   if (std::isnan(resilience.query_deadline_micros)) {
     return Status::InvalidArgument("query_deadline_micros must not be NaN");
   }
-  return Status::OK();
+  return obs.Validate();
 }
 
 }  // namespace svqa::core

@@ -7,6 +7,7 @@
 #include "aggregator/merger.h"
 #include "exec/executor.h"
 #include "exec/key_centric_cache.h"
+#include "obs/observability.h"
 #include "serve/durability.h"
 #include "vision/detector.h"
 #include "vision/relation_model.h"
@@ -58,6 +59,14 @@ struct SvqaOptions {
   /// serving state after a crash (see DESIGN.md "Durability & crash
   /// recovery"). Null env = fully in-memory, exactly as before.
   serve::DurabilitySetup durability;
+
+  /// Observability: when `obs.enabled` the engine owns one
+  /// obs::Observability — metrics registry with the pre-registered stack
+  /// families, flight recorder, and per-query trace sampling — threaded
+  /// through Ask and ExecuteBatch (see DESIGN.md "Observability").
+  /// Off by default: every hook compiled into the stack then sees a
+  /// null scope and costs one predictable branch.
+  obs::ObsOptions obs;
 
   /// Embedding / noise seed.
   uint64_t seed = 42;

@@ -52,8 +52,13 @@ void BatchExecutor::ExecuteSimulated(
   for (const int qi : order) {
     SimClock clock;
     QueryOutcome& outcome = result->outcomes[static_cast<std::size_t>(qi)];
+    ResilienceOptions resilience = options_.resilience;
+    obs::Scope scope;
+    // Everything runs on the caller thread: lane 0.
+    outcome.trace = MakeQueryScope(static_cast<uint64_t>(qi), /*lane=*/0,
+                                   &resilience, &scope);
     Result<Answer> r = executor_->ExecuteResilient(
-        graphs[static_cast<std::size_t>(qi)], &clock, options_.resilience,
+        graphs[static_cast<std::size_t>(qi)], &clock, resilience,
         /*salt=*/static_cast<uint64_t>(qi), &outcome.diagnostics);
     outcome.status = r.status();
     if (r.ok()) outcome.answer = *r;
@@ -84,11 +89,16 @@ void BatchExecutor::ExecuteThreaded(
       const auto qi = static_cast<std::size_t>(order[pos]);
       SimClock& clock = clocks[qi];
       QueryOutcome& outcome = result->outcomes[qi];
+      ResilienceOptions resilience = options_.resilience;
+      obs::Scope scope;
+      outcome.trace = MakeQueryScope(static_cast<uint64_t>(qi),
+                                     /*lane=*/static_cast<uint32_t>(w),
+                                     &resilience, &scope);
       // Per-query isolation: the resilient call owns this slot's clock,
       // deadline, and retry loop; an error lands in this slot's Status
       // and the worker simply pulls the next query.
       Result<Answer> r = executor_->ExecuteResilient(
-          graphs[qi], &clock, options_.resilience,
+          graphs[qi], &clock, resilience,
           /*salt=*/static_cast<uint64_t>(qi), &outcome.diagnostics);
       outcome.status = r.status();
       if (r.ok()) outcome.answer = *r;
@@ -135,6 +145,19 @@ BatchResult BatchExecutor::ExecuteAll(
           std::chrono::steady_clock::now() - wall_start)
           .count();
   return result;
+}
+
+std::shared_ptr<obs::Tracer> BatchExecutor::MakeQueryScope(
+    uint64_t query_id, uint32_t lane, ResilienceOptions* resilience,
+    obs::Scope* scope) const {
+  if (options_.obs == nullptr || !options_.obs->enabled()) return nullptr;
+  std::shared_ptr<obs::Tracer> tracer;
+  if (options_.obs->ShouldTrace(query_id)) {
+    tracer = std::make_shared<obs::Tracer>(query_id);
+  }
+  *scope = options_.obs->MakeScope(tracer.get(), lane, query_id);
+  resilience->obs = scope;
+  return tracer;
 }
 
 ThreadPool* BatchExecutor::EnsurePool(std::size_t workers) const {

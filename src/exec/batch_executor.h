@@ -7,6 +7,7 @@
 
 #include "exec/executor.h"
 #include "exec/scheduler.h"
+#include "obs/observability.h"
 #include "query/query_graph.h"
 #include "util/annotations.h"
 #include "util/mutex.h"
@@ -24,6 +25,11 @@ struct QueryOutcome {
   double latency_micros = 0;
   /// Retry/degradation record, populated even when `status` is an error.
   Diagnostics diagnostics;
+  /// Span tree of this query's execution, present when the batch ran
+  /// with an Observability whose sampler selected this input index.
+  /// Keyed to the query's own SimClock, so the exported trace is
+  /// byte-identical across modes and worker counts.
+  std::shared_ptr<obs::Tracer> trace;
 };
 
 /// \brief How a batch is driven through the executor.
@@ -67,6 +73,13 @@ struct BatchOptions {
   /// pure function of (seed, batch) — identical across modes and worker
   /// counts.
   ResilienceOptions resilience;
+  /// Observability domain for the batch (metrics + flight recorder +
+  /// trace sampling); nullptr disables all telemetry. Not owned. Each
+  /// query sampled by `obs->ShouldTrace(input index)` gets its own
+  /// Tracer, returned on its QueryOutcome. Overrides any
+  /// `resilience.obs` scope, which cannot be shared across parallel
+  /// queries anyway (a Tracer is single-threaded, like a SimClock).
+  obs::Observability* obs = nullptr;
 };
 
 /// \brief Batch result: per-query outcomes (input order) plus totals.
@@ -116,6 +129,14 @@ class BatchExecutor {
                        BatchResult* result) const;
   /// Returns the reusable pool, (re)built to `workers` threads.
   ThreadPool* EnsurePool(std::size_t workers) const SVQA_EXCLUDES(pool_mu_);
+  /// Per-query telemetry setup: when the batch carries an enabled
+  /// Observability, fills `*scope` (tracer if sampled, metric handles,
+  /// the worker's flight lane) and points `resilience->obs` at it.
+  /// Returns the tracer (null when unsampled or telemetry is off).
+  std::shared_ptr<obs::Tracer> MakeQueryScope(uint64_t query_id,
+                                              uint32_t lane,
+                                              ResilienceOptions* resilience,
+                                              obs::Scope* scope) const;
 
   const QueryGraphExecutor* executor_;
   BatchOptions options_;

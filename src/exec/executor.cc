@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/observability.h"
+#include "obs/trace.h"
 #include "util/arena.h"
 
 namespace svqa::exec {
@@ -109,7 +111,11 @@ Result<std::string> QueryGraphExecutor::MatchPredicateLabel(
     }
   }
   // The embedding sweep is the executor's relation-scoring fault site.
-  SVQA_RETURN_NOT_OK(ctx.ProbeFault(FaultSite::kRelationScore, predicate));
+  if (Status probed = ctx.ProbeFault(FaultSite::kRelationScore, predicate);
+      !probed.ok()) {
+    obs::CountFault(ctx.obs, FaultSite::kRelationScore);
+    return probed;
+  }
   const auto& labels = merged_->graph.EdgeLabels();
   if (clock != nullptr) {
     clock->Charge(CostKind::kEmbeddingSim,
@@ -156,6 +162,7 @@ Result<PairVec> QueryGraphExecutor::ApplyConstraint(
     const ExecContext& ctx) const {
   SimClock* clock = ctx.clock;
   if (constraint.empty() || pairs.empty()) return pairs;
+  obs::Span span(ctx.obs, clock, "exec.constraints");
   // Con <- maxScore(L(c_c), S): resolve the constraint phrase against the
   // predefined word set (Algorithm 3 line 9), through the memo so a
   // repeated constraint charges one probe instead of a keyword sweep.
@@ -402,6 +409,7 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
 
   for (int u : order) {
     SVQA_RETURN_NOT_OK(ctx.Checkpoint("query vertex"));
+    obs::Span vertex_span(ctx.obs, clock, "exec.vertex");
     const nlp::Spoc& spoc = gq.vertices()[u];
 
     // --- Query Stage ---
@@ -455,10 +463,13 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
         SVQA_ASSIGN_OR_RETURN(obj_owned, ResolveScope(spoc.object, ctx));
         objects = obj_owned;
       }
-      rp_owned = use_frozen
-                     ? FindRelationPairs(*frozen_, subjects, objects, clock)
-                     : FindRelationPairs(merged_->graph, subjects, objects,
-                                         clock);
+      {
+        obs::Span rp_span(ctx.obs, clock, "exec.relation_pairs");
+        rp_owned = use_frozen
+                       ? FindRelationPairs(*frozen_, subjects, objects, clock)
+                       : FindRelationPairs(merged_->graph, subjects, objects,
+                                           clock);
+      }
       // The adjacency scan's cost is on the clock; bail before filtering
       // if it blew the budget.
       SVQA_RETURN_NOT_OK(ctx.Checkpoint("relation pairs"));
@@ -534,6 +545,7 @@ Result<Answer> QueryGraphExecutor::Execute(const query::QueryGraph& gq,
           ap, ApplyConstraint(std::move(ap), spoc.constraint, ctx));
 
       // --- Update Stage ---
+      obs::Span bind_span(ctx.obs, clock, "exec.bind");
       for (const query::QueryEdge& e : gq.EdgesFromProducer(u)) {
         std::vector<graph::VertexId> binding;
         const bool from_subject = e.kind == query::DependencyKind::kS2S ||
@@ -582,6 +594,7 @@ Result<Answer> QueryGraphExecutor::ExecuteResilient(
   ctx.clock = clock;
   ctx.faults = resilience.fault_policy;
   ctx.cancel = resilience.cancel;
+  ctx.obs = resilience.obs;
   if (clock != nullptr) {
     ctx.deadline =
         Deadline::FromBudget(clock, resilience.query_deadline_micros);
@@ -605,7 +618,17 @@ Result<Answer> QueryGraphExecutor::ExecuteResilient(
     arena.Reset();
     ctx.attempt = static_cast<uint32_t>(attempt - 1);
     diag.attempts = attempt;
-    Result<Answer> result = Execute(gq, ctx);
+    if (const obs::StackMetrics* m = obs::MetricsOf(ctx.obs)) {
+      m->exec_attempts->Incr();
+      if (attempt > 1) m->exec_retries->Incr();
+    }
+    // Immediately-invoked so the attempt span closes before any backoff
+    // span opens — attempts and backoffs are siblings in the trace, not
+    // nested.
+    Result<Answer> result = [&] {
+      obs::Span attempt_span(ctx.obs, clock, "exec.attempt");
+      return Execute(gq, ctx);
+    }();
     if (result.ok()) {
       diag.primary = Status::OK();
       if (diagnostics != nullptr) *diagnostics = diag;
@@ -619,7 +642,13 @@ Result<Answer> QueryGraphExecutor::ExecuteResilient(
     if (!IsTransient(last) || attempt == max_attempts) break;
     const double backoff = RetryBackoffMicros(resilience.retry, attempt, salt);
     diag.backoff_micros += backoff;
-    if (clock != nullptr) clock->ChargeMicros(backoff);
+    if (const obs::StackMetrics* m = obs::MetricsOf(ctx.obs)) {
+      m->exec_backoff_micros->Incr(static_cast<uint64_t>(backoff));
+    }
+    {
+      obs::Span backoff_span(ctx.obs, clock, "exec.backoff");
+      if (clock != nullptr) clock->ChargeMicros(backoff);
+    }
     // A backoff that blows the budget ends the loop here instead of
     // burning another full attempt.
     const Status after_backoff = ctx.Checkpoint("retry backoff");

@@ -113,6 +113,12 @@ struct ResilienceOptions {
   const FaultPolicy* fault_policy = nullptr;
   /// Cooperative cancellation; nullptr means not cancellable. Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Observability scope for this query (per-query tracer + shared
+  /// metric handles, see obs/trace.h); copied onto the ExecContext so
+  /// every pipeline stage can emit spans and counters. nullptr (the
+  /// default) disables all telemetry for the call. Not owned; must
+  /// outlive the execution.
+  const obs::Scope* obs = nullptr;
 };
 
 /// \brief Executor tuning knobs.

@@ -2,7 +2,25 @@
 
 #include <utility>
 
+#include "obs/observability.h"
+
 namespace svqa::exec {
+
+namespace {
+
+// Hit/miss accounting for the ctx-aware entry points: one increment on
+// the pre-registered handle, no lock, no-op without a metrics scope.
+void CountLookup(const ExecContext& ctx, bool scope_cache, bool hit) {
+  const obs::StackMetrics* m = obs::MetricsOf(ctx.obs);
+  if (m == nullptr) return;
+  if (scope_cache) {
+    (hit ? m->cache_scope_hits : m->cache_scope_misses)->Incr();
+  } else {
+    (hit ? m->cache_path_hits : m->cache_path_misses)->Incr();
+  }
+}
+
+}  // namespace
 
 const char* CachePolicyName(CachePolicy policy) {
   return policy == CachePolicy::kLfu ? "LFU" : "LRU";
@@ -86,30 +104,44 @@ std::optional<ScopeValue> KeyCentricCache::GetScopeShared(
   if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {
     // Degrade to a miss: the probe still cost a round-trip, but the
     // caller recomputes and the query survives.
+    obs::CountFault(ctx.obs, FaultSite::kCacheOp);
     if (ctx.clock != nullptr) ctx.clock->Charge(CostKind::kCacheProbe);
+    CountLookup(ctx, /*scope_cache=*/true, /*hit=*/false);
     return std::nullopt;
   }
-  return GetScopeShared(key, ctx.clock);
+  auto hit = GetScopeShared(key, ctx.clock);
+  CountLookup(ctx, /*scope_cache=*/true, hit.has_value());
+  return hit;
 }
 
 void KeyCentricCache::PutScopeShared(const std::string& key, ScopeValue value,
                                      const ExecContext& ctx) {
-  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {  // write dropped
+    obs::CountFault(ctx.obs, FaultSite::kCacheOp);
+    return;
+  }
   PutScopeShared(key, std::move(value));
 }
 
 std::optional<PathValue> KeyCentricCache::GetPathShared(
     const std::string& key, const ExecContext& ctx) {
   if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {
+    obs::CountFault(ctx.obs, FaultSite::kCacheOp);
     if (ctx.clock != nullptr) ctx.clock->Charge(CostKind::kCacheProbe);
+    CountLookup(ctx, /*scope_cache=*/false, /*hit=*/false);
     return std::nullopt;
   }
-  return GetPathShared(key, ctx.clock);
+  auto hit = GetPathShared(key, ctx.clock);
+  CountLookup(ctx, /*scope_cache=*/false, hit.has_value());
+  return hit;
 }
 
 void KeyCentricCache::PutPathShared(const std::string& key, PathValue value,
                                     const ExecContext& ctx) {
-  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) return;  // write dropped
+  if (!ctx.ProbeFault(FaultSite::kCacheOp, key).ok()) {  // write dropped
+    obs::CountFault(ctx.obs, FaultSite::kCacheOp);
+    return;
+  }
   PutPathShared(key, std::move(value));
 }
 

@@ -5,6 +5,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "obs/observability.h"
+#include "obs/trace.h"
 #include "text/levenshtein.h"
 #include "util/arena.h"
 
@@ -75,7 +77,11 @@ Result<std::vector<graph::VertexId>> VertexMatcher::MatchByLabel(
   const std::string canon = lexicon.Canonical(head);
 
   SVQA_RETURN_NOT_OK(ctx.Checkpoint("matchVertex"));
-  SVQA_RETURN_NOT_OK(ctx.ProbeFault(FaultSite::kMatcherScan, canon));
+  if (Status probed = ctx.ProbeFault(FaultSite::kMatcherScan, canon);
+      !probed.ok()) {
+    obs::CountFault(ctx.obs, FaultSite::kMatcherScan);
+    return probed;
+  }
 
   const auto it = canon_index_.find(canon);
   if (options_.use_label_index) {
@@ -260,7 +266,11 @@ Result<std::pair<int, double>> VertexMatcher::BestEdgeLabel(
     }
   }
   // The embedding sweep is the matcher's relation-scoring site.
-  SVQA_RETURN_NOT_OK(ctx.ProbeFault(FaultSite::kRelationScore, head));
+  if (Status probed = ctx.ProbeFault(FaultSite::kRelationScore, head);
+      !probed.ok()) {
+    obs::CountFault(ctx.obs, FaultSite::kRelationScore);
+    return probed;
+  }
   if (clock != nullptr) {
     clock->Charge(CostKind::kEmbeddingSim, static_cast<double>(labels.size()));
   }
@@ -345,6 +355,7 @@ std::vector<graph::VertexId> VertexMatcher::Match(
 Result<std::vector<graph::VertexId>> VertexMatcher::Match(
     const nlp::SpocElement& element, const ExecContext& ctx) const {
   SimClock* clock = ctx.clock;
+  obs::Span span(ctx.obs, clock, "exec.match");
   std::vector<graph::VertexId> out;
   if (element.empty()) return out;
 

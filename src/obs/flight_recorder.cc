@@ -1,0 +1,77 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace svqa {
+namespace obs {
+
+FlightRecorder::FlightRecorder(uint32_t num_lanes, uint32_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (num_lanes == 0) num_lanes = 1;
+  lanes_.reserve(num_lanes);
+  for (uint32_t i = 0; i < num_lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    {
+      MutexLock lock(&lane->mu);
+      lane->ring.resize(capacity_);
+    }
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+void FlightRecorder::Record(uint32_t lane_index, const FlightRecord& rec) {
+  Lane& lane = *lanes_[lane_index % lanes_.size()];
+  MutexLock lock(&lane.mu);
+  lane.ring[lane.next_seq % capacity_] = rec;
+  ++lane.next_seq;
+}
+
+std::vector<FlightRecord> FlightRecorder::SnapshotAll() const {
+  std::vector<FlightRecord> out;
+  for (const auto& lane_ptr : lanes_) {
+    const Lane& lane = *lane_ptr;
+    MutexLock lock(&lane.mu);
+    uint64_t live = lane.next_seq < capacity_ ? lane.next_seq : capacity_;
+    uint64_t first = lane.next_seq - live;
+    for (uint64_t s = first; s < lane.next_seq; ++s) {
+      out.push_back(lane.ring[s % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::TotalRecorded() const {
+  uint64_t total = 0;
+  for (const auto& lane_ptr : lanes_) {
+    MutexLock lock(&lane_ptr->mu);
+    total += lane_ptr->next_seq;
+  }
+  return total;
+}
+
+std::string FlightRecorder::Dump() const {
+  std::ostringstream out;
+  out << "flight recorder: " << lanes_.size() << " lane(s) x " << capacity_
+      << " record(s)\n";
+  uint32_t lane_index = 0;
+  for (const auto& lane_ptr : lanes_) {
+    const Lane& lane = *lane_ptr;
+    MutexLock lock(&lane.mu);
+    uint64_t live = lane.next_seq < capacity_ ? lane.next_seq : capacity_;
+    uint64_t first = lane.next_seq - live;
+    out << "lane " << lane_index++ << " (" << live << " live, "
+        << lane.next_seq << " total):\n";
+    for (uint64_t s = first; s < lane.next_seq; ++s) {
+      const FlightRecord& r = lane.ring[s % capacity_];
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " start=%.3f dur=%.3f",
+                    r.start_micros, r.dur_micros);
+      out << "  q" << r.query_id << " " << r.name << buf << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace svqa

@@ -1,0 +1,71 @@
+#ifndef SVQA_OBS_FLIGHT_RECORDER_H_
+#define SVQA_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace svqa {
+namespace obs {
+
+/// One span/event as remembered by the flight recorder. `name` is a
+/// static string literal (same contract as SpanRecord).
+struct FlightRecord {
+  uint64_t query_id = 0;
+  const char* name = "";
+  double start_micros = 0;  // virtual micros on the query's clock
+  double dur_micros = 0;
+};
+
+/// \brief Always-on ring of the most recent span/event records, one
+/// preallocated lane per worker.
+///
+/// The point is post-hoc debugging without a re-run: when a shed or a
+/// deadline miss shows up in `ServerStats`, the recorder still holds
+/// the last `capacity` records each worker produced. Recording takes
+/// only that lane's mutex (workers never contend with each other, and
+/// the critical section is a fixed-size struct copy — no allocation:
+/// rings are preallocated up front). `SnapshotAll` walks the lanes one
+/// at a time, so traffic is never globally paused.
+class FlightRecorder {
+ public:
+  FlightRecorder(uint32_t num_lanes, uint32_t capacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Appends to `lane` (clamped into range), evicting the oldest record
+  /// once the lane is full.
+  void Record(uint32_t lane, const FlightRecord& rec);
+
+  /// Copies every live record, oldest-first within each lane, lanes in
+  /// index order. Lock scope is one lane at a time.
+  std::vector<FlightRecord> SnapshotAll() const;
+
+  /// Total records ever recorded (across all lanes, including evicted).
+  uint64_t TotalRecorded() const;
+
+  /// Human-readable dump of `SnapshotAll()` for Stats()/demo output.
+  std::string Dump() const;
+
+ private:
+  struct Lane {
+    mutable Mutex mu;
+    std::vector<FlightRecord> ring SVQA_GUARDED_BY(mu);  // size == capacity
+    uint64_t next_seq SVQA_GUARDED_BY(mu) = 0;
+  };
+
+  uint32_t capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace obs
+}  // namespace svqa
+
+#endif  // SVQA_OBS_FLIGHT_RECORDER_H_

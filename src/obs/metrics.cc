@@ -1,0 +1,142 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace svqa {
+namespace obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  SVQA_CHECK(!bounds_.empty());
+  SVQA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  std::size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[b]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  Entry& e = metrics_[name];
+  if (e.counter == nullptr) {
+    if (e.gauge != nullptr || e.histogram != nullptr) return nullptr;
+    e.kind = MetricKind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  Entry& e = metrics_[name];
+  if (e.gauge == nullptr) {
+    if (e.counter != nullptr || e.histogram != nullptr) return nullptr;
+    e.kind = MetricKind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  MutexLock lock(&mu_);
+  Entry& e = metrics_[name];
+  if (e.histogram == nullptr) {
+    if (e.counter != nullptr || e.gauge != nullptr) return nullptr;
+    e.kind = MetricKind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.counter = e.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = e.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        s.bounds = e.histogram->bounds();
+        s.buckets = e.histogram->BucketCounts();
+        s.hist_count = e.histogram->Count();
+        s.hist_sum = e.histogram->Sum();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // map iteration order == name order
+}
+
+std::string SamplesToJson(const std::vector<MetricSample>& samples) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << s.name << "\": ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out << s.counter;
+        break;
+      case MetricKind::kGauge:
+        out << s.gauge;
+        break;
+      case MetricKind::kHistogram: {
+        out << "{\"count\": " << s.hist_count << ", \"sum\": " << s.hist_sum
+            << ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << "[";
+          if (i < s.bounds.size()) {
+            out << s.bounds[i];
+          } else {
+            out << "\"inf\"";
+          }
+          out << ", " << s.buckets[i] << "]";
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  return SamplesToJson(Snapshot());
+}
+
+}  // namespace obs
+}  // namespace svqa

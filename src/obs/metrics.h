@@ -1,0 +1,171 @@
+#ifndef SVQA_OBS_METRICS_H_
+#define SVQA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace svqa {
+namespace obs {
+
+/// \brief Monotone event counter with a lock-free, sharded hot path.
+///
+/// `Incr` lands on a per-thread shard (cache-line padded so concurrent
+/// writers never false-share); `Value` sums the shards. All arithmetic
+/// is integer, so the total is independent of thread interleaving — a
+/// registry snapshot is deterministic for a deterministic workload no
+/// matter how the increments were scheduled.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Incr(uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr int kShards = 8;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  // Threads round-robin onto shards at first use; the mapping only
+  // spreads contention, it never affects the sum.
+  static uint32_t ShardIndex() {
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// \brief Last-writer-wins signed level (queue depth, recovery rung).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Fixed-bucket histogram over non-negative integer samples
+/// (virtual micros, queue depths).
+///
+/// Bucket bounds are fixed at registration; `Record` is a lock-free
+/// atomic increment on the matching bucket plus integer sum/count
+/// accumulators, so — like `Counter` — the observable state is a pure
+/// function of the recorded multiset, not of thread timing.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly increasing; one
+  /// implicit overflow bucket catches everything above the last bound.
+  explicit Histogram(std::vector<uint64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;  // size bounds()+1
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+enum class MetricKind : int { kCounter = 0, kGauge, kHistogram };
+
+/// One metric's value at snapshot time. Only the fields for `kind` are
+/// meaningful.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  std::vector<uint64_t> bounds;   // histogram upper bounds
+  std::vector<uint64_t> buckets;  // per-bucket counts, size bounds+1
+  uint64_t hist_count = 0;
+  uint64_t hist_sum = 0;
+};
+
+/// \brief Name -> metric map with register-once semantics.
+///
+/// Registration (`GetCounter` et al.) takes a mutex but happens once
+/// per metric family, at wiring time; the returned handles are stable
+/// for the registry's lifetime and all hot-path mutation goes through
+/// them lock-free. Names follow `svqa.<layer>.<name>` (DESIGN.md,
+/// "Observability").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, creating it on first use. Re-registering
+  /// a name with a different kind returns nullptr (caller bug).
+  Counter* GetCounter(const std::string& name) SVQA_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) SVQA_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds) SVQA_EXCLUDES(mu_);
+
+  /// Point-in-time view of every registered metric, sorted by name.
+  /// Deterministic: two registries fed the same events snapshot
+  /// identically regardless of thread scheduling.
+  std::vector<MetricSample> Snapshot() const SVQA_EXCLUDES(mu_);
+
+  /// Stable text form of `Snapshot()`: one JSON object, keys in name
+  /// order, integer values only — byte-identical across runs for a
+  /// deterministic workload.
+  std::string ToJson() const SVQA_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable Mutex mu_;
+  // std::map keeps iteration name-sorted, which is what makes the
+  // snapshot ordering deterministic by construction.
+  std::map<std::string, Entry> metrics_ SVQA_GUARDED_BY(mu_);
+};
+
+/// Renders a snapshot in the same stable form as
+/// `MetricsRegistry::ToJson()` (exposed for tests and tooling).
+std::string SamplesToJson(const std::vector<MetricSample>& samples);
+
+}  // namespace obs
+}  // namespace svqa
+
+#endif  // SVQA_OBS_METRICS_H_

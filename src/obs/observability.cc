@@ -1,0 +1,100 @@
+#include "obs/observability.h"
+
+#include <string>
+
+namespace svqa {
+namespace obs {
+
+namespace {
+
+/// Serve priority classes by index; mirrors serve::PriorityClass
+/// (static_assert'd at the serve wiring site).
+const char* const kClassNames[kNumPriorityClasses] = {"interactive", "batch",
+                                                      "best_effort"};
+
+/// storage::RecoveryRung by index; mirrors RecoveryRungName.
+const char* const kRungNames[kNumRecoveryRungs] = {
+    "cold_start", "snapshot_only", "snapshot_plus_wal", "wal_only",
+    "conservative_empty"};
+
+/// Queue-wait buckets: decade spacing from 100 us to 10 s of virtual
+/// time, matching the latency range the serve experiments report.
+std::vector<uint64_t> QueueWaitBounds() {
+  return {100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+}
+
+}  // namespace
+
+Status ObsOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (ring_capacity == 0) {
+    return Status::InvalidArgument(
+        "ObsOptions.ring_capacity must be >= 1 when observability is "
+        "enabled");
+  }
+  if (ring_capacity > (1u << 20)) {
+    return Status::InvalidArgument(
+        "ObsOptions.ring_capacity too large (max 1Mi records per lane)");
+  }
+  return Status::OK();
+}
+
+StackMetrics::StackMetrics(MetricsRegistry* registry) {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    fault_injected[s] = registry->GetCounter(
+        std::string("svqa.util.fault.") +
+        FaultSiteName(static_cast<FaultSite>(s)));
+  }
+  exec_attempts = registry->GetCounter("svqa.exec.attempts");
+  exec_retries = registry->GetCounter("svqa.exec.retries");
+  exec_backoff_micros = registry->GetCounter("svqa.exec.backoff_micros");
+  cache_scope_hits = registry->GetCounter("svqa.exec.cache.scope_hits");
+  cache_scope_misses = registry->GetCounter("svqa.exec.cache.scope_misses");
+  cache_path_hits = registry->GetCounter("svqa.exec.cache.path_hits");
+  cache_path_misses = registry->GetCounter("svqa.exec.cache.path_misses");
+  cache_scope_evictions =
+      registry->GetGauge("svqa.exec.cache.scope_evictions");
+  cache_path_evictions = registry->GetGauge("svqa.exec.cache.path_evictions");
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    serve_sheds[c] = registry->GetCounter(std::string("svqa.serve.sheds.") +
+                                          kClassNames[c]);
+    serve_queue_wait_micros[c] = registry->GetHistogram(
+        std::string("svqa.serve.queue_wait_micros.") + kClassNames[c],
+        QueueWaitBounds());
+  }
+  serve_requests = registry->GetCounter("svqa.serve.requests");
+  serve_publishes = registry->GetCounter("svqa.serve.publishes");
+  serve_recovery_rung = registry->GetGauge("svqa.serve.recovery_rung");
+  wal_appends = registry->GetCounter("svqa.serve.wal.appends");
+  wal_append_failures =
+      registry->GetCounter("svqa.serve.wal.append_failures");
+  snapshot_writes = registry->GetCounter("svqa.serve.snapshot.writes");
+  for (int r = 0; r < kNumRecoveryRungs; ++r) {
+    recovery_rungs[r] = registry->GetCounter(
+        std::string("svqa.storage.recovery.") + kRungNames[r]);
+  }
+  wal_replayed = registry->GetCounter("svqa.storage.wal.replayed");
+  wal_repaired = registry->GetCounter("svqa.storage.wal.repaired");
+  wal_quarantined = registry->GetCounter("svqa.storage.wal.quarantined");
+}
+
+Observability::Observability(const ObsOptions& options, uint32_t num_lanes)
+    : options_(options),
+      stack_(std::make_unique<StackMetrics>(&registry_)),
+      flight_(std::make_unique<FlightRecorder>(num_lanes,
+                                               options.ring_capacity)) {}
+
+Scope Observability::MakeScope(Tracer* tracer, uint32_t lane,
+                               uint64_t query_id) {
+  Scope scope;
+  if (!options_.enabled) return scope;
+  scope.tracer = tracer;
+  scope.metrics = stack_.get();
+  scope.flight = flight_.get();
+  scope.flight_lane = lane;
+  scope.query_id = query_id;
+  return scope;
+}
+
+}  // namespace obs
+}  // namespace svqa

@@ -1,0 +1,141 @@
+#ifndef SVQA_OBS_OBSERVABILITY_H_
+#define SVQA_OBS_OBSERVABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+
+namespace svqa {
+namespace obs {
+
+/// \brief Observability knobs, validated wherever they are embedded
+/// (`SvqaOptions`, `serve::ServerOptions`).
+struct ObsOptions {
+  /// Master switch. Off means no registry, no tracer, no recorder: the
+  /// hooks compiled into the stack see a null `Scope*` and cost one
+  /// predictable branch each (the bench_micro obs section gates this).
+  bool enabled = false;
+  /// Trace every n-th query (by query/request id): 1 traces all, 0
+  /// disables tracing while keeping metrics and the flight recorder.
+  uint32_t trace_sample_n = 1;
+  /// Flight-recorder ring capacity per lane (one lane per worker plus
+  /// one for server lifecycle events).
+  uint32_t ring_capacity = 256;
+
+  SVQA_NODISCARD Status Validate() const;
+};
+
+/// Number of serve priority classes mirrored by the pre-registered
+/// admission metrics (kept in sync with `serve::kNumPriorityClasses` by
+/// a static_assert at the serve wiring site — obs depends only on
+/// util, so it cannot include the serve header).
+inline constexpr int kNumPriorityClasses = 3;
+
+/// Ditto for `storage::RecoveryRung` (5 rungs, cold-start .. empty).
+inline constexpr int kNumRecoveryRungs = 5;
+
+/// \brief Pre-registered metric handles for every layer of the stack,
+/// named `svqa.<layer>.<name>` (DESIGN.md, "Observability").
+///
+/// Registered once against a `MetricsRegistry` at construction; all
+/// pointers are non-null and stable, so hot-path call sites increment
+/// through them with no name lookup and no lock.
+struct StackMetrics {
+  explicit StackMetrics(MetricsRegistry* registry);
+
+  // -- util: fault injection ------------------------------------------------
+  /// Injected faults per instrumented site (svqa.util.fault.<site>).
+  Counter* fault_injected[kNumFaultSites] = {};
+
+  // -- exec: resilience + caches -------------------------------------------
+  Counter* exec_attempts = nullptr;       // svqa.exec.attempts
+  Counter* exec_retries = nullptr;        // svqa.exec.retries
+  Counter* exec_backoff_micros = nullptr; // svqa.exec.backoff_micros
+  Counter* cache_scope_hits = nullptr;    // svqa.exec.cache.scope_hits
+  Counter* cache_scope_misses = nullptr;  // svqa.exec.cache.scope_misses
+  Counter* cache_path_hits = nullptr;     // svqa.exec.cache.path_hits
+  Counter* cache_path_misses = nullptr;   // svqa.exec.cache.path_misses
+  Gauge* cache_scope_evictions = nullptr; // svqa.exec.cache.scope_evictions
+  Gauge* cache_path_evictions = nullptr;  // svqa.exec.cache.path_evictions
+
+  // -- serve: admission, scheduling, publish lifecycle ---------------------
+  /// Sheds per priority class (svqa.serve.sheds.<class>).
+  Counter* serve_sheds[kNumPriorityClasses] = {};
+  /// Queue-wait micros per class (svqa.serve.queue_wait_micros.<class>).
+  Histogram* serve_queue_wait_micros[kNumPriorityClasses] = {};
+  Counter* serve_requests = nullptr;   // svqa.serve.requests
+  Counter* serve_publishes = nullptr;  // svqa.serve.publishes
+  Gauge* serve_recovery_rung = nullptr;  // svqa.serve.recovery_rung
+  Counter* wal_appends = nullptr;        // svqa.serve.wal.appends
+  Counter* wal_append_failures = nullptr;  // svqa.serve.wal.append_failures
+  Counter* snapshot_writes = nullptr;      // svqa.serve.snapshot.writes
+
+  // -- storage: crash recovery ---------------------------------------------
+  /// Recoveries resolved at each rung (svqa.storage.recovery.<rung>).
+  Counter* recovery_rungs[kNumRecoveryRungs] = {};
+  Counter* wal_replayed = nullptr;     // svqa.storage.wal.replayed
+  Counter* wal_repaired = nullptr;     // svqa.storage.wal.repaired
+  Counter* wal_quarantined = nullptr;  // svqa.storage.wal.quarantined
+};
+
+/// Counts an injected fault at `site` (null-safe; no-op without a
+/// metrics-bearing scope). Call where a `ProbeFault` verdict comes back
+/// non-OK — the injector itself lives in util and cannot see obs.
+inline void CountFault(const Scope* scope, FaultSite site) {
+  if (const StackMetrics* m = MetricsOf(scope)) {
+    m->fault_injected[static_cast<int>(site)]->Incr();
+  }
+}
+
+/// \brief Owner of one observability domain: the registry with its
+/// pre-registered stack metrics, and the flight recorder.
+///
+/// One instance per server/engine; per-query `Tracer`s are created by
+/// the dispatch site (they are single-threaded, like SimClocks) and
+/// bundled with the shared pieces into a `Scope` via `MakeScope`.
+class Observability {
+ public:
+  /// `num_lanes` sizes the flight recorder — one lane per worker plus
+  /// one for server lifecycle events is the serve convention.
+  explicit Observability(const ObsOptions& options, uint32_t num_lanes = 1);
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  const ObsOptions& options() const { return options_; }
+
+  MetricsRegistry* registry() { return &registry_; }
+  const StackMetrics* stack() const { return stack_.get(); }
+  FlightRecorder* flight() { return flight_.get(); }
+
+  /// Whether the query with this id should carry a tracer.
+  bool ShouldTrace(uint64_t id) const {
+    return options_.enabled && options_.trace_sample_n != 0 &&
+           id % options_.trace_sample_n == 0;
+  }
+
+  /// Bundles the shared handles with a per-query tracer (may be null:
+  /// metrics/flight-only scope) and the executing worker's lane.
+  Scope MakeScope(Tracer* tracer, uint32_t lane, uint64_t query_id);
+
+  std::string MetricsJson() const { return registry_.ToJson(); }
+  std::string DumpFlightRecorder() const { return flight_->Dump(); }
+
+ private:
+  ObsOptions options_;
+  MetricsRegistry registry_;
+  std::unique_ptr<StackMetrics> stack_;
+  std::unique_ptr<FlightRecorder> flight_;
+};
+
+}  // namespace obs
+}  // namespace svqa
+
+#endif  // SVQA_OBS_OBSERVABILITY_H_

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/flight_recorder.h"
+
+namespace svqa {
+namespace obs {
+
+namespace {
+
+// Fixed-precision rendering keeps trace output byte-stable: the micros
+// are doubles accumulated by SimClock in a deterministic order, and
+// %.3f is a pure function of the value.
+std::string Micros(double v) {
+  if (v == 0) v = 0;  // never render "-0.000" (a zero-length SpanAt)
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+uint32_t Tracer::BeginSpan(const char* name, const SimClock& clock) {
+  SpanRecord rec;
+  rec.id = static_cast<uint32_t>(spans_.size()) + 1;
+  rec.parent = open_.empty() ? 0 : open_.back();
+  rec.name = name;
+  rec.start_micros = clock.ElapsedMicros();
+  rec.end_micros = rec.start_micros;
+  spans_.push_back(rec);
+  open_.push_back(rec.id);
+  return rec.id;
+}
+
+void Tracer::EndSpan(uint32_t id, const SimClock& clock) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].end_micros = clock.ElapsedMicros();
+  // Well-nested RAII closes the innermost open span; tolerate (and
+  // unwind past) out-of-order closes rather than corrupting parentage.
+  while (!open_.empty()) {
+    uint32_t top = open_.back();
+    open_.pop_back();
+    if (top == id) break;
+  }
+}
+
+void Tracer::Event(const char* name, const SimClock& clock) {
+  uint32_t id = BeginSpan(name, clock);
+  EndSpan(id, clock);
+}
+
+void Tracer::SpanAt(const char* name, double start_micros,
+                    double end_micros) {
+  SpanRecord rec;
+  rec.id = static_cast<uint32_t>(spans_.size()) + 1;
+  rec.parent = open_.empty() ? 0 : open_.back();
+  rec.name = name;
+  rec.start_micros = start_micros;
+  rec.end_micros = end_micros;
+  spans_.push_back(rec);
+}
+
+std::string Tracer::ToJson() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    if (i > 0) out << ",";
+    out << "\n{\"name\": \"" << s.name << "\", \"ph\": \"X\", \"pid\": 0"
+        << ", \"tid\": " << query_id_ << ", \"ts\": " << Micros(s.start_micros)
+        << ", \"dur\": " << Micros(s.end_micros - s.start_micros)
+        << ", \"args\": {\"id\": " << s.id << ", \"parent\": " << s.parent
+        << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+std::string Tracer::TreeString() const {
+  // Depth by chasing parents; ids are allocation-ordered so a parent
+  // always precedes its children and one forward pass suffices.
+  std::vector<int> depth(spans_.size(), 0);
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    uint32_t p = spans_[i].parent;
+    depth[i] = p == 0 ? 0 : depth[p - 1] + 1;
+  }
+  std::ostringstream out;
+  out << "trace query=" << query_id_ << " spans=" << spans_.size() << "\n";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    for (int d = 0; d < depth[i]; ++d) out << "  ";
+    out << s.name << " start=" << Micros(s.start_micros)
+        << " dur=" << Micros(s.end_micros - s.start_micros) << "\n";
+  }
+  return out.str();
+}
+
+Span::Span(const Scope* scope, const SimClock* clock, const char* name) {
+  if (scope == nullptr || clock == nullptr) return;
+  if (scope->tracer == nullptr && scope->flight == nullptr) return;
+  scope_ = scope;
+  clock_ = clock;
+  name_ = name;
+  start_micros_ = clock->ElapsedMicros();
+  if (scope->tracer != nullptr) {
+    id_ = scope->tracer->BeginSpan(name, *clock);
+  }
+}
+
+Span::~Span() {
+  if (scope_ == nullptr) return;
+  if (scope_->tracer != nullptr && id_ != 0) {
+    scope_->tracer->EndSpan(id_, *clock_);
+  }
+  if (scope_->flight != nullptr) {
+    FlightRecord rec;
+    rec.query_id = scope_->query_id;
+    rec.name = name_;
+    rec.start_micros = start_micros_;
+    rec.dur_micros = clock_->ElapsedMicros() - start_micros_;
+    scope_->flight->Record(scope_->flight_lane, rec);
+  }
+}
+
+}  // namespace obs
+}  // namespace svqa

@@ -1,0 +1,124 @@
+#ifndef SVQA_OBS_TRACE_H_
+#define SVQA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace svqa {
+namespace obs {
+
+struct StackMetrics;    // observability.h
+class FlightRecorder;   // flight_recorder.h
+
+/// \brief One closed (or still-open) span in a query's trace.
+///
+/// Timestamps are *virtual* micros read from the query's `SimClock` —
+/// never a wall clock — so a span tree is a pure function of the work
+/// the query charged, identical across hosts, runs, and worker counts
+/// (the svqa_lint virtual-time rule stays clean by construction).
+/// `name` must be a string literal (spans are recorded on the hot path;
+/// no ownership, no copies).
+struct SpanRecord {
+  uint32_t id = 0;      // 1-based, allocation order
+  uint32_t parent = 0;  // 0 = root
+  const char* name = "";
+  double start_micros = 0;
+  double end_micros = 0;
+};
+
+/// \brief Per-query span collector.
+///
+/// One tracer per query, owned by the driving call and NOT thread-safe
+/// — the executor runs a query on one worker, and parallel batch
+/// executors give each query its own tracer, mirroring the SimClock
+/// ownership rule. Parentage comes from an open-span stack, so RAII
+/// `Span` nesting produces the tree directly.
+class Tracer {
+ public:
+  explicit Tracer(uint64_t query_id = 0) : query_id_(query_id) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  uint32_t BeginSpan(const char* name, const SimClock& clock);
+  void EndSpan(uint32_t id, const SimClock& clock);
+
+  /// Zero-duration marker (shed, fault verdict, publish seen).
+  void Event(const char* name, const SimClock& clock);
+
+  /// Records a span with explicit virtual timestamps, closed
+  /// immediately (parented under the innermost open span like any
+  /// other). Used by the serving layer for intervals that precede the
+  /// request's clock origin — e.g. queue wait, recorded over
+  /// [-wait, 0] so the execution subtree still starts at virtual t=0
+  /// and stays byte-identical across worker counts.
+  void SpanAt(const char* name, double start_micros, double end_micros);
+
+  uint64_t query_id() const { return query_id_; }
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// Chrome `trace_event` JSON (complete "X" events; ts/dur in virtual
+  /// micros, pid 0, tid = query id). Load via chrome://tracing or
+  /// Perfetto. Byte-stable: fixed field order, %.3f timestamps.
+  std::string ToJson() const;
+
+  /// Indented one-line-per-span text form — the object the determinism
+  /// contract is asserted over (names, parentage, virtual
+  /// start/duration), byte-identical across runs and worker counts.
+  std::string TreeString() const;
+
+ private:
+  uint64_t query_id_;
+  std::vector<SpanRecord> spans_;
+  std::vector<uint32_t> open_;  // stack of open span ids
+};
+
+/// \brief Everything a component needs to emit telemetry for the query
+/// it is currently running: the (optional) tracer, the pre-registered
+/// metric handles, and the flight-recorder lane of the executing
+/// worker.
+///
+/// Carried as a `const Scope*` on `util::ExecContext`; a null pointer
+/// (or null fields) makes every hook a no-op — that is the whole
+/// disabled-mode story, one branch per site.
+struct Scope {
+  Tracer* tracer = nullptr;
+  const StackMetrics* metrics = nullptr;
+  FlightRecorder* flight = nullptr;
+  uint32_t flight_lane = 0;
+  uint64_t query_id = 0;
+};
+
+/// Null-safe accessor: the metric handles behind a scope, or nullptr.
+inline const StackMetrics* MetricsOf(const Scope* scope) {
+  return scope != nullptr ? scope->metrics : nullptr;
+}
+
+/// \brief RAII span over a scope + clock pair.
+///
+/// No-op when the scope or its tracer is null; otherwise opens on
+/// construction and closes on destruction, recording into the tracer
+/// and (when wired) the flight recorder. Never charges the clock: the
+/// trace observes virtual time, it must not perturb it.
+class Span {
+ public:
+  Span(const Scope* scope, const SimClock* clock, const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const Scope* scope_ = nullptr;
+  const SimClock* clock_ = nullptr;
+  const char* name_ = "";
+  uint32_t id_ = 0;
+  double start_micros_ = 0;
+};
+
+}  // namespace obs
+}  // namespace svqa
+
+#endif  // SVQA_OBS_TRACE_H_

@@ -16,6 +16,11 @@ SnapshotDurability::SnapshotDurability(storage::StorageEnv* env,
       options_(options),
       wal_(env, dir_) {}
 
+void SnapshotDurability::SetMetrics(const obs::StackMetrics* metrics) {
+  MutexLock lock(&mu_);
+  metrics_ = metrics;
+}
+
 void SnapshotDurability::NoteFailure(const Status& s) {
   ++stats_.persist_failures;
   stats_.last_error = s.ToString();
@@ -37,6 +42,9 @@ Status SnapshotDurability::AppendWal(uint64_t generation,
   if (s.ok()) {
     ++stats_.wal_appends;
     stats_.wal_bytes += encoded.size();
+    if (metrics_ != nullptr) metrics_->wal_appends->Incr();
+  } else if (metrics_ != nullptr) {
+    metrics_->wal_append_failures->Incr();
   }
   return s;
 }
@@ -104,6 +112,7 @@ void SnapshotDurability::PersistSnapshot(uint64_t generation,
   }
   ++stats_.snapshots_written;
   stats_.snapshot_bytes += encoded.size();
+  if (metrics_ != nullptr) metrics_->snapshot_writes->Incr();
   // The snapshot now covers every logged generation <= `generation`;
   // shrink the WAL so replay stays O(tail), and repair any torn tail a
   // failed append left behind.
@@ -116,7 +125,12 @@ void SnapshotDurability::PersistSnapshot(uint64_t generation,
 
 Result<storage::RecoveryReport> SnapshotDurability::WarmStart(
     GraphSnapshotStore* store) {
-  storage::RecoveryManager manager(env_, dir_);
+  storage::RecoveryManager::Options ropts;
+  {
+    MutexLock lock(&mu_);
+    ropts.metrics = metrics_;
+  }
+  storage::RecoveryManager manager(env_, dir_, ropts);
   storage::RecoveredState recovered = manager.Recover();
   const storage::RecoveryReport& report = recovered.report;
 

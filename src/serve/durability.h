@@ -8,6 +8,7 @@
 
 #include "aggregator/merger.h"
 #include "graph/interning.h"
+#include "obs/observability.h"
 #include "storage/recovery.h"
 #include "storage/snapshot.h"
 #include "storage/storage_env.h"
@@ -101,6 +102,11 @@ class SnapshotDurability {
   SVQA_NODISCARD Result<storage::RecoveryReport> WarmStart(
       GraphSnapshotStore* store) SVQA_EXCLUDES(mu_);
 
+  /// Wires the pre-registered obs handles (WAL appends/failures,
+  /// snapshot writes, recovery telemetry). Not owned; must outlive this
+  /// object. Typically called by SvqaServer before traffic.
+  void SetMetrics(const obs::StackMetrics* metrics) SVQA_EXCLUDES(mu_);
+
   DurabilityStats stats() const SVQA_EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
   storage::StorageEnv* env() const { return env_; }
@@ -130,6 +136,7 @@ class SnapshotDurability {
   uint64_t publish_seq_ SVQA_GUARDED_BY(mu_) = 0;
   std::deque<Pending> pending_ SVQA_GUARDED_BY(mu_);
   DurabilityStats stats_ SVQA_GUARDED_BY(mu_);
+  const obs::StackMetrics* metrics_ SVQA_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace svqa::serve

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "query/query_graph.h"
 #include "util/annotations.h"
 #include "util/cancellation.h"
@@ -66,6 +67,12 @@ struct ServeResponse {
   /// simulated mode; a host-wait + virtual-exec hybrid in threaded mode
   /// (diagnostic only there).
   double latency_micros = 0;
+  /// Span tree of this request's dispatch, present when the server runs
+  /// with observability enabled and the trace sampler selected this
+  /// request id. Keyed to the request's own SimClock; the queue-wait
+  /// span is recorded on the negative axis (before virtual t=0), so the
+  /// execution subtree stays byte-identical across worker counts.
+  std::shared_ptr<obs::Tracer> trace;
 };
 
 /// \brief Shared completion handle between a submitter and the serving

@@ -7,6 +7,13 @@
 
 namespace svqa::serve {
 
+// The obs layer pre-registers one shed counter and one queue-wait
+// histogram per priority class; it cannot include this header (obs sits
+// below serve), so the mirror constant is pinned here instead.
+static_assert(kNumPriorityClasses == obs::kNumPriorityClasses,
+              "update obs::kNumPriorityClasses (and the class-name table "
+              "in observability.cc) when serve adds a priority class");
+
 double SteadyNowMicros() {
   // Measurement-only wall clock: stamps arrival/queue-wait in the real
   // threaded mode. It never feeds exec_micros or any replayed quantity —
@@ -33,7 +40,7 @@ void RequestScheduler::Start() {
   // the admission queue and exits when intake closes and the queue
   // drains, which is exactly when ThreadPool::Shutdown can join.
   for (std::size_t i = 0; i < workers; ++i) {
-    pool_->Submit([this] { WorkerLoop(); });
+    pool_->Submit([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -42,12 +49,13 @@ void RequestScheduler::Drain() {
   if (pool_ != nullptr) pool_->Shutdown();
 }
 
-void RequestScheduler::WorkerLoop() {
+void RequestScheduler::WorkerLoop(std::size_t worker) {
   QueuedRequest req;
   while (queue_->PopBlocking(&req)) {
     const double queue_wait =
         std::max(0.0, SteadyNowMicros() - req.arrival_micros);
-    ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/false);
+    ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/false,
+                                  static_cast<uint32_t>(worker));
     stats_->RecordOutcome(resp);
     req.ticket->Complete(std::move(resp));
   }
@@ -55,11 +63,35 @@ void RequestScheduler::WorkerLoop() {
 
 ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
                                          double queue_wait_micros,
-                                         bool simulated) const {
+                                         bool simulated,
+                                         uint32_t lane) const {
   ServeResponse resp;
   resp.priority = req.options.priority;
   resp.queue_wait_micros = queue_wait_micros;
   resp.latency_micros = queue_wait_micros;
+
+  // Per-request telemetry: one Tracer when the sampler selects this id,
+  // a Scope bundling it with the shared metric handles and this
+  // worker's flight lane. The queue-wait histogram is integer micros so
+  // the snapshot sums are order-independent.
+  obs::Scope scope;
+  const bool telemetry = options_.obs != nullptr && options_.obs->enabled();
+  if (telemetry) {
+    if (options_.obs->ShouldTrace(req.id)) {
+      resp.trace = std::make_shared<obs::Tracer>(req.id);
+    }
+    scope = options_.obs->MakeScope(resp.trace.get(), lane, req.id);
+    const obs::StackMetrics* m = scope.metrics;
+    m->serve_requests->Incr();
+    m->serve_queue_wait_micros[static_cast<int>(req.options.priority)]
+        ->Record(static_cast<uint64_t>(queue_wait_micros));
+    if (resp.trace != nullptr) {
+      // Queue wait precedes the request's clock origin: record it over
+      // [-wait, 0] so the execution subtree still starts at t=0 and is
+      // byte-identical whatever the queue did.
+      resp.trace->SpanAt("serve.queue_wait", -queue_wait_micros, 0.0);
+    }
+  }
 
   // Cancelled while queued: zero execution cost, the worker moves on.
   if (req.ticket->cancel_token().cancelled()) {
@@ -110,8 +142,10 @@ ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
           "SubmitQuestion requires ServerOptions::parser");
       return resp;
     }
-    Result<query::QueryGraph> p =
-        options_.parser->Build(req.question, &clock);
+    Result<query::QueryGraph> p = [&] {
+      obs::Span parse_span(&scope, &clock, "serve.parse");
+      return options_.parser->Build(req.question, &clock);
+    }();
     if (!p.ok()) {
       resp.status = p.status();
       resp.exec_micros = clock.ElapsedMicros();
@@ -134,6 +168,7 @@ ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
   res.cancel = &req.ticket->cancel_token();
   res.query_deadline_micros =
       bounded ? work_budget - clock.ElapsedMicros() : 0;
+  if (telemetry) res.obs = &scope;  // outlives the resilient call below
 
   exec::Diagnostics diag;
   Result<exec::Answer> r = snap->executor().ExecuteResilient(
@@ -178,6 +213,11 @@ double RequestScheduler::RunSimulated(std::vector<QueuedRequest> workload) {
     Status admitted = queue_->Admit(std::move(req));
     if (admitted.ok()) return;
     stats_->RecordShed(priority);
+    if (options_.obs != nullptr && options_.obs->enabled()) {
+      options_.obs->stack()
+          ->serve_sheds[static_cast<int>(priority)]
+          ->Incr();
+    }
     ServeResponse resp;
     resp.priority = priority;
     resp.status = std::move(admitted);
@@ -218,7 +258,8 @@ double RequestScheduler::RunSimulated(std::vector<QueuedRequest> workload) {
     if (!queue_->TryPop(&req)) continue;
     const double t_dispatch = std::max(free_at[w], req.arrival_micros);
     const double queue_wait = t_dispatch - req.arrival_micros;
-    ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/true);
+    ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/true,
+                                  /*lane=*/static_cast<uint32_t>(w));
     free_at[w] = t_dispatch + resp.exec_micros;
     makespan = std::max(makespan, free_at[w]);
     stats_->RecordOutcome(resp);

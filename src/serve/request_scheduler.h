@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "obs/observability.h"
 #include "query/query_graph_builder.h"
 #include "serve/admission_queue.h"
 #include "serve/graph_snapshot_store.h"
@@ -31,6 +32,11 @@ struct SchedulerOptions {
   /// Enables SubmitQuestion: questions parse on the worker, charged to
   /// the request's clock. Not owned; may be nullptr.
   const query::QueryGraphBuilder* parser = nullptr;
+  /// Observability domain shared with the owning server (metrics, trace
+  /// sampling, flight recorder). Not owned; nullptr disables telemetry.
+  /// Worker i records into flight lane i in both modes (virtual worker
+  /// index in simulated mode), so lane contents are comparable.
+  obs::Observability* obs = nullptr;
 };
 
 /// \brief Deadline-aware dispatcher: pulls requests off the
@@ -73,14 +79,15 @@ class RequestScheduler {
   const SchedulerOptions& options() const { return options_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker);
 
   /// Executes one popped request against the current snapshot.
   /// `queue_wait_micros` is on the mode's timeline; in simulated mode it
   /// is pre-charged to the request's clock so the end-to-end virtual
-  /// deadline covers time spent queued.
+  /// deadline covers time spent queued. `lane` is the executing worker's
+  /// flight-recorder lane.
   ServeResponse Dispatch(QueuedRequest& req, double queue_wait_micros,
-                         bool simulated) const;
+                         bool simulated, uint32_t lane) const;
 
   AdmissionQueue* queue_;
   const GraphSnapshotStore* store_;

@@ -15,16 +15,22 @@ Status ServerOptions::Validate() const {
   if (num_workers == 0) {
     return Status::InvalidArgument("num_workers must be positive");
   }
-  return admission.Validate();
+  SVQA_RETURN_NOT_OK(admission.Validate());
+  return obs.Validate();
 }
 
 SvqaServer::SvqaServer(GraphSnapshotStore* store, ServerOptions options)
     : store_(store),
       options_(std::move(options)),
       queue_(options_.admission),
+      obs_(options_.obs.enabled
+               ? std::make_unique<obs::Observability>(
+                     options_.obs,
+                     static_cast<uint32_t>(options_.num_workers) + 1)
+               : nullptr),
       scheduler_(&queue_, store_, &stats_,
                  SchedulerOptions{options_.num_workers, options_.resilience,
-                                  options_.parser}) {}
+                                  options_.parser, obs_.get()}) {}
 
 SvqaServer::~SvqaServer() { Shutdown(); }
 
@@ -32,6 +38,9 @@ Status SvqaServer::Start() {
   SVQA_RETURN_NOT_OK(options_.Validate());
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
+  }
+  if (obs_ != nullptr && store_->durability() != nullptr) {
+    store_->durability()->SetMetrics(obs_->stack());
   }
   if (options_.mode == ServeMode::kThreaded) scheduler_.Start();
   return Status::OK();
@@ -44,10 +53,18 @@ Result<storage::RecoveryReport> SvqaServer::WarmStart() {
         "WarmStart requires a store constructed with "
         "SnapshotStoreOptions::durability");
   }
+  // Wire the obs handles before recovery runs so the rung counters and
+  // WAL replay totals land in the registry (WarmStart precedes Start).
+  if (obs_ != nullptr) durability->SetMetrics(obs_->stack());
   Result<storage::RecoveryReport> report = durability->WarmStart(store_);
-  if (report.ok() &&
-      report->rung != storage::RecoveryRung::kColdStart) {
-    stats_.RecordRecovery(static_cast<int>(report->rung));
+  if (report.ok()) {
+    if (report->rung != storage::RecoveryRung::kColdStart) {
+      stats_.RecordRecovery(static_cast<int>(report->rung));
+    }
+    if (obs_ != nullptr) {
+      obs_->stack()->serve_recovery_rung->Set(
+          static_cast<int64_t>(report->rung));
+    }
   }
   return report;
 }
@@ -119,6 +136,7 @@ TicketPtr SvqaServer::SubmitInternal(QueuedRequest req) {
   if (simulated) {
     if (shed_on_shutdown) {
       stats_.RecordShed(priority);
+      RecordShedMetric(priority);
       ServeResponse resp;
       resp.priority = priority;
       resp.status =
@@ -131,6 +149,7 @@ TicketPtr SvqaServer::SubmitInternal(QueuedRequest req) {
   Status admitted = queue_.Admit(std::move(req));
   if (!admitted.ok()) {
     stats_.RecordShed(priority);
+    RecordShedMetric(priority);
     ServeResponse resp;
     resp.priority = priority;
     resp.status = std::move(admitted);
@@ -166,9 +185,23 @@ bool SvqaServer::Cancel(uint64_t id) {
   return true;
 }
 
+void SvqaServer::RecordShedMetric(PriorityClass priority) {
+  if (obs_ == nullptr) return;
+  obs_->stack()->serve_sheds[static_cast<int>(priority)]->Incr();
+}
+
 uint64_t SvqaServer::Publish(aggregator::MergedGraph merged) {
   const uint64_t id = store_->Publish(std::move(merged));
   stats_.RecordPublish(id);
+  if (obs_ != nullptr) {
+    obs_->stack()->serve_publishes->Incr();
+    // Lifecycle events land in the extra lane past the workers; the
+    // "query id" slot carries the snapshot id.
+    obs::FlightRecord rec;
+    rec.query_id = id;
+    rec.name = "serve.publish";
+    obs_->flight()->Record(static_cast<uint32_t>(options_.num_workers), rec);
+  }
   return id;
 }
 
@@ -225,7 +258,18 @@ void SvqaServer::Shutdown() {
 ServerStats SvqaServer::Stats() const {
   ServerStats stats = stats_.Snapshot();
   stats.latest_snapshot_id = store_->latest_id();
+  if (obs_ != nullptr) {
+    stats.flight_records = obs_->flight()->TotalRecorded();
+  }
   return stats;
+}
+
+std::string SvqaServer::MetricsJson() const {
+  return obs_ != nullptr ? obs_->MetricsJson() : std::string("{}\n");
+}
+
+std::string SvqaServer::DumpFlightRecorder() const {
+  return obs_ != nullptr ? obs_->DumpFlightRecorder() : std::string();
 }
 
 void SvqaServer::PruneTicketsLocked() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "aggregator/merger.h"
+#include "obs/observability.h"
 #include "query/query_graph.h"
 #include "query/query_graph_builder.h"
 #include "serve/admission_queue.h"
@@ -47,6 +48,11 @@ struct ServerOptions {
   /// Reorder SubmitBatch through exec::ScheduleQueries (§V-B) so
   /// cache-warming graphs enter the queue first.
   bool schedule_batches = true;
+  /// Observability knobs. When enabled the server owns one
+  /// obs::Observability (metrics registry + flight recorder with
+  /// `num_workers + 1` lanes — one per worker plus one for lifecycle
+  /// events) and samples a Tracer per `trace_sample_n` request ids.
+  obs::ObsOptions obs;
 
   Status Validate() const;
 };
@@ -131,11 +137,25 @@ class SvqaServer {
   /// info).
   ServerStats Stats() const;
 
+  /// Deterministic name-sorted metrics snapshot as JSON ("{}\n" when
+  /// observability is disabled). Safe under live traffic.
+  std::string MetricsJson() const;
+
+  /// Human-readable dump of the flight recorder's recent span records,
+  /// one section per lane, without stopping traffic (empty string when
+  /// observability is disabled).
+  std::string DumpFlightRecorder() const;
+
+  /// The server's observability domain (nullptr when disabled).
+  obs::Observability* observability() const { return obs_.get(); }
+
   const ServerOptions& options() const { return options_; }
   const GraphSnapshotStore& store() const { return *store_; }
 
  private:
   TicketPtr SubmitInternal(QueuedRequest req);
+  /// Bumps the per-class shed counter (no-op when obs is off).
+  void RecordShedMetric(PriorityClass priority);
   /// Drops completed tickets from the registry once it grows large.
   void PruneTicketsLocked() SVQA_REQUIRES(mu_);
 
@@ -143,6 +163,8 @@ class SvqaServer {
   const ServerOptions options_;
   StatsCollector stats_;
   AdmissionQueue queue_;
+  /// Declared before scheduler_: the scheduler holds a raw pointer.
+  std::unique_ptr<obs::Observability> obs_;
   RequestScheduler scheduler_;
 
   std::atomic<uint64_t> next_id_{1};

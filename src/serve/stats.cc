@@ -62,6 +62,11 @@ std::string ServerStats::ToString() const {
     std::snprintf(line, sizeof(line), "recovery rung: %d\n", recovery_rung);
     out += line;
   }
+  if (flight_records > 0) {
+    std::snprintf(line, sizeof(line), "flight records: %llu\n",
+                  static_cast<unsigned long long>(flight_records));
+    out += line;
+  }
   return out;
 }
 

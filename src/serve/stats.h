@@ -47,6 +47,10 @@ struct ServerStats {
   /// storage::RecoveryRung the server warm-started at (-1 = no recovery
   /// ran). Kept as an int so serve stats stay storage-agnostic.
   int recovery_rung = -1;
+  /// Total span/event records the flight recorder has accepted across
+  /// all lanes (0 when observability is off). Monotonic; the rings keep
+  /// only the most recent `ring_capacity` per lane.
+  uint64_t flight_records = 0;
 
   const ClassStats& of(PriorityClass c) const {
     return per_class[static_cast<int>(c)];

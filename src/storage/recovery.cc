@@ -6,6 +6,14 @@
 
 namespace svqa::storage {
 
+// The obs layer pre-registers one counter per rung; it sits below
+// storage and cannot include this header, so the mirror constant is
+// pinned here instead.
+static_assert(static_cast<int>(RecoveryRung::kConservativeEmpty) + 1 ==
+                  obs::kNumRecoveryRungs,
+              "update obs::kNumRecoveryRungs (and the rung-name table in "
+              "observability.cc) when adding a recovery rung");
+
 const char* RecoveryRungName(RecoveryRung rung) {
   switch (rung) {
     case RecoveryRung::kColdStart:
@@ -143,10 +151,13 @@ RecoveredState RecoveryManager::Recover() {
       }
     }
   }
+  bool wal_repaired = false;
   if (wal_existed && options_.repair_wal &&
       (log.tail != TailState::kClean || report.wal_records_skipped > 0)) {
     if (Status s = wal.TruncateThrough(report.snapshot_generation);
-        !s.ok()) {
+        s.ok()) {
+      wal_repaired = true;
+    } else {
       report.notes.push_back("wal repair failed: " + s.ToString());
     }
   }
@@ -164,6 +175,13 @@ RecoveredState RecoveryManager::Recover() {
   } else {
     report.rung = saw_durable_state ? RecoveryRung::kConservativeEmpty
                                     : RecoveryRung::kColdStart;
+  }
+
+  if (const obs::StackMetrics* m = options_.metrics) {
+    m->recovery_rungs[static_cast<int>(report.rung)]->Incr();
+    m->wal_replayed->Incr(report.wal_records_replayed);
+    m->wal_quarantined->Incr(report.quarantined_wal_records);
+    if (wal_repaired) m->wal_repaired->Incr();
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observability.h"
 #include "storage/snapshot.h"
 #include "storage/storage_env.h"
 #include "storage/wal.h"
@@ -73,6 +74,9 @@ class RecoveryManager {
     /// Rewrite the WAL to its valid prefix (minus records covered by
     /// the adopted snapshot) so the log is appendable again.
     bool repair_wal = true;
+    /// Pre-registered obs handles (rung counters, WAL replay/repair/
+    /// quarantine totals). Not owned; nullptr = no telemetry.
+    const obs::StackMetrics* metrics = nullptr;
   };
 
   RecoveryManager(StorageEnv* env, std::string dir, Options options);

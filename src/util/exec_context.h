@@ -12,6 +12,14 @@
 
 namespace svqa {
 
+namespace obs {
+// Forward declaration only: util sits below obs in the layer DAG, so
+// ExecContext carries the observability scope as an opaque pointer and
+// never includes an obs header. Layers above (exec, serve) include
+// obs/trace.h to dereference it.
+struct Scope;
+}  // namespace obs
+
 /// \brief Per-operation execution context threaded through the online
 /// pipeline (executor -> matcher -> constraints): the virtual clock plus
 /// the resilience hooks — cooperative cancellation, a virtual-time
@@ -40,6 +48,12 @@ struct ExecContext {
   /// vectors. Nothing allocated from it may outlive the query (see
   /// util/arena.h).
   util::Arena* arena = nullptr;
+  /// Observability scope for the query this context runs under: the
+  /// per-query tracer plus the shared metric handles and flight lane
+  /// (obs/trace.h). nullptr — the default, and the whole story when
+  /// `ObsOptions.enabled` is false — makes every telemetry hook a
+  /// single-branch no-op, preserving the fast path.
+  const obs::Scope* obs = nullptr;
 
   static ExecContext WithClock(SimClock* clock) {
     ExecContext ctx;

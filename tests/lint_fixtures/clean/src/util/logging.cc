@@ -1,0 +1,12 @@
+// The sanctioned sink: src/util/logging.* owns the library's one
+// serialized stderr write, so the raw-logging rule exempts it.
+#include <cstdio>
+
+namespace fixture {
+
+void Emit(const char* msg) {
+  std::fputs(msg, stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded raw-logging violations: console writes outside util::logging
+// (messages must route through SVQA_LOG so they honor the process log
+// level and stay line-atomic under concurrent workers).
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void Report(int n) {
+  std::cerr << "n=" << n << "\n";
+  std::printf("n=%d\n", n);
+  std::fprintf(stderr, "n=%d\n", n);
+}
+
+}  // namespace fixture

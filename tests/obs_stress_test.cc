@@ -1,0 +1,128 @@
+// TSan-oriented stress tests for the observability subsystem
+// (registered under the ctest `stress` label): 8 workers hammering one
+// MetricsRegistry through shared StackMetrics handles while each runs
+// its own per-query tracer into a shared FlightRecorder — the exact
+// sharing shape of a multi-worker server. Assertions target invariants
+// that survive any interleaving: integer totals, ring accounting, and
+// snapshot consistency under concurrent mutation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+#include "util/sim_clock.h"
+
+namespace svqa::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 4000;
+
+TEST(ObsStressTest, ConcurrentCountersSumExactly) {
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Registration races on first use; the handles must converge to
+      // one metric per name.
+      Counter* hits = reg.GetCounter("svqa.stress.hits");
+      Gauge* depth = reg.GetGauge("svqa.stress.depth");
+      Histogram* lat = reg.GetHistogram("svqa.stress.lat", {10, 100, 1000});
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        hits->Incr();
+        depth->Add(i % 2 == 0 ? 1 : -1);
+        lat->Record(static_cast<uint64_t>(i) % 1500);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kOpsPerThread;
+  EXPECT_EQ(reg.GetCounter("svqa.stress.hits")->Value(), total);
+  EXPECT_EQ(reg.GetGauge("svqa.stress.depth")->Value(), 0);
+  Histogram* lat = reg.GetHistogram("svqa.stress.lat", {10, 100, 1000});
+  EXPECT_EQ(lat->Count(), total);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : lat->BucketCounts()) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total);
+}
+
+TEST(ObsStressTest, SnapshotsRaceWithWritersSafely) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("svqa.stress.c");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads - 1; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kOpsPerThread; ++i) c->Incr();
+    });
+  }
+  // One reader snapshots continuously while the writers run; every
+  // observed value is a valid partial sum.
+  threads.emplace_back([&reg] {
+    uint64_t last = 0;
+    for (int i = 0; i < 200; ++i) {
+      const std::string json = reg.ToJson();
+      EXPECT_NE(json.find("svqa.stress.c"), std::string::npos);
+      const uint64_t now = reg.GetCounter("svqa.stress.c")->Value();
+      EXPECT_GE(now, last);  // counters are monotone
+      last = now;
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(),
+            static_cast<uint64_t>(kThreads - 1) * kOpsPerThread);
+}
+
+TEST(ObsStressTest, SharedDomainWithPerWorkerTracers) {
+  // One Observability domain shared by 8 workers, each tracing its own
+  // queries into its own lane — the server's sharing shape. The flight
+  // recorder's totals and the shared counters must account every op.
+  ObsOptions opts;
+  opts.enabled = true;
+  opts.ring_capacity = 64;
+  Observability obs(opts, /*num_lanes=*/kThreads);
+
+  constexpr int kQueriesPerWorker = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&obs, t] {
+      for (int q = 0; q < kQueriesPerWorker; ++q) {
+        const uint64_t id = static_cast<uint64_t>(t) * kQueriesPerWorker + q;
+        SimClock clock;
+        Tracer tracer(id);
+        Scope scope = obs.MakeScope(&tracer, static_cast<uint32_t>(t), id);
+        {
+          Span span(&scope, &clock, "stress.query");
+          clock.ChargeMicros(1.0);
+          CountFault(&scope, static_cast<FaultSite>(0));
+          scope.metrics->exec_attempts->Incr();
+        }
+        // Each query's trace is private to its worker and closed here.
+        ASSERT_EQ(tracer.spans().size(), 1u);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const uint64_t total =
+      static_cast<uint64_t>(kThreads) * kQueriesPerWorker;
+  EXPECT_EQ(obs.stack()->exec_attempts->Value(), total);
+  EXPECT_EQ(obs.stack()->fault_injected[0]->Value(), total);
+  // Every span also landed in the recorder; each lane kept its newest
+  // ring_capacity records.
+  EXPECT_EQ(obs.flight()->TotalRecorded(), total);
+  EXPECT_EQ(obs.flight()->SnapshotAll().size(),
+            static_cast<std::size_t>(kThreads) * opts.ring_capacity);
+}
+
+}  // namespace
+}  // namespace svqa::obs

@@ -1,0 +1,360 @@
+// Unit tests for the observability subsystem: registry semantics and
+// deterministic snapshots, histogram bucket boundaries, the virtual-time
+// tracer's byte-stable output, flight-recorder ring wraparound, and the
+// disabled-mode contract (null scopes make every hook a no-op).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+#include "util/sim_clock.h"
+
+namespace svqa::obs {
+namespace {
+
+// -- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegisterOnFirstUseReturnsStableHandle) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("svqa.test.hits");
+  ASSERT_NE(a, nullptr);
+  a->Incr(3);
+  // Second lookup is the same metric, not a fresh zero.
+  Counter* b = reg.GetCounter("svqa.test.hits");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.GetCounter("svqa.test.x"), nullptr);
+  EXPECT_EQ(reg.GetGauge("svqa.test.x"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("svqa.test.x", {1, 2}), nullptr);
+
+  ASSERT_NE(reg.GetGauge("svqa.test.g"), nullptr);
+  EXPECT_EQ(reg.GetCounter("svqa.test.g"), nullptr);
+
+  ASSERT_NE(reg.GetHistogram("svqa.test.h", {1, 2}), nullptr);
+  EXPECT_EQ(reg.GetCounter("svqa.test.h"), nullptr);
+  EXPECT_EQ(reg.GetGauge("svqa.test.h"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedRegardlessOfRegistration) {
+  MetricsRegistry reg;
+  reg.GetCounter("svqa.z.last")->Incr();
+  reg.GetGauge("svqa.a.first")->Set(-7);
+  reg.GetCounter("svqa.m.middle")->Incr(2);
+
+  const std::vector<MetricSample> snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "svqa.a.first");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(snap[0].gauge, -7);
+  EXPECT_EQ(snap[1].name, "svqa.m.middle");
+  EXPECT_EQ(snap[1].counter, 2u);
+  EXPECT_EQ(snap[2].name, "svqa.z.last");
+  EXPECT_EQ(snap[2].counter, 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsByteStable) {
+  MetricsRegistry reg;
+  reg.GetCounter("svqa.b.count")->Incr(5);
+  reg.GetGauge("svqa.a.level")->Set(-2);
+  Histogram* h = reg.GetHistogram("svqa.c.lat", {10, 100});
+  h->Record(4);
+  h->Record(100);
+  h->Record(101);
+
+  const std::string expected =
+      "{\n"
+      "  \"svqa.a.level\": -2,\n"
+      "  \"svqa.b.count\": 5,\n"
+      "  \"svqa.c.lat\": {\"count\": 3, \"sum\": 205, "
+      "\"buckets\": [[10, 1], [100, 1], [\"inf\", 1]]}\n"
+      "}\n";
+  EXPECT_EQ(reg.ToJson(), expected);
+  // Rendering is a pure function of the snapshot: ask again, same bytes.
+  EXPECT_EQ(reg.ToJson(), expected);
+  EXPECT_EQ(SamplesToJson(reg.Snapshot()), expected);
+}
+
+TEST(CounterTest, ShardedIncrementsSum) {
+  Counter c;
+  for (int i = 0; i < 1000; ++i) c.Incr();
+  c.Incr(24);
+  EXPECT_EQ(c.Value(), 1024u);
+}
+
+TEST(GaugeTest, SetAndAddAreSigned) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.Value(), -15);
+}
+
+TEST(HistogramTest, UpperBoundsAreInclusive) {
+  Histogram h({10, 100});
+  h.Record(0);
+  h.Record(10);   // lands in [.., 10], not the next bucket
+  h.Record(11);
+  h.Record(100);  // lands in (10, 100]
+  h.Record(101);  // overflow bucket
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 222u);
+}
+
+// -- Tracer ------------------------------------------------------------------
+
+TEST(TracerTest, NestingProducesTheTree) {
+  SimClock clock;
+  Tracer tracer(/*query_id=*/42);
+  uint32_t root = tracer.BeginSpan("exec.query", clock);
+  clock.ChargeMicros(2.0);
+  uint32_t child = tracer.BeginSpan("exec.vertex", clock);
+  clock.ChargeMicros(3.5);
+  tracer.EndSpan(child, clock);
+  tracer.Event("exec.cache_hit", clock);
+  tracer.EndSpan(root, clock);
+
+  const std::string expected =
+      "trace query=42 spans=3\n"
+      "exec.query start=0.000 dur=5.500\n"
+      "  exec.vertex start=2.000 dur=3.500\n"
+      "  exec.cache_hit start=5.500 dur=0.000\n";
+  EXPECT_EQ(tracer.TreeString(), expected);
+}
+
+TEST(TracerTest, SpanAtRecordsBeforeTheClockOrigin) {
+  // Queue wait precedes the request's clock origin; it is recorded over
+  // [-wait, 0] so the execution subtree still starts at virtual t=0.
+  SimClock clock;
+  Tracer tracer(7);
+  tracer.SpanAt("serve.queue_wait", -125.0, 0.0);
+  uint32_t root = tracer.BeginSpan("serve.parse", clock);
+  clock.ChargeMicros(1.0);
+  tracer.EndSpan(root, clock);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].parent, 0u);  // root-level, not nested
+  EXPECT_EQ(tracer.TreeString(),
+            "trace query=7 spans=2\n"
+            "serve.queue_wait start=-125.000 dur=125.000\n"
+            "serve.parse start=0.000 dur=1.000\n");
+}
+
+TEST(TracerTest, ToJsonEmitsChromeCompleteEvents) {
+  SimClock clock;
+  Tracer tracer(9);
+  uint32_t id = tracer.BeginSpan("core.parse", clock);
+  clock.ChargeMicros(1.5);
+  tracer.EndSpan(id, clock);
+
+  EXPECT_EQ(tracer.ToJson(),
+            "[\n"
+            "{\"name\": \"core.parse\", \"ph\": \"X\", \"pid\": 0, "
+            "\"tid\": 9, \"ts\": 0.000, \"dur\": 1.500, "
+            "\"args\": {\"id\": 1, \"parent\": 0}}\n"
+            "]\n");
+}
+
+TEST(TracerTest, OutOfOrderEndUnwindsWithoutCorruptingParentage) {
+  SimClock clock;
+  Tracer tracer;
+  uint32_t outer = tracer.BeginSpan("outer", clock);
+  tracer.BeginSpan("inner", clock);
+  // Closing the outer span while the inner is still open unwinds past
+  // the inner; the next span is a root, not a child of a closed span.
+  tracer.EndSpan(outer, clock);
+  tracer.BeginSpan("next", clock);
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  EXPECT_EQ(tracer.spans()[2].parent, 0u);
+}
+
+TEST(SpanTest, RaiiRecordsIntoTracerAndFlight) {
+  SimClock clock;
+  Tracer tracer(3);
+  FlightRecorder flight(/*num_lanes=*/2, /*capacity=*/4);
+  Scope scope;
+  scope.tracer = &tracer;
+  scope.flight = &flight;
+  scope.flight_lane = 1;
+  scope.query_id = 3;
+  {
+    Span span(&scope, &clock, "exec.attempt");
+    clock.ChargeMicros(2.0);
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].end_micros, 2.0);
+  const std::vector<FlightRecord> records = flight.SnapshotAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].query_id, 3u);
+  EXPECT_STREQ(records[0].name, "exec.attempt");
+  EXPECT_EQ(records[0].dur_micros, 2.0);
+}
+
+TEST(SpanTest, NullScopeOrClockIsANoOp) {
+  SimClock clock;
+  { Span span(nullptr, &clock, "a"); }
+  Scope empty;  // no tracer, no flight
+  { Span span(&empty, &clock, "b"); }
+  { Span span(&empty, nullptr, "c"); }
+  EXPECT_EQ(clock.ElapsedMicros(), 0.0);  // tracing never charges time
+}
+
+// -- FlightRecorder ----------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  FlightRecorder flight(/*num_lanes=*/1, /*capacity=*/3);
+  for (uint64_t q = 1; q <= 5; ++q) {
+    FlightRecord rec;
+    rec.query_id = q;
+    rec.name = "span";
+    flight.Record(0, rec);
+  }
+  // 5 recorded, 3 live: the two oldest were evicted and the snapshot
+  // walks oldest-first.
+  EXPECT_EQ(flight.TotalRecorded(), 5u);
+  const std::vector<FlightRecord> records = flight.SnapshotAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].query_id, 3u);
+  EXPECT_EQ(records[1].query_id, 4u);
+  EXPECT_EQ(records[2].query_id, 5u);
+}
+
+TEST(FlightRecorderTest, LanesSnapshotInIndexOrder) {
+  FlightRecorder flight(/*num_lanes=*/2, /*capacity=*/4);
+  FlightRecord rec;
+  rec.query_id = 20;
+  flight.Record(1, rec);
+  rec.query_id = 10;
+  flight.Record(0, rec);
+  const std::vector<FlightRecord> records = flight.SnapshotAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].query_id, 10u);  // lane 0 first
+  EXPECT_EQ(records[1].query_id, 20u);
+}
+
+TEST(FlightRecorderTest, OutOfRangeLaneIsClamped) {
+  FlightRecorder flight(/*num_lanes=*/2, /*capacity=*/2);
+  FlightRecord rec;
+  rec.query_id = 1;
+  flight.Record(99, rec);  // clamps into range instead of crashing
+  EXPECT_EQ(flight.TotalRecorded(), 1u);
+}
+
+TEST(FlightRecorderTest, DumpNamesLanesAndRecords) {
+  FlightRecorder flight(/*num_lanes=*/1, /*capacity=*/2);
+  FlightRecord rec;
+  rec.query_id = 4;
+  rec.name = "serve.publish";
+  rec.start_micros = 1.0;
+  rec.dur_micros = 2.5;
+  flight.Record(0, rec);
+  EXPECT_EQ(flight.Dump(),
+            "flight recorder: 1 lane(s) x 2 record(s)\n"
+            "lane 0 (1 live, 1 total):\n"
+            "  q4 serve.publish start=1.000 dur=2.500\n");
+}
+
+// -- Observability / options -------------------------------------------------
+
+TEST(ObsOptionsTest, DisabledValidatesUnconditionally) {
+  ObsOptions opts;
+  opts.enabled = false;
+  opts.ring_capacity = 0;  // ignored while disabled
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(ObsOptionsTest, EnabledRejectsBadRingCapacity) {
+  ObsOptions opts;
+  opts.enabled = true;
+  opts.ring_capacity = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.ring_capacity = (1u << 20) + 1;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.ring_capacity = 256;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(ObservabilityTest, StackMetricsAreAllPreRegistered) {
+  ObsOptions opts;
+  opts.enabled = true;
+  Observability obs(opts, /*num_lanes=*/2);
+  const StackMetrics* m = obs.stack();
+  ASSERT_NE(m, nullptr);
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    EXPECT_NE(m->fault_injected[s], nullptr);
+  }
+  EXPECT_NE(m->exec_attempts, nullptr);
+  EXPECT_NE(m->serve_requests, nullptr);
+  EXPECT_NE(m->serve_recovery_rung, nullptr);
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    EXPECT_NE(m->serve_sheds[c], nullptr);
+    EXPECT_NE(m->serve_queue_wait_micros[c], nullptr);
+  }
+  for (int r = 0; r < kNumRecoveryRungs; ++r) {
+    EXPECT_NE(m->recovery_rungs[r], nullptr);
+  }
+  EXPECT_NE(m->wal_quarantined, nullptr);
+}
+
+TEST(ObservabilityTest, TraceSamplingFollowsTheModulus) {
+  ObsOptions opts;
+  opts.enabled = true;
+  opts.trace_sample_n = 4;
+  Observability obs(opts);
+  EXPECT_TRUE(obs.ShouldTrace(0));
+  EXPECT_FALSE(obs.ShouldTrace(1));
+  EXPECT_FALSE(obs.ShouldTrace(3));
+  EXPECT_TRUE(obs.ShouldTrace(8));
+
+  opts.trace_sample_n = 0;  // metrics + flight only, no tracing
+  Observability untraced(opts);
+  EXPECT_FALSE(untraced.ShouldTrace(0));
+}
+
+TEST(ObservabilityTest, DisabledScopeIsEmptyAndHooksNoOp) {
+  ObsOptions opts;
+  opts.enabled = false;
+  Observability obs(opts);
+  EXPECT_FALSE(obs.enabled());
+  EXPECT_FALSE(obs.ShouldTrace(0));
+
+  Tracer tracer;
+  Scope scope = obs.MakeScope(&tracer, /*lane=*/0, /*query_id=*/1);
+  EXPECT_EQ(scope.tracer, nullptr);
+  EXPECT_EQ(scope.metrics, nullptr);
+  EXPECT_EQ(scope.flight, nullptr);
+  EXPECT_EQ(MetricsOf(&scope), nullptr);
+  EXPECT_EQ(MetricsOf(nullptr), nullptr);
+
+  // The per-site hooks run through the same null checks the stack uses.
+  CountFault(&scope, static_cast<FaultSite>(0));
+  CountFault(nullptr, static_cast<FaultSite>(0));
+  SimClock clock;
+  { Span span(&scope, &clock, "noop"); }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(ObservabilityTest, CountFaultIncrementsThePerSiteCounter) {
+  ObsOptions opts;
+  opts.enabled = true;
+  Observability obs(opts);
+  Scope scope = obs.MakeScope(nullptr, 0, 0);
+  CountFault(&scope, static_cast<FaultSite>(0));
+  CountFault(&scope, static_cast<FaultSite>(0));
+  EXPECT_EQ(obs.stack()->fault_injected[0]->Value(), 2u);
+}
+
+}  // namespace
+}  // namespace svqa::obs

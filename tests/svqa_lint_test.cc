@@ -327,6 +327,70 @@ TEST(LockAnnotation, NestedClassAttributionIsInnermost) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-logging
+// ---------------------------------------------------------------------------
+
+TEST(RawLogging, ConsoleStreamsAndStdioWritersAreFlagged) {
+  std::vector<Diagnostic> d = Lint("src/serve/f.cc",
+                                   "void F(int n) {\n"
+                                   "  std::cerr << n;\n"
+                                   "  std::printf(\"%d\", n);\n"
+                                   "  std::fprintf(stderr, \"%d\", n);\n"
+                                   "  ::puts(\"done\");\n"
+                                   "}\n");
+  ASSERT_EQ(d.size(), 4u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i].rule, "raw-logging");
+    EXPECT_EQ(d[i].line, static_cast<int>(i + 2));
+  }
+  EXPECT_NE(d[0].message.find("SVQA_LOG"), std::string::npos);
+}
+
+TEST(RawLogging, UnqualifiedStreamIsFlagged) {
+  std::vector<Diagnostic> d =
+      Lint("src/util/f.cc", "void F(int n) { cout << n; }\n");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "raw-logging");
+}
+
+TEST(RawLogging, FormattingMembersAndOtherNamespacesPass) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "#include <cerrno>\n"
+                   "void F(char* buf, int n) {\n"
+                   "  std::snprintf(buf, 8, \"%d\", n);\n"
+                   "  sink.printf(\"%d\", n);\n"
+                   "  writer->puts(\"x\");\n"
+                   "  other::cout << n;\n"
+                   "  console.cerr = n;\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(RawLogging, LoggingBackendIsExempt) {
+  EXPECT_TRUE(
+      Lint("src/util/logging.cc",
+           "void Emit(const char* m) { std::fputs(m, stderr); }\n")
+          .empty());
+  EXPECT_TRUE(Lint("src/util/logging.h",
+                   "inline void E(const char* m) { std::fputs(m, stderr); }\n")
+                  .empty());
+  // Only the logging TU is exempt, not the rest of util.
+  EXPECT_FALSE(
+      Lint("src/util/other.cc",
+           "void Emit(const char* m) { std::fputs(m, stderr); }\n")
+          .empty());
+}
+
+TEST(RawLogging, SuppressionIsHonored) {
+  EXPECT_TRUE(Lint("src/util/f.cc",
+                   "void F() {\n"
+                   "  // svqa-lint: allow(raw-logging)\n"
+                   "  std::printf(\"x\");\n"
+                   "}\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Fixture trees through the real CLI
 // ---------------------------------------------------------------------------
 
@@ -341,13 +405,16 @@ TEST(Cli, ViolationsTreeReportsEverySeededDefect) {
       "unknown rule 'no-such-rule' in suppression",
       "src/util/banned_clock.cc:8: error: [virtual-time]",
       "src/util/banned_clock.cc:12: error: [virtual-time]",
+      "src/util/console_log.cc:10: error: [raw-logging]",
+      "src/util/console_log.cc:11: error: [raw-logging]",
+      "src/util/console_log.cc:12: error: [raw-logging]",
       "src/util/raw_file_io.cc:9: error: [durable-io]",
       "src/util/raw_file_io.cc:10: error: [durable-io]",
       "src/util/unchecked.cc:3: error: [nodiscard-type]",
       "src/util/unchecked.cc:9: error: [unchecked-result]",
       "src/util/unguarded_mutex.h:11: error: [lock-annotation]",
       "src/util/uses_serve.cc:1: error: [layer-dag]",
-      "svqa_lint: 11 violation(s)",
+      "svqa_lint: 14 violation(s)",
   };
   for (const std::string& line : expected) {
     EXPECT_NE(r.out.find(line), std::string::npos)

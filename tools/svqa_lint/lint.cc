@@ -16,7 +16,7 @@ const std::set<std::string>& RuleIds() {
   static const std::set<std::string> kIds = {
       "layer-dag",      "virtual-time",    "unchecked-result",
       "nodiscard-type", "lock-annotation", "frozen-mutation",
-      "durable-io"};
+      "durable-io",     "raw-logging"};
   return kIds;
 }
 
@@ -381,6 +381,74 @@ void CheckDurableIo(const std::string& file, const std::string& layer,
          "call to '" + t.text +
              "' opens raw file handles outside src/storage; durable "
              "writes must route through storage::StorageEnv"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-logging
+// ---------------------------------------------------------------------------
+
+/// Console stream objects whose mention marks a raw logging path. cout
+/// is banned alongside cerr: src/ is a library — stdout belongs to the
+/// tools, benches, and examples that link it.
+const std::set<std::string>& BannedLogStreams() {
+  static const std::set<std::string> kBanned = {"cerr",  "cout",  "clog",
+                                                "wcerr", "wcout", "wclog"};
+  return kBanned;
+}
+
+/// C stdio writers banned as calls (global or std-qualified), mirroring
+/// the virtual-time call heuristic. snprintf/sprintf stay legal — they
+/// format into caller-owned buffers and emit nothing.
+const std::set<std::string>& BannedLogCalls() {
+  static const std::set<std::string> kBanned = {
+      "printf", "fprintf", "vprintf", "vfprintf",
+      "puts",   "fputs",   "putchar", "fputc",     "perror"};
+  return kBanned;
+}
+
+void CheckRawLogging(const std::string& file, const std::vector<Token>& toks,
+                     std::vector<Diagnostic>* diags) {
+  // src/util/logging.* IS the sanctioned sink: the SVQA_LOG backend owns
+  // the library's one serialized stderr write.
+  if (file.rfind("src/util/logging.", 0) == 0) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    if (BannedLogStreams().count(t.text) != 0) {
+      // Member access (`x.cerr`) is some other API; a "::"-qualified
+      // name counts only as std:: (or the global ::).
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+        continue;
+      if (i > 0 && toks[i - 1].text == "::" && i >= 2 && toks[i - 2].ident &&
+          toks[i - 2].text != "std") {
+        continue;
+      }
+      diags->push_back(
+          {file, t.line, "raw-logging",
+           "'" + t.text +
+               "' writes to the console outside util::logging; route "
+               "messages through SVQA_LOG(level) so they honor the "
+               "process log level and stay line-atomic (see DESIGN.md, "
+               "\"Static invariants\")"});
+      continue;
+    }
+    if (BannedLogCalls().count(t.text) == 0) continue;
+    // Must syntactically be a call.
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Member access is some other API that shares the name.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+      continue;
+    // Qualified: only std:: (and the global ::) forms are the C library.
+    if (i > 0 && toks[i - 1].text == "::") {
+      if (i >= 2 && toks[i - 2].ident && toks[i - 2].text != "std") continue;
+    }
+    diags->push_back(
+        {file, t.line, "raw-logging",
+         "call to '" + t.text +
+             "' bypasses util::logging; route messages through "
+             "SVQA_LOG(level) so they honor the process log level and "
+             "stay line-atomic"});
   }
 }
 
@@ -774,6 +842,7 @@ std::vector<Diagnostic> LintFile(const std::string& rel_path,
   CheckLayerDag(rel_path, layer, content, spec, &found);
   CheckVirtualTime(rel_path, toks, &found);
   CheckDurableIo(rel_path, layer, toks, &found);
+  CheckRawLogging(rel_path, toks, &found);
   CheckFrozenMutation(rel_path, layer, toks, &found);
   CheckUncheckedResult(rel_path, toks, &found);
   CheckTypesAndLocks(rel_path, toks, &found);
