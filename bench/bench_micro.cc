@@ -25,11 +25,13 @@
 #include "exec/vertex_matcher.h"
 #include "graph/subgraph.h"
 #include "obs/observability.h"
+#include "obs/trace_analyzer.h"
 #include "nlp/dependency_parser.h"
 #include "nlp/pos_tagger.h"
 #include "query/query_graph_builder.h"
 #include "serve/durability.h"
 #include "serve/request_scheduler.h"
+#include "serve/slo_monitor.h"
 #include "storage/recovery.h"
 #include "storage/sim_fs.h"
 #include "storage/snapshot.h"
@@ -37,6 +39,7 @@
 #include "text/levenshtein.h"
 #include "text/tokenizer.h"
 #include "util/mutex.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -703,6 +706,88 @@ bool EmitObsRecords(const std::string& path) {
           .Extra("flight_records",
                  static_cast<double>(mode.obs->flight()->TotalRecorded()));
     }
+    emitter.Add(record);
+  }
+
+  // obs/trace_analyzer: the cost of analyzing every trace the enabled
+  // run produced (self/total attribution + critical path + ToText).
+  // The span counts are deterministic; the host time is min-of-N CPU
+  // micros like the executor records above.
+  {
+    const exec::BatchResult& traced_run = modes[2].last;
+    double min_cpu = 0;
+    uint64_t analyzed = 0, spans = 0, path_steps = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      analyzed = spans = path_steps = 0;
+      const std::clock_t cpu_start = std::clock();
+      for (const exec::QueryOutcome& o : traced_run.outcomes) {
+        if (o.trace == nullptr) continue;
+        obs::TraceAnalysis analysis = obs::TraceAnalysis::Of(*o.trace);
+        benchmark::DoNotOptimize(analysis.ToText().size());
+        ++analyzed;
+        spans += analysis.num_spans();
+        path_steps += analysis.critical_path().size();
+      }
+      const double cpu_micros =
+          static_cast<double>(std::clock() - cpu_start) * 1e6 /
+          CLOCKS_PER_SEC;
+      if (rep == 0 || cpu_micros < min_cpu) min_cpu = cpu_micros;
+    }
+    bench::JsonRecord record;
+    record.name = "obs/trace_analyzer";
+    record.workers = 1;
+    record.cache_policy = "none";
+    record.wall_micros = min_cpu;
+    record.Extra("analyzed", static_cast<double>(analyzed))
+        .Extra("spans", static_cast<double>(spans))
+        .Extra("path_steps", static_cast<double>(path_steps));
+    emitter.Add(record);
+  }
+
+  // obs/slo_monitor: ingest a deterministic synthetic completion stream
+  // (log-spread latencies, ring-rolling completion times) and render
+  // the dashboard snapshot once per 1000 records. The snapshot fields
+  // are seeded-deterministic; the host time is min-of-N CPU micros.
+  {
+    const int kRecords = 50000;
+    double min_cpu = 0;
+    serve::SloSnapshot last_snapshot;
+    uint64_t late_drops = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      serve::SloMonitor monitor;
+      svqa::Rng rng(99);
+      const std::clock_t cpu_start = std::clock();
+      for (int i = 0; i < kRecords; ++i) {
+        const auto priority = static_cast<serve::PriorityClass>(i % 3);
+        const double completion =
+            static_cast<double>(i) * 6'000.0 +
+            static_cast<double>(rng.Below(5'000));
+        const double latency =
+            100.0 * static_cast<double>(1 + rng.Below(10'000));
+        monitor.Record(priority, completion, latency,
+                       static_cast<uint64_t>(i));
+        if (i % 1000 == 999) {
+          benchmark::DoNotOptimize(monitor.Snapshot().ToText().size());
+        }
+      }
+      last_snapshot = monitor.Snapshot();
+      late_drops = monitor.late_drops();
+      const double cpu_micros =
+          static_cast<double>(std::clock() - cpu_start) * 1e6 /
+          CLOCKS_PER_SEC;
+      if (rep == 0 || cpu_micros < min_cpu) min_cpu = cpu_micros;
+    }
+    bench::JsonRecord record;
+    record.name = "obs/slo_monitor";
+    record.workers = 1;
+    record.cache_policy = "none";
+    record.wall_micros = min_cpu;
+    record.Extra("records", static_cast<double>(kRecords))
+        .Extra("late_drops", static_cast<double>(late_drops))
+        .Extra("interactive_count",
+               static_cast<double>(last_snapshot.classes[0].count))
+        .Extra("interactive_p95",
+               static_cast<double>(last_snapshot.classes[0].p95));
     emitter.Add(record);
   }
   return emitter.Flush();

@@ -21,6 +21,8 @@
 //        --n N             requests per configuration (240)
 //        --json PATH       machine-readable output ("BENCH_serve.json";
 //                          pass "" to disable)
+//        --statsz_out PATH run a short mixed-priority workload and dump
+//                          the /statsz dashboard (metrics + SLO window)
 //        --trace_out PATH  run a short traced workload (observability
 //                          on, every request sampled) and write one
 //                          query's Chrome trace_event JSON to PATH
@@ -452,6 +454,53 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "no traced response to export\n");
       return 1;
     }
+  }
+
+  // ---- Section 5: statsz snapshot export (--statsz_out) -------------
+  // Runs a short mixed-priority workload and writes the server's full
+  // /statsz dashboard (metrics + SLO window) to a file. Deterministic
+  // byte-for-byte across runs and worker counts, so CI can diff it as
+  // an artifact the way it diffs BENCH records.
+  const std::string statsz_out =
+      bench::FlagValue(argc, argv, "--statsz_out", "");
+  if (!statsz_out.empty()) {
+    Banner("statsz sample (mixed priorities, SLO window)");
+    serve::GraphSnapshotStore store(&embeddings);
+    store.Publish(dataset.perfect_merged);
+    serve::ServerOptions opts;
+    opts.mode = serve::ServeMode::kSimulated;
+    opts.num_workers = 4;
+    serve::SvqaServer server(&store, opts);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::vector<serve::TicketPtr> tickets;
+    for (int i = 0; i < 48; ++i) {
+      serve::RequestOptions ro;
+      ro.priority = MixPriority(i);
+      ro.arrival_micros = static_cast<double>(i) * 5'000.0;
+      tickets.push_back(server.Submit(
+          dataset.questions[static_cast<std::size_t>(i) %
+                            dataset.questions.size()]
+              .gold_graph,
+          ro));
+    }
+    server.RunSimulated();
+    for (const auto& t : tickets) t->Wait();
+    const std::string statsz = server.StatszText();
+    server.Shutdown();
+    std::FILE* f = std::fopen(statsz_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", statsz_out.c_str());
+      return 1;
+    }
+    std::fwrite(statsz.data(), 1, statsz.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu statsz bytes to %s\n", statsz.size(),
+                statsz_out.c_str());
   }
 
   return json.Flush() ? 0 : 1;

@@ -28,7 +28,7 @@ void Usage(const char* argv0) {
   std::printf(
       "usage: %s [--scenes N] [--seed S] [--save-merged PATH]\n"
       "          [--load-merged PATH] [--export-questions PATH]\n"
-      "          [--explain] [question ...]\n",
+      "          [--explain | --explain-analyze] [question ...]\n",
       argv0);
 }
 
@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   int scenes = 800;
   uint64_t seed = 2024;
   bool explain = false;
+  bool explain_analyze = false;
   std::string save_merged, load_merged, export_questions;
   std::vector<std::string> questions;
 
@@ -64,6 +65,8 @@ int main(int argc, char** argv) {
       export_questions = next("--export-questions");
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--explain-analyze") {
+      explain_analyze = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -141,6 +144,20 @@ int main(int argc, char** argv) {
   }
 
   for (const std::string& q : questions) {
+    if (explain_analyze) {
+      // EXPLAIN ANALYZE: execute the question and print the
+      // per-quadruple cost-attribution report (reconciled bit-for-bit
+      // against the charged virtual micros, or the call errors).
+      auto r = engine.ExplainAnalyze(q);
+      if (r.ok()) {
+        std::printf("%s", r->report.ToText().c_str());
+        std::printf("A: %s\n\n", r->answer.text.c_str());
+      } else {
+        std::printf("Q: %s\nA: <error: %s>\n", q.c_str(),
+                    r.status().ToString().c_str());
+      }
+      continue;
+    }
     if (explain) {
       auto trace = engine.Explain(q);
       if (trace.ok()) {

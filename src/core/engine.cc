@@ -67,8 +67,10 @@ SvqaEngine::SvqaEngine(SvqaOptions options)
   embeddings_ =
       std::make_unique<text::EmbeddingModel>(lexicon_, options_.seed);
   builder_ = std::make_unique<query::QueryGraphBuilder>(&lexicon_);
-  if (options_.obs.enabled) {
-    // Ask/Execute run on the caller thread: one flight lane.
+  if (options_.obs.enabled && options_.obs.Validate().ok()) {
+    // Ask/Execute run on the caller thread: one flight lane. Invalid
+    // options never construct a (silently clamped) recorder — the clear
+    // Status surfaces from the options_.Validate() call in Ingest.
     obs_ = std::make_unique<obs::Observability>(options_.obs, /*num_lanes=*/1);
   }
   serve::SnapshotStoreOptions store_options;
@@ -308,10 +310,18 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
     return ans;
   }
 
+  return ExecuteLadder(snap, *graph, clock, res, salt);
+}
+
+Result<exec::Answer> SvqaEngine::ExecuteLadder(
+    const serve::SnapshotPtr& snap, const query::QueryGraph& graph,
+    SimClock* clock, const exec::ResilienceOptions& res, uint64_t salt) {
+  const int rrung = recovery_rung_.load(std::memory_order_relaxed);
+
   // Rung 0: full execution with deadline, cancellation, and retries.
   exec::Diagnostics diag;
   Result<exec::Answer> result =
-      snap->executor().ExecuteResilient(*graph, clock, res, salt, &diag);
+      snap->executor().ExecuteResilient(graph, clock, res, salt, &diag);
   if (result.ok()) {
     result.ValueOrDie().diagnostics.snapshot_id = snap->id();
     result.ValueOrDie().diagnostics.recovery_rung = rrung;
@@ -327,20 +337,79 @@ Result<exec::Answer> SvqaEngine::Ask(const std::string& question,
   degraded_ctx.clock = clock;
   degraded_ctx.faults = res.fault_policy;
   if (std::optional<exec::Answer> partial =
-          snap->executor().ExecuteFromCache(*graph, degraded_ctx)) {
+          snap->executor().ExecuteFromCache(graph, degraded_ctx)) {
     partial->diagnostics.primary = result.status();
     partial->diagnostics.attempts = diag.attempts;
     partial->diagnostics.backoff_micros = diag.backoff_micros;
+    partial->diagnostics.charged_micros = diag.charged_micros;
     partial->diagnostics.snapshot_id = snap->id();
     partial->diagnostics.recovery_rung = rrung;
     return *std::move(partial);
   }
 
   // Rung 2: the conservative answer.
-  exec::Answer ans = ConservativeAnswer(graph->type(), result.status(), diag);
+  exec::Answer ans = ConservativeAnswer(graph.type(), result.status(), diag);
   ans.diagnostics.snapshot_id = snap->id();
   ans.diagnostics.recovery_rung = rrung;
   return ans;
+}
+
+Result<ExplainAnalysis> SvqaEngine::ExplainAnalyze(const std::string& question,
+                                                   SimClock* clock) {
+  serve::SnapshotPtr snap = store_->Current();
+  if (snap == nullptr) {
+    return Status::InvalidArgument(
+        "Ingest must be called before ExplainAnalyze");
+  }
+  SimClock own_clock;
+  if (clock == nullptr) clock = &own_clock;
+
+  // Telemetry is forced on for the explained query regardless of the
+  // engine's observability switch: a tracer (the attribution source)
+  // plus a *private* metrics registry, so the cache hit/miss counters
+  // in the report are this query's absolutes rather than deltas buried
+  // in shared traffic. Spans still land in the engine's flight
+  // recorder when one exists.
+  const uint64_t qid = query_seq_.fetch_add(1, std::memory_order_relaxed);
+  auto tracer = std::make_shared<obs::Tracer>(qid);
+  obs::MetricsRegistry local_registry;
+  obs::StackMetrics local_stack(&local_registry);
+  obs::Scope scope;
+  scope.tracer = tracer.get();
+  scope.metrics = &local_stack;
+  scope.flight = obs_ != nullptr ? obs_->flight() : nullptr;
+  scope.flight_lane = 0;
+  scope.query_id = qid;
+  exec::ResilienceOptions res = options_.resilience;
+  res.obs = &scope;
+
+  // Unlike Ask, a parse failure is an error even with degradation
+  // enabled: there is no execution to analyze.
+  SVQA_ASSIGN_OR_RETURN(const query::QueryGraph graph, [&] {
+    obs::Span parse_span(&scope, clock, "core.parse");
+    return builder_->Build(question, clock);
+  }());
+
+  SVQA_ASSIGN_OR_RETURN(
+      exec::Answer answer,
+      ExecuteLadder(snap, graph, clock, res, StableHash64(question)));
+
+  exec::CacheCounters cache;
+  cache.present = true;
+  cache.scope_hits = local_stack.cache_scope_hits->Value();
+  cache.scope_misses = local_stack.cache_scope_misses->Value();
+  cache.path_hits = local_stack.cache_path_hits->Value();
+  cache.path_misses = local_stack.cache_path_misses->Value();
+
+  ExplainAnalysis out;
+  SVQA_ASSIGN_OR_RETURN(
+      out.report,
+      exec::BuildQueryCostReport(graph, *tracer, answer.diagnostics, cache));
+  SVQA_RETURN_NOT_OK(
+      out.report.VerifyReconciliation(answer.diagnostics.charged_micros));
+  out.answer = std::move(answer);
+  out.trace = std::move(tracer);
+  return out;
 }
 
 Result<std::string> SvqaEngine::Explain(const std::string& question) {

@@ -9,6 +9,7 @@
 #include "core/options.h"
 #include "exec/batch_executor.h"
 #include "exec/executor.h"
+#include "exec/explain.h"
 #include "obs/observability.h"
 #include "query/query_graph_builder.h"
 #include "serve/durability.h"
@@ -23,6 +24,17 @@
 #include "vision/sgg_metrics.h"
 
 namespace svqa::core {
+
+/// \brief Everything `SvqaEngine::ExplainAnalyze` produces for one
+/// executed question: the answer itself, the per-quadruple cost
+/// attribution, and the raw trace the attribution was computed from.
+struct ExplainAnalysis {
+  exec::Answer answer;
+  exec::QueryCostReport report;
+  /// The span tree that observed the execution (never null); render via
+  /// TreeString() or ToJson() for offline analysis with svqa_trace.
+  std::shared_ptr<const obs::Tracer> trace;
+};
 
 /// \brief The SVQA engine: the paper's full framework behind one facade.
 ///
@@ -118,6 +130,25 @@ class SvqaEngine {
   /// graph, the answer, and the supporting merged-graph facts.
   Result<std::string> Explain(const std::string& question);
 
+  /// EXPLAIN ANALYZE: answers the question exactly as Ask would
+  /// (same ladder, same resilience options) while forcing a tracer on,
+  /// then joins the trace with the charged virtual costs, cache
+  /// hit/miss counts, and retry/degradation diagnostics into a
+  /// per-quadruple `exec::QueryCostReport`. The report is verified to
+  /// reconcile bit-exactly with `Diagnostics.charged_micros` before it
+  /// is returned.
+  ///
+  /// The explained query is metered into a private metrics registry
+  /// (so the report's cache counts are per-query absolutes), not the
+  /// engine's shared one; its spans still land in the engine's flight
+  /// recorder when observability is enabled. Works with observability
+  /// disabled — explain pays for its own telemetry.
+  ///
+  /// Unlike Ask, a parse failure surfaces as an error even with
+  /// degradation enabled: there is no execution to analyze.
+  Result<ExplainAnalysis> ExplainAnalyze(const std::string& question,
+                                         SimClock* clock = nullptr);
+
   /// Batch execution of parsed graphs with scheduling (§V-B), pinned to
   /// the current snapshot for the whole batch.
   exec::BatchResult ExecuteBatch(
@@ -165,6 +196,16 @@ class SvqaEngine {
   }
 
  private:
+  /// The degradation ladder shared by Ask and ExplainAnalyze: resilient
+  /// execution, then (with enable_degradation) the cached-subgraph
+  /// partial answer, then the conservative answer. Stamps snapshot id
+  /// and recovery rung into whatever diagnostics it returns.
+  Result<exec::Answer> ExecuteLadder(const serve::SnapshotPtr& snap,
+                                     const query::QueryGraph& graph,
+                                     SimClock* clock,
+                                     const exec::ResilienceOptions& res,
+                                     uint64_t salt);
+
   /// Claims the single ingest slot; fails if an ingest already started.
   Status BeginIngest() SVQA_EXCLUDES(ingest_mu_);
   /// Releases the slot after a failed ingest so it can be retried.

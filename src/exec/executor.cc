@@ -609,6 +609,12 @@ Result<Answer> QueryGraphExecutor::ExecuteResilient(
   // threads, so arenas are never shared.
   static thread_local util::Arena arena;
   ctx.arena = &arena;
+  // Entry reading for Diagnostics.charged_micros: everything this call
+  // charges (attempts and backoffs alike) lands between this reading
+  // and the one taken at exit, and nothing is charged outside the
+  // attempt/backoff spans — so charged_micros equals the trace's
+  // outermost span extent bit for bit.
+  const double entry_micros = clock != nullptr ? clock->ElapsedMicros() : 0;
   const int max_attempts =
       resilience.enable_retries ? std::max(1, resilience.retry.max_attempts)
                                 : 1;
@@ -631,6 +637,8 @@ Result<Answer> QueryGraphExecutor::ExecuteResilient(
     }();
     if (result.ok()) {
       diag.primary = Status::OK();
+      diag.charged_micros =
+          clock != nullptr ? clock->ElapsedMicros() - entry_micros : 0;
       if (diagnostics != nullptr) *diagnostics = diag;
       Answer ans = std::move(result).ValueOrDie();
       ans.diagnostics = diag;
@@ -659,6 +667,8 @@ Result<Answer> QueryGraphExecutor::ExecuteResilient(
     }
   }
   diag.primary = last;
+  diag.charged_micros =
+      clock != nullptr ? clock->ElapsedMicros() - entry_micros : 0;
   if (diagnostics != nullptr) *diagnostics = diag;
   return last;
 }

@@ -62,6 +62,13 @@ struct Diagnostics {
   int attempts = 1;
   /// Virtual microseconds spent in retry backoff.
   double backoff_micros = 0;
+  /// Total virtual micros charged to the query's clock across the whole
+  /// resilient call (attempts + backoff): the clock reading at exit
+  /// minus the reading at entry, so it reconciles *exactly* — bit for
+  /// bit — with the trace's outermost span boundaries (see
+  /// exec::QueryCostReport::VerifyReconciliation). 0 when no clock was
+  /// passed.
+  double charged_micros = 0;
   // --- serving-layer fields (filled by serve::RequestScheduler; defaults
   // mean "not served through a queue") ---------------------------------
   /// Time the request spent in the admission queue before dispatch

@@ -1,0 +1,233 @@
+#include "exec/explain.h"
+
+#include <sstream>
+#include <string_view>
+
+#include "util/json_util.h"
+
+namespace svqa::exec {
+
+namespace {
+
+using obs::FormatMicros;
+using obs::SpanRecord;
+
+double Dur(const SpanRecord& s) { return s.end_micros - s.start_micros; }
+
+}  // namespace
+
+Result<QueryCostReport> BuildQueryCostReport(const query::QueryGraph& gq,
+                                             const obs::Tracer& tracer,
+                                             const Diagnostics& diagnostics,
+                                             const CacheCounters& cache) {
+  SVQA_ASSIGN_OR_RETURN(const std::vector<int> order, gq.TopologicalOrder());
+  QueryCostReport report;
+  report.query_id = tracer.query_id();
+  report.question = gq.question();
+  report.diagnostics = diagnostics;
+  report.cache = cache;
+  report.quadruples.reserve(order.size());
+  // Row per vertex, topological (execution) order; rows[pos] is the
+  // pos-th vertex every attempt executes.
+  for (int v : order) {
+    QuadrupleCost row;
+    row.vertex = v;
+    row.quadruple = gq.vertices()[v].ToString();
+    report.quadruples.push_back(std::move(row));
+  }
+
+  const std::vector<SpanRecord>& spans = tracer.spans();
+  // Direct-children index; ids are 1-based, parents precede children.
+  std::vector<std::vector<uint32_t>> children(spans.size() + 1);
+  for (const SpanRecord& s : spans) children[s.parent].push_back(s.id);
+
+  for (uint32_t root_id : children[0]) {
+    const SpanRecord& root = spans[root_id - 1];
+    const std::string_view name = root.name;
+    if (name == "core.parse" || name == "serve.parse") {
+      report.parse_micros += Dur(root);
+      continue;
+    }
+    if (name != "exec.attempt" && name != "exec.backoff") continue;
+    QueryCostReport::Segment seg;
+    seg.is_backoff = name == "exec.backoff";
+    seg.start_micros = root.start_micros;
+    seg.end_micros = root.end_micros;
+    if (!seg.is_backoff) {
+      std::size_t pos = 0;
+      for (uint32_t vid : children[root_id]) {
+        const SpanRecord& vspan = spans[vid - 1];
+        if (std::string_view(vspan.name) != "exec.vertex") continue;
+        if (pos >= report.quadruples.size()) {
+          return Status::InvalidArgument(
+              "trace has more exec.vertex spans per attempt than the query "
+              "graph has vertices (trace from a different query?)");
+        }
+        QuadrupleCost& row = report.quadruples[pos++];
+        row.executions += 1;
+        row.total_micros += Dur(vspan);
+        seg.vertex_bounds.push_back(vspan.start_micros);
+        seg.vertex_bounds.push_back(vspan.end_micros);
+        double child_sum = 0;
+        bool scanned_pairs = false;
+        bool bound = false;
+        for (uint32_t cid : children[vid]) {
+          const SpanRecord& c = spans[cid - 1];
+          const std::string_view cname = c.name;
+          child_sum += Dur(c);
+          if (cname == "exec.match") {
+            row.match_micros += Dur(c);
+          } else if (cname == "exec.relation_pairs") {
+            row.relation_pairs_micros += Dur(c);
+            scanned_pairs = true;
+          } else if (cname == "exec.constraints") {
+            row.constraints_micros += Dur(c);
+          } else if (cname == "exec.bind") {
+            row.bind_micros += Dur(c);
+            bound = true;
+          }
+        }
+        row.filter_micros += Dur(vspan) - child_sum;
+        // Cache-served == reached the binding stage without a
+        // relation-pair scan (a vertex that *failed* before scanning is
+        // not "cached", it is unfinished).
+        if (!scanned_pairs && bound) row.cached += 1;
+      }
+    }
+    report.segments.push_back(std::move(seg));
+  }
+  if (!report.segments.empty()) {
+    // ONE subtraction of the two outermost clock readings — the same
+    // arithmetic ExecuteResilient's charged_micros performs, hence
+    // bitwise reconciliation instead of a summation estimate.
+    report.exec_micros = report.segments.back().end_micros -
+                         report.segments.front().start_micros;
+  }
+  return report;
+}
+
+Status QueryCostReport::VerifyReconciliation(double charged_micros) const {
+  if (segments.empty()) {
+    if (charged_micros != 0) {
+      return Status::Internal(
+          "cost report has no attempt spans but " +
+          FormatMicros(charged_micros) + " charged micros");
+    }
+    return Status::OK();
+  }
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].start_micros != segments[i - 1].end_micros) {
+      return Status::Internal(
+          "unattributed gap between execution segments " +
+          std::to_string(i - 1) + " and " + std::to_string(i) + ": " +
+          FormatMicros(segments[i - 1].end_micros) + " -> " +
+          FormatMicros(segments[i].start_micros));
+    }
+  }
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const Segment& seg = segments[i];
+    if (seg.is_backoff) continue;
+    const std::vector<double>& vb = seg.vertex_bounds;
+    if (vb.empty()) {
+      if (seg.end_micros != seg.start_micros) {
+        return Status::Internal("attempt segment " + std::to_string(i) +
+                                " charged time but has no vertex spans");
+      }
+      continue;
+    }
+    if (vb.front() != seg.start_micros || vb.back() != seg.end_micros) {
+      return Status::Internal(
+          "vertex spans do not tile attempt segment " + std::to_string(i) +
+          ": [" + FormatMicros(vb.front()) + ", " + FormatMicros(vb.back()) +
+          "] vs [" + FormatMicros(seg.start_micros) + ", " +
+          FormatMicros(seg.end_micros) + "]");
+    }
+    for (std::size_t k = 2; k + 1 < vb.size(); k += 2) {
+      if (vb[k] != vb[k - 1]) {
+        return Status::Internal(
+            "unattributed gap between vertex spans in attempt segment " +
+            std::to_string(i) + ": " + FormatMicros(vb[k - 1]) + " -> " +
+            FormatMicros(vb[k]));
+      }
+    }
+  }
+  if (exec_micros != charged_micros) {
+    return Status::Internal("report exec micros " + FormatMicros(exec_micros) +
+                            " != charged micros " +
+                            FormatMicros(charged_micros));
+  }
+  return Status::OK();
+}
+
+std::string QueryCostReport::ToText() const {
+  std::ostringstream out;
+  out << "query cost report query=" << query_id << "\n"
+      << "question: " << question << "\n"
+      << "rung=" << DegradationRungName(diagnostics.rung) << " primary="
+      << (diagnostics.primary.ok() ? "OK" : diagnostics.primary.ToString())
+      << " attempts=" << diagnostics.attempts << "\n"
+      << "parse=" << FormatMicros(parse_micros)
+      << " queue_wait=" << FormatMicros(diagnostics.queue_wait_micros)
+      << " backoff=" << FormatMicros(diagnostics.backoff_micros)
+      << " exec=" << FormatMicros(exec_micros) << "\n";
+  if (cache.present) {
+    out << "cache: scope " << cache.scope_hits << " hit / "
+        << cache.scope_misses << " miss, path " << cache.path_hits
+        << " hit / " << cache.path_misses << " miss\n";
+  }
+  for (const QuadrupleCost& q : quadruples) {
+    out << "vertex " << q.vertex << " " << q.quadruple << "\n"
+        << "  runs=" << q.executions << " cached=" << q.cached
+        << " total=" << FormatMicros(q.total_micros)
+        << " match=" << FormatMicros(q.match_micros)
+        << " pairs=" << FormatMicros(q.relation_pairs_micros)
+        << " filter=" << FormatMicros(q.filter_micros)
+        << " constraints=" << FormatMicros(q.constraints_micros)
+        << " bind=" << FormatMicros(q.bind_micros) << "\n";
+  }
+  return out.str();
+}
+
+std::string QueryCostReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"query_id\": " << query_id << ",\n  \"question\": \""
+      << util::JsonEscaped(question) << "\",\n  \"rung\": \""
+      << DegradationRungName(diagnostics.rung) << "\",\n  \"primary\": \""
+      << util::JsonEscaped(diagnostics.primary.ok()
+                               ? "OK"
+                               : diagnostics.primary.ToString())
+      << "\",\n  \"attempts\": " << diagnostics.attempts
+      << ",\n  \"parse_micros\": " << FormatMicros(parse_micros)
+      << ",\n  \"queue_wait_micros\": "
+      << FormatMicros(diagnostics.queue_wait_micros)
+      << ",\n  \"backoff_micros\": "
+      << FormatMicros(diagnostics.backoff_micros)
+      << ",\n  \"exec_micros\": " << FormatMicros(exec_micros)
+      << ",\n  \"cache\": ";
+  if (cache.present) {
+    out << "{\"scope_hits\": " << cache.scope_hits
+        << ", \"scope_misses\": " << cache.scope_misses
+        << ", \"path_hits\": " << cache.path_hits
+        << ", \"path_misses\": " << cache.path_misses << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n  \"quadruples\": [";
+  for (std::size_t i = 0; i < quadruples.size(); ++i) {
+    const QuadrupleCost& q = quadruples[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"vertex\": " << q.vertex
+        << ", \"quadruple\": \"" << util::JsonEscaped(q.quadruple)
+        << "\", \"runs\": " << q.executions << ", \"cached\": " << q.cached
+        << ", \"total_micros\": " << FormatMicros(q.total_micros)
+        << ", \"match_micros\": " << FormatMicros(q.match_micros)
+        << ", \"relation_pairs_micros\": "
+        << FormatMicros(q.relation_pairs_micros)
+        << ", \"filter_micros\": " << FormatMicros(q.filter_micros)
+        << ", \"constraints_micros\": " << FormatMicros(q.constraints_micros)
+        << ", \"bind_micros\": " << FormatMicros(q.bind_micros) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace svqa::exec

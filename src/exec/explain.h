@@ -1,0 +1,120 @@
+#ifndef SVQA_EXEC_EXPLAIN_H_
+#define SVQA_EXEC_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/trace.h"
+#include "query/query_graph.h"
+#include "util/result.h"
+
+namespace svqa::exec {
+
+/// \brief Virtual-time cost attribution for one SPOC quadruple of an
+/// executed query, aggregated across retry attempts.
+struct QuadrupleCost {
+  /// Vertex index in the query graph (0 = main clause).
+  int vertex = 0;
+  /// The quadruple itself, `Spoc::ToString` form.
+  std::string quadruple;
+  /// Attempts that reached (opened a span for) this vertex.
+  uint64_t executions = 0;
+  /// Of those, how many were served from the path cache (no
+  /// relation-pair scan ran).
+  uint64_t cached = 0;
+  /// Full vertex-span duration (== match + pairs + filter + constraints
+  /// + bind up to double rounding in the display splits).
+  double total_micros = 0;
+  /// matchVertex scope resolution (`exec.match` children).
+  double match_micros = 0;
+  /// Adjacency relation-pair collection (`exec.relation_pairs`).
+  double relation_pairs_micros = 0;
+  /// Vertex self time: predicate filtering (incl. the maxScore
+  /// embedding sweep, which has no child span), cache probes, and
+  /// answer assembly.
+  double filter_micros = 0;
+  /// Constraint filter (`exec.constraints`).
+  double constraints_micros = 0;
+  /// Binding pushes into consumer vertices (`exec.bind`).
+  double bind_micros = 0;
+};
+
+/// \brief Cache hit/miss counts charged while the explained query ran.
+/// `present` is false when the executing path shared its metrics
+/// registry with other traffic (counter deltas would be meaningless);
+/// `SvqaEngine::ExplainAnalyze` meters the query into a private
+/// registry, so there the counts are per-query absolutes.
+struct CacheCounters {
+  bool present = false;
+  uint64_t scope_hits = 0;
+  uint64_t scope_misses = 0;
+  uint64_t path_hits = 0;
+  uint64_t path_misses = 0;
+};
+
+/// \brief EXPLAIN ANALYZE for one executed query: the joined view of
+/// its trace spans, charged virtual costs, cache behaviour, and
+/// retry/degradation diagnostics, broken down per quadruple.
+///
+/// Built from a `Tracer` that observed the execution, so the report is
+/// a pure function of the query's virtual-time behaviour —
+/// byte-identical across runs, hosts, and worker counts.
+struct QueryCostReport {
+  uint64_t query_id = 0;
+  std::string question;
+  Diagnostics diagnostics;
+  /// Parse time (`core.parse` / `serve.parse` root spans).
+  double parse_micros = 0;
+  /// Extent of the resilient execution: last attempt/backoff span end
+  /// minus first attempt span start, as ONE double subtraction of the
+  /// clock readings the spans captured — which is why it reconciles bit
+  /// for bit with `Diagnostics.charged_micros` (same two readings, same
+  /// subtraction). 0 when nothing executed.
+  double exec_micros = 0;
+  CacheCounters cache;
+  /// Per-quadruple breakdown, topological execution order.
+  std::vector<QuadrupleCost> quadruples;
+
+  /// Proves the attribution is exact rather than approximately summed:
+  /// checks that the attempt/backoff segments tile `[first start, last
+  /// end]` with bitwise-equal shared boundaries, that each attempt is
+  /// tiled the same way by its vertex spans, and that `exec_micros`
+  /// equals `charged_micros` bitwise. Any gap, overlap, or drift —
+  /// i.e. any virtual cost the report failed to attribute — is an
+  /// error naming the offending boundary.
+  SVQA_NODISCARD Status VerifyReconciliation(double charged_micros) const;
+
+  /// Byte-stable plain-text report.
+  std::string ToText() const;
+  /// Byte-stable JSON report.
+  std::string ToJson() const;
+
+  /// Span-boundary segments kept for VerifyReconciliation (exposed for
+  /// tests; [start, end] of each `exec.attempt` / `exec.backoff` root
+  /// span in record order, and per attempt the vertex boundaries).
+  struct Segment {
+    bool is_backoff = false;
+    double start_micros = 0;
+    double end_micros = 0;
+    /// For attempts: boundaries of the vertex spans, in record order
+    /// (empty for backoffs).
+    std::vector<double> vertex_bounds;  // [s0, e0, s1, e1, ...]
+  };
+  std::vector<Segment> segments;
+};
+
+/// Joins an executed query's trace with its diagnostics into the cost
+/// report. `tracer` must have observed the execution (the engine's
+/// ExplainAnalyze and the serve explain path both force one on). Fails
+/// when the trace's vertex spans cannot be mapped onto the query
+/// graph's topological order (a trace from a different query).
+Result<QueryCostReport> BuildQueryCostReport(const query::QueryGraph& gq,
+                                             const obs::Tracer& tracer,
+                                             const Diagnostics& diagnostics,
+                                             const CacheCounters& cache);
+
+}  // namespace svqa::exec
+
+#endif  // SVQA_EXEC_EXPLAIN_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/json_util.h"
 #include "util/logging.h"
 
 namespace svqa {
@@ -104,7 +105,7 @@ std::string SamplesToJson(const std::vector<MetricSample>& samples) {
   for (const MetricSample& s : samples) {
     if (!first) out << ",";
     first = false;
-    out << "\n  \"" << s.name << "\": ";
+    out << "\n  \"" << util::JsonEscaped(s.name) << "\": ";
     switch (s.kind) {
       case MetricKind::kCounter:
         out << s.counter;

@@ -26,15 +26,26 @@ std::vector<uint64_t> QueueWaitBounds() {
 }  // namespace
 
 Status ObsOptions::Validate() const {
-  if (!enabled) return Status::OK();
+  // The flight recorder's rings are sized from ring_capacity the moment
+  // an Observability is constructed — so the capacity is validated even
+  // while disabled, instead of letting a degenerate value be silently
+  // clamped and inherited by a later enable.
   if (ring_capacity == 0) {
     return Status::InvalidArgument(
-        "ObsOptions.ring_capacity must be >= 1 when observability is "
-        "enabled");
+        "ObsOptions.ring_capacity must be >= 1 (the flight recorder ring "
+        "is sized at construction)");
   }
   if (ring_capacity > (1u << 20)) {
     return Status::InvalidArgument(
         "ObsOptions.ring_capacity too large (max 1Mi records per lane)");
+  }
+  // The sampler computes `query_id % trace_sample_n`; an interval this
+  // large is indistinguishable from "never" (only id 0 traces) and is
+  // almost certainly a unit mistake. 0 is the documented off switch.
+  if (trace_sample_n > (1u << 30)) {
+    return Status::InvalidArgument(
+        "ObsOptions.trace_sample_n too large (max 2^30; use 0 to disable "
+        "tracing)");
   }
   return Status::OK();
 }

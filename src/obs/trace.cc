@@ -4,23 +4,17 @@
 #include <sstream>
 
 #include "obs/flight_recorder.h"
+#include "util/json_util.h"
 
 namespace svqa {
 namespace obs {
 
-namespace {
-
-// Fixed-precision rendering keeps trace output byte-stable: the micros
-// are doubles accumulated by SimClock in a deterministic order, and
-// %.3f is a pure function of the value.
-std::string Micros(double v) {
+std::string FormatMicros(double v) {
   if (v == 0) v = 0;  // never render "-0.000" (a zero-length SpanAt)
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
 }
-
-}  // namespace
 
 uint32_t Tracer::BeginSpan(const char* name, const SimClock& clock) {
   SpanRecord rec;
@@ -68,9 +62,11 @@ std::string Tracer::ToJson() const {
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     const SpanRecord& s = spans_[i];
     if (i > 0) out << ",";
-    out << "\n{\"name\": \"" << s.name << "\", \"ph\": \"X\", \"pid\": 0"
-        << ", \"tid\": " << query_id_ << ", \"ts\": " << Micros(s.start_micros)
-        << ", \"dur\": " << Micros(s.end_micros - s.start_micros)
+    out << "\n{\"name\": \"" << util::JsonEscaped(s.name)
+        << "\", \"ph\": \"X\", \"pid\": 0"
+        << ", \"tid\": " << query_id_
+        << ", \"ts\": " << FormatMicros(s.start_micros)
+        << ", \"dur\": " << FormatMicros(s.end_micros - s.start_micros)
         << ", \"args\": {\"id\": " << s.id << ", \"parent\": " << s.parent
         << "}}";
   }
@@ -91,8 +87,8 @@ std::string Tracer::TreeString() const {
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     const SpanRecord& s = spans_[i];
     for (int d = 0; d < depth[i]; ++d) out << "  ";
-    out << s.name << " start=" << Micros(s.start_micros)
-        << " dur=" << Micros(s.end_micros - s.start_micros) << "\n";
+    out << s.name << " start=" << FormatMicros(s.start_micros)
+        << " dur=" << FormatMicros(s.end_micros - s.start_micros) << "\n";
   }
   return out.str();
 }

@@ -13,6 +13,12 @@ namespace obs {
 struct StackMetrics;    // observability.h
 class FlightRecorder;   // flight_recorder.h
 
+/// Fixed-precision micros rendering shared by every byte-stable obs
+/// report (traces, trace analyses, cost reports, SLO dashboards): %.3f
+/// of a deterministically accumulated double is itself deterministic.
+/// Normalizes -0.0 so a zero-length SpanAt never renders "-0.000".
+std::string FormatMicros(double v);
+
 /// \brief One closed (or still-open) span in a query's trace.
 ///
 /// Timestamps are *virtual* micros read from the query's `SimClock` —

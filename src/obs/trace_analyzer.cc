@@ -1,0 +1,158 @@
+#include "obs/trace_analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/json_util.h"
+
+namespace svqa {
+namespace obs {
+
+namespace {
+
+double Dur(const SpanRecord& s) { return s.end_micros - s.start_micros; }
+
+/// Candidate ordering used for both root selection and descent:
+/// longest first, then earliest start, then lowest id — total, so the
+/// critical path is unique.
+bool Dominates(const SpanRecord& a, const SpanRecord& b) {
+  if (Dur(a) != Dur(b)) return Dur(a) > Dur(b);
+  if (a.start_micros != b.start_micros) return a.start_micros < b.start_micros;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+TraceAnalysis TraceAnalysis::FromSpans(uint64_t query_id,
+                                       const std::vector<SpanRecord>& spans) {
+  TraceAnalysis out;
+  out.query_id_ = query_id;
+  out.num_spans_ = spans.size();
+
+  // Self time: duration minus direct children. Ids are 1-based and
+  // allocation-ordered (parents precede children), so one forward pass
+  // over `spans` can subtract each span from its parent's self bucket.
+  std::vector<double> self(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) self[i] = Dur(spans[i]);
+  for (const SpanRecord& s : spans) {
+    if (s.parent != 0) self[s.parent - 1] -= Dur(s);
+  }
+
+  // Per-name aggregation; std::map iteration gives name order, the
+  // final sort reorders by total.
+  std::map<std::string, SpanNameStats> by_name;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    SpanNameStats& stats = by_name[s.name];
+    stats.name = s.name;
+    stats.count += 1;
+    stats.total_micros += Dur(s);
+    stats.self_micros += self[i];
+    stats.max_micros = std::max(stats.max_micros, Dur(s));
+  }
+  out.by_name_.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) out.by_name_.push_back(stats);
+  std::stable_sort(out.by_name_.begin(), out.by_name_.end(),
+                   [](const SpanNameStats& a, const SpanNameStats& b) {
+                     if (a.total_micros != b.total_micros) {
+                       return a.total_micros > b.total_micros;
+                     }
+                     return a.name < b.name;
+                   });
+
+  // Children index for the descent (and the root scan).
+  std::vector<std::vector<uint32_t>> children(spans.size() + 1);
+  const SpanRecord* root = nullptr;
+  for (const SpanRecord& s : spans) {
+    children[s.parent].push_back(s.id);
+    if (s.parent == 0) {
+      out.num_roots_ += 1;
+      out.total_micros_ += Dur(s);
+      if (root == nullptr || Dominates(s, *root)) root = &s;
+    }
+  }
+
+  // Critical path: start from the dominating root, then at every level
+  // step into the dominating direct child until a leaf.
+  int depth = 0;
+  while (root != nullptr) {
+    CriticalPathStep step;
+    step.name = root->name;
+    step.depth = depth++;
+    step.start_micros = root->start_micros;
+    step.dur_micros = Dur(*root);
+    step.self_micros = self[root->id - 1];
+    out.critical_path_.push_back(step);
+    const SpanRecord* next = nullptr;
+    for (uint32_t child_id : children[root->id]) {
+      const SpanRecord& c = spans[child_id - 1];
+      if (next == nullptr || Dominates(c, *next)) next = &c;
+    }
+    root = next;
+  }
+  return out;
+}
+
+std::string TraceAnalysis::ToText() const {
+  std::ostringstream out;
+  out << "trace analysis query=" << query_id_ << " spans=" << num_spans_
+      << " roots=" << num_roots_ << " total=" << FormatMicros(total_micros_)
+      << "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-24s %6s %14s %14s %14s\n", "name",
+                "count", "total", "self", "max");
+  out << line;
+  for (const SpanNameStats& s : by_name_) {
+    std::snprintf(line, sizeof(line), "%-24s %6llu %14s %14s %14s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  FormatMicros(s.total_micros).c_str(),
+                  FormatMicros(s.self_micros).c_str(),
+                  FormatMicros(s.max_micros).c_str());
+    out << line;
+  }
+  if (critical_path_.empty()) {
+    out << "critical path: (none)\n";
+  } else {
+    out << "critical path (" << critical_path_.size() << " steps, "
+        << FormatMicros(critical_path_.front().dur_micros) << " micros):\n";
+    for (const CriticalPathStep& step : critical_path_) {
+      for (int d = 0; d <= step.depth; ++d) out << "  ";
+      out << step.name << " start=" << FormatMicros(step.start_micros)
+          << " dur=" << FormatMicros(step.dur_micros)
+          << " self=" << FormatMicros(step.self_micros) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string TraceAnalysis::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"query_id\": " << query_id_
+      << ",\n  \"spans\": " << num_spans_ << ",\n  \"roots\": " << num_roots_
+      << ",\n  \"total_micros\": " << FormatMicros(total_micros_)
+      << ",\n  \"by_name\": [";
+  for (std::size_t i = 0; i < by_name_.size(); ++i) {
+    const SpanNameStats& s = by_name_[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+        << util::JsonEscaped(s.name) << "\", \"count\": " << s.count
+        << ", \"total_micros\": " << FormatMicros(s.total_micros)
+        << ", \"self_micros\": " << FormatMicros(s.self_micros)
+        << ", \"max_micros\": " << FormatMicros(s.max_micros) << "}";
+  }
+  out << "\n  ],\n  \"critical_path\": [";
+  for (std::size_t i = 0; i < critical_path_.size(); ++i) {
+    const CriticalPathStep& s = critical_path_[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+        << util::JsonEscaped(s.name) << "\", \"depth\": " << s.depth
+        << ", \"start_micros\": " << FormatMicros(s.start_micros)
+        << ", \"dur_micros\": " << FormatMicros(s.dur_micros)
+        << ", \"self_micros\": " << FormatMicros(s.self_micros) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace svqa

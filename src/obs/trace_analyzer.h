@@ -1,0 +1,89 @@
+#ifndef SVQA_OBS_TRACE_ANALYZER_H_
+#define SVQA_OBS_TRACE_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace svqa {
+namespace obs {
+
+/// \brief Aggregate virtual-time statistics for one span name.
+struct SpanNameStats {
+  std::string name;
+  uint64_t count = 0;
+  /// Sum of span durations. Nested spans of the same name each
+  /// contribute their full duration (so a recursive name can exceed the
+  /// trace total); `self_micros` is the double-counting-free view.
+  double total_micros = 0;
+  /// Sum of durations minus each span's direct children — the time
+  /// spent *in* spans of this name rather than in something they called.
+  double self_micros = 0;
+  /// Longest single span.
+  double max_micros = 0;
+};
+
+/// \brief One step of the critical path, root to leaf.
+struct CriticalPathStep {
+  std::string name;
+  int depth = 0;
+  double start_micros = 0;
+  double dur_micros = 0;
+  double self_micros = 0;
+};
+
+/// \brief In-process analysis of one `Tracer`'s span tree: per-name
+/// self/total virtual time and the critical path (the longest root
+/// span, descending into the longest child at every level).
+///
+/// Everything here is a pure function of the span records, which are
+/// themselves pure functions of the work the query charged — so the
+/// analysis, its text report, and its JSON report are byte-identical
+/// across runs, hosts, and worker counts. Analysis never touches a
+/// SimClock: reading a trace must not perturb one.
+///
+/// Ties are broken deterministically everywhere: the per-name table
+/// orders by (total desc, name asc); critical-path candidates by
+/// (duration desc, start asc, id asc).
+class TraceAnalysis {
+ public:
+  /// Analyzes a tracer's spans (open spans count with their current end).
+  static TraceAnalysis Of(const Tracer& tracer) {
+    return FromSpans(tracer.query_id(), tracer.spans());
+  }
+  static TraceAnalysis FromSpans(uint64_t query_id,
+                                 const std::vector<SpanRecord>& spans);
+
+  uint64_t query_id() const { return query_id_; }
+  uint64_t num_spans() const { return num_spans_; }
+  uint64_t num_roots() const { return num_roots_; }
+  /// Sum of root-span durations (the trace's wall of virtual time).
+  double total_micros() const { return total_micros_; }
+  /// Per-name table, ordered (total desc, name asc).
+  const std::vector<SpanNameStats>& by_name() const { return by_name_; }
+  /// Root-to-leaf critical path; empty for an empty trace.
+  const std::vector<CriticalPathStep>& critical_path() const {
+    return critical_path_;
+  }
+
+  /// Byte-stable plain-text report (header, per-name table, critical
+  /// path).
+  std::string ToText() const;
+  /// Byte-stable JSON report mirroring ToText's content.
+  std::string ToJson() const;
+
+ private:
+  uint64_t query_id_ = 0;
+  uint64_t num_spans_ = 0;
+  uint64_t num_roots_ = 0;
+  double total_micros_ = 0;
+  std::vector<SpanNameStats> by_name_;
+  std::vector<CriticalPathStep> critical_path_;
+};
+
+}  // namespace obs
+}  // namespace svqa
+
+#endif  // SVQA_OBS_TRACE_ANALYZER_H_

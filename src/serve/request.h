@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exec/executor.h"
+#include "exec/explain.h"
 #include "obs/trace.h"
 #include "query/query_graph.h"
 #include "util/annotations.h"
@@ -46,6 +47,12 @@ struct RequestOptions {
   /// service timeline (open-loop load generation). Ignored in threaded
   /// mode, where arrival is the host submit instant.
   double arrival_micros = 0;
+  /// EXPLAIN ANALYZE: force a tracer on for this request (even when the
+  /// server's observability is disabled or the sampler would skip it)
+  /// and attach a per-quadruple `exec::QueryCostReport` to the
+  /// response. The explained request pays its own telemetry cost in
+  /// host time; its virtual charges are identical either way.
+  bool explain = false;
 };
 
 /// \brief Final outcome of one served request.
@@ -73,6 +80,12 @@ struct ServeResponse {
   /// span is recorded on the negative axis (before virtual t=0), so the
   /// execution subtree stays byte-identical across worker counts.
   std::shared_ptr<obs::Tracer> trace;
+  /// EXPLAIN ANALYZE cost attribution, present iff the request was
+  /// submitted with `RequestOptions::explain` and reached dispatch.
+  /// Cache counters are absent (`cache.present == false`): the serve
+  /// path meters into the server's shared registry, where per-query
+  /// deltas would be meaningless.
+  std::shared_ptr<const exec::QueryCostReport> cost_report;
 };
 
 /// \brief Shared completion handle between a submitter and the serving

@@ -56,6 +56,11 @@ void RequestScheduler::WorkerLoop(std::size_t worker) {
         std::max(0.0, SteadyNowMicros() - req.arrival_micros);
     ServeResponse resp = Dispatch(req, queue_wait, /*simulated=*/false,
                                   static_cast<uint32_t>(worker));
+    if (options_.slo != nullptr) {
+      options_.slo->Record(resp.priority,
+                           req.arrival_micros + resp.latency_micros,
+                           resp.latency_micros, req.id);
+    }
     stats_->RecordOutcome(resp);
     req.ticket->Complete(std::move(resp));
   }
@@ -70,27 +75,37 @@ ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
   resp.queue_wait_micros = queue_wait_micros;
   resp.latency_micros = queue_wait_micros;
 
-  // Per-request telemetry: one Tracer when the sampler selects this id,
-  // a Scope bundling it with the shared metric handles and this
-  // worker's flight lane. The queue-wait histogram is integer micros so
-  // the snapshot sums are order-independent.
+  // Per-request telemetry: one Tracer when the sampler selects this id
+  // (or the request asked for EXPLAIN ANALYZE, which forces one on even
+  // with observability disabled), a Scope bundling it with the shared
+  // metric handles and this worker's flight lane. The queue-wait
+  // histogram is integer micros so the snapshot sums are
+  // order-independent.
   obs::Scope scope;
   const bool telemetry = options_.obs != nullptr && options_.obs->enabled();
+  if (telemetry && options_.obs->ShouldTrace(req.id)) {
+    resp.trace = std::make_shared<obs::Tracer>(req.id);
+  }
+  if (req.options.explain && resp.trace == nullptr) {
+    resp.trace = std::make_shared<obs::Tracer>(req.id);
+  }
   if (telemetry) {
-    if (options_.obs->ShouldTrace(req.id)) {
-      resp.trace = std::make_shared<obs::Tracer>(req.id);
-    }
     scope = options_.obs->MakeScope(resp.trace.get(), lane, req.id);
     const obs::StackMetrics* m = scope.metrics;
     m->serve_requests->Incr();
     m->serve_queue_wait_micros[static_cast<int>(req.options.priority)]
         ->Record(static_cast<uint64_t>(queue_wait_micros));
-    if (resp.trace != nullptr) {
-      // Queue wait precedes the request's clock origin: record it over
-      // [-wait, 0] so the execution subtree still starts at t=0 and is
-      // byte-identical whatever the queue did.
-      resp.trace->SpanAt("serve.queue_wait", -queue_wait_micros, 0.0);
-    }
+  } else if (resp.trace != nullptr) {
+    // Explain without observability: trace-only scope, no metrics, no
+    // flight recorder.
+    scope.tracer = resp.trace.get();
+    scope.query_id = req.id;
+  }
+  if (resp.trace != nullptr) {
+    // Queue wait precedes the request's clock origin: record it over
+    // [-wait, 0] so the execution subtree still starts at t=0 and is
+    // byte-identical whatever the queue did.
+    resp.trace->SpanAt("serve.queue_wait", -queue_wait_micros, 0.0);
   }
 
   // Cancelled while queued: zero execution cost, the worker moves on.
@@ -168,7 +183,9 @@ ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
   res.cancel = &req.ticket->cancel_token();
   res.query_deadline_micros =
       bounded ? work_budget - clock.ElapsedMicros() : 0;
-  if (telemetry) res.obs = &scope;  // outlives the resilient call below
+  if (telemetry || resp.trace != nullptr) {
+    res.obs = &scope;  // outlives the resilient call below
+  }
 
   exec::Diagnostics diag;
   Result<exec::Answer> r = snap->executor().ExecuteResilient(
@@ -186,6 +203,20 @@ ServeResponse RequestScheduler::Dispatch(QueuedRequest& req,
 
   resp.exec_micros = clock.ElapsedMicros();
   resp.latency_micros = queue_wait_micros + resp.exec_micros;
+
+  // EXPLAIN ANALYZE: join the forced trace with the diagnostics into
+  // the per-quadruple cost report. Cache counters stay absent — the
+  // serve path meters into the shared registry. A report that cannot
+  // be built (unparseable trace) degrades to no report, not an error.
+  if (req.options.explain && resp.trace != nullptr) {
+    exec::CacheCounters no_cache;
+    Result<exec::QueryCostReport> report = exec::BuildQueryCostReport(
+        *graph, *resp.trace, resp.answer.diagnostics, no_cache);
+    if (report.ok()) {
+      resp.cost_report = std::make_shared<const exec::QueryCostReport>(
+          std::move(report).ValueOrDie());
+    }
+  }
   return resp;
 }
 
@@ -262,6 +293,13 @@ double RequestScheduler::RunSimulated(std::vector<QueuedRequest> workload) {
                                   /*lane=*/static_cast<uint32_t>(w));
     free_at[w] = t_dispatch + resp.exec_micros;
     makespan = std::max(makespan, free_at[w]);
+    if (options_.slo != nullptr) {
+      // Same completion formula as the threaded loop: arrival +
+      // latency (== t_dispatch + exec on the virtual timeline).
+      options_.slo->Record(resp.priority,
+                           req.arrival_micros + resp.latency_micros,
+                           resp.latency_micros, req.id);
+    }
     stats_->RecordOutcome(resp);
     req.ticket->Complete(std::move(resp));
   }

@@ -11,6 +11,7 @@
 #include "serve/admission_queue.h"
 #include "serve/graph_snapshot_store.h"
 #include "serve/request.h"
+#include "serve/slo_monitor.h"
 #include "serve/stats.h"
 #include "util/thread_pool.h"
 
@@ -37,6 +38,12 @@ struct SchedulerOptions {
   /// Worker i records into flight lane i in both modes (virtual worker
   /// index in simulated mode), so lane contents are comparable.
   obs::Observability* obs = nullptr;
+  /// SLO monitor fed one record per dispatched request (completion =
+  /// arrival + latency, the same formula in both modes, so the window
+  /// contents are worker-count invariant in simulated mode). Not owned;
+  /// nullptr disables SLO accounting. Sheds never reach dispatch and
+  /// are visible in ServerStats instead.
+  SloMonitor* slo = nullptr;
 };
 
 /// \brief Deadline-aware dispatcher: pulls requests off the

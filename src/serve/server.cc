@@ -16,6 +16,7 @@ Status ServerOptions::Validate() const {
     return Status::InvalidArgument("num_workers must be positive");
   }
   SVQA_RETURN_NOT_OK(admission.Validate());
+  SVQA_RETURN_NOT_OK(slo.Validate());
   return obs.Validate();
 }
 
@@ -23,14 +24,17 @@ SvqaServer::SvqaServer(GraphSnapshotStore* store, ServerOptions options)
     : store_(store),
       options_(std::move(options)),
       queue_(options_.admission),
-      obs_(options_.obs.enabled
+      // Invalid obs options never construct a (silently clamped)
+      // recorder; the clear Status surfaces from Start()'s Validate.
+      obs_(options_.obs.enabled && options_.obs.Validate().ok()
                ? std::make_unique<obs::Observability>(
                      options_.obs,
                      static_cast<uint32_t>(options_.num_workers) + 1)
                : nullptr),
+      slo_(options_.slo.Validate().ok() ? options_.slo : SloOptions{}),
       scheduler_(&queue_, store_, &stats_,
                  SchedulerOptions{options_.num_workers, options_.resilience,
-                                  options_.parser, obs_.get()}) {}
+                                  options_.parser, obs_.get(), &slo_}) {}
 
 SvqaServer::~SvqaServer() { Shutdown(); }
 
@@ -262,6 +266,13 @@ ServerStats SvqaServer::Stats() const {
     stats.flight_records = obs_->flight()->TotalRecorded();
   }
   return stats;
+}
+
+std::string SvqaServer::StatszText() const {
+  std::string out = "== svqa statsz ==\n";
+  out += Stats().ToString();
+  out += slo_.Snapshot().ToText();
+  return out;
 }
 
 std::string SvqaServer::MetricsJson() const {

@@ -53,6 +53,11 @@ struct ServerOptions {
   /// `num_workers + 1` lanes — one per worker plus one for lifecycle
   /// events) and samples a Tracer per `trace_sample_n` request ids.
   obs::ObsOptions obs;
+  /// SLO monitor knobs (window length, per-class latency targets,
+  /// objective). The monitor itself is always on — it is fed one O(1)
+  /// record per dispatched request regardless of `obs.enabled` — and is
+  /// rendered by `StatszText()`.
+  SloOptions slo;
 
   Status Validate() const;
 };
@@ -137,6 +142,17 @@ class SvqaServer {
   /// info).
   ServerStats Stats() const;
 
+  /// Point-in-time SLO window snapshot (latency percentiles, burn
+  /// rates, slow-request exemplars per class), taken at the high-water
+  /// virtual completion time.
+  SloSnapshot SloStatus() const { return slo_.Snapshot(); }
+
+  /// The deterministic one-page dashboard: aggregate per-class serving
+  /// stats followed by the SLO window. In simulated mode the whole dump
+  /// is byte-identical across runs and worker counts for the same
+  /// workload. Safe under live traffic.
+  std::string StatszText() const;
+
   /// Deterministic name-sorted metrics snapshot as JSON ("{}\n" when
   /// observability is disabled). Safe under live traffic.
   std::string MetricsJson() const;
@@ -165,6 +181,8 @@ class SvqaServer {
   AdmissionQueue queue_;
   /// Declared before scheduler_: the scheduler holds a raw pointer.
   std::unique_ptr<obs::Observability> obs_;
+  /// Ditto — the scheduler records one SLO sample per dispatch.
+  SloMonitor slo_;
   RequestScheduler scheduler_;
 
   std::atomic<uint64_t> next_id_{1};

@@ -1,0 +1,229 @@
+#include "serve/slo_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace svqa::serve {
+
+namespace {
+
+/// Exemplar ordering everywhere: slowest first, ids breaking ties — a
+/// total order, so merging per-bucket lists is order-independent.
+bool SlowerFirst(const SloExemplar& a, const SloExemplar& b) {
+  if (a.latency_micros != b.latency_micros) {
+    return a.latency_micros > b.latency_micros;
+  }
+  return a.query_id < b.query_id;
+}
+
+/// Nearest-rank percentile over merged bucket counts: the inclusive
+/// upper bound of the bucket containing rank ceil(q * count); -2 for
+/// the overflow bucket, -1 for an empty window.
+int64_t NearestRank(const std::vector<uint64_t>& counts,
+                    const std::vector<uint64_t>& bounds, uint64_t count,
+                    double q) {
+  if (count == 0) return -1;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count)));
+  uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      return b < bounds.size() ? static_cast<int64_t>(bounds[b]) : -2;
+    }
+  }
+  return -2;
+}
+
+std::string PercentileString(int64_t p) {
+  if (p == -1) return "-";
+  if (p == -2) return "inf";
+  return std::to_string(p);
+}
+
+}  // namespace
+
+Status SloOptions::Validate() const {
+  if (!(window_micros > 0) || !std::isfinite(window_micros)) {
+    return Status::InvalidArgument(
+        "SloOptions.window_micros must be positive and finite");
+  }
+  if (num_buckets == 0 || num_buckets > 4096) {
+    return Status::InvalidArgument(
+        "SloOptions.num_buckets must be in [1, 4096]");
+  }
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    if (latency_target_micros[c] == 0) {
+      return Status::InvalidArgument(
+          "SloOptions.latency_target_micros must be >= 1");
+    }
+  }
+  if (!(objective > 0) || !(objective < 1)) {
+    return Status::InvalidArgument(
+        "SloOptions.objective must be in (0, 1) exclusive");
+  }
+  if (max_exemplars > 64) {
+    return Status::InvalidArgument(
+        "SloOptions.max_exemplars too large (max 64 per class)");
+  }
+  return Status::OK();
+}
+
+const std::vector<uint64_t>& SloMonitor::LatencyBounds() {
+  // Log-spaced (three per decade) from 100 us to 100 s of virtual
+  // latency — the range the serve experiments report — plus the
+  // implicit overflow bucket above.
+  static const std::vector<uint64_t>* bounds = new std::vector<uint64_t>{
+      100,        215,        464,        1'000,      2'154,
+      4'641,      10'000,     21'544,     46'415,     100'000,
+      215'443,    464'158,    1'000'000,  2'154'434,  4'641'588,
+      10'000'000, 21'544'346, 46'415'888, 100'000'000};
+  return *bounds;
+}
+
+SloMonitor::SloMonitor(SloOptions options) : options_(options) {
+  classes_.resize(kNumPriorityClasses);
+  for (auto& ring : classes_) ring.resize(options_.num_buckets);
+}
+
+void SloMonitor::Record(PriorityClass priority, double completion_micros,
+                        double latency_micros, uint64_t query_id) {
+  const std::vector<uint64_t>& bounds = LatencyBounds();
+  const int cls = static_cast<int>(priority);
+  if (cls < 0 || cls >= kNumPriorityClasses) return;
+  if (completion_micros < 0) completion_micros = 0;
+  if (latency_micros < 0) latency_micros = 0;
+  const uint64_t idx =
+      static_cast<uint64_t>(completion_micros / bucket_width_micros());
+
+  MutexLock lock(&mu_);
+  high_water_micros_ = std::max(high_water_micros_, completion_micros);
+  TimeBucket& slot = classes_[cls][idx % options_.num_buckets];
+  if (slot.index != idx) {
+    if (slot.index != TimeBucket::kUnused && idx < slot.index) {
+      // Older than the whole ring (a straggler completing long after
+      // the window moved on): count it, never corrupt a fresh bucket.
+      ++late_drops_;
+      return;
+    }
+    slot.index = idx;
+    slot.counts.assign(bounds.size() + 1, 0);
+    slot.count = 0;
+    slot.over_target = 0;
+    slot.exemplars.clear();
+  }
+  const uint64_t lat = static_cast<uint64_t>(latency_micros);
+  const std::size_t b =
+      std::lower_bound(bounds.begin(), bounds.end(), lat) - bounds.begin();
+  ++slot.counts[b];
+  ++slot.count;
+  if (lat > options_.latency_target_micros[cls]) ++slot.over_target;
+  SloExemplar ex;
+  ex.query_id = query_id;
+  ex.latency_micros = latency_micros;
+  slot.exemplars.insert(
+      std::upper_bound(slot.exemplars.begin(), slot.exemplars.end(), ex,
+                       SlowerFirst),
+      ex);
+  if (slot.exemplars.size() > options_.max_exemplars) {
+    slot.exemplars.resize(options_.max_exemplars);
+  }
+}
+
+SloSnapshot SloMonitor::Snapshot() const {
+  double now;
+  {
+    MutexLock lock(&mu_);
+    now = high_water_micros_;
+  }
+  return SnapshotAt(now);
+}
+
+SloSnapshot SloMonitor::SnapshotAt(double now_micros) const {
+  const std::vector<uint64_t>& bounds = LatencyBounds();
+  SloSnapshot snap;
+  snap.window_micros = options_.window_micros;
+  snap.objective = options_.objective;
+  const uint64_t cur_idx = static_cast<uint64_t>(std::max(0.0, now_micros) /
+                                                 bucket_width_micros());
+
+  MutexLock lock(&mu_);
+  snap.late_drops = late_drops_;
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    SloSnapshot::PerClass& out = snap.classes[c];
+    std::vector<uint64_t> merged(bounds.size() + 1, 0);
+    std::vector<SloExemplar> exemplars;
+    for (const TimeBucket& slot : classes_[c]) {
+      const bool live = slot.index != TimeBucket::kUnused &&
+                        slot.index <= cur_idx &&
+                        slot.index + options_.num_buckets > cur_idx;
+      if (!live) continue;
+      for (std::size_t b = 0; b < merged.size(); ++b) {
+        merged[b] += slot.counts[b];
+      }
+      out.count += slot.count;
+      out.over_target += slot.over_target;
+      exemplars.insert(exemplars.end(), slot.exemplars.begin(),
+                       slot.exemplars.end());
+    }
+    out.p50 = NearestRank(merged, bounds, out.count, 0.50);
+    out.p95 = NearestRank(merged, bounds, out.count, 0.95);
+    out.p99 = NearestRank(merged, bounds, out.count, 0.99);
+    if (out.count > 0) {
+      // Ratio of two integers over a constant: deterministic no matter
+      // what order the window was filled in.
+      out.burn_rate = (static_cast<double>(out.over_target) /
+                       static_cast<double>(out.count)) /
+                      (1.0 - options_.objective);
+    }
+    out.overloaded = out.burn_rate > 1.0;
+    std::sort(exemplars.begin(), exemplars.end(), SlowerFirst);
+    if (exemplars.size() > options_.max_exemplars) {
+      exemplars.resize(options_.max_exemplars);
+    }
+    out.exemplars = std::move(exemplars);
+  }
+  return snap;
+}
+
+uint64_t SloMonitor::late_drops() const {
+  MutexLock lock(&mu_);
+  return late_drops_;
+}
+
+std::string SloSnapshot::ToText() const {
+  std::ostringstream out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", objective);
+  out << "slo window=" << obs::FormatMicros(window_micros)
+      << " objective=" << buf << " late_drops=" << late_drops << "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %9s %6s %10s %10s %10s %6s %s\n",
+                "class", "count", "over", "p50", "p95", "p99", "burn",
+                "state");
+  out << line;
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const PerClass& pc = classes[c];
+    std::snprintf(buf, sizeof(buf), "%.2f", pc.burn_rate);
+    std::snprintf(
+        line, sizeof(line), "%-12s %9llu %6llu %10s %10s %10s %6s %s\n",
+        PriorityClassName(static_cast<PriorityClass>(c)),
+        static_cast<unsigned long long>(pc.count),
+        static_cast<unsigned long long>(pc.over_target),
+        PercentileString(pc.p50).c_str(), PercentileString(pc.p95).c_str(),
+        PercentileString(pc.p99).c_str(), buf,
+        pc.overloaded ? "OVERLOADED" : "ok");
+    out << line;
+    for (const SloExemplar& ex : pc.exemplars) {
+      out << "  exemplar q" << ex.query_id
+          << " latency=" << obs::FormatMicros(ex.latency_micros) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace svqa::serve

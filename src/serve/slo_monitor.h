@@ -1,0 +1,142 @@
+#ifndef SVQA_SERVE_SLO_MONITOR_H_
+#define SVQA_SERVE_SLO_MONITOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace svqa::serve {
+
+/// \brief SLO monitor knobs, validated where embedded
+/// (`ServerOptions`).
+struct SloOptions {
+  /// Sliding-window length in virtual micros.
+  double window_micros = 60'000'000;
+  /// Ring granularity: the window is a ring of this many time buckets;
+  /// requests older than the whole ring are dropped (counted as
+  /// late_drops), never silently mixed into fresh buckets.
+  uint32_t num_buckets = 60;
+  /// Per-class latency targets (virtual micros): a request over its
+  /// class target is an SLO violation feeding the burn rate.
+  uint64_t latency_target_micros[kNumPriorityClasses] = {
+      1'000'000, 10'000'000, 100'000'000};
+  /// Fraction of requests that must meet the target (0.99 -> a 1%
+  /// violation budget).
+  double objective = 0.99;
+  /// Slow-request exemplars kept per class per snapshot — query ids
+  /// linking the histogram tail to flight-recorder entries.
+  uint32_t max_exemplars = 4;
+
+  SVQA_NODISCARD Status Validate() const;
+};
+
+/// \brief One slow-request exemplar: enough to find the query in the
+/// flight recorder / trace dump.
+struct SloExemplar {
+  uint64_t query_id = 0;
+  double latency_micros = 0;
+};
+
+/// \brief Deterministic snapshot of the sliding window, taken at the
+/// high-water completion time (or an explicit `now`).
+///
+/// Everything rendered is either an integer count, an integer bucket
+/// bound, or a ratio of integers — never an accumulated double sum —
+/// so ToText() is byte-identical across runs and worker counts as long
+/// as the same (completion, latency) pairs were recorded, in any order.
+struct SloSnapshot {
+  struct PerClass {
+    uint64_t count = 0;
+    /// Requests over the class latency target.
+    uint64_t over_target = 0;
+    /// Nearest-rank percentiles as the inclusive upper bound of the
+    /// latency bucket holding the rank; -1 = empty window, -2 = the
+    /// overflow bucket (rendered "inf").
+    int64_t p50 = -1;
+    int64_t p95 = -1;
+    int64_t p99 = -1;
+    /// (violation fraction) / (violation budget); > 1 means the class
+    /// is burning error budget faster than the objective allows.
+    double burn_rate = 0;
+    bool overloaded = false;
+    /// Slowest requests in the window, (latency desc, id asc).
+    std::vector<SloExemplar> exemplars;
+  };
+
+  double window_micros = 0;
+  double objective = 0;
+  uint64_t late_drops = 0;
+  PerClass classes[kNumPriorityClasses];
+
+  /// Byte-stable dashboard section (one line per class + exemplars).
+  std::string ToText() const;
+};
+
+/// \brief Serve-layer SLO monitor: per-priority-class latency
+/// percentiles over a sliding window of *virtual* time, plus an
+/// overload / burn-rate signal.
+///
+/// The window is a ring of `num_buckets` time buckets addressed by
+/// absolute bucket index (completion time / bucket width), each holding
+/// a log-spaced latency histogram, a violation count, and the bucket's
+/// slowest exemplars. Recording is O(1); a snapshot merges the live
+/// buckets. Reclaiming a slot resets it for the new index, and a
+/// completion older than the whole ring is counted in `late_drops`
+/// rather than polluting a fresh bucket.
+///
+/// Time is the *virtual* completion time supplied by the scheduler
+/// (arrival + latency), identical across worker counts, so window
+/// contents — and the rendered dashboard — are too. Thread-safe; the
+/// threaded scheduler records from every worker.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloOptions options = {});
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// Records one completed request.
+  void Record(PriorityClass priority, double completion_micros,
+              double latency_micros, uint64_t query_id);
+
+  /// Snapshot at the high-water completion time seen so far.
+  SloSnapshot Snapshot() const;
+  /// Snapshot with an explicit window end.
+  SloSnapshot SnapshotAt(double now_micros) const;
+
+  uint64_t late_drops() const;
+  const SloOptions& options() const { return options_; }
+
+  /// The shared latency bucket bounds (inclusive upper bounds, virtual
+  /// micros; one implicit overflow bucket above the last). Exposed for
+  /// the property test's exact-quantile cross-check.
+  static const std::vector<uint64_t>& LatencyBounds();
+
+ private:
+  struct TimeBucket {
+    static constexpr uint64_t kUnused = ~uint64_t{0};
+    uint64_t index = kUnused;  // absolute bucket index, kUnused = empty
+    std::vector<uint64_t> counts;  // per latency bound + overflow
+    uint64_t count = 0;
+    uint64_t over_target = 0;
+    std::vector<SloExemplar> exemplars;
+  };
+
+  double bucket_width_micros() const {
+    return options_.window_micros / options_.num_buckets;
+  }
+
+  SloOptions options_;
+  mutable Mutex mu_;
+  /// classes_[c][slot]; slot = absolute index % num_buckets.
+  std::vector<std::vector<TimeBucket>> classes_ SVQA_GUARDED_BY(mu_);
+  double high_water_micros_ SVQA_GUARDED_BY(mu_) = 0;
+  uint64_t late_drops_ SVQA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace svqa::serve
+
+#endif  // SVQA_SERVE_SLO_MONITOR_H_

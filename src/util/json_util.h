@@ -1,0 +1,68 @@
+#ifndef SVQA_UTIL_JSON_UTIL_H_
+#define SVQA_UTIL_JSON_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace svqa {
+namespace util {
+
+/// \brief Appends `s` to `out` as the *contents* of a JSON string
+/// (quotes not included), escaping the characters JSON cannot carry
+/// raw: quote, backslash, and control characters below 0x20.
+///
+/// Shared by every JSON emitter in the tree (trace_event spans, metric
+/// snapshots, cost reports) so there is exactly one escaping policy:
+/// the named short escapes where they exist, \u00XX otherwise. Bytes
+/// >= 0x20 pass through untouched — emitters hand over UTF-8 and JSON
+/// carries UTF-8 verbatim.
+inline void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Convenience form of AppendJsonEscaped.
+inline std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(s, &out);
+  return out;
+}
+
+}  // namespace util
+}  // namespace svqa
+
+#endif  // SVQA_UTIL_JSON_UTIL_H_

@@ -167,6 +167,27 @@ TEST(TracerTest, ToJsonEmitsChromeCompleteEvents) {
             "]\n");
 }
 
+TEST(TracerTest, ToJsonEscapesSpanNames) {
+  // Span names are compile-time literals in the stack, but the emitter
+  // must still produce valid JSON for any name a tool might feed in.
+  SimClock clock;
+  Tracer tracer(1);
+  uint32_t id = tracer.BeginSpan("weird \"name\"\n\\t\x01", clock);
+  tracer.EndSpan(id, clock);
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("weird \\\"name\\\"\\n\\\\t\\u0001"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SamplesToJsonEscapesMetricNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("svqa.\"quoted\"\\path")->Incr();
+  const std::string json = reg.ToJson();
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"svqa.\\\"quoted\\\"\\\\path\": 1\n"
+            "}\n");
+}
+
 TEST(TracerTest, OutOfOrderEndUnwindsWithoutCorruptingParentage) {
   SimClock clock;
   Tracer tracer;
@@ -268,14 +289,19 @@ TEST(FlightRecorderTest, DumpNamesLanesAndRecords) {
 
 // -- Observability / options -------------------------------------------------
 
-TEST(ObsOptionsTest, DisabledValidatesUnconditionally) {
+TEST(ObsOptionsTest, ValidationIsUnconditional) {
+  // The flight-recorder ring is sized at construction, so a bad
+  // capacity is rejected even while disabled — flipping `enabled` later
+  // must not surface a latent misconfiguration.
   ObsOptions opts;
   opts.enabled = false;
-  opts.ring_capacity = 0;  // ignored while disabled
-  EXPECT_TRUE(opts.Validate().ok());
+  opts.ring_capacity = 0;
+  const Status st = opts.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("ring_capacity"), std::string::npos);
 }
 
-TEST(ObsOptionsTest, EnabledRejectsBadRingCapacity) {
+TEST(ObsOptionsTest, RejectsBadRingCapacity) {
   ObsOptions opts;
   opts.enabled = true;
   opts.ring_capacity = 0;
@@ -283,6 +309,19 @@ TEST(ObsOptionsTest, EnabledRejectsBadRingCapacity) {
   opts.ring_capacity = (1u << 20) + 1;
   EXPECT_FALSE(opts.Validate().ok());
   opts.ring_capacity = 256;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(ObsOptionsTest, RejectsAbsurdTraceSampleModulus) {
+  ObsOptions opts;
+  opts.enabled = true;
+  opts.trace_sample_n = (1u << 30) + 1;
+  const Status st = opts.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("trace_sample_n"), std::string::npos);
+  opts.trace_sample_n = 0;  // 0 = tracing disabled, always fine
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.trace_sample_n = 1u << 30;
   EXPECT_TRUE(opts.Validate().ok());
 }
 

@@ -1,0 +1,304 @@
+// SLO monitor tests: the randomized property check of the sliding
+// window's percentiles against exact sort-based quantiles, window
+// eviction / late-drop edge cases, exemplar ordering, byte-stable
+// rendering, and StatszText's worker-count invariance in simulated mode.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/mvqa_generator.h"
+#include "serve/server.h"
+#include "serve/slo_monitor.h"
+#include "text/lexicon.h"
+#include "util/rng.h"
+
+namespace svqa::serve {
+namespace {
+
+// Exact nearest-rank percentile bucketized the way the monitor reports
+// it: sort the latencies, take rank ceil(q*n), map to the inclusive
+// upper bound of its latency bucket (-2 = overflow, -1 = empty).
+int64_t ExactPercentile(std::vector<uint64_t> latencies, double q) {
+  if (latencies.empty()) return -1;
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(q * static_cast<double>(latencies.size()))));
+  const uint64_t lat = latencies[rank - 1];
+  const std::vector<uint64_t>& bounds = SloMonitor::LatencyBounds();
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), lat);
+  if (it == bounds.end()) return -2;
+  return static_cast<int64_t>(*it);
+}
+
+TEST(SloMonitorTest, PercentilesMatchExactQuantilesOnRandomWorkloads) {
+  // The property: for any workload that fits inside the window, every
+  // reported percentile equals the exact sort-based nearest-rank
+  // quantile of the recorded latencies (bucketized), and the violation
+  // counts are exact.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SloOptions opts;
+    opts.window_micros = 60e6;
+    opts.num_buckets = 60;
+    SloMonitor monitor(opts);
+    std::vector<uint64_t> latencies[kNumPriorityClasses];
+    uint64_t over[kNumPriorityClasses] = {};
+
+    const int n = 200 + static_cast<int>(rng.Below(800));
+    for (int i = 0; i < n; ++i) {
+      const int cls = static_cast<int>(rng.Below(kNumPriorityClasses));
+      // Log-uniform latencies spanning the whole bucket range (and past
+      // it into the overflow bucket).
+      const double exponent = 1.5 + static_cast<double>(rng.Below(8000)) / 1000;
+      const uint64_t latency = static_cast<uint64_t>(std::pow(10, exponent));
+      // All completions inside one window: no eviction in this test.
+      const double completion =
+          static_cast<double>(rng.Below(static_cast<uint64_t>(59e6)));
+      monitor.Record(static_cast<PriorityClass>(cls), completion,
+                     static_cast<double>(latency), /*query_id=*/i);
+      latencies[cls].push_back(latency);
+      if (latency > opts.latency_target_micros[cls]) ++over[cls];
+    }
+
+    const SloSnapshot snap = monitor.Snapshot();
+    EXPECT_EQ(snap.late_drops, 0u);
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+      const SloSnapshot::PerClass& pc = snap.classes[c];
+      ASSERT_EQ(pc.count, latencies[c].size()) << "seed " << seed;
+      EXPECT_EQ(pc.over_target, over[c]) << "seed " << seed;
+      EXPECT_EQ(pc.p50, ExactPercentile(latencies[c], 0.50))
+          << "seed " << seed << " class " << c;
+      EXPECT_EQ(pc.p95, ExactPercentile(latencies[c], 0.95))
+          << "seed " << seed << " class " << c;
+      EXPECT_EQ(pc.p99, ExactPercentile(latencies[c], 0.99))
+          << "seed " << seed << " class " << c;
+      if (pc.count > 0) {
+        const double expected_burn =
+            (static_cast<double>(over[c]) / static_cast<double>(pc.count)) /
+            (1.0 - opts.objective);
+        EXPECT_DOUBLE_EQ(pc.burn_rate, expected_burn);
+        EXPECT_EQ(pc.overloaded, expected_burn > 1.0);
+      }
+    }
+  }
+}
+
+TEST(SloMonitorTest, SnapshotIsRecordOrderInvariant) {
+  Rng rng(99);
+  struct Rec {
+    int cls;
+    double completion;
+    double latency;
+    uint64_t id;
+  };
+  std::vector<Rec> recs;
+  for (int i = 0; i < 500; ++i) {
+    recs.push_back({static_cast<int>(rng.Below(3)),
+                    static_cast<double>(rng.Below(55'000'000)),
+                    static_cast<double>(rng.Below(20'000'000)),
+                    static_cast<uint64_t>(i)});
+  }
+  SloMonitor forward, backward;
+  for (const Rec& r : recs) {
+    forward.Record(static_cast<PriorityClass>(r.cls), r.completion, r.latency,
+                   r.id);
+  }
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+    backward.Record(static_cast<PriorityClass>(it->cls), it->completion,
+                    it->latency, it->id);
+  }
+  EXPECT_EQ(forward.Snapshot().ToText(), backward.Snapshot().ToText());
+}
+
+TEST(SloMonitorTest, WindowEvictsOldBuckets) {
+  SloOptions opts;
+  opts.window_micros = 60e6;
+  opts.num_buckets = 60;
+  SloMonitor monitor(opts);
+  monitor.Record(PriorityClass::kInteractive, /*completion=*/1e6,
+                 /*latency=*/1000, /*query_id=*/1);
+  EXPECT_EQ(monitor.Snapshot().classes[0].count, 1u);
+  // A completion two windows later reclaims the whole ring: the old
+  // record is no longer live at the new high-water snapshot.
+  monitor.Record(PriorityClass::kInteractive, /*completion=*/121e6,
+                 /*latency=*/2000, /*query_id=*/2);
+  const SloSnapshot snap = monitor.Snapshot();
+  EXPECT_EQ(snap.classes[0].count, 1u);
+  ASSERT_EQ(snap.classes[0].exemplars.size(), 1u);
+  EXPECT_EQ(snap.classes[0].exemplars[0].query_id, 2u);
+  EXPECT_EQ(snap.late_drops, 0u);
+}
+
+TEST(SloMonitorTest, StragglerOlderThanTheRingIsALateDrop) {
+  SloOptions opts;
+  opts.window_micros = 60e6;
+  opts.num_buckets = 60;
+  SloMonitor monitor(opts);
+  // Index 61 claims slot 1; the straggler's index 1 maps to the same
+  // slot but is older than the ring — counted, never mixed in.
+  monitor.Record(PriorityClass::kBatch, /*completion=*/61.5e6,
+                 /*latency=*/1000, /*query_id=*/1);
+  monitor.Record(PriorityClass::kBatch, /*completion=*/1.5e6,
+                 /*latency=*/1000, /*query_id=*/2);
+  EXPECT_EQ(monitor.late_drops(), 1u);
+  EXPECT_EQ(monitor.Snapshot().classes[1].count, 1u);
+}
+
+TEST(SloMonitorTest, SlotReuseResetsForTheNewIndex) {
+  SloOptions opts;
+  opts.window_micros = 60e6;
+  opts.num_buckets = 60;  // bucket width 1e6
+  SloMonitor monitor(opts);
+  // Index 2, then index 62: same slot (2 % 60), newer index wins.
+  monitor.Record(PriorityClass::kInteractive, 2.5e6, 100, 1);
+  monitor.Record(PriorityClass::kInteractive, 62.5e6, 200, 2);
+  const SloSnapshot snap = monitor.Snapshot();
+  EXPECT_EQ(snap.classes[0].count, 1u);
+  ASSERT_EQ(snap.classes[0].exemplars.size(), 1u);
+  EXPECT_EQ(snap.classes[0].exemplars[0].query_id, 2u);
+}
+
+TEST(SloMonitorTest, ExemplarsAreSlowestFirstAndTruncated) {
+  SloOptions opts;
+  opts.max_exemplars = 2;
+  SloMonitor monitor(opts);
+  monitor.Record(PriorityClass::kInteractive, 1e6, 100, 10);
+  monitor.Record(PriorityClass::kInteractive, 2e6, 300, 11);
+  monitor.Record(PriorityClass::kInteractive, 3e6, 200, 12);
+  monitor.Record(PriorityClass::kInteractive, 4e6, 300, 9);
+  const SloSnapshot snap = monitor.Snapshot();
+  ASSERT_EQ(snap.classes[0].exemplars.size(), 2u);
+  // (latency desc, id asc): the two 300s, lower id first.
+  EXPECT_EQ(snap.classes[0].exemplars[0].query_id, 9u);
+  EXPECT_EQ(snap.classes[0].exemplars[1].query_id, 11u);
+}
+
+TEST(SloMonitorTest, ToTextGoldenForEmptyMonitor) {
+  SloMonitor monitor;
+  EXPECT_EQ(monitor.Snapshot().ToText(),
+            "slo window=60000000.000 objective=0.99 late_drops=0\n"
+            "class            count   over        p50        p95        p99 "
+            "  burn state\n"
+            "interactive          0      0          -          -          - "
+            "  0.00 ok\n"
+            "batch                0      0          -          -          - "
+            "  0.00 ok\n"
+            "best-effort          0      0          -          -          - "
+            "  0.00 ok\n");
+}
+
+TEST(SloMonitorTest, OptionsValidate) {
+  SloOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.window_micros = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.window_micros = 60e6;
+  opts.num_buckets = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.num_buckets = 5000;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.num_buckets = 60;
+  opts.objective = 1.0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.objective = 0.99;
+  opts.latency_target_micros[1] = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+  opts.latency_target_micros[1] = 10;
+  opts.max_exemplars = 65;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+// -- StatszText worker-count invariance --------------------------------------
+
+class StatszFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::MvqaOptions opts;
+    opts.world.num_scenes = 120;
+    opts.world.seed = 77;
+    dataset_ = new data::MvqaDataset(data::MvqaGenerator(opts).Generate());
+    embeddings_ = new text::EmbeddingModel(text::SynonymLexicon::Default());
+    // Cross-request shared state off, so per-request virtual time is a
+    // pure function of the query no matter which worker ran it.
+    SnapshotStoreOptions store_opts;
+    store_opts.enable_cache = false;
+    store_opts.executor.memoize_similarity = false;
+    store_opts.executor.matcher.memoize_similarity = false;
+    store_ = new GraphSnapshotStore(embeddings_, store_opts);
+    store_->Publish(dataset_->perfect_merged);
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete embeddings_;
+    delete dataset_;
+    store_ = nullptr;
+    embeddings_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static std::string RunAndDump(std::size_t workers) {
+    ServerOptions options;
+    options.mode = ServeMode::kSimulated;
+    options.num_workers = workers;
+    SvqaServer server(store_, options);
+    EXPECT_TRUE(server.Start().ok());
+    const std::size_t n = std::min<std::size_t>(
+        24, dataset_->questions.size());
+    RequestOptions req;
+    for (std::size_t i = 0; i < n; ++i) {
+      req.priority = static_cast<PriorityClass>(i % kNumPriorityClasses);
+      // Spaced arrivals: queue waits differ per worker count, but
+      // completion = arrival + latency stays on the virtual timeline.
+      req.arrival_micros = static_cast<double>(i) * 10e6;
+      server.Submit(dataset_->questions[i].gold_graph, req);
+    }
+    server.RunSimulated();
+    std::string text = server.StatszText();
+    server.Shutdown();
+    return text;
+  }
+
+  static data::MvqaDataset* dataset_;
+  static text::EmbeddingModel* embeddings_;
+  static GraphSnapshotStore* store_;
+};
+
+data::MvqaDataset* StatszFixture::dataset_ = nullptr;
+text::EmbeddingModel* StatszFixture::embeddings_ = nullptr;
+GraphSnapshotStore* StatszFixture::store_ = nullptr;
+
+TEST_F(StatszFixture, StatszIsByteIdenticalAcrossWorkerCounts) {
+  const std::string one = RunAndDump(1);
+  const std::string two = RunAndDump(2);
+  const std::string eight = RunAndDump(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // Sanity: the dashboard actually contains the SLO section with the
+  // recorded traffic, not an empty stub.
+  EXPECT_NE(one.find("== svqa statsz =="), std::string::npos);
+  EXPECT_NE(one.find("slo window="), std::string::npos);
+  EXPECT_NE(one.find("interactive"), std::string::npos);
+}
+
+TEST_F(StatszFixture, SloStatusSeesDispatchedRequests) {
+  ServerOptions options;
+  options.mode = ServeMode::kSimulated;
+  SvqaServer server(store_, options);
+  ASSERT_TRUE(server.Start().ok());
+  RequestOptions req;
+  req.arrival_micros = 0;
+  server.Submit(dataset_->questions[0].gold_graph, req);
+  server.RunSimulated();
+  const SloSnapshot snap = server.SloStatus();
+  EXPECT_EQ(snap.classes[0].count, 1u);
+  ASSERT_EQ(snap.classes[0].exemplars.size(), 1u);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace svqa::serve

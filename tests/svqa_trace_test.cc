@@ -1,0 +1,258 @@
+// Self-tests for tools/svqa_trace: Chrome-trace and flight-recorder
+// parsing, parent reconstruction by interval containment, per-name
+// aggregation, critical paths, the trace diff gate, and CLI exit codes.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svqa_trace/svqa_trace.h"
+
+namespace svqa_trace {
+namespace {
+
+const char kChrome[] =
+    "[\n"
+    "{\"name\": \"exec.attempt\", \"ph\": \"X\", \"pid\": 0, \"tid\": 7, "
+    "\"ts\": 0.000, \"dur\": 900.000, \"args\": {\"id\": 1, \"parent\": "
+    "0}},\n"
+    "{\"name\": \"exec.vertex\", \"ph\": \"X\", \"pid\": 0, \"tid\": 7, "
+    "\"ts\": 10.000, \"dur\": 500.000, \"args\": {\"id\": 2, \"parent\": "
+    "1}},\n"
+    "{\"name\": \"exec.match\", \"ph\": \"X\", \"pid\": 0, \"tid\": 7, "
+    "\"ts\": 20.000, \"dur\": 300.000, \"args\": {\"id\": 3, \"parent\": "
+    "2}},\n"
+    "{\"name\": \"exec.attempt\", \"ph\": \"X\", \"pid\": 0, \"tid\": 9, "
+    "\"ts\": 0.000, \"dur\": 1200.000, \"args\": {\"id\": 1, \"parent\": "
+    "0}}\n"
+    "]\n";
+
+// The same two queries as ring-ordered flight records (children close
+// first, no explicit parentage).
+const char kFlight[] =
+    "flight recorder: 2 lane(s) x 4 record(s)\n"
+    "lane 0 (3 live, 3 total):\n"
+    "  q7 exec.match start=20.000 dur=300.000\n"
+    "  q7 exec.vertex start=10.000 dur=500.000\n"
+    "  q7 exec.attempt start=0.000 dur=900.000\n"
+    "lane 1 (1 live, 1 total):\n"
+    "  q9 exec.attempt start=0.000 dur=1200.000\n";
+
+std::vector<TraceEvent> MustParse(const std::string& content) {
+  std::vector<TraceEvent> events;
+  std::string error;
+  EXPECT_TRUE(ParseTrace(content, &events, &error)) << error;
+  return events;
+}
+
+std::string WriteTemp(const std::string& filename,
+                      const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/svqa_trace_" + filename;
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+  return path;
+}
+
+TEST(ParseTraceTest, ChromeEventsKeepExplicitParentage) {
+  std::vector<TraceEvent> events = MustParse(kChrome);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].tid, 7u);
+  EXPECT_EQ(events[1].parent, 1u);
+  EXPECT_EQ(events[2].parent, 2u);
+  EXPECT_EQ(events[3].tid, 9u);
+}
+
+TEST(ParseTraceTest, FlightReconstructionMatchesChrome) {
+  // Both encodings of the same execution must aggregate identically —
+  // containment reconstruction recovers the span tree the ring lost.
+  const std::vector<NameStats> chrome = Aggregate(MustParse(kChrome));
+  const std::vector<NameStats> flight = Aggregate(MustParse(kFlight));
+  ASSERT_EQ(chrome.size(), flight.size());
+  for (std::size_t i = 0; i < chrome.size(); ++i) {
+    EXPECT_EQ(chrome[i].name, flight[i].name);
+    EXPECT_EQ(chrome[i].count, flight[i].count);
+    EXPECT_EQ(chrome[i].total_micros, flight[i].total_micros);
+    EXPECT_EQ(chrome[i].self_micros, flight[i].self_micros);
+    EXPECT_EQ(chrome[i].max_micros, flight[i].max_micros);
+  }
+}
+
+TEST(ParseTraceTest, NonEventPhasesAndUnknownKeysAreSkipped) {
+  std::vector<TraceEvent> events = MustParse(
+      "[{\"name\": \"meta\", \"ph\": \"M\", \"tid\": 1, \"extra\": [1, {}]},"
+      "{\"name\": \"x\", \"ph\": \"X\", \"tid\": 1, \"ts\": 0, \"dur\": 5,"
+      " \"args\": {\"id\": 1, \"parent\": 0, \"note\": \"hi\"}}]");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "x");
+}
+
+TEST(ParseTraceTest, MalformedInputsFail) {
+  std::vector<TraceEvent> events;
+  std::string error;
+  EXPECT_FALSE(ParseTrace("[{\"name\": \"x\"", &events, &error));
+  EXPECT_FALSE(ParseTrace("not a trace at all", &events, &error));
+  EXPECT_NE(error.find("flight recorder"), std::string::npos);
+  EXPECT_FALSE(ParseTrace("flight recorder: 1 lane(s) x 4 record(s)\n"
+                          "  qbroken\n",
+                          &events, &error));
+}
+
+TEST(ParseTraceTest, EscapedNamesRoundTrip) {
+  std::vector<TraceEvent> events = MustParse(
+      "[{\"name\": \"a \\\"b\\\"\\n\\u0041\", \"ph\": \"X\", \"tid\": 1, "
+      "\"ts\": 0, \"dur\": 1}]");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "a \"b\"\nA");
+}
+
+TEST(AggregateTest, SelfSubtractsDirectChildren) {
+  std::vector<NameStats> stats = Aggregate(MustParse(kChrome));
+  ASSERT_EQ(stats.size(), 3u);
+  // (total desc, name asc)
+  EXPECT_EQ(stats[0].name, "exec.attempt");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_EQ(stats[0].total_micros, 2100.0);
+  EXPECT_EQ(stats[0].self_micros, 1600.0);  // 900-500 + 1200
+  EXPECT_EQ(stats[0].max_micros, 1200.0);
+  EXPECT_EQ(stats[1].name, "exec.vertex");
+  EXPECT_EQ(stats[1].self_micros, 200.0);
+  EXPECT_EQ(stats[2].name, "exec.match");
+  EXPECT_EQ(stats[2].self_micros, 300.0);
+}
+
+TEST(ByThreadTest, OrdersBySummedRootDurations) {
+  std::vector<ThreadStats> threads = ByThread(MustParse(kChrome));
+  ASSERT_EQ(threads.size(), 2u);
+  EXPECT_EQ(threads[0].tid, 9u);
+  EXPECT_EQ(threads[0].root_micros, 1200.0);
+  EXPECT_EQ(threads[1].tid, 7u);
+  EXPECT_EQ(threads[1].root_micros, 900.0);
+  EXPECT_EQ(threads[1].spans, 3u);
+  EXPECT_EQ(threads[1].roots, 1u);
+}
+
+TEST(CriticalPathTest, DescendsIntoTheLongestChild) {
+  std::vector<PathStep> path = CriticalPath(MustParse(kFlight), 7);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0].name, "exec.attempt");
+  EXPECT_EQ(path[0].self, 400.0);
+  EXPECT_EQ(path[1].name, "exec.vertex");
+  EXPECT_EQ(path[2].name, "exec.match");
+  EXPECT_EQ(path[2].depth, 2);
+  EXPECT_TRUE(CriticalPath(MustParse(kFlight), 12345).empty());
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunTool(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, AggregateGoldenOutput) {
+  const std::string path = WriteTemp("agg.json", kChrome);
+  CliResult r = RunTool({"aggregate", path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out,
+            "trace: 4 span(s) across 2 thread(s)\n"
+            "name                      count          total           self  "
+            "          max\n"
+            "exec.attempt                  2       2100.000       1600.000  "
+            "     1200.000\n"
+            "exec.vertex                   1        500.000        200.000  "
+            "      500.000\n"
+            "exec.match                    1        300.000        300.000  "
+            "      300.000\n");
+}
+
+TEST(CliTest, AggregateRequireGatesOnMissingSpans) {
+  const std::string path = WriteTemp("req.json", kChrome);
+  EXPECT_EQ(RunTool({"aggregate", path, "--require", "exec.attempt"}).code, 0);
+  CliResult r = RunTool({"aggregate", path, "--require", "exec.bind"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("exec.bind"), std::string::npos);
+}
+
+TEST(CliTest, TopListsSlowestThreads) {
+  const std::string path = WriteTemp("top.txt", kFlight);
+  CliResult r = RunTool({"top", path, "--k", "1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out,
+            "top 1 of 2 thread(s) by root micros:\n"
+            "q9 total=1200.000 roots=1 spans=1\n");
+}
+
+TEST(CliTest, CriticalDefaultsToTheSlowestThread) {
+  const std::string path = WriteTemp("crit.json", kChrome);
+  CliResult r = RunTool({"critical", path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out,
+            "critical path tid=9 (1 steps, 1200.000 micros):\n"
+            "  exec.attempt start=0.000 dur=1200.000 self=1200.000\n");
+  CliResult q7 = RunTool({"critical", path, "--tid", "7"});
+  EXPECT_EQ(q7.code, 0);
+  EXPECT_EQ(q7.out,
+            "critical path tid=7 (3 steps, 900.000 micros):\n"
+            "  exec.attempt start=0.000 dur=900.000 self=400.000\n"
+            "    exec.vertex start=10.000 dur=500.000 self=200.000\n"
+            "      exec.match start=20.000 dur=300.000 self=300.000\n");
+}
+
+TEST(CliTest, DiffCleanWithinToleranceAcrossFormats) {
+  // The same execution in both encodings diffs clean.
+  const std::string a = WriteTemp("diff_a.json", kChrome);
+  const std::string b = WriteTemp("diff_b.txt", kFlight);
+  CliResult r = RunTool({"diff", a, b});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("diff: clean"), std::string::npos);
+}
+
+TEST(CliTest, DiffFlagsDriftBeyondTolerance) {
+  const std::string a = WriteTemp("drift_a.json", kChrome);
+  std::string changed = kChrome;
+  // Inflate one duration by ~2x: far past the 5% default tolerance.
+  const std::string::size_type pos = changed.find("\"dur\": 300.000");
+  ASSERT_NE(pos, std::string::npos);
+  changed.replace(pos, 14, "\"dur\": 600.000");
+  const std::string b = WriteTemp("drift_b.json", changed);
+  CliResult loose = RunTool({"diff", a, b, "--tolerance", "10.0"});
+  EXPECT_EQ(loose.code, 0);
+  CliResult strict = RunTool({"diff", a, b});
+  EXPECT_EQ(strict.code, 1);
+  EXPECT_NE(strict.out.find("drift exec.match total"), std::string::npos);
+}
+
+TEST(CliTest, DiffFlagsMissingNames) {
+  const std::string a = WriteTemp("miss_a.json", kChrome);
+  const std::string b = WriteTemp(
+      "miss_b.json",
+      "[{\"name\": \"exec.attempt\", \"ph\": \"X\", \"tid\": 7, \"ts\": 0, "
+      "\"dur\": 2100, \"args\": {\"id\": 1, \"parent\": 0}}]");
+  CliResult r = RunTool({"diff", a, b});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("only in " + a + ": exec.match"), std::string::npos);
+}
+
+TEST(CliTest, UsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(RunTool({}).code, 2);
+  EXPECT_EQ(RunTool({"frobnicate"}).code, 2);
+  EXPECT_EQ(RunTool({"aggregate"}).code, 2);
+  EXPECT_EQ(RunTool({"aggregate", "/nonexistent/trace.json"}).code, 2);
+  EXPECT_EQ(RunTool({"top", WriteTemp("bad.json", "[oops"), "--k", "3"}).code, 2);
+  EXPECT_EQ(RunTool({"diff", "x"}).code, 2);
+}
+
+}  // namespace
+}  // namespace svqa_trace

@@ -1,0 +1,201 @@
+// Unit tests for obs::TraceAnalysis: self/total attribution over the
+// span tree, deterministic tie-breaking, critical-path extraction, and
+// byte-stable text / JSON reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_analyzer.h"
+#include "util/sim_clock.h"
+
+namespace svqa::obs {
+namespace {
+
+// A small two-level trace: root [0, 10], children [1, 4] and [5, 9].
+void FillNestedTracer(Tracer& tracer) {
+  SimClock clock;
+  uint32_t root = tracer.BeginSpan("exec.attempt", clock);
+  clock.ChargeMicros(1.0);
+  uint32_t a = tracer.BeginSpan("exec.vertex", clock);
+  clock.ChargeMicros(3.0);
+  tracer.EndSpan(a, clock);
+  clock.ChargeMicros(1.0);
+  uint32_t b = tracer.BeginSpan("exec.vertex", clock);
+  clock.ChargeMicros(4.0);
+  tracer.EndSpan(b, clock);
+  clock.ChargeMicros(1.0);
+  tracer.EndSpan(root, clock);
+}
+
+TEST(TraceAnalysisTest, SelfAndTotalSplitCorrectly) {
+  Tracer tracer(/*query_id=*/11);
+  FillNestedTracer(tracer);
+  TraceAnalysis analysis = TraceAnalysis::Of(tracer);
+
+  EXPECT_EQ(analysis.query_id(), 11u);
+  EXPECT_EQ(analysis.num_spans(), 3u);
+  EXPECT_EQ(analysis.num_roots(), 1u);
+  EXPECT_EQ(analysis.total_micros(), 10.0);
+
+  ASSERT_EQ(analysis.by_name().size(), 2u);
+  // (total desc, name asc): the root's 10 beats the vertices' 7.
+  const SpanNameStats& attempt = analysis.by_name()[0];
+  EXPECT_EQ(attempt.name, "exec.attempt");
+  EXPECT_EQ(attempt.count, 1u);
+  EXPECT_EQ(attempt.total_micros, 10.0);
+  EXPECT_EQ(attempt.self_micros, 3.0);  // 10 - (3 + 4)
+  EXPECT_EQ(attempt.max_micros, 10.0);
+
+  const SpanNameStats& vertex = analysis.by_name()[1];
+  EXPECT_EQ(vertex.name, "exec.vertex");
+  EXPECT_EQ(vertex.count, 2u);
+  EXPECT_EQ(vertex.total_micros, 7.0);
+  EXPECT_EQ(vertex.self_micros, 7.0);  // leaves: self == total
+  EXPECT_EQ(vertex.max_micros, 4.0);
+}
+
+TEST(TraceAnalysisTest, CriticalPathDescendsIntoTheLongestChild) {
+  Tracer tracer(/*query_id=*/11);
+  FillNestedTracer(tracer);
+  TraceAnalysis analysis = TraceAnalysis::Of(tracer);
+
+  const std::vector<CriticalPathStep>& path = analysis.critical_path();
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].name, "exec.attempt");
+  EXPECT_EQ(path[0].depth, 0);
+  EXPECT_EQ(path[0].dur_micros, 10.0);
+  EXPECT_EQ(path[0].self_micros, 3.0);
+  // The 4-micro vertex dominates the 3-micro one.
+  EXPECT_EQ(path[1].name, "exec.vertex");
+  EXPECT_EQ(path[1].depth, 1);
+  EXPECT_EQ(path[1].start_micros, 5.0);
+  EXPECT_EQ(path[1].dur_micros, 4.0);
+}
+
+TEST(TraceAnalysisTest, EqualDurationsTieBreakOnStartThenId) {
+  // Two roots with identical durations: the earlier start wins; with
+  // identical starts too, the lower id wins.
+  std::vector<SpanRecord> spans;
+  SpanRecord a;
+  a.id = 1;
+  a.parent = 0;
+  a.name = "late";
+  a.start_micros = 5;
+  a.end_micros = 10;
+  SpanRecord b = a;
+  b.id = 2;
+  b.name = "early";
+  b.start_micros = 0;
+  b.end_micros = 5;
+  spans = {a, b};
+  TraceAnalysis analysis = TraceAnalysis::FromSpans(1, spans);
+  ASSERT_FALSE(analysis.critical_path().empty());
+  EXPECT_EQ(analysis.critical_path()[0].name, "early");
+
+  spans[1].start_micros = 5;  // now identical intervals: id 1 wins
+  spans[1].end_micros = 10;
+  analysis = TraceAnalysis::FromSpans(1, spans);
+  ASSERT_FALSE(analysis.critical_path().empty());
+  EXPECT_EQ(analysis.critical_path()[0].name, "late");
+}
+
+TEST(TraceAnalysisTest, EmptyTraceProducesEmptyReport) {
+  TraceAnalysis analysis = TraceAnalysis::FromSpans(3, {});
+  EXPECT_EQ(analysis.num_spans(), 0u);
+  EXPECT_EQ(analysis.total_micros(), 0.0);
+  EXPECT_TRUE(analysis.by_name().empty());
+  EXPECT_TRUE(analysis.critical_path().empty());
+  EXPECT_EQ(analysis.ToText(),
+            "trace analysis query=3 spans=0 roots=0 total=0.000\n"
+            "name                      count          total           self  "
+            "          max\n"
+            "critical path: (none)\n");
+}
+
+TEST(TraceAnalysisTest, ToTextIsByteStable) {
+  Tracer tracer(/*query_id=*/11);
+  FillNestedTracer(tracer);
+  TraceAnalysis analysis = TraceAnalysis::Of(tracer);
+  const std::string expected =
+      "trace analysis query=11 spans=3 roots=1 total=10.000\n"
+      "name                      count          total           self        "
+      "    max\n"
+      "exec.attempt                  1         10.000          3.000        "
+      " 10.000\n"
+      "exec.vertex                   2          7.000          7.000        "
+      "  4.000\n"
+      "critical path (2 steps, 10.000 micros):\n"
+      "  exec.attempt start=0.000 dur=10.000 self=3.000\n"
+      "    exec.vertex start=5.000 dur=4.000 self=4.000\n";
+  EXPECT_EQ(analysis.ToText(), expected);
+  // Re-analysis of the same spans renders the same bytes.
+  EXPECT_EQ(TraceAnalysis::Of(tracer).ToText(), expected);
+}
+
+TEST(TraceAnalysisTest, ToJsonIsByteStable) {
+  Tracer tracer(/*query_id=*/11);
+  FillNestedTracer(tracer);
+  const std::string expected =
+      "{\n"
+      "  \"query_id\": 11,\n"
+      "  \"spans\": 3,\n"
+      "  \"roots\": 1,\n"
+      "  \"total_micros\": 10.000,\n"
+      "  \"by_name\": [\n"
+      "    {\"name\": \"exec.attempt\", \"count\": 1, \"total_micros\": "
+      "10.000, \"self_micros\": 3.000, \"max_micros\": 10.000},\n"
+      "    {\"name\": \"exec.vertex\", \"count\": 2, \"total_micros\": "
+      "7.000, \"self_micros\": 7.000, \"max_micros\": 4.000}\n"
+      "  ],\n"
+      "  \"critical_path\": [\n"
+      "    {\"name\": \"exec.attempt\", \"depth\": 0, \"start_micros\": "
+      "0.000, \"dur_micros\": 10.000, \"self_micros\": 3.000},\n"
+      "    {\"name\": \"exec.vertex\", \"depth\": 1, \"start_micros\": "
+      "5.000, \"dur_micros\": 4.000, \"self_micros\": 4.000}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(TraceAnalysis::Of(tracer).ToJson(), expected);
+}
+
+TEST(TraceAnalysisTest, AnalysisNeverChargesTheClock) {
+  SimClock clock;
+  Tracer tracer(5);
+  uint32_t id = tracer.BeginSpan("exec.attempt", clock);
+  clock.ChargeMicros(2.0);
+  tracer.EndSpan(id, clock);
+  const double before = clock.ElapsedMicros();
+  TraceAnalysis analysis = TraceAnalysis::Of(tracer);
+  (void)analysis.ToText();
+  (void)analysis.ToJson();
+  EXPECT_EQ(clock.ElapsedMicros(), before);
+}
+
+TEST(TraceAnalysisTest, MultipleRootsSumIntoTotal) {
+  // serve.queue_wait at [-50, 0] plus the execution root: two roots,
+  // total = both durations, critical path starts at the longer one.
+  std::vector<SpanRecord> spans;
+  SpanRecord wait;
+  wait.id = 1;
+  wait.parent = 0;
+  wait.name = "serve.queue_wait";
+  wait.start_micros = -50;
+  wait.end_micros = 0;
+  SpanRecord attempt;
+  attempt.id = 2;
+  attempt.parent = 0;
+  attempt.name = "exec.attempt";
+  attempt.start_micros = 0;
+  attempt.end_micros = 30;
+  spans = {wait, attempt};
+  TraceAnalysis analysis = TraceAnalysis::FromSpans(9, spans);
+  EXPECT_EQ(analysis.num_roots(), 2u);
+  EXPECT_EQ(analysis.total_micros(), 80.0);
+  ASSERT_FALSE(analysis.critical_path().empty());
+  EXPECT_EQ(analysis.critical_path()[0].name, "serve.queue_wait");
+}
+
+}  // namespace
+}  // namespace svqa::obs

@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "svqa_trace/svqa_trace.h"
+
+int main(int argc, char** argv) {
+  return svqa_trace::RunCli(std::vector<std::string>(argv + 1, argv + argc),
+                            std::cout, std::cerr);
+}

@@ -1,0 +1,798 @@
+#include "svqa_trace/svqa_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace svqa_trace {
+namespace {
+
+// Matches obs::FormatMicros byte for byte (reimplemented: stdlib-only).
+std::string FormatMicros(double v) {
+  if (v == 0) v = 0;  // never render "-0.000"
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace JSON parsing. A deliberately small recursive-descent
+// parser: we only need `ph == "X"` complete events with name / tid /
+// ts / dur and the optional args.id / args.parent the Tracer emits.
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+};
+
+void SkipWs(Cursor& c) {
+  while (c.i < c.s.size() &&
+         (c.s[c.i] == ' ' || c.s[c.i] == '\t' || c.s[c.i] == '\n' ||
+          c.s[c.i] == '\r')) {
+    ++c.i;
+  }
+}
+
+bool Fail(std::string* error, const std::string& msg) {
+  *error = msg;
+  return false;
+}
+
+bool ParseStringToken(Cursor& c, std::string* out, std::string* error) {
+  SkipWs(c);
+  if (c.i >= c.s.size() || c.s[c.i] != '"') {
+    return Fail(error, "expected string");
+  }
+  ++c.i;
+  out->clear();
+  while (c.i < c.s.size()) {
+    char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    if (c.i >= c.s.size()) break;
+    char esc = c.s[c.i++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (c.i + 4 > c.s.size()) return Fail(error, "truncated \\u escape");
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = c.s[c.i++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return Fail(error, "bad \\u escape");
+        }
+        // Span names are ASCII; anything beyond basic latin degrades to '?'.
+        out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+        break;
+      }
+      default:
+        return Fail(error, "bad escape in string");
+    }
+  }
+  return Fail(error, "unterminated string");
+}
+
+bool ParseNumberToken(Cursor& c, double* out, std::string* error) {
+  SkipWs(c);
+  const char* begin = c.s.c_str() + c.i;
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  if (end == begin) return Fail(error, "expected number");
+  c.i += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+bool SkipValue(Cursor& c, std::string* error);
+
+bool SkipMembers(Cursor& c, char close, std::string* error) {
+  // Past the opening brace/bracket; consumes members through `close`.
+  SkipWs(c);
+  if (c.i < c.s.size() && c.s[c.i] == close) {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    if (close == '}') {
+      std::string key;
+      if (!ParseStringToken(c, &key, error)) return false;
+      SkipWs(c);
+      if (c.i >= c.s.size() || c.s[c.i] != ':') {
+        return Fail(error, "expected ':'");
+      }
+      ++c.i;
+    }
+    if (!SkipValue(c, error)) return false;
+    SkipWs(c);
+    if (c.i >= c.s.size()) return Fail(error, "unterminated container");
+    if (c.s[c.i] == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.s[c.i] == close) {
+      ++c.i;
+      return true;
+    }
+    return Fail(error, "expected ',' or container close");
+  }
+}
+
+bool SkipValue(Cursor& c, std::string* error) {
+  SkipWs(c);
+  if (c.i >= c.s.size()) return Fail(error, "unexpected end of input");
+  char ch = c.s[c.i];
+  if (ch == '"') {
+    std::string scratch;
+    return ParseStringToken(c, &scratch, error);
+  }
+  if (ch == '{') {
+    ++c.i;
+    return SkipMembers(c, '}', error);
+  }
+  if (ch == '[') {
+    ++c.i;
+    return SkipMembers(c, ']', error);
+  }
+  if (c.s.compare(c.i, 4, "true") == 0) { c.i += 4; return true; }
+  if (c.s.compare(c.i, 5, "false") == 0) { c.i += 5; return true; }
+  if (c.s.compare(c.i, 4, "null") == 0) { c.i += 4; return true; }
+  double scratch = 0;
+  return ParseNumberToken(c, &scratch, error);
+}
+
+bool ParseArgsObject(Cursor& c, TraceEvent* ev, std::string* error) {
+  SkipWs(c);
+  if (c.i >= c.s.size() || c.s[c.i] != '{') {
+    return Fail(error, "expected args object");
+  }
+  ++c.i;
+  SkipWs(c);
+  if (c.i < c.s.size() && c.s[c.i] == '}') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!ParseStringToken(c, &key, error)) return false;
+    SkipWs(c);
+    if (c.i >= c.s.size() || c.s[c.i] != ':') return Fail(error, "expected ':'");
+    ++c.i;
+    if (key == "id" || key == "parent") {
+      double v = 0;
+      if (!ParseNumberToken(c, &v, error)) return false;
+      if (key == "id") ev->id = static_cast<uint32_t>(v);
+      else ev->parent = static_cast<uint32_t>(v);
+    } else if (!SkipValue(c, error)) {
+      return false;
+    }
+    SkipWs(c);
+    if (c.i >= c.s.size()) return Fail(error, "unterminated args object");
+    if (c.s[c.i] == ',') { ++c.i; continue; }
+    if (c.s[c.i] == '}') { ++c.i; return true; }
+    return Fail(error, "expected ',' or '}' in args object");
+  }
+}
+
+bool ParseEventObject(Cursor& c, TraceEvent* ev, bool* is_complete,
+                      std::string* error) {
+  SkipWs(c);
+  if (c.i >= c.s.size() || c.s[c.i] != '{') {
+    return Fail(error, "expected event object");
+  }
+  ++c.i;
+  *is_complete = true;  // an event without "ph" still counts
+  SkipWs(c);
+  if (c.i < c.s.size() && c.s[c.i] == '}') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!ParseStringToken(c, &key, error)) return false;
+    SkipWs(c);
+    if (c.i >= c.s.size() || c.s[c.i] != ':') return Fail(error, "expected ':'");
+    ++c.i;
+    if (key == "name") {
+      if (!ParseStringToken(c, &ev->name, error)) return false;
+    } else if (key == "ph") {
+      std::string ph;
+      if (!ParseStringToken(c, &ph, error)) return false;
+      *is_complete = ph == "X";
+    } else if (key == "tid") {
+      double v = 0;
+      if (!ParseNumberToken(c, &v, error)) return false;
+      ev->tid = static_cast<uint64_t>(v);
+    } else if (key == "ts") {
+      if (!ParseNumberToken(c, &ev->ts, error)) return false;
+    } else if (key == "dur") {
+      if (!ParseNumberToken(c, &ev->dur, error)) return false;
+    } else if (key == "args") {
+      if (!ParseArgsObject(c, ev, error)) return false;
+    } else if (!SkipValue(c, error)) {
+      return false;
+    }
+    SkipWs(c);
+    if (c.i >= c.s.size()) return Fail(error, "unterminated event object");
+    if (c.s[c.i] == ',') { ++c.i; continue; }
+    if (c.s[c.i] == '}') { ++c.i; return true; }
+    return Fail(error, "expected ',' or '}' in event object");
+  }
+}
+
+bool ParseChromeTrace(const std::string& content,
+                      std::vector<TraceEvent>* out, std::string* error) {
+  Cursor c{content};
+  SkipWs(c);
+  if (c.i >= c.s.size() || c.s[c.i] != '[') {
+    return Fail(error, "expected '[' at start of Chrome trace");
+  }
+  ++c.i;
+  SkipWs(c);
+  if (c.i < c.s.size() && c.s[c.i] == ']') {
+    ++c.i;
+    return true;
+  }
+  for (;;) {
+    TraceEvent ev;
+    bool complete = false;
+    if (!ParseEventObject(c, &ev, &complete, error)) return false;
+    if (complete) out->push_back(std::move(ev));
+    SkipWs(c);
+    if (c.i >= c.s.size()) return Fail(error, "unterminated event array");
+    if (c.s[c.i] == ',') { ++c.i; continue; }
+    if (c.s[c.i] == ']') { ++c.i; return true; }
+    return Fail(error, "expected ',' or ']' in event array");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder dump parsing. Record lines look like
+//   `  q7 exec.attempt start=0.000 dur=912.500`
+// under `flight recorder:` / `lane N (...)` headers.
+
+bool ParseFlightLine(const std::string& line, TraceEvent* ev) {
+  std::size_t p = 3;  // past "  q"
+  std::size_t digits = 0;
+  uint64_t tid = 0;
+  while (p < line.size() && line[p] >= '0' && line[p] <= '9') {
+    tid = tid * 10 + static_cast<uint64_t>(line[p] - '0');
+    ++p;
+    ++digits;
+  }
+  if (digits == 0 || p >= line.size() || line[p] != ' ') return false;
+  ++p;
+  std::size_t name_end = line.find(" start=", p);
+  if (name_end == std::string::npos || name_end == p) return false;
+  ev->tid = tid;
+  ev->name = line.substr(p, name_end - p);
+  const char* cur = line.c_str() + name_end + 7;  // past " start="
+  char* end = nullptr;
+  ev->ts = std::strtod(cur, &end);
+  if (end == cur) return false;
+  if (std::string(end).rfind(" dur=", 0) != 0) return false;
+  cur = end + 5;
+  ev->dur = std::strtod(cur, &end);
+  return end != cur;
+}
+
+bool ParseFlightDump(const std::string& content,
+                     std::vector<TraceEvent>* out, std::string* error) {
+  std::istringstream in(content);
+  std::string line;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind("flight recorder:", 0) == 0) {
+      saw_header = true;
+      continue;
+    }
+    if (line.rfind("lane ", 0) == 0) continue;
+    if (line.rfind("  q", 0) == 0) {
+      TraceEvent ev;
+      if (!ParseFlightLine(line, &ev)) {
+        return Fail(error, "malformed record at line " +
+                               std::to_string(line_no) + ": " + line);
+      }
+      out->push_back(std::move(ev));
+      continue;
+    }
+    if (!saw_header) break;  // not a flight dump at all — clearer error below
+    return Fail(error, "unrecognized line " + std::to_string(line_no) +
+                           " (expected a flight-recorder dump): " + line);
+  }
+  if (!saw_header) {
+    return Fail(error,
+                "not a trace artifact (expected Chrome-trace JSON or a "
+                "'flight recorder:' dump header)");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parent normalization.
+
+// Ring lanes append on span *close*, so children precede parents and
+// records from many queries interleave; re-derive nesting per tid from
+// interval containment. Sort (start asc, dur desc, input order) puts
+// every enclosing span before its children; a stack of still-open
+// intervals then yields each span's innermost enclosure.
+void ReconstructParents(std::vector<TraceEvent*>& group) {
+  std::stable_sort(group.begin(), group.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->ts != b->ts) return a->ts < b->ts;
+                     return a->dur > b->dur;
+                   });
+  constexpr double kEps = 1e-9;
+  struct Open {
+    double end;
+    uint32_t id;
+  };
+  std::vector<Open> stack;
+  uint32_t next_id = 1;
+  for (TraceEvent* ev : group) {
+    while (!stack.empty() && stack.back().end <= ev->ts + kEps) {
+      stack.pop_back();
+    }
+    ev->id = next_id++;
+    ev->parent = stack.empty() ? 0 : stack.back().id;
+    stack.push_back({ev->ts + ev->dur, ev->id});
+  }
+}
+
+void NormalizeParents(std::vector<TraceEvent>* events) {
+  std::map<uint64_t, std::vector<TraceEvent*>> by_tid;
+  for (TraceEvent& ev : *events) by_tid[ev.tid].push_back(&ev);
+  for (auto& [tid, group] : by_tid) {
+    (void)tid;
+    bool ids_ok = true;
+    std::set<uint32_t> seen;
+    for (const TraceEvent* ev : group) {
+      if (ev->id == 0 || !seen.insert(ev->id).second) {
+        ids_ok = false;
+        break;
+      }
+    }
+    if (!ids_ok) ReconstructParents(group);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis over normalized events.
+
+struct Node {
+  const TraceEvent* ev = nullptr;
+  double child_micros = 0;
+  std::vector<std::size_t> children;  // indices into the tid group
+};
+
+// (dur desc, ts asc, id asc) — the obs::TraceAnalysis dominance order.
+bool Dominates(const TraceEvent& a, const TraceEvent& b) {
+  if (a.dur != b.dur) return a.dur > b.dur;
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.id < b.id;
+}
+
+// Builds the span forest of one tid: nodes in input order, children
+// resolved through (id -> index); a parent id that is absent (evicted
+// from the ring) degrades that span to a root.
+std::vector<Node> BuildForest(const std::vector<const TraceEvent*>& group,
+                              std::vector<std::size_t>* roots) {
+  std::unordered_map<uint32_t, std::size_t> index;
+  index.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) index[group[i]->id] = i;
+  std::vector<Node> nodes(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) nodes[i].ev = group[i];
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const TraceEvent* ev = group[i];
+    auto it = ev->parent != 0 ? index.find(ev->parent) : index.end();
+    if (it != index.end() && it->second != i) {
+      nodes[it->second].children.push_back(i);
+      nodes[it->second].child_micros += ev->dur;
+    } else {
+      roots->push_back(i);
+    }
+  }
+  return nodes;
+}
+
+std::map<uint64_t, std::vector<const TraceEvent*>> GroupByTid(
+    const std::vector<TraceEvent>& events) {
+  std::map<uint64_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& ev : events) by_tid[ev.tid].push_back(&ev);
+  return by_tid;
+}
+
+// ---------------------------------------------------------------------------
+// CLI helpers.
+
+void PrintUsage(std::ostream& err) {
+  err << "usage: svqa_trace <command> [args]\n"
+      << "  aggregate FILE [--require NAME ...]   per-span-name totals\n"
+      << "  top FILE [--k N]                      slowest queries\n"
+      << "  critical FILE [--tid N]               one query's critical path\n"
+      << "  diff A B [--tolerance F]              per-name drift gate\n";
+}
+
+bool LoadTrace(const std::string& path, std::vector<TraceEvent>* events,
+               std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "svqa_trace: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!ParseTrace(buf.str(), events, &error)) {
+    err << "svqa_trace: " << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+void PrintAggregate(const std::vector<TraceEvent>& events,
+                    const std::vector<NameStats>& stats, std::ostream& out) {
+  out << "trace: " << events.size() << " span(s) across "
+      << GroupByTid(events).size() << " thread(s)\n";
+  if (stats.empty()) return;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-24s %6s %14s %14s %14s\n", "name",
+                "count", "total", "self", "max");
+  out << line;
+  for (const NameStats& s : stats) {
+    std::snprintf(line, sizeof(line), "%-24s %6llu %14s %14s %14s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  FormatMicros(s.total_micros).c_str(),
+                  FormatMicros(s.self_micros).c_str(),
+                  FormatMicros(s.max_micros).c_str());
+    out << line;
+  }
+}
+
+int CmdAggregate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  std::vector<std::string> required;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--require" && i + 1 < args.size()) {
+      required.push_back(args[++i]);
+    } else {
+      err << "svqa_trace: unexpected argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  std::vector<TraceEvent> events;
+  if (!LoadTrace(args[0], &events, err)) return 2;
+  std::vector<NameStats> stats = Aggregate(events);
+  PrintAggregate(events, stats, out);
+  int missing = 0;
+  for (const std::string& name : required) {
+    bool found = false;
+    for (const NameStats& s : stats) {
+      if (s.name == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      err << "svqa_trace: missing required span name: " << name << "\n";
+      ++missing;
+    }
+  }
+  return missing > 0 ? 1 : 0;
+}
+
+int CmdTop(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  std::size_t k = 10;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--k" && i + 1 < args.size()) {
+      char* end = nullptr;
+      k = static_cast<std::size_t>(std::strtoull(args[++i].c_str(), &end, 10));
+      if (end == args[i].c_str() || *end != '\0' || k == 0) {
+        err << "svqa_trace: --k wants a positive integer\n";
+        return 2;
+      }
+    } else {
+      err << "svqa_trace: unexpected argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  std::vector<TraceEvent> events;
+  if (!LoadTrace(args[0], &events, err)) return 2;
+  std::vector<ThreadStats> threads = ByThread(events);
+  const std::size_t shown = std::min(k, threads.size());
+  out << "top " << shown << " of " << threads.size()
+      << " thread(s) by root micros:\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ThreadStats& t = threads[i];
+    out << "q" << t.tid << " total=" << FormatMicros(t.root_micros)
+        << " roots=" << t.roots << " spans=" << t.spans << "\n";
+  }
+  return 0;
+}
+
+int CmdCritical(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  bool have_tid = false;
+  uint64_t tid = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--tid" && i + 1 < args.size()) {
+      char* end = nullptr;
+      tid = std::strtoull(args[++i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0') {
+        err << "svqa_trace: --tid wants an integer\n";
+        return 2;
+      }
+      have_tid = true;
+    } else {
+      err << "svqa_trace: unexpected argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  std::vector<TraceEvent> events;
+  if (!LoadTrace(args[0], &events, err)) return 2;
+  if (!have_tid) {
+    std::vector<ThreadStats> threads = ByThread(events);
+    if (threads.empty()) {
+      err << "svqa_trace: trace is empty\n";
+      return 1;
+    }
+    tid = threads[0].tid;
+  }
+  std::vector<PathStep> path = CriticalPath(events, tid);
+  if (path.empty()) {
+    err << "svqa_trace: no spans for tid " << tid << "\n";
+    return 1;
+  }
+  out << "critical path tid=" << tid << " (" << path.size() << " steps, "
+      << FormatMicros(path.front().dur) << " micros):\n";
+  for (const PathStep& step : path) {
+    out << std::string(static_cast<std::size_t>(step.depth + 1) * 2, ' ')
+        << step.name << " start=" << FormatMicros(step.ts)
+        << " dur=" << FormatMicros(step.dur)
+        << " self=" << FormatMicros(step.self) << "\n";
+  }
+  return 0;
+}
+
+int CmdDiff(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.size() < 2) {
+    PrintUsage(err);
+    return 2;
+  }
+  double tolerance = 0.05;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      char* end = nullptr;
+      tolerance = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || *end != '\0' || !(tolerance >= 0) ||
+          !std::isfinite(tolerance)) {
+        err << "svqa_trace: --tolerance wants a non-negative number\n";
+        return 2;
+      }
+    } else {
+      err << "svqa_trace: unexpected argument '" << args[i] << "'\n";
+      return 2;
+    }
+  }
+  std::vector<TraceEvent> a_events, b_events;
+  if (!LoadTrace(args[0], &a_events, err)) return 2;
+  if (!LoadTrace(args[1], &b_events, err)) return 2;
+  std::map<std::string, NameStats> a_stats, b_stats;
+  for (NameStats& s : Aggregate(a_events)) a_stats[s.name] = std::move(s);
+  for (NameStats& s : Aggregate(b_events)) b_stats[s.name] = std::move(s);
+
+  std::set<std::string> names;
+  for (const auto& [name, s] : a_stats) { (void)s; names.insert(name); }
+  for (const auto& [name, s] : b_stats) { (void)s; names.insert(name); }
+
+  char tol[32];
+  std::snprintf(tol, sizeof(tol), "%.3f", tolerance);
+  out << "diff " << args[0] << " " << args[1] << " tolerance=" << tol << "\n";
+  int findings = 0;
+  // Relative drift against the first file (the baseline); the max(1)
+  // floor keeps near-zero spans from tripping the gate on noise.
+  const auto drift = [](double base, double fresh) {
+    return std::fabs(fresh - base) / std::max(std::fabs(base), 1.0);
+  };
+  for (const std::string& name : names) {
+    auto a_it = a_stats.find(name);
+    auto b_it = b_stats.find(name);
+    if (a_it == a_stats.end()) {
+      out << "only in " << args[1] << ": " << name << "\n";
+      ++findings;
+      continue;
+    }
+    if (b_it == b_stats.end()) {
+      out << "only in " << args[0] << ": " << name << "\n";
+      ++findings;
+      continue;
+    }
+    const NameStats& a = a_it->second;
+    const NameStats& b = b_it->second;
+    const struct {
+      const char* what;
+      double base;
+      double fresh;
+    } checks[] = {{"total", a.total_micros, b.total_micros},
+                  {"self", a.self_micros, b.self_micros}};
+    for (const auto& check : checks) {
+      const double rel = drift(check.base, check.fresh);
+      if (rel > tolerance) {
+        char relbuf[32];
+        std::snprintf(relbuf, sizeof(relbuf), "%.3f", rel);
+        out << "drift " << name << " " << check.what << " "
+            << FormatMicros(check.base) << " -> " << FormatMicros(check.fresh)
+            << " (rel " << relbuf << " > " << tol << ")\n";
+        ++findings;
+      }
+    }
+  }
+  if (findings == 0) {
+    out << "diff: clean (" << names.size() << " span name(s) compared)\n";
+    return 0;
+  }
+  out << "diff: " << findings << " finding(s)\n";
+  return 1;
+}
+
+}  // namespace
+
+bool ParseTrace(const std::string& content, std::vector<TraceEvent>* out,
+                std::string* error) {
+  out->clear();
+  std::size_t i = 0;
+  while (i < content.size() &&
+         (content[i] == ' ' || content[i] == '\t' || content[i] == '\n' ||
+          content[i] == '\r')) {
+    ++i;
+  }
+  const bool json = i < content.size() && content[i] == '[';
+  if (json) {
+    if (!ParseChromeTrace(content, out, error)) return false;
+  } else {
+    if (!ParseFlightDump(content, out, error)) return false;
+  }
+  NormalizeParents(out);
+  return true;
+}
+
+std::vector<NameStats> Aggregate(const std::vector<TraceEvent>& events) {
+  std::map<std::string, NameStats> by_name;
+  for (const auto& [tid, group] : GroupByTid(events)) {
+    (void)tid;
+    std::vector<std::size_t> roots;
+    std::vector<Node> nodes = BuildForest(group, &roots);
+    for (const Node& node : nodes) {
+      NameStats& s = by_name[node.ev->name];
+      s.name = node.ev->name;
+      ++s.count;
+      s.total_micros += node.ev->dur;
+      s.self_micros += node.ev->dur - node.child_micros;
+      s.max_micros = std::max(s.max_micros, node.ev->dur);
+    }
+  }
+  std::vector<NameStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) {
+    (void)name;
+    out.push_back(std::move(s));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const NameStats& a, const NameStats& b) {
+                     if (a.total_micros != b.total_micros) {
+                       return a.total_micros > b.total_micros;
+                     }
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+std::vector<ThreadStats> ByThread(const std::vector<TraceEvent>& events) {
+  std::vector<ThreadStats> out;
+  for (const auto& [tid, group] : GroupByTid(events)) {
+    std::vector<std::size_t> roots;
+    std::vector<Node> nodes = BuildForest(group, &roots);
+    ThreadStats t;
+    t.tid = tid;
+    t.spans = group.size();
+    t.roots = roots.size();
+    for (std::size_t r : roots) t.root_micros += nodes[r].ev->dur;
+    out.push_back(t);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ThreadStats& a, const ThreadStats& b) {
+                     if (a.root_micros != b.root_micros) {
+                       return a.root_micros > b.root_micros;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::vector<PathStep> CriticalPath(const std::vector<TraceEvent>& events,
+                                   uint64_t tid) {
+  std::vector<PathStep> path;
+  auto by_tid = GroupByTid(events);
+  auto it = by_tid.find(tid);
+  if (it == by_tid.end()) return path;
+  std::vector<std::size_t> roots;
+  std::vector<Node> nodes = BuildForest(it->second, &roots);
+  if (roots.empty()) return path;
+  std::size_t cur = roots[0];
+  for (std::size_t r : roots) {
+    if (Dominates(*nodes[r].ev, *nodes[cur].ev)) cur = r;
+  }
+  int depth = 0;
+  for (;;) {
+    const Node& node = nodes[cur];
+    PathStep step;
+    step.name = node.ev->name;
+    step.depth = depth;
+    step.ts = node.ev->ts;
+    step.dur = node.ev->dur;
+    step.self = node.ev->dur - node.child_micros;
+    path.push_back(std::move(step));
+    if (node.children.empty()) break;
+    std::size_t next = node.children[0];
+    for (std::size_t child : node.children) {
+      if (Dominates(*nodes[child].ev, *nodes[next].ev)) next = child;
+    }
+    cur = next;
+    ++depth;
+  }
+  return path;
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  const std::string& cmd = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "aggregate") return CmdAggregate(rest, out, err);
+  if (cmd == "top") return CmdTop(rest, out, err);
+  if (cmd == "critical") return CmdCritical(rest, out, err);
+  if (cmd == "diff") return CmdDiff(rest, out, err);
+  err << "svqa_trace: unknown command '" << cmd << "'\n";
+  PrintUsage(err);
+  return 2;
+}
+
+}  // namespace svqa_trace

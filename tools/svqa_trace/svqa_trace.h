@@ -1,0 +1,106 @@
+#ifndef SVQA_TOOLS_SVQA_TRACE_SVQA_TRACE_H_
+#define SVQA_TOOLS_SVQA_TRACE_SVQA_TRACE_H_
+
+/// \file
+/// svqa_trace — offline trace analytics over the observability
+/// artifacts the stack emits: Chrome-trace JSON (`Tracer::ToJson`,
+/// bench_serve --trace_out) and flight-recorder text dumps
+/// (`FlightRecorder::Dump`, server statsz artifacts).
+///
+/// Subcommands:
+///
+///   aggregate FILE [--require NAME ...]
+///     Per-span-name count / total / self / max virtual micros across
+///     every thread (query) in the file, ordered (total desc, name
+///     asc). `--require` asserts a span name appears at least once —
+///     the CI gate for "the trace artifact actually contains an
+///     execution", catching an instrumentation regression that would
+///     otherwise just produce an empty-but-valid artifact.
+///
+///   top FILE [--k N]
+///     The N slowest queries by summed root-span micros (default 10),
+///     ordered (total desc, tid asc).
+///
+///   critical FILE [--tid N]
+///     Root-to-leaf critical path of one query (default: the slowest),
+///     matching obs::TraceAnalysis — longest root, then the longest
+///     child at every level, ties (dur desc, start asc, id asc).
+///
+///   diff A B [--tolerance F]
+///     Compares per-name total/self micros between two traces;
+///     relative drift beyond the tolerance (default 0.05) or a span
+///     name present in only one file is a failure. The CI use: catch a
+///     virtual-cost regression between two bench_serve artifacts.
+///
+/// Exit codes follow svqa_lint / bench_check: 0 clean, 1 findings
+/// (missing required span, empty critical path, diff drift), 2 usage /
+/// parse / IO errors. Stdlib-only on purpose, same as the other tools:
+/// the gate must build anywhere the project builds, so the analyzer is
+/// deliberately reimplemented here rather than linking svqa_obs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace svqa_trace {
+
+/// One span, either read from Chrome-trace `args` ids or reconstructed
+/// from interval containment. (tid, id) is unique; parent is an id
+/// within the same tid, 0 = root.
+struct TraceEvent {
+  uint64_t tid = 0;
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+  uint32_t id = 0;
+  uint32_t parent = 0;
+};
+
+/// Parses either supported format (auto-detected: leading '[' means
+/// Chrome-trace JSON, anything else is a flight-recorder dump).
+/// Chrome events carry explicit ids; flight records do not, so their
+/// parentage is reconstructed per tid by interval containment (sort by
+/// start asc / dur desc, nest under the enclosing open span). Returns
+/// false and sets *error on malformed input.
+bool ParseTrace(const std::string& content, std::vector<TraceEvent>* out,
+                std::string* error);
+
+/// Per-span-name aggregate, (total desc, name asc). `self` is duration
+/// minus direct children, so recursion never double-counts.
+struct NameStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_micros = 0;
+  double self_micros = 0;
+  double max_micros = 0;
+};
+std::vector<NameStats> Aggregate(const std::vector<TraceEvent>& events);
+
+/// Per-query totals for `top`, (total desc, tid asc).
+struct ThreadStats {
+  uint64_t tid = 0;
+  uint64_t spans = 0;
+  uint64_t roots = 0;
+  double root_micros = 0;  // summed root durations
+};
+std::vector<ThreadStats> ByThread(const std::vector<TraceEvent>& events);
+
+/// One step of a query's critical path.
+struct PathStep {
+  std::string name;
+  int depth = 0;
+  double ts = 0;
+  double dur = 0;
+  double self = 0;
+};
+std::vector<PathStep> CriticalPath(const std::vector<TraceEvent>& events,
+                                   uint64_t tid);
+
+/// Command-line entry point (what main() calls; tests call it too).
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace svqa_trace
+
+#endif  // SVQA_TOOLS_SVQA_TRACE_SVQA_TRACE_H_
